@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Coin_expose Coin_gen Coin_oracle Eig_ba Fun Gf2k List Metrics Option Phase_king Prng Refresh Sealed_coin Table Vss

@@ -1,0 +1,1 @@
+bench/table.ml: Float List Printf String

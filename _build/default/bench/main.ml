@@ -1,0 +1,172 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. The experiment tables (E1-E14 in DESIGN.md): every lemma, theorem
+      and comparison in the paper re-measured and printed next to the
+      paper's claim. This is the default output.
+   2. A bechamel wall-clock suite with one kernel per experiment table,
+      run with --micro.
+
+   Usage:
+     dune exec bench/main.exe            # all tables, full workloads
+     dune exec bench/main.exe -- --quick # all tables, reduced workloads
+     dune exec bench/main.exe -- --micro # bechamel timings only
+*)
+
+module F32 = Gf2k.GF32
+module F16 = Gf2k.GF16
+module V32 = Vss.Make (F32)
+module V16 = Vss.Make (F16)
+module CC16 = Cut_and_choose_vss.Make (F16)
+module BG32 = Bit_gen.Make (F32)
+module CG16 = Coin_gen.Make (F16)
+module CE16 = Coin_expose.Make (F16)
+module Pool16 = Pool.Make (F16)
+module CB16 = Coin_baselines.Make (F16)
+
+let ideal_oracle seed =
+  let g = Prng.of_int seed in
+  fun () -> Metrics.without_counting (fun () -> F16.random g)
+
+(* --- bechamel kernels: one per experiment table ------------------- *)
+
+let kernel_e1_vss_soundness_trial () =
+  let g = Prng.of_int 1 in
+  let n = 7 and t = 2 in
+  fun () ->
+    let guess = F16.random_nonzero g in
+    let alpha, beta = V16.targeted_cheating_dealing g ~n ~t ~guess in
+    ignore (V16.run ~n ~t ~alpha ~beta ~r:(F16.random g) ())
+
+let kernel_e2_single_vss () =
+  let g = Prng.of_int 2 in
+  let n = 7 and t = 2 in
+  fun () ->
+    let alpha = V32.honest_dealing g ~n ~t ~secret:(F32.random g) in
+    let beta = V32.honest_dealing g ~n ~t ~secret:(F32.random g) in
+    ignore (V32.run ~n ~t ~alpha ~beta ~r:(F32.random g) ())
+
+let kernel_e4_batch_vss () =
+  let g = Prng.of_int 3 in
+  let n = 7 and t = 2 and m = 64 in
+  fun () ->
+    let secrets = Array.init m (fun _ -> F32.random g) in
+    let shares = V32.batch_honest_dealing g ~n ~t ~secrets in
+    ignore (V32.run_batch ~n ~t ~shares ~r:(F32.random g) ())
+
+let kernel_e6_bit_gen () =
+  let prng = Prng.of_int 4 in
+  let g = Prng.split prng in
+  let n = 13 and t = 2 and m = 64 in
+  fun () -> ignore (BG32.run ~prng ~n ~t ~m ~dealer:0 ~r:(F32.random g) ())
+
+let kernel_e9_coin_gen () =
+  let prng = Prng.of_int 5 in
+  let oracle = ideal_oracle 55 in
+  let n = 13 and t = 2 and m = 16 in
+  fun () ->
+    match CG16.run ~prng ~oracle ~n ~t ~m () with
+    | Some _ -> ()
+    | None -> failwith "Coin-Gen failed"
+
+let kernel_e10_cut_and_choose () =
+  let g = Prng.of_int 6 in
+  let n = 7 and t = 2 in
+  fun () ->
+    let d = CC16.honest_dealing g ~n ~t ~rounds:16 ~secret:(F16.random g) in
+    let challenges = Array.init 16 (fun _ -> Prng.bool g) in
+    ignore (CC16.run ~n ~t ~challenges d)
+
+let kernel_e10_feldman () =
+  let g = Prng.of_int 7 in
+  let n = 7 and t = 2 in
+  fun () ->
+    let d = Feldman_vss.honest_dealing g ~n ~t ~secret:(Feldman_vss.Fq.random g) in
+    ignore (Feldman_vss.run ~n ~t d)
+
+let kernel_e11_from_scratch_coin () =
+  let g = Prng.of_int 8 in
+  fun () -> ignore (CB16.from_scratch_coin g ~n:13 ~t:2)
+
+let kernel_e12_pool_draw () =
+  let pool =
+    Pool16.create ~prng:(Prng.of_int 9) ~n:13 ~t:2 ~batch_size:64
+      ~refill_threshold:3 ~initial_seed:6 ()
+  in
+  fun () -> ignore (Pool16.draw_kary pool)
+
+let kernel_e14_coin_expose () =
+  let module C16 = Sealed_coin.Make (F16) in
+  let g = Prng.of_int 10 in
+  let coin = C16.dealer_coin g ~n:13 ~t:2 in
+  fun () -> ignore (CE16.run coin)
+
+let kernel_field mul random =
+  let g = Prng.of_int 11 in
+  let a = random g and b = random g in
+  fun () -> ignore (mul a b)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let stage f = Staged.stage (f ()) in
+  let tests =
+    Test.make_grouped ~name:"dprbg" ~fmt:"%s %s"
+      [
+        Test.make ~name:"E1:vss-soundness-trial"
+          (stage kernel_e1_vss_soundness_trial);
+        Test.make ~name:"E2:single-vss" (stage kernel_e2_single_vss);
+        Test.make ~name:"E4:batch-vss-M64" (stage kernel_e4_batch_vss);
+        Test.make ~name:"E6:bit-gen-M64" (stage kernel_e6_bit_gen);
+        Test.make ~name:"E9:coin-gen-M16" (stage kernel_e9_coin_gen);
+        Test.make ~name:"E10:cut-and-choose" (stage kernel_e10_cut_and_choose);
+        Test.make ~name:"E10:feldman" (stage kernel_e10_feldman);
+        Test.make ~name:"E11:from-scratch-coin"
+          (stage kernel_e11_from_scratch_coin);
+        Test.make ~name:"E12:pool-draw" (stage kernel_e12_pool_draw);
+        Test.make ~name:"E14:coin-expose" (stage kernel_e14_coin_expose);
+        Test.make ~name:"E13:mult-gf32"
+          (stage (fun () -> kernel_field F32.mul F32.random));
+        Test.make ~name:"E13:mult-wide128"
+          (stage (fun () ->
+               kernel_field Gf2_wide.GF128.mul Gf2_wide.GF128.random));
+        Test.make ~name:"E13:mult-fft128"
+          (stage (fun () ->
+               kernel_field Fft_field.GF_k128.mul Fft_field.GF_k128.random));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  print_endline "\n== bechamel wall-clock (monotonic ns per run) ==";
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+  |> List.iter (fun (name, r) ->
+         let ns =
+           match Analyze.OLS.estimates r with
+           | Some [ x ] -> Printf.sprintf "%12.1f" x
+           | _ -> "     (n/a)"
+         in
+         Printf.printf "  %-34s %s ns\n" name ns)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let micro_only = List.mem "--micro" args in
+  if micro_only then micro ()
+  else begin
+    Printf.printf
+      "D-PRBG experiment harness (Bellare-Garay-Rabin, PODC 1996)\n\
+       mode: %s | counters are totals over all players; /pl = per player\n"
+      (if quick then "quick" else "full");
+    Experiments.all ~quick;
+    print_endline "\n---- ablations (DESIGN.md §5) ----";
+    Ablations.all ();
+    print_endline "\n(run with --micro for bechamel wall-clock timings)"
+  end

@@ -1,0 +1,30 @@
+(* Plain-text table rendering for the experiment harness. *)
+
+type cell = S of string | I of int | F of float | P of float  (* P: probability *)
+
+let string_of_cell = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F f ->
+      if Float.abs f >= 1000.0 then Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.2f" f
+  | P p -> Printf.sprintf "%.5f" p
+
+let print ~title ~claim ~headers rows =
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "paper: %s\n" claim;
+  let cells = List.map (List.map string_of_cell) rows in
+  let widths =
+    List.mapi
+      (fun c h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row c)))
+          (String.length h) cells)
+      headers
+  in
+  let pad w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line l = print_endline ("  " ^ String.concat "  " l) in
+  line (List.map2 pad widths headers);
+  line (List.map (fun w -> String.make w '-') widths);
+  List.iter (fun row -> line (List.map2 pad widths row)) cells;
+  flush stdout

@@ -1,0 +1,293 @@
+(* dprbg — command-line front end to the D-PRBG simulation stack.
+
+   Subcommands:
+     coins      draw shared coins from a bootstrapped pool
+     soundness  measure cheating-dealer acceptance rates (Lemmas 1, 3, 5)
+     costs      cost vectors for the paper's protocols at given parameters
+     agreement  run common-coin randomized Byzantine agreements
+     pool       persistent pool: state survives process restarts
+*)
+
+module F = Gf2k.GF32
+module Pool = Pool.Make (F)
+module CG = Pool.CG
+module CE = Pool.CE
+module V = Vss.Make (F)
+module BG = Bit_gen.Make (F)
+
+open Cmdliner
+
+(* -v / -vv (from Logs_cli) enables protocol tracing: Coin-Gen batch
+   events at info, per-round network activity at debug. *)
+let setup_logs =
+  let init style_renderer level =
+    Fmt_tty.setup_std_outputs ?style_renderer ();
+    Logs.set_level level;
+    Logs.set_reporter (Logs_fmt.reporter ())
+  in
+  Term.(const init $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let seed_arg =
+  let doc = "PRNG seed (runs are deterministic given the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let t_arg =
+  let doc = "Number of Byzantine players to tolerate." in
+  Arg.(value & opt int 2 & info [ "t" ] ~docv:"T" ~doc)
+
+let n_for t = (6 * t) + 1
+
+(* ------------------------------------------------------------------ *)
+
+let coins_cmd =
+  let count =
+    Arg.(value & opt int 20 & info [ "count"; "c" ] ~docv:"N" ~doc:"Coins to draw.")
+  in
+  let bits =
+    Arg.(value & flag & info [ "bits" ] ~doc:"Draw binary coins instead of k-ary ones.")
+  in
+  let run () seed t count bits =
+    let n = n_for t in
+    let pool =
+      Pool.create ~prng:(Prng.of_int seed) ~n ~t ~batch_size:32
+        ~refill_threshold:3 ~initial_seed:6 ()
+    in
+    if bits then begin
+      for _ = 1 to count do
+        print_char (if Pool.draw_bit pool then '1' else '0')
+      done;
+      print_newline ()
+    end
+    else
+      for i = 1 to count do
+        Printf.printf "%4d  %s\n" i (F.to_string (Pool.draw_kary pool))
+      done;
+    let s = Pool.stats pool in
+    Printf.printf
+      "# n=%d t=%d | refills=%d generated=%d seed-consumed=%d dealer=%d\n" n t
+      s.Pool.refills s.Pool.generated_coins s.Pool.seed_coins_consumed
+      s.Pool.dealer_coins
+  in
+  let info =
+    Cmd.info "coins" ~doc:"Draw shared coins from a bootstrapped D-PRBG pool."
+  in
+  Cmd.v info Term.(const run $ setup_logs $ seed_arg $ t_arg $ count $ bits)
+
+(* ------------------------------------------------------------------ *)
+
+let soundness_cmd =
+  let trials =
+    Arg.(value & opt int 20000 & info [ "trials" ] ~docv:"N" ~doc:"Attack trials.")
+  in
+  let k =
+    Arg.(
+      value & opt int 8
+      & info [ "k" ] ~docv:"K" ~doc:"Field bits (small, so the rate is visible).")
+  in
+  let m =
+    Arg.(value & opt int 4 & info [ "m" ] ~docv:"M" ~doc:"Batch size for Lemma 3/5.")
+  in
+  let run () seed t trials k m =
+    if k < 3 || k > 16 then failwith "k must be in [3, 16] for rate experiments";
+    let n = n_for t in
+    let module Fk = Gf2k.Make (struct let k = k end) in
+    let module Vk = Vss.Make (Fk) in
+    let module BGk = Bit_gen.Make (Fk) in
+    let g = Prng.of_int seed in
+    let p = float_of_int (1 lsl k) in
+    (* Lemma 1: targeted single-VSS cheat. *)
+    let accepts = ref 0 in
+    for _ = 1 to trials do
+      let guess = Fk.random_nonzero g in
+      let alpha, beta = Vk.targeted_cheating_dealing g ~n ~t ~guess in
+      if Vk.run ~n ~t ~alpha ~beta ~r:(Fk.random g) () = Vk.Accept then
+        incr accepts
+    done;
+    Printf.printf "Lemma 1 | measured %.5f  bound 1/p = %.5f\n"
+      (float_of_int !accepts /. float_of_int trials)
+      (1.0 /. p);
+    (* Lemma 3: targeted batch cheat. *)
+    let accepts = ref 0 in
+    for _ = 1 to trials do
+      let roots =
+        Array.of_list
+          (List.map (fun i -> Fk.of_int (i + 1))
+             (Prng.sample_distinct g m ((1 lsl k) - 1)))
+      in
+      let shares = Vk.batch_targeted_cheating_dealing g ~n ~t ~roots in
+      if Vk.run_batch ~n ~t ~shares ~r:(Fk.random g) () = Vk.Accept then
+        incr accepts
+    done;
+    Printf.printf "Lemma 3 | measured %.5f  bound M/p = %.5f\n"
+      (float_of_int !accepts /. float_of_int trials)
+      (float_of_int m /. p);
+    (* Lemma 5: Bit-Gen with a bad-degree dealing. *)
+    let accepts = ref 0 in
+    let bitgen_trials = min trials 2000 in
+    for s = 1 to bitgen_trials do
+      let prng = Prng.of_int (seed + s) in
+      let r = Fk.random g in
+      let views, _ =
+        BGk.run ~dealer_behavior:(BGk.Bad_degree [ 0 ]) ~prng ~n ~t ~m ~dealer:0
+          ~r ()
+      in
+      if Array.exists (fun v -> v.BGk.check_poly <> None) views then
+        incr accepts
+    done;
+    Printf.printf "Lemma 5 | measured %.5f  bound M/p = %.5f  (%d trials)\n"
+      (float_of_int !accepts /. float_of_int bitgen_trials)
+      (float_of_int m /. p)
+      bitgen_trials
+  in
+  let info =
+    Cmd.info "soundness"
+      ~doc:"Measure optimal cheating-dealer acceptance rates (Lemmas 1, 3, 5)."
+  in
+  Cmd.v info Term.(const run $ setup_logs $ seed_arg $ t_arg $ trials $ k $ m)
+
+(* ------------------------------------------------------------------ *)
+
+let costs_cmd =
+  let m =
+    Arg.(value & opt int 64 & info [ "m" ] ~docv:"M" ~doc:"Secrets/coins per batch.")
+  in
+  let run () seed t m =
+    let n = n_for t in
+    let g = Prng.of_int seed in
+    let show label snap =
+      Printf.printf "%-28s %s\n" label (Fmt.str "%a" Metrics.pp snap)
+    in
+    Printf.printf "n=%d t=%d m=%d field=%s (totals across all players)\n\n" n t
+      m F.name;
+    let _, c =
+      Metrics.with_counting (fun () ->
+          let alpha = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+          let beta = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+          ignore (V.run ~n ~t ~alpha ~beta ~r:(F.random g) ()))
+    in
+    show "VSS (Fig. 2, one secret)" c;
+    let _, c =
+      Metrics.with_counting (fun () ->
+          let secrets = Array.init m (fun _ -> F.random g) in
+          let shares = V.batch_honest_dealing g ~n ~t ~secrets in
+          ignore (V.run_batch ~n ~t ~shares ~r:(F.random g) ()))
+    in
+    show (Printf.sprintf "Batch-VSS (Fig. 3, M=%d)" m) c;
+    let _, c =
+      Metrics.with_counting (fun () ->
+          let prng = Prng.of_int (seed + 1) in
+          ignore (BG.run ~prng ~n ~t ~m ~dealer:0 ~r:(F.random g) ()))
+    in
+    show (Printf.sprintf "Bit-Gen (Fig. 4, M=%d)" m) c;
+    let _, c =
+      Metrics.with_counting (fun () ->
+          let prng = Prng.of_int (seed + 2) in
+          let sg = Prng.split prng in
+          let oracle () = Metrics.without_counting (fun () -> F.random sg) in
+          ignore (CG.run ~prng ~oracle ~n ~t ~m ()))
+    in
+    show (Printf.sprintf "Coin-Gen (Fig. 5, M=%d)" m) c
+  in
+  let info =
+    Cmd.info "costs" ~doc:"Cost vectors of the paper's protocols (Lemmas 2/4/6, Thm 2)."
+  in
+  Cmd.v info Term.(const run $ setup_logs $ seed_arg $ t_arg $ m)
+
+(* ------------------------------------------------------------------ *)
+
+let agreement_cmd =
+  let rounds =
+    Arg.(value & opt int 20 & info [ "rounds" ] ~docv:"N" ~doc:"Agreements to run.")
+  in
+  let run () seed t rounds =
+    let n = n_for t in
+    let g = Prng.of_int seed in
+    let pool =
+      Pool.create ~prng:(Prng.split g) ~n ~t ~batch_size:32 ~refill_threshold:3
+        ~initial_seed:6 ()
+    in
+    let ok = ref 0 in
+    for i = 1 to rounds do
+      let inputs = Array.init n (fun _ -> Prng.bool g) in
+      match
+        Common_coin_ba.run
+          ~coin:(fun () -> Pool.draw_bit pool)
+          ~n ~t ~max_phases:64 ~inputs ()
+      with
+      | None -> Printf.printf "round %d: no termination\n" i
+      | Some r ->
+          incr ok;
+          Printf.printf "round %2d: decided %b in %d phase(s)\n" i
+            r.Common_coin_ba.decisions.(0) r.Common_coin_ba.phases
+    done;
+    Printf.printf "# %d/%d agreements completed; pool stats: %s\n" !ok rounds
+      (let s = Pool.stats pool in
+       Printf.sprintf "exposed=%d refills=%d" s.Pool.coins_exposed s.Pool.refills)
+  in
+  let info =
+    Cmd.info "agreement"
+      ~doc:"Run randomized Byzantine agreements on pool-supplied common coins."
+  in
+  Cmd.v info Term.(const run $ setup_logs $ seed_arg $ t_arg $ rounds)
+
+(* ------------------------------------------------------------------ *)
+
+let pool_cmd =
+  let state_file =
+    Arg.(
+      value
+      & opt string "dprbg-pool.state"
+      & info [ "file"; "f" ] ~docv:"PATH" ~doc:"Pool state file.")
+  in
+  let draws =
+    Arg.(value & opt int 10 & info [ "draws" ] ~docv:"N" ~doc:"Coins to draw.")
+  in
+  let fresh =
+    Arg.(
+      value & flag
+      & info [ "fresh" ] ~doc:"Ignore any existing state file and bootstrap anew.")
+  in
+  let run () seed t state_file draws fresh =
+    let n = n_for t in
+    let pool =
+      if (not fresh) && Sys.file_exists state_file then begin
+        let ic = open_in_bin state_file in
+        let len = in_channel_length ic in
+        let data = really_input_string ic len in
+        close_in ic;
+        Printf.printf "# restored pool from %s\n" state_file;
+        Pool.restore ~prng:(Prng.of_int seed) ~batch_size:32
+          ~refill_threshold:3 (Bytes.of_string data)
+      end
+      else begin
+        Printf.printf "# bootstrapping a fresh pool (trusted dealer used once)\n";
+        Pool.create ~prng:(Prng.of_int seed) ~n ~t ~batch_size:32
+          ~refill_threshold:3 ~initial_seed:6 ()
+      end
+    in
+    for i = 1 to draws do
+      Printf.printf "%4d  %s\n" i (F.to_string (Pool.draw_kary pool))
+    done;
+    let oc = open_out_bin state_file in
+    output_bytes oc (Pool.save pool);
+    close_out oc;
+    let s = Pool.stats pool in
+    Printf.printf
+      "# saved %d sealed coins to %s | lifetime: exposed=%d refills=%d dealer=%d\n"
+      (Pool.available pool) state_file s.Pool.coins_exposed s.Pool.refills
+      s.Pool.dealer_coins
+  in
+  let info =
+    Cmd.info "pool"
+      ~doc:
+        "Draw coins from a persistent pool: state survives restarts, the \
+         trusted dealer is only ever used at first bootstrap."
+  in
+  Cmd.v info Term.(const run $ setup_logs $ seed_arg $ t_arg $ state_file $ draws $ fresh)
+
+let main =
+  let doc = "Distributed pseudo-random bit generators (PODC 1996) simulator" in
+  let info = Cmd.info "dprbg" ~version:Dprbg_version.version ~doc in
+  Cmd.group info [ coins_cmd; soundness_cmd; costs_cmd; agreement_cmd; pool_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/beacon.ml: Gf2k List Net Phase_king Pool Printf Prng Randomness String

@@ -1,0 +1,1 @@
+examples/beacon.mli:

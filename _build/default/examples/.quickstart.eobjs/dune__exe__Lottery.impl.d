@@ -1,0 +1,1 @@
+examples/lottery.ml: Array Gf2k List Metrics Pool Printf Prng String

@@ -1,0 +1,1 @@
+examples/proactive_refresh.ml: Array Gf2k List Net Phase_king Pool Printf Prng String

@@ -1,0 +1,1 @@
+examples/proactive_refresh.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Gf2k Metrics Pool Printf Prng

@@ -1,0 +1,1 @@
+examples/randomized_agreement.ml: Array Bool Common_coin_ba Gf2k Hashtbl List Net Option Phase_king Pool Printf Prng String

@@ -1,0 +1,76 @@
+(* Pro-active security: the adversary moves between epochs.
+
+   Section 1.2: "one of the motivations and applications of our work is
+   pro-active security [...], which deals with settings where intruders
+   are allowed to move over time. Our solution to multiple-coin
+   generation can be easily adapted to this scenario." Unlike the
+   amortization schemes the paper contrasts itself with ([1], [13]),
+   nothing here assumes the faulty set stays fixed: each Coin-Gen run
+   only needs *some* t-bounded corrupted set during that run.
+
+   This demo runs 12 epochs. In each epoch the adversary corrupts a
+   fresh set of t players (dealing garbage, going silent in gamma
+   rounds, voting against in BA, lying at exposure), and the application
+   draws a burst of coins. The pool never needs the dealer again.
+
+     dune exec examples/proactive_refresh.exe *)
+
+module F = Gf2k.GF32
+module Pool = Pool.Make (F)
+module CG = Pool.CG
+module CE = Pool.CE
+
+let () =
+  let n = 13 and t = 2 in
+  let g = Prng.of_int 77007 in
+  (* One corrupted set per refill epoch, drawn ahead of time. *)
+  let epochs = 128 in
+  let fault_sets = Array.init epochs (fun _ -> Net.Faults.random g ~n ~t) in
+  let adversary refill =
+    let faults = fault_sets.(refill mod epochs) in
+    CG.faulty_with
+      ~as_dealer:(CG.BG.Inconsistent_to [ 0; 1; 2 ])
+      ~as_gamma:CG.Silent_vec ~as_ba:(Phase_king.Fixed false) faults
+  in
+  let expose_behavior refill i =
+    let faults = fault_sets.(refill mod epochs) in
+    if Net.Faults.is_faulty faults i then CE.Send (F.of_int 0xDEAD)
+    else CE.Honest
+  in
+  let pool =
+    Pool.create ~adversary ~expose_behavior ~prng:(Prng.split g) ~n ~t
+      ~batch_size:24 ~refill_threshold:3 ~initial_seed:6 ()
+  in
+  Printf.printf "Mobile adversary, n=%d t=%d, %d application epochs\n\n" n t 12;
+  for epoch = 1 to 12 do
+    let refills_before = (Pool.stats pool).Pool.refills in
+    let burst = 12 + Prng.int g 10 in
+    let sample = ref F.zero in
+    for _ = 1 to burst do
+      sample := Pool.draw_kary pool
+    done;
+    (* Epoch boundary: re-randomize every sealed coin in stock, so the
+       shares this epoch's intruders stole are worthless next epoch. *)
+    Pool.refresh pool;
+    let s = Pool.stats pool in
+    let corrupted =
+      if s.Pool.refills > refills_before then
+        let f = fault_sets.(refills_before mod epochs) in
+        Printf.sprintf "regenerated under corrupted set {%s}"
+          (String.concat ","
+             (List.map string_of_int (Net.Faults.faulty f)))
+      else "served from stock"
+    in
+    Printf.printf "  epoch %2d: drew %2d coins, refreshed %2d (last=%s) - %s\n"
+      epoch burst (Pool.available pool) (F.to_string !sample) corrupted
+  done;
+  let s = Pool.stats pool in
+  Printf.printf
+    "\ntotals: %d coins exposed / %d generated across %d refills, %d share \
+     refreshes\n\
+     seed coins consumed: %d; unanimity failures: %d\n\
+     The corrupted set changed on every refill, the sealed coins were\n\
+     re-randomized at every epoch boundary, and the supply never paused -\n\
+     the pro-active setting the paper's bootstrapping was designed for.\n"
+    s.Pool.coins_exposed s.Pool.generated_coins s.Pool.refills s.Pool.refreshes
+    s.Pool.seed_coins_consumed s.Pool.unanimity_failures

@@ -1,0 +1,99 @@
+(* Randomized Byzantine agreement fed by the D-PRBG pool.
+
+   The paper's motivation: applications like BA need shared coins "in
+   bulk", and they are executed "not once, but regularly". Here a
+   13-player system runs 50 consecutive Byzantine agreements on random
+   (split) inputs, with 2 Byzantine players actively misbehaving in both
+   the agreement itself and the coin machinery underneath. Every phase
+   of every agreement consumes one common coin from the bootstrapped
+   pool.
+
+     dune exec examples/randomized_agreement.exe *)
+
+module F = Gf2k.GF32
+module Pool = Pool.Make (F)
+module CG = Pool.CG
+module CE = Pool.CE
+
+let () =
+  let n = 13 and t = 2 in
+  let g = Prng.of_int 424242 in
+  let faults = Net.Faults.make ~n ~faulty:[ 4; 11 ] in
+
+  (* Byzantine players attack the coin generation... *)
+  let adversary _refill =
+    CG.faulty_with
+      ~as_dealer:(CG.BG.Bad_degree [ 0; 1 ])
+      ~as_ba:(Phase_king.Fixed false) faults
+  in
+  (* ...and lie when coins are exposed... *)
+  let expose_behavior _refill i =
+    if Net.Faults.is_faulty faults i then CE.Send F.zero else CE.Honest
+  in
+  let pool =
+    Pool.create ~adversary ~expose_behavior ~prng:(Prng.split g) ~n ~t
+      ~batch_size:32 ~refill_threshold:3 ~initial_seed:6 ()
+  in
+  (* ...and in the agreement protocol itself. *)
+  let ba_behavior i =
+    if Net.Faults.is_faulty faults i then
+      Common_coin_ba.Fixed (Prng.bool g)
+    else Common_coin_ba.Honest
+  in
+
+  Printf.printf
+    "50 Byzantine agreements, n=%d t=%d, players %s Byzantine everywhere\n\n" n
+    t
+    (String.concat "," (List.map string_of_int (Net.Faults.faulty faults)));
+
+  let phase_histogram = Hashtbl.create 8 in
+  let agreements = ref 0 and validity_holds = ref 0 and validity_applicable = ref 0 in
+  for round = 1 to 50 do
+    let inputs = Array.init n (fun _ -> Prng.bool g) in
+    match
+      Common_coin_ba.run ~behavior:ba_behavior
+        ~coin:(fun () -> Pool.draw_bit pool)
+        ~n ~t ~max_phases:64 ~inputs ()
+    with
+    | None -> Printf.printf "  round %2d: DID NOT TERMINATE\n" round
+    | Some r ->
+        let honest = Net.Faults.honest faults in
+        let decisions =
+          List.map (fun i -> r.Common_coin_ba.decisions.(i)) honest
+        in
+        let agreed =
+          match decisions with
+          | [] -> true
+          | d :: rest -> List.for_all (Bool.equal d) rest
+        in
+        if agreed then incr agreements;
+        let honest_inputs = List.map (fun i -> inputs.(i)) honest in
+        (match honest_inputs with
+        | b :: rest when List.for_all (Bool.equal b) rest ->
+            incr validity_applicable;
+            if List.for_all (Bool.equal b) decisions then incr validity_holds
+        | _ -> ());
+        Hashtbl.replace phase_histogram r.Common_coin_ba.phases
+          (1
+          + Option.value ~default:0
+              (Hashtbl.find_opt phase_histogram r.Common_coin_ba.phases))
+  done;
+
+  Printf.printf "agreement held in   : %d/50 runs\n" !agreements;
+  Printf.printf "validity held in    : %d/%d applicable runs\n" !validity_holds
+    !validity_applicable;
+  print_endline "phases needed (histogram):";
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) phase_histogram []
+  |> List.sort compare
+  |> List.iter (fun (phases, count) ->
+         Printf.printf "  %2d phase%s: %2d runs %s\n" phases
+           (if phases = 1 then " " else "s")
+           count
+           (String.make count '#'));
+
+  let s = Pool.stats pool in
+  Printf.printf
+    "\ncoin supply: %d coins exposed, %d refills, %d seed coins consumed,\n\
+    \             dealer involved only for the first %d coins\n"
+    s.Pool.coins_exposed s.Pool.refills s.Pool.seed_coins_consumed
+    s.Pool.dealer_coins

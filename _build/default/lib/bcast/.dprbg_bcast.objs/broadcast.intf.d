@@ -1,0 +1,1 @@
+lib/bcast/broadcast.mli:

@@ -1,0 +1,1 @@
+lib/bcast/broadcast_protocol.ml: Array Gradecast

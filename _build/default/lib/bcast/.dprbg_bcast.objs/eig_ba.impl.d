@@ -1,0 +1,1 @@
+lib/bcast/eig_ba.ml: Array Fun Hashtbl List Metrics Net Option

@@ -1,0 +1,1 @@
+lib/bcast/eig_ba.mli:

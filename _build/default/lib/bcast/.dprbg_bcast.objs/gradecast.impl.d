@@ -1,0 +1,1 @@
+lib/bcast/gradecast.ml: Array List Metrics Net

@@ -1,0 +1,1 @@
+lib/bcast/multivalued_ba.mli:

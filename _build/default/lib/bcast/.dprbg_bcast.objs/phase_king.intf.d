@@ -1,0 +1,1 @@
+lib/bcast/phase_king.mli:

@@ -1,0 +1,8 @@
+let round ~byte_size ~n announce =
+  Metrics.tick_round ();
+  Array.init n (fun i ->
+      match announce i with
+      | None -> None
+      | Some v ->
+          Metrics.tick_message ~bytes_len:(byte_size v);
+          Some v)

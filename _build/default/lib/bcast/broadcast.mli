@@ -1,0 +1,19 @@
+(** An assumed (ideal) broadcast channel.
+
+    Section 3 of the paper runs over a model where "a broadcast channel
+    facility is in place" — the channel guarantees that everyone sees the
+    same value from each announcer, even a faulty one (a Byzantine player
+    can announce a {e wrong} value but cannot equivocate). Section 4
+    removes the assumption; the substitute protocols ([Bit-Gen] and
+    grade-cast) live elsewhere in this library.
+
+    Cost model: following the paper's Lemma 2 accounting ("the
+    communication required by our protocol is 2n messages, each of size
+    k"), one announcement ticks {e one} message of the value's size, and
+    each call is one synchronous round. *)
+
+val round :
+  byte_size:('v -> int) -> n:int -> (int -> 'v option) -> 'v option array
+(** [round ~byte_size ~n announce] performs one broadcast round:
+    player [i] announces [announce i] ([None] = stays silent) and every
+    player observes the same resulting vector. *)

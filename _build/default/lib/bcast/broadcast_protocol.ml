@@ -1,0 +1,16 @@
+let run ?dealer_behavior ?follower_behavior ~ba ~equal ~byte_size ~n ~t ~dealer
+    ~value () =
+  let outcomes =
+    Gradecast.run ?dealer_behavior ?follower_behavior ~equal ~byte_size ~n ~t
+      ~dealer ~value ()
+  in
+  (* Agree on whether the grade-cast was unambiguous. If any honest
+     player saw confidence 2, every honest player holds the same value
+     with confidence >= 1, so delivering after a positive decision is
+     consistent. *)
+  let inputs = Array.init n (fun i -> outcomes.(i).Gradecast.confidence = 2) in
+  let decisions = ba inputs in
+  Array.init n (fun i ->
+      if decisions.(i) && outcomes.(i).Gradecast.confidence >= 1 then
+        outcomes.(i).Gradecast.value
+      else None)

@@ -1,0 +1,43 @@
+(** Broadcast from grade-cast plus Byzantine agreement — the
+    construction the paper alludes to when it motivates cheap coins:
+    "Coins are often used as a source of randomness to execute Byzantine
+    agreement, and hence implement a broadcast channel. Thus, we will
+    omit the assumption of a broadcast channel from the model."
+    (Section 4.)
+
+    The {!Broadcast} module is the {e assumed} channel of the Section-3
+    model; this module {e implements} one over point-to-point links
+    ([n >= 3t + 1]): the dealer grade-casts its value; every player
+    feeds "did I see it with confidence 2?" into a binary BA; if the BA
+    accepts, players deliver the grade-cast value (identical at all
+    honest players whenever anyone honest had confidence 2), otherwise
+    they deliver nothing.
+
+    Guarantees:
+    {ul
+    {- {b Consistency}: all honest players deliver the same
+       [value option];}
+    {- {b Validity}: if the dealer is honest, all honest players deliver
+       its value.}}
+
+    The BA is a parameter, so callers choose the paper's full circle:
+    plug in {!Phase_king} (deterministic) or a common-coin randomized BA
+    fed by the D-PRBG pool — coins implementing the broadcast that the
+    coin machinery of Section 3 presumes. *)
+
+val run :
+  ?dealer_behavior:'v Gradecast.dealer_behavior ->
+  ?follower_behavior:(int -> 'v Gradecast.follower_behavior) ->
+  ba:(bool array -> bool array) ->
+  equal:('v -> 'v -> bool) ->
+  byte_size:('v -> int) ->
+  n:int ->
+  t:int ->
+  dealer:int ->
+  value:'v ->
+  unit ->
+  'v option array
+(** Delivered value per player ([None] = the broadcast aborted — only
+    possible with a faulty dealer). [ba] must implement agreement and
+    validity for [n, t]; it receives each player's input bit and returns
+    the decisions. *)

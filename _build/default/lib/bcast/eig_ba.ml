@@ -1,0 +1,104 @@
+type behavior =
+  | Honest
+  | Silent
+  | Fixed of bool
+  | Arbitrary of (round:int -> dst:int -> path:int list -> bool option)
+
+(* Tree nodes are relay chains: the node [j1; ...; jr] (most recent relay
+   last) holds what j_r said j_{r-1} said ... j_1 said about its input.
+   Each player stores its own copy of the tree in a hashtable keyed by
+   path. *)
+
+let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
+  if n < (3 * t) + 1 then invalid_arg "Eig_ba.run: requires n >= 3t+1";
+  if t > 4 then invalid_arg "Eig_ba.run: t too large for the EIG tree";
+  if Array.length inputs <> n then invalid_arg "Eig_ba.run: inputs size";
+  Metrics.tick_ba ();
+  (* A message is the list of (path, claimed value) pairs for one level;
+     wire size: one byte per value plus one per path element. *)
+  let msg_bytes entries =
+    List.fold_left (fun acc (path, _) -> acc + 1 + List.length path) 0 entries
+  in
+  let net = Net.create ~n ~byte_size:msg_bytes in
+  let trees = Array.init n (fun _ -> Hashtbl.create 64) in
+  Array.iteri (fun i input -> Hashtbl.replace trees.(i) [] input) inputs;
+  (* The level-r paths (length r) of distinct ids, built incrementally. *)
+  let level = ref [ [] ] in
+  for round = 1 to t + 1 do
+    (* Send: player i relays every level-(round-1) node it may extend
+       (its id not already in the chain). *)
+    for i = 0 to n - 1 do
+      match behavior i with
+      | Honest ->
+          let entries =
+            List.filter_map
+              (fun path ->
+                if List.mem i path then None
+                else
+                  Option.map (fun v -> (path, v)) (Hashtbl.find_opt trees.(i) path))
+              !level
+          in
+          if entries <> [] then Net.send_to_all net ~src:i (fun _ -> entries)
+      | Silent -> ()
+      | Fixed b ->
+          let entries =
+            List.filter_map
+              (fun path -> if List.mem i path then None else Some (path, b))
+              !level
+          in
+          if entries <> [] then Net.send_to_all net ~src:i (fun _ -> entries)
+      | Arbitrary f ->
+          for dst = 0 to n - 1 do
+            let entries =
+              List.filter_map
+                (fun path ->
+                  if List.mem i path then None
+                  else
+                    Option.map (fun v -> (path, v)) (f ~round ~dst ~path))
+                !level
+            in
+            if entries <> [] then Net.send net ~src:i ~dst entries
+          done
+    done;
+    let inbox = Net.deliver net in
+    (* Store: hearing (path, v) from j defines node path @ [j]. *)
+    for i = 0 to n - 1 do
+      List.iter
+        (fun (j, entries) ->
+          List.iter
+            (fun (path, v) ->
+              if (not (List.mem j path)) && List.mem path !level then
+                Hashtbl.replace trees.(i) (path @ [ j ]) v)
+            entries)
+        inbox.(i)
+    done;
+    (* Advance the level frontier. *)
+    level :=
+      List.concat_map
+        (fun path ->
+          List.filter_map
+            (fun j -> if List.mem j path then None else Some (path @ [ j ]))
+            (List.init n Fun.id))
+        !level
+  done;
+  (* Decide: recursive strict majority over children, defaulting to
+     false; leaves are the level-(t+1) nodes. *)
+  let decide i =
+    let tree = trees.(i) in
+    let rec resolve path depth =
+      if depth = t + 1 then
+        Option.value ~default:false (Hashtbl.find_opt tree path)
+      else begin
+        let children =
+          List.filter_map
+            (fun j ->
+              if List.mem j path then None else Some (resolve (path @ [ j ]) (depth + 1)))
+            (List.init n Fun.id)
+        in
+        let trues = List.length (List.filter Fun.id children) in
+        2 * trues > List.length children
+      end
+    in
+    resolve [] 0
+  in
+  Array.init n decide

@@ -1,0 +1,38 @@
+(** Exponential-information-gathering Byzantine agreement (EIG).
+
+    The classic [t + 1]-round deterministic BA for [n >= 3t + 1]
+    (Bar-Noy–Dolev–Dwork–Strong style, as presented by Lynch): players
+    relay everything they heard, building a tree of claims indexed by
+    relay chains of distinct players, then decide by recursive majority.
+
+    [Coin-Gen] step 10 says "run {e any} BA protocol"; this module is the
+    second implementation (next to {!Phase_king}) and exists chiefly for
+    the ablation bench: it matches phase-king's guarantees —
+
+    {ul
+    {- {b Agreement} and {b Validity} against any [<= t] Byzantine
+       players,}
+    {- {b Termination} after exactly [t + 1] rounds —}}
+
+    but its communication is [Theta(n^(t+1))] values against phase-king's
+    [O(t n^2)], which is why the frugal protocol is the default. Only
+    sensible for small [t]. *)
+
+type behavior =
+  | Honest
+  | Silent
+  | Fixed of bool  (** Claim this bit for every tree node, every round. *)
+  | Arbitrary of (round:int -> dst:int -> path:int list -> bool option)
+      (** Per-round, per-destination, per-node claims ([None] = omit the
+          node). *)
+
+val run :
+  ?behavior:(int -> behavior) ->
+  n:int ->
+  t:int ->
+  inputs:bool array ->
+  unit ->
+  bool array
+(** One agreement; result indexed by player (faulty entries
+    meaningless). Requires [n >= 3t + 1]; refuses [t > 4] (the tree
+    would be astronomically large). Ticks {!Metrics.tick_ba} once. *)

@@ -1,0 +1,160 @@
+type 'v dealer_behavior =
+  | Dealer_honest
+  | Dealer_silent
+  | Dealer_equivocate of (int -> 'v option)
+
+type 'v follower_behavior =
+  | Follower_honest
+  | Follower_silent
+  | Follower_fixed of 'v
+  | Follower_arbitrary of (round:int -> dst:int -> 'v option)
+
+type 'v outcome = { value : 'v option; confidence : int }
+
+(* The most-supported value among a list, with its support count. *)
+let best_supported ~equal received =
+  let rec count v = function
+    | [] -> 0
+    | w :: rest -> (if equal v w then 1 else 0) + count v rest
+  in
+  let rec scan best best_count = function
+    | [] -> (best, best_count)
+    | v :: rest ->
+        let c = count v received in
+        if c > best_count then scan (Some v) c rest else scan best best_count rest
+  in
+  scan None 0 received
+
+let run_all ?(dealer_behavior = fun _ -> Dealer_honest)
+    ?(follower_behavior = fun _ -> Follower_honest) ~equal ~byte_size ~n ~t
+    ~values () =
+  if n < (3 * t) + 1 then invalid_arg "Gradecast.run_all: requires n >= 3t+1";
+  for _ = 1 to n do
+    Metrics.tick_gradecast ()
+  done;
+  (* Messages are per-dealer-slot vectors; wire size is the sum of the
+     present entries. *)
+  let vec_size v =
+    Array.fold_left
+      (fun acc -> function Some x -> acc + byte_size x | None -> acc)
+      0 v
+  in
+  let net = Net.create ~n ~byte_size:vec_size in
+  (* Round 1: every dealer distributes its value in its own slot. *)
+  for d = 0 to n - 1 do
+    let slot dst =
+      let msg = Array.make n None in
+      (match dealer_behavior d with
+      | Dealer_honest -> msg.(d) <- Some (values d)
+      | Dealer_silent -> ()
+      | Dealer_equivocate f -> msg.(d) <- f dst);
+      msg
+    in
+    Net.send_to_all net ~src:d slot
+  done;
+  let inbox1 = Net.deliver net in
+  let received_from_dealer =
+    Array.init n (fun i ->
+        Array.init n (fun d ->
+            match List.assoc_opt d inbox1.(i) with
+            | Some msg -> msg.(d)
+            | None -> None))
+  in
+  (* A follower's echo vector for one round, given its honest choices. *)
+  let echo_round round honest_choices =
+    for i = 0 to n - 1 do
+      match follower_behavior i with
+      | Follower_honest ->
+          Net.send_to_all net ~src:i (fun _ -> honest_choices.(i))
+      | Follower_silent -> ()
+      | Follower_fixed v ->
+          Net.send_to_all net ~src:i (fun _ -> Array.make n (Some v))
+      | Follower_arbitrary f ->
+          for dst = 0 to n - 1 do
+            Net.send net ~src:i ~dst (Array.init n (fun _ -> f ~round ~dst))
+          done
+    done;
+    Net.deliver net
+  in
+  (* Round 2: echo what each dealer sent. *)
+  let inbox2 = echo_round 2 received_from_dealer in
+  (* Round 3: per slot, re-echo a value with n - t support. *)
+  let choices =
+    Array.init n (fun i ->
+        Array.init n (fun d ->
+            let echoes =
+              List.filter_map (fun (_, msg) -> msg.(d)) inbox2.(i)
+            in
+            match best_supported ~equal echoes with
+            | Some v, c when c >= n - t -> Some v
+            | _ -> None))
+  in
+  let inbox3 = echo_round 3 choices in
+  Array.init n (fun i ->
+      Array.init n (fun d ->
+          let echoes = List.filter_map (fun (_, msg) -> msg.(d)) inbox3.(i) in
+          match best_supported ~equal echoes with
+          | Some v, c when c >= n - t -> { value = Some v; confidence = 2 }
+          | Some v, c when c >= t + 1 -> { value = Some v; confidence = 1 }
+          | _ -> { value = None; confidence = 0 }))
+
+let run ?(dealer_behavior = Dealer_honest)
+    ?(follower_behavior = fun _ -> Follower_honest) ~equal ~byte_size ~n ~t
+    ~dealer ~value () =
+  if n < (3 * t) + 1 then invalid_arg "Gradecast.run: requires n >= 3t+1";
+  if dealer < 0 || dealer >= n then invalid_arg "Gradecast.run: bad dealer id";
+  Metrics.tick_gradecast ();
+  let net = Net.create ~n ~byte_size in
+  (* Round 1: the dealer distributes its value. *)
+  (match dealer_behavior with
+  | Dealer_honest -> Net.send_to_all net ~src:dealer (fun _ -> value)
+  | Dealer_silent -> ()
+  | Dealer_equivocate f ->
+      for dst = 0 to n - 1 do
+        match f dst with
+        | Some v -> Net.send net ~src:dealer ~dst v
+        | None -> ()
+      done);
+  let inbox1 = Net.deliver net in
+  let received_from_dealer =
+    Array.init n (fun i ->
+        List.assoc_opt dealer inbox1.(i))
+  in
+  (* A follower's sends for echo round [round], given its honest choice. *)
+  let follower_sends i ~round honest_choice =
+    match follower_behavior i with
+    | Follower_honest -> (
+        match honest_choice with
+        | Some v -> Net.send_to_all net ~src:i (fun _ -> v)
+        | None -> ())
+    | Follower_silent -> ()
+    | Follower_fixed v -> Net.send_to_all net ~src:i (fun _ -> v)
+    | Follower_arbitrary f ->
+        for dst = 0 to n - 1 do
+          match f ~round ~dst with
+          | Some v -> Net.send net ~src:i ~dst v
+          | None -> ()
+        done
+  in
+  (* Round 2: echo what the dealer sent. *)
+  for i = 0 to n - 1 do
+    follower_sends i ~round:2 received_from_dealer.(i)
+  done;
+  let inbox2 = Net.deliver net in
+  (* Round 3: re-echo a value supported by at least n - t first echoes. *)
+  for i = 0 to n - 1 do
+    let echoes = List.map snd inbox2.(i) in
+    let choice =
+      match best_supported ~equal echoes with
+      | Some v, c when c >= n - t -> Some v
+      | _ -> None
+    in
+    follower_sends i ~round:3 choice
+  done;
+  let inbox3 = Net.deliver net in
+  Array.init n (fun i ->
+      let echoes = List.map snd inbox3.(i) in
+      match best_supported ~equal echoes with
+      | Some v, c when c >= n - t -> { value = Some v; confidence = 2 }
+      | Some v, c when c >= t + 1 -> { value = Some v; confidence = 1 }
+      | _ -> { value = None; confidence = 0 })

@@ -1,0 +1,68 @@
+(** Grade-Cast — the three-round graded-broadcast primitive of Feldman
+    and Micali used by [Coin-Gen] step 7.
+
+    A designated dealer distributes a value over point-to-point channels;
+    every player outputs a value and a confidence in [{0, 1, 2}]. With
+    [n >= 3t + 1] the primitive guarantees (quoting the paper's summary):
+    {ul
+    {- if the dealer is honest, every honest player outputs the dealer's
+       value with confidence 2;}
+    {- "a confidence of 2 indicates that all other honest players have
+       seen the value": if any honest player outputs [(v, 2)], every
+       honest player outputs [v] with confidence [>= 1];}
+    {- honest players with confidence [>= 1] agree on the value.}}
+
+    Round structure: the dealer sends its value; everybody echoes what it
+    received; everybody re-echoes any value supported by [n - t] first
+    echoes; outputs are graded by the support of the second echo. *)
+
+type 'v dealer_behavior =
+  | Dealer_honest
+  | Dealer_silent
+  | Dealer_equivocate of (int -> 'v option)
+      (** Value (or silence) per destination — the canonical Byzantine
+          dealer. *)
+
+type 'v follower_behavior =
+  | Follower_honest
+  | Follower_silent
+  | Follower_fixed of 'v
+      (** Echo this value to everyone in both echo rounds, regardless of
+          what was received. *)
+  | Follower_arbitrary of (round:int -> dst:int -> 'v option)
+      (** Full per-round, per-destination control ([round] is 2 or 3). *)
+
+type 'v outcome = { value : 'v option; confidence : int }
+
+val run :
+  ?dealer_behavior:'v dealer_behavior ->
+  ?follower_behavior:(int -> 'v follower_behavior) ->
+  equal:('v -> 'v -> bool) ->
+  byte_size:('v -> int) ->
+  n:int ->
+  t:int ->
+  dealer:int ->
+  value:'v ->
+  unit ->
+  'v outcome array
+(** One grade-cast execution on a fresh synchronous network; the result
+    is indexed by player (entries of faulty players are computed but
+    meaningless). Ticks {!Metrics.tick_gradecast} once, plus the usual
+    message/round accounting. *)
+
+val run_all :
+  ?dealer_behavior:(int -> 'v dealer_behavior) ->
+  ?follower_behavior:(int -> 'v follower_behavior) ->
+  equal:('v -> 'v -> bool) ->
+  byte_size:('v -> int) ->
+  n:int ->
+  t:int ->
+  values:(int -> 'v) ->
+  unit ->
+  'v outcome array array
+(** All [n] players grade-cast simultaneously, each the dealer of its
+    own [values i], sharing the three rounds — the parallel composition
+    [Coin-Gen] step 7 uses. [result.(receiver).(dealer)] is what
+    [receiver] outputs for [dealer]'s cast. A follower behaviour applies
+    uniformly across all [n] dealer slots (its echo vector repeats the
+    lie per slot). Ticks [n] grade-casts but only 3 rounds. *)

@@ -1,0 +1,59 @@
+type 'v behavior =
+  | Honest
+  | Silent
+  | Fixed of 'v
+  | Arbitrary of (round:int -> dst:int -> 'v option option)
+
+(* Messages are ['v option]: a vote, or round 2's explicit ⊥. *)
+let run ?(behavior = fun _ -> Honest) ~ba ~equal ~byte_size ~n ~t ~inputs () =
+  if n < (3 * t) + 1 then invalid_arg "Multivalued_ba.run: requires n >= 3t+1";
+  if Array.length inputs <> n then invalid_arg "Multivalued_ba.run: inputs size";
+  let msg_size = function None -> 1 | Some v -> 1 + byte_size v in
+  let net = Net.create ~n ~byte_size:msg_size in
+  let exchange ~round honest_msg =
+    for i = 0 to n - 1 do
+      match behavior i with
+      | Honest -> Net.send_to_all net ~src:i (fun _ -> honest_msg i)
+      | Silent -> ()
+      | Fixed v -> Net.send_to_all net ~src:i (fun _ -> Some v)
+      | Arbitrary f ->
+          for dst = 0 to n - 1 do
+            match f ~round ~dst with
+            | Some msg -> Net.send net ~src:i ~dst msg
+            | None -> ()
+          done
+    done;
+    Net.deliver net
+  in
+  (* Count the occurrences of each distinct announced value. *)
+  let tallies inbox_i =
+    let votes = List.filter_map snd inbox_i in
+    let rec count v = function
+      | [] -> 0
+      | w :: rest -> (if equal v w then 1 else 0) + count v rest
+    in
+    List.map (fun v -> (v, count v votes)) votes
+  in
+  (* Round 1: raw inputs; keep a value only with n - t support. *)
+  let inbox = exchange ~round:1 (fun i -> Some inputs.(i)) in
+  let sieved =
+    Array.init n (fun i ->
+        match List.find_opt (fun (_, c) -> c >= n - t) (tallies inbox.(i)) with
+        | Some (v, _) -> Some v
+        | None -> None)
+  in
+  (* Round 2: sieved values (⊥ allowed); strong support feeds the binary
+     agreement, weak support (>= t+1, necessarily unique) names the
+     candidate. *)
+  let inbox = exchange ~round:2 (fun i -> sieved.(i)) in
+  let strong = Array.make n false in
+  let candidate = Array.make n None in
+  Array.iteri
+    (fun i inbox_i ->
+      let t_i = tallies inbox_i in
+      strong.(i) <- List.exists (fun (_, c) -> c >= n - t) t_i;
+      candidate.(i) <-
+        Option.map fst (List.find_opt (fun (_, c) -> c >= t + 1) t_i))
+    inbox;
+  let decisions = ba strong in
+  Array.init n (fun i -> if decisions.(i) then candidate.(i) else None)

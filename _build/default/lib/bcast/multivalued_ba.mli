@@ -1,0 +1,43 @@
+(** Multivalued Byzantine agreement from binary agreement (the
+    Turpin–Coan reduction, [n >= 3t + 1]).
+
+    The paper's protocols agree on richer values than bits — [Coin-Gen]
+    step 10 effectively decides a (leader, clique) proposal — and the
+    classic way to get there from a binary primitive is this reduction:
+    two vote rounds establish that at most one candidate value can have
+    honest support, then a binary BA decides whether that support was
+    strong enough to adopt it; otherwise everyone falls back to a
+    default.
+
+    Guarantees (for any [<= t] Byzantine players, given a correct binary
+    [ba]):
+    {ul
+    {- {b Agreement}: all honest players output the same value;}
+    {- {b Validity}: if all honest players start with [v], they output
+       [Some v];}
+    {- {b Non-triviality}: [None] (the default) is only possible when
+       honest inputs disagree.}}
+
+    Like {!Broadcast_protocol}, the binary BA is a parameter: plug in
+    {!Phase_king}, {!Eig_ba}, or a pool-fed common-coin BA. *)
+
+type 'v behavior =
+  | Honest
+  | Silent
+  | Fixed of 'v  (** Vote this value in both rounds. *)
+  | Arbitrary of (round:int -> dst:int -> 'v option option)
+      (** [None] = silent to that destination; [Some w] sends [w]
+          ([w = None] encodes round 2's explicit ⊥). *)
+
+val run :
+  ?behavior:(int -> 'v behavior) ->
+  ba:(bool array -> bool array) ->
+  equal:('v -> 'v -> bool) ->
+  byte_size:('v -> int) ->
+  n:int ->
+  t:int ->
+  inputs:'v array ->
+  unit ->
+  'v option array
+(** Per-player outcome; honest entries are all equal. [None] means the
+    players agreed to fall back to the application's default. *)

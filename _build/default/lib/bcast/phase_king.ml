@@ -1,0 +1,55 @@
+type behavior =
+  | Honest
+  | Silent
+  | Fixed of bool
+  | Arbitrary of (phase:int -> round:int -> dst:int -> bool option)
+
+let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
+  if n < (4 * t) + 1 then invalid_arg "Phase_king.run: requires n >= 4t+1";
+  if Array.length inputs <> n then invalid_arg "Phase_king.run: inputs size";
+  Metrics.tick_ba ();
+  let net = Net.create ~n ~byte_size:(fun _ -> 1) in
+  let pref = Array.copy inputs in
+  let sends i ~phase ~round honest_bit =
+    match behavior i with
+    | Honest -> Net.send_to_all net ~src:i (fun _ -> honest_bit)
+    | Silent -> ()
+    | Fixed b -> Net.send_to_all net ~src:i (fun _ -> b)
+    | Arbitrary f ->
+        for dst = 0 to n - 1 do
+          match f ~phase ~round ~dst with
+          | Some b -> Net.send net ~src:i ~dst b
+          | None -> ()
+        done
+  in
+  for phase = 0 to t do
+    (* Round 1: universal exchange of preferences; a missing message
+       counts as 0. *)
+    for i = 0 to n - 1 do
+      sends i ~phase ~round:1 pref.(i)
+    done;
+    let inbox = Net.deliver net in
+    let majority = Array.make n false and support = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let ones =
+        List.length (List.filter (fun (_, b) -> b) inbox.(i))
+      in
+      let zeros = n - ones in
+      majority.(i) <- ones > zeros;
+      support.(i) <- max ones zeros
+    done;
+    (* Round 2: the phase king proposes its majority value. *)
+    let king = phase mod n in
+    sends king ~phase ~round:2 majority.(king);
+    let inbox = Net.deliver net in
+    for i = 0 to n - 1 do
+      let king_bit =
+        match List.assoc_opt king inbox.(i) with Some b -> b | None -> false
+      in
+      (* Keep own majority only when its support is unambiguous even
+         against t lies; otherwise defer to the king. *)
+      if support.(i) > (n / 2) + t then pref.(i) <- majority.(i)
+      else pref.(i) <- king_bit
+    done
+  done;
+  pref

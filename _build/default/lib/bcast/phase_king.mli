@@ -1,0 +1,33 @@
+(** Deterministic binary Byzantine agreement (phase-king).
+
+    [Coin-Gen] step 10 "run[s] any BA protocol"; the paper explicitly
+    assumes deterministic BA for simplicity ("we shall assume in this
+    presentation that deterministic BA is carried out", Section 1.2).
+    This is the classic phase-king algorithm: [t + 1] phases of two
+    rounds each, king [k] in phase [k]. The simple variant implemented
+    here requires [n > 4t] — amply satisfied in the D-PRBG's
+    [n >= 6t + 1] model — and guarantees, for any Byzantine behaviour of
+    [<= t] players:
+    {ul
+    {- {b Agreement}: all honest players decide the same bit;}
+    {- {b Validity}: if all honest players start with [b], they decide
+       [b];}
+    {- {b Termination}: after exactly [t + 1] phases.}} *)
+
+type behavior =
+  | Honest
+  | Silent
+  | Fixed of bool  (** Send this bit everywhere, every round. *)
+  | Arbitrary of (phase:int -> round:int -> dst:int -> bool option)
+      (** Full control; [round] is 1 (exchange) or 2 (king). *)
+
+val run :
+  ?behavior:(int -> behavior) ->
+  n:int ->
+  t:int ->
+  inputs:bool array ->
+  unit ->
+  bool array
+(** One agreement on a fresh network; result indexed by player (faulty
+    entries meaningless). Requires [n >= 4t + 1]. Ticks
+    {!Metrics.tick_ba} once. *)

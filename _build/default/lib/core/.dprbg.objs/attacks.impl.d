@@ -1,0 +1,1 @@
+lib/core/attacks.ml: Array Coin_gen Field_intf Gradecast List Metrics Net Phase_king Prng Vss

@@ -1,0 +1,1 @@
+lib/core/attacks.mli: Coin_gen Field_intf Net Prng

@@ -1,0 +1,1 @@
+lib/core/bit_gen.ml: Array Berlekamp_welch Field_intf Fun List Net Option Poly Shamir Vss Wire

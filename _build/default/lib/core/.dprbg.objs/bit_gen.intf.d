@@ -1,0 +1,1 @@
+lib/core/bit_gen.mli: Field_intf Poly Prng

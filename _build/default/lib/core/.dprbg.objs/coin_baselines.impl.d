@@ -1,0 +1,1 @@
+lib/core/coin_baselines.ml: Array Berlekamp_welch Field_intf List Metrics Shamir

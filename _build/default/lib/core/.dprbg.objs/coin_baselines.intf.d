@@ -1,0 +1,1 @@
+lib/core/coin_baselines.mli: Field_intf Prng

@@ -1,0 +1,1 @@
+lib/core/coin_expose.ml: Array Berlekamp_welch Field_intf List Net Option Poly Sealed_coin Shamir

@@ -1,0 +1,1 @@
+lib/core/coin_expose.mli: Field_intf Sealed_coin

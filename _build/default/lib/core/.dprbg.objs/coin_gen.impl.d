@@ -1,0 +1,1 @@
+lib/core/coin_gen.ml: Array Bit_gen Field_intf Fun Gradecast List Logs Net Option Phase_king Player_graph Poly Sealed_coin Shamir String Vss Wire

@@ -1,0 +1,1 @@
+lib/core/coin_gen.mli: Bit_gen Field_intf Gradecast Net Phase_king Poly Prng Sealed_coin

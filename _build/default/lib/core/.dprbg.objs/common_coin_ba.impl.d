@@ -1,0 +1,1 @@
+lib/core/common_coin_ba.ml: Array Fun List Metrics Net

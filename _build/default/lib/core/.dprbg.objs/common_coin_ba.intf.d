@@ -1,0 +1,1 @@
+lib/core/common_coin_ba.mli:

@@ -1,0 +1,1 @@
+lib/core/dprbg_version.ml:

@@ -1,0 +1,1 @@
+lib/core/pool.ml: Array Coin_expose Coin_gen Common_coin_ba Field_intf Hashtbl List Logs Phase_king Prng Refresh Sealed_coin Wire

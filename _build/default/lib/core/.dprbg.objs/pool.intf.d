@@ -1,0 +1,1 @@
+lib/core/pool.mli: Coin_expose Coin_gen Field_intf Prng Sealed_coin

@@ -1,0 +1,1 @@
+lib/core/randomness.ml: Array Field_intf Fun List

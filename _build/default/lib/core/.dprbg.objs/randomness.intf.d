@@ -1,0 +1,1 @@
+lib/core/randomness.mli: Field_intf

@@ -1,0 +1,1 @@
+lib/core/refresh.ml: Array Coin_gen Field_intf List Sealed_coin

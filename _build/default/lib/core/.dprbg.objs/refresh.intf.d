@@ -1,0 +1,1 @@
+lib/core/refresh.mli: Coin_gen Field_intf Prng Sealed_coin

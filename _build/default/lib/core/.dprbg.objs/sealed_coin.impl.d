@@ -1,0 +1,1 @@
+lib/core/sealed_coin.ml: Array Bytes Field_intf List Metrics Option Shamir Wire

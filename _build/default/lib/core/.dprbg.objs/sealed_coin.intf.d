@@ -1,0 +1,1 @@
+lib/core/sealed_coin.mli: Field_intf Prng Wire

@@ -1,0 +1,90 @@
+module Make (F : Field_intf.S) = struct
+  module CG = Coin_gen.Make (F)
+  module V = Vss.Make (F)
+
+  let unanimity_attack_matrix g ~n ~t ~m =
+    Metrics.without_counting (fun () ->
+        (* Distinct non-zero root guesses; the acceptance set is
+           {0} ∪ (first m-1 of them) — see
+           Vss.batch_targeted_cheating_dealing. *)
+        let space = min ((1 lsl min F.k_bits 20) - 1) 100_000 in
+        let roots =
+          Array.of_list
+            (List.map
+               (fun i -> F.of_int (i + 1))
+               (Prng.sample_distinct g m space))
+        in
+        V.batch_targeted_cheating_dealing g ~n ~t ~roots)
+
+  let mixed_adversary g ~n ~m faults =
+    let dealer i =
+      if Net.Faults.is_honest faults i then CG.BG.Honest_dealer
+      else
+        match Prng.int g 4 with
+        | 0 -> CG.BG.Silent_dealer
+        | 1 -> CG.BG.Bad_degree [ Prng.int g m ]
+        | 2 -> CG.BG.Inconsistent_to (Prng.sample_distinct g 2 n)
+        | _ -> CG.BG.Honest_dealer
+    in
+    let gamma i =
+      if Net.Faults.is_honest faults i then CG.Honest_vec
+      else
+        match Prng.int g 3 with
+        | 0 -> CG.Silent_vec
+        | 1 ->
+            let noise =
+              Array.init n (fun _ ->
+                  Array.init n (fun _ ->
+                      if Prng.bool g then Some (F.random g) else None))
+            in
+            CG.Arbitrary_vec (fun dst -> noise.(dst))
+        | _ -> CG.Honest_vec
+    in
+    let gradecast_dealer i =
+      if Net.Faults.is_honest faults i then Gradecast.Dealer_honest
+      else
+        match Prng.int g 3 with
+        | 0 -> Gradecast.Dealer_silent
+        | 1 ->
+            let bogus = { CG.clique = [ 0; 1 ]; polys = [] } in
+            Gradecast.Dealer_equivocate
+              (fun dst -> if dst mod 2 = 0 then Some bogus else None)
+        | _ -> Gradecast.Dealer_honest
+    in
+    let gradecast_follower i =
+      if Net.Faults.is_honest faults i then Gradecast.Follower_honest
+      else if Prng.bool g then Gradecast.Follower_silent
+      else Gradecast.Follower_honest
+    in
+    let ba i =
+      if Net.Faults.is_honest faults i then Phase_king.Honest
+      else
+        match Prng.int g 3 with
+        | 0 -> Phase_king.Silent
+        | 1 -> Phase_king.Fixed (Prng.bool g)
+        | _ -> Phase_king.Honest
+    in
+    (* Materialize every player's strategy now so the adversary is a
+       fixed (pure) strategy rather than fresh randomness per query. *)
+    let strategies =
+      Array.init n (fun i ->
+          (dealer i, gamma i, gradecast_dealer i, gradecast_follower i, ba i))
+    in
+    let pick f i =
+      let d, gm, gd, gf, b = strategies.(i) in
+      f (d, gm, gd, gf, b)
+    in
+    {
+      CG.as_dealer = pick (fun (d, _, _, _, _) -> d);
+      as_gamma = pick (fun (_, gm, _, _, _) -> gm);
+      as_gradecast_dealer = pick (fun (_, _, gd, _, _) -> gd);
+      as_gradecast_follower = pick (fun (_, _, _, gf, _) -> gf);
+      as_ba = pick (fun (_, _, _, _, b) -> b);
+    }
+
+  let worst_case_ba_blocker faults =
+    CG.faulty_with ~as_dealer:CG.BG.Honest_dealer ~as_gamma:CG.Honest_vec
+      ~as_gradecast_dealer:Gradecast.Dealer_honest
+      ~as_gradecast_follower:Gradecast.Follower_honest
+      ~as_ba:(Phase_king.Fixed false) faults
+end

@@ -1,0 +1,39 @@
+(** A library of Byzantine strategies.
+
+    Soundness claims are only as strong as the attacks they are measured
+    against, so the adversaries used by the test-suite and the
+    experiment harness are first-class citizens here rather than ad-hoc
+    test code. Two kinds:
+
+    {ul
+    {- {b optimal attacks} that meet the paper's probability bounds with
+       equality (the Lemma-1/Lemma-3 cheaters live in {!Vss.Make}; the
+       Bit-Gen port for the unanimity bound lives here);}
+    {- {b randomized mixed strategies} exercising every sub-protocol at
+       once, for property tests and the Lemma-7/8 experiments.}} *)
+
+module Make (F : Field_intf.S) : sig
+  module CG : module type of Coin_gen.Make (F)
+
+  val unanimity_attack_matrix :
+    Prng.t -> n:int -> t:int -> m:int -> F.t array array
+  (** The E14 dealing: [m] sharings of degree [t + 1] whose Horner
+      combination collapses to degree [t] exactly when the check coin
+      lands in a prescribed [m]-element set — a faulty dealer playing
+      this slips into the clique with probability [m/p] and poisons the
+      batch's coins (the mechanism behind the [M n 2^-k] unanimity
+      bound). Construction is attacker bookkeeping: uncounted. *)
+
+  val mixed_adversary :
+    Prng.t -> n:int -> m:int -> Net.Faults.t -> CG.adversary
+  (** A randomized combination of misbehaviours for every faulty player:
+      bad-degree / inconsistent / silent dealing, silent or garbage
+      gamma vectors, silent or equivocating grade-casts, and hostile BA
+      votes. Honest players map to the honest behaviours. The random
+      choices are drawn from the given generator at construction time,
+      so the resulting adversary is a pure strategy. *)
+
+  val worst_case_ba_blocker : Net.Faults.t -> CG.adversary
+  (** Faulty players behave honestly in the sharing phases but vote
+      every agreement down — the Lemma-8 worst case for termination. *)
+end

@@ -1,0 +1,142 @@
+module Make (F : Field_intf.S) = struct
+  module P = Poly.Make (F)
+  module S = Shamir.Make (F)
+  module V = Vss.Make (F)
+  module BW = Berlekamp_welch.Make (F)
+  module Codec = Wire.Codec (F)
+
+  type dealer_behavior =
+    | Honest_dealer
+    | Honest_zero_dealer
+    | Silent_dealer
+    | Bad_degree of int list
+    | Inconsistent_to of int list
+    | Matrix of F.t array array
+
+  type gamma_behavior =
+    | Honest_gamma
+    | Silent_gamma
+    | Fixed_gamma of F.t
+    | Gamma_per_dst of (int -> F.t option)
+
+  type player_view = {
+    received : F.t array option;
+    check_poly : P.t option;
+    support : bool array;
+    gammas : F.t option array;
+  }
+
+  (* The dealer's share matrix: shares.(i).(h) is player i's share of
+     secret h. *)
+  let deal_matrix behavior g ~n ~t ~m =
+    let honest_poly () = S.share_poly g ~t ~secret:(F.random g) in
+    let zero_poly () = S.share_poly g ~t ~secret:F.zero in
+    match behavior with
+    | Silent_dealer -> None
+    | Matrix matrix ->
+        if
+          Array.length matrix <> n
+          || Array.exists (fun row -> Array.length row <> m) matrix
+        then invalid_arg "Bit_gen: explicit matrix has wrong dimensions";
+        Some matrix
+    | Honest_dealer | Honest_zero_dealer | Bad_degree _ | Inconsistent_to _ ->
+        let polys =
+          Array.init m (fun h ->
+              match behavior with
+              | Bad_degree bad when List.mem h bad ->
+                  P.add (honest_poly ())
+                    (P.monomial (F.random_nonzero g) (t + 1))
+              | Honest_zero_dealer -> zero_poly ()
+              | Honest_dealer | Bad_degree _ | Inconsistent_to _ ->
+                  honest_poly ()
+              | Silent_dealer | Matrix _ -> assert false)
+        in
+        let matrix =
+          Array.init n (fun i ->
+              Array.init m (fun h -> P.eval polys.(h) (S.eval_point i)))
+        in
+        (match behavior with
+        | Inconsistent_to victims ->
+            List.iter
+              (fun i ->
+                if i < 0 || i >= n then
+                  invalid_arg "Bit_gen: victim id out of range";
+                matrix.(i) <- Array.init m (fun _ -> F.random g))
+              victims
+        | Honest_dealer | Honest_zero_dealer | Bad_degree _ | Silent_dealer
+        | Matrix _ -> ());
+        Some matrix
+
+  (* Fig. 4 step 5: decode F through the gammas with >= n - t support. *)
+  let decode_check ~n ~t gammas =
+    let points =
+      List.filter_map
+        (fun k -> Option.map (fun v -> (S.eval_point k, v)) gammas.(k))
+        (List.init n Fun.id)
+    in
+    let m_pts = List.length points in
+    if m_pts < n - t then (None, Array.make n false)
+    else
+      let e = (m_pts - t - 1) / 2 in
+      match BW.decode_with_support ~max_degree:t ~max_errors:e points with
+      | Some (f, support) when List.length support >= n - t ->
+          let in_support =
+            Array.init n (fun k ->
+                match gammas.(k) with
+                | Some v -> F.equal (P.eval f (S.eval_point k)) v
+                | None -> false)
+          in
+          (Some f, in_support)
+      | Some _ | None -> (None, Array.make n false)
+
+  let run ?(dealer_behavior = Honest_dealer)
+      ?(gamma_behavior = fun _ -> Honest_gamma) ~prng ~n ~t ~m ~dealer ~r () =
+    if n < (3 * t) + 1 then invalid_arg "Bit_gen.run: requires n >= 3t+1";
+    if dealer < 0 || dealer >= n then invalid_arg "Bit_gen.run: bad dealer id";
+    if m < 1 then invalid_arg "Bit_gen.run: m must be positive";
+    (* Round 1: dealing. One vector message of m elements per player. *)
+    let matrix = deal_matrix dealer_behavior prng ~n ~t ~m in
+    let share_net =
+      Net.create ~n ~byte_size:(fun v -> Codec.elt_array_size (Array.length v))
+    in
+    (match matrix with
+    | None -> ()
+    | Some matrix ->
+        Net.send_to_all share_net ~src:dealer (fun dst -> matrix.(dst)));
+    let inbox = Net.deliver share_net in
+    let received =
+      Array.init n (fun i ->
+          match List.assoc_opt dealer inbox.(i) with
+          | Some v when Array.length v = m -> Some v
+          | Some _ | None -> None)
+    in
+    (* (The check coin r was exposed between the rounds, by the caller.) *)
+    (* Round 2: everyone announces its combined share gamma_i. *)
+    let gamma_net = Net.create ~n ~byte_size:(fun _ -> F.byte_size) in
+    for i = 0 to n - 1 do
+      match gamma_behavior i with
+      | Honest_gamma -> (
+          match received.(i) with
+          | Some shares ->
+              let gamma = V.combine ~r shares in
+              Net.send_to_all gamma_net ~src:i (fun _ -> gamma)
+          | None -> ())
+      | Silent_gamma -> ()
+      | Fixed_gamma v -> Net.send_to_all gamma_net ~src:i (fun _ -> v)
+      | Gamma_per_dst f ->
+          for dst = 0 to n - 1 do
+            match f dst with
+            | Some v -> Net.send gamma_net ~src:i ~dst v
+            | None -> ()
+          done
+    done;
+    let inbox = Net.deliver gamma_net in
+    let views =
+      Array.init n (fun i ->
+          let gammas = Array.make n None in
+          List.iter (fun (k, v) -> gammas.(k) <- Some v) inbox.(i);
+          let check_poly, support = decode_check ~n ~t gammas in
+          { received = received.(i); check_poly; support; gammas })
+    in
+    (views, matrix)
+end

@@ -1,0 +1,69 @@
+module Make (F : Field_intf.S) = struct
+  module C = Sealed_coin.Make (F)
+  module S = Shamir.Make (F)
+  module P = Poly.Make (F)
+  module BW = Berlekamp_welch.Make (F)
+
+  type sender_behavior =
+    | Honest
+    | Silent
+    | Send of F.t
+    | Equivocate of (int -> F.t option)
+
+  (* The single communication round both decoders share: everyone sends
+     its share of the coin to everyone. *)
+  let send_round ?(sender_behavior = fun _ -> Honest) (coin : C.t) =
+    let n = coin.C.n in
+    let net = Net.create ~n ~byte_size:(fun _ -> F.byte_size) in
+    for i = 0 to n - 1 do
+      match sender_behavior i with
+      | Honest -> Net.send_to_all net ~src:i (fun _ -> coin.C.shares.(i))
+      | Silent -> ()
+      | Send v -> Net.send_to_all net ~src:i (fun _ -> v)
+      | Equivocate f ->
+          for dst = 0 to n - 1 do
+            match f dst with
+            | Some v -> Net.send net ~src:i ~dst v
+            | None -> ()
+          done
+    done;
+    Net.deliver net
+
+  let trusted_points coin i inbox_i =
+    List.filter_map
+      (fun (j, v) ->
+        if C.trusted_row coin i j then Some (S.eval_point j, v) else None)
+      inbox_i
+
+  let run ?sender_behavior (coin : C.t) =
+    let n = coin.C.n and t = coin.C.fault_bound in
+    let inbox = send_round ?sender_behavior coin in
+    Array.init n (fun i ->
+        let points = trusted_points coin i inbox.(i) in
+        let m = List.length points in
+        let e = (m - t - 1) / 2 in
+        if e < 0 then None
+        else
+          match BW.decode ~max_degree:t ~max_errors:e points with
+          | None -> None
+          | Some f -> Some (BW.P.eval f F.zero))
+
+  let expose_bit ?sender_behavior coin =
+    Array.map
+      (Option.map (fun v -> F.lsb v = 1))
+      (run ?sender_behavior coin)
+
+  let run_lagrange ?sender_behavior (coin : C.t) =
+    let n = coin.C.n and t = coin.C.fault_bound in
+    let inbox = send_round ?sender_behavior coin in
+    Array.init n (fun i ->
+        let points = trusted_points coin i inbox.(i) in
+        let rec take k = function
+          | [] -> []
+          | _ when k = 0 -> []
+          | p :: rest -> p :: take (k - 1) rest
+        in
+        let points = take (t + 1) points in
+        if List.length points < t + 1 then None
+        else Some (P.interpolate_at points F.zero))
+end

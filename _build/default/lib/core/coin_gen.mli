@@ -1,0 +1,136 @@
+(** Protocol [Coin-Gen] (Fig. 5): the D-PRBG's stretching step.
+
+    All [n] players run [Bit-Gen] in parallel (each as the dealer of [M]
+    secrets), re-using a single exposed check coin [r] across all [n]
+    invocations (the Theorem-2 remark: this saves [n] interpolations).
+    Each player then builds a local directed graph — an edge [(j, k)]
+    when [P_k]'s combined share verified against dealer [j]'s check
+    polynomial — takes its bidirectional core, extracts a clique of size
+    [>= n - 2t], and grade-casts the clique together with the check
+    polynomials. A second exposed coin picks a leader [l]; a Byzantine
+    agreement decides whether [P_l]'s proposal is good (confidence 2,
+    clique size [>= 4t + 1], and at least [3t + 1] members whose shares
+    verify against {e every} clique member's polynomial — conditions
+    i-iii of step 10); on failure a new leader is drawn.
+
+    The output batch packages, for each of the [M] coins, player [i]'s
+    summed share over the agreed clique of dealers, plus player [i]'s
+    trusted-sender set for exposure (see {!Sealed_coin} and
+    {!Coin_expose}). Lemma 7 gives the clique guarantees, Lemma 8
+    constant expected BA iterations, Theorem 2 / Corollary 3 the costs.
+
+    Model: [n >= 6t + 1], point-to-point channels only (Section 4).
+
+    Concretization note: the paper leaves the post-BA choice of the
+    exposure set [S] implicit. We keep it per-player — player [i] trusts
+    [j] iff [j]'s combined shares verified against every agreed dealer's
+    polynomial {e in [i]'s own view}. Honest players' trusted sets then
+    all contain the [>= 2t + 1] honest members of the certified set
+    (honest senders look identical to everyone), and each faulty trusted
+    sender adds one point and at most one error, so Berlekamp–Welch
+    decodes the same polynomial for every honest player — unanimity
+    without any extra agreement. *)
+
+module Make (F : Field_intf.S) : sig
+  module C : module type of Sealed_coin.Make (F)
+  module BG : module type of Bit_gen.Make (F)
+  module P : module type of Poly.Make (F)
+
+  (** What a player grade-casts in step 7: its clique and the check
+      polynomials (as coefficient vectors) of the clique members. *)
+  type payload = { clique : int list; polys : (int * F.t array) list }
+
+  val payload_equal : payload -> payload -> bool
+
+  type gamma_vector_behavior =
+    | Honest_vec
+    | Silent_vec
+    | Arbitrary_vec of (int -> F.t option array)
+        (** Per-destination gamma vectors (slot [j] = combined share for
+            dealer [j]). *)
+
+  (** A full Byzantine strategy: how each faulty player misbehaves in
+      every sub-protocol. Honest players must be mapped to the honest
+      constructors (the driver consults this for every player). *)
+  type adversary = {
+    as_dealer : int -> BG.dealer_behavior;
+    as_gamma : int -> gamma_vector_behavior;
+    as_gradecast_dealer : int -> payload Gradecast.dealer_behavior;
+    as_gradecast_follower : int -> payload Gradecast.follower_behavior;
+    as_ba : int -> Phase_king.behavior;
+  }
+
+  val honest_adversary : adversary
+
+  val faulty_with :
+    ?as_dealer:BG.dealer_behavior ->
+    ?as_gamma:gamma_vector_behavior ->
+    ?as_gradecast_dealer:payload Gradecast.dealer_behavior ->
+    ?as_gradecast_follower:payload Gradecast.follower_behavior ->
+    ?as_ba:Phase_king.behavior ->
+    Net.Faults.t ->
+    adversary
+  (** Uniform strategy: every faulty player in the fault set uses the
+      given behaviours (defaults: silent); honest players honest. *)
+
+  type batch = {
+    n : int;
+    fault_bound : int;
+    m : int;
+    dealers : int list;  (** the agreed clique [C_l] *)
+    shares : F.t array array;
+        (** [shares.(i).(h)]: player [i]'s share of coin [h] — the sum
+            of what the clique dealers gave it. *)
+    trusted : bool array array;
+        (** [trusted.(i).(j)]: player [i] accepts [j]'s exposure
+            messages. *)
+    ba_iterations : int;  (** leader draws until BA accepted (Lemma 8) *)
+    seed_coins_consumed : int;
+        (** 1 for [r] plus one per BA iteration. *)
+  }
+
+  val run :
+    ?adversary:adversary ->
+    ?max_ba_iterations:int ->
+    ?share_check_coin:bool ->
+    ?ba:(bool array -> bool array) ->
+    ?zero_secrets:bool ->
+    prng:Prng.t ->
+    oracle:(unit -> F.t) ->
+    n:int ->
+    t:int ->
+    m:int ->
+    unit ->
+    batch option
+  (** One full execution producing [m] fresh sealed coins. [oracle]
+      supplies the (already-sealed) seed coins' exposed values — the
+      bootstrap pool wires it to real {!Coin_expose} runs; tests may use
+      an ideal oracle. [None] only if [max_ba_iterations] (default 64)
+      leader draws all failed — a probability-[<= (t/n)^max] event.
+
+      [share_check_coin] (default [true]) is the Theorem-2 optimization:
+      "n polynomial interpolations have been saved by using the same
+      coin for all the invocations of Bit-Gen". Setting it to [false]
+      draws a separate check coin per dealer — the ablation the
+      benchmark's A2 table measures; the protocol's guarantees hold
+      either way.
+
+      [ba] overrides the agreement sub-protocol of step 10 ("Run any BA
+      protocol") — it receives the players' inputs and must return their
+      decisions. Default: {!Phase_king} driven by the adversary's
+      [as_ba] behaviours; the benchmark's A4 table plugs in {!Eig_ba}
+      instead.
+
+      [zero_secrets] (default [false]) runs the batch in {!Refresh} mode:
+      honest dealers should use [Honest_zero_dealer] and verifiers
+      additionally reject any check polynomial with a non-zero constant
+      term, so every accepted sharing hides zero (up to the usual [M/p]
+      soundness). The resulting batch is a mask, not a coin supply. *)
+
+  val coin : batch -> int -> C.t
+  (** [coin batch h] views coin [h] of the batch as a sealed coin for
+      {!Coin_expose}. *)
+
+  val leader_index : F.t -> n:int -> int
+  (** Step 9: map an exposed coin to a leader id in [0, n). *)
+end

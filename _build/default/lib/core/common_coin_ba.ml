@@ -1,0 +1,90 @@
+type behavior =
+  | Honest
+  | Silent
+  | Fixed of bool
+  | Arbitrary of (phase:int -> round:int -> dst:int -> bool option option)
+
+type result = {
+  decisions : bool array;
+  phases : int;
+  coins_used : int;
+}
+
+(* Messages are [bool option]: [Some b] is a vote, [None] is round 2's
+   explicit ⊥. *)
+let run ?(behavior = fun _ -> Honest) ~coin ~n ~t ~max_phases ~inputs () =
+  if n < (3 * t) + 1 then invalid_arg "Common_coin_ba.run: requires n >= 3t+1";
+  if Array.length inputs <> n then invalid_arg "Common_coin_ba.run: inputs size";
+  Metrics.tick_ba ();
+  let honest i = match behavior i with Honest -> true | Silent | Fixed _ | Arbitrary _ -> false in
+  let net = Net.create ~n ~byte_size:(fun _ -> 1) in
+  let votes = Array.copy inputs in
+  let decided = Array.make n None in
+  let coins_used = ref 0 in
+  let sends ~phase ~round honest_msg =
+    for i = 0 to n - 1 do
+      match behavior i with
+      | Honest -> Net.send_to_all net ~src:i (fun _ -> honest_msg i)
+      | Silent -> ()
+      | Fixed b -> Net.send_to_all net ~src:i (fun _ -> Some b)
+      | Arbitrary f ->
+          for dst = 0 to n - 1 do
+            match f ~phase ~round ~dst with
+            | Some msg -> Net.send net ~src:i ~dst msg
+            | None -> ()
+          done
+    done;
+    Net.deliver net
+  in
+  let count inbox value =
+    List.length (List.filter (fun (_, msg) -> msg = value) inbox)
+  in
+  let rec phase_loop phase =
+    if phase >= max_phases then None
+    else begin
+      (* Round 1: votes. *)
+      let inbox = sends ~phase ~round:1 (fun i -> Some votes.(i)) in
+      let prefer =
+        Array.init n (fun i ->
+            if count inbox.(i) (Some true) >= n - t then Some true
+            else if count inbox.(i) (Some false) >= n - t then Some false
+            else None)
+      in
+      (* Round 2: preferences, with explicit ⊥. *)
+      let inbox = sends ~phase ~round:2 (fun i -> prefer.(i)) in
+      (* One shared coin for the whole phase. *)
+      let c = coin () in
+      incr coins_used;
+      for i = 0 to n - 1 do
+        let support b = count inbox.(i) (Some b) in
+        let strong b = support b >= n - t and weak b = support b >= t + 1 in
+        if strong true then begin
+          decided.(i) <- Some true;
+          votes.(i) <- true
+        end
+        else if strong false then begin
+          decided.(i) <- Some false;
+          votes.(i) <- false
+        end
+        else if weak true && not (weak false) then votes.(i) <- true
+        else if weak false && not (weak true) then votes.(i) <- false
+        else votes.(i) <- c
+      done;
+      let all_honest_decided =
+        List.for_all
+          (fun i -> (not (honest i)) || decided.(i) <> None)
+          (List.init n Fun.id)
+      in
+      if all_honest_decided then
+        Some
+          {
+            decisions =
+              Array.init n (fun i ->
+                  match decided.(i) with Some b -> b | None -> votes.(i));
+            phases = phase + 1;
+            coins_used = !coins_used;
+          }
+      else phase_loop (phase + 1)
+    end
+  in
+  phase_loop 0

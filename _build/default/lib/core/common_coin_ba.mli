@@ -1,0 +1,52 @@
+(** Randomized Byzantine agreement driven by a shared common coin — the
+    flagship application class the paper targets ("Shared coins are
+    needed, amongst other things, for Byzantine agreement (BA) and
+    broadcast", Section 1.1).
+
+    A Ben-Or-style phase protocol for [n >= 3t + 1] where the fallback
+    randomness is one {e common} coin per phase (all players see the same
+    bit — exactly what the D-PRBG pool supplies) instead of private local
+    coins, giving constant expected phases instead of exponential:
+
+    {ul
+    {- {b Round 1}: broadcast the current vote; adopt [w = b] if some
+       value [b] arrives [>= n - t] times, else [w = ⊥].}
+    {- {b Round 2}: broadcast [w]; decide [b] on [>= n - t] support,
+       prefer [b] on [>= t + 1] support, otherwise adopt the phase's
+       common coin.}}
+
+    Each phase consumes one common coin; with probability [>= 1/2] the
+    coin matches any value the adversary forced a preference for, so the
+    expected number of phases is at most 4 regardless of scheduling.
+
+    The per-phase coin arrives through a callback, so callers plug in
+    {!Pool.draw_bit} (the bootstrapped D-PRBG), a dealer coin, or a test
+    stub. *)
+
+type behavior =
+  | Honest
+  | Silent
+  | Fixed of bool  (** Vote this bit in every round. *)
+  | Arbitrary of (phase:int -> round:int -> dst:int -> bool option option)
+      (** Full control: [None] = silent to that destination; [Some v] =
+          send [v] ([v = None] encodes [⊥] in round 2). *)
+
+type result = {
+  decisions : bool array;  (** per player; meaningful for honest players *)
+  phases : int;  (** phases executed until every honest player decided *)
+  coins_used : int;
+}
+
+val run :
+  ?behavior:(int -> behavior) ->
+  coin:(unit -> bool) ->
+  n:int ->
+  t:int ->
+  max_phases:int ->
+  inputs:bool array ->
+  unit ->
+  result option
+(** [None] if some honest player is still undecided after [max_phases]
+    (probability [<= 2^-max_phases] against any adversary). Honest
+    players are the ones whose [behavior] is [Honest]. Requires
+    [n >= 3t + 1] and at most [t] non-honest behaviours. *)

@@ -1,0 +1,3 @@
+(** Library version string (also reported by the CLI's [--version]). *)
+
+val version : string

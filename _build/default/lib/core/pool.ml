@@ -1,0 +1,320 @@
+let log_src = Logs.Src.create "dprbg.pool" ~doc:"Bootstrap pool events"
+
+module Log = (val Logs.src_log log_src)
+
+module Make (F : Field_intf.S) = struct
+  module C = Sealed_coin.Make (F)
+  module CG = Coin_gen.Make (F)
+  module CE = Coin_expose.Make (F)
+  module R = Refresh.Make (F)
+
+  exception Starved of string
+
+  type stats = {
+    refills : int;
+    refreshes : int;
+    dealer_coins : int;
+    generated_coins : int;
+    seed_coins_consumed : int;
+    coins_exposed : int;
+    ba_iterations : int;
+    unanimity_failures : int;
+  }
+
+  type t = {
+    prng : Prng.t;
+    n : int;
+    fault_bound : int;
+    batch_size : int;
+    refill_threshold : int;
+    adversary : int -> CG.adversary;
+    expose_behavior : int -> int -> CE.sender_behavior;
+    max_ba_iterations : int;
+    ba_flavor : [ `Phase_king | `Common_coin ];
+    mutable coins : C.t list;
+    mutable bit_buffer : bool list;
+    mutable refills : int;
+    mutable refreshes : int;
+    mutable dealer_coins : int;
+    mutable generated_coins : int;
+    mutable seed_coins_consumed : int;
+    mutable coins_exposed : int;
+    mutable ba_iterations : int;
+    mutable unanimity_failures : int;
+  }
+
+  let create ?(adversary = fun _ -> CG.honest_adversary)
+      ?(expose_behavior = fun _ _ -> CE.Honest) ?(max_ba_iterations = 64)
+      ?(ba_flavor = `Phase_king) ~prng ~n ~t ~batch_size ~refill_threshold
+      ~initial_seed () =
+    if refill_threshold < 2 then
+      invalid_arg "Pool.create: refill_threshold must be >= 2";
+    if initial_seed <= refill_threshold then
+      invalid_arg "Pool.create: initial_seed must exceed refill_threshold";
+    if batch_size < 2 * refill_threshold then
+      invalid_arg "Pool.create: batch_size must be >= 2 * refill_threshold";
+    let coins =
+      List.init initial_seed (fun _ -> C.dealer_coin prng ~n ~t)
+    in
+    {
+      prng;
+      n;
+      fault_bound = t;
+      batch_size;
+      refill_threshold;
+      adversary;
+      expose_behavior;
+      max_ba_iterations;
+      ba_flavor;
+      coins;
+      bit_buffer = [];
+      refills = 0;
+      refreshes = 0;
+      dealer_coins = initial_seed;
+      generated_coins = 0;
+      seed_coins_consumed = 0;
+      coins_exposed = 0;
+      ba_iterations = 0;
+      unanimity_failures = 0;
+    }
+
+  let available p = List.length p.coins
+
+  (* Expose the next sealed coin and return the honest players' majority
+     reconstruction. Counts a unanimity failure when any player's
+     decoding disagrees or fails (bounded by M n 2^-k per batch). *)
+  let expose_next p ~for_seed =
+    match p.coins with
+    | [] ->
+        raise
+          (Starved
+             (if for_seed then "seed coins exhausted during a refill"
+              else "pool empty"))
+    | coin :: rest ->
+        p.coins <- rest;
+        let values =
+          CE.run ~sender_behavior:(p.expose_behavior p.refills) coin
+        in
+        let counts = Hashtbl.create 7 in
+        Array.iter
+          (fun v ->
+            match v with
+            | None -> ()
+            | Some x ->
+                let key = F.to_string x in
+                let prev =
+                  match Hashtbl.find_opt counts key with
+                  | Some (c, _) -> c
+                  | None -> 0
+                in
+                Hashtbl.replace counts key (prev + 1, x))
+          values;
+        let best =
+          Hashtbl.fold
+            (fun _ (c, x) acc ->
+              match acc with
+              | Some (c', _) when c' >= c -> acc
+              | _ -> Some (c, x))
+            counts None
+        in
+        (match best with
+        | Some (c, _) when c = p.n -> ()
+        | _ -> p.unanimity_failures <- p.unanimity_failures + 1);
+        (if for_seed then p.seed_coins_consumed <- p.seed_coins_consumed + 1
+         else p.coins_exposed <- p.coins_exposed + 1);
+        (match best with
+        | Some (_, x) -> x
+        | None -> raise (Starved "exposure produced no value at any player"))
+
+  (* For the `Common_coin flavor, the BA's shared coins come out of the
+     pool's own seed reserve: one exposed k-ary coin buffers k_bits of
+     phase coins. Nested refills cannot trigger (the bits are drawn via
+     expose_next directly), which is exactly why the threshold must
+     cover them — the Section-1.2 remark. *)
+  let randomized_ba p adversary inputs =
+    let buffer = ref [] in
+    let draw_bit () =
+      match !buffer with
+      | b :: rest ->
+          buffer := rest;
+          b
+      | [] -> (
+          let v = expose_next p ~for_seed:true in
+          match Array.to_list (F.to_bits v) with
+          | b :: rest ->
+              buffer := rest;
+              b
+          | [] -> assert false)
+    in
+    let behavior i =
+      match adversary.CG.as_ba i with
+      | Phase_king.Honest -> Common_coin_ba.Honest
+      | Phase_king.Silent -> Common_coin_ba.Silent
+      | Phase_king.Fixed b -> Common_coin_ba.Fixed b
+      | Phase_king.Arbitrary _ -> Common_coin_ba.Silent
+    in
+    match
+      Common_coin_ba.run ~behavior ~coin:draw_bit ~n:p.n ~t:p.fault_bound
+        ~max_phases:64 ~inputs ()
+    with
+    | Some r -> r.Common_coin_ba.decisions
+    | None -> raise (Starved "randomized BA did not terminate")
+
+  let refill p =
+    let attempt () =
+      let adversary = p.adversary p.refills in
+      let ba =
+        match p.ba_flavor with
+        | `Phase_king -> None
+        | `Common_coin -> Some (randomized_ba p adversary)
+      in
+      CG.run ~adversary ?ba ~max_ba_iterations:p.max_ba_iterations ~prng:p.prng
+        ~oracle:(fun () -> expose_next p ~for_seed:true)
+        ~n:p.n ~t:p.fault_bound ~m:p.batch_size ()
+    in
+    let rec go tries =
+      if tries = 0 then raise (Starved "Coin-Gen failed repeatedly")
+      else
+        match attempt () with
+        | Some batch -> batch
+        | None -> go (tries - 1)
+    in
+    let batch = go 3 in
+    p.refills <- p.refills + 1;
+    p.generated_coins <- p.generated_coins + batch.CG.m;
+    p.ba_iterations <- p.ba_iterations + batch.CG.ba_iterations;
+    let fresh = List.init batch.CG.m (fun h -> CG.coin batch h) in
+    p.coins <- p.coins @ fresh;
+    Log.info (fun f ->
+        f "refill %d: +%d coins (spent %d seed), %d now available" p.refills
+          batch.CG.m batch.CG.seed_coins_consumed (available p))
+
+  let draw_kary p =
+    if available p <= p.refill_threshold then refill p;
+    expose_next p ~for_seed:false
+
+  let draw_bit p =
+    match p.bit_buffer with
+    | b :: rest ->
+        p.bit_buffer <- rest;
+        b
+    | [] ->
+        let v = draw_kary p in
+        let bits = Array.to_list (F.to_bits v) in
+        (match bits with
+        | b :: rest ->
+            p.bit_buffer <- rest;
+            b
+        | [] -> assert false (* k_bits >= 1 *))
+
+  let refresh p =
+    (* Reserve a seed budget up front: the refresh batch size must be
+       fixed before any seed coin is consumed, so the reserve coins fuel
+       the run and skip this round's re-randomization. *)
+    let rec split k acc rest =
+      match (k, rest) with
+      | 0, _ | _, [] -> (List.rev acc, rest)
+      | k, c :: tl -> split (k - 1) (c :: acc) tl
+    in
+    let reserve, to_refresh = split p.refill_threshold [] p.coins in
+    if to_refresh = [] then ()
+    else begin
+      p.coins <- reserve;
+      match
+        R.run ~adversary:(p.adversary p.refills)
+          ?max_ba_iterations:(Some p.max_ba_iterations) ~prng:p.prng
+          ~oracle:(fun () -> expose_next p ~for_seed:true)
+          to_refresh
+      with
+      | None ->
+          (* Agreement never succeeded; put the coins back unrefreshed. *)
+          p.coins <- p.coins @ to_refresh;
+          raise (Starved "refresh batch failed repeatedly")
+      | Some refreshed ->
+          p.refreshes <- p.refreshes + 1;
+          p.coins <- p.coins @ refreshed;
+          Log.info (fun f ->
+              f "refresh %d: re-randomized %d coins, %d now available"
+                p.refreshes (List.length refreshed) (available p))
+    end
+
+  let stats p =
+    {
+      refills = p.refills;
+      refreshes = p.refreshes;
+      dealer_coins = p.dealer_coins;
+      generated_coins = p.generated_coins;
+      seed_coins_consumed = p.seed_coins_consumed;
+      coins_exposed = p.coins_exposed;
+      ba_iterations = p.ba_iterations;
+      unanimity_failures = p.unanimity_failures;
+    }
+
+  let magic = 0xD9B6
+
+  let save p =
+    let w = Wire.Writer.create () in
+    Wire.Writer.u16 w magic;
+    Wire.Writer.u16 w p.n;
+    Wire.Writer.u16 w p.fault_bound;
+    List.iter
+      (fun v -> Wire.Writer.u32 w v)
+      [
+        p.refills; p.refreshes; p.dealer_coins; p.generated_coins;
+        p.seed_coins_consumed; p.coins_exposed; p.ba_iterations;
+        p.unanimity_failures;
+      ];
+    Wire.Writer.u16 w (List.length p.coins);
+    List.iter (fun c -> C.write w c) p.coins;
+    Wire.Writer.contents w
+
+  let restore ?(adversary = fun _ -> CG.honest_adversary)
+      ?(expose_behavior = fun _ _ -> CE.Honest) ?(max_ba_iterations = 64)
+      ?(ba_flavor = `Phase_king) ~prng ~batch_size ~refill_threshold bytes =
+    let r = Wire.Reader.of_bytes bytes in
+    if Wire.Reader.u16 r <> magic then invalid_arg "Pool.restore: bad magic";
+    let n = Wire.Reader.u16 r in
+    let fault_bound = Wire.Reader.u16 r in
+    let int32 () = Wire.Reader.u32 r in
+    let refills = int32 () in
+    let refreshes = int32 () in
+    let dealer_coins = int32 () in
+    let generated_coins = int32 () in
+    let seed_coins_consumed = int32 () in
+    let coins_exposed = int32 () in
+    let ba_iterations = int32 () in
+    let unanimity_failures = int32 () in
+    let count = Wire.Reader.u16 r in
+    let coins = List.init count (fun _ -> C.read r) in
+    Wire.Reader.expect_end r;
+    List.iter
+      (fun c ->
+        if c.C.n <> n || c.C.fault_bound <> fault_bound then
+          invalid_arg "Pool.restore: coin parameters inconsistent")
+      coins;
+    if refill_threshold < 2 then
+      invalid_arg "Pool.restore: refill_threshold must be >= 2";
+    if batch_size < 2 * refill_threshold then
+      invalid_arg "Pool.restore: batch_size must be >= 2 * refill_threshold";
+    {
+      prng;
+      n;
+      fault_bound;
+      batch_size;
+      refill_threshold;
+      adversary;
+      expose_behavior;
+      max_ba_iterations;
+      ba_flavor;
+      coins;
+      bit_buffer = [];
+      refills;
+      refreshes;
+      dealer_coins;
+      generated_coins;
+      seed_coins_consumed;
+      coins_exposed;
+      ba_iterations;
+      unanimity_failures;
+    }
+end

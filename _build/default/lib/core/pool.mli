@@ -1,0 +1,128 @@
+(** The bootstrap coin pool (Fig. 1 and Section 1.2).
+
+    "An initial distributed seed is generated via some known, not
+    necessarily fast protocol. Then the generator is run to produce as
+    many coins as the current execution of the application needs, plus
+    another (distributed) seed. [...] Once the number of remaining coins
+    drops beneath a certain level, a new batch is generated exploiting
+    the (small amount of) remaining coins."
+
+    The pool holds sealed coins. Setup obtains [initial_seed] coins from
+    the trusted dealer (used {e once}, the paper's contrast with [Rab83]
+    where the dealer must keep supplying coins). Every draw exposes one
+    coin via {!Coin_expose}; when availability drops to the refill
+    threshold, the pool runs {!Coin_gen} — whose seed-coin oracle draws
+    from the pool itself — and deposits the fresh batch. The mechanism is
+    self-sufficient from then on: an adaptive, demand-driven generator of
+    unboundedly many shared coins.
+
+    Proactive settings ("intruders are allowed to move over time",
+    Section 1.2) are supported by supplying a per-refill adversary: each
+    batch generation can face a different corrupted set. *)
+
+module Make (F : Field_intf.S) : sig
+  module C : module type of Sealed_coin.Make (F)
+  module CG : module type of Coin_gen.Make (F)
+  module CE : module type of Coin_expose.Make (F)
+
+  type t
+
+  exception Starved of string
+  (** Raised when a refill cannot complete (the pool ran out of seed
+      coins mid-generation, or BA failed [max_ba_iterations] times
+      repeatedly) — with a sane [refill_threshold] this is a
+      probability-negligible event. *)
+
+  type stats = {
+    refills : int;
+    refreshes : int;  (** pro-active share-refresh epochs performed *)
+    dealer_coins : int;  (** coins obtained from the trusted dealer (setup only) *)
+    generated_coins : int;  (** sealed coins produced by Coin-Gen runs *)
+    seed_coins_consumed : int;  (** coins spent to fuel Coin-Gen runs *)
+    coins_exposed : int;  (** coins consumed by the application *)
+    ba_iterations : int;
+    unanimity_failures : int;
+        (** exposures where honest players decoded differently or failed
+            (bounded by [M n 2^-k]); the majority value is still
+            returned. *)
+  }
+
+  val create :
+    ?adversary:(int -> CG.adversary) ->
+    ?expose_behavior:(int -> int -> CE.sender_behavior) ->
+    ?max_ba_iterations:int ->
+    ?ba_flavor:[ `Phase_king | `Common_coin ] ->
+    prng:Prng.t ->
+    n:int ->
+    t:int ->
+    batch_size:int ->
+    refill_threshold:int ->
+    initial_seed:int ->
+    unit ->
+    t
+  (** [adversary refill_number] gives the Byzantine strategy faced by
+      the [refill_number]-th Coin-Gen run (default: all honest) — the
+      hook for mobile/proactive fault experiments. [expose_behavior
+      refill_epoch player] shapes exposure-time lying. Requires
+      [initial_seed > refill_threshold >= 2] and [batch_size] at least
+      twice the threshold so each batch strictly grows the pool.
+
+      [ba_flavor] selects the agreement protocol inside Coin-Gen runs.
+      The default [`Phase_king] is the paper's simplifying assumption
+      ("we shall assume in this presentation that deterministic BA is
+      carried out"). [`Common_coin] implements the alternative the paper
+      sketches in Section 1.2: a randomized BA whose common coins are
+      drawn {e from this very pool} ("the coins needed by the BA
+      protocol must be taken into consideration when setting the level
+      of coins needed for the bootstrapping mechanism") — the extra
+      draws come out of the seed reserve, so pick [refill_threshold]
+      one or two coins higher. A faulty player's BA strategy maps from
+      its phase-king behaviour (Arbitrary degrades to Silent). *)
+
+  val available : t -> int
+  (** Sealed coins currently in the pool. *)
+
+  val draw_kary : t -> F.t
+  (** Expose the next coin; triggers a refill first when the pool is at
+      the threshold. The returned value is what the honest players
+      jointly reconstructed. *)
+
+  val draw_bit : t -> bool
+  (** One binary coin. A single k-ary coin funds [k_bits] of these
+      (Section 3.1: "each coin generates in fact 'k' random coins"), so
+      bits are buffered and only occasionally consume a sealed coin. *)
+
+  val refresh : t -> unit
+  (** Pro-active epoch boundary: re-randomize the shares of every
+      sealed coin in stock (see {!Refresh}), so shares an intruder
+      stole before this point cannot be combined with shares stolen
+      after it. A small seed reserve ([refill_threshold] coins) fuels
+      the refresh batch and skips this round's re-randomization; the
+      refresh run faces [adversary] just like a refill.
+      @raise Starved if the reserve runs out mid-refresh. *)
+
+  val stats : t -> stats
+
+  val save : t -> bytes
+  (** Serialize the pool's durable state — the sealed coins and the
+      ledger counters. The PRNG position, adversary hooks and bit buffer
+      are {e not} saved: a restored pool continues with the randomness
+      and behaviours given to {!restore}. (In a deployment each player
+      persists only its own shares; the simulator saves the global
+      state.) *)
+
+  val restore :
+    ?adversary:(int -> CG.adversary) ->
+    ?expose_behavior:(int -> int -> CE.sender_behavior) ->
+    ?max_ba_iterations:int ->
+    ?ba_flavor:[ `Phase_king | `Common_coin ] ->
+    prng:Prng.t ->
+    batch_size:int ->
+    refill_threshold:int ->
+    bytes ->
+    t
+  (** Rebuild a pool from {!save}d state — the service restarts without
+      a new trusted-dealer setup.
+      @raise Invalid_argument on malformed bytes or parameters
+      inconsistent with the saved coins. *)
+end

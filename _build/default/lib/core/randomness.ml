@@ -1,0 +1,55 @@
+module Make (F : Field_intf.S) = struct
+  type source = unit -> F.t
+
+  let bit_stream src ~count =
+    if count < 0 then invalid_arg "Randomness.bit_stream: negative count";
+    let out = Array.make count false in
+    let filled = ref 0 in
+    while !filled < count do
+      let bits = F.to_bits (src ()) in
+      let take = min (Array.length bits) (count - !filled) in
+      Array.blit bits 0 out !filled take;
+      filled := !filled + take
+    done;
+    out
+
+  (* Width of the sampling chunk for [bound]; capped so chunks fit in an
+     int comfortably. *)
+  let chunk_width bound =
+    let rec go w = if 1 lsl w >= bound then w else go (w + 1) in
+    go 1
+
+  let uniform_int src ~bound =
+    if bound < 1 then invalid_arg "Randomness.uniform_int: bound < 1";
+    let w = chunk_width bound in
+    if w > min F.k_bits 30 then
+      invalid_arg "Randomness.uniform_int: bound too large for this field";
+    (* Pull coins; consume each coin's bits in w-wide chunks, rejecting
+       chunks >= bound. Exactly uniform. *)
+    let rec with_coin bits offset =
+      if offset + w > Array.length bits || offset + w > 30 then
+        with_coin (F.to_bits (src ())) 0
+      else begin
+        let v = ref 0 in
+        for b = 0 to w - 1 do
+          if bits.(offset + b) then v := !v lor (1 lsl b)
+        done;
+        if !v < bound then !v else with_coin bits (offset + w)
+      end
+    in
+    with_coin [||] 0
+
+  let shuffle src a =
+    for i = Array.length a - 1 downto 1 do
+      let j = uniform_int src ~bound:(i + 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done
+
+  let committee src ~size ~n =
+    if size < 0 || size > n then invalid_arg "Randomness.committee: bad size";
+    let ids = Array.init n Fun.id in
+    shuffle src ids;
+    List.sort compare (Array.to_list (Array.sub ids 0 size))
+end

@@ -1,0 +1,36 @@
+(** Application-level randomness derived from shared coins.
+
+    The paper produces k-ary coins (uniform field elements everyone
+    agrees on); applications usually want something shaped differently —
+    a player id, a permutation, a committee. This module performs those
+    derivations {e exactly uniformly} (rejection sampling, Fisher–Yates)
+    so an application built on the pool inherits the coins' guarantees:
+    since every honest player feeds the same exposed coins through the
+    same deterministic derivation, all honest players obtain the same
+    id/permutation/committee, and the adversary can bias it no more than
+    it can bias the coins (not at all).
+
+    A [source] is any supplier of agreed-upon coins — typically
+    [fun () -> Pool.draw_kary pool]. *)
+
+module Make (F : Field_intf.S) : sig
+  type source = unit -> F.t
+
+  val bit_stream : source -> count:int -> bool array
+  (** [count] shared bits ([ceil (count / k_bits)] coins consumed). *)
+
+  val uniform_int : source -> bound:int -> int
+  (** Uniform in [0, bound). Exact (rejection sampling on [k_bits]-bit
+      chunks); requires [1 <= bound <= 2^min(k_bits, 30)]. Expected coin
+      consumption is below [2 / floor(k_bits / bits bound)] + 1... in
+      practice ~1 coin for small bounds. *)
+
+  val shuffle : source -> 'a array -> unit
+  (** In-place Fisher–Yates driven by {!uniform_int}: a uniformly random
+      permutation agreed by all players. *)
+
+  val committee : source -> size:int -> n:int -> int list
+  (** A uniformly random [size]-subset of [0 .. n-1], increasing order —
+      e.g. electing the proposers of the next epoch. Requires
+      [size <= n]. *)
+end

@@ -1,0 +1,55 @@
+module Make (F : Field_intf.S) = struct
+  module C = Sealed_coin.Make (F)
+  module CG = Coin_gen.Make (F)
+
+  (* Honest players must deal zero-sharings in a refresh; faulty players
+     keep whatever strategy the adversary prescribes. *)
+  let refresh_adversary adversary =
+    {
+      adversary with
+      CG.as_dealer =
+        (fun i ->
+          match adversary.CG.as_dealer i with
+          | CG.BG.Honest_dealer -> CG.BG.Honest_zero_dealer
+          | behavior -> behavior);
+    }
+
+  let run ?(adversary = CG.honest_adversary) ?max_ba_iterations ~prng ~oracle
+      coins =
+    match coins with
+    | [] -> Some []
+    | first :: _ ->
+        let n = first.C.n and t = first.C.fault_bound in
+        List.iter
+          (fun c ->
+            if c.C.n <> n || c.C.fault_bound <> t then
+              invalid_arg "Refresh.run: coins disagree on (n, t)")
+          coins;
+        let m = List.length coins in
+        (match
+           CG.run ~adversary:(refresh_adversary adversary) ?max_ba_iterations
+             ~zero_secrets:true ~prng ~oracle ~n ~t ~m ()
+         with
+        | None -> None
+        | Some batch ->
+            let refreshed =
+              List.mapi
+                (fun h coin ->
+                  let shares =
+                    Array.init n (fun i ->
+                        F.add coin.C.shares.(i) batch.CG.shares.(i).(h))
+                  in
+                  let trusted =
+                    match coin.C.trusted with
+                    | None -> Some batch.CG.trusted
+                    | Some old ->
+                        Some
+                          (Array.init n (fun i ->
+                               Array.init n (fun j ->
+                                   old.(i).(j) && batch.CG.trusted.(i).(j))))
+                  in
+                  { coin with C.shares; C.trusted })
+                coins
+            in
+            Some refreshed)
+end

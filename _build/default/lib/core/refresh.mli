@@ -1,0 +1,50 @@
+(** Pro-active share refresh for sealed coins.
+
+    The paper's closing motivation (Sections 1.2 and 5): "one of the
+    motivations and applications of our work is pro-active security
+    [8, 16], which deals with settings where intruders are allowed to
+    move over time." A mobile adversary that corrupts [t] players in one
+    epoch and a {e different} [t] players in the next holds up to [2t]
+    shares of every still-sealed coin — enough to open them unilaterally.
+    Refreshing re-randomizes all shares between epochs so that shares
+    stolen in different epochs do not combine.
+
+    Construction (Herzberg–Jarecki–Krawczyk–Yung-style masking, run on
+    the paper's own machinery): every player deals one {e zero}-sharing
+    per pooled coin — a random degree-[t] polynomial with constant term
+    0 — and the batch is verified by the same Bit-Gen / clique /
+    grade-cast / BA pipeline as coin generation ({!Coin_gen.run} with
+    [zero_secrets:true]), with the extra acceptance condition
+    [F_j(0) = 0]. Each player then adds the agreed dealers' refresh
+    shares onto its coin share. The coin's value is unchanged (the added
+    polynomial vanishes at 0); the share polynomial is freshly random.
+
+    Guarantees: secrecy against the mobile adversary is information-
+    theoretic (any [t] old shares plus the refresh transcript reveal
+    nothing; old and new shares do not interpolate together). The
+    exposure-time trusted sets of the refreshed coin are the {e
+    intersection} of the old ones with the refresh batch's, so honest
+    reconstructability keeps Lemma 7's slack but the worst-case bound
+    degrades with repeated refreshes against an adversary that poisons
+    distinct victims each epoch (a fresh pool batch resets it; see the
+    test-suite's composition tests). *)
+
+module Make (F : Field_intf.S) : sig
+  module C : module type of Sealed_coin.Make (F)
+  module CG : module type of Coin_gen.Make (F)
+
+  val run :
+    ?adversary:CG.adversary ->
+    ?max_ba_iterations:int ->
+    prng:Prng.t ->
+    oracle:(unit -> F.t) ->
+    C.t list ->
+    C.t list option
+  (** [run ~prng ~oracle coins] refreshes all [coins] (which must share
+      [n] and the fault bound) in one batch. Honest players deal
+      zero-sharings; the [adversary]'s honest entries are coerced to
+      [Honest_zero_dealer] automatically, its faulty entries attack as
+      specified. Consumes seed coins through [oracle] exactly like a
+      generation batch. [None] if the underlying agreement failed
+      repeatedly. *)
+end

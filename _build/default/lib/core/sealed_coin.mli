@@ -1,0 +1,57 @@
+(** A sealed shared coin: the distributed object every protocol here
+    produces and consumes.
+
+    A sealed coin is a secret value [v] (an element of the field, i.e. a
+    "k-ary coin") Shamir-shared among the [n] players with degree [t]:
+    player [i] holds the share of a degree-[<= t] polynomial [f] with
+    [f(0) = v]. Nobody knows [v]; no [t] players can predict or bias it;
+    {!Coin_expose} reveals it to everyone simultaneously.
+
+    Two provenances:
+    {ul
+    {- {b dealer coins} (Rabin-style, the bootstrap's initial seed): a
+       trusted dealer dealt them at setup; every player's share is good
+       and every player trusts every exposure message (subject to
+       Berlekamp–Welch correction of [<= t] lies);}
+    {- {b generated coins} (the D-PRBG's output, Fig. 5): player [i]'s
+       share is the sum of the shares it received from the agreed clique
+       of dealers, and player [i] only trusts exposure messages from
+       players whose combined shares verified against every clique
+       dealer's check polynomial — the per-player [trusted] matrix (the
+       set [S] of Fig. 6).}} *)
+
+module Make (F : Field_intf.S) : sig
+  type t = {
+    n : int;
+    fault_bound : int;  (** the [t] the sharing tolerates *)
+    shares : F.t array;  (** [shares.(i)]: what player [i] holds *)
+    trusted : bool array array option;
+        (** [trusted.(i).(j)]: does player [i] use player [j]'s exposure
+            message? [None] means everyone trusts everyone (dealer
+            coins). Rows of honest players are the protocol's guarantee;
+            rows of faulty players are irrelevant. *)
+  }
+
+  val dealer_coin : Prng.t -> n:int -> t:int -> t
+  (** A fresh dealer-dealt sealed coin with a uniform secret. This is
+      setup bookkeeping (the trusted party of [Rab83]), so it costs
+      nothing: it runs under {!Metrics.without_counting}. *)
+
+  val trusted_row : t -> int -> int -> bool
+  (** [trusted_row c i j]: does player [i] trust player [j]'s exposure
+      message for this coin? *)
+
+  val ground_truth : t -> F.t option
+  (** Test/diagnostic oracle: robustly decode the coin from all shares
+      (as an omniscient observer). [None] if the shares are beyond
+      repair. Uncounted. *)
+
+  val write : Wire.Writer.t -> t -> unit
+  (** Serialize the coin (all players' shares and trust rows — the
+      whole simulated state; a deployment would persist each player's
+      slice separately). *)
+
+  val read : Wire.Reader.t -> t
+  (** Inverse of {!write}.
+      @raise Invalid_argument on malformed input. *)
+end

@@ -1,0 +1,1 @@
+lib/field/fft_field.ml: Array Bytes Field_bytes Format Hashtbl Metrics Ntt Printf Prng String Zp Zq_table

@@ -1,0 +1,1 @@
+lib/field/fft_field.mli: Field_intf

@@ -1,0 +1,1 @@
+lib/field/gf2_wide.ml: Array Buffer Bytes Field_bytes Format Hashtbl List Metrics Printf Prng

@@ -1,0 +1,1 @@
+lib/field/gf2_wide.mli: Field_intf

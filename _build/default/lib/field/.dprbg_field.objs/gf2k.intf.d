@@ -1,0 +1,1 @@
+lib/field/gf2k.mli: Field_intf

@@ -1,0 +1,1 @@
+lib/field/ntt.ml: Array Zq_table

@@ -1,0 +1,1 @@
+lib/field/zp.ml: Array Bytes Field_bytes Format Int List Metrics Printf Prng

@@ -1,0 +1,1 @@
+lib/field/zq_table.ml: Array Bytes Field_bytes Format Int Metrics Printf Prng Zp

@@ -1,0 +1,1 @@
+lib/field/zq_table.mli: Field_intf

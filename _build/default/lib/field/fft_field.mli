@@ -1,0 +1,58 @@
+(** The paper's Section-2 special field with fast multiplication.
+
+    Construction (quoting the paper): "Let q be a prime and l an integer
+    such that q >= 2l + 1 and q^l >= 2^k. We work over GF(q^l). We view
+    the field elements as degree-l polynomials over Zq. Then we use
+    discrete Fourier transforms to do the multiplication, modulo some
+    irreducible polynomial, in O(l log l) operations over Zq. We can
+    implement operations over Zq via a table [...] Choosing q = O(l) and
+    l = O(k / log k) [...] we end up with a O(k log k) time algorithm."
+
+    Our concretization, chosen so the NTT applies directly and the
+    reduction is linear-time:
+    {ul
+    {- [l] is the smallest power of two whose induced field reaches
+       [2^k];}
+    {- [q] is the smallest prime with [q ≡ 1 (mod 2l)] (so an order-[2l]
+       root of unity exists for the product transform) and [q >= 2l+1];}
+    {- the irreducible modulus is the binomial [x^l - c] with [c] a
+       primitive root of [Z_q] (irreducible by Lidl–Niederreiter
+       Thm. 3.75), making reduction of a degree-[2l-2] product a single
+       multiply-accumulate pass.}}
+
+    Experiment E13 benches this field's multiplication against the naive
+    {!Gf2k}/{!Gf2_wide} multiplication to exhibit the crossover the paper
+    warns implementations about. *)
+
+module type PARAM = sig
+  val k : int
+  (** Desired security parameter: the field will satisfy
+      [q^l >= 2^k]. *)
+end
+
+module Make (P : PARAM) : sig
+  include Field_intf.S
+
+  val q : int
+  (** The base-field prime. *)
+
+  val l : int
+  (** Extension degree (a power of two). *)
+
+  val c : int
+  (** The constant of the irreducible binomial [x^l - c]. *)
+
+  val repr : t -> int array
+  (** Coefficient vector, length [l], entries in [0, q). *)
+
+  val of_repr : int array -> t
+end
+
+module GF_k64 : Field_intf.S
+(** Special field with [>= 64] bits (l = 16, q = 97). *)
+
+module GF_k128 : Field_intf.S
+(** Special field with [>= 128] bits. *)
+
+module GF_k256 : Field_intf.S
+(** Special field with [>= 256] bits. *)

@@ -1,0 +1,22 @@
+(* Little-endian fixed-width integer packing shared by the field
+   implementations' canonical encodings. *)
+
+let encode_int dst ~off ~width v =
+  assert (v >= 0);
+  let v = ref v in
+  for j = 0 to width - 1 do
+    Bytes.set_uint8 dst (off + j) (!v land 0xFF);
+    v := !v lsr 8
+  done;
+  if !v <> 0 then invalid_arg "Field_bytes.encode_int: value too wide"
+
+let decode_int src ~off ~width =
+  let v = ref 0 in
+  for j = width - 1 downto 0 do
+    v := (!v lsl 8) lor Bytes.get_uint8 src (off + j)
+  done;
+  !v
+
+let check_length name b expected =
+  if Bytes.length b <> expected then
+    invalid_arg (name ^ ".of_bytes: wrong length")

@@ -1,0 +1,15 @@
+(** Little-endian fixed-width integer packing shared by the field
+    implementations' canonical byte encodings ({!Field_intf.S.to_bytes}).
+    Internal to the field library. *)
+
+val encode_int : bytes -> off:int -> width:int -> int -> unit
+(** [encode_int dst ~off ~width v] writes [v >= 0] as [width]
+    little-endian bytes at [off].
+    @raise Invalid_argument if [v] does not fit. *)
+
+val decode_int : bytes -> off:int -> width:int -> int
+(** Inverse of {!encode_int}. *)
+
+val check_length : string -> bytes -> int -> unit
+(** [check_length who b expected] raises [Invalid_argument] mentioning
+    [who] when [b] is not exactly [expected] bytes. *)

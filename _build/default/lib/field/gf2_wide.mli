@@ -1,0 +1,53 @@
+(** [GF(2^k)] for arbitrary [k >= 1], limb-array representation.
+
+    Complements {!Gf2k} (which is limited to one machine word) so the
+    security-parameter sweeps in the benchmarks can reach the paper's
+    regime of cryptographic [k] (64, 128, 256). Multiplication is the
+    schoolbook carryless method — [O(k^2)] bit operations, the "naive"
+    cost the paper quotes — followed by reduction modulo an irreducible
+    polynomial found at functor-application time with Rabin's test.
+
+    Elements are immutable; all arithmetic allocates fresh limb arrays. *)
+
+module type PARAM = sig
+  val k : int
+  (** Field extension degree, [k >= 1]. *)
+end
+
+module Make (P : PARAM) : sig
+  include Field_intf.S
+
+  val modulus_bits : int list
+  (** Exponents with non-zero coefficient in the reduction polynomial,
+      decreasing; head is [P.k]. *)
+
+  val of_repr : int array -> t
+  (** Unsafe view of little-endian 32-bit limbs as an element. *)
+
+  val repr : t -> int array
+
+  val mul_karatsuba : t -> t -> t
+  (** Same product as {!mul} via Karatsuba's three-way split on the limb
+      array ([O(k^1.585)] bit operations). {!mul} stays schoolbook
+      because the paper's "naive [O(k^2)]" baseline is what experiment
+      E13 measures; this is the optimization a production deployment
+      would enable for large [k] (the bench includes its own row). *)
+end
+
+module GF64 : sig
+  include Field_intf.S
+
+  val mul_karatsuba : t -> t -> t
+end
+
+module GF128 : sig
+  include Field_intf.S
+
+  val mul_karatsuba : t -> t -> t
+end
+
+module GF256 : sig
+  include Field_intf.S
+
+  val mul_karatsuba : t -> t -> t
+end

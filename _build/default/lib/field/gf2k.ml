@@ -1,0 +1,183 @@
+(* GF(2^k) on one machine word, 1 <= k <= 61.
+
+   A field element is a polynomial over GF(2) of degree < k, packed as
+   the low k bits of an int. The word width constraint comes from the
+   multiplication loop below, which shifts the multiplicand one past the
+   top bit of the modulus before reducing. *)
+
+let degree x =
+  let rec go i = if i < 0 then -1 else if x land (1 lsl i) <> 0 then i else go (i - 1) in
+  go 62
+
+let mul_mod ~modulus a b =
+  let top = 1 lsl degree modulus in
+  (* Russian-peasant carryless multiplication with interleaved reduction:
+     the multiplicand never exceeds bit [deg modulus], so everything fits
+     in a word for degrees up to 61. *)
+  let rec go a b acc =
+    if a = 0 then acc
+    else
+      let acc = if a land 1 = 1 then acc lxor b else acc in
+      let b = b lsl 1 in
+      let b = if b land top <> 0 then b lxor modulus else b in
+      go (a lsr 1) b acc
+  in
+  go a b 0
+
+let poly_mod a b =
+  assert (b <> 0);
+  let db = degree b in
+  let rec go a =
+    let da = degree a in
+    if da < db then a else go (a lxor (b lsl (da - db)))
+  in
+  go a
+
+let rec poly_gcd a b = if b = 0 then a else poly_gcd b (poly_mod a b)
+
+let prime_factors n =
+  let rec go n d acc =
+    if n = 1 then List.rev acc
+    else if d * d > n then List.rev (n :: acc)
+    else if n mod d = 0 then
+      let rec strip n = if n mod d = 0 then strip (n / d) else n in
+      go (strip n) (d + 1) (d :: acc)
+    else go n (d + 1) acc
+  in
+  go n 2 []
+
+let is_irreducible f =
+  let k = degree f in
+  assert (k >= 1);
+  let x = poly_mod 0b10 f in
+  (* x^(2^i) mod f by i successive squarings. *)
+  let iterate_frobenius i =
+    let rec go i r = if i = 0 then r else go (i - 1) (mul_mod ~modulus:f r r) in
+    go i x
+  in
+  (* Rabin: f (degree k) is irreducible iff x^(2^k) = x (mod f) and for
+     every prime p | k, gcd(x^(2^(k/p)) - x, f) = 1. *)
+  iterate_frobenius k = x
+  && List.for_all
+       (fun p -> poly_gcd (iterate_frobenius (k / p) lxor x) f = 1)
+       (prime_factors k)
+
+let smallest_irreducible k =
+  assert (k >= 1 && k <= 61);
+  let top = 1 lsl k in
+  let rec search low =
+    if low >= top then invalid_arg "smallest_irreducible: none found"
+    else
+      let f = top lor low in
+      if is_irreducible f then f else search (low + 1)
+  in
+  search 0
+
+module type PARAM = sig
+  val k : int
+end
+
+module Make (P : PARAM) = struct
+  let () =
+    if P.k < 1 || P.k > 61 then
+      invalid_arg "Gf2k.Make: k must be within [1, 61]"
+
+  type t = int
+
+  let k_bits = P.k
+  let name = Printf.sprintf "GF(2^%d)" P.k
+  let byte_size = (P.k + 7) / 8
+  let modulus = smallest_irreducible P.k
+  let mask = (1 lsl P.k) - 1
+  let zero = 0
+  let one = 1
+
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash x = x
+
+  let of_repr x =
+    assert (x land mask = x);
+    x
+
+  let repr x = x
+
+  let add a b =
+    Metrics.tick_adds 1;
+    a lxor b
+
+  let sub = add
+
+  let neg x =
+    Metrics.tick_adds 1;
+    x
+
+  let mul a b =
+    Metrics.tick_mults 1;
+    mul_mod ~modulus a b
+
+  let inv a =
+    if a = 0 then raise Division_by_zero;
+    Metrics.tick_invs 1;
+    (* Extended Euclid over GF(2)[x], tracking only the coefficient of
+       [a]: the invariant is r_i = s_i * a (mod modulus). *)
+    let rec divstep r0 s0 r1 s1 =
+      let d = degree r0 - degree r1 in
+      if d < 0 then (r0, s0)
+      else divstep (r0 lxor (r1 lsl d)) (s0 lxor (s1 lsl d)) r1 s1
+    in
+    let rec go r0 s0 r1 s1 =
+      if r1 = 0 then begin
+        assert (r0 = 1);
+        s0
+      end
+      else
+        let r, s = divstep r0 s0 r1 s1 in
+        go r1 s1 r s
+    in
+    go modulus 0 a 1
+
+  let div a b = mul a (inv b)
+
+  let pow x e =
+    assert (e >= 0);
+    let rec go acc base e =
+      if e = 0 then acc
+      else
+        let acc = if e land 1 = 1 then mul acc base else acc in
+        if e = 1 then acc else go acc (mul base base) (e lsr 1)
+    in
+    go one x e
+
+  let of_int i =
+    if i < 0 || i > mask then invalid_arg (name ^ ".of_int: out of range");
+    i
+
+  let random g = Prng.bits g P.k
+
+  let rec random_nonzero g =
+    let x = random g in
+    if x = 0 then random_nonzero g else x
+
+  let lsb x = x land 1
+  let to_bits x = Array.init P.k (fun i -> (x lsr i) land 1 = 1)
+
+  let to_bytes x =
+    let b = Bytes.create byte_size in
+    Field_bytes.encode_int b ~off:0 ~width:byte_size x;
+    b
+
+  let of_bytes b =
+    Field_bytes.check_length name b byte_size;
+    let v = Field_bytes.decode_int b ~off:0 ~width:byte_size in
+    if v > mask then invalid_arg (name ^ ".of_bytes: non-canonical value");
+    v
+
+  let pp ppf x = Format.fprintf ppf "0x%x" x
+  let to_string x = Printf.sprintf "0x%x" x
+end
+
+module GF8 = Make (struct let k = 8 end)
+module GF16 = Make (struct let k = 16 end)
+module GF32 = Make (struct let k = 32 end)
+module GF61 = Make (struct let k = 61 end)

@@ -1,0 +1,64 @@
+(** [GF(2^k)] for [1 <= k <= 61], one machine word per element.
+
+    This is the paper's default field (Section 2): elements are degree
+    [< k] polynomials over [GF(2)] packed into the low [k] bits of an
+    [int]; multiplication is the naive shift-and-xor schoolbook method,
+    i.e. [O(k)] word operations realizing the [O(k^2)] bit-operation
+    bound the paper quotes for naive multiplication. The paper remarks
+    that for small [k] this beats the asymptotically faster special field
+    — experiment E13 measures exactly that crossover against
+    {!Fft_field}.
+
+    The reduction polynomial is found at functor-application time: the
+    lexicographically smallest irreducible polynomial of degree [k] over
+    [GF(2)], certified by Rabin's irreducibility test. *)
+
+module type PARAM = sig
+  val k : int
+  (** Field extension degree; [1 <= k <= 61]. *)
+end
+
+module Make (P : PARAM) : sig
+  include Field_intf.S
+
+  val modulus : int
+  (** The reduction polynomial, bit [i] = coefficient of [x^i]; bit
+      [P.k] is always set. *)
+
+  val of_repr : int -> t
+  (** Unsafe view of a bit pattern as an element; must be [< 2^k]. *)
+
+  val repr : t -> int
+  (** The underlying bit pattern, [< 2^k]. *)
+end
+
+(** {1 Ready-made instances} *)
+
+module GF8 : Field_intf.S
+module GF16 : Field_intf.S
+module GF32 : Field_intf.S
+module GF61 : Field_intf.S
+
+(** {1 Polynomial arithmetic over GF(2) on word-packed representations}
+
+    Exposed for tests and for {!Gf2_wide}'s modulus search. *)
+
+val degree : int -> int
+(** Degree of the packed polynomial; [-1] for the zero polynomial. *)
+
+val mul_mod : modulus:int -> int -> int -> int
+(** Carryless multiply-and-reduce; [modulus] must have its top set bit at
+    position [<= 61]. *)
+
+val poly_mod : int -> int -> int
+(** [poly_mod a b] is the remainder of carryless division; [b <> 0]. *)
+
+val poly_gcd : int -> int -> int
+
+val is_irreducible : int -> bool
+(** Rabin's irreducibility test for a packed [GF(2)] polynomial of
+    degree [>= 1]. *)
+
+val smallest_irreducible : int -> int
+(** [smallest_irreducible k] is the lexicographically smallest
+    irreducible polynomial of degree [k], packed. *)

@@ -1,0 +1,43 @@
+(** Prime fields [Z_p] for [p < 2^31], plus the number-theoretic
+    utilities shared by {!Zq_table}, {!Ntt} and {!Fft_field}.
+
+    Used directly by the Feldman-VSS baseline (commitments [g^s mod p])
+    and as the coefficient field of the number-theoretic transform. All
+    arithmetic is single-word: products of two elements fit in OCaml's
+    63-bit native int because [p < 2^31]. *)
+
+val is_prime : int -> bool
+(** Deterministic Miller–Rabin, valid for all arguments below [2^31]. *)
+
+val factorize : int -> (int * int) list
+(** Prime factorization [(p, multiplicity)] by trial division; intended
+    for arguments [< 2^31]. *)
+
+val next_prime_in_progression : a:int -> d:int -> int
+(** Smallest prime [>= a] congruent to [a (mod d)]... precisely: the
+    smallest prime of the form [a + i*d], [i >= 0]. Requires
+    [gcd(a, d) = 1] for a result to exist (Dirichlet); raises
+    [Invalid_argument] after an implausibly long search. *)
+
+module type PARAM = sig
+  val p : int
+  (** The modulus; must be prime and [< 2^31]. *)
+end
+
+module Make (P : PARAM) : sig
+  include Field_intf.S
+
+  val p : int
+  val repr : t -> int
+  (** Canonical representative in [0, p). *)
+
+  val of_repr : int -> t
+  (** Requires the argument to be in [0, p). *)
+
+  val primitive_root : t
+  (** A fixed generator of the multiplicative group. *)
+
+  val pow_mod : int -> int -> int
+  (** [pow_mod b e] is [b^e mod p] for [e >= 0]; raw-int convenience used
+      by the Feldman baseline's exponentiation counting. *)
+end

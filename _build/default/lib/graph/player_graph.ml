@@ -1,0 +1,83 @@
+type directed = { dn : int; dadj : bool array array }
+type undirected = { un : int; uadj : bool array array }
+
+let directed_create ~n =
+  if n < 1 then invalid_arg "Player_graph: n must be positive";
+  { dn = n; dadj = Array.init n (fun _ -> Array.make n false) }
+
+let check n label i =
+  if i < 0 || i >= n then invalid_arg ("Player_graph." ^ label ^ ": id out of range")
+
+let add_edge g i j =
+  check g.dn "add_edge" i;
+  check g.dn "add_edge" j;
+  g.dadj.(i).(j) <- true
+
+let has_edge g i j =
+  check g.dn "has_edge" i;
+  check g.dn "has_edge" j;
+  g.dadj.(i).(j)
+
+let directed_n g = g.dn
+
+let undirected_create ~n =
+  if n < 1 then invalid_arg "Player_graph: n must be positive";
+  { un = n; uadj = Array.init n (fun _ -> Array.make n false) }
+
+let add_undirected_edge g i j =
+  check g.un "add_undirected_edge" i;
+  check g.un "add_undirected_edge" j;
+  if i <> j then begin
+    g.uadj.(i).(j) <- true;
+    g.uadj.(j).(i) <- true
+  end
+
+let has_undirected_edge g i j =
+  check g.un "has_undirected_edge" i;
+  check g.un "has_undirected_edge" j;
+  g.uadj.(i).(j)
+
+let undirected_n g = g.un
+
+let bidirectional_core d =
+  let u = undirected_create ~n:d.dn in
+  for i = 0 to d.dn - 1 do
+    for j = i + 1 to d.dn - 1 do
+      if d.dadj.(i).(j) && d.dadj.(j).(i) then add_undirected_edge u i j
+    done
+  done;
+  u
+
+let is_clique g members =
+  let rec pairs = function
+    | [] -> true
+    | i :: rest ->
+        List.for_all (fun j -> has_undirected_edge g i j) rest && pairs rest
+  in
+  List.for_all (fun i -> i >= 0 && i < g.un) members
+  && List.length (List.sort_uniq compare members) = List.length members
+  && pairs members
+
+let approx_clique g ~min_size =
+  (* Greedy maximal matching in the complement graph, lexicographic
+     order. Unmatched vertices form an independent set of the complement,
+     i.e. a clique of g: were two unmatched vertices complement-adjacent,
+     the greedy pass would have matched them. *)
+  let matched = Array.make g.un false in
+  for i = 0 to g.un - 1 do
+    if not matched.(i) then begin
+      let rec find j =
+        if j >= g.un then ()
+        else if (not matched.(j)) && not g.uadj.(i).(j) then begin
+          matched.(i) <- true;
+          matched.(j) <- true
+        end
+        else find (j + 1)
+      in
+      find (i + 1)
+    end
+  done;
+  let clique =
+    List.filter (fun i -> not matched.(i)) (List.init g.un Fun.id)
+  in
+  if List.length clique >= min_size then Some clique else None

@@ -1,0 +1,45 @@
+(** Graphs on player ids and the clique approximation used by
+    [Coin-Gen] (Fig. 5, steps 4-6).
+
+    The paper builds a directed graph [G'] ("[P_k] has a proper share of
+    the bits which [P_j] shared"), takes its bidirectional core [G], and
+    invokes "the protocol of Gabril ([Garey & Johnson], p. 134)" to find
+    a clique of size [>= n - 2t], relying on the promise that the honest
+    players already form a clique of size [>= n - t].
+
+    The standard realization of that guarantee — and the one implemented
+    here — runs a maximal matching on the {e complement} of [G]: every
+    complement edge touches at least one non-clique vertex, so the
+    matching has at most [t] edges and the unmatched vertices form a
+    clique of size [>= n - 2t]. The greedy matching is deterministic
+    (lexicographic), so all players with the same view compute the same
+    clique. *)
+
+type directed
+(** A directed graph on [0 .. n-1]. *)
+
+val directed_create : n:int -> directed
+val add_edge : directed -> int -> int -> unit
+val has_edge : directed -> int -> int -> bool
+val directed_n : directed -> int
+
+type undirected
+(** An undirected graph on [0 .. n-1]. *)
+
+val undirected_create : n:int -> undirected
+val add_undirected_edge : undirected -> int -> int -> unit
+val has_undirected_edge : undirected -> int -> int -> bool
+val undirected_n : undirected -> int
+
+val bidirectional_core : directed -> undirected
+(** Fig. 5 step 5: keep [(j, k)] iff both [(j, k)] and [(k, j)] are
+    present. Self-loops are ignored. *)
+
+val is_clique : undirected -> int list -> bool
+
+val approx_clique : undirected -> min_size:int -> int list option
+(** Greedy-matching clique approximation. Returns a clique (sorted,
+    increasing) of size [>= min_size], or [None] if the approximation
+    comes up short. When the graph contains a clique of size [c], the
+    result is guaranteed to have size [>= 2c - n] (so [n - 2t] under
+    the protocol's promise of an [n - t] clique). Deterministic. *)

@@ -1,0 +1,187 @@
+type snapshot = {
+  field_adds : int;
+  field_mults : int;
+  field_invs : int;
+  interpolations : int;
+  messages : int;
+  bytes : int;
+  rounds : int;
+  ba_runs : int;
+  gradecasts : int;
+}
+
+let zero =
+  {
+    field_adds = 0;
+    field_mults = 0;
+    field_invs = 0;
+    interpolations = 0;
+    messages = 0;
+    bytes = 0;
+    rounds = 0;
+    ba_runs = 0;
+    gradecasts = 0;
+  }
+
+let add a b =
+  {
+    field_adds = a.field_adds + b.field_adds;
+    field_mults = a.field_mults + b.field_mults;
+    field_invs = a.field_invs + b.field_invs;
+    interpolations = a.interpolations + b.interpolations;
+    messages = a.messages + b.messages;
+    bytes = a.bytes + b.bytes;
+    rounds = a.rounds + b.rounds;
+    ba_runs = a.ba_runs + b.ba_runs;
+    gradecasts = a.gradecasts + b.gradecasts;
+  }
+
+let diff a b =
+  {
+    field_adds = a.field_adds - b.field_adds;
+    field_mults = a.field_mults - b.field_mults;
+    field_invs = a.field_invs - b.field_invs;
+    interpolations = a.interpolations - b.interpolations;
+    messages = a.messages - b.messages;
+    bytes = a.bytes - b.bytes;
+    rounds = a.rounds - b.rounds;
+    ba_runs = a.ba_runs - b.ba_runs;
+    gradecasts = a.gradecasts - b.gradecasts;
+  }
+
+let to_row s =
+  [
+    ("adds", s.field_adds);
+    ("mults", s.field_mults);
+    ("invs", s.field_invs);
+    ("interps", s.interpolations);
+    ("msgs", s.messages);
+    ("bytes", s.bytes);
+    ("rounds", s.rounds);
+    ("ba", s.ba_runs);
+    ("gradecast", s.gradecasts);
+  ]
+
+let pp ppf s =
+  let pp_pair ppf (label, v) = Fmt.pf ppf "%s=%d" label v in
+  Fmt.pf ppf "@[<h>%a@]" (Fmt.list ~sep:Fmt.sp pp_pair) (to_row s)
+
+(* Mutable sink. A stack of sinks is live at once: every tick updates all
+   of them, so an outer [with_counting] sees costs incurred inside an
+   inner one. *)
+type sink = {
+  mutable adds : int;
+  mutable mults : int;
+  mutable invs : int;
+  mutable interps : int;
+  mutable msgs : int;
+  mutable byts : int;
+  mutable rnds : int;
+  mutable bas : int;
+  mutable gcs : int;
+}
+
+let fresh_sink () =
+  {
+    adds = 0;
+    mults = 0;
+    invs = 0;
+    interps = 0;
+    msgs = 0;
+    byts = 0;
+    rnds = 0;
+    bas = 0;
+    gcs = 0;
+  }
+
+let sinks : sink list ref = ref []
+
+let counting_enabled () = !sinks <> []
+
+let tick_adds n =
+  match !sinks with
+  | [] -> ()
+  | l -> List.iter (fun s -> s.adds <- s.adds + n) l
+
+let tick_mults n =
+  match !sinks with
+  | [] -> ()
+  | l -> List.iter (fun s -> s.mults <- s.mults + n) l
+
+let tick_invs n =
+  match !sinks with
+  | [] -> ()
+  | l -> List.iter (fun s -> s.invs <- s.invs + n) l
+
+let tick_interpolation () =
+  match !sinks with
+  | [] -> ()
+  | l -> List.iter (fun s -> s.interps <- s.interps + 1) l
+
+let tick_message ~bytes_len =
+  match !sinks with
+  | [] -> ()
+  | l ->
+      List.iter
+        (fun s ->
+          s.msgs <- s.msgs + 1;
+          s.byts <- s.byts + bytes_len)
+        l
+
+let tick_round () =
+  match !sinks with
+  | [] -> ()
+  | l -> List.iter (fun s -> s.rnds <- s.rnds + 1) l
+
+let tick_ba () =
+  match !sinks with
+  | [] -> ()
+  | l -> List.iter (fun s -> s.bas <- s.bas + 1) l
+
+let tick_gradecast () =
+  match !sinks with
+  | [] -> ()
+  | l -> List.iter (fun s -> s.gcs <- s.gcs + 1) l
+
+let snapshot_of_sink s =
+  {
+    field_adds = s.adds;
+    field_mults = s.mults;
+    field_invs = s.invs;
+    interpolations = s.interps;
+    messages = s.msgs;
+    bytes = s.byts;
+    rounds = s.rnds;
+    ba_runs = s.bas;
+    gradecasts = s.gcs;
+  }
+
+let without_counting f =
+  let saved = !sinks in
+  sinks := [];
+  match f () with
+  | result ->
+      sinks := saved;
+      result
+  | exception e ->
+      sinks := saved;
+      raise e
+
+let with_counting f =
+  let sink = fresh_sink () in
+  sinks := sink :: !sinks;
+  let pop () =
+    match !sinks with
+    | top :: rest when top == sink -> sinks := rest
+    | _ ->
+        (* Stack discipline violated only by misuse of exceptions across
+           measurement boundaries; restore by filtering. *)
+        sinks := List.filter (fun s -> s != sink) !sinks
+  in
+  match f () with
+  | result ->
+      pop ();
+      (result, snapshot_of_sink sink)
+  | exception e ->
+      pop ();
+      raise e

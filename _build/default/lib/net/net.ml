@@ -1,0 +1,88 @@
+let log_src = Logs.Src.create "dprbg.net" ~doc:"Synchronous network rounds"
+
+module Log = (val Logs.src_log log_src)
+
+type 'msg t = {
+  n : int;
+  byte_size : 'msg -> int;
+  (* queues.(dst) holds (src, msg) in reverse send order. *)
+  queues : (int * 'msg) list array;
+  mutable rounds : int;
+}
+
+let create ~n ~byte_size =
+  if n < 1 then invalid_arg "Net.create: n must be positive";
+  { n; byte_size; queues = Array.make n []; rounds = 0 }
+
+let n t = t.n
+
+let check_id t label i =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Net.%s: player id %d out of range" label i)
+
+let send t ~src ~dst msg =
+  check_id t "send" src;
+  check_id t "send" dst;
+  if src <> dst then Metrics.tick_message ~bytes_len:(t.byte_size msg);
+  t.queues.(dst) <- (src, msg) :: t.queues.(dst)
+
+let send_to_all t ~src f =
+  for dst = 0 to t.n - 1 do
+    send t ~src ~dst (f dst)
+  done
+
+let deliver t =
+  Metrics.tick_round ();
+  t.rounds <- t.rounds + 1;
+  Log.debug (fun m ->
+      let pending =
+        Array.fold_left (fun acc q -> acc + List.length q) 0 t.queues
+      in
+      m "round %d: delivering %d messages to %d players" t.rounds pending t.n);
+  Array.mapi
+    (fun dst queue ->
+      t.queues.(dst) <- [];
+      (* Restore send order, then stable-sort by sender for deterministic
+         iteration in protocol code. *)
+      List.stable_sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        (List.rev queue))
+    t.queues
+
+let rounds_elapsed t = t.rounds
+
+module Faults = struct
+  type t = { n : int; faulty : bool array }
+
+  let none ~n = { n; faulty = Array.make n false }
+
+  let make ~n ~faulty =
+    let a = Array.make n false in
+    List.iter
+      (fun i ->
+        if i < 0 || i >= n then invalid_arg "Faults.make: id out of range";
+        if a.(i) then invalid_arg "Faults.make: duplicate id";
+        a.(i) <- true)
+      faulty;
+    { n; faulty = a }
+
+  let random g ~n ~t =
+    if t < 0 || t > n then invalid_arg "Faults.random: bad t";
+    make ~n ~faulty:(Prng.sample_distinct g t n)
+
+  let n t = t.n
+  let is_faulty t i = t.faulty.(i)
+  let is_honest t i = not t.faulty.(i)
+
+  let faulty t =
+    List.filter (fun i -> t.faulty.(i)) (List.init t.n Fun.id)
+
+  let honest t =
+    List.filter (fun i -> not t.faulty.(i)) (List.init t.n Fun.id)
+
+  let count t = List.length (faulty t)
+
+  let pp ppf t =
+    Format.fprintf ppf "faulty={%s}"
+      (String.concat "," (List.map string_of_int (faulty t)))
+end

@@ -1,0 +1,74 @@
+(** Synchronous network of [n] players with private point-to-point
+    channels — the paper's communication model (Section 2).
+
+    A protocol round is: every player deposits its outgoing messages with
+    {!send} (or {!send_to_all}), then the round barrier {!deliver}
+    advances time and hands every player its inbox. Synchrony means a
+    message sent in round [r] arrives at the start of round [r+1] and a
+    missing message is detectable — faulty players simply do not call
+    {!send}.
+
+    Channels are private: the simulator only ever exposes an inbox to its
+    addressee (there is no eavesdropping API), which models the paper's
+    secrecy assumption for shares in transit.
+
+    Byzantine behaviour is expressed by the code driving a faulty
+    player's sends — nothing here restricts what a player may send, to
+    whom, or how inconsistently (equivocation is just [send]ing different
+    values to different destinations).
+
+    Every send ticks {!Metrics.tick_message} with the message's wire
+    size and every barrier ticks {!Metrics.tick_round}, which is how the
+    paper's per-protocol message/bit/round counts are measured. *)
+
+type 'msg t
+
+val create : n:int -> byte_size:('msg -> int) -> 'msg t
+(** A fresh network for one protocol execution. [byte_size] gives the
+    wire size of each message for communication accounting. *)
+
+val n : _ t -> int
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Queue a message for delivery at the next {!deliver}. [src] and
+    [dst] must be valid player ids; sending to oneself is allowed (and
+    free: self-messages are not counted as communication). *)
+
+val send_to_all : 'msg t -> src:int -> (int -> 'msg) -> unit
+(** [send_to_all net ~src f] sends [f dst] to every player [dst]
+    (including [src] itself, uncounted). With a constant [f] this is the
+    point-to-point "announce" the paper uses in place of broadcast; a
+    faulty player equivocates by varying [f]. *)
+
+val deliver : 'msg t -> (int * 'msg) list array
+(** Round barrier: returns [inbox] where [inbox.(i)] lists
+    [(sender, msg)] pairs in sender order (at most one slot per sender
+    per round is typical, but multiple sends are preserved in send
+    order). All queues are emptied. *)
+
+val rounds_elapsed : _ t -> int
+
+(** {1 Fault sets} *)
+
+module Faults : sig
+  type t
+  (** Which players are Byzantine in one execution. The set is fixed for
+      the run, matching the paper's "fixed for a constant number of
+      rounds" assumption; the proactive-refresh example models mobility
+      by using a different set per epoch. *)
+
+  val none : n:int -> t
+  val make : n:int -> faulty:int list -> t
+  (** @raise Invalid_argument on out-of-range or duplicate ids. *)
+
+  val random : Prng.t -> n:int -> t:int -> t
+  (** [t] faulty players chosen uniformly. *)
+
+  val n : t -> int
+  val count : t -> int
+  val is_faulty : t -> int -> bool
+  val is_honest : t -> int -> bool
+  val faulty : t -> int list
+  val honest : t -> int list
+  val pp : Format.formatter -> t -> unit
+end

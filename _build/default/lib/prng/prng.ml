@@ -1,0 +1,86 @@
+(* SplitMix64. Reference: Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_int seed = create (Int64.of_int seed)
+
+let copy g = { state = g.state }
+
+(* The 64-bit finalizer of MurmurHash3, variant from the SplitMix64
+   reference implementation. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+(* A distinct finalizer for deriving split-off streams, per the paper's
+   recommendation to decorrelate the child gamma/seed from the parent. *)
+let mix_gamma z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L) in
+  Int64.(logxor z (shift_right_logical z 33))
+
+let split g =
+  let seed = next_int64 g in
+  { state = mix_gamma seed }
+
+let split_n g n =
+  assert (n >= 0);
+  Array.init n (fun _ -> split g)
+
+let int64_nonneg g = Int64.logand (next_int64 g) Int64.max_int
+
+let bits g w =
+  assert (w >= 0 && w <= 62);
+  if w = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (next_int64 g) (64 - w))
+
+let bool g = Int64.compare (next_int64 g) 0L < 0
+
+let int g bound =
+  assert (bound > 0);
+  (* Rejection sampling over the smallest power of two >= bound. *)
+  let rec width w = if 1 lsl w >= bound then w else width (w + 1) in
+  let w = width 0 in
+  let rec draw () =
+    let v = bits g w in
+    if v < bound then v else draw ()
+  in
+  draw ()
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))
+
+let sample_distinct g m bound =
+  assert (m >= 0 && m <= bound);
+  (* For small m relative to bound, draw-and-retry; otherwise shuffle a
+     full range. The protocols only ever sample a handful of ids. *)
+  if 2 * m >= bound then begin
+    let a = Array.init bound (fun i -> i) in
+    shuffle g a;
+    List.sort compare (Array.to_list (Array.sub a 0 m))
+  end else begin
+    let module IS = Set.Make (Int) in
+    let rec fill acc =
+      if IS.cardinal acc = m then acc else fill (IS.add (int g bound) acc)
+    in
+    IS.elements (fill IS.empty)
+  end

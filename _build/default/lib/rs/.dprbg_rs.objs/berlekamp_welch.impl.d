@@ -1,0 +1,1 @@
+lib/rs/berlekamp_welch.ml: Array Field_intf Linalg List Metrics Option Poly

@@ -1,0 +1,1 @@
+lib/rs/berlekamp_welch.mli: Field_intf Poly

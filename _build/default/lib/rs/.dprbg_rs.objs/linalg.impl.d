@@ -1,0 +1,1 @@
+lib/rs/linalg.ml: Array Field_intf

@@ -1,0 +1,1 @@
+lib/rs/linalg.mli: Field_intf

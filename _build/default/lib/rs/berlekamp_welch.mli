@@ -1,0 +1,34 @@
+(** Berlekamp–Welch decoding: interpolation through points of which some
+    may be adversarially wrong.
+
+    The paper uses this as its robust-interpolation primitive ("Methods
+    such as the Berlekamp-Welch decoder [5] can be used", Section 2):
+    [Bit-Gen] step 5 and [Coin-Expose] step 2 interpolate a degree-[t]
+    polynomial through shares of which up to [t] come from faulty
+    players. Given [m] points, a degree bound [d] and an error bound
+    [e] with [m >= d + 1 + 2e], the unique degree-[<= d] polynomial
+    agreeing with at least [m - e] points is recovered whenever it
+    exists. *)
+
+module Make (F : Field_intf.S) : sig
+  module P : module type of Poly.Make (F)
+
+  val decode :
+    max_degree:int -> max_errors:int -> (F.t * F.t) list -> P.t option
+  (** [decode ~max_degree:d ~max_errors:e points] returns the unique
+      polynomial of degree [<= d] that agrees with at least
+      [length points - e] of the points, or [None] when no such
+      polynomial exists. The [x]s must be pairwise distinct and
+      [length points >= d + 1 + 2e] must hold (raises
+      [Invalid_argument] otherwise — with fewer points the answer is
+      not unique). Ticks one {!Metrics.tick_interpolation}. *)
+
+  val decode_with_support :
+    max_degree:int ->
+    max_errors:int ->
+    (F.t * F.t) list ->
+    (P.t * (F.t * F.t) list) option
+  (** Like {!decode} but also returns the agreeing points (the
+      "support"); [Bit-Gen] step 5 needs them to report the share set
+      [S]. *)
+end

@@ -1,0 +1,14 @@
+(** Dense linear algebra over an abstract field — just enough Gaussian
+    elimination to drive the Berlekamp–Welch decoder's linear system. *)
+
+module Make (F : Field_intf.S) : sig
+  val solve : F.t array array -> F.t array -> F.t array option
+  (** [solve a b] returns some [x] with [A x = b], or [None] if the
+      system is inconsistent. When the system is under-determined, free
+      variables are set to zero (any solution works for the decoder).
+      [a] is an array of rows; neither input is mutated. *)
+
+  val solve_homogeneous_nontrivial : F.t array array -> F.t array option
+  (** A non-zero [x] with [A x = 0], if one exists (i.e. if the columns
+      are linearly dependent). *)
+end

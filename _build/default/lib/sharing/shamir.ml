@@ -1,0 +1,42 @@
+module Make (F : Field_intf.S) = struct
+  module P = Poly.Make (F)
+  module BW = Berlekamp_welch.Make (F)
+
+  let eval_point i =
+    assert (i >= 0);
+    F.of_int (i + 1)
+
+  let share_poly g ~t ~secret =
+    assert (t >= 0);
+    P.random_with_c0 g ~degree:t ~c0:secret
+
+  let deal g ~t ~n ~secret =
+    if t >= n then invalid_arg "Shamir.deal: need t < n";
+    let f = share_poly g ~t ~secret in
+    Array.init n (fun i -> P.eval f (eval_point i))
+
+  let reconstruct shares =
+    if shares = [] then invalid_arg "Shamir.reconstruct: no shares";
+    P.interpolate_at
+      (List.map (fun (i, s) -> (eval_point i, s)) shares)
+      F.zero
+
+  let robust_reconstruct ~t shares =
+    let m = List.length shares in
+    let e = (m - t - 1) / 2 in
+    if e < 0 then None
+    else
+      let points = List.map (fun (i, s) -> (eval_point i, s)) shares in
+      match BW.decode_with_support ~max_degree:t ~max_errors:e points with
+      | None -> None
+      | Some (f, support) ->
+          let support_ids =
+            List.filter
+              (fun (i, s) ->
+                List.exists
+                  (fun (x, y) -> F.equal x (eval_point i) && F.equal y s)
+                  support)
+              shares
+          in
+          Some (BW.P.eval f F.zero, support_ids)
+end

@@ -1,0 +1,37 @@
+(** Shamir secret sharing [Sha79] — the sharing shape underneath every
+    protocol in the paper.
+
+    The dealer picks a uniformly random polynomial [f] of degree [<= t]
+    with [f(0) = secret]; player [i] (ids [0 .. n-1]) receives the share
+    [f(i+1)]. Any [t+1] shares reconstruct [f(0)] by interpolation; any
+    [t] shares are statistically independent of the secret. *)
+
+module Make (F : Field_intf.S) : sig
+  module P : module type of Poly.Make (F)
+
+  val eval_point : int -> F.t
+  (** [eval_point i] is the field point of player [i], namely
+      [F.of_int (i + 1)] — non-zero so that no share is the secret
+      itself. *)
+
+  val share_poly : Prng.t -> t:int -> secret:F.t -> P.t
+  (** The dealer's random degree-[<= t] polynomial with constant term
+      [secret]. *)
+
+  val deal : Prng.t -> t:int -> n:int -> secret:F.t -> F.t array
+  (** [deal g ~t ~n ~secret] returns the [n] shares. Requires
+      [t < n] and [n] distinct evaluation points to exist in [F]. *)
+
+  val reconstruct : (int * F.t) list -> F.t
+  (** [reconstruct shares] interpolates [f(0)] from [(player, share)]
+      pairs; callers supply at least [t+1] shares from distinct
+      players. All supplied shares are used, so a corrupted share
+      corrupts the output — use {!robust_reconstruct} against faults. *)
+
+  val robust_reconstruct :
+    t:int -> (int * F.t) list -> (F.t * (int * F.t) list) option
+  (** [robust_reconstruct ~t shares] decodes through up to [e] wrong
+      shares where [e = (len - t - 1) / 2] (Berlekamp–Welch), returning
+      the secret and the agreeing shares. [None] when decoding fails,
+      i.e. more errors than the share count supports. *)
+end

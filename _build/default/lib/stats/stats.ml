@@ -1,0 +1,57 @@
+let mean xs =
+  if xs = [] then invalid_arg "Stats.mean: empty";
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  if xs = [] then invalid_arg "Stats.stddev: empty";
+  let m = mean xs in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. float_of_int (List.length xs)
+  in
+  sqrt var
+
+let histogram ~buckets key xs =
+  if buckets < 1 then invalid_arg "Stats.histogram: buckets < 1";
+  let h = Array.make buckets 0 in
+  List.iter
+    (fun x ->
+      let b = key x mod buckets in
+      if b < 0 then invalid_arg "Stats.histogram: negative key";
+      h.(b) <- h.(b) + 1)
+    xs;
+  h
+
+let chi_square ~observed =
+  let buckets = Array.length observed in
+  if buckets < 2 then invalid_arg "Stats.chi_square: need >= 2 buckets";
+  let total = Array.fold_left ( + ) 0 observed in
+  if total = 0 then invalid_arg "Stats.chi_square: no observations";
+  let expected = float_of_int total /. float_of_int buckets in
+  Array.fold_left
+    (fun acc c ->
+      let d = float_of_int c -. expected in
+      acc +. (d *. d /. expected))
+    0.0 observed
+
+let chi_square_two_sample a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Stats.chi_square_two_sample: length mismatch";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i ca ->
+      let cb = b.(i) in
+      if ca + cb > 0 then begin
+        let e = float_of_int (ca + cb) /. 2.0 in
+        let da = float_of_int ca -. e and db = float_of_int cb -. e in
+        acc := !acc +. (da *. da /. e) +. (db *. db /. e)
+      end)
+    a;
+  !acc
+
+let uniform_5sigma_bound ~buckets =
+  let dof = float_of_int (buckets - 1) in
+  dof +. (5.0 *. sqrt (2.0 *. dof))
+
+let bit_balance_bound ~trials =
+  int_of_float (5.0 *. sqrt (float_of_int trials) /. 2.0)

@@ -1,0 +1,37 @@
+(** Small statistics toolkit for the randomness tests and experiment
+    harness: uniformity checks on coin outputs, goodness-of-fit between
+    empirical distributions, and summary statistics for iteration counts.
+
+    Shared coins are useless if they are biased, so the test-suite and
+    several experiments (E8, E12, E14, the lottery example) check
+    empirical distributions; this module centralizes those checks. *)
+
+val mean : float list -> float
+(** Arithmetic mean. @raise Invalid_argument on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation. @raise Invalid_argument on empty. *)
+
+val histogram : buckets:int -> ('a -> int) -> 'a list -> int array
+(** [histogram ~buckets key xs] counts [xs] by [key x mod buckets]
+    (non-negative keys expected). *)
+
+val chi_square : observed:int array -> float
+(** Chi-square statistic against the uniform expectation over the
+    buckets. @raise Invalid_argument when there are no observations or
+    fewer than two buckets. *)
+
+val chi_square_two_sample : int array -> int array -> float
+(** Chi-square statistic for the hypothesis that two equally-bucketed
+    samples come from the same distribution (empty bucket pairs are
+    skipped). *)
+
+val uniform_5sigma_bound : buckets:int -> float
+(** A loose pass threshold for {!chi_square} on a uniform sample:
+    [dof + 5 * sqrt (2 * dof)] where [dof = buckets - 1]. Exceeding this
+    is a > 5-sigma event for a genuinely uniform source — the test
+    thresholds the suite uses. *)
+
+val bit_balance_bound : trials:int -> int
+(** Maximum absolute deviation from [trials/2] heads accepted for a fair
+    coin: [5 * sqrt (trials) / 2], the 5-sigma band. *)

@@ -1,0 +1,1 @@
+lib/vss/coin_oracle.ml: Array Broadcast Field_intf Fun List Metrics Option Prng Shamir

@@ -1,0 +1,1 @@
+lib/vss/coin_oracle.mli: Field_intf Prng

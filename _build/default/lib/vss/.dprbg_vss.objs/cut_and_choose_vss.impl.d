@@ -1,0 +1,1 @@
+lib/vss/cut_and_choose_vss.ml: Array Broadcast Field_intf Fun List Metrics Poly Shamir

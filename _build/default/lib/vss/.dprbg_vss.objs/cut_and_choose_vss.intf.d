@@ -1,0 +1,1 @@
+lib/vss/cut_and_choose_vss.mli: Field_intf Poly Prng

@@ -1,0 +1,1 @@
+lib/vss/feldman_vss.ml: Array Broadcast Metrics Poly Shamir Zp

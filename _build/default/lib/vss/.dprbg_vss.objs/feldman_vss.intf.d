@@ -1,0 +1,1 @@
+lib/vss/feldman_vss.mli: Field_intf Prng

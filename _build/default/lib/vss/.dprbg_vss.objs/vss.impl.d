@@ -1,0 +1,1 @@
+lib/vss/vss.ml: Array Berlekamp_welch Broadcast Field_intf Fun List Metrics Option Poly Shamir

@@ -1,0 +1,1 @@
+lib/vss/vss.mli: Field_intf Poly Prng Shamir

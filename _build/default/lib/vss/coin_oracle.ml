@@ -1,0 +1,38 @@
+module Make (F : Field_intf.S) = struct
+  module S = Shamir.Make (F)
+
+  type t = Ideal of Prng.t | Shared of { g : Prng.t; n : int; t : int }
+
+  let ideal g = Ideal g
+
+  let simulated_shared g ~n ~t =
+    if t >= n then invalid_arg "Coin_oracle.simulated_shared: need t < n";
+    Shared { g; n; t }
+
+  let draw = function
+    | Ideal g -> Metrics.without_counting (fun () -> F.random g)
+    | Shared { g; n; t } ->
+        (* The sharing pre-exists (it is what "holding a sealed coin"
+           means), so materializing it is uncounted. *)
+        let shares =
+          Metrics.without_counting (fun () ->
+              S.deal g ~t ~n ~secret:(F.random g))
+        in
+        (* Expose: every player broadcasts its share, then each player
+           reconstructs — the paper's n messages of size k plus one
+           interpolation per player. *)
+        let announced =
+          Broadcast.round ~byte_size:(fun _ -> F.byte_size) ~n (fun i ->
+              Some shares.(i))
+        in
+        let reconstruct () =
+          let shares_list =
+            List.filter_map
+              (fun i -> Option.map (fun s -> (i, s)) announced.(i))
+              (List.init n Fun.id)
+          in
+          S.reconstruct shares_list
+        in
+        let per_player = Array.init n (fun _ -> reconstruct ()) in
+        per_player.(0)
+end

@@ -1,0 +1,35 @@
+(** The "secret random k-ary coin" the Section-3 protocols assume.
+
+    Protocols VSS and Batch-VSS are parameterized by access to a shared
+    coin that stays secret until exposed ({i "Given: access to a secret
+    random k-ary-coin"}, Figs. 2-3). In the full system that coin comes
+    from the D-PRBG pool; for running or measuring the VSS layer on its
+    own, this module provides two stand-ins:
+
+    {ul
+    {- {!Make.ideal} — a zero-cost oracle for unit tests: drawing costs
+       nothing and just consumes local randomness;}
+    {- {!Make.simulated_shared} — an oracle that actually performs the
+       broadcast-model [Coin-Expose] on a fresh pre-dealt Shamir sharing
+       each draw: [n] broadcast messages of one field element, one round,
+       and one reconstruction per player. This is the accounting the
+       paper applies in Lemma 2 ("a single secret coin is reconstructed
+       for the verification [...] equivalent in computation to the
+       interpolation of the shares being examined").}}
+
+    Creating the pre-existing sharing is bookkeeping with no protocol
+    counterpart, so it runs under {!Metrics.without_counting}. *)
+
+module Make (F : Field_intf.S) : sig
+  type t
+
+  val ideal : Prng.t -> t
+  (** Draws are free and uncounted. *)
+
+  val simulated_shared : Prng.t -> n:int -> t:int -> t
+  (** Draws execute a broadcast-model expose among [n] players with
+      degree-[t] sharings and tick the corresponding costs. *)
+
+  val draw : t -> F.t
+  (** Consume and expose the next coin. *)
+end

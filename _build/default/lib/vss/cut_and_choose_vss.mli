@@ -1,0 +1,45 @@
+(** Cut-and-choose VSS — the Chaum–Crépeau–Damgård-style baseline the
+    paper compares against (Section 1.4 and Section 3.1).
+
+    "The method presented in [9] is a cut-and-choose protocol. Roughly
+    speaking, the dealer who shared the secret is asked to share k
+    additional polynomials g_1(x), ..., g_k(x). For each j the players
+    decide whether to reconstruct g_j(x) or f(x) + g_j(x), and check if
+    the reconstructed polynomial is of degree <= t. Thus, in this
+    approach k polynomial interpolations are computed [...]"
+
+    Each challenge round catches a cheating dealer with probability 1/2,
+    so [rounds] challenges give soundness error [2^-rounds] — against the
+    single interpolation and [1/p] error of the paper's protocol. This
+    module exists to let the benchmark harness reproduce that comparison
+    (experiment E10). *)
+
+module Make (F : Field_intf.S) : sig
+  module P : module type of Poly.Make (F)
+
+  type verdict = Accept | Reject
+
+  type dealing = {
+    alpha : F.t array;  (** shares of the secret polynomial [f] *)
+    masks : F.t array array;  (** [masks.(j).(i)]: player [i]'s share of [g_j] *)
+    mask_polys : P.t array;  (** the dealer's committed [g_j] (used when a
+                                 challenge asks it to open [g_j] directly) *)
+    sum_polys : P.t array;  (** the dealer's committed [f + g_j] *)
+  }
+
+  val honest_dealing :
+    Prng.t -> n:int -> t:int -> rounds:int -> secret:F.t -> dealing
+
+  val cheating_dealing :
+    Prng.t -> n:int -> t:int -> rounds:int -> dealing
+  (** A dealer whose [f] has degree [t + 1] and whose masks are all
+      honest (degree [<= t]) — each challenge then catches it with
+      probability exactly 1/2, the optimal evasion. *)
+
+  val run :
+    n:int -> t:int -> challenges:bool array -> dealing -> verdict
+  (** One execution with the given public challenge bits (one per
+      round): [false] opens [g_j], [true] opens [f + g_j]. Every opened
+      polynomial costs a broadcast round of [n] shares and one
+      interpolation per player. *)
+end

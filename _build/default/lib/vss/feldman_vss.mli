@@ -1,0 +1,56 @@
+(** Feldman's non-interactive VSS [Fel87] — the discrete-log baseline of
+    the paper's Section 1.4 comparison.
+
+    "Feldman's protocol depends on the unproven assumption of the
+    hardness of the discrete log problem. After defining the polynomial
+    (à la Shamir) and computing all the private shares f(i) of the
+    players, the dealer generates public information which aids in the
+    verification. A consequence of this is that both the dealer and the
+    players have to carry out t exponentiations (i.e., t log p
+    multiplications)."
+
+    Concretely: shares live in [Z_q]; the dealer publishes commitments
+    [c_j = g^(f_j) mod p] to every coefficient, where [p = 2q + 1] is a
+    safe prime and [g] generates the order-[q] subgroup; player [i]
+    accepts its share [s] iff [g^s = prod_j c_j^((i+1)^j) mod p].
+
+    {b Substitution note} (DESIGN.md §3): the paper sizes [p] at 1024
+    bits; no bignum library is available here, so [p] is a ~30-bit safe
+    prime. The comparison metric is {e operation counts} — each
+    exponentiation still costs [Theta(log p)] counted multiplications —
+    so the cost shape survives; only the (irrelevant to the benchmark)
+    cryptographic hardness does not. *)
+
+type verdict = Accept | Reject
+
+val q : int
+(** The share-field prime. *)
+
+val p : int
+(** The group prime, [p = 2q + 1]. *)
+
+val generator : int
+(** Generator of the order-[q] subgroup of [Z_p*]. *)
+
+module Fq : Field_intf.S
+(** The exponent field [Z_q] the shares live in. *)
+
+type dealing = {
+  shares : Fq.t array;
+  commitments : int array;  (** [c_j = g^(f_j) mod p], [j = 0..t] *)
+}
+
+val honest_dealing : Prng.t -> n:int -> t:int -> secret:Fq.t -> dealing
+
+val cheating_dealing : Prng.t -> n:int -> t:int -> corrupt:int -> dealing
+(** Honest commitments but a corrupted share for player [corrupt] —
+    Feldman verification catches this deterministically. *)
+
+val verify_share : t:int -> commitments:int array -> player:int -> share:Fq.t -> bool
+(** The player-side check; costs [t] exponentiations, each counted as
+    [Theta(log p)] multiplications. *)
+
+val run : n:int -> t:int -> dealing -> verdict
+(** Full execution: the dealer broadcasts commitments and deals shares;
+    every player verifies its own share and broadcasts a complaint bit;
+    accept iff nobody complains. *)

@@ -1,0 +1,70 @@
+(** Wire encoding for protocol messages.
+
+    The simulator's communication accounting charges each message its
+    true serialized size; this module is where "true serialized size"
+    comes from. It provides a minimal deterministic binary format —
+    fixed-width little-endian integers, length-prefixed sequences,
+    canonical field elements via {!Field_intf.S.to_bytes} — plus codecs
+    for the message shapes the protocols exchange (share vectors, gamma
+    vectors with holes, [Coin-Gen] grade-cast payloads).
+
+    Encodings are self-delimiting, so codecs compose; decoding is strict
+    and raises [Invalid_argument] on trailing garbage, truncation, or
+    non-canonical field elements. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val raw : t -> bytes -> unit
+  val contents : t -> bytes
+  val size : t -> int
+end
+
+module Reader : sig
+  type t
+
+  val of_bytes : bytes -> t
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val raw : t -> int -> bytes
+  val is_exhausted : t -> bool
+
+  val expect_end : t -> unit
+  (** @raise Invalid_argument if bytes remain. *)
+end
+
+module Codec (F : Field_intf.S) : sig
+  val write_elt : Writer.t -> F.t -> unit
+  val read_elt : Reader.t -> F.t
+
+  val write_elt_array : Writer.t -> F.t array -> unit
+  (** u16 length prefix, then canonical elements. *)
+
+  val read_elt_array : Reader.t -> F.t array
+
+  val write_opt_elt_array : Writer.t -> F.t option array -> unit
+  (** Length prefix, presence bitmap, then the present elements — the
+      gamma-vector shape ([Coin-Gen] step 3). *)
+
+  val read_opt_elt_array : Reader.t -> F.t option array
+
+  val encode_elt : F.t -> bytes
+  val decode_elt : bytes -> F.t
+  (** One-shot helpers; [decode_elt] demands the exact length. *)
+
+  val elt_array_size : int -> int
+  (** Wire size of an array of the given length, without encoding it. *)
+
+  val opt_elt_array_size : F.t option array -> int
+
+  val payload_size : clique:int list -> poly_sizes:int list -> int
+  (** Wire size of a [Coin-Gen] grade-cast payload carrying the given
+      clique and check polynomials with the given coefficient counts
+      (u16 ids and length prefixes). Used for exact gradecast byte
+      accounting. *)
+end

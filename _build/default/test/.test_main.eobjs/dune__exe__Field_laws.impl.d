@@ -1,0 +1,1 @@
+test/field_laws.ml: Alcotest Array Bytes Field_intf List Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest Array Bit_gen Coin_expose Coin_gen Gf2k List Metrics Net Option Phase_king Prng QCheck QCheck_alcotest Sealed_coin Shamir Vss

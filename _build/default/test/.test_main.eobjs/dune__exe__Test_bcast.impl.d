@@ -1,0 +1,1 @@
+test/test_bcast.ml: Alcotest Array Bool Broadcast Gradecast List Metrics Net Phase_king Prng QCheck QCheck_alcotest String

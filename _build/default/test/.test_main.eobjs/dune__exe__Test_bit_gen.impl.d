@@ -1,0 +1,1 @@
+test/test_bit_gen.ml: Alcotest Array Bit_gen Fun Gf2k List Metrics Option Printf Prng Vss

@@ -1,0 +1,1 @@
+test/test_broadcast_protocol.ml: Alcotest Array Broadcast_protocol Common_coin_ba Gf2k Gradecast List Net Phase_king Pool Prng QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_coin_expose.ml: Alcotest Array Coin_expose Fun Gf2k List Metrics Option Printf Prng Sealed_coin

@@ -1,0 +1,1 @@
+test/test_coin_gen.ml: Alcotest Array Attacks Coin_expose Coin_gen Fun Gf2k List Metrics Net Option Phase_king Printf Prng Sealed_coin

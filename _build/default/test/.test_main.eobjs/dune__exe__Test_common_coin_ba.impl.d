@@ -1,0 +1,1 @@
+test/test_common_coin_ba.ml: Alcotest Array Bool Common_coin_ba List Net Printf Prng

@@ -1,0 +1,1 @@
+test/test_eig.ml: Alcotest Array Bool Coin_expose Coin_gen Eig_ba Gf2k Hashtbl List Metrics Net Phase_king Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Array Fft_field Field_laws Gf2_wide Gf2k List Ntt Printf Prng QCheck QCheck_alcotest Zp Zq_table

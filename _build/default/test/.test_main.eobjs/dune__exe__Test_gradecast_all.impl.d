@@ -1,0 +1,1 @@
+test/test_gradecast_all.ml: Alcotest Array Fun Gradecast List Metrics Net Printf Prng QCheck QCheck_alcotest String

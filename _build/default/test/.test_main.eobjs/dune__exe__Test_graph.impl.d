@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Fun List Net Player_graph Prng QCheck QCheck_alcotest

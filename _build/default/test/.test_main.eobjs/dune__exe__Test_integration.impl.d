@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Gf2k Metrics Pool Prng Vss

@@ -1,0 +1,1 @@
+test/test_multivalued_ba.ml: Alcotest Array Gf2k Hashtbl List Multivalued_ba Net Phase_king Prng QCheck QCheck_alcotest String

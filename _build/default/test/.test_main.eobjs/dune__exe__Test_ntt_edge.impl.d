@@ -1,0 +1,1 @@
+test/test_ntt_edge.ml: Alcotest Array Fft_field List Ntt Prng Zp Zq_table

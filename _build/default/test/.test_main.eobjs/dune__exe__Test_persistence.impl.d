@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Array Bytes Coin_expose Coin_gen Gf2k Metrics Option Pool Prng Sealed_coin Wire

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Fmt Gf2k List Metrics Poly Prng QCheck QCheck_alcotest

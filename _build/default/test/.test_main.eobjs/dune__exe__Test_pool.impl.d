@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Array Gf2k List Metrics Net Phase_king Pool Printf Prng QCheck QCheck_alcotest

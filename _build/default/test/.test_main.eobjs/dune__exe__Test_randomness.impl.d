@@ -1,0 +1,1 @@
+test/test_randomness.ml: Alcotest Array Fun Gf2k List Printf Prng Randomness Stats

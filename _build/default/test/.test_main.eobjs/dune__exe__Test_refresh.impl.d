@@ -1,0 +1,1 @@
+test/test_refresh.ml: Alcotest Array Coin_expose Coin_gen Gf2k Gradecast List Metrics Net Option Phase_king Poly Pool Printf Prng Refresh Sealed_coin Shamir

@@ -1,0 +1,1 @@
+test/test_rs.ml: Alcotest Array Berlekamp_welch Gf2k Linalg List Poly Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_shamir.ml: Alcotest Array Gf2k List Printf Prng QCheck QCheck_alcotest Shamir

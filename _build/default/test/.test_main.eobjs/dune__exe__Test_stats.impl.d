@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Fun List Printf Prng Stats

@@ -1,0 +1,1 @@
+test/test_vss.ml: Alcotest Array Coin_oracle Fun Gf2k List Metrics Printf Prng Vss

@@ -1,0 +1,1 @@
+test/test_vss_baselines.ml: Alcotest Array Cut_and_choose_vss Feldman_vss Gf2k Metrics Printf Prng Zp

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Bytes Gf2k List Prng QCheck QCheck_alcotest Wire

@@ -1,0 +1,92 @@
+(* Property tests every field implementation must pass: the abelian-group
+   and ring axioms, inverse laws, and the contracts of the auxiliary
+   operations (of_int injectivity, to_bits width, pow semantics). Reused
+   by test_field for each of the five implementations. *)
+
+module Make (F : Field_intf.S) = struct
+  let arb_elt =
+    QCheck.make ~print:F.to_string
+      (QCheck.Gen.map (fun s -> F.random (Prng.of_int s)) QCheck.Gen.int)
+
+  let arb_nonzero =
+    QCheck.make ~print:F.to_string
+      (QCheck.Gen.map (fun s -> F.random_nonzero (Prng.of_int s)) QCheck.Gen.int)
+
+  let pair = QCheck.pair arb_elt arb_elt
+  let triple = QCheck.triple arb_elt arb_elt arb_elt
+
+  let count = 300
+
+  let law name arb f = QCheck.Test.make ~count ~name:(F.name ^ ": " ^ name) arb f
+
+  let tests =
+    [
+      law "add commutative" pair (fun (a, b) -> F.equal (F.add a b) (F.add b a));
+      law "add associative" triple (fun (a, b, c) ->
+          F.equal (F.add (F.add a b) c) (F.add a (F.add b c)));
+      law "zero is additive identity" arb_elt (fun a -> F.equal (F.add a F.zero) a);
+      law "sub inverts add" pair (fun (a, b) -> F.equal (F.sub (F.add a b) b) a);
+      law "neg is additive inverse" arb_elt (fun a ->
+          F.equal (F.add a (F.neg a)) F.zero);
+      law "mul commutative" pair (fun (a, b) -> F.equal (F.mul a b) (F.mul b a));
+      law "mul associative" triple (fun (a, b, c) ->
+          F.equal (F.mul (F.mul a b) c) (F.mul a (F.mul b c)));
+      law "one is multiplicative identity" arb_elt (fun a ->
+          F.equal (F.mul a F.one) a);
+      law "mul distributes over add" triple (fun (a, b, c) ->
+          F.equal (F.mul a (F.add b c)) (F.add (F.mul a b) (F.mul a c)));
+      law "zero annihilates" arb_elt (fun a -> F.equal (F.mul a F.zero) F.zero);
+      law "inv is multiplicative inverse" arb_nonzero (fun a ->
+          F.equal (F.mul a (F.inv a)) F.one);
+      law "div inverts mul" (QCheck.pair arb_elt arb_nonzero) (fun (a, b) ->
+          F.equal (F.div (F.mul a b) b) a);
+      law "pow agrees with iterated mul" (QCheck.pair arb_elt (QCheck.int_range 0 12))
+        (fun (a, e) ->
+          let rec naive i acc = if i = 0 then acc else naive (i - 1) (F.mul acc a) in
+          F.equal (F.pow a e) (naive e F.one));
+      law "of_int injective on small ints"
+        (QCheck.pair (QCheck.int_range 0 1000) (QCheck.int_range 0 1000))
+        (fun (i, j) ->
+          QCheck.assume (i <> j);
+          let bound = if F.k_bits >= 62 then max_int else 1 lsl F.k_bits in
+          QCheck.assume (i < bound && j < bound);
+          not (F.equal (F.of_int i) (F.of_int j)));
+      law "to_bits has width k_bits" arb_elt (fun a ->
+          Array.length (F.to_bits a) = F.k_bits);
+      law "bytes roundtrip" arb_elt (fun a ->
+          let b = F.to_bytes a in
+          Bytes.length b = F.byte_size && F.equal (F.of_bytes b) a);
+      law "lsb is 0 or 1" arb_elt (fun a -> F.lsb a = 0 || F.lsb a = 1);
+      law "equal is reflexive" arb_elt (fun a -> F.equal a a);
+      law "compare consistent with equal" pair (fun (a, b) ->
+          F.equal a b = (F.compare a b = 0));
+      law "hash respects equality" pair (fun (a, b) ->
+          (not (F.equal a b)) || F.hash a = F.hash b);
+    ]
+
+  let unit_tests =
+    [
+      Alcotest.test_case (F.name ^ ": constants distinct") `Quick (fun () ->
+          Alcotest.(check bool) "zero <> one" false (F.equal F.zero F.one));
+      Alcotest.test_case (F.name ^ ": inv zero raises") `Quick (fun () ->
+          Alcotest.check_raises "Division_by_zero" Division_by_zero (fun () ->
+              ignore (F.inv F.zero)));
+      Alcotest.test_case (F.name ^ ": byte_size covers k_bits") `Quick (fun () ->
+          Alcotest.(check bool) "8*byte_size >= k_bits" true
+            (8 * F.byte_size >= F.k_bits));
+      Alcotest.test_case (F.name ^ ": player ids distinct & non-zero") `Quick
+        (fun () ->
+          let n = min 40 ((1 lsl min F.k_bits 20) - 1) in
+          let pts = List.init n (fun i -> F.of_int (i + 1)) in
+          List.iter
+            (fun p ->
+              Alcotest.(check bool) "non-zero" false (F.equal p F.zero))
+            pts;
+          let distinct =
+            List.length (List.sort_uniq F.compare pts) = List.length pts
+          in
+          Alcotest.(check bool) "distinct" true distinct);
+    ]
+
+  let all = unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+end

@@ -1,0 +1,159 @@
+(* Tests for the ablation variants: they must compute the same values as
+   the paper's choices (where applicable) and exhibit exactly the
+   weakness/cost the design section attributes to them. *)
+
+module F = Gf2k.GF16
+module V = Vss.Make (F)
+module CG = Coin_gen.Make (F)
+module CE = Coin_expose.Make (F)
+module C = Sealed_coin.Make (F)
+
+let ideal_oracle seed =
+  let g = Prng.of_int seed in
+  fun () -> Metrics.without_counting (fun () -> F.random g)
+
+let prop_combines_agree =
+  QCheck.Test.make ~count:300 ~name:"Horner and naive combine agree"
+    QCheck.(pair int (int_range 0 32))
+    (fun (seed, m) ->
+      let g = Prng.of_int seed in
+      let shares = Array.init m (fun _ -> F.random g) in
+      let r = F.random g in
+      F.equal (V.combine ~r shares) (V.combine_naive ~r shares))
+
+let test_naive_combine_costs_more () =
+  let g = Prng.of_int 1 in
+  let shares = Array.init 128 (fun _ -> F.random g) in
+  let r = F.random g in
+  let mults f =
+    let _, snap = Metrics.with_counting (fun () -> ignore (f ~r shares)) in
+    snap.Metrics.field_mults
+  in
+  Alcotest.(check int) "Horner: exactly M mults" 128 (mults V.combine);
+  Alcotest.(check bool) "naive costs more" true
+    (mults V.combine_naive > 128)
+
+let test_per_dealer_coin_still_correct () =
+  (* The ablation variant must still produce valid, unanimous coins. *)
+  let n = 13 and t = 2 and m = 4 in
+  match
+    CG.run ~share_check_coin:false ~prng:(Prng.of_int 2)
+      ~oracle:(ideal_oracle 22) ~n ~t ~m ()
+  with
+  | None -> Alcotest.fail "run failed"
+  | Some batch ->
+      Alcotest.(check int) "n+1 seed coins" (n + 1) batch.CG.seed_coins_consumed;
+      for h = 0 to m - 1 do
+        let values = CE.run (CG.coin batch h) in
+        let first = values.(0) in
+        Alcotest.(check bool) "decoded" true (first <> None);
+        Array.iter
+          (fun v ->
+            Alcotest.(check bool) "unanimous" true
+              (match (v, first) with
+              | Some a, Some b -> F.equal a b
+              | _ -> false))
+          values
+      done
+
+let test_per_dealer_coin_under_attack () =
+  (* Lemma 7 must hold for the ablation too: per-dealer coins change the
+     cost, not the guarantees. *)
+  let n = 13 and t = 2 and m = 2 in
+  let g = Prng.of_int 3 in
+  for seed = 1 to 10 do
+    let faults = Net.Faults.random g ~n ~t in
+    let adversary =
+      CG.faulty_with ~as_dealer:(CG.BG.Bad_degree [ 0 ])
+        ~as_ba:(Phase_king.Fixed false) faults
+    in
+    match
+      CG.run ~share_check_coin:false ~adversary ~prng:(Prng.of_int (seed * 7))
+        ~oracle:(ideal_oracle (seed + 333)) ~n ~t ~m ()
+    with
+    | None -> ()
+    | Some batch ->
+        Alcotest.(check bool) "clique big enough" true
+          (List.length batch.CG.dealers >= n - (2 * t))
+  done
+
+let test_lagrange_expose_correct_without_faults () =
+  let g = Prng.of_int 4 in
+  for _ = 1 to 20 do
+    let coin = C.dealer_coin g ~n:13 ~t:2 in
+    let truth = Option.get (C.ground_truth coin) in
+    Array.iter
+      (fun v ->
+        Alcotest.(check bool) "correct" true
+          (match v with Some x -> F.equal x truth | None -> false))
+      (CE.run_lagrange coin)
+  done
+
+let test_lagrange_expose_breaks_under_liar () =
+  (* Demonstrate the weakness deterministically: a lying sender with a
+     low id lands in everyone's first t+1 shares and corrupts all
+     decodings, while BW is unaffected. *)
+  let g = Prng.of_int 5 in
+  let coin = C.dealer_coin g ~n:13 ~t:2 in
+  let truth = Option.get (C.ground_truth coin) in
+  let behavior i = if i = 0 then CE.Send (F.add truth F.one) else CE.Honest in
+  let lagr = CE.run_lagrange ~sender_behavior:behavior coin in
+  Alcotest.(check bool) "lagrange corrupted somewhere" true
+    (Array.exists
+       (fun v -> match v with Some x -> not (F.equal x truth) | None -> true)
+       lagr);
+  let bw = CE.run ~sender_behavior:behavior coin in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "BW unaffected" true
+        (match v with Some x -> F.equal x truth | None -> false))
+    bw
+
+let test_matrix_dealer_behavior () =
+  (* The explicit-matrix dealer used by experiment E14: an honest-shaped
+     matrix must behave exactly like an honest dealing. *)
+  let module BG = Bit_gen.Make (F) in
+  let module S = Shamir.Make (F) in
+  let n = 13 and t = 2 and m = 3 in
+  let g = Prng.of_int 6 in
+  let honest_matrix =
+    Array.init n (fun _ -> Array.make m F.zero)
+  in
+  for h = 0 to m - 1 do
+    let shares = S.deal g ~t ~n ~secret:(F.random g) in
+    Array.iteri (fun i s -> honest_matrix.(i).(h) <- s) shares
+  done;
+  let prng = Prng.of_int 7 in
+  let r = F.random g in
+  let views, matrix =
+    BG.run ~dealer_behavior:(BG.Matrix honest_matrix) ~prng ~n ~t ~m ~dealer:0
+      ~r ()
+  in
+  Alcotest.(check bool) "matrix returned" true (matrix = Some honest_matrix);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "accepted" true (v.BG.check_poly <> None))
+    views;
+  (* Dimension validation. *)
+  Alcotest.check_raises "bad dims"
+    (Invalid_argument "Bit_gen: explicit matrix has wrong dimensions")
+    (fun () ->
+      ignore
+        (BG.run
+           ~dealer_behavior:(BG.Matrix [| [| F.zero |] |])
+           ~prng ~n ~t ~m ~dealer:0 ~r ()))
+
+let suite =
+  [
+    Alcotest.test_case "naive combine costs more" `Quick
+      test_naive_combine_costs_more;
+    Alcotest.test_case "per-dealer coin still correct" `Quick
+      test_per_dealer_coin_still_correct;
+    Alcotest.test_case "per-dealer coin under attack" `Quick
+      test_per_dealer_coin_under_attack;
+    Alcotest.test_case "lagrange expose correct without faults" `Quick
+      test_lagrange_expose_correct_without_faults;
+    Alcotest.test_case "lagrange expose breaks under liar" `Quick
+      test_lagrange_expose_breaks_under_liar;
+    Alcotest.test_case "matrix dealer behavior" `Quick test_matrix_dealer_behavior;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_combines_agree ]

@@ -1,0 +1,214 @@
+let gc_run ?dealer_behavior ?follower_behavior ~n ~t ~dealer ~value () =
+  Gradecast.run ?dealer_behavior ?follower_behavior ~equal:String.equal
+    ~byte_size:String.length ~n ~t ~dealer ~value ()
+
+let honest_outcomes faults outcomes =
+  List.map (fun i -> outcomes.(i)) (Net.Faults.honest faults)
+
+let test_gradecast_honest_dealer () =
+  let n = 7 and t = 2 in
+  let outcomes = gc_run ~n ~t ~dealer:3 ~value:"v" () in
+  Array.iter
+    (fun o ->
+      Alcotest.(check (option string)) "value" (Some "v") o.Gradecast.value;
+      Alcotest.(check int) "confidence" 2 o.Gradecast.confidence)
+    outcomes
+
+let test_gradecast_silent_dealer () =
+  let n = 7 and t = 2 in
+  let outcomes = gc_run ~dealer_behavior:Gradecast.Dealer_silent ~n ~t ~dealer:0
+      ~value:"v" ()
+  in
+  Array.iter
+    (fun o -> Alcotest.(check int) "confidence 0" 0 o.Gradecast.confidence)
+    outcomes
+
+(* The core gradecast soundness property under arbitrary strategies:
+   if one honest player has confidence 2 on w, every honest player has
+   confidence >= 1 on w; and honest confidences >= 1 agree. *)
+let prop_gradecast_soundness =
+  QCheck.Test.make ~count:300 ~name:"gradecast graded agreement"
+    QCheck.(pair int (int_range 1 3))
+    (fun (seed, t) ->
+      let g = Prng.of_int seed in
+      let n = (3 * t) + 1 + Prng.int g 3 in
+      let faults = Net.Faults.random g ~n ~t in
+      let dealer = Prng.int g n in
+      let lies = [| "a"; "b"; "c"; "v" |] in
+      let dealer_behavior =
+        if Net.Faults.is_honest faults dealer then Gradecast.Dealer_honest
+        else
+          Gradecast.Dealer_equivocate
+            (fun dst ->
+              if Prng.bool g then Some lies.(dst mod 4) else None)
+      in
+      let strategies =
+        Array.init n (fun i ->
+            if Net.Faults.is_honest faults i then Gradecast.Follower_honest
+            else
+              match Prng.int g 3 with
+              | 0 -> Gradecast.Follower_silent
+              | 1 -> Gradecast.Follower_fixed lies.(Prng.int g 4)
+              | _ ->
+                  (* Pre-draw the equivocation table so the behaviour is
+                     a function, not fresh randomness per call. *)
+                  let table =
+                    Array.init 2 (fun _ ->
+                        Array.init n (fun _ ->
+                            if Prng.bool g then Some lies.(Prng.int g 4) else None))
+                  in
+                  Gradecast.Follower_arbitrary
+                    (fun ~round ~dst -> table.(round - 2).(dst)))
+      in
+      let outcomes =
+        gc_run ~dealer_behavior
+          ~follower_behavior:(fun i -> strategies.(i))
+          ~n ~t ~dealer ~value:"v" ()
+      in
+      let honest = honest_outcomes faults outcomes in
+      let conf2 =
+        List.filter_map
+          (fun o -> if o.Gradecast.confidence = 2 then o.Gradecast.value else None)
+          honest
+      in
+      let conf1_values =
+        List.filter_map
+          (fun o -> if o.Gradecast.confidence >= 1 then o.Gradecast.value else None)
+          honest
+      in
+      let all_equal = function
+        | [] -> true
+        | v :: rest -> List.for_all (String.equal v) rest
+      in
+      (* Honest dealer: everyone at confidence 2 with the right value. *)
+      (if Net.Faults.is_honest faults dealer then
+         List.for_all
+           (fun o ->
+             o.Gradecast.confidence = 2 && o.Gradecast.value = Some "v")
+           honest
+       else true)
+      && all_equal conf1_values
+      && (conf2 = [] || List.length conf1_values = List.length honest))
+
+let test_phase_king_all_agree_no_faults () =
+  let n = 9 and t = 2 in
+  let inputs = Array.init n (fun i -> i mod 2 = 0) in
+  let decisions = Phase_king.run ~n ~t ~inputs () in
+  let first = decisions.(0) in
+  Array.iter (fun d -> Alcotest.(check bool) "agree" first d) decisions
+
+let test_phase_king_validity () =
+  let n = 9 and t = 2 in
+  List.iter
+    (fun b ->
+      let inputs = Array.make n b in
+      let decisions = Phase_king.run ~n ~t ~inputs () in
+      Array.iter (fun d -> Alcotest.(check bool) "validity" b d) decisions)
+    [ true; false ]
+
+let prop_phase_king_agreement_and_validity =
+  QCheck.Test.make ~count:300 ~name:"phase king agreement+validity"
+    QCheck.(pair int (int_range 1 3))
+    (fun (seed, t) ->
+      let g = Prng.of_int seed in
+      let n = (4 * t) + 1 + Prng.int g 4 in
+      let faults = Net.Faults.random g ~n ~t in
+      let inputs = Array.init n (fun _ -> Prng.bool g) in
+      let strategies =
+        Array.init n (fun i ->
+            if Net.Faults.is_honest faults i then Phase_king.Honest
+            else
+              match Prng.int g 3 with
+              | 0 -> Phase_king.Silent
+              | 1 -> Phase_king.Fixed (Prng.bool g)
+              | _ ->
+                  let noise =
+                    Array.init ((t + 1) * 2 * n) (fun _ ->
+                        if Prng.bool g then Some (Prng.bool g) else None)
+                  in
+                  Phase_king.Arbitrary
+                    (fun ~phase ~round ~dst ->
+                      noise.((((phase * 2) + (round - 1)) * n) + dst)))
+      in
+      let decisions =
+        Phase_king.run ~behavior:(fun i -> strategies.(i)) ~n ~t ~inputs ()
+      in
+      let honest = Net.Faults.honest faults in
+      let honest_decisions = List.map (fun i -> decisions.(i)) honest in
+      let agreement =
+        match honest_decisions with
+        | [] -> true
+        | d :: rest -> List.for_all (Bool.equal d) rest
+      in
+      let honest_inputs = List.map (fun i -> inputs.(i)) honest in
+      let validity =
+        match honest_inputs with
+        | [] -> true
+        | b :: rest ->
+            (not (List.for_all (Bool.equal b) rest))
+            || List.for_all (Bool.equal b) honest_decisions
+      in
+      agreement && validity)
+
+let test_phase_king_requires_quorum () =
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Phase_king.run: requires n >= 4t+1") (fun () ->
+      ignore (Phase_king.run ~n:8 ~t:2 ~inputs:(Array.make 8 true) ()))
+
+let test_gradecast_requires_quorum () =
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Gradecast.run: requires n >= 3t+1") (fun () ->
+      ignore (gc_run ~n:6 ~t:2 ~dealer:0 ~value:"v" ()))
+
+let test_metrics_ticks () =
+  let (), snap =
+    Metrics.with_counting (fun () ->
+        ignore (gc_run ~n:7 ~t:2 ~dealer:0 ~value:"v" ());
+        ignore (Phase_king.run ~n:9 ~t:2 ~inputs:(Array.make 9 true) ()))
+  in
+  Alcotest.(check int) "one gradecast" 1 snap.Metrics.gradecasts;
+  Alcotest.(check int) "one ba" 1 snap.Metrics.ba_runs;
+  (* Gradecast: 3 rounds; phase king: 2(t+1) = 6 rounds. *)
+  Alcotest.(check int) "rounds" 9 snap.Metrics.rounds
+
+let test_broadcast_consistency () =
+  let seen =
+    Broadcast.round ~byte_size:String.length ~n:4 (fun i ->
+        if i = 2 then None else Some (string_of_int i))
+  in
+  Alcotest.(check (array (option string)))
+    "vector"
+    [| Some "0"; Some "1"; None; Some "3" |]
+    seen
+
+let test_broadcast_cost_model () =
+  let (), snap =
+    Metrics.with_counting (fun () ->
+        ignore
+          (Broadcast.round ~byte_size:String.length ~n:5 (fun i ->
+               if i = 0 then None else Some "xy")))
+  in
+  Alcotest.(check int) "one message per announcer" 4 snap.Metrics.messages;
+  Alcotest.(check int) "bytes" 8 snap.Metrics.bytes;
+  Alcotest.(check int) "one round" 1 snap.Metrics.rounds
+
+let suite =
+  [
+    Alcotest.test_case "gradecast honest dealer" `Quick
+      test_gradecast_honest_dealer;
+    Alcotest.test_case "gradecast silent dealer" `Quick
+      test_gradecast_silent_dealer;
+    Alcotest.test_case "phase king no faults" `Quick
+      test_phase_king_all_agree_no_faults;
+    Alcotest.test_case "phase king validity" `Quick test_phase_king_validity;
+    Alcotest.test_case "phase king quorum check" `Quick
+      test_phase_king_requires_quorum;
+    Alcotest.test_case "gradecast quorum check" `Quick
+      test_gradecast_requires_quorum;
+    Alcotest.test_case "metrics ticks" `Quick test_metrics_ticks;
+    Alcotest.test_case "broadcast consistency" `Quick test_broadcast_consistency;
+    Alcotest.test_case "broadcast cost model" `Quick test_broadcast_cost_model;
+  ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [ prop_gradecast_soundness; prop_phase_king_agreement_and_validity ]

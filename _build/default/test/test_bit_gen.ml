@@ -1,0 +1,159 @@
+module F = Gf2k.GF16
+module BG = Bit_gen.Make (F)
+
+let n = 13 (* 6t+1 with t = 2 *)
+let t = 2
+let m = 5
+
+let run ?dealer_behavior ?gamma_behavior seed =
+  let prng = Prng.of_int seed in
+  let r = F.random (Prng.split prng) in
+  BG.run ?dealer_behavior ?gamma_behavior ~prng ~n ~t ~m ~dealer:0 ~r ()
+
+let test_honest_run_accepts_everywhere () =
+  let views, matrix = run 1 in
+  Alcotest.(check bool) "matrix present" true (matrix <> None);
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "check poly found" true (v.BG.check_poly <> None);
+      let support =
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v.BG.support
+      in
+      Alcotest.(check int) "full support" n support)
+    views
+
+let test_outputs_consistent_across_players () =
+  let views, _ = run 2 in
+  let polys =
+    Array.map
+      (fun v -> Option.map BG.P.coeffs v.BG.check_poly)
+      views
+  in
+  Array.iter
+    (fun p -> Alcotest.(check bool) "same F" true (p = polys.(0)))
+    polys
+
+let test_silent_dealer () =
+  let views, matrix = run ~dealer_behavior:BG.Silent_dealer 3 in
+  Alcotest.(check bool) "no matrix" true (matrix = None);
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "no check poly" true (v.BG.check_poly = None);
+      Alcotest.(check bool) "no shares" true (v.BG.received = None))
+    views
+
+(* Lemma 5: a dealer who deals a too-high-degree polynomial is caught
+   (w.p. >= 1 - M/p over the check coin). *)
+let test_bad_degree_caught () =
+  let caught = ref 0 in
+  let trials = 200 in
+  for seed = 1 to trials do
+    let views, _ = run ~dealer_behavior:(BG.Bad_degree [ 2 ]) seed in
+    if Array.for_all (fun v -> v.BG.check_poly = None) views then incr caught
+  done;
+  (* M/p = 5/65536 per trial; essentially all caught. *)
+  Alcotest.(check int) "all caught" trials !caught
+
+(* A dealer who lies to a few players is accepted — with the victims
+   outside the support set. *)
+let test_inconsistent_dealer_support () =
+  let victims = [ 3; 7 ] in
+  let views, _ = run ~dealer_behavior:(BG.Inconsistent_to victims) 5 in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "player %d accepts" i)
+        true
+        (v.BG.check_poly <> None);
+      List.iter
+        (fun victim ->
+          Alcotest.(check bool)
+            (Printf.sprintf "victim %d outside support" victim)
+            false v.BG.support.(victim))
+        victims;
+      Alcotest.(check bool) "non-victim in support" true v.BG.support.(0))
+    views
+
+(* Byzantine gamma senders cannot break honest players' agreement on F
+   when the dealer is honest. *)
+let test_gamma_liars_tolerated () =
+  let g = Prng.of_int 77 in
+  for seed = 1 to 50 do
+    let liars = Prng.sample_distinct g t n in
+    let gamma_behavior i =
+      if List.mem i liars then
+        match Prng.int g 3 with
+        | 0 -> BG.Silent_gamma
+        | 1 -> BG.Fixed_gamma (F.random g)
+        | _ ->
+            let noise =
+              Array.init n (fun _ ->
+                  if Prng.bool g then Some (F.random g) else None)
+            in
+            BG.Gamma_per_dst (fun dst -> noise.(dst))
+      else BG.Honest_gamma
+    in
+    let views, _ = run ~gamma_behavior seed in
+    let reference =
+      Option.map BG.P.coeffs views.(List.find (fun i -> not (List.mem i liars))
+        (List.init n Fun.id)).BG.check_poly
+    in
+    Alcotest.(check bool) "reference exists" true (reference <> None);
+    List.iter
+      (fun i ->
+        if not (List.mem i liars) then
+          Alcotest.(check bool) "honest agree on F" true
+            (Option.map BG.P.coeffs views.(i).BG.check_poly = reference))
+      (List.init n Fun.id)
+  done
+
+let test_check_poly_matches_dealt_combination () =
+  (* The decoded F must equal sum_h r^h f_h where f_h are the dealer's
+     true polynomials: verify via the returned share matrix. *)
+  let prng = Prng.of_int 9 in
+  let r = F.random (Prng.split prng) in
+  let views, matrix = BG.run ~prng ~n ~t ~m ~dealer:4 ~r () in
+  let matrix = Option.get matrix in
+  let module V = Vss.Make (F) in
+  Array.iteri
+    (fun i view ->
+      let f = Option.get view.BG.check_poly in
+      let expected = V.combine ~r matrix.(i) in
+      Alcotest.(check bool) "F(i) = combined share" true
+        (F.equal (BG.P.eval f (F.of_int (i + 1))) expected))
+    views
+
+let test_cost_scales_with_m () =
+  let prng = Prng.of_int 11 in
+  let r = F.random (Prng.split prng) in
+  let cost m =
+    let _, snap =
+      Metrics.with_counting (fun () ->
+          ignore (BG.run ~prng ~n ~t ~m ~dealer:0 ~r ()))
+    in
+    snap
+  in
+  let c1 = cost 1 and c64 = cost 64 in
+  (* Interpolations do not grow with M (that is the whole point)... *)
+  Alcotest.(check int) "interpolations equal" c1.Metrics.interpolations
+    c64.Metrics.interpolations;
+  (* ...while bytes grow with the dealing only: n messages of Mk plus
+     n^2 of k. *)
+  Alcotest.(check bool) "bytes grow sublinearly in M" true
+    (c64.Metrics.bytes < 64 * c1.Metrics.bytes);
+  Alcotest.(check int) "rounds" 2 c1.Metrics.rounds
+
+let suite =
+  [
+    Alcotest.test_case "honest run accepts" `Quick test_honest_run_accepts_everywhere;
+    Alcotest.test_case "outputs consistent" `Quick
+      test_outputs_consistent_across_players;
+    Alcotest.test_case "silent dealer" `Quick test_silent_dealer;
+    Alcotest.test_case "bad degree caught (Lemma 5)" `Quick test_bad_degree_caught;
+    Alcotest.test_case "inconsistent dealer support" `Quick
+      test_inconsistent_dealer_support;
+    Alcotest.test_case "gamma liars tolerated" `Quick test_gamma_liars_tolerated;
+    Alcotest.test_case "check poly matches dealing" `Quick
+      test_check_poly_matches_dealt_combination;
+    Alcotest.test_case "cost scales with M" `Quick test_cost_scales_with_m;
+  ]

@@ -1,0 +1,107 @@
+(* The broadcast-from-BA construction: consistency always, validity for
+   honest dealers — including the full-circle variant where the BA's
+   coins come from the D-PRBG pool. *)
+
+let phase_king_ba ~n ~t inputs = Phase_king.run ~n ~t ~inputs ()
+
+let run ?dealer_behavior ?follower_behavior ~n ~t ~dealer ~value ?ba () =
+  let ba = match ba with Some f -> f | None -> phase_king_ba ~n ~t in
+  Broadcast_protocol.run ?dealer_behavior ?follower_behavior ~ba
+    ~equal:String.equal ~byte_size:String.length ~n ~t ~dealer ~value ()
+
+let test_honest_dealer_delivers () =
+  let n = 9 and t = 2 in
+  let delivered = run ~n ~t ~dealer:3 ~value:"payload" () in
+  Array.iter
+    (fun v -> Alcotest.(check (option string)) "delivered" (Some "payload") v)
+    delivered
+
+let test_silent_dealer_aborts () =
+  let n = 9 and t = 2 in
+  let delivered =
+    run ~dealer_behavior:Gradecast.Dealer_silent ~n ~t ~dealer:0 ~value:"x" ()
+  in
+  Array.iter
+    (fun v -> Alcotest.(check (option string)) "no delivery" None v)
+    delivered
+
+let prop_consistency_under_attack =
+  QCheck.Test.make ~count:200 ~name:"broadcast consistency vs Byzantine"
+    QCheck.(pair int (int_range 1 3))
+    (fun (seed, t) ->
+      let g = Prng.of_int seed in
+      let n = (4 * t) + 1 + Prng.int g 3 (* phase-king needs 4t+1 *) in
+      let faults = Net.Faults.random g ~n ~t in
+      let dealer = Prng.int g n in
+      let lies = [| "a"; "b"; "c" |] in
+      let dealer_behavior =
+        if Net.Faults.is_honest faults dealer then Gradecast.Dealer_honest
+        else
+          let noise =
+            Array.init n (fun _ ->
+                if Prng.bool g then Some lies.(Prng.int g 3) else None)
+          in
+          Gradecast.Dealer_equivocate (fun dst -> noise.(dst))
+      in
+      let follower_behavior i =
+        if Net.Faults.is_honest faults i then Gradecast.Follower_honest
+        else if Prng.bool g then Gradecast.Follower_silent
+        else Gradecast.Follower_fixed lies.(Prng.int g 3)
+      in
+      let ba inputs =
+        let behavior i =
+          if Net.Faults.is_honest faults i then Phase_king.Honest
+          else Phase_king.Fixed (Prng.bool g)
+        in
+        Phase_king.run ~behavior ~n ~t ~inputs ()
+      in
+      let delivered =
+        run ~dealer_behavior ~follower_behavior ~n ~t ~dealer ~value:"v" ~ba ()
+      in
+      let honest = Net.Faults.honest faults in
+      let outputs = List.map (fun i -> delivered.(i)) honest in
+      let consistent =
+        match outputs with [] -> true | o :: rest -> List.for_all (( = ) o) rest
+      in
+      let valid =
+        (not (Net.Faults.is_honest faults dealer))
+        || List.for_all (( = ) (Some "v")) outputs
+      in
+      consistent && valid)
+
+let test_full_circle_with_pool_coins () =
+  (* Coins -> randomized BA -> broadcast: the sentence from Section 4,
+     executed end to end. *)
+  let module F = Gf2k.GF32 in
+  let module Pool = Pool.Make (F) in
+  let n = 13 and t = 2 in
+  let pool =
+    Pool.create ~prng:(Prng.of_int 99) ~n ~t ~batch_size:32 ~refill_threshold:3
+      ~initial_seed:6 ()
+  in
+  let ba inputs =
+    match
+      Common_coin_ba.run
+        ~coin:(fun () -> Pool.draw_bit pool)
+        ~n ~t ~max_phases:64 ~inputs ()
+    with
+    | Some r -> r.Common_coin_ba.decisions
+    | None -> Alcotest.fail "BA did not terminate"
+  in
+  let delivered = run ~n ~t ~dealer:5 ~value:"block#42" ~ba () in
+  Array.iter
+    (fun v -> Alcotest.(check (option string)) "delivered" (Some "block#42") v)
+    delivered;
+  Alcotest.(check bool) "coins consumed" true
+    ((Pool.stats pool).Pool.coins_exposed >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "honest dealer delivers" `Quick test_honest_dealer_delivers;
+    Alcotest.test_case "silent dealer aborts" `Quick test_silent_dealer_aborts;
+    Alcotest.test_case "full circle with pool coins" `Quick
+      test_full_circle_with_pool_coins;
+  ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [ prop_consistency_under_attack ]

@@ -1,0 +1,118 @@
+module F = Gf2k.GF32
+module C = Sealed_coin.Make (F)
+module CE = Coin_expose.Make (F)
+
+let n = 7
+let t = 1
+
+let test_dealer_coin_exposes_to_truth () =
+  let g = Prng.of_int 1 in
+  for _ = 1 to 30 do
+    let coin = C.dealer_coin g ~n ~t in
+    let truth = Option.get (C.ground_truth coin) in
+    let values = CE.run coin in
+    Array.iter
+      (fun v ->
+        match v with
+        | Some x -> Alcotest.(check bool) "matches truth" true (F.equal x truth)
+        | None -> Alcotest.fail "decode failed")
+      values
+  done
+
+let test_unanimity_under_lying_senders () =
+  let g = Prng.of_int 2 in
+  for _ = 1 to 50 do
+    let coin = C.dealer_coin g ~n ~t in
+    let truth = Option.get (C.ground_truth coin) in
+    let liars = Prng.sample_distinct g t n in
+    let behavior i =
+      if List.mem i liars then
+        match Prng.int g 3 with
+        | 0 -> CE.Silent
+        | 1 -> CE.Send (F.random g)
+        | _ ->
+            let noise = Array.init n (fun _ -> if Prng.bool g then Some (F.random g) else None) in
+            CE.Equivocate (fun dst -> noise.(dst))
+      else CE.Honest
+    in
+    let values = CE.run ~sender_behavior:behavior coin in
+    (* Honest players (everyone outside liars) must all decode truth. *)
+    List.iter
+      (fun i ->
+        if not (List.mem i liars) then
+          match values.(i) with
+          | Some x ->
+              Alcotest.(check bool) "honest decode = truth" true (F.equal x truth)
+          | None -> Alcotest.fail "honest decode failed")
+      (List.init n Fun.id)
+  done
+
+let test_expose_bit_is_lsb () =
+  let g = Prng.of_int 3 in
+  let coin = C.dealer_coin g ~n ~t in
+  let truth = Option.get (C.ground_truth coin) in
+  let bits = CE.expose_bit coin in
+  Array.iter
+    (fun b ->
+      Alcotest.(check (option bool)) "lsb" (Some (F.lsb truth = 1)) b)
+    bits
+
+let test_trusted_restriction () =
+  (* A coin whose trusted matrix excludes two senders still decodes,
+     because enough trusted honest senders remain. *)
+  let g = Prng.of_int 4 in
+  let base = C.dealer_coin g ~n ~t in
+  let trusted = Array.init n (fun _ -> Array.init n (fun j -> j > 1)) in
+  let coin = { base with C.trusted = Some trusted } in
+  let truth = Option.get (C.ground_truth base) in
+  let values = CE.run coin in
+  Array.iter
+    (fun v ->
+      match v with
+      | Some x -> Alcotest.(check bool) "decodes" true (F.equal x truth)
+      | None -> Alcotest.fail "decode failed")
+    values
+
+let test_expose_cost_profile () =
+  let g = Prng.of_int 5 in
+  let coin = C.dealer_coin g ~n ~t in
+  let _, snap = Metrics.with_counting (fun () -> ignore (CE.run coin)) in
+  Alcotest.(check int) "n(n-1) messages" (n * (n - 1)) snap.Metrics.messages;
+  Alcotest.(check int) "one round" 1 snap.Metrics.rounds;
+  Alcotest.(check int) "one interpolation per player" n
+    snap.Metrics.interpolations
+
+let test_coin_is_uniformish () =
+  (* Chi-square over the low nibble of exposures of fresh dealer coins. *)
+  let g = Prng.of_int 6 in
+  let buckets = Array.make 16 0 in
+  let trials = 3200 in
+  for _ = 1 to trials do
+    let coin = C.dealer_coin g ~n ~t in
+    match (CE.run coin).(0) with
+    | Some v ->
+        let b = F.hash v land 15 in
+        buckets.(b) <- buckets.(b) + 1
+    | None -> Alcotest.fail "decode failed"
+  done;
+  let expected = float_of_int trials /. 16.0 in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 buckets
+  in
+  Alcotest.(check bool) (Printf.sprintf "chi2 %.1f" chi2) true (chi2 < 60.0)
+
+let suite =
+  [
+    Alcotest.test_case "dealer coin exposes to truth" `Quick
+      test_dealer_coin_exposes_to_truth;
+    Alcotest.test_case "unanimity under lying senders" `Quick
+      test_unanimity_under_lying_senders;
+    Alcotest.test_case "expose_bit is lsb" `Quick test_expose_bit_is_lsb;
+    Alcotest.test_case "trusted restriction" `Quick test_trusted_restriction;
+    Alcotest.test_case "expose cost profile" `Quick test_expose_cost_profile;
+    Alcotest.test_case "coin value uniform-ish" `Quick test_coin_is_uniformish;
+  ]

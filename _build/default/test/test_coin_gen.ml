@@ -1,0 +1,246 @@
+module F = Gf2k.GF16
+module CG = Coin_gen.Make (F)
+module CE = Coin_expose.Make (F)
+module C = Sealed_coin.Make (F)
+module AT = Attacks.Make (F)
+
+let n = 13
+let t = 2
+let m = 4
+
+let ideal_oracle seed =
+  let g = Prng.of_int seed in
+  fun () -> Metrics.without_counting (fun () -> F.random g)
+
+let run ?adversary seed =
+  CG.run ?adversary ~prng:(Prng.of_int seed) ~oracle:(ideal_oracle (seed + 1000))
+    ~n ~t ~m ()
+
+let honest_players faults = Net.Faults.honest faults
+
+let test_honest_run_completes () =
+  match run 1 with
+  | None -> Alcotest.fail "honest run failed"
+  | Some batch ->
+      Alcotest.(check int) "m coins" m batch.CG.m;
+      Alcotest.(check int) "full clique" n (List.length batch.CG.dealers);
+      Alcotest.(check int) "one BA iteration" 1 batch.CG.ba_iterations;
+      Alcotest.(check int) "two seed coins" 2 batch.CG.seed_coins_consumed;
+      (* Everyone trusts everyone in the all-honest run. *)
+      Array.iter
+        (fun row ->
+          Alcotest.(check bool) "all trusted" true (Array.for_all Fun.id row))
+        batch.CG.trusted
+
+let test_coins_expose_unanimously () =
+  match run 2 with
+  | None -> Alcotest.fail "run failed"
+  | Some batch ->
+      for h = 0 to m - 1 do
+        let coin = CG.coin batch h in
+        let values = CE.run coin in
+        let first = values.(0) in
+        Alcotest.(check bool) "decoded" true (first <> None);
+        Array.iter
+          (fun v ->
+            Alcotest.(check bool) "unanimous" true
+              (match (v, first) with
+              | Some a, Some b -> F.equal a b
+              | _ -> false))
+          values
+      done
+
+let test_coin_exposure_deterministic () =
+  (* Exposing the same sealed coin twice yields the same value: the coin
+     is a well-defined shared object, not a random draw at expose time. *)
+  let batch = Option.get (run 3) in
+  let v1 = Option.get (CE.run (CG.coin batch 0)).(0) in
+  let v2 = Option.get (CE.run (CG.coin batch 0)).(0) in
+  Alcotest.(check bool) "same value" true (F.equal v1 v2);
+  (* Distinct coins of one batch are independent values. *)
+  let w = Option.get (CE.run (CG.coin batch 1)).(0) in
+  ignore w
+
+(* Lemma 7 under adversarial conditions: when Coin-Gen terminates, the
+   agreed set is big enough, honest players agree on it, and at least
+   2t+1 honest players are universally trusted by honest players. *)
+let lemma7_check faults batch =
+  let honest = honest_players faults in
+  List.length batch.CG.dealers >= n - (2 * t)
+  && List.for_all
+       (fun i ->
+         (* each honest player's trusted row contains >= 2t+1 honest
+            players trusted by ALL honest players *)
+         let universally_trusted =
+           List.filter
+             (fun j ->
+               List.for_all (fun i' -> batch.CG.trusted.(i').(j)) honest
+               && List.mem j honest)
+             (List.init n Fun.id)
+         in
+         ignore i;
+         List.length universally_trusted >= (2 * t) + 1)
+       honest
+
+let test_lemma7_under_attacks () =
+  let g = Prng.of_int 99 in
+  let completed = ref 0 in
+  for seed = 1 to 60 do
+    let faults = Net.Faults.random g ~n ~t in
+    let adversary = AT.mixed_adversary g ~n ~m faults in
+    match run ~adversary seed with
+    | None -> ()
+    | Some batch ->
+        incr completed;
+        Alcotest.(check bool)
+          (Printf.sprintf "lemma7 seed=%d" seed)
+          true (lemma7_check faults batch)
+  done;
+  (* Most runs must complete (honest leaders are drawn with prob
+     (n-t)/n). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/60 completed" !completed)
+    true
+    (!completed > 40)
+
+let test_unanimity_under_attacks () =
+  let g = Prng.of_int 123 in
+  for seed = 1 to 40 do
+    let faults = Net.Faults.random g ~n ~t in
+    let adversary = AT.mixed_adversary g ~n ~m faults in
+    match run ~adversary seed with
+    | None -> ()
+    | Some batch ->
+        for h = 0 to m - 1 do
+          let coin = CG.coin batch h in
+          (* Faulty players also lie at exposure time. *)
+          let behavior i =
+            if Net.Faults.is_faulty faults i then
+              match Prng.int g 3 with
+              | 0 -> CE.Silent
+              | 1 -> CE.Send (F.random g)
+              | _ -> CE.Honest
+            else CE.Honest
+          in
+          let values = CE.run ~sender_behavior:behavior coin in
+          let honest_values =
+            List.map (fun i -> values.(i)) (honest_players faults)
+          in
+          match honest_values with
+          | [] -> ()
+          | first :: rest ->
+              Alcotest.(check bool)
+                (Printf.sprintf "decoded seed=%d h=%d" seed h)
+                true (first <> None);
+              List.iter
+                (fun v ->
+                  Alcotest.(check bool) "honest unanimity" true
+                    (match (v, first) with
+                    | Some a, Some b -> F.equal a b
+                    | _ -> false))
+                rest
+        done
+  done
+
+(* Lemma 8: with an honest majority of leader draws, termination is
+   fast. Count BA iterations across adversarial runs. *)
+let test_lemma8_iterations () =
+  let g = Prng.of_int 7 in
+  let total_iters = ref 0 and runs = ref 0 in
+  for seed = 1 to 40 do
+    let faults = Net.Faults.random g ~n ~t in
+    let adversary =
+      CG.faulty_with ~as_ba:(Phase_king.Fixed false) faults
+    in
+    match run ~adversary seed with
+    | None -> ()
+    | Some batch ->
+        incr runs;
+        total_iters := !total_iters + batch.CG.ba_iterations
+  done;
+  Alcotest.(check bool) "most runs complete" true (!runs > 30);
+  (* Expected iterations <= n/(n-t) ~ 1.18; allow generous slack. *)
+  let mean = float_of_int !total_iters /. float_of_int !runs in
+  Alcotest.(check bool) (Printf.sprintf "mean iters %.2f" mean) true (mean < 2.0)
+
+let test_model_validation () =
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Coin_gen.run: requires n >= 6t+1") (fun () ->
+      ignore
+        (CG.run ~prng:(Prng.of_int 1) ~oracle:(ideal_oracle 1) ~n:12 ~t:2 ~m:1 ()))
+
+let test_leader_index_range () =
+  let g = Prng.of_int 5 in
+  for _ = 1 to 200 do
+    let l = CG.leader_index (F.random g) ~n in
+    Alcotest.(check bool) "in range" true (l >= 0 && l < n)
+  done
+
+let test_bad_dealers_excluded_or_pinned () =
+  (* A dealer whose sharings have too-high degree must not end up in the
+     agreed clique (its check polynomial cannot gather n-t support,
+     except with probability M/p). *)
+  let faults = Net.Faults.make ~n ~faulty:[ 0; 5 ] in
+  let adversary =
+    CG.faulty_with ~as_dealer:(CG.BG.Bad_degree [ 0; 1; 2; 3 ]) faults
+  in
+  for seed = 1 to 20 do
+    match run ~adversary seed with
+    | None -> ()
+    | Some batch ->
+        Alcotest.(check bool) "bad dealer 0 out" false
+          (List.mem 0 batch.CG.dealers);
+        Alcotest.(check bool) "bad dealer 5 out" false
+          (List.mem 5 batch.CG.dealers)
+  done
+
+let test_other_fault_bounds () =
+  (* The protocol is generic in t; exercise the smallest and a larger
+     quorum, with attacks, end to end. *)
+  List.iter
+    (fun (t', seeds) ->
+      let n' = (6 * t') + 1 in
+      let g = Prng.of_int (400 + t') in
+      List.iter
+        (fun seed ->
+          let faults = Net.Faults.random g ~n:n' ~t:t' in
+          let adversary =
+            CG.faulty_with ~as_dealer:(CG.BG.Bad_degree [ 0 ])
+              ~as_ba:(Phase_king.Fixed false) faults
+          in
+          match
+            CG.run ~adversary ~prng:(Prng.of_int (seed * 3))
+              ~oracle:(ideal_oracle (seed + 600))
+              ~n:n' ~t:t' ~m:2 ()
+          with
+          | None -> ()
+          | Some batch ->
+              Alcotest.(check bool) "clique size" true
+                (List.length batch.CG.dealers >= n' - (2 * t'));
+              let coin = CG.coin batch 0 in
+              let values = CE.run coin in
+              List.iter
+                (fun i ->
+                  Alcotest.(check bool) "honest decode" true
+                    (values.(i) <> None))
+                (Net.Faults.honest faults))
+        seeds)
+    [ (1, [ 1; 2; 3; 4 ]); (3, [ 1; 2 ]) ]
+
+let suite =
+  [
+    Alcotest.test_case "other fault bounds" `Quick test_other_fault_bounds;
+    Alcotest.test_case "honest run completes" `Quick test_honest_run_completes;
+    Alcotest.test_case "coins expose unanimously" `Quick
+      test_coins_expose_unanimously;
+    Alcotest.test_case "coin exposure deterministic" `Quick
+      test_coin_exposure_deterministic;
+    Alcotest.test_case "Lemma 7 under attacks" `Quick test_lemma7_under_attacks;
+    Alcotest.test_case "unanimity under attacks" `Quick
+      test_unanimity_under_attacks;
+    Alcotest.test_case "Lemma 8 iterations" `Quick test_lemma8_iterations;
+    Alcotest.test_case "model validation" `Quick test_model_validation;
+    Alcotest.test_case "leader index range" `Quick test_leader_index_range;
+    Alcotest.test_case "bad dealers excluded" `Quick
+      test_bad_dealers_excluded_or_pinned;
+  ]

@@ -1,0 +1,112 @@
+let n = 10
+let t = 3
+
+let stub_coin seed =
+  let g = Prng.of_int seed in
+  fun () -> Prng.bool g
+
+let test_unanimous_inputs_one_phase () =
+  List.iter
+    (fun b ->
+      let inputs = Array.make n b in
+      match
+        Common_coin_ba.run ~coin:(stub_coin 1) ~n ~t ~max_phases:50 ~inputs ()
+      with
+      | None -> Alcotest.fail "did not terminate"
+      | Some r ->
+          Alcotest.(check int) "one phase" 1 r.Common_coin_ba.phases;
+          Array.iter
+            (fun d -> Alcotest.(check bool) "validity" b d)
+            r.Common_coin_ba.decisions)
+    [ true; false ]
+
+let test_split_inputs_agree () =
+  let g = Prng.of_int 2 in
+  for seed = 1 to 50 do
+    let inputs = Array.init n (fun _ -> Prng.bool g) in
+    match
+      Common_coin_ba.run ~coin:(stub_coin seed) ~n ~t ~max_phases:60 ~inputs ()
+    with
+    | None -> Alcotest.fail "did not terminate"
+    | Some r ->
+        let d0 = r.Common_coin_ba.decisions.(0) in
+        Array.iter
+          (fun d -> Alcotest.(check bool) "agreement" d0 d)
+          r.Common_coin_ba.decisions
+  done
+
+let test_byzantine_agreement_and_validity () =
+  let g = Prng.of_int 3 in
+  for seed = 1 to 60 do
+    let faults = Net.Faults.random g ~n ~t in
+    let behavior i =
+      if Net.Faults.is_honest faults i then Common_coin_ba.Honest
+      else
+        match Prng.int g 3 with
+        | 0 -> Common_coin_ba.Silent
+        | 1 -> Common_coin_ba.Fixed (Prng.bool g)
+        | _ ->
+            let noise =
+              Array.init (60 * 2 * n) (fun _ ->
+                  if Prng.bool g then Some (if Prng.bool g then Some (Prng.bool g) else None)
+                  else None)
+            in
+            Common_coin_ba.Arbitrary
+              (fun ~phase ~round ~dst ->
+                noise.((((phase mod 60 * 2) + (round - 1)) * n) + dst))
+    in
+    let inputs = Array.init n (fun _ -> Prng.bool g) in
+    match
+      Common_coin_ba.run ~behavior ~coin:(stub_coin seed) ~n ~t ~max_phases:80
+        ~inputs ()
+    with
+    | None -> Alcotest.fail "did not terminate"
+    | Some r ->
+        let honest = Net.Faults.honest faults in
+        let decisions = List.map (fun i -> r.Common_coin_ba.decisions.(i)) honest in
+        (match decisions with
+        | [] -> ()
+        | d :: rest ->
+            List.iter (fun d' -> Alcotest.(check bool) "agreement" d d') rest);
+        let hon_inputs = List.map (fun i -> inputs.(i)) honest in
+        (match hon_inputs with
+        | [] -> ()
+        | b :: rest when List.for_all (Bool.equal b) rest ->
+            List.iter (fun d -> Alcotest.(check bool) "validity" b d) decisions
+        | _ -> ())
+  done
+
+let test_expected_phases_small () =
+  let total = ref 0 in
+  let runs = 50 in
+  let g = Prng.of_int 4 in
+  for seed = 1 to runs do
+    let inputs = Array.init n (fun _ -> Prng.bool g) in
+    match
+      Common_coin_ba.run ~coin:(stub_coin (seed * 7)) ~n ~t ~max_phases:100
+        ~inputs ()
+    with
+    | None -> Alcotest.fail "did not terminate"
+    | Some r -> total := !total + r.Common_coin_ba.phases
+  done;
+  let mean = float_of_int !total /. float_of_int runs in
+  Alcotest.(check bool) (Printf.sprintf "mean phases %.2f" mean) true (mean < 5.0)
+
+let test_coin_consumption () =
+  let inputs = Array.make n true in
+  match Common_coin_ba.run ~coin:(stub_coin 5) ~n ~t ~max_phases:10 ~inputs () with
+  | None -> Alcotest.fail "did not terminate"
+  | Some r ->
+      Alcotest.(check int) "one coin per phase" r.Common_coin_ba.phases
+        r.Common_coin_ba.coins_used
+
+let suite =
+  [
+    Alcotest.test_case "unanimous inputs: one phase" `Quick
+      test_unanimous_inputs_one_phase;
+    Alcotest.test_case "split inputs agree" `Quick test_split_inputs_agree;
+    Alcotest.test_case "byzantine agreement+validity" `Quick
+      test_byzantine_agreement_and_validity;
+    Alcotest.test_case "expected phases small" `Quick test_expected_phases_small;
+    Alcotest.test_case "coin consumption" `Quick test_coin_consumption;
+  ]

@@ -1,0 +1,128 @@
+let test_validity_no_faults () =
+  let n = 7 and t = 2 in
+  List.iter
+    (fun b ->
+      let inputs = Array.make n b in
+      let decisions = Eig_ba.run ~n ~t ~inputs () in
+      Array.iter (fun d -> Alcotest.(check bool) "validity" b d) decisions)
+    [ true; false ]
+
+let test_agreement_split_inputs () =
+  let g = Prng.of_int 1 in
+  let n = 7 and t = 2 in
+  for _ = 1 to 30 do
+    let inputs = Array.init n (fun _ -> Prng.bool g) in
+    let decisions = Eig_ba.run ~n ~t ~inputs () in
+    Array.iter
+      (fun d -> Alcotest.(check bool) "agreement" decisions.(0) d)
+      decisions
+  done
+
+let prop_agreement_and_validity_under_attack =
+  QCheck.Test.make ~count:120 ~name:"EIG agreement+validity vs Byzantine"
+    QCheck.(pair int (int_range 1 2))
+    (fun (seed, t) ->
+      let g = Prng.of_int seed in
+      let n = (3 * t) + 1 + Prng.int g 3 in
+      let faults = Net.Faults.random g ~n ~t in
+      let inputs = Array.init n (fun _ -> Prng.bool g) in
+      let behavior i =
+        if Net.Faults.is_honest faults i then Eig_ba.Honest
+        else
+          match Prng.int g 3 with
+          | 0 -> Eig_ba.Silent
+          | 1 -> Eig_ba.Fixed (Prng.bool g)
+          | _ ->
+              (* Deterministic per-(round, dst, path) lies. *)
+              let salt = Prng.int g 1000 in
+              Eig_ba.Arbitrary
+                (fun ~round ~dst ~path ->
+                  let h = Hashtbl.hash (salt, round, dst, path) in
+                  if h land 3 = 0 then None else Some (h land 4 = 0))
+      in
+      let decisions = Eig_ba.run ~behavior ~n ~t ~inputs () in
+      let honest = Net.Faults.honest faults in
+      let hd = List.map (fun i -> decisions.(i)) honest in
+      let agreement =
+        match hd with [] -> true | d :: rest -> List.for_all (Bool.equal d) rest
+      in
+      let hi = List.map (fun i -> inputs.(i)) honest in
+      let validity =
+        match hi with
+        | [] -> true
+        | b :: rest ->
+            (not (List.for_all (Bool.equal b) rest))
+            || List.for_all (Bool.equal b) hd
+      in
+      agreement && validity)
+
+let test_matches_phase_king () =
+  (* Both BAs must agree with each other on honest runs (both decide the
+     honest input when unanimous). *)
+  let n = 9 and t = 2 in
+  List.iter
+    (fun b ->
+      let inputs = Array.make n b in
+      let e = Eig_ba.run ~n ~t ~inputs () in
+      let p = Phase_king.run ~n ~t ~inputs () in
+      Alcotest.(check bool) "same decision" e.(0) p.(0))
+    [ true; false ]
+
+let test_cost_explodes_vs_phase_king () =
+  let n = 10 and t = 2 in
+  let inputs = Array.init n (fun i -> i mod 2 = 0) in
+  let cost f =
+    let _, snap = Metrics.with_counting (fun () -> ignore (f ())) in
+    snap
+  in
+  let eig = cost (fun () -> Eig_ba.run ~n ~t ~inputs ()) in
+  let pk = cost (fun () -> Phase_king.run ~n ~t ~inputs ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "EIG bytes %d >> phase-king bytes %d" eig.Metrics.bytes
+       pk.Metrics.bytes)
+    true
+    (eig.Metrics.bytes > 10 * pk.Metrics.bytes);
+  Alcotest.(check int) "EIG rounds t+1" (t + 1) eig.Metrics.rounds
+
+let test_validation () =
+  Alcotest.check_raises "quorum" (Invalid_argument "Eig_ba.run: requires n >= 3t+1")
+    (fun () -> ignore (Eig_ba.run ~n:6 ~t:2 ~inputs:(Array.make 6 true) ()));
+  Alcotest.check_raises "t cap"
+    (Invalid_argument "Eig_ba.run: t too large for the EIG tree") (fun () ->
+      ignore (Eig_ba.run ~n:16 ~t:5 ~inputs:(Array.make 16 true) ()))
+
+let test_coin_gen_with_eig () =
+  (* "Run any BA protocol": Coin-Gen must work identically with EIG. *)
+  let module F = Gf2k.GF16 in
+  let module CG = Coin_gen.Make (F) in
+  let module CE = Coin_expose.Make (F) in
+  let n = 13 and t = 2 and m = 3 in
+  let og = Prng.of_int 42 in
+  let oracle () = Metrics.without_counting (fun () -> F.random og) in
+  let ba inputs = Eig_ba.run ~n ~t ~inputs () in
+  match CG.run ~ba ~prng:(Prng.of_int 7) ~oracle ~n ~t ~m () with
+  | None -> Alcotest.fail "run failed"
+  | Some batch ->
+      Alcotest.(check int) "full clique" n (List.length batch.CG.dealers);
+      let values = CE.run (CG.coin batch 0) in
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "unanimous" true
+            (match (v, values.(0)) with
+            | Some a, Some b -> F.equal a b
+            | _ -> false))
+        values
+
+let suite =
+  [
+    Alcotest.test_case "validity no faults" `Quick test_validity_no_faults;
+    Alcotest.test_case "agreement split inputs" `Quick test_agreement_split_inputs;
+    Alcotest.test_case "matches phase king" `Quick test_matches_phase_king;
+    Alcotest.test_case "cost explodes vs phase king" `Quick
+      test_cost_explodes_vs_phase_king;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "coin-gen with EIG" `Quick test_coin_gen_with_eig;
+  ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [ prop_agreement_and_validity_under_attack ]

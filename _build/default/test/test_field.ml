@@ -1,0 +1,251 @@
+(* Implementation-specific field tests; the generic algebraic laws are in
+   Field_laws and instantiated at the bottom. *)
+
+module GF3 = Gf2k.Make (struct let k = 3 end)
+module GF8k = Gf2k.Make (struct let k = 8 end)
+module GF20 = Gf2k.Make (struct let k = 20 end)
+module Wide20 = Gf2_wide.Make (struct let k = 20 end)
+module P97 = Zp.Make (struct let p = 97 end)
+module Q97 = Zq_table.Make (struct let q = 97 end)
+module Mersenne31 = Zp.Make (struct let p = 2147483647 end)
+module F64 = Fft_field.Make (struct let k = 64 end)
+
+let test_smallest_irreducibles () =
+  (* Cross-checked against the standard tables (HAC Table 4.8 and the
+     AES polynomial). *)
+  List.iter
+    (fun (k, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "degree %d" k)
+        expected
+        (Gf2k.smallest_irreducible k))
+    [
+      (1, 0b10);
+      (2, 0b111);
+      (3, 0b1011);
+      (4, 0b10011);
+      (8, 0b100011011) (* x^8+x^4+x^3+x+1: the AES modulus is the smallest *);
+    ]
+
+let test_irreducibility_judgements () =
+  (* x^2 (reducible), x^2+1 = (x+1)^2 (reducible), x^2+x+1 (irreducible),
+     x^4+x^2+1 = (x^2+x+1)^2 (reducible). *)
+  List.iter
+    (fun (f, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "poly %#x" f)
+        expected (Gf2k.is_irreducible f))
+    [ (0b100, false); (0b101, false); (0b111, true); (0b10101, false) ]
+
+let test_gf8_multiplication_table () =
+  (* GF(2^3) mod x^3+x+1: x * x^2 = x^3 = x + 1. *)
+  Alcotest.(check bool) "x*x^2 = x+1" true
+    (GF3.equal (GF3.mul (GF3.of_int 2) (GF3.of_int 4)) (GF3.of_int 3));
+  (* (x+1)(x^2+1) = x^3+x^2+x+1 = (x+1) + x^2 + x + 1 = x^2. *)
+  Alcotest.(check bool) "(x+1)(x^2+1) = x^2" true
+    (GF3.equal (GF3.mul (GF3.of_int 3) (GF3.of_int 5)) (GF3.of_int 4))
+
+let test_aes_field_example () =
+  (* FIPS-197 worked example: {57} * {83} = {c1} in GF(2^8). *)
+  Alcotest.(check bool) "0x57*0x83 = 0xc1" true
+    (GF8k.equal (GF8k.mul (GF8k.of_int 0x57) (GF8k.of_int 0x83))
+       (GF8k.of_int 0xc1))
+
+let test_frobenius_fixes_field () =
+  let g = Prng.of_int 5 in
+  for _ = 1 to 50 do
+    let a = GF20.random g in
+    (* a^(2^20) = a in GF(2^20). *)
+    Alcotest.(check bool) "a^(2^k) = a" true
+      (GF20.equal (GF20.pow a (1 lsl 20)) a)
+  done
+
+let test_wide_matches_word_sized () =
+  (* Same degree means the same smallest irreducible modulus, so the two
+     representations must implement the identical field. *)
+  let g = Prng.of_int 9 in
+  let to_wide x = Wide20.of_repr [| x land 0xFFFFFFFF |] in
+  for _ = 1 to 200 do
+    let a = Prng.bits g 20 and b = Prng.bits g 20 in
+    let small = GF20.mul (GF20.of_int a) (GF20.of_int b) in
+    let wide = Wide20.mul (to_wide a) (to_wide b) in
+    Alcotest.(check string) "products agree"
+      (GF20.to_string small)
+      (* Wide prints limbs in fixed-width hex; normalize through int. *)
+      (Printf.sprintf "0x%x" (Wide20.repr wide).(0));
+    let sinv = GF20.inv (GF20.of_int (max a 1)) in
+    let winv = Wide20.inv (to_wide (max a 1)) in
+    Alcotest.(check string) "inverses agree" (GF20.to_string sinv)
+      (Printf.sprintf "0x%x" (Wide20.repr winv).(0))
+  done
+
+let prop_karatsuba_matches_schoolbook =
+  QCheck.Test.make ~count:300 ~name:"karatsuba = schoolbook (GF(2^256))"
+    QCheck.int
+    (fun seed ->
+      let module W = Gf2_wide.GF256 in
+      let g = Prng.of_int seed in
+      let a = W.random g and b = W.random g in
+      W.equal (W.mul a b) (W.mul_karatsuba a b))
+
+let prop_karatsuba_matches_schoolbook_64 =
+  QCheck.Test.make ~count:300 ~name:"karatsuba = schoolbook (GF(2^64))"
+    QCheck.int
+    (fun seed ->
+      let module W = Gf2_wide.GF64 in
+      let g = Prng.of_int seed in
+      let a = W.random g and b = W.random g in
+      W.equal (W.mul a b) (W.mul_karatsuba a b))
+
+let test_wide_modulus_reported () =
+  match Wide20.modulus_bits with
+  | top :: _ -> Alcotest.(check int) "top exponent" 20 top
+  | [] -> Alcotest.fail "empty modulus"
+
+let test_fermat () =
+  let g = Prng.of_int 21 in
+  for _ = 1 to 50 do
+    let a = P97.random_nonzero g in
+    Alcotest.(check bool) "a^(p-1) = 1" true (P97.equal (P97.pow a 96) P97.one)
+  done
+
+let test_primitive_root_order () =
+  let r = P97.primitive_root in
+  (* Order must be exactly 96: r^96 = 1 and r^(96/p) <> 1 for p in {2,3}. *)
+  Alcotest.(check bool) "r^96 = 1" true (P97.equal (P97.pow r 96) P97.one);
+  Alcotest.(check bool) "r^48 <> 1" false (P97.equal (P97.pow r 48) P97.one);
+  Alcotest.(check bool) "r^32 <> 1" false (P97.equal (P97.pow r 32) P97.one)
+
+let test_is_prime () =
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check bool) (string_of_int n) expected (Zp.is_prime n))
+    [
+      (0, false); (1, false); (2, true); (3, true); (4, false); (97, true);
+      (91, false) (* 7*13 *); (561, false) (* Carmichael *);
+      (2147483647, true) (* Mersenne prime 2^31-1 *);
+      (2147483645, false);
+    ]
+
+let test_factorize () =
+  Alcotest.(check (list (pair int int))) "360" [ (2, 3); (3, 2); (5, 1) ]
+    (Zp.factorize 360);
+  Alcotest.(check (list (pair int int))) "97" [ (97, 1) ] (Zp.factorize 97)
+
+let test_next_prime_in_progression () =
+  (* Smallest prime = 1 (mod 32) at least 33: 97. *)
+  Alcotest.(check int) "1 mod 32" 97 (Zp.next_prime_in_progression ~a:33 ~d:32);
+  Alcotest.(check int) "1 mod 8" 17 (Zp.next_prime_in_progression ~a:9 ~d:8)
+
+let test_tables_match_direct () =
+  let g = Prng.of_int 33 in
+  for _ = 1 to 300 do
+    let a = P97.random g and b = P97.random g in
+    let ra = P97.repr a and rb = P97.repr b in
+    Alcotest.(check int) "mul"
+      (P97.repr (P97.mul a b))
+      (Q97.repr (Q97.mul (Q97.of_repr ra) (Q97.of_repr rb)));
+    Alcotest.(check int) "add"
+      (P97.repr (P97.add a b))
+      (Q97.repr (Q97.add (Q97.of_repr ra) (Q97.of_repr rb)));
+    if ra <> 0 then
+      Alcotest.(check int) "inv"
+        (P97.repr (P97.inv a))
+        (Q97.repr (Q97.inv (Q97.of_repr ra)))
+  done
+
+let test_ntt_roundtrip () =
+  let tbl = Zq_table.Tables.make ~q:97 in
+  let plan = Ntt.plan tbl ~m:32 in
+  let g = Prng.of_int 41 in
+  for _ = 1 to 50 do
+    let a = Array.init 32 (fun _ -> Prng.int g 97) in
+    let back = Ntt.inverse plan (Ntt.transform plan a) in
+    Alcotest.(check (array int)) "roundtrip" a back
+  done
+
+let test_ntt_convolution_matches_naive () =
+  let q = 97 in
+  let tbl = Zq_table.Tables.make ~q in
+  let plan = Ntt.plan tbl ~m:32 in
+  let g = Prng.of_int 43 in
+  for _ = 1 to 50 do
+    let la = 1 + Prng.int g 16 and lb = 1 + Prng.int g 16 in
+    let a = Array.init la (fun _ -> Prng.int g q) in
+    let b = Array.init lb (fun _ -> Prng.int g q) in
+    let naive = Array.make 32 0 in
+    Array.iteri
+      (fun i ai -> Array.iteri (fun j bj -> naive.(i + j) <- (naive.(i + j) + (ai * bj)) mod q) b)
+      a;
+    Alcotest.(check (array int)) "convolution" naive (Ntt.convolve plan a b)
+  done
+
+let test_fft_field_parameters () =
+  Alcotest.(check bool) "k_bits >= 64" true (F64.k_bits >= 64);
+  Alcotest.(check bool) "q = 1 (mod 2l)" true ((F64.q - 1) mod (2 * F64.l) = 0);
+  Alcotest.(check bool) "q >= 2l+1" true (F64.q >= (2 * F64.l) + 1);
+  Alcotest.(check bool) "l is a power of two" true
+    (F64.l land (F64.l - 1) = 0)
+
+let test_fft_field_mul_matches_naive () =
+  let q = F64.q and l = F64.l and c = F64.c in
+  let g = Prng.of_int 47 in
+  for _ = 1 to 50 do
+    let a = F64.random g and b = F64.random g in
+    let ra = F64.repr a and rb = F64.repr b in
+    (* Naive: schoolbook product then fold x^(l+i) = c x^i. *)
+    let prod = Array.make ((2 * l) - 1) 0 in
+    Array.iteri
+      (fun i ai ->
+        Array.iteri (fun j bj -> prod.(i + j) <- (prod.(i + j) + (ai * bj)) mod q) rb)
+      ra;
+    let reduced =
+      Array.init l (fun i ->
+          if i + l < Array.length prod then (prod.(i) + (c * prod.(i + l))) mod q
+          else prod.(i))
+    in
+    Alcotest.(check (array int)) "mul agrees with naive"
+      reduced
+      (F64.repr (F64.mul a b))
+  done
+
+let specific =
+  [
+    Alcotest.test_case "smallest irreducibles" `Quick test_smallest_irreducibles;
+    Alcotest.test_case "irreducibility judgements" `Quick
+      test_irreducibility_judgements;
+    Alcotest.test_case "GF(8) multiplication" `Quick test_gf8_multiplication_table;
+    Alcotest.test_case "AES field example" `Quick test_aes_field_example;
+    Alcotest.test_case "Frobenius fixes field" `Quick test_frobenius_fixes_field;
+    Alcotest.test_case "wide matches word-sized" `Quick
+      test_wide_matches_word_sized;
+    Alcotest.test_case "wide modulus reported" `Quick test_wide_modulus_reported;
+    Alcotest.test_case "Fermat" `Quick test_fermat;
+    Alcotest.test_case "primitive root order" `Quick test_primitive_root_order;
+    Alcotest.test_case "is_prime" `Quick test_is_prime;
+    Alcotest.test_case "factorize" `Quick test_factorize;
+    Alcotest.test_case "next_prime_in_progression" `Quick
+      test_next_prime_in_progression;
+    Alcotest.test_case "tables match direct Zp" `Quick test_tables_match_direct;
+    Alcotest.test_case "NTT roundtrip" `Quick test_ntt_roundtrip;
+    Alcotest.test_case "NTT convolution" `Quick test_ntt_convolution_matches_naive;
+    Alcotest.test_case "FFT field parameters" `Quick test_fft_field_parameters;
+    Alcotest.test_case "FFT field mul vs naive" `Quick
+      test_fft_field_mul_matches_naive;
+  ]
+
+module Laws_gf8 = Field_laws.Make (Gf2k.GF8)
+module Laws_gf32 = Field_laws.Make (Gf2k.GF32)
+module Laws_gf61 = Field_laws.Make (Gf2k.GF61)
+module Laws_wide64 = Field_laws.Make (Gf2_wide.GF64)
+module Laws_wide128 = Field_laws.Make (Gf2_wide.GF128)
+module Laws_mersenne = Field_laws.Make (Mersenne31)
+module Laws_q97 = Field_laws.Make (Q97)
+module Laws_fft64 = Field_laws.Make (F64)
+
+let suite =
+  specific @ Laws_gf8.all @ Laws_gf32.all @ Laws_gf61.all @ Laws_wide64.all
+  @ Laws_wide128.all @ Laws_mersenne.all @ Laws_q97.all @ Laws_fft64.all
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [ prop_karatsuba_matches_schoolbook; prop_karatsuba_matches_schoolbook_64 ]

@@ -1,0 +1,95 @@
+let test_bidirectional_core () =
+  let d = Player_graph.directed_create ~n:4 in
+  Player_graph.add_edge d 0 1;
+  Player_graph.add_edge d 1 0;
+  Player_graph.add_edge d 2 3 (* one-directional: dropped *);
+  let u = Player_graph.bidirectional_core d in
+  Alcotest.(check bool) "0-1 kept" true (Player_graph.has_undirected_edge u 0 1);
+  Alcotest.(check bool) "1-0 kept" true (Player_graph.has_undirected_edge u 1 0);
+  Alcotest.(check bool) "2-3 dropped" false
+    (Player_graph.has_undirected_edge u 2 3)
+
+let test_is_clique () =
+  let u = Player_graph.undirected_create ~n:4 in
+  List.iter
+    (fun (i, j) -> Player_graph.add_undirected_edge u i j)
+    [ (0, 1); (0, 2); (1, 2) ];
+  Alcotest.(check bool) "triangle" true (Player_graph.is_clique u [ 0; 1; 2 ]);
+  Alcotest.(check bool) "not with 3" false
+    (Player_graph.is_clique u [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "singleton" true (Player_graph.is_clique u [ 3 ]);
+  Alcotest.(check bool) "empty" true (Player_graph.is_clique u []);
+  Alcotest.(check bool) "duplicates rejected" false
+    (Player_graph.is_clique u [ 0; 0 ])
+
+let test_approx_clique_complete_graph () =
+  let n = 7 in
+  let u = Player_graph.undirected_create ~n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Player_graph.add_undirected_edge u i j
+    done
+  done;
+  match Player_graph.approx_clique u ~min_size:n with
+  | None -> Alcotest.fail "complete graph must yield everyone"
+  | Some c -> Alcotest.(check (list int)) "all players" (List.init n Fun.id) c
+
+let test_approx_clique_empty_graph () =
+  let u = Player_graph.undirected_create ~n:6 in
+  (* Complement is complete: perfect matching leaves nobody. *)
+  Alcotest.(check bool) "no clique of 2" true
+    (Player_graph.approx_clique u ~min_size:2 = None)
+
+(* The protocol-relevant promise: honest players always form a clique
+   (size n - t); the approximation must return a clique of size
+   >= n - 2t whatever edges faulty players induce. *)
+let prop_clique_guarantee =
+  QCheck.Test.make ~count:300 ~name:"approx clique guarantee n-2t"
+    QCheck.(pair int (int_range 1 4))
+    (fun (seed, t) ->
+      let g = Prng.of_int seed in
+      let n = (6 * t) + 1 in
+      let faults = Net.Faults.random g ~n ~t in
+      let u = Player_graph.undirected_create ~n in
+      (* Honest pairs are always connected. *)
+      let honest = Net.Faults.honest faults in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j -> if i < j then Player_graph.add_undirected_edge u i j)
+            honest)
+        honest;
+      (* Faulty players connect arbitrarily. *)
+      List.iter
+        (fun f ->
+          for j = 0 to n - 1 do
+            if j <> f && Prng.bool g then Player_graph.add_undirected_edge u f j
+          done)
+        (Net.Faults.faulty faults);
+      match Player_graph.approx_clique u ~min_size:(n - (2 * t)) with
+      | None -> false
+      | Some c ->
+          Player_graph.is_clique u c && List.length c >= n - (2 * t))
+
+let test_deterministic () =
+  let build () =
+    let u = Player_graph.undirected_create ~n:9 in
+    List.iter
+      (fun (i, j) -> Player_graph.add_undirected_edge u i j)
+      [ (0, 1); (0, 2); (1, 2); (3, 4); (5, 6); (6, 7); (5, 7); (0, 8); (1, 8); (2, 8) ];
+    u
+  in
+  let c1 = Player_graph.approx_clique (build ()) ~min_size:1 in
+  let c2 = Player_graph.approx_clique (build ()) ~min_size:1 in
+  Alcotest.(check bool) "same result" true (c1 = c2)
+
+let suite =
+  [
+    Alcotest.test_case "bidirectional core" `Quick test_bidirectional_core;
+    Alcotest.test_case "is_clique" `Quick test_is_clique;
+    Alcotest.test_case "approx clique complete" `Quick
+      test_approx_clique_complete_graph;
+    Alcotest.test_case "approx clique empty" `Quick test_approx_clique_empty_graph;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_clique_guarantee ]

@@ -1,0 +1,114 @@
+let phase_king_ba ~n ~t inputs = Phase_king.run ~n ~t ~inputs ()
+
+let run ?behavior ~n ~t ~inputs ?ba () =
+  let ba = match ba with Some f -> f | None -> phase_king_ba ~n ~t in
+  Multivalued_ba.run ?behavior ~ba ~equal:String.equal
+    ~byte_size:String.length ~n ~t ~inputs ()
+
+let test_validity () =
+  let n = 9 and t = 2 in
+  let inputs = Array.make n "block-7f3a" in
+  let out = run ~n ~t ~inputs () in
+  Array.iter
+    (fun o -> Alcotest.(check (option string)) "validity" (Some "block-7f3a") o)
+    out
+
+let test_split_inputs_agree () =
+  let g = Prng.of_int 1 in
+  let n = 9 and t = 2 in
+  let values = [| "a"; "b"; "c" |] in
+  for _ = 1 to 30 do
+    let inputs = Array.init n (fun _ -> values.(Prng.int g 3)) in
+    let out = run ~n ~t ~inputs () in
+    Array.iter (fun o -> Alcotest.(check bool) "agreement" true (o = out.(0))) out
+  done
+
+let test_two_thirds_majority_wins () =
+  (* If >= n - t honest players share an input, validity extends: that
+     value must be adopted (every honest player sieves it in round 1). *)
+  let n = 9 and t = 2 in
+  let inputs =
+    Array.init n (fun i -> if i < 7 then "major" else "minor")
+  in
+  let out = run ~n ~t ~inputs () in
+  Array.iter
+    (fun o -> Alcotest.(check (option string)) "majority value" (Some "major") o)
+    out
+
+let prop_agreement_validity_byzantine =
+  QCheck.Test.make ~count:150 ~name:"multivalued BA vs Byzantine"
+    QCheck.(pair int (int_range 1 2))
+    (fun (seed, t) ->
+      let g = Prng.of_int seed in
+      let n = (4 * t) + 1 + Prng.int g 3 in
+      let faults = Net.Faults.random g ~n ~t in
+      let values = [| "x"; "y"; "z" |] in
+      let inputs = Array.init n (fun _ -> values.(Prng.int g 3)) in
+      let behavior i =
+        if Net.Faults.is_honest faults i then Multivalued_ba.Honest
+        else
+          match Prng.int g 3 with
+          | 0 -> Multivalued_ba.Silent
+          | 1 -> Multivalued_ba.Fixed values.(Prng.int g 3)
+          | _ ->
+              let salt = Prng.int g 1000 in
+              Multivalued_ba.Arbitrary
+                (fun ~round ~dst ->
+                  match Hashtbl.hash (salt, round, dst) land 3 with
+                  | 0 -> None
+                  | 1 -> Some None
+                  | h -> Some (Some values.(h mod 3)))
+      in
+      let ba inputs =
+        let b i =
+          if Net.Faults.is_honest faults i then Phase_king.Honest
+          else Phase_king.Fixed (Prng.bool g)
+        in
+        Phase_king.run ~behavior:b ~n ~t ~inputs ()
+      in
+      let out = run ~behavior ~n ~t ~inputs ~ba () in
+      let honest = Net.Faults.honest faults in
+      let outs = List.map (fun i -> out.(i)) honest in
+      let agreement =
+        match outs with [] -> true | o :: rest -> List.for_all (( = ) o) rest
+      in
+      let hon_inputs = List.map (fun i -> inputs.(i)) honest in
+      let validity =
+        match hon_inputs with
+        | [] -> true
+        | v :: rest when List.for_all (String.equal v) rest ->
+            List.for_all (( = ) (Some v)) outs
+        | _ -> true
+      in
+      agreement && validity)
+
+let test_agree_on_field_elements () =
+  (* The use case Coin-Gen-like protocols need: agree on a field value. *)
+  let module F = Gf2k.GF32 in
+  let n = 9 and t = 2 in
+  let v = F.of_int 0xDEAD in
+  let inputs = Array.make n v in
+  let out =
+    Multivalued_ba.run
+      ~ba:(phase_king_ba ~n ~t)
+      ~equal:F.equal
+      ~byte_size:(fun _ -> F.byte_size)
+      ~n ~t ~inputs ()
+  in
+  Array.iter
+    (fun o ->
+      Alcotest.(check bool) "field value agreed" true
+        (match o with Some x -> F.equal x v | None -> false))
+    out
+
+let suite =
+  [
+    Alcotest.test_case "validity" `Quick test_validity;
+    Alcotest.test_case "split inputs agree" `Quick test_split_inputs_agree;
+    Alcotest.test_case "2/3 majority wins" `Quick test_two_thirds_majority_wins;
+    Alcotest.test_case "agree on field elements" `Quick
+      test_agree_on_field_elements;
+  ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [ prop_agreement_validity_byzantine ]

@@ -1,0 +1,101 @@
+let mk n = Net.create ~n ~byte_size:String.length
+
+let test_delivery_order () =
+  let net = mk 4 in
+  Net.send net ~src:2 ~dst:0 "b";
+  Net.send net ~src:1 ~dst:0 "a";
+  Net.send net ~src:3 ~dst:0 "c";
+  let inbox = Net.deliver net in
+  Alcotest.(check (list (pair int string)))
+    "sorted by sender"
+    [ (1, "a"); (2, "b"); (3, "c") ]
+    inbox.(0);
+  Alcotest.(check (list (pair int string))) "others empty" [] inbox.(1)
+
+let test_queues_cleared () =
+  let net = mk 2 in
+  Net.send net ~src:0 ~dst:1 "x";
+  ignore (Net.deliver net);
+  let inbox = Net.deliver net in
+  Alcotest.(check (list (pair int string))) "second round empty" [] inbox.(1)
+
+let test_rounds_counted () =
+  let net = mk 2 in
+  ignore (Net.deliver net);
+  ignore (Net.deliver net);
+  Alcotest.(check int) "two rounds" 2 (Net.rounds_elapsed net)
+
+let test_metrics_accounting () =
+  let (), snap =
+    Metrics.with_counting (fun () ->
+        let net = mk 3 in
+        Net.send net ~src:0 ~dst:1 "hello";
+        Net.send net ~src:0 ~dst:0 "self" (* uncounted *);
+        Net.send_to_all net ~src:2 (fun _ -> "xy");
+        ignore (Net.deliver net))
+  in
+  (* send_to_all from 2 counts 2 messages (to 0 and 1, not itself). *)
+  Alcotest.(check int) "messages" 3 snap.Metrics.messages;
+  Alcotest.(check int) "bytes" (5 + 2 + 2) snap.Metrics.bytes;
+  Alcotest.(check int) "rounds" 1 snap.Metrics.rounds
+
+let test_equivocation_expressible () =
+  let net = mk 3 in
+  Net.send_to_all net ~src:0 (fun dst -> if dst = 1 then "one" else "two");
+  let inbox = Net.deliver net in
+  Alcotest.(check (list (pair int string))) "to 1" [ (0, "one") ] inbox.(1);
+  Alcotest.(check (list (pair int string))) "to 2" [ (0, "two") ] inbox.(2)
+
+let test_multiple_messages_same_round () =
+  let net = mk 2 in
+  Net.send net ~src:0 ~dst:1 "first";
+  Net.send net ~src:0 ~dst:1 "second";
+  let inbox = Net.deliver net in
+  Alcotest.(check (list (pair int string)))
+    "both kept, send order"
+    [ (0, "first"); (0, "second") ]
+    inbox.(1)
+
+let test_id_validation () =
+  let net = mk 2 in
+  Alcotest.check_raises "bad dst"
+    (Invalid_argument "Net.send: player id 5 out of range") (fun () ->
+      Net.send net ~src:0 ~dst:5 "x")
+
+let test_faults_construction () =
+  let f = Net.Faults.make ~n:7 ~faulty:[ 1; 4 ] in
+  Alcotest.(check int) "count" 2 (Net.Faults.count f);
+  Alcotest.(check bool) "1 faulty" true (Net.Faults.is_faulty f 1);
+  Alcotest.(check bool) "0 honest" true (Net.Faults.is_honest f 0);
+  Alcotest.(check (list int)) "faulty list" [ 1; 4 ] (Net.Faults.faulty f);
+  Alcotest.(check (list int)) "honest list" [ 0; 2; 3; 5; 6 ]
+    (Net.Faults.honest f)
+
+let test_faults_random () =
+  let g = Prng.of_int 5 in
+  for _ = 1 to 50 do
+    let f = Net.Faults.random g ~n:10 ~t:3 in
+    Alcotest.(check int) "three faulty" 3 (Net.Faults.count f)
+  done
+
+let test_faults_validation () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Faults.make: duplicate id")
+    (fun () -> ignore (Net.Faults.make ~n:4 ~faulty:[ 1; 1 ]));
+  Alcotest.check_raises "range" (Invalid_argument "Faults.make: id out of range")
+    (fun () -> ignore (Net.Faults.make ~n:4 ~faulty:[ 4 ]))
+
+let suite =
+  [
+    Alcotest.test_case "delivery order" `Quick test_delivery_order;
+    Alcotest.test_case "queues cleared" `Quick test_queues_cleared;
+    Alcotest.test_case "rounds counted" `Quick test_rounds_counted;
+    Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+    Alcotest.test_case "equivocation expressible" `Quick
+      test_equivocation_expressible;
+    Alcotest.test_case "multiple messages same round" `Quick
+      test_multiple_messages_same_round;
+    Alcotest.test_case "id validation" `Quick test_id_validation;
+    Alcotest.test_case "faults construction" `Quick test_faults_construction;
+    Alcotest.test_case "faults random" `Quick test_faults_random;
+    Alcotest.test_case "faults validation" `Quick test_faults_validation;
+  ]

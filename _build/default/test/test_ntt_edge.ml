@@ -1,0 +1,82 @@
+(* Edge-case coverage for the NTT plan machinery and the special-field
+   parameter derivation across several target sizes. *)
+
+let tbl97 = Zq_table.Tables.make ~q:97
+
+let test_plan_validation () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Ntt.plan: size not a power of two") (fun () ->
+      ignore (Ntt.plan tbl97 ~m:24));
+  Alcotest.check_raises "m does not divide q-1"
+    (Invalid_argument "Ntt.plan: m does not divide q-1") (fun () ->
+      ignore (Ntt.plan tbl97 ~m:64))
+  (* 96 = 2^5 * 3: 64 does not divide it. *)
+
+let test_plan_sizes () =
+  List.iter
+    (fun m ->
+      let plan = Ntt.plan tbl97 ~m in
+      Alcotest.(check int) "size" m (Ntt.size plan))
+    [ 1; 2; 4; 8; 16; 32 ]
+
+let test_convolve_size_guard () =
+  let plan = Ntt.plan tbl97 ~m:8 in
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Ntt.convolve: result does not fit plan size") (fun () ->
+      ignore (Ntt.convolve plan (Array.make 6 1) (Array.make 6 1)))
+
+let test_inverse_length_guard () =
+  let plan = Ntt.plan tbl97 ~m:8 in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Ntt.inverse: wrong length") (fun () ->
+      ignore (Ntt.inverse plan (Array.make 4 0)))
+
+let test_transform_of_delta_is_flat () =
+  (* DFT of the unit impulse is the all-ones vector. *)
+  let plan = Ntt.plan tbl97 ~m:16 in
+  let delta = Array.init 16 (fun i -> if i = 0 then 1 else 0) in
+  Alcotest.(check (array int)) "flat" (Array.make 16 1)
+    (Ntt.transform plan delta)
+
+let test_fft_field_derivations () =
+  (* The derived (l, q) pairs must satisfy the paper's constraints for
+     every target size. *)
+  List.iter
+    (fun target ->
+      let module M = Fft_field.Make (struct let k = target end) in
+      Alcotest.(check bool) "l power of two" true (M.l land (M.l - 1) = 0);
+      Alcotest.(check bool) "q prime" true (Zp.is_prime M.q);
+      Alcotest.(check int) "q = 1 mod 2l" 1 (M.q mod (2 * M.l));
+      Alcotest.(check bool) "q >= 2l+1" true (M.q >= (2 * M.l) + 1);
+      Alcotest.(check bool) "capacity" true (M.k_bits >= target);
+      (* c is a generator, so x^l - c is irreducible (Lidl-Niederreiter
+         3.75); sanity: c^((q-1)/2) <> 1 (c is a non-residue). *)
+      let module Q = Zp.Make (struct let p = M.q end) in
+      Alcotest.(check bool) "c non-residue" false
+        (Q.equal (Q.pow (Q.of_int M.c) ((M.q - 1) / 2)) Q.one))
+    [ 4; 16; 64; 128; 256; 512 ]
+
+let test_fft_field_small_k () =
+  (* Tiny targets still give a working field. *)
+  let module M = Fft_field.Make (struct let k = 2 end) in
+  let g = Prng.of_int 1 in
+  let a = M.random_nonzero g in
+  Alcotest.(check bool) "inverse works" true (M.equal (M.mul a (M.inv a)) M.one)
+
+let test_zq_pow_edges () =
+  Alcotest.(check int) "0^0" 1 (Zq_table.Tables.pow tbl97 0 0);
+  Alcotest.(check int) "0^5" 0 (Zq_table.Tables.pow tbl97 0 5);
+  Alcotest.(check int) "x^0" 1 (Zq_table.Tables.pow tbl97 42 0);
+  Alcotest.(check int) "fermat" 1 (Zq_table.Tables.pow tbl97 42 96)
+
+let suite =
+  [
+    Alcotest.test_case "plan validation" `Quick test_plan_validation;
+    Alcotest.test_case "plan sizes" `Quick test_plan_sizes;
+    Alcotest.test_case "convolve size guard" `Quick test_convolve_size_guard;
+    Alcotest.test_case "inverse length guard" `Quick test_inverse_length_guard;
+    Alcotest.test_case "impulse transform" `Quick test_transform_of_delta_is_flat;
+    Alcotest.test_case "fft field derivations" `Quick test_fft_field_derivations;
+    Alcotest.test_case "fft field small k" `Quick test_fft_field_small_k;
+    Alcotest.test_case "zq pow edges" `Quick test_zq_pow_edges;
+  ]

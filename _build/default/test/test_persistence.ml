@@ -1,0 +1,108 @@
+module F = Gf2k.GF16
+module C = Sealed_coin.Make (F)
+module PL = Pool.Make (F)
+module CE = Coin_expose.Make (F)
+
+let n = 13
+let t = 2
+
+let roundtrip coin =
+  let w = Wire.Writer.create () in
+  C.write w coin;
+  let r = Wire.Reader.of_bytes (Wire.Writer.contents w) in
+  let back = C.read r in
+  Wire.Reader.expect_end r;
+  back
+
+let test_dealer_coin_roundtrip () =
+  let g = Prng.of_int 1 in
+  for _ = 1 to 20 do
+    let coin = C.dealer_coin g ~n ~t in
+    let back = roundtrip coin in
+    Alcotest.(check int) "n" coin.C.n back.C.n;
+    Alcotest.(check int) "t" coin.C.fault_bound back.C.fault_bound;
+    Alcotest.(check bool) "shares" true
+      (Array.for_all2 F.equal coin.C.shares back.C.shares);
+    Alcotest.(check bool) "trusted" true (back.C.trusted = None);
+    Alcotest.(check bool) "same value" true
+      (F.equal
+         (Option.get (C.ground_truth coin))
+         (Option.get (C.ground_truth back)))
+  done
+
+let test_generated_coin_roundtrip () =
+  (* Coins with trusted matrices (from a real Coin-Gen batch) must
+     survive, including their exposure behaviour. *)
+  let module CG = Coin_gen.Make (F) in
+  let og = Prng.of_int 2 in
+  let oracle () = Metrics.without_counting (fun () -> F.random og) in
+  match CG.run ~prng:(Prng.of_int 3) ~oracle ~n ~t ~m:3 () with
+  | None -> Alcotest.fail "coin-gen failed"
+  | Some batch ->
+      for h = 0 to 2 do
+        let coin = CG.coin batch h in
+        let back = roundtrip coin in
+        Alcotest.(check bool) "trusted present" true (back.C.trusted <> None);
+        let v1 = (CE.run coin).(0) and v2 = (CE.run back).(0) in
+        Alcotest.(check bool) "same exposure" true
+          (match (v1, v2) with Some a, Some b -> F.equal a b | _ -> false)
+      done
+
+let test_read_rejects_garbage () =
+  Alcotest.check_raises "truncated"
+    (Invalid_argument "Wire.Reader: truncated input") (fun () ->
+      ignore (C.read (Wire.Reader.of_bytes (Bytes.of_string "xy"))))
+
+let test_pool_save_restore () =
+  let p =
+    PL.create ~prng:(Prng.of_int 4) ~n ~t ~batch_size:16 ~refill_threshold:3
+      ~initial_seed:6 ()
+  in
+  for _ = 1 to 25 do
+    ignore (PL.draw_kary p)
+  done;
+  let saved = PL.save p in
+  let before = PL.stats p in
+  let q =
+    PL.restore ~prng:(Prng.of_int 999) ~batch_size:16 ~refill_threshold:3 saved
+  in
+  let after = PL.stats q in
+  Alcotest.(check int) "available preserved" (PL.available p) (PL.available q);
+  Alcotest.(check bool) "ledger preserved" true (before = after);
+  (* The restored pool keeps serving — without a new dealer. *)
+  for _ = 1 to 30 do
+    ignore (PL.draw_kary q)
+  done;
+  let s = PL.stats q in
+  Alcotest.(check int) "dealer coins unchanged" 6 s.PL.dealer_coins;
+  Alcotest.(check int) "draws served" 55 s.PL.coins_exposed;
+  Alcotest.(check int) "no unanimity failures" 0 s.PL.unanimity_failures
+
+let test_restore_validation () =
+  let p =
+    PL.create ~prng:(Prng.of_int 5) ~n ~t ~batch_size:16 ~refill_threshold:3
+      ~initial_seed:6 ()
+  in
+  let saved = PL.save p in
+  Alcotest.check_raises "bad magic" (Invalid_argument "Pool.restore: bad magic")
+    (fun () ->
+      let corrupted = Bytes.copy saved in
+      Bytes.set_uint8 corrupted 0 0x00;
+      ignore
+        (PL.restore ~prng:(Prng.of_int 1) ~batch_size:16 ~refill_threshold:3
+           corrupted));
+  Alcotest.check_raises "bad threshold"
+    (Invalid_argument "Pool.restore: refill_threshold must be >= 2") (fun () ->
+      ignore
+        (PL.restore ~prng:(Prng.of_int 1) ~batch_size:16 ~refill_threshold:1
+           saved))
+
+let suite =
+  [
+    Alcotest.test_case "dealer coin roundtrip" `Quick test_dealer_coin_roundtrip;
+    Alcotest.test_case "generated coin roundtrip" `Quick
+      test_generated_coin_roundtrip;
+    Alcotest.test_case "read rejects garbage" `Quick test_read_rejects_garbage;
+    Alcotest.test_case "pool save/restore" `Quick test_pool_save_restore;
+    Alcotest.test_case "restore validation" `Quick test_restore_validation;
+  ]

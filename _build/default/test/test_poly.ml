@@ -1,0 +1,121 @@
+module F = Gf2k.GF32
+module P = Poly.Make (F)
+
+let elt i = F.of_int (i land 0xFFFFFFFF)
+
+let arb_poly =
+  let gen =
+    QCheck.Gen.map
+      (fun (seed, d) ->
+        let g = Prng.of_int seed in
+        P.random g ~degree:d)
+      QCheck.Gen.(pair int (int_range 0 12))
+  in
+  QCheck.make ~print:(Fmt.to_to_string P.pp) gen
+
+let arb_elt =
+  QCheck.make ~print:F.to_string
+    (QCheck.Gen.map (fun s -> F.random (Prng.of_int s)) QCheck.Gen.int)
+
+let qtest name arb f = QCheck.Test.make ~count:200 ~name arb f
+
+let props =
+  [
+    qtest "eval distributes over add" (QCheck.triple arb_poly arb_poly arb_elt)
+      (fun (p, q, x) ->
+        F.equal (P.eval (P.add p q) x) (F.add (P.eval p x) (P.eval q x)));
+    qtest "eval distributes over mul" (QCheck.triple arb_poly arb_poly arb_elt)
+      (fun (p, q, x) ->
+        F.equal (P.eval (P.mul p q) x) (F.mul (P.eval p x) (P.eval q x)));
+    qtest "sub of self is zero" arb_poly (fun p -> P.equal (P.sub p p) P.zero);
+    qtest "divmod reconstructs" (QCheck.pair arb_poly arb_poly) (fun (a, b) ->
+        QCheck.assume (P.degree b >= 0);
+        let q, r = P.divmod a b in
+        P.degree r < P.degree b && P.equal a (P.add (P.mul q b) r));
+    qtest "interpolation recovers polynomial"
+      (QCheck.pair QCheck.int (QCheck.int_range 0 10))
+      (fun (seed, d) ->
+        let g = Prng.of_int seed in
+        let p = P.random g ~degree:d in
+        let points = List.init (d + 1) (fun i -> (elt (i + 1), P.eval p (elt (i + 1)))) in
+        P.equal p (P.interpolate points));
+    qtest "interpolate_at agrees with interpolate"
+      (QCheck.pair QCheck.int (QCheck.int_range 0 8))
+      (fun (seed, d) ->
+        let g = Prng.of_int seed in
+        let p = P.random g ~degree:d in
+        let points =
+          List.init (d + 1) (fun i -> (elt (i + 3), P.eval p (elt (i + 3))))
+        in
+        F.equal (P.interpolate_at points F.zero) (P.eval (P.interpolate points) F.zero));
+    qtest "degree of product adds" (QCheck.pair arb_poly arb_poly)
+      (fun (a, b) ->
+        QCheck.assume (P.degree a >= 0 && P.degree b >= 0);
+        P.degree (P.mul a b) = P.degree a + P.degree b);
+    qtest "random_with_c0 pins the constant term"
+      (QCheck.pair QCheck.int (QCheck.int_range 1 10))
+      (fun (seed, d) ->
+        let g = Prng.of_int seed in
+        let c0 = F.random g in
+        let p = P.random_with_c0 g ~degree:d ~c0 in
+        F.equal (P.eval p F.zero) c0);
+  ]
+
+let test_constants () =
+  Alcotest.(check int) "zero degree" (-1) (P.degree P.zero);
+  Alcotest.(check int) "one degree" 0 (P.degree P.one);
+  Alcotest.(check bool) "constant zero collapses" true
+    (P.equal (P.constant F.zero) P.zero);
+  Alcotest.(check int) "monomial degree" 7 (P.degree (P.monomial F.one 7))
+
+let test_eval_known () =
+  (* p(x) = x^2 + x + 1 over GF(2^32): p(0) = 1, p(1) = 1 (char 2). *)
+  let p = P.of_coeffs [| F.one; F.one; F.one |] in
+  Alcotest.(check bool) "p(0)=1" true (F.equal (P.eval p F.zero) F.one);
+  Alcotest.(check bool) "p(1)=1" true (F.equal (P.eval p F.one) F.one)
+
+let test_coeff_beyond_degree () =
+  let p = P.of_coeffs [| F.one |] in
+  Alcotest.(check bool) "coeff 5 is zero" true (F.equal (P.coeff p 5) F.zero)
+
+let test_normalization () =
+  let p = P.of_coeffs [| F.one; F.zero; F.zero |] in
+  Alcotest.(check int) "trailing zeros stripped" 0 (P.degree p)
+
+let test_interpolate_empty_and_single () =
+  Alcotest.(check bool) "empty -> zero" true (P.equal (P.interpolate []) P.zero);
+  let p = P.interpolate [ (elt 1, elt 42) ] in
+  Alcotest.(check int) "single point -> constant" 0 (P.degree p);
+  Alcotest.(check bool) "value" true (F.equal (P.eval p (elt 9)) (elt 42))
+
+let test_fits_degree () =
+  let g = Prng.of_int 7 in
+  let p = P.random g ~degree:3 in
+  let points = List.init 10 (fun i -> (elt (i + 1), P.eval p (elt (i + 1)))) in
+  Alcotest.(check bool) "fits 3" true (P.fits_degree points ~max_degree:3);
+  (* Corrupt one evaluation: a degree-3 fit must fail (10 points pin the
+     polynomial uniquely). *)
+  let corrupted =
+    List.mapi (fun i (x, y) -> if i = 4 then (x, F.add y F.one) else (x, y)) points
+  in
+  Alcotest.(check bool) "corruption breaks fit" false
+    (P.fits_degree corrupted ~max_degree:3)
+
+let test_interpolation_ticks_metrics () =
+  let points = List.init 4 (fun i -> (elt (i + 1), elt (i * i))) in
+  let _, snap = Metrics.with_counting (fun () -> P.interpolate points) in
+  Alcotest.(check int) "one interpolation" 1 snap.Metrics.interpolations
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "eval known" `Quick test_eval_known;
+    Alcotest.test_case "coeff beyond degree" `Quick test_coeff_beyond_degree;
+    Alcotest.test_case "normalization" `Quick test_normalization;
+    Alcotest.test_case "interpolate empty/single" `Quick
+      test_interpolate_empty_and_single;
+    Alcotest.test_case "fits_degree" `Quick test_fits_degree;
+    Alcotest.test_case "interpolation ticks metrics" `Quick
+      test_interpolation_ticks_metrics;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

@@ -1,0 +1,198 @@
+module F = Gf2k.GF16
+module PL = Pool.Make (F)
+module CG = PL.CG
+module CE = PL.CE
+
+let n = 13
+let t = 2
+
+let mk ?adversary ?expose_behavior seed =
+  PL.create ?adversary ?expose_behavior ~prng:(Prng.of_int seed) ~n ~t
+    ~batch_size:16 ~refill_threshold:3 ~initial_seed:6 ()
+
+let test_bootstrap_sustains_draws () =
+  let p = mk 1 in
+  (* 6 dealer coins fund an unbounded stream: draw far more than the
+     initial seed. *)
+  for _ = 1 to 120 do
+    ignore (PL.draw_kary p)
+  done;
+  let s = PL.stats p in
+  Alcotest.(check int) "dealer used once, 6 coins" 6 s.PL.dealer_coins;
+  Alcotest.(check bool) "refilled repeatedly" true (s.PL.refills >= 3);
+  Alcotest.(check int) "all draws served" 120 s.PL.coins_exposed;
+  Alcotest.(check bool) "no unanimity failures" true
+    (s.PL.unanimity_failures = 0);
+  Alcotest.(check bool) "pool still stocked" true (PL.available p > 0)
+
+let test_seed_consumption_is_small () =
+  let p = mk 2 in
+  for _ = 1 to 100 do
+    ignore (PL.draw_kary p)
+  done;
+  let s = PL.stats p in
+  (* Each refill consumes 1 + ba_iterations seed coins; with honest
+     players that is 2 per refill of 16 coins. *)
+  Alcotest.(check int) "2 seed coins per refill"
+    (2 * s.PL.refills) s.PL.seed_coins_consumed;
+  Alcotest.(check int) "one BA per refill" s.PL.refills s.PL.ba_iterations;
+  Alcotest.(check bool) "amortized seed usage < 15%" true
+    (s.PL.seed_coins_consumed * 100 < 15 * s.PL.coins_exposed)
+
+let test_draw_bit_buffers () =
+  let p = mk 3 in
+  let before = (PL.stats p).PL.coins_exposed in
+  (* k = 16 bits per coin: 16 bit draws must expose exactly one coin. *)
+  for _ = 1 to 16 do
+    ignore (PL.draw_bit p)
+  done;
+  let after = (PL.stats p).PL.coins_exposed in
+  Alcotest.(check int) "one coin for 16 bits" 1 (after - before)
+
+let test_bits_balanced () =
+  let p = mk 4 in
+  let ones = ref 0 in
+  let total = 4000 in
+  for _ = 1 to total do
+    if PL.draw_bit p then incr ones
+  done;
+  let dev = abs (!ones - (total / 2)) in
+  (* sigma ~ 31.6; 5 sigma. *)
+  Alcotest.(check bool) (Printf.sprintf "%d ones" !ones) true (dev < 158)
+
+let test_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "threshold >= 2" true
+    (bad (fun () ->
+         PL.create ~prng:(Prng.of_int 1) ~n ~t ~batch_size:16 ~refill_threshold:1
+           ~initial_seed:6 ()));
+  Alcotest.(check bool) "seed > threshold" true
+    (bad (fun () ->
+         PL.create ~prng:(Prng.of_int 1) ~n ~t ~batch_size:16 ~refill_threshold:3
+           ~initial_seed:3 ()));
+  Alcotest.(check bool) "batch >= 2*threshold" true
+    (bad (fun () ->
+         PL.create ~prng:(Prng.of_int 1) ~n ~t ~batch_size:5 ~refill_threshold:3
+           ~initial_seed:6 ()))
+
+let test_under_byzantine_faults () =
+  (* Mobile adversary: a different random fault set on every refill,
+     plus exposure-time lying — the pool must keep producing and honest
+     reconstruction must hold throughout. *)
+  let g = Prng.of_int 55 in
+  let fault_sets = Array.init 64 (fun _ -> Net.Faults.random g ~n ~t) in
+  let adversary refill =
+    let faults = fault_sets.(refill mod 64) in
+    CG.faulty_with ~as_dealer:(CG.BG.Bad_degree [ 0 ])
+      ~as_gamma:CG.Silent_vec ~as_ba:(Phase_king.Fixed false) faults
+  in
+  let expose_behavior refill i =
+    let faults = fault_sets.(refill mod 64) in
+    if Net.Faults.is_faulty faults i then CE.Send (F.of_int 0xBEEF)
+    else CE.Honest
+  in
+  let p = mk ~adversary ~expose_behavior 5 in
+  for _ = 1 to 80 do
+    ignore (PL.draw_kary p)
+  done;
+  let s = PL.stats p in
+  Alcotest.(check int) "all draws served" 80 s.PL.coins_exposed;
+  Alcotest.(check bool) "refilled" true (s.PL.refills >= 2)
+
+let test_metrics_visibility () =
+  let p = mk 6 in
+  let _, snap =
+    Metrics.with_counting (fun () ->
+        for _ = 1 to 30 do
+          ignore (PL.draw_kary p)
+        done)
+  in
+  Alcotest.(check bool) "messages counted" true (snap.Metrics.messages > 0);
+  Alcotest.(check bool) "interpolations counted" true
+    (snap.Metrics.interpolations > 0);
+  Alcotest.(check bool) "BA counted" true (snap.Metrics.ba_runs >= 1)
+
+let test_randomized_ba_flavor () =
+  (* Section 1.2: with a randomized BA inside the generator, the BA's
+     common coins come out of the pool's own seed reserve. *)
+  let p =
+    PL.create ~ba_flavor:`Common_coin ~prng:(Prng.of_int 77) ~n ~t
+      ~batch_size:16 ~refill_threshold:4 ~initial_seed:6 ()
+  in
+  for _ = 1 to 60 do
+    ignore (PL.draw_kary p)
+  done;
+  let s = PL.stats p in
+  Alcotest.(check int) "all draws served" 60 s.PL.coins_exposed;
+  Alcotest.(check bool) "refilled" true (s.PL.refills >= 4);
+  Alcotest.(check int) "no unanimity failures" 0 s.PL.unanimity_failures;
+  (* Each refill needs the check coin, the leader coin and at least one
+     coin's worth of BA phase bits: strictly more than the deterministic
+     flavor's 2 per refill. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "seed usage %d > 2 per refill" s.PL.seed_coins_consumed)
+    true
+    (s.PL.seed_coins_consumed > 2 * s.PL.refills);
+  (* Conservation still holds. *)
+  Alcotest.(check int) "conservation"
+    (s.PL.dealer_coins + s.PL.generated_coins)
+    (s.PL.coins_exposed + s.PL.seed_coins_consumed + PL.available p)
+
+let test_randomized_ba_under_attack () =
+  let g = Prng.of_int 88 in
+  let fault_sets = Array.init 32 (fun _ -> Net.Faults.random g ~n ~t) in
+  let adversary refill =
+    CG.faulty_with ~as_dealer:(CG.BG.Bad_degree [ 0 ])
+      ~as_ba:(Phase_king.Fixed false)
+      fault_sets.(refill mod 32)
+  in
+  let p =
+    PL.create ~ba_flavor:`Common_coin ~adversary ~prng:(Prng.split g) ~n ~t
+      ~batch_size:16 ~refill_threshold:4 ~initial_seed:6 ()
+  in
+  for _ = 1 to 40 do
+    ignore (PL.draw_kary p)
+  done;
+  let s = PL.stats p in
+  Alcotest.(check int) "served" 40 s.PL.coins_exposed;
+  Alcotest.(check int) "no unanimity failures" 0 s.PL.unanimity_failures
+
+(* Coin conservation under arbitrary operation sequences: every coin in
+   existence was either dealt at setup or generated by a refill, and is
+   now either exposed (as seed or for the application) or still in the
+   pool. Refresh re-randomizes in place, so it must not disturb the
+   ledger. *)
+let prop_conservation =
+  QCheck.Test.make ~count:40 ~name:"pool coin conservation"
+    QCheck.(pair int (int_range 10 60))
+    (fun (seed, ops) ->
+      let p = mk seed in
+      let g = Prng.of_int (seed + 1) in
+      for _ = 1 to ops do
+        match Prng.int g 10 with
+        | 0 -> PL.refresh p
+        | 1 | 2 | 3 -> ignore (PL.draw_bit p)
+        | _ -> ignore (PL.draw_kary p)
+      done;
+      let s = PL.stats p in
+      s.PL.dealer_coins + s.PL.generated_coins
+      = s.PL.coins_exposed + s.PL.seed_coins_consumed + PL.available p
+      && s.PL.unanimity_failures = 0)
+
+let suite =
+  [
+    Alcotest.test_case "bootstrap sustains draws" `Quick
+      test_bootstrap_sustains_draws;
+    Alcotest.test_case "seed consumption small" `Quick
+      test_seed_consumption_is_small;
+    Alcotest.test_case "draw_bit buffers" `Quick test_draw_bit_buffers;
+    Alcotest.test_case "bits balanced" `Quick test_bits_balanced;
+    Alcotest.test_case "parameter validation" `Quick test_validation;
+    Alcotest.test_case "byzantine faults tolerated" `Quick
+      test_under_byzantine_faults;
+    Alcotest.test_case "metrics visibility" `Quick test_metrics_visibility;
+    Alcotest.test_case "randomized BA flavor" `Quick test_randomized_ba_flavor;
+    Alcotest.test_case "randomized BA under attack" `Quick
+      test_randomized_ba_under_attack;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_conservation ]

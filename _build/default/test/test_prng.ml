@@ -1,0 +1,112 @@
+let test_deterministic () =
+  let a = Prng.of_int 42 and b = Prng.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.of_int 1 and b = Prng.of_int 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.next_int64 a) (Prng.next_int64 b)) then
+      differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_split_independence () =
+  let g = Prng.of_int 7 in
+  let a = Prng.split g and b = Prng.split g in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.next_int64 a) (Prng.next_int64 b)) then
+      differs := true
+  done;
+  Alcotest.(check bool) "split streams differ" true !differs
+
+let test_copy_replays () =
+  let g = Prng.of_int 3 in
+  ignore (Prng.next_int64 g);
+  let c = Prng.copy g in
+  Alcotest.(check int64) "copy replays" (Prng.next_int64 g) (Prng.next_int64 c)
+
+let test_int_bounds () =
+  let g = Prng.of_int 11 in
+  for _ = 1 to 2000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_covers_range () =
+  let g = Prng.of_int 13 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int g 8) <- true
+  done;
+  Alcotest.(check bool) "all 8 values seen" true (Array.for_all Fun.id seen)
+
+let test_bits_width () =
+  let g = Prng.of_int 17 in
+  for w = 0 to 62 do
+    let v = Prng.bits g w in
+    Alcotest.(check bool)
+      (Printf.sprintf "bits %d in range" w)
+      true
+      (v >= 0 && (w = 62 || v < 1 lsl w))
+  done
+
+let test_bool_balanced () =
+  let g = Prng.of_int 19 in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Prng.bool g then incr trues
+  done;
+  (* 5 sigma around n/2. *)
+  let dev = abs (!trues - (n / 2)) in
+  Alcotest.(check bool) "roughly balanced" true (dev < 250)
+
+let test_sample_distinct () =
+  let g = Prng.of_int 23 in
+  List.iter
+    (fun (m, bound) ->
+      let s = Prng.sample_distinct g m bound in
+      Alcotest.(check int) "cardinality" m (List.length s);
+      Alcotest.(check int) "distinct" m (List.length (List.sort_uniq compare s));
+      List.iter
+        (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < bound))
+        s;
+      Alcotest.(check bool) "sorted" true (List.sort compare s = s))
+    [ (0, 5); (3, 100); (5, 5); (7, 10); (50, 60) ]
+
+let test_shuffle_permutes () =
+  let g = Prng.of_int 29 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_split_n () =
+  let g = Prng.of_int 31 in
+  let gs = Prng.split_n g 5 in
+  Alcotest.(check int) "count" 5 (Array.length gs);
+  let outs = Array.map Prng.next_int64 gs in
+  let distinct =
+    List.length (List.sort_uniq Int64.compare (Array.to_list outs))
+  in
+  Alcotest.(check int) "first outputs distinct" 5 distinct
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "copy replays" `Quick test_copy_replays;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "bits width" `Quick test_bits_width;
+    Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+    Alcotest.test_case "sample_distinct" `Quick test_sample_distinct;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "split_n" `Quick test_split_n;
+  ]

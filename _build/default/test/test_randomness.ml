@@ -1,0 +1,123 @@
+module F = Gf2k.GF16
+module R = Randomness.Make (F)
+
+let stub_source seed =
+  let g = Prng.of_int seed in
+  fun () -> F.random g
+
+let test_bit_stream_length_and_balance () =
+  let bits = R.bit_stream (stub_source 1) ~count:10000 in
+  Alcotest.(check int) "length" 10000 (Array.length bits);
+  let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d ones" ones)
+    true
+    (abs (ones - 5000) < Stats.bit_balance_bound ~trials:10000)
+
+let test_uniform_int_bounds () =
+  let src = stub_source 2 in
+  for bound = 1 to 40 do
+    for _ = 1 to 50 do
+      let v = R.uniform_int src ~bound in
+      Alcotest.(check bool) "in range" true (v >= 0 && v < bound)
+    done
+  done
+
+let test_uniform_int_uniformity () =
+  let src = stub_source 3 in
+  (* bound 12 does not divide 2^16: rejection sampling must still give
+     exact uniformity. *)
+  let h = Array.make 12 0 in
+  let trials = 12000 in
+  for _ = 1 to trials do
+    let v = R.uniform_int src ~bound:12 in
+    h.(v) <- h.(v) + 1
+  done;
+  let chi2 = Stats.chi_square ~observed:h in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.1f" chi2)
+    true
+    (chi2 < Stats.uniform_5sigma_bound ~buckets:12)
+
+let test_uniform_int_validation () =
+  let src = stub_source 4 in
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Randomness.uniform_int: bound < 1") (fun () ->
+      ignore (R.uniform_int src ~bound:0));
+  Alcotest.check_raises "bound too large"
+    (Invalid_argument "Randomness.uniform_int: bound too large for this field")
+    (fun () -> ignore (R.uniform_int src ~bound:(1 lsl 17)))
+
+let test_shuffle_is_permutation () =
+  let src = stub_source 5 in
+  for _ = 1 to 50 do
+    let a = Array.init 20 Fun.id in
+    R.shuffle src a;
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+  done
+
+let test_shuffle_uniformity () =
+  (* Position of element 0 after shuffling [0..5]: uniform over 6 slots. *)
+  let src = stub_source 6 in
+  let h = Array.make 6 0 in
+  for _ = 1 to 6000 do
+    let a = Array.init 6 Fun.id in
+    R.shuffle src a;
+    let pos = ref 0 in
+    Array.iteri (fun i v -> if v = 0 then pos := i) a;
+    h.(!pos) <- h.(!pos) + 1
+  done;
+  let chi2 = Stats.chi_square ~observed:h in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.1f" chi2)
+    true
+    (chi2 < Stats.uniform_5sigma_bound ~buckets:6)
+
+let test_committee_properties () =
+  let src = stub_source 7 in
+  for _ = 1 to 100 do
+    let c = R.committee src ~size:4 ~n:13 in
+    Alcotest.(check int) "size" 4 (List.length c);
+    Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare c));
+    Alcotest.(check bool) "sorted & in range" true
+      (List.sort compare c = c && List.for_all (fun i -> i >= 0 && i < 13) c)
+  done
+
+let test_committee_fair () =
+  (* Each player's membership frequency: size/n = 2/6. *)
+  let src = stub_source 8 in
+  let h = Array.make 6 0 in
+  let trials = 6000 in
+  for _ = 1 to trials do
+    List.iter (fun i -> h.(i) <- h.(i) + 1) (R.committee src ~size:2 ~n:6)
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = trials * 2 / 6 in
+      Alcotest.(check bool)
+        (Printf.sprintf "player %d: %d" i c)
+        true
+        (abs (c - expected) < 200))
+    h
+
+let test_derivation_is_agreed () =
+  (* Two players replaying the same exposed coins derive identical
+     results — the whole point. *)
+  let a = R.committee (stub_source 9) ~size:5 ~n:20 in
+  let b = R.committee (stub_source 9) ~size:5 ~n:20 in
+  Alcotest.(check (list int)) "same committee" a b
+
+let suite =
+  [
+    Alcotest.test_case "bit stream" `Quick test_bit_stream_length_and_balance;
+    Alcotest.test_case "uniform_int bounds" `Quick test_uniform_int_bounds;
+    Alcotest.test_case "uniform_int uniformity" `Quick test_uniform_int_uniformity;
+    Alcotest.test_case "uniform_int validation" `Quick test_uniform_int_validation;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "shuffle uniformity" `Quick test_shuffle_uniformity;
+    Alcotest.test_case "committee properties" `Quick test_committee_properties;
+    Alcotest.test_case "committee fair" `Quick test_committee_fair;
+    Alcotest.test_case "derivation agreed" `Quick test_derivation_is_agreed;
+  ]

@@ -1,0 +1,213 @@
+module F = Gf2k.GF16
+module C = Sealed_coin.Make (F)
+module CG = Coin_gen.Make (F)
+module CE = Coin_expose.Make (F)
+module R = Refresh.Make (F)
+module S = Shamir.Make (F)
+module P = Poly.Make (F)
+
+let n = 13
+let t = 2
+
+let ideal_oracle seed =
+  let g = Prng.of_int seed in
+  fun () -> Metrics.without_counting (fun () -> F.random g)
+
+let fresh_coins g count = List.init count (fun _ -> C.dealer_coin g ~n ~t)
+
+let test_value_preserved () =
+  let g = Prng.of_int 1 in
+  let coins = fresh_coins g 5 in
+  let truths = List.map (fun c -> Option.get (C.ground_truth c)) coins in
+  match R.run ~prng:(Prng.split g) ~oracle:(ideal_oracle 11) coins with
+  | None -> Alcotest.fail "refresh failed"
+  | Some refreshed ->
+      List.iter2
+        (fun coin truth ->
+          Alcotest.(check bool) "ground truth preserved" true
+            (F.equal (Option.get (C.ground_truth coin)) truth);
+          let values = CE.run coin in
+          Array.iter
+            (fun v ->
+              Alcotest.(check bool) "exposes to same value" true
+                (match v with Some x -> F.equal x truth | None -> false))
+            values)
+        refreshed truths
+
+let test_shares_change () =
+  let g = Prng.of_int 2 in
+  let coins = fresh_coins g 3 in
+  match R.run ~prng:(Prng.split g) ~oracle:(ideal_oracle 22) coins with
+  | None -> Alcotest.fail "refresh failed"
+  | Some refreshed ->
+      List.iter2
+        (fun old fresh ->
+          let changed = ref 0 in
+          for i = 0 to n - 1 do
+            if not (F.equal old.C.shares.(i) fresh.C.shares.(i)) then
+              incr changed
+          done;
+          (* All n players' refresh-sum is zero only at x=0; each share
+             changes unless the mask polynomial vanishes at that point
+             (probability n/p per coin). *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%d shares changed" !changed)
+            true
+            (!changed >= n - 1))
+        coins refreshed
+
+let test_old_and_new_shares_do_not_mix () =
+  (* The mobile-adversary threat: t shares from before the refresh plus
+     t+1-e shares from after must NOT reconstruct the secret. *)
+  let g = Prng.of_int 3 in
+  let coins = fresh_coins g 1 in
+  let old = List.hd coins in
+  let truth = Option.get (C.ground_truth old) in
+  match R.run ~prng:(Prng.split g) ~oracle:(ideal_oracle 33) coins with
+  | None -> Alcotest.fail "refresh failed"
+  | Some [ fresh ] ->
+      (* Mix: players 0..t-1 old-epoch shares, players t..t new-epoch. *)
+      let mixed =
+        List.init (t + 1) (fun i ->
+            if i < t then (i, old.C.shares.(i)) else (i, fresh.C.shares.(i)))
+      in
+      let recon = S.reconstruct mixed in
+      Alcotest.(check bool) "mixed shares give garbage" false
+        (F.equal recon truth);
+      (* Control: t+1 new shares do reconstruct. *)
+      let pure = List.init (t + 1) (fun i -> (i, fresh.C.shares.(i))) in
+      Alcotest.(check bool) "new shares reconstruct" true
+        (F.equal (S.reconstruct pure) truth)
+  | Some _ -> Alcotest.fail "wrong batch size"
+
+let test_nonzero_refresher_rejected () =
+  (* A faulty refresher dealing sharings of non-zero values must be
+     excluded by the F(0) = 0 acceptance rule — otherwise it could shift
+     every coin's value. *)
+  let g = Prng.of_int 4 in
+  for seed = 1 to 15 do
+    let coins = fresh_coins g 3 in
+    let truths = List.map (fun c -> Option.get (C.ground_truth c)) coins in
+    let faults = Net.Faults.make ~n ~faulty:[ 2; 9 ] in
+    let adversary =
+      CG.faulty_with ~as_dealer:CG.BG.Honest_dealer (* non-zero secrets! *)
+        ~as_gamma:CG.Honest_vec
+        ~as_gradecast_dealer:Gradecast.Dealer_honest
+        ~as_gradecast_follower:Gradecast.Follower_honest
+        ~as_ba:Phase_king.Honest faults
+    in
+    match
+      R.run ~adversary ~prng:(Prng.of_int (seed * 13))
+        ~oracle:(ideal_oracle (seed + 44))
+        coins
+    with
+    | None -> ()
+    | Some refreshed ->
+        List.iter2
+          (fun coin truth ->
+            Alcotest.(check bool) "value still preserved" true
+              (F.equal (Option.get (C.ground_truth coin)) truth))
+          refreshed truths
+  done
+
+let test_refresh_under_byzantine_attack () =
+  let g = Prng.of_int 5 in
+  for seed = 1 to 10 do
+    let coins = fresh_coins g 4 in
+    let truths = List.map (fun c -> Option.get (C.ground_truth c)) coins in
+    let faults = Net.Faults.random g ~n ~t in
+    let adversary =
+      CG.faulty_with ~as_dealer:(CG.BG.Bad_degree [ 0; 1 ])
+        ~as_gamma:CG.Silent_vec ~as_ba:(Phase_king.Fixed false) faults
+    in
+    match
+      R.run ~adversary ~prng:(Prng.of_int (seed * 17))
+        ~oracle:(ideal_oracle (seed + 55))
+        coins
+    with
+    | None -> ()
+    | Some refreshed ->
+        List.iter2
+          (fun coin truth ->
+            let values = CE.run coin in
+            List.iter
+              (fun i ->
+                match values.(i) with
+                | Some v ->
+                    Alcotest.(check bool) "honest expose = truth" true
+                      (F.equal v truth)
+                | None -> Alcotest.fail "honest decode failed")
+              (Net.Faults.honest faults))
+          refreshed truths
+  done
+
+let test_repeated_refresh () =
+  let g = Prng.of_int 6 in
+  let coins = fresh_coins g 2 in
+  let truths = List.map (fun c -> Option.get (C.ground_truth c)) coins in
+  let rec go round coins =
+    if round = 0 then coins
+    else
+      match
+        R.run ~prng:(Prng.of_int (round * 7)) ~oracle:(ideal_oracle (round + 66))
+          coins
+      with
+      | None -> Alcotest.fail "refresh failed"
+      | Some refreshed -> go (round - 1) refreshed
+  in
+  let final = go 3 coins in
+  List.iter2
+    (fun coin truth ->
+      Alcotest.(check bool) "value survives 3 refreshes" true
+        (F.equal (Option.get (C.ground_truth coin)) truth))
+    final truths
+
+let test_mismatched_coins_rejected () =
+  let g = Prng.of_int 7 in
+  let a = C.dealer_coin g ~n ~t in
+  let b = C.dealer_coin g ~n:7 ~t:1 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Refresh.run: coins disagree on (n, t)") (fun () ->
+      ignore (R.run ~prng:(Prng.split g) ~oracle:(ideal_oracle 77) [ a; b ]))
+
+let test_empty_refresh () =
+  Alcotest.(check bool) "empty ok" true
+    (R.run ~prng:(Prng.of_int 8) ~oracle:(ideal_oracle 88) [] = Some [])
+
+let test_pool_refresh () =
+  let module PL = Pool.Make (F) in
+  let p =
+    PL.create ~prng:(Prng.of_int 9) ~n ~t ~batch_size:16 ~refill_threshold:3
+      ~initial_seed:6 ()
+  in
+  (* Stock the pool, refresh, and keep drawing: supply and unanimity
+     must be unaffected. *)
+  for _ = 1 to 20 do
+    ignore (PL.draw_kary p)
+  done;
+  PL.refresh p;
+  for _ = 1 to 20 do
+    ignore (PL.draw_kary p)
+  done;
+  PL.refresh p;
+  let s = PL.stats p in
+  Alcotest.(check int) "two refreshes" 2 s.PL.refreshes;
+  Alcotest.(check int) "draws all served" 40 s.PL.coins_exposed;
+  Alcotest.(check int) "no unanimity failures" 0 s.PL.unanimity_failures
+
+let suite =
+  [
+    Alcotest.test_case "value preserved" `Quick test_value_preserved;
+    Alcotest.test_case "shares change" `Quick test_shares_change;
+    Alcotest.test_case "old/new shares do not mix" `Quick
+      test_old_and_new_shares_do_not_mix;
+    Alcotest.test_case "non-zero refresher rejected" `Quick
+      test_nonzero_refresher_rejected;
+    Alcotest.test_case "refresh under attack" `Quick
+      test_refresh_under_byzantine_attack;
+    Alcotest.test_case "repeated refresh" `Quick test_repeated_refresh;
+    Alcotest.test_case "mismatched coins rejected" `Quick
+      test_mismatched_coins_rejected;
+    Alcotest.test_case "empty refresh" `Quick test_empty_refresh;
+    Alcotest.test_case "pool refresh" `Quick test_pool_refresh;
+  ]

@@ -1,0 +1,85 @@
+let test_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev constant" 0.0 (Stats.stddev [ 5.0; 5.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev" 1.0 (Stats.stddev [ 0.0; 2.0 ])
+
+let test_empty_rejected () =
+  Alcotest.check_raises "mean" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Stats.mean []));
+  Alcotest.check_raises "stddev" (Invalid_argument "Stats.stddev: empty")
+    (fun () -> ignore (Stats.stddev []))
+
+let test_histogram () =
+  let h = Stats.histogram ~buckets:4 Fun.id [ 0; 1; 2; 3; 4; 5; 8 ] in
+  Alcotest.(check (array int)) "counts" [| 3; 2; 1; 1 |] h
+
+let test_chi_square_uniform_is_small () =
+  let g = Prng.of_int 1 in
+  let xs = List.init 6400 (fun _ -> Prng.int g 16) in
+  let h = Stats.histogram ~buckets:16 Fun.id xs in
+  let chi2 = Stats.chi_square ~observed:h in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.1f" chi2)
+    true
+    (chi2 < Stats.uniform_5sigma_bound ~buckets:16)
+
+let test_chi_square_biased_is_large () =
+  (* Heavily skewed distribution must blow past the bound. *)
+  let h = Array.make 16 10 in
+  h.(0) <- 500;
+  Alcotest.(check bool) "detected" true
+    (Stats.chi_square ~observed:h > Stats.uniform_5sigma_bound ~buckets:16)
+
+let test_two_sample_same_source () =
+  let g = Prng.of_int 2 in
+  let sample () =
+    Stats.histogram ~buckets:8 Fun.id (List.init 4000 (fun _ -> Prng.int g 8))
+  in
+  let chi2 = Stats.chi_square_two_sample (sample ()) (sample ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 %.1f" chi2)
+    true
+    (chi2 < Stats.uniform_5sigma_bound ~buckets:8 *. 2.0)
+
+let test_two_sample_different_sources () =
+  let g = Prng.of_int 3 in
+  let a =
+    Stats.histogram ~buckets:8 Fun.id (List.init 4000 (fun _ -> Prng.int g 8))
+  in
+  let b =
+    Stats.histogram ~buckets:8 Fun.id
+      (List.init 4000 (fun _ -> if Prng.bool g then 0 else Prng.int g 8))
+  in
+  Alcotest.(check bool) "detected" true
+    (Stats.chi_square_two_sample a b > 100.0)
+
+let test_validation () =
+  Alcotest.check_raises "chi2 one bucket"
+    (Invalid_argument "Stats.chi_square: need >= 2 buckets") (fun () ->
+      ignore (Stats.chi_square ~observed:[| 5 |]));
+  Alcotest.check_raises "chi2 empty"
+    (Invalid_argument "Stats.chi_square: no observations") (fun () ->
+      ignore (Stats.chi_square ~observed:[| 0; 0 |]));
+  Alcotest.check_raises "two-sample mismatch"
+    (Invalid_argument "Stats.chi_square_two_sample: length mismatch") (fun () ->
+      ignore (Stats.chi_square_two_sample [| 1 |] [| 1; 2 |]))
+
+let test_bounds_sane () =
+  Alcotest.(check bool) "5 sigma bound grows" true
+    (Stats.uniform_5sigma_bound ~buckets:256
+    > Stats.uniform_5sigma_bound ~buckets:16);
+  Alcotest.(check int) "bit balance 10000" 250 (Stats.bit_balance_bound ~trials:10000)
+
+let suite =
+  [
+    Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+    Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "chi2 uniform small" `Quick test_chi_square_uniform_is_small;
+    Alcotest.test_case "chi2 biased large" `Quick test_chi_square_biased_is_large;
+    Alcotest.test_case "two-sample same" `Quick test_two_sample_same_source;
+    Alcotest.test_case "two-sample different" `Quick
+      test_two_sample_different_sources;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "bounds sane" `Quick test_bounds_sane;
+  ]

@@ -1,0 +1,348 @@
+module F = Gf2k.GF16
+module V = Vss.Make (F)
+module O = Coin_oracle.Make (F)
+
+let n = 7
+let t = 2
+
+let test_honest_accepts () =
+  let g = Prng.of_int 1 in
+  for _ = 1 to 50 do
+    let alpha = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+    let beta = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+    let r = F.random g in
+    Alcotest.(check bool) "accept" true
+      (V.run ~n ~t ~alpha ~beta ~r () = V.Accept)
+  done
+
+let test_cheater_rejected_whp () =
+  let g = Prng.of_int 2 in
+  let accepts = ref 0 in
+  let trials = 500 in
+  for _ = 1 to trials do
+    let alpha = V.cheating_dealing g ~n ~t ~degree:(t + 1) in
+    let beta = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+    let r = F.random g in
+    if V.run ~n ~t ~alpha ~beta ~r () = V.Accept then incr accepts
+  done;
+  (* Bound is 1/p = 2^-16; 500 trials should essentially never accept. *)
+  Alcotest.(check int) "never accepted" 0 !accepts
+
+(* Lemma 1 with equality: the targeted cheater passes exactly when the
+   coin hits its guess. *)
+let test_targeted_cheater_boundary () =
+  let g = Prng.of_int 3 in
+  for _ = 1 to 50 do
+    let guess = F.random_nonzero g in
+    let alpha, beta = V.targeted_cheating_dealing g ~n ~t ~guess in
+    Alcotest.(check bool) "accepts on guessed coin" true
+      (V.run ~n ~t ~alpha ~beta ~r:guess () = V.Accept);
+    let other = F.random g in
+    if not (F.equal other guess) then
+      Alcotest.(check bool) "rejects on other coin" true
+        (V.run ~n ~t ~alpha ~beta ~r:other () = V.Reject)
+  done
+
+(* Empirical Lemma 1 over a tiny field: acceptance rate ~ 1/p. *)
+let test_lemma1_rate_small_field () =
+  let module F4 = Gf2k.Make (struct let k = 4 end) in
+  let module V4 = Vss.Make (F4) in
+  let g = Prng.of_int 4 in
+  let trials = 4000 in
+  let accepts = ref 0 in
+  for _ = 1 to trials do
+    let guess = F4.random_nonzero g in
+    let alpha, beta = V4.targeted_cheating_dealing g ~n ~t ~guess in
+    let r = F4.random g in
+    if V4.run ~n ~t ~alpha ~beta ~r () = V4.Accept then incr accepts
+  done;
+  (* Expected rate 1/16 = 250/4000; sigma = sqrt(4000 * (1/16) * (15/16))
+     ~ 15.3. Accept within 5 sigma. *)
+  let dev = abs (!accepts - 250) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d accepts (expected ~250)" !accepts)
+    true (dev < 77)
+
+let test_silent_player_forces_reject_strict () =
+  let g = Prng.of_int 5 in
+  let alpha = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+  let beta = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+  let behavior i = if i = 3 then V.Silent else V.Honest in
+  Alcotest.(check bool) "strict rejects" true
+    (V.run ~player_behavior:behavior ~n ~t ~alpha ~beta ~r:(F.random g) ()
+    = V.Reject);
+  Alcotest.(check bool) "robust accepts" true
+    (V.run_robust ~player_behavior:behavior ~n ~t ~alpha ~beta ~r:(F.random g) ()
+    = V.Accept)
+
+let test_lying_players_robust () =
+  let g = Prng.of_int 6 in
+  for _ = 1 to 30 do
+    let alpha = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+    let beta = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+    let liars = Prng.sample_distinct g t n in
+    let behavior i =
+      if List.mem i liars then V.Broadcast (F.random g) else V.Honest
+    in
+    Alcotest.(check bool) "robust tolerates t liars" true
+      (V.run_robust ~player_behavior:behavior ~n ~t ~alpha ~beta ~r:(F.random g)
+         ()
+      = V.Accept)
+  done
+
+let test_robust_still_rejects_cheater () =
+  let g = Prng.of_int 7 in
+  let accepts = ref 0 in
+  for _ = 1 to 300 do
+    (* Degree t+1+2e... any degree above t but such that not even n-t
+       points can sit on a degree-t polynomial: degree t+1 works since
+       n - t = 5 > t + 1 = 3 points pin it. *)
+    let alpha = V.cheating_dealing g ~n ~t ~degree:(t + 1) in
+    let beta = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+    if V.run_robust ~n ~t ~alpha ~beta ~r:(F.random g) () = V.Accept then
+      incr accepts
+  done;
+  Alcotest.(check int) "robust rejects cheater" 0 !accepts
+
+let test_combine_is_powers () =
+  let g = Prng.of_int 8 in
+  for _ = 1 to 100 do
+    let m = 1 + Prng.int g 10 in
+    let shares = Array.init m (fun _ -> F.random g) in
+    let r = F.random g in
+    let expected =
+      Array.to_list shares
+      |> List.mapi (fun j a -> F.mul (F.pow r (j + 1)) a)
+      |> List.fold_left F.add F.zero
+    in
+    Alcotest.(check bool) "combine = sum r^j a_j" true
+      (F.equal (V.combine ~r shares) expected)
+  done
+
+let test_batch_honest_accepts () =
+  let g = Prng.of_int 9 in
+  for _ = 1 to 30 do
+    let m = 1 + Prng.int g 20 in
+    let secrets = Array.init m (fun _ -> F.random g) in
+    let shares = V.batch_honest_dealing g ~n ~t ~secrets in
+    Alcotest.(check bool) "accept" true
+      (V.run_batch ~n ~t ~shares ~r:(F.random g) () = V.Accept)
+  done
+
+let test_batch_cheater_rejected () =
+  let g = Prng.of_int 10 in
+  let accepts = ref 0 in
+  for _ = 1 to 300 do
+    let m = 8 in
+    let bad = Prng.sample_distinct g (1 + Prng.int g 3) m in
+    let shares = V.batch_cheating_dealing g ~n ~t ~m ~bad in
+    if V.run_batch ~n ~t ~shares ~r:(F.random g) () = V.Accept then
+      incr accepts
+  done;
+  (* Bound m/p = 8/65536; essentially never in 300 trials. *)
+  Alcotest.(check int) "rejected" 0 !accepts
+
+(* Lemma 3 with equality: the targeted batch cheater passes exactly on
+   its m-element acceptance set. *)
+let test_batch_targeted_boundary () =
+  let g = Prng.of_int 11 in
+  for _ = 1 to 20 do
+    let m = 2 + Prng.int g 5 in
+    let roots =
+      Array.of_list
+        (List.map
+           (fun i -> F.of_int (i + 1))
+           (Prng.sample_distinct g m ((1 lsl 16) - 1)))
+    in
+    let shares = V.batch_targeted_cheating_dealing g ~n ~t ~roots in
+    (* Accepts at r = 0 and at the first m-1 roots. *)
+    Alcotest.(check bool) "accepts at 0" true
+      (V.run_batch ~n ~t ~shares ~r:F.zero () = V.Accept);
+    Array.iteri
+      (fun i root ->
+        if i < m - 1 then
+          Alcotest.(check bool) "accepts at root" true
+            (V.run_batch ~n ~t ~shares ~r:root () = V.Accept))
+      roots;
+    (* The last root is NOT in the acceptance set. *)
+    Alcotest.(check bool) "rejects at non-root" true
+      (V.run_batch ~n ~t ~shares ~r:roots.(m - 1) () = V.Reject)
+  done
+
+(* Empirical Lemma 3 rate on a tiny field: acceptance ~ m/p. *)
+let test_lemma3_rate_small_field () =
+  let module F6 = Gf2k.Make (struct let k = 6 end) in
+  let module V6 = Vss.Make (F6) in
+  let g = Prng.of_int 12 in
+  let m = 4 in
+  let trials = 4000 in
+  let accepts = ref 0 in
+  for _ = 1 to trials do
+    let roots =
+      Array.of_list
+        (List.map (fun i -> F6.of_int (i + 1)) (Prng.sample_distinct g m 63))
+    in
+    let shares = V6.batch_targeted_cheating_dealing g ~n ~t ~roots in
+    if V6.run_batch ~n ~t ~shares ~r:(F6.random g) () = V6.Accept then
+      incr accepts
+  done;
+  (* Expected rate m/p = 4/64 = 1/16 -> 250; sigma ~ 15.3; 5 sigma. *)
+  let dev = abs (!accepts - 250) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d accepts (expected ~250)" !accepts)
+    true (dev < 77)
+
+let test_batch_robust_tolerates_liars () =
+  let g = Prng.of_int 13 in
+  for _ = 1 to 20 do
+    let secrets = Array.init 6 (fun _ -> F.random g) in
+    let shares = V.batch_honest_dealing g ~n ~t ~secrets in
+    let liars = Prng.sample_distinct g t n in
+    let behavior i =
+      if List.mem i liars then V.Broadcast (F.random g) else V.Honest
+    in
+    Alcotest.(check bool) "tolerates" true
+      (V.run_batch_robust ~player_behavior:behavior ~n ~t ~shares
+         ~r:(F.random g) ()
+      = V.Accept)
+  done
+
+(* Lemma 2 / Lemma 4 cost shape: batch uses one check interpolation per
+   player regardless of M, single uses one per secret. *)
+let test_batch_amortizes_interpolations () =
+  let g = Prng.of_int 14 in
+  let m = 16 in
+  let secrets = Array.init m (fun _ -> F.random g) in
+  let shares = V.batch_honest_dealing g ~n ~t ~secrets in
+  let _, batch_cost =
+    Metrics.with_counting (fun () ->
+        ignore (V.run_batch ~n ~t ~shares ~r:(F.random g) ()))
+  in
+  Alcotest.(check int) "batch: n interpolations total" n
+    batch_cost.Metrics.interpolations;
+  Alcotest.(check int) "batch: n broadcast messages" n batch_cost.Metrics.messages;
+  let _, single_cost =
+    Metrics.with_counting (fun () ->
+        Array.iter
+          (fun secret ->
+            let alpha = V.honest_dealing g ~n ~t ~secret in
+            let beta = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+            ignore (V.run ~n ~t ~alpha ~beta ~r:(F.random g) ()))
+          secrets)
+  in
+  Alcotest.(check int) "single: m*n interpolations" (m * n)
+    single_cost.Metrics.interpolations;
+  Alcotest.(check bool) "batch mults per player ~ M" true
+    (batch_cost.Metrics.field_mults >= n * m)
+
+let test_batch_on_subset () =
+  let g = Prng.of_int 21 in
+  for _ = 1 to 20 do
+    let secrets = Array.init 6 (fun _ -> F.random g) in
+    let shares = V.batch_honest_dealing g ~n ~t ~secrets in
+    let players = Prng.sample_distinct g (t + 2) n in
+    (* Honest dealing: any subset fits. *)
+    Alcotest.(check bool) "subset accepts" true
+      (V.run_batch_on ~n ~t ~players ~shares ~r:(F.random g) () = V.Accept);
+    (* A silent player inside the subset forces reject; outside it is
+       irrelevant. *)
+    let inside = List.hd players in
+    let outside =
+      List.find (fun i -> not (List.mem i players)) (List.init n Fun.id)
+    in
+    let silent who i = if i = who then V.Silent else V.Honest in
+    Alcotest.(check bool) "silent inside rejects" true
+      (V.run_batch_on ~player_behavior:(silent inside) ~n ~t ~players ~shares
+         ~r:(F.random g) ()
+      = V.Reject);
+    Alcotest.(check bool) "silent outside ignored" true
+      (V.run_batch_on ~player_behavior:(silent outside) ~n ~t ~players ~shares
+         ~r:(F.random g) ()
+      = V.Accept)
+  done
+
+let test_batch_on_detects_subset_inconsistency () =
+  (* Shares on a degree-(t+1) polynomial: any subset of >= t+2 points
+     betrays it (with the usual 1/p-ish failure probability folded into
+     the batch combination). *)
+  let g = Prng.of_int 22 in
+  let rejects = ref 0 in
+  for _ = 1 to 100 do
+    let shares = V.batch_cheating_dealing g ~n ~t ~m:4 ~bad:[ 1 ] in
+    let players = Prng.sample_distinct g (t + 2) n in
+    if
+      V.run_batch_on ~n ~t ~players ~shares ~r:(F.random g) () = V.Reject
+    then incr rejects
+  done;
+  Alcotest.(check int) "all rejected" 100 !rejects
+
+let test_batch_on_validation () =
+  let g = Prng.of_int 23 in
+  let shares = V.batch_honest_dealing g ~n ~t ~secrets:[| F.one |] in
+  let r = F.random g in
+  Alcotest.check_raises "too few"
+    (Invalid_argument "Vss.run_batch_on: need at least t+1 players") (fun () ->
+      ignore (V.run_batch_on ~n ~t ~players:[ 0; 1 ] ~shares ~r ()));
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Vss.run_batch_on: duplicate player ids") (fun () ->
+      ignore (V.run_batch_on ~n ~t ~players:[ 0; 0; 1 ] ~shares ~r ()))
+
+let test_coin_oracle_costs () =
+  let g = Prng.of_int 15 in
+  let ideal = O.ideal (Prng.split g) in
+  let _, free = Metrics.with_counting (fun () -> ignore (O.draw ideal)) in
+  Alcotest.(check int) "ideal draw free" 0 free.Metrics.messages;
+  Alcotest.(check int) "ideal draw no interp" 0 free.Metrics.interpolations;
+  let shared = O.simulated_shared (Prng.split g) ~n ~t in
+  let _, cost = Metrics.with_counting (fun () -> ignore (O.draw shared)) in
+  Alcotest.(check int) "shared: n messages" n cost.Metrics.messages;
+  Alcotest.(check int) "shared: n reconstructions" n cost.Metrics.interpolations;
+  Alcotest.(check int) "shared: 1 round" 1 cost.Metrics.rounds
+
+let test_coin_oracle_uniform () =
+  let shared = O.simulated_shared (Prng.of_int 16) ~n ~t in
+  let buckets = Array.make 16 0 in
+  for _ = 1 to 4800 do
+    let v = O.draw shared in
+    buckets.(F.hash v land 15) <- buckets.(F.hash v land 15) + 1
+  done;
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. 300.0 in
+        acc +. (d *. d /. 300.0))
+      0.0 buckets
+  in
+  Alcotest.(check bool) (Printf.sprintf "chi2 %.1f" chi2) true (chi2 < 60.0)
+
+let suite =
+  [
+    Alcotest.test_case "honest accepts" `Quick test_honest_accepts;
+    Alcotest.test_case "cheater rejected whp" `Quick test_cheater_rejected_whp;
+    Alcotest.test_case "targeted cheater boundary (Lemma 1)" `Quick
+      test_targeted_cheater_boundary;
+    Alcotest.test_case "Lemma 1 rate on small field" `Quick
+      test_lemma1_rate_small_field;
+    Alcotest.test_case "silent player: strict vs robust" `Quick
+      test_silent_player_forces_reject_strict;
+    Alcotest.test_case "robust tolerates t liars" `Quick test_lying_players_robust;
+    Alcotest.test_case "robust still rejects cheater" `Quick
+      test_robust_still_rejects_cheater;
+    Alcotest.test_case "combine is power sum" `Quick test_combine_is_powers;
+    Alcotest.test_case "batch honest accepts" `Quick test_batch_honest_accepts;
+    Alcotest.test_case "batch cheater rejected" `Quick test_batch_cheater_rejected;
+    Alcotest.test_case "batch targeted boundary (Lemma 3)" `Quick
+      test_batch_targeted_boundary;
+    Alcotest.test_case "Lemma 3 rate on small field" `Quick
+      test_lemma3_rate_small_field;
+    Alcotest.test_case "batch robust tolerates liars" `Quick
+      test_batch_robust_tolerates_liars;
+    Alcotest.test_case "batch amortizes interpolations" `Quick
+      test_batch_amortizes_interpolations;
+    Alcotest.test_case "Batch-VSS(l) subset" `Quick test_batch_on_subset;
+    Alcotest.test_case "Batch-VSS(l) detects inconsistency" `Quick
+      test_batch_on_detects_subset_inconsistency;
+    Alcotest.test_case "Batch-VSS(l) validation" `Quick test_batch_on_validation;
+    Alcotest.test_case "coin oracle costs" `Quick test_coin_oracle_costs;
+    Alcotest.test_case "coin oracle uniform" `Quick test_coin_oracle_uniform;
+  ]

@@ -1,0 +1,129 @@
+module F = Gf2k.GF16
+module CC = Cut_and_choose_vss.Make (F)
+
+let n = 7
+let t = 2
+
+let test_cc_honest_accepts () =
+  let g = Prng.of_int 1 in
+  for _ = 1 to 20 do
+    let d = CC.honest_dealing g ~n ~t ~rounds:8 ~secret:(F.random g) in
+    let challenges = Array.init 8 (fun _ -> Prng.bool g) in
+    Alcotest.(check bool) "accept" true (CC.run ~n ~t ~challenges d = CC.Accept)
+  done
+
+let test_cc_cheater_rate_half_per_round () =
+  let g = Prng.of_int 2 in
+  (* One challenge round: the optimal cheater survives iff the challenge
+     opens the mask alone — probability exactly 1/2. *)
+  let trials = 2000 in
+  let accepts = ref 0 in
+  for _ = 1 to trials do
+    let d = CC.cheating_dealing g ~n ~t ~rounds:1 in
+    let challenges = [| Prng.bool g |] in
+    if CC.run ~n ~t ~challenges d = CC.Accept then incr accepts
+  done;
+  let dev = abs (!accepts - 1000) in
+  (* sigma ~ 22.4; allow 5 sigma. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/2000 accepts" !accepts)
+    true (dev < 112)
+
+let test_cc_cheater_caught_with_many_rounds () =
+  let g = Prng.of_int 3 in
+  let accepts = ref 0 in
+  for _ = 1 to 200 do
+    let d = CC.cheating_dealing g ~n ~t ~rounds:16 in
+    let challenges = Array.init 16 (fun _ -> Prng.bool g) in
+    if CC.run ~n ~t ~challenges d = CC.Accept then incr accepts
+  done;
+  (* Escape probability 2^-16 per trial. *)
+  Alcotest.(check int) "caught" 0 !accepts
+
+let test_cc_interpolation_cost_scales_with_rounds () =
+  let g = Prng.of_int 4 in
+  let cost rounds =
+    let d = CC.honest_dealing g ~n ~t ~rounds ~secret:(F.random g) in
+    let challenges = Array.init rounds (fun _ -> Prng.bool g) in
+    let _, snap =
+      Metrics.with_counting (fun () -> ignore (CC.run ~n ~t ~challenges d))
+    in
+    snap.Metrics.interpolations
+  in
+  Alcotest.(check int) "1 round: n interps" n (cost 1);
+  Alcotest.(check int) "8 rounds: 8n interps" (8 * n) (cost 8)
+
+let test_feldman_parameters () =
+  Alcotest.(check bool) "q prime" true (Zp.is_prime Feldman_vss.q);
+  Alcotest.(check bool) "p = 2q+1 prime" true (Zp.is_prime Feldman_vss.p);
+  Alcotest.(check int) "p = 2q+1" Feldman_vss.p ((2 * Feldman_vss.q) + 1);
+  (* The generator has order q: g^q = 1 and g <> 1. *)
+  let module Fp = Zp.Make (struct let p = Feldman_vss.p end) in
+  Alcotest.(check bool) "g^q = 1" true
+    (Fp.equal (Fp.pow (Fp.of_int Feldman_vss.generator) Feldman_vss.q) Fp.one);
+  Alcotest.(check bool) "g <> 1" false (Feldman_vss.generator = 1)
+
+let test_feldman_honest_accepts () =
+  let g = Prng.of_int 5 in
+  for _ = 1 to 10 do
+    let d =
+      Feldman_vss.honest_dealing g ~n ~t ~secret:(Feldman_vss.Fq.random g)
+    in
+    Alcotest.(check bool) "accept" true
+      (Feldman_vss.run ~n ~t d = Feldman_vss.Accept)
+  done
+
+let test_feldman_catches_corruption_deterministically () =
+  let g = Prng.of_int 6 in
+  for corrupt = 0 to n - 1 do
+    let d = Feldman_vss.cheating_dealing g ~n ~t ~corrupt in
+    Alcotest.(check bool) "reject" true
+      (Feldman_vss.run ~n ~t d = Feldman_vss.Reject)
+  done
+
+let test_feldman_verify_share_direct () =
+  let g = Prng.of_int 7 in
+  let d = Feldman_vss.honest_dealing g ~n ~t ~secret:(Feldman_vss.Fq.random g) in
+  for i = 0 to n - 1 do
+    Alcotest.(check bool) "own share verifies" true
+      (Feldman_vss.verify_share ~t ~commitments:d.Feldman_vss.commitments
+         ~player:i ~share:d.Feldman_vss.shares.(i))
+  done;
+  Alcotest.(check bool) "wrong share fails" false
+    (Feldman_vss.verify_share ~t ~commitments:d.Feldman_vss.commitments
+       ~player:0
+       ~share:(Feldman_vss.Fq.add d.Feldman_vss.shares.(0) Feldman_vss.Fq.one))
+
+let test_feldman_cost_has_exponentiations () =
+  let g = Prng.of_int 8 in
+  let d = Feldman_vss.honest_dealing g ~n ~t ~secret:(Feldman_vss.Fq.random g) in
+  let _, snap =
+    Metrics.with_counting (fun () -> ignore (Feldman_vss.run ~n ~t d))
+  in
+  (* Each player: t exponentiations with ~30-bit exponents plus one for
+     the left side — hundreds of multiplications; far more than the
+     paper's VSS needs. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d mults" snap.Metrics.field_mults)
+    true
+    (snap.Metrics.field_mults > n * t * 20);
+  Alcotest.(check int) "no interpolations" 0 snap.Metrics.interpolations
+
+let suite =
+  [
+    Alcotest.test_case "cut-and-choose honest accepts" `Quick
+      test_cc_honest_accepts;
+    Alcotest.test_case "cut-and-choose 1/2 per round" `Quick
+      test_cc_cheater_rate_half_per_round;
+    Alcotest.test_case "cut-and-choose catches with rounds" `Quick
+      test_cc_cheater_caught_with_many_rounds;
+    Alcotest.test_case "cut-and-choose interpolation cost" `Quick
+      test_cc_interpolation_cost_scales_with_rounds;
+    Alcotest.test_case "feldman parameters" `Quick test_feldman_parameters;
+    Alcotest.test_case "feldman honest accepts" `Quick test_feldman_honest_accepts;
+    Alcotest.test_case "feldman catches corruption" `Quick
+      test_feldman_catches_corruption_deterministically;
+    Alcotest.test_case "feldman verify share" `Quick test_feldman_verify_share_direct;
+    Alcotest.test_case "feldman cost profile" `Quick
+      test_feldman_cost_has_exponentiations;
+  ]

@@ -1,0 +1,116 @@
+module F = Gf2k.GF32
+module C = Wire.Codec (F)
+
+let test_int_roundtrips () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u8 w 0xAB;
+  Wire.Writer.u16 w 0xBEEF;
+  Wire.Writer.u32 w 0xDEADBEEF;
+  let r = Wire.Reader.of_bytes (Wire.Writer.contents w) in
+  Alcotest.(check int) "u8" 0xAB (Wire.Reader.u8 r);
+  Alcotest.(check int) "u16" 0xBEEF (Wire.Reader.u16 r);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Wire.Reader.u32 r);
+  Wire.Reader.expect_end r
+
+let test_writer_range_checks () =
+  let w = Wire.Writer.create () in
+  Alcotest.check_raises "u8" (Invalid_argument "Wire.Writer.u8: out of range")
+    (fun () -> Wire.Writer.u8 w 256);
+  Alcotest.check_raises "u16" (Invalid_argument "Wire.Writer.u16: out of range")
+    (fun () -> Wire.Writer.u16 w (-1))
+
+let test_reader_truncation () =
+  let r = Wire.Reader.of_bytes (Bytes.of_string "x") in
+  Alcotest.check_raises "u16 short" (Invalid_argument "Wire.Reader: truncated input")
+    (fun () -> ignore (Wire.Reader.u16 r))
+
+let test_trailing_rejected () =
+  let r = Wire.Reader.of_bytes (Bytes.of_string "xy") in
+  ignore (Wire.Reader.u8 r);
+  Alcotest.check_raises "trailing" (Invalid_argument "Wire.Reader: trailing bytes")
+    (fun () -> Wire.Reader.expect_end r)
+
+let prop_elt_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"element roundtrip" QCheck.int (fun seed ->
+      let x = F.random (Prng.of_int seed) in
+      F.equal x (C.decode_elt (C.encode_elt x)))
+
+let prop_elt_array_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"element array roundtrip"
+    QCheck.(pair int (int_range 0 40))
+    (fun (seed, n) ->
+      let g = Prng.of_int seed in
+      let a = Array.init n (fun _ -> F.random g) in
+      let w = Wire.Writer.create () in
+      C.write_elt_array w a;
+      Alcotest.(check int) "size" (C.elt_array_size n) (Wire.Writer.size w);
+      let r = Wire.Reader.of_bytes (Wire.Writer.contents w) in
+      let b = C.read_elt_array r in
+      Wire.Reader.expect_end r;
+      Array.length a = Array.length b && Array.for_all2 F.equal a b)
+
+let prop_opt_elt_array_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"optional element array roundtrip"
+    QCheck.(pair int (int_range 0 40))
+    (fun (seed, n) ->
+      let g = Prng.of_int seed in
+      let a =
+        Array.init n (fun _ -> if Prng.bool g then Some (F.random g) else None)
+      in
+      let w = Wire.Writer.create () in
+      C.write_opt_elt_array w a;
+      Alcotest.(check int) "size" (C.opt_elt_array_size a) (Wire.Writer.size w);
+      let r = Wire.Reader.of_bytes (Wire.Writer.contents w) in
+      let b = C.read_opt_elt_array r in
+      Wire.Reader.expect_end r;
+      a = b
+      || Array.for_all2
+           (fun x y ->
+             match (x, y) with
+             | None, None -> true
+             | Some u, Some v -> F.equal u v
+             | _ -> false)
+           a b)
+
+let test_codec_composes () =
+  (* Two arrays back-to-back decode cleanly: self-delimiting framing. *)
+  let g = Prng.of_int 7 in
+  let a = Array.init 5 (fun _ -> F.random g) in
+  let b = Array.init 3 (fun _ -> if Prng.bool g then Some (F.random g) else None) in
+  let w = Wire.Writer.create () in
+  C.write_elt_array w a;
+  C.write_opt_elt_array w b;
+  let r = Wire.Reader.of_bytes (Wire.Writer.contents w) in
+  let a' = C.read_elt_array r in
+  let b' = C.read_opt_elt_array r in
+  Wire.Reader.expect_end r;
+  Alcotest.(check bool) "first" true (Array.for_all2 F.equal a a');
+  Alcotest.(check int) "second length" 3 (Array.length b')
+
+let test_non_canonical_rejected () =
+  (* A GF(2^20) element with bits above k must be refused. *)
+  let module F20 = Gf2k.Make (struct let k = 20 end) in
+  let bad = Bytes.make 3 '\xFF' in
+  Alcotest.check_raises "non-canonical"
+    (Invalid_argument "GF(2^20).of_bytes: non-canonical value") (fun () ->
+      ignore (F20.of_bytes bad))
+
+let test_payload_size_formula () =
+  Alcotest.(check int) "empty" 4 (C.payload_size ~clique:[] ~poly_sizes:[]);
+  Alcotest.(check int) "typical"
+    (4 + (2 * 3) + (3 * (4 + (2 * F.byte_size))))
+    (C.payload_size ~clique:[ 1; 2; 3 ] ~poly_sizes:[ 2; 2; 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "int roundtrips" `Quick test_int_roundtrips;
+    Alcotest.test_case "writer range checks" `Quick test_writer_range_checks;
+    Alcotest.test_case "reader truncation" `Quick test_reader_truncation;
+    Alcotest.test_case "trailing rejected" `Quick test_trailing_rejected;
+    Alcotest.test_case "codec composes" `Quick test_codec_composes;
+    Alcotest.test_case "non-canonical rejected" `Quick test_non_canonical_rejected;
+    Alcotest.test_case "payload size formula" `Quick test_payload_size_formula;
+  ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [ prop_elt_roundtrip; prop_elt_array_roundtrip; prop_opt_elt_array_roundtrip ]
