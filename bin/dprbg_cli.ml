@@ -6,6 +6,7 @@
      costs      cost vectors for the paper's protocols at given parameters
      agreement  run common-coin randomized Byzantine agreements
      pool       persistent pool: state survives process restarts
+     fuzz       adversarial property fuzzing with shrinking and replay
 *)
 
 module F = Gf2k.GF32
@@ -285,9 +286,100 @@ let pool_cmd =
   in
   Cmd.v info Term.(const run $ setup_logs $ seed_arg $ t_arg $ state_file $ draws $ fresh)
 
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let trials =
+    Arg.(
+      value & opt int 2000
+      & info [ "trials" ] ~docv:"N" ~doc:"Random scenarios to run (soak knob).")
+  in
+  let property =
+    let names = String.concat ", " (List.map (fun s -> s.Fuzz.name) Fuzz.registry) in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "property"; "p" ] ~docv:"NAME"
+          ~doc:(Printf.sprintf "Fuzz only one invariant. One of: %s." names))
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"LINE"
+          ~doc:
+            "Re-run one scenario from a counterexample line (as printed on \
+             failure) instead of fuzzing.")
+  in
+  let self_check =
+    Arg.(
+      value & flag
+      & info [ "self-check" ]
+          ~doc:
+            "Inject each known bug and verify the fuzzer finds, shrinks and \
+             replays it — tests the harness itself.")
+  in
+  let run () seed trials property replay self_check =
+    match replay with
+    | Some line -> (
+        match Fuzz_config.of_string line with
+        | Error e ->
+            Printf.eprintf "cannot parse replay line: %s\n" e;
+            exit 2
+        | Ok cfg -> (
+            match Fuzz.run_config cfg with
+            | Ok () ->
+                Printf.printf "PASS %s\n" (Fuzz_config.to_string cfg)
+            | Error msg ->
+                Printf.printf "FAIL %s\n     %s\n" (Fuzz_config.to_string cfg)
+                  msg;
+                exit 1))
+    | None ->
+        if self_check then begin
+          let failed = ref false in
+          List.iter
+            (fun bug ->
+              let name = Fuzz_config.bug_name bug in
+              match Fuzz.self_check ~seed bug with
+              | Ok f ->
+                  Format.printf
+                    "self-check %s: found at trial %d, shrunk in %d step(s)@.  \
+                     %s@."
+                    name f.Fuzz.trial f.Fuzz.shrink_steps
+                    (Fuzz_config.to_string f.Fuzz.shrunk)
+              | Error e ->
+                  failed := true;
+                  Format.printf "self-check %s: FAILED — %s@." name e)
+            [ Fuzz_config.Accept_high_degree; Fuzz_config.Drop_gamma;
+              Fuzz_config.Lagrange_expose ];
+          if !failed then exit 1
+        end
+        else begin
+          (match property with
+          | Some name when Fuzz.find_spec name = None ->
+              Printf.eprintf "unknown property %S; known: %s\n" name
+                (String.concat ", "
+                   (List.map (fun s -> s.Fuzz.name) Fuzz.registry));
+              exit 2
+          | _ -> ());
+          let report = Fuzz.campaign ?property ~trials ~seed () in
+          Format.printf "%a@." Fuzz.pp_report report;
+          if report.Fuzz.failure <> None then exit 1
+        end
+  in
+  let info =
+    Cmd.info "fuzz"
+      ~doc:
+        "Fuzz the protocol stack against random Byzantine schedules; shrink \
+         and print a replayable counterexample on any invariant violation."
+  in
+  Cmd.v info
+    Term.(const run $ setup_logs $ seed_arg $ trials $ property $ replay $ self_check)
+
 let main =
   let doc = "Distributed pseudo-random bit generators (PODC 1996) simulator" in
   let info = Cmd.info "dprbg" ~version:Dprbg_version.version ~doc in
-  Cmd.group info [ coins_cmd; soundness_cmd; costs_cmd; agreement_cmd; pool_cmd ]
+  Cmd.group info
+    [ coins_cmd; soundness_cmd; costs_cmd; agreement_cmd; pool_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,351 @@
+type prop_spec = {
+  name : string;
+  regime : Fuzz_config.regime;
+  ks : int array;
+  ts : int array;
+  max_m : int;
+  weight : int;
+  doc : string;
+}
+
+let registry =
+  [
+    {
+      name = "vss-soundness";
+      regime = Fuzz_config.Broadcast;
+      ks = [| 8; 16; 32 |];
+      ts = [| 1; 2; 3 |];
+      max_m = 6;
+      weight = 20;
+      doc =
+        "Lemmas 1/3: honest dealings accepted (plain and robust rules), \
+         degree-(t+1) dealings always rejected, targeted cheats accepted \
+         exactly on their guessed coin set";
+    };
+    {
+      name = "vss-reject-rate";
+      regime = Fuzz_config.Broadcast;
+      ks = [| 8 |];
+      ts = [| 1; 2 |];
+      max_m = 4;
+      weight = 6;
+      doc =
+        "Lemma 3 with equality: the optimal batch cheat passes at rate \
+         M/p over a small field (two-sided statistical bound)";
+    };
+    {
+      name = "bitgen-verdicts";
+      regime = Fuzz_config.Full;
+      ks = [| 24; 32 |];
+      ts = [| 1; 2 |];
+      max_m = 4;
+      weight = 14;
+      doc =
+        "Fig. 4: honest dealers convince everyone (even under faulty \
+         gamma senders and t-bounded inconsistency), bad-degree dealers \
+         convince nobody";
+    };
+    {
+      name = "coin-honest-trust";
+      regime = Fuzz_config.Full;
+      ks = [| 32; 61 |];
+      ts = [| 1; 1; 1; 2 |];
+      max_m = 4;
+      weight = 12;
+      doc =
+        "Honest Coin-Gen path: full clique, full trust, 1 BA iteration, \
+         2 seed coins, and every coin exposes to ground truth under \
+         exposure-time lies";
+    };
+    {
+      name = "coin-unanimity";
+      regime = Fuzz_config.Full;
+      ks = [| 32; 61 |];
+      ts = [| 1; 1; 1; 2 |];
+      max_m = 4;
+      weight = 16;
+      doc =
+        "Theorem 2 / Lemma 7 under scheduled mixed adversaries: clique \
+         and trust bounds hold and all honest players decode every coin \
+         identically";
+    };
+    {
+      name = "coin-termination";
+      regime = Fuzz_config.Full;
+      ks = [| 32 |];
+      ts = [| 1; 1; 2 |];
+      max_m = 3;
+      weight = 8;
+      doc =
+        "Lemma 8 accounting: BA iterations, seed-coin consumption, \
+         grade-cast count and the exact synchronous round count agree \
+         with the Metrics counters";
+    };
+    {
+      name = "coin-freshness";
+      regime = Fuzz_config.Full;
+      ks = [| 32; 61 |];
+      ts = [| 1 |];
+      max_m = 4;
+      weight = 8;
+      doc =
+        "Unpredictability necessary conditions: batch coins pairwise \
+         distinct, fresh honest randomness changes every coin, no \
+         corrupted share equals the coin value";
+    };
+    {
+      name = "pool-liveness";
+      regime = Fuzz_config.Full;
+      ks = [| 32 |];
+      ts = [| 1 |];
+      max_m = 3;
+      weight = 6;
+      doc =
+        "Bootstrap pool under a mobile scheduled adversary: never \
+         starves, never breaks unanimity, ledger counters stay \
+         consistent";
+    };
+  ]
+
+let find_spec name = List.find_opt (fun s -> s.name = name) registry
+
+(* ---------------------- Field instantiation ---------------------- *)
+
+let field_cache : (int, (module Field_intf.S)) Hashtbl.t = Hashtbl.create 8
+
+let field_of_k k : (module Field_intf.S) =
+  match k with
+  | 8 -> (module Gf2k.GF8)
+  | 16 -> (module Gf2k.GF16)
+  | 32 -> (module Gf2k.GF32)
+  | 61 -> (module Gf2k.GF61)
+  | k -> (
+      match Hashtbl.find_opt field_cache k with
+      | Some f -> f
+      | None ->
+          let f : (module Field_intf.S) =
+            (module Gf2k.Make (struct
+              let k = k
+            end))
+          in
+          Hashtbl.add field_cache k f;
+          f)
+
+let run_config_outcome (cfg : Fuzz_config.t) : Fuzz_props.outcome =
+  match find_spec cfg.prop with
+  | None -> Fuzz_props.Fail (Printf.sprintf "unknown property %S" cfg.prop)
+  | Some spec ->
+      if spec.regime <> cfg.regime then
+        Fuzz_props.Fail
+          (Printf.sprintf "property %s runs in the %s regime, not %s"
+             cfg.prop
+             (Format.asprintf "%a" Fuzz_config.pp_regime spec.regime)
+             (Format.asprintf "%a" Fuzz_config.pp_regime cfg.regime))
+      else
+        let module F = (val field_of_k cfg.k) in
+        let module Props = Fuzz_props.Make (F) in
+        Props.run cfg
+
+let run_config cfg =
+  match run_config_outcome cfg with
+  | Fuzz_props.Pass -> Ok ()
+  | Fuzz_props.Fail msg -> Error msg
+
+(* --------------------------- Shrinking --------------------------- *)
+
+(* Greedy descent: take the first strictly-smaller candidate that still
+   fails, repeat from there; stop at a local minimum or after [budget]
+   candidate executions. Candidate field sizes outside the property's
+   own envelope are discarded so a deterministic counterexample cannot
+   degenerate into small-field soundness noise. *)
+let shrink cfg first_message =
+  let allowed_ks =
+    match find_spec cfg.Fuzz_config.prop with
+    | Some spec -> Array.to_list spec.ks
+    | None -> []
+  in
+  let budget = ref 200 in
+  let rec loop cfg message steps =
+    if !budget <= 0 then (cfg, message, steps)
+    else
+      let candidates =
+        Fuzz_config.shrink_candidates cfg
+        |> List.filter (fun (c : Fuzz_config.t) ->
+               c.k = cfg.Fuzz_config.k || List.mem c.k allowed_ks)
+      in
+      let rec try_candidates = function
+        | [] -> (cfg, message, steps)
+        | c :: rest -> (
+            decr budget;
+            if !budget < 0 then (cfg, message, steps)
+            else
+              match run_config_outcome c with
+              | Fuzz_props.Fail msg' -> loop c msg' (steps + 1)
+              | Fuzz_props.Pass -> try_candidates rest)
+      in
+      try_candidates candidates
+  in
+  loop cfg first_message 0
+
+(* --------------------------- Campaigns --------------------------- *)
+
+type failure = {
+  original : Fuzz_config.t;
+  original_message : string;
+  shrunk : Fuzz_config.t;
+  message : string;
+  shrink_steps : int;
+  trial : int;
+}
+
+type report = {
+  trials_run : int;
+  passes : int;
+  per_property : (string * int) list;
+  per_regime : (Fuzz_config.regime * int) list;
+  failure : failure option;
+}
+
+let gen_config g ~specs ~bug : Fuzz_config.t =
+  let total = List.fold_left (fun acc s -> acc + s.weight) 0 specs in
+  let rec pick specs roll =
+    match specs with
+    | [] -> assert false
+    | [ s ] -> s
+    | s :: rest -> if roll < s.weight then s else pick rest (roll - s.weight)
+  in
+  let spec = pick specs (Prng.int g total) in
+  let fault_bound = Prng.choose g spec.ts in
+  {
+    Fuzz_config.seed = Prng.bits g 30;
+    prop = spec.name;
+    k = Prng.choose g spec.ks;
+    regime = spec.regime;
+    fault_bound;
+    faults = Prng.int g (fault_bound + 1);
+    m = 1 + Prng.int g spec.max_m;
+    bug;
+  }
+
+let campaign ?bug ?property ~trials ~seed () =
+  let specs =
+    match property with
+    | None -> registry
+    | Some name -> (
+        match find_spec name with
+        | Some spec -> [ spec ]
+        | None -> invalid_arg ("Fuzz.campaign: unknown property " ^ name))
+  in
+  let g = Prng.of_int seed in
+  let per_property = Hashtbl.create 8 in
+  let per_regime = Hashtbl.create 2 in
+  let tally tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)) in
+  let rec loop trial passes =
+    if trial > trials then (trial - 1, passes, None)
+    else
+      let cfg = gen_config g ~specs ~bug in
+      tally per_property cfg.Fuzz_config.prop;
+      tally per_regime cfg.Fuzz_config.regime;
+      match run_config_outcome cfg with
+      | Fuzz_props.Pass -> loop (trial + 1) (passes + 1)
+      | Fuzz_props.Fail msg ->
+          let shrunk, message, shrink_steps = shrink cfg msg in
+          ( trial,
+            passes,
+            Some
+              {
+                original = cfg;
+                original_message = msg;
+                shrunk;
+                message;
+                shrink_steps;
+                trial;
+              } )
+  in
+  let trials_run, passes, failure = loop 1 0 in
+  {
+    trials_run;
+    passes;
+    per_property =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_property []
+      |> List.sort compare;
+    per_regime =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_regime []
+      |> List.sort compare;
+    failure;
+  }
+
+(* -------------------------- Self-check --------------------------- *)
+
+let target_property = function
+  | Fuzz_config.Accept_high_degree -> "vss-soundness"
+  | Fuzz_config.Drop_gamma -> "coin-honest-trust"
+  | Fuzz_config.Lagrange_expose -> "coin-unanimity"
+
+let self_check ?(trials = 500) ~seed bug =
+  let property = target_property bug in
+  let report = campaign ~bug ~property ~trials ~seed () in
+  match report.failure with
+  | None ->
+      Error
+        (Printf.sprintf
+           "injected bug %S survived %d %s trials undetected — the fuzzer \
+            is blind to it"
+           (Fuzz_config.bug_name bug) report.trials_run property)
+  | Some f ->
+      if Fuzz_config.size f.shrunk > Fuzz_config.size f.original then
+        Error
+          (Printf.sprintf "shrinking grew the counterexample: %s -> %s"
+             (Fuzz_config.to_string f.original)
+             (Fuzz_config.to_string f.shrunk))
+      else
+        let line = Fuzz_config.to_string f.shrunk in
+        (* The printed line alone must reproduce the same failure. *)
+        match Fuzz_config.of_string line with
+        | Error e -> Error ("replay line does not parse: " ^ e)
+        | Ok replayed -> (
+            match run_config_outcome replayed with
+            | Fuzz_props.Pass ->
+                Error
+                  (Printf.sprintf "replay of %S unexpectedly passed" line)
+            | Fuzz_props.Fail msg ->
+                if String.equal msg f.message then Ok f
+                else
+                  Error
+                    (Printf.sprintf
+                       "replay of %S failed differently: %S instead of %S"
+                       line msg f.message))
+
+(* --------------------------- Printing ---------------------------- *)
+
+let pp_failure fmt f =
+  Format.fprintf fmt
+    "@[<v>COUNTEREXAMPLE (trial %d, %d shrink step%s)@,\
+     first seen : %s@,\
+    \             %s@,\
+     shrunk to  : %s@,\
+    \             %s@,\
+     replay with: dprbg fuzz --replay '%s'@]" f.trial f.shrink_steps
+    (if f.shrink_steps = 1 then "" else "s")
+    (Fuzz_config.to_string f.original)
+    f.original_message
+    (Fuzz_config.to_string f.shrunk)
+    f.message
+    (Fuzz_config.to_string f.shrunk)
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>%d trial%s, %d passed@," r.trials_run
+    (if r.trials_run = 1 then "" else "s")
+    r.passes;
+  List.iter
+    (fun (regime, count) ->
+      Format.fprintf fmt "  regime %a: %d trial%s@," Fuzz_config.pp_regime
+        regime count
+        (if count = 1 then "" else "s"))
+    r.per_regime;
+  List.iter
+    (fun (prop, count) -> Format.fprintf fmt "  %-18s %d@," prop count)
+    r.per_property;
+  match r.failure with
+  | None -> Format.fprintf fmt "no counterexample found@]"
+  | Some f -> Format.fprintf fmt "%a@]" pp_failure f

@@ -1,0 +1,85 @@
+(** The adversarial property fuzzer: QuickCheck-style search over the
+    whole protocol stack.
+
+    A {e campaign} draws random scenarios — field, fault-tolerance
+    regime, dimensions, corrupted set, and a fresh per-round Byzantine
+    misbehaviour schedule — and runs each through one of the registered
+    executable paper invariants ({!Fuzz_props}). On the first violation
+    it greedily {e shrinks} the scenario (smaller [t], fewer corruptions,
+    smaller batch, smaller field) while the failure persists, and reports
+    a one-line replay string that reproduces the shrunk counterexample
+    deterministically.
+
+    Self-check mode injects a known defect ({!Fuzz_config.bug}) and
+    demands that the fuzzer finds, shrinks and replays it — testing the
+    harness itself. *)
+
+type prop_spec = {
+  name : string;
+  regime : Fuzz_config.regime;
+  ks : int array;  (** field sizes the generator may draw *)
+  ts : int array;  (** fault bounds (repetition = bias) *)
+  max_m : int;  (** batch sizes drawn from [1, max_m] *)
+  weight : int;  (** relative generation frequency *)
+  doc : string;  (** one-line description of the invariant *)
+}
+
+val registry : prop_spec list
+(** Every property the fuzzer knows, with its generation envelope. *)
+
+val find_spec : string -> prop_spec option
+
+type failure = {
+  original : Fuzz_config.t;  (** the scenario that first failed *)
+  original_message : string;
+  shrunk : Fuzz_config.t;  (** the smallest still-failing scenario *)
+  message : string;  (** the shrunk scenario's failure *)
+  shrink_steps : int;  (** successful shrink steps taken *)
+  trial : int;  (** 1-based index of the failing trial *)
+}
+
+type report = {
+  trials_run : int;
+  passes : int;
+  per_property : (string * int) list;  (** trials attempted per property *)
+  per_regime : (Fuzz_config.regime * int) list;
+  failure : failure option;  (** the campaign stops at the first failure *)
+}
+
+val run_config : Fuzz_config.t -> (unit, string) result
+(** Execute one scenario. Deterministic: the same configuration always
+    yields the same result — this is what replays a printed
+    counterexample line. *)
+
+val shrink :
+  Fuzz_config.t -> string -> Fuzz_config.t * string * int
+(** [shrink cfg msg] greedily minimizes a failing scenario; returns the
+    smallest configuration still failing, its message, and the number of
+    successful shrink steps. Candidate field sizes are restricted to the
+    property's own envelope so a shrunk counterexample never trades the
+    reported defect for small-field soundness noise. *)
+
+val campaign :
+  ?bug:Fuzz_config.bug ->
+  ?property:string ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  report
+(** Run up to [trials] random scenarios derived from [seed], stopping at
+    (and shrinking) the first failure. [property] restricts generation to
+    one registered invariant; [bug] injects a defect into every scenario
+    (self-check mode).
+    @raise Invalid_argument if [property] names no registered invariant. *)
+
+val target_property : Fuzz_config.bug -> string
+(** The invariant an injected bug is expected to violate. *)
+
+val self_check : ?trials:int -> seed:int -> Fuzz_config.bug -> (failure, string) result
+(** Inject [bug], fuzz its target property, and verify the harness
+    end-to-end: a counterexample is found, shrinking only made it
+    smaller, and the printed replay line reproduces the same failure
+    message. [Error] explains which of those steps broke. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,143 @@
+type regime = Broadcast | Full
+
+type bug = Accept_high_degree | Drop_gamma | Lagrange_expose
+
+type t = {
+  seed : int;
+  prop : string;
+  k : int;
+  regime : regime;
+  fault_bound : int;
+  faults : int;
+  m : int;
+  bug : bug option;
+}
+
+let n_of c =
+  match c.regime with
+  | Broadcast -> (3 * c.fault_bound) + 1
+  | Full -> (6 * c.fault_bound) + 1
+
+let regime_name = function Broadcast -> "3t+1" | Full -> "6t+1"
+
+let regime_of_name = function
+  | "3t+1" -> Some Broadcast
+  | "6t+1" -> Some Full
+  | _ -> None
+
+let pp_regime fmt r = Format.pp_print_string fmt (regime_name r)
+
+let bug_name = function
+  | Accept_high_degree -> "accept-high-degree"
+  | Drop_gamma -> "drop-gamma"
+  | Lagrange_expose -> "lagrange-expose"
+
+let bug_of_name = function
+  | "accept-high-degree" -> Some Accept_high_degree
+  | "drop-gamma" -> Some Drop_gamma
+  | "lagrange-expose" -> Some Lagrange_expose
+  | _ -> None
+
+let to_string c =
+  Printf.sprintf "prop=%s seed=%d k=%d regime=%s t=%d faults=%d m=%d%s" c.prop
+    c.seed c.k (regime_name c.regime) c.fault_bound c.faults c.m
+    (match c.bug with None -> "" | Some b -> " bug=" ^ bug_name b)
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+let of_string line =
+  let ( let* ) = Result.bind in
+  let* bindings =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+    |> List.fold_left
+         (fun acc tok ->
+           let* acc = acc in
+           match String.index_opt tok '=' with
+           | None -> Error (Printf.sprintf "malformed token %S" tok)
+           | Some i ->
+               let key = String.sub tok 0 i
+               and v = String.sub tok (i + 1) (String.length tok - i - 1) in
+               Ok ((key, v) :: acc))
+         (Ok [])
+  in
+  let str key =
+    match List.assoc_opt key bindings with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing key %s=" key)
+  in
+  let int key =
+    let* v = str key in
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "%s=%s is not an integer" key v)
+  in
+  let* prop = str "prop" in
+  let* seed = int "seed" in
+  let* k = int "k" in
+  let* regime =
+    let* v = str "regime" in
+    match regime_of_name v with
+    | Some r -> Ok r
+    | None -> Error (Printf.sprintf "regime=%s (expected 3t+1 or 6t+1)" v)
+  in
+  let* fault_bound = int "t" in
+  let* faults = int "faults" in
+  let* m = int "m" in
+  let* bug =
+    match List.assoc_opt "bug" bindings with
+    | None -> Ok None
+    | Some v -> (
+        match bug_of_name v with
+        | Some b -> Ok (Some b)
+        | None -> Error (Printf.sprintf "unknown bug=%s" v))
+  in
+  if fault_bound < 1 then Error "t must be >= 1"
+  else if faults < 0 || faults > fault_bound then
+    Error "faults must be in [0, t]"
+  else if m < 1 then Error "m must be >= 1"
+  else if k < 3 || k > 61 then Error "k must be in [3, 61]"
+  else Ok { seed; prop; k; regime; fault_bound; faults; m; bug }
+
+let size c = (c.fault_bound * 1000) + (c.faults * 100) + (c.m * 10) + c.k
+
+(* The field ladder the generator draws from; shrinking steps down it. *)
+let k_ladder = [ 8; 10; 12; 16; 24; 32; 61 ]
+
+let shrink_candidates c =
+  let clamp c' =
+    (* Keep the invariants of_string enforces. *)
+    { c' with faults = min c'.faults c'.fault_bound; m = max 1 c'.m }
+  in
+  let ts =
+    if c.fault_bound > 1 then
+      List.sort_uniq compare [ 1; c.fault_bound / 2; c.fault_bound - 1 ]
+      |> List.filter (fun t -> t >= 1 && t < c.fault_bound)
+      |> List.map (fun t -> clamp { c with fault_bound = t })
+    else []
+  in
+  let faults =
+    if c.faults > 0 then
+      List.sort_uniq compare [ 0; c.faults / 2; c.faults - 1 ]
+      |> List.filter (fun f -> f >= 0 && f < c.faults)
+      |> List.map (fun f -> { c with faults = f })
+    else []
+  in
+  let ms =
+    if c.m > 1 then
+      List.sort_uniq compare [ 1; c.m / 2; c.m - 1 ]
+      |> List.filter (fun m -> m >= 1 && m < c.m)
+      |> List.map (fun m -> { c with m })
+    else []
+  in
+  let ks =
+    (* The smallest field still hosting n+1 distinct evaluation points. *)
+    let k_min =
+      let n = n_of c in
+      let rec bits b = if 1 lsl b > n then b else bits (b + 1) in
+      max 8 (bits 3)
+    in
+    List.filter (fun k -> k >= k_min && k < c.k) k_ladder
+    |> List.map (fun k -> { c with k })
+  in
+  ts @ faults @ ms @ ks

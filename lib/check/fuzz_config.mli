@@ -1,0 +1,63 @@
+(** Fuzzer scenarios: the replayable coordinates of one adversarial trial.
+
+    A scenario pins down {e everything} a property execution depends on —
+    the master PRNG seed, the field, the fault-tolerance regime, the
+    protocol dimensions and (for harness self-checks) an injected bug —
+    so that a failing trial is reproducible from its one-line textual
+    form alone. {!to_string} and {!of_string} are exact inverses; the
+    printed line is what `dprbg fuzz --replay` consumes. *)
+
+type regime =
+  | Broadcast  (** the Section-3 broadcast model, [n = 3t + 1] *)
+  | Full  (** the Section-4 point-to-point model, [n = 6t + 1] *)
+
+type bug =
+  | Accept_high_degree
+      (** The VSS verdict used by the soundness property accepts
+          degree-[t + 1] dealings — Lemma 1/3 violated. *)
+  | Drop_gamma
+      (** One honest player's combined-share (gamma) vector is lost in
+          Coin-Gen step 3 — an honest sender silently vanishes. *)
+  | Lagrange_expose
+      (** Coin-Expose interpolates through the first [t + 1] trusted
+          shares instead of Berlekamp–Welch decoding — a single lying
+          trusted sender corrupts the coin (the DESIGN §5 ablation). *)
+
+type t = {
+  seed : int;  (** master seed; every random choice derives from it *)
+  prop : string;  (** registered property name (see {!Fuzz.properties}) *)
+  k : int;  (** field bits: the scenario runs over [GF(2^k)] *)
+  regime : regime;
+  fault_bound : int;  (** the tolerated [t]; [n] is implied by the regime *)
+  faults : int;  (** actually corrupted players, [<= fault_bound] *)
+  m : int;  (** batch size [M] *)
+  bug : bug option;  (** injected defect (self-check mode only) *)
+}
+
+val n_of : t -> int
+(** [3t + 1] or [6t + 1] according to the regime. *)
+
+val pp_regime : Format.formatter -> regime -> unit
+val bug_name : bug -> string
+val bug_of_name : string -> bug option
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** One replay line, e.g.
+    ["prop=coin-unanimity seed=8812 k=32 regime=6t+1 t=2 faults=1 m=3"]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a replay line. Inverse of {!to_string}; unknown keys, missing
+    keys or inconsistent values are reported as [Error]. *)
+
+val shrink_candidates : t -> t list
+(** Strictly smaller scenarios to try when [t] fails, in the order the
+    shrinker should try them: lower fault bound (which shrinks [n]),
+    fewer corrupted players, smaller batch, smaller field. The master
+    seed, property and injected bug are preserved — a candidate is a
+    cheaper re-ask of the same question. *)
+
+val size : t -> int
+(** Shrinking metric: candidates from {!shrink_candidates} always have
+    strictly smaller {!size}, so greedy shrinking terminates. *)

@@ -1,0 +1,773 @@
+(* The executable paper invariants the fuzzer searches for violations of,
+   together with the randomized adversary schedules it drives them with.
+
+   Every property derives all of its randomness from the scenario's seed
+   (via disjoint [Prng.split] streams, in a fixed order), so a scenario
+   line replays bit-for-bit. Properties are written against the bound
+   stated in the paper: deterministic sub-checks use fields large enough
+   that the allowed soundness error (M/p per trial) is negligible even
+   over month-long soaks; statistical sub-checks state explicit
+   confidence intervals. *)
+
+type outcome = Pass | Fail of string
+
+let failf fmt = Format.kasprintf (fun s -> Fail s) fmt
+
+let check cond fmt =
+  Format.kasprintf (fun s -> if cond then Pass else Fail s) fmt
+
+let ( let* ) o k = match o with Pass -> k () | Fail _ as f -> f
+
+let rec each f = function
+  | [] -> Pass
+  | x :: rest -> ( match f x with Pass -> each f rest | fail -> fail)
+
+let range lo hi = List.init (hi - lo + 1) (fun i -> lo + i)
+
+module Make (F : Field_intf.S) = struct
+  module P = Poly.Make (F)
+  module S = Shamir.Make (F)
+  module V = Vss.Make (F)
+  module BG = Bit_gen.Make (F)
+  module CG = Coin_gen.Make (F)
+  module CE = Coin_expose.Make (F)
+  module C = Sealed_coin.Make (F)
+  module PL = Pool.Make (F)
+  module AT = Attacks.Make (F)
+
+  let ideal_oracle seed =
+    let g = Prng.of_int seed in
+    fun () -> Metrics.without_counting (fun () -> F.random g)
+
+  (* ---------------- Randomized adversary schedules ---------------- *)
+
+  (* A syntactically arbitrary gradecast payload: random clique, random
+     check "polynomials" (sometimes malformed: wrong length, members
+     missing). Coin-Gen must survive any of it. *)
+  let random_payload g ~n ~t =
+    let clique = Prng.sample_distinct g (1 + Prng.int g n) n in
+    let polys =
+      List.filter_map
+        (fun j ->
+          if Prng.int g 8 = 0 then None (* malformed: member without poly *)
+          else
+            Some (j, Array.init (Prng.int g (t + 3)) (fun _ -> F.random g)))
+        clique
+    in
+    { CG.clique; polys }
+
+  (* A full Byzantine strategy with fresh per-round / per-destination
+     misbehaviour schedules, materialized up-front from [g] so that the
+     adversary is a fixed (replayable) function. Extends
+     [Attacks.mixed_adversary] with explicit-matrix dealers, equivocating
+     gradecast dealers, arbitrary followers and per-(phase, round, dst)
+     BA schedules. *)
+  let scheduled_adversary g ~n ~t ~m faults =
+    let dealer i =
+      if Net.Faults.is_honest faults i then BG.Honest_dealer
+      else
+        match Prng.int g 6 with
+        | 0 -> BG.Silent_dealer
+        | 1 -> BG.Bad_degree (Prng.sample_distinct g (1 + Prng.int g m) m)
+        | 2 ->
+            BG.Inconsistent_to
+              (Prng.sample_distinct g (1 + Prng.int g (min n (t + 1))) n)
+        | 3 ->
+            BG.Matrix
+              (Array.init n (fun _ -> Array.init m (fun _ -> F.random g)))
+        | _ -> BG.Honest_dealer
+    in
+    let gamma i =
+      if Net.Faults.is_honest faults i then CG.Honest_vec
+      else
+        match Prng.int g 3 with
+        | 0 -> CG.Silent_vec
+        | 1 ->
+            let noise =
+              Array.init n (fun _ ->
+                  Array.init n (fun _ ->
+                      if Prng.bool g then Some (F.random g) else None))
+            in
+            CG.Arbitrary_vec (fun dst -> noise.(dst))
+        | _ -> CG.Honest_vec
+    in
+    let gradecast_dealer i =
+      if Net.Faults.is_honest faults i then Gradecast.Dealer_honest
+      else
+        match Prng.int g 3 with
+        | 0 -> Gradecast.Dealer_silent
+        | 1 ->
+            let per_dst =
+              Array.init n (fun _ ->
+                  if Prng.bool g then Some (random_payload g ~n ~t) else None)
+            in
+            Gradecast.Dealer_equivocate (fun dst -> per_dst.(dst))
+        | _ -> Gradecast.Dealer_honest
+    in
+    let gradecast_follower i =
+      if Net.Faults.is_honest faults i then Gradecast.Follower_honest
+      else
+        match Prng.int g 4 with
+        | 0 -> Gradecast.Follower_silent
+        | 1 -> Gradecast.Follower_fixed (random_payload g ~n ~t)
+        | 2 ->
+            (* Fresh lie per echo round and destination. *)
+            let tbl =
+              Array.init 2 (fun _ ->
+                  Array.init n (fun _ ->
+                      if Prng.bool g then Some (random_payload g ~n ~t)
+                      else None))
+            in
+            Gradecast.Follower_arbitrary
+              (fun ~round ~dst -> tbl.((round - 2) land 1).(dst mod n))
+        | _ -> Gradecast.Follower_honest
+    in
+    let ba i =
+      if Net.Faults.is_honest faults i then Phase_king.Honest
+      else
+        match Prng.int g 4 with
+        | 0 -> Phase_king.Silent
+        | 1 -> Phase_king.Fixed (Prng.bool g)
+        | 2 ->
+            (* Per-(phase, round, destination) bit schedule. *)
+            let tbl =
+              Array.init (t + 2) (fun _ ->
+                  Array.init 2 (fun _ ->
+                      Array.init n (fun _ ->
+                          if Prng.bool g then Some (Prng.bool g) else None)))
+            in
+            Phase_king.Arbitrary
+              (fun ~phase ~round ~dst ->
+                tbl.(abs phase mod (t + 2)).((round - 1) land 1).(dst mod n))
+        | _ -> Phase_king.Honest
+    in
+    let strategies =
+      Array.init n (fun i ->
+          (dealer i, gamma i, gradecast_dealer i, gradecast_follower i, ba i))
+    in
+    {
+      CG.as_dealer = (fun i -> match strategies.(i) with d, _, _, _, _ -> d);
+      as_gamma = (fun i -> match strategies.(i) with _, gm, _, _, _ -> gm);
+      as_gradecast_dealer =
+        (fun i -> match strategies.(i) with _, _, gd, _, _ -> gd);
+      as_gradecast_follower =
+        (fun i -> match strategies.(i) with _, _, _, gf, _ -> gf);
+      as_ba = (fun i -> match strategies.(i) with _, _, _, _, b -> b);
+    }
+
+  (* Exposure-time lies: silent, fixed garbage, or per-destination
+     equivocation from every faulty player. *)
+  let expose_schedule g ~n faults =
+    let table =
+      Array.init n (fun i ->
+          if Net.Faults.is_honest faults i then CE.Honest
+          else
+            match Prng.int g 4 with
+            | 0 -> CE.Silent
+            | 1 -> CE.Send (F.random g)
+            | 2 ->
+                let lies =
+                  Array.init n (fun _ ->
+                      if Prng.bool g then Some (F.random g) else None)
+                in
+                CE.Equivocate (fun dst -> lies.(dst mod n))
+            | _ -> CE.Honest)
+    in
+    fun i -> table.(i)
+
+  (* ------------------------- Properties --------------------------- *)
+
+  let has_bug (cfg : Fuzz_config.t) b = cfg.bug = Some b
+
+  (* Lemmas 1 and 3 as deterministic statements: honest dealings are
+     accepted (also under [faults] silent players, by the robust rule);
+     degree-(t+1) dealings are always rejected; the optimal targeted
+     cheats are accepted on exactly their guessed coin set and rejected
+     off it. *)
+  let vss_soundness (cfg : Fuzz_config.t) =
+    let t = cfg.fault_bound and m = cfg.m in
+    let n = Fuzz_config.n_of cfg in
+    let g = Prng.of_int cfg.seed in
+    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let silent i =
+      if Net.Faults.is_faulty faults i then V.Silent else V.Honest
+    in
+    let* () =
+      let alpha = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+      let beta = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+      let* () =
+        check
+          (V.run ~n ~t ~alpha ~beta ~r:(F.random g) () = V.Accept)
+          "honest VSS dealing rejected"
+      in
+      check
+        (V.run_robust ~player_behavior:silent ~n ~t ~alpha ~beta
+           ~r:(F.random g) ()
+        = V.Accept)
+        "honest VSS dealing rejected by robust rule under %d silent players"
+        cfg.faults
+    in
+    let* () =
+      let secrets = Array.init m (fun _ -> F.random g) in
+      let shares = V.batch_honest_dealing g ~n ~t ~secrets in
+      let* () =
+        check
+          (V.run_batch ~n ~t ~shares ~r:(F.random g) () = V.Accept)
+          "honest batch dealing rejected"
+      in
+      check
+        (V.run_batch_robust ~player_behavior:silent ~n ~t ~shares
+           ~r:(F.random g) ()
+        = V.Accept)
+        "honest batch dealing rejected by robust rule under %d silent players"
+        cfg.faults
+    in
+    let* () =
+      (* A degree-(t+1) numerator cannot be cancelled by a degree-<= t
+         mask: rejection holds for every coin, not just w.h.p. *)
+      let alpha = V.cheating_dealing g ~n ~t ~degree:(t + 1) in
+      let beta = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+      let verdict = V.run ~n ~t ~alpha ~beta ~r:(F.random g) () in
+      let verdict =
+        if has_bug cfg Fuzz_config.Accept_high_degree then V.Accept
+        else verdict
+      in
+      check (verdict = V.Reject) "degree-%d dealing accepted (Lemma 1)" (t + 1)
+    in
+    let* () =
+      let shares =
+        V.batch_cheating_dealing g ~n ~t ~m ~bad:[ Prng.int g m ]
+      in
+      check
+        (V.run_batch ~n ~t ~shares ~r:(F.random g) () = V.Reject)
+        "batch with a degree-%d member accepted (Lemma 3)" (t + 1)
+    in
+    let* () =
+      let guess = F.random_nonzero g in
+      let alpha, beta = V.targeted_cheating_dealing g ~n ~t ~guess in
+      let* () =
+        check
+          (V.run ~n ~t ~alpha ~beta ~r:guess () = V.Accept)
+          "targeted cheat not accepted on its guessed coin"
+      in
+      each
+        (fun _ ->
+          let r = F.random g in
+          if F.equal r guess then Pass
+          else
+            check
+              (V.run ~n ~t ~alpha ~beta ~r () = V.Reject)
+              "targeted cheat accepted off its guess: r=%s guess=%s"
+              (F.to_string r) (F.to_string guess))
+        (range 1 8)
+    in
+    let roots =
+      Array.of_list
+        (List.map
+           (fun i -> F.of_int (i + 1))
+           (Prng.sample_distinct g m (min 100_000 ((1 lsl min F.k_bits 20) - 1))))
+    in
+    let shares = V.batch_targeted_cheating_dealing g ~n ~t ~roots in
+    let in_accept_set r =
+      F.equal r F.zero
+      || Array.exists (F.equal r) (Array.sub roots 0 (m - 1))
+    in
+    let* () =
+      check
+        (V.run_batch ~n ~t ~shares ~r:F.zero () = V.Accept)
+        "batch targeted cheat not accepted at r=0"
+    in
+    let* () =
+      if m < 2 then Pass
+      else
+        check
+          (V.run_batch ~n ~t ~shares ~r:roots.(0) () = V.Accept)
+          "batch targeted cheat not accepted on a root"
+    in
+    each
+      (fun _ ->
+        let r = F.random g in
+        if in_accept_set r then Pass
+        else
+          check
+            (V.run_batch ~n ~t ~shares ~r () = V.Reject)
+            "batch targeted cheat accepted off its root set at r=%s"
+            (F.to_string r))
+      (range 1 8)
+
+  (* Lemma 3's bound holds with equality: over a small field the optimal
+     batch cheat must be accepted at a rate statistically consistent with
+     exactly M/p. Trial count is sized so that both tails have
+     probability < 1e-9 — a flagged deviation is a real bias. *)
+  let vss_reject_rate (cfg : Fuzz_config.t) =
+    let t = cfg.fault_bound and m = cfg.m in
+    let n = Fuzz_config.n_of cfg in
+    let g = Prng.of_int cfg.seed in
+    let p = float_of_int (1 lsl cfg.k) in
+    let trials =
+      min 40_000 (int_of_float (ceil (25.0 *. p /. float_of_int m)))
+    in
+    let accepts = ref 0 in
+    for _ = 1 to trials do
+      let roots =
+        Array.of_list
+          (List.map
+             (fun i -> F.of_int (i + 1))
+             (Prng.sample_distinct g m ((1 lsl cfg.k) - 1)))
+      in
+      let shares = V.batch_targeted_cheating_dealing g ~n ~t ~roots in
+      if V.run_batch ~n ~t ~shares ~r:(F.random g) () = V.Accept then
+        incr accepts
+    done;
+    let expected = float_of_int trials *. float_of_int m /. p in
+    let slack = (6.0 *. sqrt expected) +. 4.0 in
+    let* () =
+      check
+        (float_of_int !accepts <= expected +. slack)
+        "batch cheat accepted %d/%d times; expected %.1f (Lemma 3 bound \
+         exceeded)"
+        !accepts trials expected
+    in
+    check (!accepts >= 1)
+      "batch cheat accepted 0/%d times; expected %.1f (optimal attack \
+       under-performs: bound not met with equality)"
+      trials expected
+
+  (* Fig. 4 verdict logic: honest dealers are accepted by everyone (with
+     the dealer's true combined polynomial), even under faulty gamma
+     senders and inconsistent dealing to <= t victims; a high-degree
+     sharing convinces nobody. *)
+  let bitgen_verdicts (cfg : Fuzz_config.t) =
+    let t = cfg.fault_bound and m = cfg.m in
+    let n = Fuzz_config.n_of cfg in
+    let g = Prng.of_int cfg.seed in
+    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let dealer = Prng.int g n in
+    let run ?dealer_behavior ?gamma_behavior seed r =
+      BG.run ?dealer_behavior ?gamma_behavior ~prng:(Prng.of_int seed) ~n ~t
+        ~m ~dealer ~r ()
+    in
+    let* () =
+      let r = F.random g in
+      let views, matrix = run (Prng.bits g 30) r in
+      match matrix with
+      | None -> Fail "honest dealer produced no share matrix"
+      | Some shares ->
+          each
+            (fun i ->
+              match views.(i).BG.check_poly with
+              | None -> failf "player %d rejected an honest dealer" i
+              | Some f ->
+                  let* () =
+                    check
+                      (Array.fold_left
+                         (fun acc b -> if b then acc + 1 else acc)
+                         0 views.(i).BG.support
+                      >= n - t)
+                      "player %d: honest support below n - t" i
+                  in
+                  each
+                    (fun j ->
+                      check
+                        (F.equal
+                           (P.eval f (S.eval_point j))
+                           (V.combine ~r shares.(j)))
+                        "player %d decoded a polynomial off the dealer's \
+                         combined shares at point %d"
+                        i j)
+                    (range 0 (n - 1)))
+            (range 0 (n - 1))
+    in
+    let* () =
+      (* Faulty players garble or withhold their gammas; everyone still
+         accepts the honest dealer (n - faults >= n - t supports). *)
+      let behavior =
+        Array.init n (fun i ->
+            if Net.Faults.is_honest faults i then BG.Honest_gamma
+            else if Prng.bool g then BG.Silent_gamma
+            else BG.Fixed_gamma (F.random g))
+      in
+      let views, _ =
+        run ~gamma_behavior:(fun i -> behavior.(i)) (Prng.bits g 30)
+          (F.random g)
+      in
+      each
+        (fun i ->
+          check
+            (views.(i).BG.check_poly <> None)
+            "player %d rejected an honest dealer under %d faulty gamma \
+             senders"
+            i cfg.faults)
+        (Net.Faults.honest faults)
+    in
+    let* () =
+      let bad = Prng.sample_distinct g (1 + Prng.int g m) m in
+      let views, _ =
+        run ~dealer_behavior:(BG.Bad_degree bad) (Prng.bits g 30) (F.random g)
+      in
+      each
+        (fun i ->
+          check
+            (views.(i).BG.check_poly = None)
+            "player %d accepted a degree-%d dealing (Lemma 5)" i (t + 1))
+        (range 0 (n - 1))
+    in
+    if cfg.faults = 0 then Pass
+    else
+      let victims = Prng.sample_distinct g cfg.faults n in
+      let views, _ =
+        run ~dealer_behavior:(BG.Inconsistent_to victims) (Prng.bits g 30)
+          (F.random g)
+      in
+      each
+        (fun i ->
+          check
+            (views.(i).BG.check_poly <> None)
+            "player %d rejected a dealer inconsistent to only %d <= t players"
+            i cfg.faults)
+        (range 0 (n - 1))
+
+  (* The honest path of Coin-Gen, exactly: full clique, everybody
+     trusted, one BA iteration, two seed coins — and every coin exposes
+     to its ground truth on all honest players even when the (generation
+     -honest) faulty players lie during exposure. The [Drop_gamma] bug
+     (one honest player's gamma vector lost) breaks the full-clique and
+     full-trust claims. *)
+  let coin_honest_trust (cfg : Fuzz_config.t) =
+    let t = cfg.fault_bound and m = cfg.m in
+    let n = Fuzz_config.n_of cfg in
+    let g = Prng.of_int cfg.seed in
+    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let adversary =
+      if has_bug cfg Fuzz_config.Drop_gamma then
+        let victim = Prng.int g n in
+        {
+          CG.honest_adversary with
+          CG.as_gamma =
+            (fun i -> if i = victim then CG.Silent_vec else CG.Honest_vec);
+        }
+      else CG.honest_adversary
+    in
+    let oracle = ideal_oracle (Prng.bits g 30) in
+    let expose = expose_schedule (Prng.split g) ~n faults in
+    match
+      CG.run ~adversary ~prng:(Prng.split g) ~oracle ~n ~t ~m ()
+    with
+    | None -> Fail "honest Coin-Gen run did not terminate"
+    | Some batch ->
+        let* () =
+          check
+            (batch.CG.dealers = List.init n Fun.id)
+            "honest run: clique is not all n players (got %d)"
+            (List.length batch.CG.dealers)
+        in
+        let* () =
+          check
+            (Array.for_all (Array.for_all Fun.id) batch.CG.trusted)
+            "honest run: some player distrusts another"
+        in
+        let* () =
+          check
+            (batch.CG.ba_iterations = 1)
+            "honest run took %d BA iterations" batch.CG.ba_iterations
+        in
+        let* () =
+          check
+            (batch.CG.seed_coins_consumed = 2)
+            "honest run consumed %d seed coins" batch.CG.seed_coins_consumed
+        in
+        each
+          (fun h ->
+            let coin = CG.coin batch h in
+            match C.ground_truth coin with
+            | None -> failf "coin %d has no ground truth" h
+            | Some truth ->
+                let values = CE.run ~sender_behavior:expose coin in
+                each
+                  (fun i ->
+                    match values.(i) with
+                    | Some v when F.equal v truth -> Pass
+                    | Some v ->
+                        failf
+                          "coin %d: honest player %d decoded %s, truth %s" h
+                          i (F.to_string v) (F.to_string truth)
+                    | None ->
+                        failf "coin %d: honest player %d failed to decode" h
+                          i)
+                  (Net.Faults.honest faults))
+          (range 0 (m - 1))
+
+  (* The headline theorem, under fire: whatever the (scheduled, mixed)
+     adversary does, if Coin-Gen terminates then Lemma 7 holds and every
+     exposed coin is decoded identically by all honest players, with
+     faulty players lying during exposure too. The [Lagrange_expose] bug
+     replaces the Berlekamp–Welch decoder with plain interpolation, which
+     a single lying trusted sender defeats. *)
+  let coin_unanimity (cfg : Fuzz_config.t) =
+    let t = cfg.fault_bound and m = cfg.m in
+    let n = Fuzz_config.n_of cfg in
+    let g = Prng.of_int cfg.seed in
+    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let adversary = scheduled_adversary (Prng.split g) ~n ~t ~m faults in
+    let oracle = ideal_oracle (Prng.bits g 30) in
+    let expose = expose_schedule (Prng.split g) ~n faults in
+    let expose_run =
+      if has_bug cfg Fuzz_config.Lagrange_expose then CE.run_lagrange
+      else CE.run
+    in
+    match CG.run ~adversary ~prng:(Prng.split g) ~oracle ~n ~t ~m () with
+    | None -> Pass (* adversarial non-termination is allowed, prob <= (t/n)^64 *)
+    | Some batch ->
+        let honest = Net.Faults.honest faults in
+        let* () =
+          check
+            (List.length batch.CG.dealers >= n - (2 * t))
+            "Lemma 7: clique has %d < n - 2t members"
+            (List.length batch.CG.dealers)
+        in
+        let* () =
+          let universally_trusted =
+            List.filter
+              (fun j ->
+                List.mem j honest
+                && List.for_all (fun i -> batch.CG.trusted.(i).(j)) honest)
+              (List.init n Fun.id)
+          in
+          check
+            (List.length universally_trusted >= (2 * t) + 1)
+            "Lemma 7: only %d honest players universally trusted (< 2t + 1)"
+            (List.length universally_trusted)
+        in
+        each
+          (fun h ->
+            let coin = CG.coin batch h in
+            let values = expose_run ~sender_behavior:expose coin in
+            match List.map (fun i -> (i, values.(i))) honest with
+            | [] -> Pass
+            | (i0, first) :: rest ->
+                let* () =
+                  check (first <> None)
+                    "coin %d: honest player %d failed to decode" h i0
+                in
+                each
+                  (fun (i, v) ->
+                    match (v, first) with
+                    | Some a, Some b when F.equal a b -> Pass
+                    | Some a, Some b ->
+                        failf
+                          "coin %d: unanimity broken — player %d got %s, \
+                           player %d got %s"
+                          h i (F.to_string a) i0 (F.to_string b)
+                    | _ ->
+                        failf "coin %d: honest player %d failed to decode" h
+                          i)
+                  rest)
+          (range 0 (m - 1))
+
+  (* Lemma 8 / Theorem 2 accounting: the batch's own ledger must agree
+     with the ambient Metrics counters — BA executions, grade-casts, and
+     the exact round count 5 + iterations * 2(t + 1) (deal + gamma +
+     3-round grade-cast + two phase-king rounds per phase). The faulty
+     players vote against every proposal, so multiple iterations are
+     exercised whenever a faulty leader is drawn. *)
+  let coin_termination (cfg : Fuzz_config.t) =
+    let t = cfg.fault_bound and m = cfg.m in
+    let n = Fuzz_config.n_of cfg in
+    let g = Prng.of_int cfg.seed in
+    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let adversary = AT.worst_case_ba_blocker faults in
+    let oracle = ideal_oracle (Prng.bits g 30) in
+    let result, snap =
+      Metrics.with_counting (fun () ->
+          CG.run ~adversary ~prng:(Prng.split g) ~oracle ~n ~t ~m ())
+    in
+    match result with
+    | None -> Fail "Coin-Gen failed to terminate against a BA blocker"
+    | Some batch ->
+        let iters = batch.CG.ba_iterations in
+        let* () =
+          check
+            (iters >= 1 && iters <= 64)
+            "BA iteration count %d outside [1, 64]" iters
+        in
+        let* () =
+          check
+            (batch.CG.seed_coins_consumed = 1 + iters)
+            "consumed %d seed coins for %d BA iterations"
+            batch.CG.seed_coins_consumed iters
+        in
+        let* () =
+          check
+            (snap.Metrics.ba_runs = iters)
+            "Metrics saw %d BA runs, batch reports %d iterations"
+            snap.Metrics.ba_runs iters
+        in
+        let* () =
+          check
+            (snap.Metrics.gradecasts = n)
+            "Metrics saw %d grade-casts, expected n = %d"
+            snap.Metrics.gradecasts n
+        in
+        let expected_rounds = 5 + (iters * 2 * (t + 1)) in
+        let* () =
+          check
+            (snap.Metrics.rounds = expected_rounds)
+            "Metrics saw %d rounds, expected 5 + %d * 2(t+1) = %d"
+            snap.Metrics.rounds iters expected_rounds
+        in
+        check
+          (snap.Metrics.messages > 0 && snap.Metrics.interpolations > 0)
+          "a full Coin-Gen run cost no messages or interpolations"
+
+  (* Necessary conditions for unpredictability: coins of one batch are
+     pairwise distinct; re-running with fresh player randomness (same
+     seed-coin oracle, same adversary structure) changes every coin; and
+     no corrupted player's share leaks the coin value outright. These
+     cannot prove Shamir secrecy, but any failure is a real entropy bug
+     (constant coins, replayed randomness, evaluation at the secret
+     point). Field size >= 32 bits makes chance collisions negligible. *)
+  let coin_freshness (cfg : Fuzz_config.t) =
+    let t = cfg.fault_bound and m = cfg.m in
+    let n = Fuzz_config.n_of cfg in
+    let g = Prng.of_int cfg.seed in
+    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let oracle_seed = Prng.bits g 30 in
+    let g1 = Prng.split g and g2 = Prng.split g in
+    let run prng =
+      CG.run ~prng ~oracle:(ideal_oracle oracle_seed) ~n ~t ~m ()
+    in
+    match (run g1, run g2) with
+    | None, _ | _, None -> Fail "honest Coin-Gen run did not terminate"
+    | Some b1, Some b2 ->
+        let value batch h =
+          match (CE.run (CG.coin batch h)).(0) with
+          | Some v -> v
+          | None -> F.zero
+        in
+        let v1 = Array.init m (value b1) and v2 = Array.init m (value b2) in
+        let* () =
+          each
+            (fun h ->
+              check
+                (not (F.equal v1.(h) v2.(h)))
+                "coin %d identical across independent runs: %s (stale \
+                 randomness?)"
+                h
+                (F.to_string v1.(h)))
+            (range 0 (m - 1))
+        in
+        let* () =
+          each
+            (fun h ->
+              each
+                (fun h' ->
+                  check
+                    (not (F.equal v1.(h) v1.(h')))
+                    "coins %d and %d of one batch collide on %s" h h'
+                    (F.to_string v1.(h)))
+                (range (h + 1) (m - 1)))
+            (range 0 (m - 2))
+        in
+        each
+          (fun h ->
+            each
+              (fun i ->
+                check
+                  (not (F.equal b1.CG.shares.(i).(h) v1.(h)))
+                  "corrupted player %d's share of coin %d equals the coin \
+                   value"
+                  i h)
+              (Net.Faults.faulty faults))
+          (range 0 (m - 1))
+
+  (* The bootstrap loop stays alive and accounted-for under a mobile
+     adversary: a fresh scheduled corruption set per refill epoch, lying
+     at exposure time too, must never starve the pool, never break
+     unanimity, and keep the ledger consistent. *)
+  let pool_liveness (cfg : Fuzz_config.t) =
+    let t = cfg.fault_bound and m = cfg.m in
+    let n = Fuzz_config.n_of cfg in
+    let g = Prng.of_int cfg.seed in
+    let adv_seed = Prng.bits g 30 and expose_seed = Prng.bits g 30 in
+    let batch_size = max 8 (2 * m) in
+    let fault_set epoch =
+      let ge = Prng.of_int (adv_seed + (7919 * epoch)) in
+      Net.Faults.random ge ~n ~t:cfg.faults
+    in
+    let adversary epoch =
+      let ge = Prng.of_int (adv_seed + (7919 * epoch) + 1) in
+      (* The pool's internal Coin-Gen runs at [batch_size] coins per
+         refill, not at the property's [m]. The proposal grade-cast is
+         kept honest: a faulty leader equivocating there forces extra BA
+         iterations, each burning a seed coin beyond the fixed
+         [refill_threshold] reserve — that worst case is Lemma 8
+         territory, exercised by coin-termination, not a liveness bug.
+         Every other surface (dealing, gammas, grade-cast followers, BA
+         votes, exposure) stays adversarial. *)
+      let adv = scheduled_adversary ge ~n ~t ~m:batch_size (fault_set epoch) in
+      { adv with CG.as_gradecast_dealer = (fun _ -> Gradecast.Dealer_honest) }
+    in
+    let expose_behavior epoch =
+      let ge = Prng.of_int (expose_seed + (104729 * epoch)) in
+      expose_schedule ge ~n (fault_set epoch)
+    in
+    let kary_draws = 8 + (2 * m) in
+    match
+      let pool =
+        PL.create ~adversary
+          ~expose_behavior:(fun epoch i -> (expose_behavior epoch) i)
+          ~prng:(Prng.split g) ~n ~t ~batch_size ~refill_threshold:2
+          ~initial_seed:4 ()
+      in
+      for _ = 1 to kary_draws do
+        ignore (PL.draw_kary pool)
+      done;
+      for _ = 1 to 10 do
+        ignore (PL.draw_bit pool)
+      done;
+      (pool, PL.stats pool)
+    with
+    | exception PL.Starved msg -> failf "pool starved: %s" msg
+    | pool, s ->
+        let* () =
+          check (s.PL.refills >= 1) "no refill over %d draws" kary_draws
+        in
+        let* () =
+          check
+            (s.PL.unanimity_failures = 0)
+            "%d unanimity failures during pool exposures"
+            s.PL.unanimity_failures
+        in
+        let* () =
+          check
+            (s.PL.generated_coins = s.PL.refills * batch_size)
+            "%d coins generated over %d refills of %d" s.PL.generated_coins
+            s.PL.refills batch_size
+        in
+        let* () =
+          check
+            (s.PL.seed_coins_consumed >= 2 * s.PL.refills)
+            "%d seed coins consumed over %d refills" s.PL.seed_coins_consumed
+            s.PL.refills
+        in
+        let* () =
+          check (s.PL.dealer_coins = 4)
+            "dealer supplied %d coins after setup (expected 4)"
+            s.PL.dealer_coins
+        in
+        check
+          (PL.available pool > 0)
+          "pool left empty after %d draws" kary_draws
+
+  let run (cfg : Fuzz_config.t) =
+    match cfg.prop with
+    | "vss-soundness" -> vss_soundness cfg
+    | "vss-reject-rate" -> vss_reject_rate cfg
+    | "bitgen-verdicts" -> bitgen_verdicts cfg
+    | "coin-honest-trust" -> coin_honest_trust cfg
+    | "coin-unanimity" -> coin_unanimity cfg
+    | "coin-termination" -> coin_termination cfg
+    | "coin-freshness" -> coin_freshness cfg
+    | "pool-liveness" -> pool_liveness cfg
+    | other -> failf "unknown property %S" other
+end

@@ -1,0 +1,150 @@
+(* The adversarial fuzzer, wired into the tier-1 suite.
+
+   Quick mode runs a real campaign — 520 random scenarios across both
+   regimes must pass clean — plus the harness self-checks: each known
+   injected bug must be found, shrunk, and replayed from its printed
+   counterexample line. *)
+
+let check = Alcotest.(check bool)
+
+(* ------------------------- Replay lines -------------------------- *)
+
+let random_config g : Fuzz_config.t =
+  let specs = Array.of_list Fuzz.registry in
+  let spec = specs.(Prng.int g (Array.length specs)) in
+  let fault_bound = Prng.choose g spec.Fuzz.ts in
+  let bugs =
+    [|
+      None;
+      Some Fuzz_config.Accept_high_degree;
+      Some Fuzz_config.Drop_gamma;
+      Some Fuzz_config.Lagrange_expose;
+    |]
+  in
+  {
+    Fuzz_config.seed = Prng.bits g 30;
+    prop = spec.Fuzz.name;
+    k = Prng.choose g spec.Fuzz.ks;
+    regime = spec.Fuzz.regime;
+    fault_bound;
+    faults = Prng.int g (fault_bound + 1);
+    m = 1 + Prng.int g spec.Fuzz.max_m;
+    bug = Prng.choose g bugs;
+  }
+
+let test_replay_roundtrip () =
+  let g = Prng.of_int 404 in
+  for _ = 1 to 200 do
+    let cfg = random_config g in
+    let line = Fuzz_config.to_string cfg in
+    match Fuzz_config.of_string line with
+    | Error e -> Alcotest.failf "%S does not parse back: %s" line e
+    | Ok cfg' ->
+        check (Printf.sprintf "round-trip of %S" line) true (cfg = cfg')
+  done
+
+let test_replay_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Fuzz_config.of_string line with
+      | Ok _ -> Alcotest.failf "%S should not parse" line
+      | Error _ -> ())
+    [
+      "";
+      "prop=vss-soundness";
+      "prop=x seed=1 k=8 regime=3t+1 t=0 faults=0 m=1";
+      "prop=x seed=1 k=8 regime=3t+1 t=1 faults=2 m=1";
+      "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=0";
+      "prop=x seed=1 k=99 regime=3t+1 t=1 faults=0 m=1";
+      "prop=x seed=1 k=8 regime=5t+1 t=1 faults=0 m=1";
+      "prop=x seed=q k=8 regime=3t+1 t=1 faults=0 m=1";
+      "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 bug=nonsense";
+      "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 junk";
+    ]
+
+let test_shrink_candidates_smaller () =
+  let g = Prng.of_int 405 in
+  for _ = 1 to 200 do
+    let cfg = random_config g in
+    List.iter
+      (fun (c : Fuzz_config.t) ->
+        check "candidate strictly smaller" true
+          (Fuzz_config.size c < Fuzz_config.size cfg);
+        check "candidate stays valid" true
+          (c.faults >= 0 && c.faults <= c.fault_bound && c.fault_bound >= 1
+         && c.m >= 1);
+        check "candidate keeps prop/seed/bug" true
+          (c.prop = cfg.prop && c.seed = cfg.seed && c.bug = cfg.bug))
+      (Fuzz_config.shrink_candidates cfg)
+  done
+
+(* -------------------------- Campaign ----------------------------- *)
+
+let test_campaign_clean () =
+  let report = Fuzz.campaign ~trials:520 ~seed:2026 () in
+  (match report.Fuzz.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "campaign found:@.%a" Fuzz.pp_failure f);
+  check "all trials ran" true (report.Fuzz.trials_run = 520);
+  check "all trials passed" true (report.Fuzz.passes = 520);
+  let count regime =
+    Option.value ~default:0 (List.assoc_opt regime report.Fuzz.per_regime)
+  in
+  check "3t+1 regime exercised" true (count Fuzz_config.Broadcast > 50);
+  check "6t+1 regime exercised" true (count Fuzz_config.Full > 50);
+  List.iter
+    (fun (spec : Fuzz.prop_spec) ->
+      check
+        (Printf.sprintf "property %s attempted" spec.Fuzz.name)
+        true
+        (Option.value ~default:0
+           (List.assoc_opt spec.Fuzz.name report.Fuzz.per_property)
+        > 0))
+    Fuzz.registry
+
+(* ------------------------- Self-checks --------------------------- *)
+
+(* The full harness loop per injected bug: a campaign finds a
+   counterexample, shrinking never grows it, and the printed replay
+   line alone reproduces the identical failure (all verified inside
+   Fuzz.self_check — an [Error] names the broken step). *)
+let test_self_check bug () =
+  match Fuzz.self_check ~seed:7 bug with
+  | Error e -> Alcotest.fail e
+  | Ok f ->
+      check "shrunk no larger than original" true
+        (Fuzz_config.size f.Fuzz.shrunk <= Fuzz_config.size f.Fuzz.original);
+      check "bug survives in the replay line" true
+        ((Fuzz_config.of_string (Fuzz_config.to_string f.Fuzz.shrunk)
+          |> Result.get_ok)
+           .Fuzz_config.bug
+        = Some bug)
+
+let test_self_check_requires_bug () =
+  (* Without an injected bug the self-check campaign seed must be
+     clean — otherwise the self-check tests nothing. *)
+  let report =
+    Fuzz.campaign
+      ~property:(Fuzz.target_property Fuzz_config.Lagrange_expose)
+      ~trials:60 ~seed:7 ()
+  in
+  check "target property clean without the bug" true
+    (report.Fuzz.failure = None)
+
+let suite =
+  [
+    Alcotest.test_case "replay line round-trips" `Quick test_replay_roundtrip;
+    Alcotest.test_case "replay rejects malformed lines" `Quick
+      test_replay_rejects_garbage;
+    Alcotest.test_case "shrink candidates shrink" `Quick
+      test_shrink_candidates_smaller;
+    Alcotest.test_case "520-trial campaign is clean" `Quick test_campaign_clean;
+    Alcotest.test_case "self-check: accept-high-degree" `Quick
+      (test_self_check Fuzz_config.Accept_high_degree);
+    Alcotest.test_case "self-check: drop-gamma" `Quick
+      (test_self_check Fuzz_config.Drop_gamma);
+    Alcotest.test_case "self-check: lagrange-expose" `Quick
+      (test_self_check Fuzz_config.Lagrange_expose);
+    Alcotest.test_case "self-check baseline is clean" `Quick
+      test_self_check_requires_bug;
+  ]

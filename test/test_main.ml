@@ -29,4 +29,5 @@ let () =
       ("wire", Test_wire.suite);
       ("randomness", Test_randomness.suite);
       ("ablations", Test_ablations.suite);
+      ("fuzz", Prop_fuzz.suite);
     ]

@@ -86,6 +86,86 @@ let test_shuffle_permutes () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
 
+(* Rejection sampling must stay uniform at bounds that are not powers
+   of two — the biased-modulo mistake shows up exactly there. Pearson
+   chi-square against the uniform law, with a generous threshold:
+   E[chi2] = b - 1, Var = 2(b - 1), and we allow 6 sigma plus slack. *)
+let test_int_uniform_non_power_of_two () =
+  let g = Prng.of_int 37 in
+  List.iter
+    (fun bound ->
+      let per_bucket = 2000 in
+      let n = per_bucket * bound in
+      let counts = Array.make bound 0 in
+      for _ = 1 to n do
+        let v = Prng.int g bound in
+        counts.(v) <- counts.(v) + 1
+      done;
+      let expected = float_of_int per_bucket in
+      let chi2 =
+        Array.fold_left
+          (fun acc c ->
+            let d = float_of_int c -. expected in
+            acc +. (d *. d /. expected))
+          0.0 counts
+      in
+      let df = float_of_int (bound - 1) in
+      let threshold = df +. (6.0 *. sqrt (2.0 *. df)) +. 10.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "chi2 %.1f <= %.1f at bound %d" chi2 threshold bound)
+        true (chi2 <= threshold))
+    [ 3; 5; 6; 7; 10; 12; 100 ]
+
+(* Drawing from one split stream must not perturb its sibling: the
+   sibling produces the same outputs whether or not the first stream
+   was consumed in between. *)
+let test_split_streams_do_not_interfere () =
+  let mk () =
+    let g = Prng.of_int 41 in
+    let a = Prng.split g in
+    let b = Prng.split g in
+    (a, b)
+  in
+  let _, b_quiet = mk () in
+  let a, b_noisy = mk () in
+  for _ = 1 to 100 do
+    ignore (Prng.next_int64 a)
+  done;
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "sibling unaffected" (Prng.next_int64 b_quiet)
+      (Prng.next_int64 b_noisy)
+  done
+
+(* A copy taken mid-stream replays the original exactly, across the
+   whole derived-operation surface, while leaving the source intact. *)
+let test_copy_replays_mixed_ops () =
+  let drain g =
+    let acc = ref [] in
+    let push x = acc := x :: !acc in
+    for round = 1 to 20 do
+      push (Prng.int g (2 + round));
+      push (if Prng.bool g then 1 else 0);
+      push (Prng.bits g 13);
+      let a = Array.init 7 Fun.id in
+      Prng.shuffle g a;
+      Array.iter push a;
+      List.iter push (Prng.sample_distinct g 3 50)
+    done;
+    !acc
+  in
+  let g = Prng.of_int 43 in
+  ignore (Prng.next_int64 g);
+  ignore (Prng.int g 1000);
+  let c = Prng.copy g in
+  let from_original = drain g in
+  let from_copy = drain c in
+  Alcotest.(check (list int)) "copy replays every derived op" from_original
+    from_copy;
+  (* The copy's consumption must not have advanced the original. *)
+  let c2 = Prng.copy g in
+  Alcotest.(check int64) "original undisturbed by its copies"
+    (Prng.next_int64 g) (Prng.next_int64 c2)
+
 let test_split_n () =
   let g = Prng.of_int 31 in
   let gs = Prng.split_n g 5 in
@@ -106,6 +186,12 @@ let suite =
     Alcotest.test_case "int covers range" `Quick test_int_covers_range;
     Alcotest.test_case "bits width" `Quick test_bits_width;
     Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+    Alcotest.test_case "int uniform at non-power-of-two bounds" `Quick
+      test_int_uniform_non_power_of_two;
+    Alcotest.test_case "split streams do not interfere" `Quick
+      test_split_streams_do_not_interfere;
+    Alcotest.test_case "copy replays mixed derived ops" `Quick
+      test_copy_replays_mixed_ops;
     Alcotest.test_case "sample_distinct" `Quick test_sample_distinct;
     Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
     Alcotest.test_case "split_n" `Quick test_split_n;
