@@ -256,9 +256,19 @@ let pool_cmd =
         let len = in_channel_length ic in
         let data = really_input_string ic len in
         close_in ic;
-        Printf.printf "# restored pool from %s\n" state_file;
-        Pool.restore ~prng:(Prng.of_int seed) ~batch_size:32
-          ~refill_threshold:3 (Bytes.of_string data)
+        match Pool.load ~prng:(Prng.of_int seed) ~batch_size:32
+                ~refill_threshold:3 (Bytes.of_string data)
+        with
+        | pool ->
+            Printf.printf "# restored pool from %s\n" state_file;
+            pool
+        | exception Pool.Corrupt_snapshot msg ->
+            Printf.eprintf
+              "error: %s is not an intact pool snapshot (%s)\n\
+               Refusing to serve coins from damaged state; rerun with \
+               --fresh to bootstrap anew (uses the trusted dealer once).\n"
+              state_file msg;
+            exit 1
       end
       else begin
         Printf.printf "# bootstrapping a fresh pool (trusted dealer used once)\n";
@@ -319,7 +329,31 @@ let fuzz_cmd =
             "Inject each known bug and verify the fuzzer finds, shrinks and \
              replays it — tests the harness itself.")
   in
-  let run () seed trials property replay self_check =
+  let faults_profile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"PROFILE"
+          ~doc:
+            "Degrade the network for every generated trial: comma-separated \
+             axes $(b,drop)/$(b,delay)/$(b,dup)/$(b,corrupt)/$(b,reorder) \
+             (percent, 0-100), $(b,crash) (players) and $(b,rt) (retransmit \
+             budget, 0-8), e.g. $(b,drop=20,delay=10,crash=1,rt=2). Values \
+             are floors, clamped per property to what its invariant \
+             tolerates; properties that require a pristine network are \
+             unaffected.")
+  in
+  let run () seed trials property replay self_check faults_profile =
+    let degrade =
+      match faults_profile with
+      | None -> None
+      | Some s -> (
+          match Fuzz_config.degrade_of_string s with
+          | Ok d -> Some d
+          | Error e ->
+              Printf.eprintf "cannot parse --faults profile: %s\n" e;
+              exit 2)
+    in
     match replay with
     | Some line -> (
         match Fuzz_config.of_string line with
@@ -351,7 +385,7 @@ let fuzz_cmd =
                   failed := true;
                   Format.printf "self-check %s: FAILED — %s@." name e)
             [ Fuzz_config.Accept_high_degree; Fuzz_config.Drop_gamma;
-              Fuzz_config.Lagrange_expose ];
+              Fuzz_config.Lagrange_expose; Fuzz_config.No_retransmit ];
           if !failed then exit 1
         end
         else begin
@@ -362,7 +396,7 @@ let fuzz_cmd =
                    (List.map (fun s -> s.Fuzz.name) Fuzz.registry));
               exit 2
           | _ -> ());
-          let report = Fuzz.campaign ?property ~trials ~seed () in
+          let report = Fuzz.campaign ?degrade ?property ~trials ~seed () in
           Format.printf "%a@." Fuzz.pp_report report;
           if report.Fuzz.failure <> None then exit 1
         end
@@ -374,7 +408,9 @@ let fuzz_cmd =
          and print a replayable counterexample on any invariant violation."
   in
   Cmd.v info
-    Term.(const run $ setup_logs $ seed_arg $ trials $ property $ replay $ self_check)
+    Term.(
+      const run $ setup_logs $ seed_arg $ trials $ property $ replay
+      $ self_check $ faults_profile)
 
 let main =
   let doc = "Distributed pseudo-random bit generators (PODC 1996) simulator" in

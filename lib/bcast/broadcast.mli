@@ -13,7 +13,22 @@
     each call is one synchronous round. *)
 
 val round :
-  byte_size:('v -> int) -> n:int -> (int -> 'v option) -> 'v option array
+  ?codec:(('v -> bytes) * (bytes -> 'v)) ->
+  byte_size:('v -> int) ->
+  n:int ->
+  (int -> 'v option) ->
+  'v option array
 (** [round ~byte_size ~n announce] performs one broadcast round:
     player [i] announces [announce i] ([None] = stays silent) and every
-    player observes the same resulting vector. *)
+    player observes the same resulting vector.
+
+    Under an ambient {!Net.Plan} the channel degrades per announcement —
+    an announcement may be dropped, corrupted in transit (when [codec]
+    gives the wire encoding; a strict decoder turns corruption into a
+    detected drop), or lost because its announcer is crashed — and the
+    round becomes a retransmit envelope of [retransmits + 1] identical
+    announcement rounds keeping the latest delivered copy, so omission
+    faults within the budget are absorbed. The channel still never
+    equivocates. [announce] must be deterministic across attempts.
+    Without a plan the cost model is unchanged: one round, one message
+    per announcement. *)

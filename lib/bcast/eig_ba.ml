@@ -19,7 +19,7 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
   let msg_bytes entries =
     List.fold_left (fun acc (path, _) -> acc + 1 + List.length path) 0 entries
   in
-  let net = Net.create ~n ~byte_size:msg_bytes in
+  let net = Net.create ~n ~byte_size:msg_bytes () in
   let trees = Array.init n (fun _ -> Hashtbl.create 64) in
   Array.iteri (fun i input -> Hashtbl.replace trees.(i) [] input) inputs;
   (* The level-r paths (length r) of distinct ids, built incrementally. *)
@@ -27,40 +27,47 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
   for round = 1 to t + 1 do
     (* Send: player i relays every level-(round-1) node it may extend
        (its id not already in the chain). *)
-    for i = 0 to n - 1 do
-      match behavior i with
-      | Honest ->
-          let entries =
-            List.filter_map
-              (fun path ->
-                if List.mem i path then None
-                else
-                  Option.map (fun v -> (path, v)) (Hashtbl.find_opt trees.(i) path))
-              !level
-          in
-          if entries <> [] then Net.send_to_all net ~src:i (fun _ -> entries)
-      | Silent -> ()
-      | Fixed b ->
-          let entries =
-            List.filter_map
-              (fun path -> if List.mem i path then None else Some (path, b))
-              !level
-          in
-          if entries <> [] then Net.send_to_all net ~src:i (fun _ -> entries)
-      | Arbitrary f ->
-          for dst = 0 to n - 1 do
-            let entries =
-              List.filter_map
-                (fun path ->
-                  if List.mem i path then None
-                  else
-                    Option.map (fun v -> (path, v)) (f ~round ~dst ~path))
-                !level
-            in
-            if entries <> [] then Net.send net ~src:i ~dst entries
-          done
-    done;
-    let inbox = Net.deliver net in
+    let inbox =
+      Net.exchange net ~send:(fun () ->
+          for i = 0 to n - 1 do
+            match behavior i with
+            | Honest ->
+                let entries =
+                  List.filter_map
+                    (fun path ->
+                      if List.mem i path then None
+                      else
+                        Option.map
+                          (fun v -> (path, v))
+                          (Hashtbl.find_opt trees.(i) path))
+                    !level
+                in
+                if entries <> [] then
+                  Net.send_to_all net ~src:i (fun _ -> entries)
+            | Silent -> ()
+            | Fixed b ->
+                let entries =
+                  List.filter_map
+                    (fun path ->
+                      if List.mem i path then None else Some (path, b))
+                    !level
+                in
+                if entries <> [] then
+                  Net.send_to_all net ~src:i (fun _ -> entries)
+            | Arbitrary f ->
+                for dst = 0 to n - 1 do
+                  let entries =
+                    List.filter_map
+                      (fun path ->
+                        if List.mem i path then None
+                        else
+                          Option.map (fun v -> (path, v)) (f ~round ~dst ~path))
+                      !level
+                  in
+                  if entries <> [] then Net.send net ~src:i ~dst entries
+                done
+          done)
+    in
     (* Store: hearing (path, v) from j defines node path @ [j]. *)
     for i = 0 to n - 1 do
       List.iter

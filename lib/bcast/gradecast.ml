@@ -39,20 +39,22 @@ let run_all ?(dealer_behavior = fun _ -> Dealer_honest)
       (fun acc -> function Some x -> acc + byte_size x | None -> acc)
       0 v
   in
-  let net = Net.create ~n ~byte_size:vec_size in
+  let net = Net.create ~n ~byte_size:vec_size () in
   (* Round 1: every dealer distributes its value in its own slot. *)
-  for d = 0 to n - 1 do
-    let slot dst =
-      let msg = Array.make n None in
-      (match dealer_behavior d with
-      | Dealer_honest -> msg.(d) <- Some (values d)
-      | Dealer_silent -> ()
-      | Dealer_equivocate f -> msg.(d) <- f dst);
-      msg
-    in
-    Net.send_to_all net ~src:d slot
-  done;
-  let inbox1 = Net.deliver net in
+  let inbox1 =
+    Net.exchange net ~send:(fun () ->
+        for d = 0 to n - 1 do
+          let slot dst =
+            let msg = Array.make n None in
+            (match dealer_behavior d with
+            | Dealer_honest -> msg.(d) <- Some (values d)
+            | Dealer_silent -> ()
+            | Dealer_equivocate f -> msg.(d) <- f dst);
+            msg
+          in
+          Net.send_to_all net ~src:d slot
+        done)
+  in
   let received_from_dealer =
     Array.init n (fun i ->
         Array.init n (fun d ->
@@ -62,19 +64,19 @@ let run_all ?(dealer_behavior = fun _ -> Dealer_honest)
   in
   (* A follower's echo vector for one round, given its honest choices. *)
   let echo_round round honest_choices =
-    for i = 0 to n - 1 do
-      match follower_behavior i with
-      | Follower_honest ->
-          Net.send_to_all net ~src:i (fun _ -> honest_choices.(i))
-      | Follower_silent -> ()
-      | Follower_fixed v ->
-          Net.send_to_all net ~src:i (fun _ -> Array.make n (Some v))
-      | Follower_arbitrary f ->
-          for dst = 0 to n - 1 do
-            Net.send net ~src:i ~dst (Array.init n (fun _ -> f ~round ~dst))
-          done
-    done;
-    Net.deliver net
+    Net.exchange net ~send:(fun () ->
+        for i = 0 to n - 1 do
+          match follower_behavior i with
+          | Follower_honest ->
+              Net.send_to_all net ~src:i (fun _ -> honest_choices.(i))
+          | Follower_silent -> ()
+          | Follower_fixed v ->
+              Net.send_to_all net ~src:i (fun _ -> Array.make n (Some v))
+          | Follower_arbitrary f ->
+              for dst = 0 to n - 1 do
+                Net.send net ~src:i ~dst (Array.init n (fun _ -> f ~round ~dst))
+              done
+        done)
   in
   (* Round 2: echo what each dealer sent. *)
   let inbox2 = echo_round 2 received_from_dealer in
@@ -104,18 +106,20 @@ let run ?(dealer_behavior = Dealer_honest)
   if n < (3 * t) + 1 then invalid_arg "Gradecast.run: requires n >= 3t+1";
   if dealer < 0 || dealer >= n then invalid_arg "Gradecast.run: bad dealer id";
   Metrics.tick_gradecast ();
-  let net = Net.create ~n ~byte_size in
+  let net = Net.create ~n ~byte_size () in
   (* Round 1: the dealer distributes its value. *)
-  (match dealer_behavior with
-  | Dealer_honest -> Net.send_to_all net ~src:dealer (fun _ -> value)
-  | Dealer_silent -> ()
-  | Dealer_equivocate f ->
-      for dst = 0 to n - 1 do
-        match f dst with
-        | Some v -> Net.send net ~src:dealer ~dst v
-        | None -> ()
-      done);
-  let inbox1 = Net.deliver net in
+  let inbox1 =
+    Net.exchange net ~send:(fun () ->
+        match dealer_behavior with
+        | Dealer_honest -> Net.send_to_all net ~src:dealer (fun _ -> value)
+        | Dealer_silent -> ()
+        | Dealer_equivocate f ->
+            for dst = 0 to n - 1 do
+              match f dst with
+              | Some v -> Net.send net ~src:dealer ~dst v
+              | None -> ()
+            done)
+  in
   let received_from_dealer =
     Array.init n (fun i ->
         List.assoc_opt dealer inbox1.(i))
@@ -137,21 +141,26 @@ let run ?(dealer_behavior = Dealer_honest)
         done
   in
   (* Round 2: echo what the dealer sent. *)
-  for i = 0 to n - 1 do
-    follower_sends i ~round:2 received_from_dealer.(i)
-  done;
-  let inbox2 = Net.deliver net in
+  let inbox2 =
+    Net.exchange net ~send:(fun () ->
+        for i = 0 to n - 1 do
+          follower_sends i ~round:2 received_from_dealer.(i)
+        done)
+  in
   (* Round 3: re-echo a value supported by at least n - t first echoes. *)
-  for i = 0 to n - 1 do
-    let echoes = List.map snd inbox2.(i) in
-    let choice =
-      match best_supported ~equal echoes with
-      | Some v, c when c >= n - t -> Some v
-      | _ -> None
-    in
-    follower_sends i ~round:3 choice
-  done;
-  let inbox3 = Net.deliver net in
+  let choices =
+    Array.init n (fun i ->
+        let echoes = List.map snd inbox2.(i) in
+        match best_supported ~equal echoes with
+        | Some v, c when c >= n - t -> Some v
+        | _ -> None)
+  in
+  let inbox3 =
+    Net.exchange net ~send:(fun () ->
+        for i = 0 to n - 1 do
+          follower_sends i ~round:3 choices.(i)
+        done)
+  in
   Array.init n (fun i ->
       let echoes = List.map snd inbox3.(i) in
       match best_supported ~equal echoes with

@@ -8,7 +8,7 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
   if n < (4 * t) + 1 then invalid_arg "Phase_king.run: requires n >= 4t+1";
   if Array.length inputs <> n then invalid_arg "Phase_king.run: inputs size";
   Metrics.tick_ba ();
-  let net = Net.create ~n ~byte_size:(fun _ -> 1) in
+  let net = Net.create ~n ~byte_size:(fun _ -> 1) () in
   let pref = Array.copy inputs in
   let sends i ~phase ~round honest_bit =
     match behavior i with
@@ -25,10 +25,12 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
   for phase = 0 to t do
     (* Round 1: universal exchange of preferences; a missing message
        counts as 0. *)
-    for i = 0 to n - 1 do
-      sends i ~phase ~round:1 pref.(i)
-    done;
-    let inbox = Net.deliver net in
+    let inbox =
+      Net.exchange net ~send:(fun () ->
+          for i = 0 to n - 1 do
+            sends i ~phase ~round:1 pref.(i)
+          done)
+    in
     let majority = Array.make n false and support = Array.make n 0 in
     for i = 0 to n - 1 do
       let ones =
@@ -40,8 +42,10 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
     done;
     (* Round 2: the phase king proposes its majority value. *)
     let king = phase mod n in
-    sends king ~phase ~round:2 majority.(king);
-    let inbox = Net.deliver net in
+    let inbox =
+      Net.exchange net ~send:(fun () ->
+          sends king ~phase ~round:2 majority.(king))
+    in
     for i = 0 to n - 1 do
       let king_bit =
         match List.assoc_opt king inbox.(i) with Some b -> b | None -> false

@@ -5,8 +5,31 @@ type prop_spec = {
   ts : int array;
   max_m : int;
   weight : int;
+  degrade_min : Fuzz_config.degrade;
+  degrade_max : Fuzz_config.degrade;
   doc : string;
 }
+
+(* Per-axis generation ceilings. An axis whose ceiling is 0 is never
+   degraded for that property; [no_degrade] as the ceiling pins the
+   property to pristine networks (exact Metrics accounting, or
+   statistical trial counts that retransmit loops would distort).
+   Whenever any axis is enabled the generator forces a retransmit
+   budget >= 1, so a bounded envelope absorbs every sampled omission
+   and the invariants stay deterministic. *)
+let nd = Fuzz_config.no_degrade
+let broadcast_axes = { nd with Fuzz_config.drop = 30; corrupt = 30; rt = 2 }
+
+let p2p_axes =
+  {
+    Fuzz_config.drop = 25;
+    delay = 25;
+    dup = 20;
+    corrupt = 20;
+    reorder = 40;
+    crash = 0;
+    rt = 2;
+  }
 
 let registry =
   [
@@ -17,6 +40,8 @@ let registry =
       ts = [| 1; 2; 3 |];
       max_m = 6;
       weight = 20;
+      degrade_min = nd;
+      degrade_max = broadcast_axes;
       doc =
         "Lemmas 1/3: honest dealings accepted (plain and robust rules), \
          degree-(t+1) dealings always rejected, targeted cheats accepted \
@@ -29,6 +54,8 @@ let registry =
       ts = [| 1; 2 |];
       max_m = 4;
       weight = 6;
+      degrade_min = nd;
+      degrade_max = nd;
       doc =
         "Lemma 3 with equality: the optimal batch cheat passes at rate \
          M/p over a small field (two-sided statistical bound)";
@@ -40,6 +67,8 @@ let registry =
       ts = [| 1; 2 |];
       max_m = 4;
       weight = 14;
+      degrade_min = nd;
+      degrade_max = p2p_axes;
       doc =
         "Fig. 4: honest dealers convince everyone (even under faulty \
          gamma senders and t-bounded inconsistency), bad-degree dealers \
@@ -52,6 +81,8 @@ let registry =
       ts = [| 1; 1; 1; 2 |];
       max_m = 4;
       weight = 12;
+      degrade_min = nd;
+      degrade_max = p2p_axes;
       doc =
         "Honest Coin-Gen path: full clique, full trust, 1 BA iteration, \
          2 seed coins, and every coin exposes to ground truth under \
@@ -64,6 +95,8 @@ let registry =
       ts = [| 1; 1; 1; 2 |];
       max_m = 4;
       weight = 16;
+      degrade_min = nd;
+      degrade_max = { p2p_axes with Fuzz_config.crash = 2 };
       doc =
         "Theorem 2 / Lemma 7 under scheduled mixed adversaries: clique \
          and trust bounds hold and all honest players decode every coin \
@@ -76,6 +109,8 @@ let registry =
       ts = [| 1; 1; 2 |];
       max_m = 3;
       weight = 8;
+      degrade_min = nd;
+      degrade_max = nd;
       doc =
         "Lemma 8 accounting: BA iterations, seed-coin consumption, \
          grade-cast count and the exact synchronous round count agree \
@@ -88,6 +123,8 @@ let registry =
       ts = [| 1 |];
       max_m = 4;
       weight = 8;
+      degrade_min = nd;
+      degrade_max = p2p_axes;
       doc =
         "Unpredictability necessary conditions: batch coins pairwise \
          distinct, fresh honest randomness changes every coin, no \
@@ -100,10 +137,73 @@ let registry =
       ts = [| 1 |];
       max_m = 3;
       weight = 6;
+      degrade_min = nd;
+      degrade_max =
+        {
+          Fuzz_config.drop = 15;
+          delay = 15;
+          dup = 15;
+          corrupt = 15;
+          reorder = 30;
+          crash = 0;
+          rt = 2;
+        };
       doc =
         "Bootstrap pool under a mobile scheduled adversary: never \
          starves, never breaks unanimity, ledger counters stay \
          consistent";
+    };
+    {
+      name = "expose-degraded";
+      regime = Fuzz_config.Full;
+      ks = [| 32; 61 |];
+      ts = [| 1; 2 |];
+      max_m = 3;
+      weight = 10;
+      (* Always degraded, with a drop floor: this property exists to
+         prove the retransmit envelope earns its keep — disable it
+         ([No_retransmit]) and the dropped exposure shares overwhelm the
+         Berlekamp-Welch error budget. *)
+      degrade_min = { nd with Fuzz_config.drop = 15; rt = 1 };
+      degrade_max =
+        {
+          Fuzz_config.drop = 40;
+          delay = 25;
+          dup = 25;
+          corrupt = 25;
+          reorder = 40;
+          crash = 2;
+          rt = 3;
+        };
+      doc =
+        "Exposure under a degraded network: every honest player decodes \
+         each dealer coin to ground truth despite drops, delays, \
+         corruption, exposure-time lies and crashed faulty players — \
+         the bounded retransmit envelope absorbs the omissions";
+    };
+    {
+      name = "pool-recovery";
+      regime = Fuzz_config.Full;
+      ks = [| 32 |];
+      ts = [| 1 |];
+      max_m = 3;
+      weight = 6;
+      degrade_min = nd;
+      degrade_max =
+        {
+          Fuzz_config.drop = 15;
+          delay = 15;
+          dup = 15;
+          corrupt = 15;
+          reorder = 30;
+          crash = 0;
+          rt = 2;
+        };
+      doc =
+        "Crash-recovery: a mid-soak pool snapshot restores to an \
+         equivalent pool (stock and ledger intact, dealer untouched) \
+         that keeps serving under the same degraded network, while any \
+         single bit flip in the snapshot is rejected as corrupt";
     };
   ]
 
@@ -131,6 +231,47 @@ let field_of_k k : (module Field_intf.S) =
           Hashtbl.add field_cache k f;
           f)
 
+(* Build the fault plan a degraded scenario runs under. Everything is
+   derived from the scenario seed, so replays install a bit-identical
+   plan. Crashed players are the first [crash] members of the
+   scenario's corrupted set — properties draw that set as their first
+   PRNG use ([Net.Faults.random (Prng.of_int cfg.seed)]), which we
+   replay here, keeping crash faults a subset of Byzantine faults so no
+   invariant over honest players is weakened. The [No_retransmit]
+   injected bug zeroes the retransmit budget, leaving every other axis
+   in place: the envelope's absorption is exactly what it ablates. *)
+let plan_of (cfg : Fuzz_config.t) =
+  let d = cfg.net in
+  if d = Fuzz_config.no_degrade then None
+  else
+    let n = Fuzz_config.n_of cfg in
+    let crashes =
+      if d.crash = 0 then []
+      else
+        let faults =
+          Net.Faults.random (Prng.of_int cfg.seed) ~n ~t:cfg.faults
+        in
+        let gp = Prng.of_int (cfg.seed + 0x6b43a9b5) in
+        Net.Faults.faulty faults
+        |> List.filteri (fun i _ -> i < d.crash)
+        |> List.map (fun p ->
+               let from = 1 + Prng.int gp 8 in
+               let until =
+                 if Prng.bool gp then Some (from + 1 + Prng.int gp 6)
+                 else None
+               in
+               (p, from, until))
+    in
+    let retransmits =
+      match cfg.bug with Some Fuzz_config.No_retransmit -> 0 | _ -> d.rt
+    in
+    let pct x = float_of_int x /. 100.0 in
+    Some
+      (Net.Plan.make ~drop:(pct d.drop) ~delay:(pct d.delay)
+         ~duplicate:(pct d.dup) ~corrupt:(pct d.corrupt)
+         ~reorder:(pct d.reorder) ~crashes ~retransmits
+         ~seed:(cfg.seed lxor 0x2b992ddf) ())
+
 let run_config_outcome (cfg : Fuzz_config.t) : Fuzz_props.outcome =
   match find_spec cfg.prop with
   | None -> Fuzz_props.Fail (Printf.sprintf "unknown property %S" cfg.prop)
@@ -144,7 +285,10 @@ let run_config_outcome (cfg : Fuzz_config.t) : Fuzz_props.outcome =
       else
         let module F = (val field_of_k cfg.k) in
         let module Props = Fuzz_props.Make (F) in
-        Props.run cfg
+        let go () = Props.run cfg in
+        match plan_of cfg with
+        | None -> go ()
+        | Some plan -> Net.with_plan plan go
 
 let run_config cfg =
   match run_config_outcome cfg with
@@ -216,18 +360,42 @@ let gen_config g ~specs ~bug : Fuzz_config.t =
   in
   let spec = pick specs (Prng.int g total) in
   let fault_bound = Prng.choose g spec.ts in
+  let seed = Prng.bits g 30 in
+  let k = Prng.choose g spec.ks in
+  let faults = Prng.int g (fault_bound + 1) in
+  let m = 1 + Prng.int g spec.max_m in
+  let net =
+    if spec.degrade_max = Fuzz_config.no_degrade then Fuzz_config.no_degrade
+    else if spec.degrade_min = Fuzz_config.no_degrade && Prng.bool g then
+      (* Half the trials keep the pristine network so degraded coverage
+         never crowds out the protocol-logic search space. *)
+      Fuzz_config.no_degrade
+    else
+      let lo = spec.degrade_min and hi = spec.degrade_max in
+      let axis lo hi = if hi <= lo then lo else lo + Prng.int g (hi - lo + 1) in
+      {
+        Fuzz_config.drop = axis lo.Fuzz_config.drop hi.Fuzz_config.drop;
+        delay = axis lo.delay hi.delay;
+        dup = axis lo.dup hi.dup;
+        corrupt = axis lo.corrupt hi.corrupt;
+        reorder = axis lo.reorder hi.reorder;
+        crash = min faults (axis lo.crash hi.crash);
+        rt = axis (max 1 lo.rt) hi.rt;
+      }
+  in
   {
-    Fuzz_config.seed = Prng.bits g 30;
+    Fuzz_config.seed;
     prop = spec.name;
-    k = Prng.choose g spec.ks;
+    k;
     regime = spec.regime;
     fault_bound;
-    faults = Prng.int g (fault_bound + 1);
-    m = 1 + Prng.int g spec.max_m;
+    faults;
+    m;
+    net;
     bug;
   }
 
-let campaign ?bug ?property ~trials ~seed () =
+let campaign ?bug ?degrade ?property ~trials ~seed () =
   let specs =
     match property with
     | None -> registry
@@ -235,6 +403,38 @@ let campaign ?bug ?property ~trials ~seed () =
         match find_spec name with
         | Some spec -> [ spec ]
         | None -> invalid_arg ("Fuzz.campaign: unknown property " ^ name))
+  in
+  (* A requested degradation profile (the CLI's [--faults]) raises each
+     property's generation floors toward it, clamped by the property's
+     own ceilings — so properties pinned to pristine networks stay
+     pristine and no axis exceeds what its invariant tolerates. A
+     non-zero floor switches off the 50% pristine sampling, so every
+     eligible trial is degraded at least that much. *)
+  let specs =
+    match degrade with
+    | None -> specs
+    | Some (d : Fuzz_config.degrade) ->
+        List.map
+          (fun s ->
+            if s.degrade_max = Fuzz_config.no_degrade then s
+            else
+              let lo = s.degrade_min and hi = s.degrade_max in
+              let lift lo hi want = max lo (min want hi) in
+              let degrade_min =
+                {
+                  Fuzz_config.drop =
+                    lift lo.Fuzz_config.drop hi.Fuzz_config.drop
+                      d.Fuzz_config.drop;
+                  delay = lift lo.delay hi.delay d.delay;
+                  dup = lift lo.dup hi.dup d.dup;
+                  corrupt = lift lo.corrupt hi.corrupt d.corrupt;
+                  reorder = lift lo.reorder hi.reorder d.reorder;
+                  crash = lift lo.crash hi.crash d.crash;
+                  rt = lift lo.rt hi.rt d.rt;
+                }
+              in
+              { s with degrade_min })
+          specs
   in
   let g = Prng.of_int seed in
   let per_property = Hashtbl.create 8 in
@@ -281,6 +481,7 @@ let target_property = function
   | Fuzz_config.Accept_high_degree -> "vss-soundness"
   | Fuzz_config.Drop_gamma -> "coin-honest-trust"
   | Fuzz_config.Lagrange_expose -> "coin-unanimity"
+  | Fuzz_config.No_retransmit -> "expose-degraded"
 
 let self_check ?(trials = 500) ~seed bug =
   let property = target_property bug in

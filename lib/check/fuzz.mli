@@ -21,6 +21,15 @@ type prop_spec = {
   ts : int array;  (** fault bounds (repetition = bias) *)
   max_m : int;  (** batch sizes drawn from [1, max_m] *)
   weight : int;  (** relative generation frequency *)
+  degrade_min : Fuzz_config.degrade;
+      (** per-axis floors when a degraded network is sampled; a non-zero
+          floor (e.g. expose-degraded's drop rate) makes every trial of
+          the property degraded *)
+  degrade_max : Fuzz_config.degrade;
+      (** per-axis generation ceilings; {!Fuzz_config.no_degrade} pins
+          the property to pristine networks. Degraded trials always get
+          a retransmit budget >= 1, so a bounded envelope keeps the
+          invariants deterministic. *)
   doc : string;  (** one-line description of the invariant *)
 }
 
@@ -61,6 +70,7 @@ val shrink :
 
 val campaign :
   ?bug:Fuzz_config.bug ->
+  ?degrade:Fuzz_config.degrade ->
   ?property:string ->
   trials:int ->
   seed:int ->
@@ -69,7 +79,11 @@ val campaign :
 (** Run up to [trials] random scenarios derived from [seed], stopping at
     (and shrinking) the first failure. [property] restricts generation to
     one registered invariant; [bug] injects a defect into every scenario
-    (self-check mode).
+    (self-check mode). [degrade] (the CLI's [--faults] profile) raises
+    each property's degradation floors toward the given axes, clamped by
+    the property's own ceilings: every trial of a property that admits
+    degradation then runs at least that degraded, while pristine-pinned
+    properties are unaffected.
     @raise Invalid_argument if [property] names no registered invariant. *)
 
 val target_property : Fuzz_config.bug -> string

@@ -1,6 +1,19 @@
 type regime = Broadcast | Full
 
-type bug = Accept_high_degree | Drop_gamma | Lagrange_expose
+type bug = Accept_high_degree | Drop_gamma | Lagrange_expose | No_retransmit
+
+type degrade = {
+  drop : int;
+  delay : int;
+  dup : int;
+  corrupt : int;
+  reorder : int;
+  crash : int;
+  rt : int;
+}
+
+let no_degrade =
+  { drop = 0; delay = 0; dup = 0; corrupt = 0; reorder = 0; crash = 0; rt = 0 }
 
 type t = {
   seed : int;
@@ -10,6 +23,7 @@ type t = {
   fault_bound : int;
   faults : int;
   m : int;
+  net : degrade;
   bug : bug option;
 }
 
@@ -31,16 +45,25 @@ let bug_name = function
   | Accept_high_degree -> "accept-high-degree"
   | Drop_gamma -> "drop-gamma"
   | Lagrange_expose -> "lagrange-expose"
+  | No_retransmit -> "no-retransmit"
 
 let bug_of_name = function
   | "accept-high-degree" -> Some Accept_high_degree
   | "drop-gamma" -> Some Drop_gamma
   | "lagrange-expose" -> Some Lagrange_expose
+  | "no-retransmit" -> Some No_retransmit
   | _ -> None
 
 let to_string c =
-  Printf.sprintf "prop=%s seed=%d k=%d regime=%s t=%d faults=%d m=%d%s" c.prop
-    c.seed c.k (regime_name c.regime) c.fault_bound c.faults c.m
+  let net =
+    if c.net = no_degrade then ""
+    else
+      Printf.sprintf " drop=%d delay=%d dup=%d corrupt=%d reorder=%d crash=%d rt=%d"
+        c.net.drop c.net.delay c.net.dup c.net.corrupt c.net.reorder
+        c.net.crash c.net.rt
+  in
+  Printf.sprintf "prop=%s seed=%d k=%d regime=%s t=%d faults=%d m=%d%s%s" c.prop
+    c.seed c.k (regime_name c.regime) c.fault_bound c.faults c.m net
     (match c.bug with None -> "" | Some b -> " bug=" ^ bug_name b)
 
 let pp fmt c = Format.pp_print_string fmt (to_string c)
@@ -72,6 +95,16 @@ let of_string line =
     | Some i -> Ok i
     | None -> Error (Printf.sprintf "%s=%s is not an integer" key v)
   in
+  (* Degradation axes are optional — absent means 0, so lines from before
+     the degraded-network extension still parse. *)
+  let int_default key =
+    match List.assoc_opt key bindings with
+    | None -> Ok 0
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "%s=%s is not an integer" key v))
+  in
   let* prop = str "prop" in
   let* seed = int "seed" in
   let* k = int "k" in
@@ -84,6 +117,13 @@ let of_string line =
   let* fault_bound = int "t" in
   let* faults = int "faults" in
   let* m = int "m" in
+  let* drop = int_default "drop" in
+  let* delay = int_default "delay" in
+  let* dup = int_default "dup" in
+  let* corrupt = int_default "corrupt" in
+  let* reorder = int_default "reorder" in
+  let* crash = int_default "crash" in
+  let* rt = int_default "rt" in
   let* bug =
     match List.assoc_opt "bug" bindings with
     | None -> Ok None
@@ -92,22 +132,91 @@ let of_string line =
         | Some b -> Ok (Some b)
         | None -> Error (Printf.sprintf "unknown bug=%s" v))
   in
+  let net = { drop; delay; dup; corrupt; reorder; crash; rt } in
+  let pct_ok x = x >= 0 && x <= 100 in
   if fault_bound < 1 then Error "t must be >= 1"
   else if faults < 0 || faults > fault_bound then
     Error "faults must be in [0, t]"
   else if m < 1 then Error "m must be >= 1"
   else if k < 3 || k > 61 then Error "k must be in [3, 61]"
-  else Ok { seed; prop; k; regime; fault_bound; faults; m; bug }
+  else if not (List.for_all pct_ok [ drop; delay; dup; corrupt; reorder ]) then
+    Error "drop/delay/dup/corrupt/reorder must be in [0, 100]"
+  else if crash < 0 || crash > faults then Error "crash must be in [0, faults]"
+  else if rt < 0 || rt > 8 then Error "rt must be in [0, 8]"
+  else Ok { seed; prop; k; regime; fault_bound; faults; m; net; bug }
 
-let size c = (c.fault_bound * 1000) + (c.faults * 100) + (c.m * 10) + c.k
+(* A bare degradation profile — the CLI's [--faults] value. Same keys
+   as the replay-line tokens, but comma-separated and standalone:
+   "drop=20,delay=10,crash=1,rt=2". The crash count is validated only
+   for non-negativity here; the per-scenario [crash <= faults] clamp
+   happens at generation time where faults is known. *)
+let degrade_of_string s =
+  let ( let* ) = Result.bind in
+  let* bindings =
+    String.split_on_char ',' (String.trim s)
+    |> List.filter (fun tok -> tok <> "")
+    |> List.fold_left
+         (fun acc tok ->
+           let* acc = acc in
+           let tok = String.trim tok in
+           match String.index_opt tok '=' with
+           | None -> Error (Printf.sprintf "malformed fault token %S" tok)
+           | Some i ->
+               let key = String.sub tok 0 i
+               and v = String.sub tok (i + 1) (String.length tok - i - 1) in
+               if not (List.mem key
+                        [ "drop"; "delay"; "dup"; "corrupt"; "reorder";
+                          "crash"; "rt" ])
+               then Error (Printf.sprintf "unknown fault axis %S" key)
+               else
+                 let* n =
+                   match int_of_string_opt v with
+                   | Some n -> Ok n
+                   | None ->
+                       Error (Printf.sprintf "%s=%s is not an integer" key v)
+                 in
+                 Ok ((key, n) :: acc))
+         (Ok [])
+  in
+  let axis key = Option.value ~default:0 (List.assoc_opt key bindings) in
+  let d =
+    {
+      drop = axis "drop";
+      delay = axis "delay";
+      dup = axis "dup";
+      corrupt = axis "corrupt";
+      reorder = axis "reorder";
+      crash = axis "crash";
+      rt = axis "rt";
+    }
+  in
+  let pct_ok x = x >= 0 && x <= 100 in
+  if not (List.for_all pct_ok [ d.drop; d.delay; d.dup; d.corrupt; d.reorder ])
+  then Error "drop/delay/dup/corrupt/reorder must be in [0, 100]"
+  else if d.crash < 0 then Error "crash must be >= 0"
+  else if d.rt < 0 || d.rt > 8 then Error "rt must be in [0, 8]"
+  else Ok d
+
+let degrade_weight d = d.drop + d.delay + d.dup + d.corrupt + d.reorder + d.crash + d.rt
+
+let size c =
+  (c.fault_bound * 1000) + (c.faults * 100) + (c.m * 10) + c.k
+  + degrade_weight c.net
 
 (* The field ladder the generator draws from; shrinking steps down it. *)
 let k_ladder = [ 8; 10; 12; 16; 24; 32; 61 ]
 
 let shrink_candidates c =
   let clamp c' =
-    (* Keep the invariants of_string enforces. *)
-    { c' with faults = min c'.faults c'.fault_bound; m = max 1 c'.m }
+    (* Keep the invariants of_string enforces. Clamping only lowers
+       fields, so candidates stay strictly smaller in [size]. *)
+    let faults = min c'.faults c'.fault_bound in
+    {
+      c' with
+      faults;
+      m = max 1 c'.m;
+      net = { c'.net with crash = min c'.net.crash faults };
+    }
   in
   let ts =
     if c.fault_bound > 1 then
@@ -120,7 +229,7 @@ let shrink_candidates c =
     if c.faults > 0 then
       List.sort_uniq compare [ 0; c.faults / 2; c.faults - 1 ]
       |> List.filter (fun f -> f >= 0 && f < c.faults)
-      |> List.map (fun f -> { c with faults = f })
+      |> List.map (fun f -> clamp { c with faults = f })
     else []
   in
   let ms =
@@ -129,6 +238,26 @@ let shrink_candidates c =
       |> List.filter (fun m -> m >= 1 && m < c.m)
       |> List.map (fun m -> { c with m })
     else []
+  in
+  let nets =
+    (* First try dropping network degradation wholesale (a failure that
+       survives is a protocol bug, not an omission artifact), then zero
+       or halve individual axes. *)
+    if c.net = no_degrade then []
+    else
+      let with_net net = { c with net } in
+      let axis get set =
+        let v = get c.net in
+        (if v > 0 then [ with_net (set c.net 0) ] else [])
+        @ if v > 1 then [ with_net (set c.net (v / 2)) ] else []
+      in
+      (with_net no_degrade :: axis (fun d -> d.drop) (fun d v -> { d with drop = v }))
+      @ axis (fun d -> d.delay) (fun d v -> { d with delay = v })
+      @ axis (fun d -> d.dup) (fun d v -> { d with dup = v })
+      @ axis (fun d -> d.corrupt) (fun d v -> { d with corrupt = v })
+      @ axis (fun d -> d.reorder) (fun d v -> { d with reorder = v })
+      @ axis (fun d -> d.crash) (fun d v -> { d with crash = v })
+      @ axis (fun d -> d.rt) (fun d v -> { d with rt = v })
   in
   let ks =
     (* The smallest field still hosting n+1 distinct evaluation points. *)
@@ -140,4 +269,4 @@ let shrink_candidates c =
     List.filter (fun k -> k >= k_min && k < c.k) k_ladder
     |> List.map (fun k -> { c with k })
   in
-  ts @ faults @ ms @ ks
+  ts @ faults @ ms @ nets @ ks

@@ -2,10 +2,11 @@
 
     A scenario pins down {e everything} a property execution depends on —
     the master PRNG seed, the field, the fault-tolerance regime, the
-    protocol dimensions and (for harness self-checks) an injected bug —
-    so that a failing trial is reproducible from its one-line textual
-    form alone. {!to_string} and {!of_string} are exact inverses; the
-    printed line is what `dprbg fuzz --replay` consumes. *)
+    protocol dimensions, the network degradation plan and (for harness
+    self-checks) an injected bug — so that a failing trial is
+    reproducible from its one-line textual form alone. {!to_string} and
+    {!of_string} are exact inverses; the printed line is what
+    `dprbg fuzz --replay` consumes. *)
 
 type regime =
   | Broadcast  (** the Section-3 broadcast model, [n = 3t + 1] *)
@@ -22,6 +23,33 @@ type bug =
       (** Coin-Expose interpolates through the first [t + 1] trusted
           shares instead of Berlekamp–Welch decoding — a single lying
           trusted sender corrupts the coin (the DESIGN §5 ablation). *)
+  | No_retransmit
+      (** The retransmit envelope is disabled (budget forced to 0), so
+          omission faults the envelope should absorb reach the protocol
+          drivers — degraded-network properties must catch this. *)
+
+type degrade = {
+  drop : int;  (** per-link message drop probability, percent *)
+  delay : int;  (** per-link delay probability, percent *)
+  dup : int;  (** per-link duplication probability, percent *)
+  corrupt : int;  (** per-link payload bit-flip probability, percent *)
+  reorder : int;  (** per-inbox reordering probability, percent *)
+  crash : int;  (** players crashed mid-run, [<= faults] *)
+  rt : int;  (** retransmit budget per protocol round, in [0, 8] *)
+}
+(** Network-degradation axes of a scenario. All probabilities are whole
+    percents so that replay lines stay exact (no float printing). *)
+
+val no_degrade : degrade
+(** All axes zero: the pristine synchronous network. *)
+
+val degrade_of_string : string -> (degrade, string) result
+(** Parse a standalone degradation profile — the CLI's [--faults]
+    value: comma-separated axis tokens, e.g. ["drop=20,delay=10,rt=2"].
+    Absent axes default to 0. Probabilities must lie in [\[0, 100\]]
+    and [rt] in [\[0, 8\]]; [crash] only needs to be non-negative here
+    (the per-scenario [crash <= faults] clamp happens at generation
+    time, where the corrupted-player count is known). *)
 
 type t = {
   seed : int;  (** master seed; every random choice derives from it *)
@@ -31,6 +59,7 @@ type t = {
   fault_bound : int;  (** the tolerated [t]; [n] is implied by the regime *)
   faults : int;  (** actually corrupted players, [<= fault_bound] *)
   m : int;  (** batch size [M] *)
+  net : degrade;  (** network degradation plan ({!no_degrade} = pristine) *)
   bug : bug option;  (** injected defect (self-check mode only) *)
 }
 
@@ -45,18 +74,24 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 (** One replay line, e.g.
-    ["prop=coin-unanimity seed=8812 k=32 regime=6t+1 t=2 faults=1 m=3"]. *)
+    ["prop=coin-unanimity seed=8812 k=32 regime=6t+1 t=2 faults=1 m=3"].
+    The seven degradation tokens ([drop= delay= dup= corrupt= reorder=
+    crash= rt=]) are printed only when {!field-net} differs from
+    {!no_degrade}, so pristine lines keep their pre-extension shape. *)
 
 val of_string : string -> (t, string) result
 (** Parse a replay line. Inverse of {!to_string}; unknown keys, missing
-    keys or inconsistent values are reported as [Error]. *)
+    keys or inconsistent values are reported as [Error]. Degradation
+    tokens are optional and default to 0; probabilities must lie in
+    [\[0, 100\]], [crash] in [\[0, faults\]] and [rt] in [\[0, 8\]]. *)
 
 val shrink_candidates : t -> t list
 (** Strictly smaller scenarios to try when [t] fails, in the order the
     shrinker should try them: lower fault bound (which shrinks [n]),
-    fewer corrupted players, smaller batch, smaller field. The master
-    seed, property and injected bug are preserved — a candidate is a
-    cheaper re-ask of the same question. *)
+    fewer corrupted players, smaller batch, milder network degradation
+    (drop it wholesale, then zero or halve individual axes), smaller
+    field. The master seed, property and injected bug are preserved — a
+    candidate is a cheaper re-ask of the same question. *)
 
 val size : t -> int
 (** Shrinking metric: candidates from {!shrink_candidates} always have

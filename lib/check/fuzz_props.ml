@@ -759,6 +759,124 @@ module Make (F : Field_intf.S) = struct
           (PL.available pool > 0)
           "pool left empty after %d draws" kary_draws
 
+  (* Exposure under a degraded network (DESIGN §11): every honest player
+     decodes each dealer coin to its ground truth even while the ambient
+     plan drops, delays, duplicates and corrupts exposure messages,
+     faulty players lie and crashed faulty players fall silent — because
+     the bounded retransmit envelope absorbs every omission within its
+     budget, leaving at most [faults <= t] bad senders for the
+     Berlekamp-Welch decoder. With the envelope ablated
+     ([No_retransmit] forces a zero budget) the drops land, the decoder
+     runs short of agreeing shares, and unanimity with ground truth
+     breaks — which is how the fuzzer proves the envelope is
+     load-bearing. *)
+  let expose_degraded (cfg : Fuzz_config.t) =
+    let t = cfg.fault_bound in
+    let n = Fuzz_config.n_of cfg in
+    let g = Prng.of_int cfg.seed in
+    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let expose = expose_schedule (Prng.split g) ~n faults in
+    each
+      (fun h ->
+        let coin = C.dealer_coin g ~n ~t in
+        match C.ground_truth coin with
+        | None -> failf "dealer coin %d has no ground truth" h
+        | Some truth ->
+            let values = CE.run ~sender_behavior:expose coin in
+            each
+              (fun i ->
+                match values.(i) with
+                | Some v when F.equal v truth -> Pass
+                | Some v ->
+                    failf "coin %d: honest player %d decoded %s, truth %s" h
+                      i (F.to_string v) (F.to_string truth)
+                | None ->
+                    failf "coin %d: honest player %d failed to decode" h i)
+              (Net.Faults.honest faults))
+      (range 0 (cfg.m - 1))
+
+  (* Crash-recovery (DESIGN §11): a snapshot taken mid-soak restores to
+     an equivalent pool — same stock, same ledger, no fresh dealer
+     setup — that keeps serving draws under the same (possibly
+     degraded) network; and a single random bit flip anywhere in the
+     snapshot is rejected as [Corrupt_snapshot], never accepted and
+     never surfaced as a raw decode error. *)
+  let pool_recovery (cfg : Fuzz_config.t) =
+    let t = cfg.fault_bound and m = cfg.m in
+    let n = Fuzz_config.n_of cfg in
+    let g = Prng.of_int cfg.seed in
+    let batch_size = max 8 (2 * m) in
+    let draws = 6 + (2 * m) in
+    match
+      let pool =
+        PL.create ~prng:(Prng.split g) ~n ~t ~batch_size ~refill_threshold:2
+          ~initial_seed:4 ()
+      in
+      for _ = 1 to draws do
+        ignore (PL.draw_kary pool)
+      done;
+      (pool, PL.save pool, PL.stats pool)
+    with
+    | exception PL.Starved msg -> failf "pool starved before snapshot: %s" msg
+    | pool, saved, before -> (
+        let* () =
+          let corrupted = Bytes.copy saved in
+          let pos = Prng.int g (Bytes.length saved) in
+          let bit = Prng.int g 8 in
+          Bytes.set_uint8 corrupted pos
+            (Bytes.get_uint8 corrupted pos lxor (1 lsl bit));
+          match
+            PL.load ~prng:(Prng.of_int 1) ~batch_size ~refill_threshold:2
+              corrupted
+          with
+          | (_ : PL.t) ->
+              failf "corrupted snapshot (byte %d bit %d) accepted" pos bit
+          | exception PL.Corrupt_snapshot _ -> Pass
+          | exception e ->
+              failf "corrupted snapshot raised %s, not Corrupt_snapshot"
+                (Printexc.to_string e)
+        in
+        match
+          PL.load ~prng:(Prng.split g) ~batch_size ~refill_threshold:2 saved
+        with
+        | exception e ->
+            failf "intact snapshot rejected: %s" (Printexc.to_string e)
+        | q -> (
+            let* () =
+              check
+                (PL.available q = PL.available pool)
+                "restored pool holds %d coins, original held %d"
+                (PL.available q) (PL.available pool)
+            in
+            let* () =
+              check (PL.stats q = before) "restored ledger differs from saved"
+            in
+            match
+              for _ = 1 to draws do
+                ignore (PL.draw_kary q)
+              done
+            with
+            | exception PL.Starved msg -> failf "restored pool starved: %s" msg
+            | () ->
+                let s = PL.stats q in
+                let* () =
+                  check (s.PL.dealer_coins = 4)
+                    "restored pool consulted the dealer (%d coins, expected \
+                     4)"
+                    s.PL.dealer_coins
+                in
+                let* () =
+                  check
+                    (s.PL.coins_exposed = before.PL.coins_exposed + draws)
+                    "restored pool served %d draws, expected %d"
+                    (s.PL.coins_exposed - before.PL.coins_exposed)
+                    draws
+                in
+                check
+                  (s.PL.unanimity_failures = before.PL.unanimity_failures)
+                  "%d unanimity failures after restore"
+                  s.PL.unanimity_failures))
+
   let run (cfg : Fuzz_config.t) =
     match cfg.prop with
     | "vss-soundness" -> vss_soundness cfg
@@ -769,5 +887,7 @@ module Make (F : Field_intf.S) = struct
     | "coin-termination" -> coin_termination cfg
     | "coin-freshness" -> coin_freshness cfg
     | "pool-liveness" -> pool_liveness cfg
+    | "expose-degraded" -> expose_degraded cfg
+    | "pool-recovery" -> pool_recovery cfg
     | other -> failf "unknown property %S" other
 end

@@ -97,13 +97,19 @@ module Make (F : Field_intf.S) = struct
     (* Round 1: dealing. One vector message of m elements per player. *)
     let matrix = deal_matrix dealer_behavior prng ~n ~t ~m in
     let share_net =
-      Net.create ~n ~byte_size:(fun v -> Codec.elt_array_size (Array.length v))
+      Net.create
+        ~codec:(Codec.encode_elt_array, Codec.decode_elt_array)
+        ~n
+        ~byte_size:(fun v -> Codec.elt_array_size (Array.length v))
+        ()
     in
-    (match matrix with
-    | None -> ()
-    | Some matrix ->
-        Net.send_to_all share_net ~src:dealer (fun dst -> matrix.(dst)));
-    let inbox = Net.deliver share_net in
+    let inbox =
+      Net.exchange share_net ~send:(fun () ->
+          match matrix with
+          | None -> ()
+          | Some matrix ->
+              Net.send_to_all share_net ~src:dealer (fun dst -> matrix.(dst)))
+    in
     let received =
       Array.init n (fun i ->
           match List.assoc_opt dealer inbox.(i) with
@@ -112,25 +118,33 @@ module Make (F : Field_intf.S) = struct
     in
     (* (The check coin r was exposed between the rounds, by the caller.) *)
     (* Round 2: everyone announces its combined share gamma_i. *)
-    let gamma_net = Net.create ~n ~byte_size:(fun _ -> F.byte_size) in
-    for i = 0 to n - 1 do
-      match gamma_behavior i with
-      | Honest_gamma -> (
-          match received.(i) with
-          | Some shares ->
-              let gamma = V.combine ~r shares in
-              Net.send_to_all gamma_net ~src:i (fun _ -> gamma)
-          | None -> ())
-      | Silent_gamma -> ()
-      | Fixed_gamma v -> Net.send_to_all gamma_net ~src:i (fun _ -> v)
-      | Gamma_per_dst f ->
-          for dst = 0 to n - 1 do
-            match f dst with
-            | Some v -> Net.send gamma_net ~src:i ~dst v
-            | None -> ()
-          done
-    done;
-    let inbox = Net.deliver gamma_net in
+    let gamma_net =
+      Net.create
+        ~codec:(Codec.encode_elt, Codec.decode_elt)
+        ~n
+        ~byte_size:(fun _ -> F.byte_size)
+        ()
+    in
+    let inbox =
+      Net.exchange gamma_net ~send:(fun () ->
+          for i = 0 to n - 1 do
+            match gamma_behavior i with
+            | Honest_gamma -> (
+                match received.(i) with
+                | Some shares ->
+                    let gamma = V.combine ~r shares in
+                    Net.send_to_all gamma_net ~src:i (fun _ -> gamma)
+                | None -> ())
+            | Silent_gamma -> ()
+            | Fixed_gamma v -> Net.send_to_all gamma_net ~src:i (fun _ -> v)
+            | Gamma_per_dst f ->
+                for dst = 0 to n - 1 do
+                  match f dst with
+                  | Some v -> Net.send gamma_net ~src:i ~dst v
+                  | None -> ()
+                done
+          done)
+    in
     let views =
       Array.init n (fun i ->
           let gammas = Array.make n None in

@@ -14,20 +14,27 @@ module Make (F : Field_intf.S) = struct
      its share of the coin to everyone. *)
   let send_round ?(sender_behavior = fun _ -> Honest) (coin : C.t) =
     let n = coin.C.n in
-    let net = Net.create ~n ~byte_size:(fun _ -> F.byte_size) in
-    for i = 0 to n - 1 do
-      match sender_behavior i with
-      | Honest -> Net.send_to_all net ~src:i (fun _ -> coin.C.shares.(i))
-      | Silent -> ()
-      | Send v -> Net.send_to_all net ~src:i (fun _ -> v)
-      | Equivocate f ->
-          for dst = 0 to n - 1 do
-            match f dst with
-            | Some v -> Net.send net ~src:i ~dst v
-            | None -> ()
-          done
-    done;
-    Net.deliver net
+    let module Codec = Wire.Codec (F) in
+    let net =
+      Net.create
+        ~codec:(Codec.encode_elt, Codec.decode_elt)
+        ~n
+        ~byte_size:(fun _ -> F.byte_size)
+        ()
+    in
+    Net.exchange net ~send:(fun () ->
+        for i = 0 to n - 1 do
+          match sender_behavior i with
+          | Honest -> Net.send_to_all net ~src:i (fun _ -> coin.C.shares.(i))
+          | Silent -> ()
+          | Send v -> Net.send_to_all net ~src:i (fun _ -> v)
+          | Equivocate f ->
+              for dst = 0 to n - 1 do
+                match f dst with
+                | Some v -> Net.send net ~src:i ~dst v
+                | None -> ()
+              done
+        done)
 
   let trusted_points coin i inbox_i =
     List.filter_map

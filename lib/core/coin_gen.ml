@@ -116,14 +116,21 @@ module Make (F : Field_intf.S) = struct
       Array.init n (fun j -> BG.deal_matrix (adversary.as_dealer j) prng ~n ~t ~m)
     in
     let deal_net =
-      Net.create ~n ~byte_size:(fun v -> Codec.elt_array_size (Array.length v))
+      Net.create
+        ~codec:(Codec.encode_elt_array, Codec.decode_elt_array)
+        ~n
+        ~byte_size:(fun v -> Codec.elt_array_size (Array.length v))
+        ()
     in
-    Array.iteri
-      (fun j -> function
-        | None -> ()
-        | Some matrix -> Net.send_to_all deal_net ~src:j (fun dst -> matrix.(dst)))
-      matrices;
-    let inbox = Net.deliver deal_net in
+    let inbox =
+      Net.exchange deal_net ~send:(fun () ->
+          Array.iteri
+            (fun j -> function
+              | None -> ()
+              | Some matrix ->
+                  Net.send_to_all deal_net ~src:j (fun dst -> matrix.(dst)))
+            matrices)
+    in
     let received =
       Array.init n (fun i ->
           let row = Array.make n None in
@@ -142,27 +149,33 @@ module Make (F : Field_intf.S) = struct
     let check_coins_used = if share_check_coin then 1 else n in
     (* ---- Step 3: everyone announces its vector of combined shares,
        one gamma per dealer. *)
-    let gamma_net = Net.create ~n ~byte_size:Codec.opt_elt_array_size in
-    for i = 0 to n - 1 do
-      match adversary.as_gamma i with
-      | Honest_vec ->
-          let vec =
-            Array.mapi
-              (fun j shares_opt ->
-                Option.map
-                  (fun shares -> V.combine ~r:check_coins.(j) shares)
-                  shares_opt)
-              received.(i)
-          in
-          Net.send_to_all gamma_net ~src:i (fun _ -> vec)
-      | Silent_vec -> ()
-      | Arbitrary_vec f ->
-          for dst = 0 to n - 1 do
-            let vec = f dst in
-            if Array.length vec = n then Net.send gamma_net ~src:i ~dst vec
-          done
-    done;
-    let inbox = Net.deliver gamma_net in
+    let gamma_net =
+      Net.create
+        ~codec:(Codec.encode_opt_elt_array, Codec.decode_opt_elt_array)
+        ~n ~byte_size:Codec.opt_elt_array_size ()
+    in
+    let inbox =
+      Net.exchange gamma_net ~send:(fun () ->
+          for i = 0 to n - 1 do
+            match adversary.as_gamma i with
+            | Honest_vec ->
+                let vec =
+                  Array.mapi
+                    (fun j shares_opt ->
+                      Option.map
+                        (fun shares -> V.combine ~r:check_coins.(j) shares)
+                        shares_opt)
+                    received.(i)
+                in
+                Net.send_to_all gamma_net ~src:i (fun _ -> vec)
+            | Silent_vec -> ()
+            | Arbitrary_vec f ->
+                for dst = 0 to n - 1 do
+                  let vec = f dst in
+                  if Array.length vec = n then Net.send gamma_net ~src:i ~dst vec
+                done
+          done)
+    in
     (* gammas.(i).(k).(j) = gamma_k^(dealer j) as received by player i. *)
     let gammas =
       Array.init n (fun i ->

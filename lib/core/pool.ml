@@ -9,6 +9,7 @@ module Make (F : Field_intf.S) = struct
   module R = Refresh.Make (F)
 
   exception Starved of string
+  exception Corrupt_snapshot of string
 
   type stats = {
     refills : int;
@@ -19,6 +20,8 @@ module Make (F : Field_intf.S) = struct
     coins_exposed : int;
     ba_iterations : int;
     unanimity_failures : int;
+    refill_attempts : int;
+    backoff_rounds : int;
   }
 
   type t = {
@@ -31,6 +34,7 @@ module Make (F : Field_intf.S) = struct
     expose_behavior : int -> int -> CE.sender_behavior;
     max_ba_iterations : int;
     ba_flavor : [ `Phase_king | `Common_coin ];
+    max_refill_attempts : int;
     mutable coins : C.t list;
     mutable bit_buffer : bool list;
     mutable refills : int;
@@ -41,18 +45,22 @@ module Make (F : Field_intf.S) = struct
     mutable coins_exposed : int;
     mutable ba_iterations : int;
     mutable unanimity_failures : int;
+    mutable refill_attempts : int;
+    mutable backoff_rounds : int;
   }
 
   let create ?(adversary = fun _ -> CG.honest_adversary)
       ?(expose_behavior = fun _ _ -> CE.Honest) ?(max_ba_iterations = 64)
-      ?(ba_flavor = `Phase_king) ~prng ~n ~t ~batch_size ~refill_threshold
-      ~initial_seed () =
+      ?(ba_flavor = `Phase_king) ?(max_refill_attempts = 5) ~prng ~n ~t
+      ~batch_size ~refill_threshold ~initial_seed () =
     if refill_threshold < 2 then
       invalid_arg "Pool.create: refill_threshold must be >= 2";
     if initial_seed <= refill_threshold then
       invalid_arg "Pool.create: initial_seed must exceed refill_threshold";
     if batch_size < 2 * refill_threshold then
       invalid_arg "Pool.create: batch_size must be >= 2 * refill_threshold";
+    if max_refill_attempts < 1 then
+      invalid_arg "Pool.create: max_refill_attempts must be >= 1";
     let coins =
       List.init initial_seed (fun _ -> C.dealer_coin prng ~n ~t)
     in
@@ -66,6 +74,7 @@ module Make (F : Field_intf.S) = struct
       expose_behavior;
       max_ba_iterations;
       ba_flavor;
+      max_refill_attempts;
       coins;
       bit_buffer = [];
       refills = 0;
@@ -76,6 +85,8 @@ module Make (F : Field_intf.S) = struct
       coins_exposed = 0;
       ba_iterations = 0;
       unanimity_failures = 0;
+      refill_attempts = 0;
+      backoff_rounds = 0;
     }
 
   let available p = List.length p.coins
@@ -172,14 +183,30 @@ module Make (F : Field_intf.S) = struct
         ~oracle:(fun () -> expose_next p ~for_seed:true)
         ~n:p.n ~t:p.fault_bound ~m:p.batch_size ()
     in
-    let rec go tries =
+    (* Graceful degradation: a failed Coin-Gen run (the BA loop giving
+       up, typically under heavy fault pressure) is retried after an
+       exponentially growing backoff — the real-world move of waiting
+       out an omission burst before re-engaging the protocol. The
+       backoff is idle time, charged to the round counter. [Starved]
+       still bounds the retries: it now means the budget is exhausted,
+       not that the first burst of bad luck was fatal. *)
+    let rec go tries backoff =
       if tries = 0 then raise (Starved "Coin-Gen failed repeatedly")
-      else
+      else begin
+        p.refill_attempts <- p.refill_attempts + 1;
         match attempt () with
         | Some batch -> batch
-        | None -> go (tries - 1)
+        | None ->
+            if tries > 1 then begin
+              for _ = 1 to backoff do
+                Metrics.tick_round ()
+              done;
+              p.backoff_rounds <- p.backoff_rounds + backoff
+            end;
+            go (tries - 1) (2 * backoff)
+      end
     in
-    let batch = go 3 in
+    let batch = go p.max_refill_attempts 1 in
     p.refills <- p.refills + 1;
     p.generated_coins <- p.generated_coins + batch.CG.m;
     p.ba_iterations <- p.ba_iterations + batch.CG.ba_iterations;
@@ -248,13 +275,20 @@ module Make (F : Field_intf.S) = struct
       coins_exposed = p.coins_exposed;
       ba_iterations = p.ba_iterations;
       unanimity_failures = p.unanimity_failures;
+      refill_attempts = p.refill_attempts;
+      backoff_rounds = p.backoff_rounds;
     }
 
   let magic = 0xD9B6
+  let snapshot_version = 2
 
+  (* Snapshot layout: a header of magic (u16), version (u8), payload
+     length (u32) and CRC-32 of the payload (u32), then the payload —
+     pool parameters, ledger counters, and the sealed coins. The header
+     lets [load] reject truncated, corrupted or alien bytes with a clean
+     [Corrupt_snapshot] before any payload decoding runs. *)
   let save p =
     let w = Wire.Writer.create () in
-    Wire.Writer.u16 w magic;
     Wire.Writer.u16 w p.n;
     Wire.Writer.u16 w p.fault_bound;
     List.iter
@@ -262,40 +296,70 @@ module Make (F : Field_intf.S) = struct
       [
         p.refills; p.refreshes; p.dealer_coins; p.generated_coins;
         p.seed_coins_consumed; p.coins_exposed; p.ba_iterations;
-        p.unanimity_failures;
+        p.unanimity_failures; p.refill_attempts; p.backoff_rounds;
       ];
     Wire.Writer.u16 w (List.length p.coins);
     List.iter (fun c -> C.write w c) p.coins;
-    Wire.Writer.contents w
+    let payload = Wire.Writer.contents w in
+    let header = Wire.Writer.create () in
+    Wire.Writer.u16 header magic;
+    Wire.Writer.u8 header snapshot_version;
+    Wire.Writer.u32 header (Bytes.length payload);
+    Wire.Writer.u32 header (Wire.Crc32.digest payload);
+    Wire.Writer.raw header payload;
+    Wire.Writer.contents header
 
-  let restore ?(adversary = fun _ -> CG.honest_adversary)
-      ?(expose_behavior = fun _ _ -> CE.Honest) ?(max_ba_iterations = 64)
-      ?(ba_flavor = `Phase_king) ~prng ~batch_size ~refill_threshold bytes =
+  let corrupt msg = raise (Corrupt_snapshot ("Pool.load: " ^ msg))
+
+  let checked_payload bytes =
+    if Bytes.length bytes < 11 then corrupt "truncated header";
     let r = Wire.Reader.of_bytes bytes in
-    if Wire.Reader.u16 r <> magic then invalid_arg "Pool.restore: bad magic";
-    let n = Wire.Reader.u16 r in
-    let fault_bound = Wire.Reader.u16 r in
-    let int32 () = Wire.Reader.u32 r in
-    let refills = int32 () in
-    let refreshes = int32 () in
-    let dealer_coins = int32 () in
-    let generated_coins = int32 () in
-    let seed_coins_consumed = int32 () in
-    let coins_exposed = int32 () in
-    let ba_iterations = int32 () in
-    let unanimity_failures = int32 () in
-    let count = Wire.Reader.u16 r in
-    let coins = List.init count (fun _ -> C.read r) in
-    Wire.Reader.expect_end r;
+    if Wire.Reader.u16 r <> magic then corrupt "bad magic";
+    let version = Wire.Reader.u8 r in
+    if version <> snapshot_version then
+      corrupt (Printf.sprintf "unsupported version %d" version);
+    let len = Wire.Reader.u32 r in
+    if Bytes.length bytes <> 11 + len then corrupt "payload length mismatch";
+    let crc = Wire.Reader.u32 r in
+    let payload = Wire.Reader.raw r len in
+    if Wire.Crc32.digest payload <> crc then corrupt "checksum mismatch";
+    payload
+
+  let load ?(adversary = fun _ -> CG.honest_adversary)
+      ?(expose_behavior = fun _ _ -> CE.Honest) ?(max_ba_iterations = 64)
+      ?(ba_flavor = `Phase_king) ?(max_refill_attempts = 5) ~prng ~batch_size
+      ~refill_threshold bytes =
+    let payload = checked_payload bytes in
+    let n, fault_bound, counters, coins =
+      (* The checksum has vouched for the bytes, so any decode failure
+         here still means corruption (e.g. of the CRC field itself along
+         with a compensating payload flip is out of scope — but a buggy
+         writer is not): surface it as [Corrupt_snapshot], never a raw
+         decode exception. *)
+      match
+        let r = Wire.Reader.of_bytes payload in
+        let n = Wire.Reader.u16 r in
+        let fault_bound = Wire.Reader.u16 r in
+        let counters = Array.init 10 (fun _ -> Wire.Reader.u32 r) in
+        let count = Wire.Reader.u16 r in
+        let coins = List.init count (fun _ -> C.read r) in
+        Wire.Reader.expect_end r;
+        (n, fault_bound, counters, coins)
+      with
+      | decoded -> decoded
+      | exception _ -> corrupt "undecodable payload"
+    in
     List.iter
       (fun c ->
         if c.C.n <> n || c.C.fault_bound <> fault_bound then
-          invalid_arg "Pool.restore: coin parameters inconsistent")
+          corrupt "coin parameters inconsistent")
       coins;
     if refill_threshold < 2 then
-      invalid_arg "Pool.restore: refill_threshold must be >= 2";
+      invalid_arg "Pool.load: refill_threshold must be >= 2";
     if batch_size < 2 * refill_threshold then
-      invalid_arg "Pool.restore: batch_size must be >= 2 * refill_threshold";
+      invalid_arg "Pool.load: batch_size must be >= 2 * refill_threshold";
+    if max_refill_attempts < 1 then
+      invalid_arg "Pool.load: max_refill_attempts must be >= 1";
     {
       prng;
       n;
@@ -306,15 +370,20 @@ module Make (F : Field_intf.S) = struct
       expose_behavior;
       max_ba_iterations;
       ba_flavor;
+      max_refill_attempts;
       coins;
       bit_buffer = [];
-      refills;
-      refreshes;
-      dealer_coins;
-      generated_coins;
-      seed_coins_consumed;
-      coins_exposed;
-      ba_iterations;
-      unanimity_failures;
+      refills = counters.(0);
+      refreshes = counters.(1);
+      dealer_coins = counters.(2);
+      generated_coins = counters.(3);
+      seed_coins_consumed = counters.(4);
+      coins_exposed = counters.(5);
+      ba_iterations = counters.(6);
+      unanimity_failures = counters.(7);
+      refill_attempts = counters.(8);
+      backoff_rounds = counters.(9);
     }
+
+  let restore = load
 end

@@ -29,9 +29,17 @@ module Make (F : Field_intf.S) : sig
 
   exception Starved of string
   (** Raised when a refill cannot complete (the pool ran out of seed
-      coins mid-generation, or BA failed [max_ba_iterations] times
-      repeatedly) — with a sane [refill_threshold] this is a
-      probability-negligible event. *)
+      coins mid-generation, or the retry budget of
+      [max_refill_attempts] Coin-Gen runs — with exponential backoff
+      between them — was exhausted) — with a sane [refill_threshold]
+      this is a probability-negligible event. *)
+
+  exception Corrupt_snapshot of string
+  (** Raised by {!load} on bytes that are not an intact snapshot:
+      truncated, bit-flipped (checksum mismatch), wrong magic or
+      version, or an undecodable payload. Distinct from
+      [Invalid_argument], which {!load} reserves for bad {e parameters}
+      passed alongside intact bytes. *)
 
   type stats = {
     refills : int;
@@ -45,6 +53,12 @@ module Make (F : Field_intf.S) : sig
         (** exposures where honest players decoded differently or failed
             (bounded by [M n 2^-k]); the majority value is still
             returned. *)
+    refill_attempts : int;
+        (** Coin-Gen runs attempted across all refills (>= [refills]:
+            failed runs are retried after a backoff). *)
+    backoff_rounds : int;
+        (** idle rounds spent backing off between failed refill
+            attempts (1, 2, 4, ... per refill). *)
   }
 
   val create :
@@ -52,6 +66,7 @@ module Make (F : Field_intf.S) : sig
     ?expose_behavior:(int -> int -> CE.sender_behavior) ->
     ?max_ba_iterations:int ->
     ?ba_flavor:[ `Phase_king | `Common_coin ] ->
+    ?max_refill_attempts:int ->
     prng:Prng.t ->
     n:int ->
     t:int ->
@@ -77,7 +92,12 @@ module Make (F : Field_intf.S) : sig
       of coins needed for the bootstrapping mechanism") — the extra
       draws come out of the seed reserve, so pick [refill_threshold]
       one or two coins higher. A faulty player's BA strategy maps from
-      its phase-king behaviour (Arbitrary degrades to Silent). *)
+      its phase-king behaviour (Arbitrary degrades to Silent).
+
+      [max_refill_attempts] (default 5) bounds the Coin-Gen retries per
+      refill: a failed run is retried after an exponentially growing
+      idle backoff (1, 2, 4, ... rounds, charged to the ambient round
+      counter) before {!Starved} is raised. *)
 
   val available : t -> int
   (** Sealed coins currently in the pool. *)
@@ -111,18 +131,36 @@ module Make (F : Field_intf.S) : sig
       persists only its own shares; the simulator saves the global
       state.) *)
 
-  val restore :
+  val load :
     ?adversary:(int -> CG.adversary) ->
     ?expose_behavior:(int -> int -> CE.sender_behavior) ->
     ?max_ba_iterations:int ->
     ?ba_flavor:[ `Phase_king | `Common_coin ] ->
+    ?max_refill_attempts:int ->
     prng:Prng.t ->
     batch_size:int ->
     refill_threshold:int ->
     bytes ->
     t
-  (** Rebuild a pool from {!save}d state — the service restarts without
-      a new trusted-dealer setup.
-      @raise Invalid_argument on malformed bytes or parameters
-      inconsistent with the saved coins. *)
+  (** Rebuild a pool from {!save}d state — how a crashed player
+      recovers, and how the service restarts, without a new
+      trusted-dealer setup. The snapshot carries a version header and a
+      CRC-32 of its payload; verification happens before any decoding.
+      @raise Corrupt_snapshot on bytes that are not an intact snapshot
+      (any single bit flip or truncation is detected).
+      @raise Invalid_argument on bad parameters ([refill_threshold],
+      [batch_size], [max_refill_attempts]) accompanying intact bytes. *)
+
+  val restore :
+    ?adversary:(int -> CG.adversary) ->
+    ?expose_behavior:(int -> int -> CE.sender_behavior) ->
+    ?max_ba_iterations:int ->
+    ?ba_flavor:[ `Phase_king | `Common_coin ] ->
+    ?max_refill_attempts:int ->
+    prng:Prng.t ->
+    batch_size:int ->
+    refill_threshold:int ->
+    bytes ->
+    t
+  (** Alias of {!load}, kept for callers of the pre-checksum API. *)
 end

@@ -2,17 +2,239 @@ let log_src = Logs.Src.create "dprbg.net" ~doc:"Synchronous network rounds"
 
 module Log = (val Logs.src_log log_src)
 
+(* ------------------------- Fault plans --------------------------- *)
+
+module Plan = struct
+  type stats = {
+    dropped : int;
+    delayed : int;
+    duplicated : int;
+    corrupted : int;
+    reordered : int;
+    crashed_msgs : int;
+    rounds : int;
+  }
+
+  type t = {
+    prng : Prng.t;
+    (* Probabilities in basis points (1/10000) so sampling stays in
+       integer arithmetic and replays exactly. *)
+    drop : int;
+    delay : int;
+    max_delay : int;
+    duplicate : int;
+    corrupt : int;
+    reorder : int;
+    crashes : (int * int * int option) list;
+    retransmits : int;
+    bounded : bool;
+    mutable round : int;
+    (* (attempt, attempts) while inside a retransmit envelope. *)
+    mutable envelope : (int * int) option;
+    mutable dropped : int;
+    mutable delayed : int;
+    mutable duplicated : int;
+    mutable corrupted : int;
+    mutable reordered : int;
+    mutable crashed_msgs : int;
+  }
+
+  let bp name p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Net.Plan.make: %s must be in [0, 1]" name);
+    int_of_float ((p *. 10000.0) +. 0.5)
+
+  let make ?(drop = 0.0) ?(delay = 0.0) ?(max_delay = 2) ?(duplicate = 0.0)
+      ?(corrupt = 0.0) ?(reorder = 0.0) ?(crashes = []) ?(retransmits = 0)
+      ?(bounded = true) ~seed () =
+    if max_delay < 1 then invalid_arg "Net.Plan.make: max_delay must be >= 1";
+    if retransmits < 0 then
+      invalid_arg "Net.Plan.make: retransmits must be >= 0";
+    List.iter
+      (fun (i, from, until) ->
+        if i < 0 then invalid_arg "Net.Plan.make: crash player id negative";
+        if from < 1 then invalid_arg "Net.Plan.make: crash round must be >= 1";
+        match until with
+        | Some u when u <= from ->
+            invalid_arg "Net.Plan.make: recovery round must follow the crash"
+        | _ -> ())
+      crashes;
+    {
+      prng = Prng.of_int seed;
+      drop = bp "drop" drop;
+      delay = bp "delay" delay;
+      max_delay;
+      duplicate = bp "duplicate" duplicate;
+      corrupt = bp "corrupt" corrupt;
+      reorder = bp "reorder" reorder;
+      crashes;
+      retransmits;
+      bounded;
+      round = 0;
+      envelope = None;
+      dropped = 0;
+      delayed = 0;
+      duplicated = 0;
+      corrupted = 0;
+      reordered = 0;
+      crashed_msgs = 0;
+    }
+
+  let retransmits p = p.retransmits
+  let rounds_elapsed p = p.round
+  let advance_round p = p.round <- p.round + 1
+
+  (* Down during [from, until): a crashed player sends and receives
+     nothing; with [until = None] it never recovers (crash-stop). *)
+  let down_at p r i =
+    List.exists
+      (fun (j, from, until) ->
+        j = i && from <= r
+        && match until with None -> true | Some u -> r < u)
+      p.crashes
+
+  let down p i = down_at p (p.round + 1) i
+
+  let hit p basis = basis > 0 && Prng.int p.prng 10000 < basis
+
+  (* The absorption guarantee of bounded plans: the last of a multi-send
+     retransmit envelope is never link-faulted, so an honest message
+     always gets through within the envelope. Crashes are exempt — no
+     amount of retransmission reaches a dead player. *)
+  let suppressed p =
+    p.bounded
+    && match p.envelope with Some (a, n) -> n > 1 && a = n | None -> false
+
+  let sample_delay p =
+    let cap =
+      match p.envelope with
+      | Some (a, n) when p.bounded -> min p.max_delay (n - a)
+      | _ -> p.max_delay
+    in
+    if cap < 1 then 0 else 1 + Prng.int p.prng cap
+
+  type link_fate = Deliver | Drop | Delay of int | Duplicate | Corrupt
+
+  let link_fate p =
+    if suppressed p then Deliver
+    else if hit p p.drop then begin
+      p.dropped <- p.dropped + 1;
+      Drop
+    end
+    else if hit p p.delay then begin
+      match sample_delay p with
+      | 0 -> Deliver
+      | d ->
+          p.delayed <- p.delayed + 1;
+          Delay d
+    end
+    else if hit p p.duplicate then begin
+      p.duplicated <- p.duplicated + 1;
+      Duplicate
+    end
+    else if hit p p.corrupt then begin
+      p.corrupted <- p.corrupted + 1;
+      Corrupt
+    end
+    else Deliver
+
+  (* Byte-level corruption: flip one uniformly random bit of the wire
+     encoding. The caller re-decodes; a strict decoder that rejects the
+     mangled bytes turns the fault into a (detected) drop. *)
+  let corrupt_bytes p b =
+    let b = Bytes.copy b in
+    let len = Bytes.length b in
+    if len > 0 then begin
+      let pos = Prng.int p.prng len in
+      let bit = Prng.int p.prng 8 in
+      Bytes.set_uint8 b pos (Bytes.get_uint8 b pos lxor (1 lsl bit))
+    end;
+    b
+
+  let broadcast_fate p =
+    if suppressed p then `Deliver
+    else if hit p p.drop then begin
+      p.dropped <- p.dropped + 1;
+      `Drop
+    end
+    else if hit p p.corrupt then begin
+      p.corrupted <- p.corrupted + 1;
+      `Corrupt
+    end
+    else `Deliver
+
+  let count_crashed_msg p = p.crashed_msgs <- p.crashed_msgs + 1
+  let note_crashed_msg = count_crashed_msg
+
+  let enter_envelope p ~attempt ~attempts =
+    p.envelope <- Some (attempt, attempts)
+
+  let exit_envelope p = p.envelope <- None
+
+  let shuffle_inbox p inbox =
+    if hit p p.reorder then begin
+      p.reordered <- p.reordered + 1;
+      let a = Array.of_list inbox in
+      Prng.shuffle p.prng a;
+      Array.to_list a
+    end
+    else inbox
+
+  let stats p =
+    {
+      dropped = p.dropped;
+      delayed = p.delayed;
+      duplicated = p.duplicated;
+      corrupted = p.corrupted;
+      reordered = p.reordered;
+      crashed_msgs = p.crashed_msgs;
+      rounds = p.round;
+    }
+
+  let pp_stats ppf (s : stats) =
+    Format.fprintf ppf
+      "dropped=%d delayed=%d duplicated=%d corrupted=%d reordered=%d \
+       crashed-msgs=%d rounds=%d"
+      s.dropped s.delayed s.duplicated s.corrupted s.reordered s.crashed_msgs
+      s.rounds
+end
+
+let ambient_plan : Plan.t option ref = ref None
+
+let with_plan plan f =
+  let previous = !ambient_plan in
+  ambient_plan := Some plan;
+  Fun.protect ~finally:(fun () -> ambient_plan := previous) f
+
+let current_plan () = !ambient_plan
+
+let retransmit_budget () =
+  match !ambient_plan with None -> 0 | Some p -> Plan.retransmits p
+
 type 'msg t = {
   n : int;
   byte_size : 'msg -> int;
+  codec : (('msg -> bytes) * (bytes -> 'msg)) option;
+  plan : Plan.t option;
   (* queues.(dst) holds (src, msg) in reverse send order. *)
   queues : (int * 'msg) list array;
+  (* In-flight delayed messages: (arrival_round, src, dst, msg), with
+     arrival measured on the plan's global round clock. *)
+  mutable delayed : (int * int * int * 'msg) list;
   mutable rounds : int;
 }
 
-let create ~n ~byte_size =
+let create ?codec ~n ~byte_size () =
   if n < 1 then invalid_arg "Net.create: n must be positive";
-  { n; byte_size; queues = Array.make n []; rounds = 0 }
+  {
+    n;
+    byte_size;
+    codec;
+    plan = !ambient_plan;
+    queues = Array.make n [];
+    delayed = [];
+    rounds = 0;
+  }
 
 let n t = t.n
 
@@ -20,13 +242,46 @@ let check_id t label i =
   if i < 0 || i >= t.n then
     invalid_arg (Printf.sprintf "Net.%s: player id %d out of range" label i)
 
+let enqueue t ~src ~dst msg = t.queues.(dst) <- (src, msg) :: t.queues.(dst)
+
+let corrupted_copy t plan msg =
+  match t.codec with
+  | None -> None (* no wire form to mangle: detected and discarded *)
+  | Some (encode, decode) -> (
+      match decode (Plan.corrupt_bytes plan (encode msg)) with
+      | msg' -> Some msg'
+      | exception _ -> None)
+
 let send t ~src ~dst msg =
   check_id t "send" src;
   check_id t "send" dst;
   if src <> dst then Metrics.tick_message ~bytes_len:(t.byte_size msg);
-  t.queues.(dst) <- (src, msg) :: t.queues.(dst)
+  match t.plan with
+  | None -> enqueue t ~src ~dst msg
+  | Some plan ->
+      if Plan.down plan src then Plan.count_crashed_msg plan
+      else if src = dst then
+        (* Local hand-off: a player's channel to itself is its own
+           memory — only a crash can lose it. *)
+        enqueue t ~src ~dst msg
+      else begin
+        match Plan.link_fate plan with
+        | Plan.Deliver -> enqueue t ~src ~dst msg
+        | Plan.Drop -> ()
+        | Plan.Delay d ->
+            t.delayed <-
+              (Plan.rounds_elapsed plan + 1 + d, src, dst, msg) :: t.delayed
+        | Plan.Duplicate ->
+            enqueue t ~src ~dst msg;
+            enqueue t ~src ~dst msg
+        | Plan.Corrupt -> (
+            match corrupted_copy t plan msg with
+            | Some msg' -> enqueue t ~src ~dst msg'
+            | None -> ())
+      end
 
 let send_to_all t ~src f =
+  check_id t "send_to_all" src;
   for dst = 0 to t.n - 1 do
     send t ~src ~dst (f dst)
   done
@@ -34,6 +289,22 @@ let send_to_all t ~src f =
 let deliver t =
   Metrics.tick_round ();
   t.rounds <- t.rounds + 1;
+  (match t.plan with Some plan -> Plan.advance_round plan | None -> ());
+  (* Mature the delayed messages whose arrival round has come; they slot
+     in ahead of this round's fresh sends so a retransmitted copy
+     supersedes a stale one. *)
+  (match t.plan with
+  | None -> ()
+  | Some plan ->
+      let now = Plan.rounds_elapsed plan in
+      let ready, waiting =
+        List.partition (fun (at, _, _, _) -> at <= now) t.delayed
+      in
+      t.delayed <- waiting;
+      List.iter
+        (fun (_, src, dst, msg) ->
+          t.queues.(dst) <- t.queues.(dst) @ [ (src, msg) ])
+        (List.rev ready));
   Log.debug (fun m ->
       let pending =
         Array.fold_left (fun acc q -> acc + List.length q) 0 t.queues
@@ -42,14 +313,69 @@ let deliver t =
   Array.mapi
     (fun dst queue ->
       t.queues.(dst) <- [];
-      (* Restore send order, then stable-sort by sender for deterministic
-         iteration in protocol code. *)
-      List.stable_sort
-        (fun (a, _) (b, _) -> Int.compare a b)
-        (List.rev queue))
+      match t.plan with
+      | Some plan when Plan.down_at plan (Plan.rounds_elapsed plan) dst ->
+          (* A crashed player's inbox is void: messages addressed to it
+             while it is down are lost, not buffered. *)
+          List.iter (fun _ -> Plan.count_crashed_msg plan) queue;
+          []
+      | plan -> (
+          (* Restore send order, then stable-sort by sender for
+             deterministic iteration in protocol code. *)
+          let inbox =
+            List.stable_sort
+              (fun (a, _) (b, _) -> Int.compare a b)
+              (List.rev queue)
+          in
+          match plan with
+          | Some plan -> Plan.shuffle_inbox plan inbox
+          | None -> inbox))
     t.queues
 
 let rounds_elapsed t = t.rounds
+
+(* A retransmit envelope: run the same synchronous send round
+   [retransmits + 1] times and merge the inboxes, keeping the latest
+   copy received per sender. Honest senders re-deposit identical
+   messages, so omission faults (drops, short delays, detected
+   corruption) within the budget are absorbed; under a bounded plan the
+   final attempt is guaranteed clean, making absorption deterministic.
+   With no ambient plan — or a zero budget — this is exactly one
+   ordinary round. *)
+let exchange t ~send =
+  match t.plan with
+  | None ->
+      send ();
+      deliver t
+  | Some plan ->
+      let attempts = Plan.retransmits plan + 1 in
+      let finally () = Plan.exit_envelope plan in
+      if attempts = 1 then begin
+        Plan.enter_envelope plan ~attempt:1 ~attempts:1;
+        Fun.protect ~finally (fun () ->
+            send ();
+            deliver t)
+      end
+      else begin
+        let latest = Array.init t.n (fun _ -> Array.make t.n None) in
+        Fun.protect ~finally (fun () ->
+            for attempt = 1 to attempts do
+              Plan.enter_envelope plan ~attempt ~attempts;
+              send ();
+              let inbox = deliver t in
+              Array.iteri
+                (fun dst msgs ->
+                  List.iter
+                    (fun (src, msg) -> latest.(dst).(src) <- Some msg)
+                    msgs)
+                inbox
+            done);
+        Array.init t.n (fun dst ->
+            List.filter_map
+              (fun src ->
+                Option.map (fun msg -> (src, msg)) latest.(dst).(src))
+              (List.init t.n Fun.id))
+      end
 
 module Faults = struct
   type t = { n : int; faulty : bool array }

@@ -19,32 +19,180 @@
 
     Every send ticks {!Metrics.tick_message} with the message's wire
     size and every barrier ticks {!Metrics.tick_round}, which is how the
-    paper's per-protocol message/bit/round counts are measured. *)
+    paper's per-protocol message/bit/round counts are measured.
+
+    {b Degraded networks.} The paper assumes reliable channels; real
+    deployments do not. A {!Plan} describes a degraded network — per-link
+    message drop, delay, duplication, reordering, byte-level corruption,
+    and whole-player crash/recovery windows — and is installed ambiently
+    with {!with_plan}, mirroring how {!Metrics} sinks are installed.
+    Networks created inside [with_plan] apply the plan's faults; the
+    {!exchange} retransmit envelope then absorbs omission faults within a
+    bounded budget so protocol drivers survive them without miscounting
+    silence as Byzantine behaviour. *)
+
+(** {1 Fault plans} *)
+
+module Plan : sig
+  type t
+  (** One degraded-network schedule: probabilistic link faults, a crash
+      schedule, and a retransmit budget, all driven by a private
+      deterministic PRNG so a run replays exactly from its seed. The
+      plan owns a global round clock shared by every network created
+      under it (crash windows are expressed on that clock). *)
+
+  val make :
+    ?drop:float ->
+    ?delay:float ->
+    ?max_delay:int ->
+    ?duplicate:float ->
+    ?corrupt:float ->
+    ?reorder:float ->
+    ?crashes:(int * int * int option) list ->
+    ?retransmits:int ->
+    ?bounded:bool ->
+    seed:int ->
+    unit ->
+    t
+  (** [make ~seed ()] builds a plan. [drop], [delay], [duplicate],
+      [corrupt] are per-message fault probabilities in [[0, 1]] (sampled
+      in that priority order, at most one fault per message); [reorder]
+      is a per-inbox-per-round shuffle probability. A delayed message
+      arrives [d] rounds late with [d] uniform in [[1, max_delay]].
+      [crashes] lists [(player, from_round, recovery_round)] windows on
+      the plan's global round clock (1-based; [None] means crash-stop,
+      never recovering): while down, a player's sends vanish and its
+      inbox is voided. [retransmits] is the per-{!exchange} resend
+      budget. With [bounded] (default), the final attempt of a
+      multi-attempt {!exchange} is exempt from link faults — the
+      real-world assumption that omission bursts are shorter than the
+      timeout budget — so retransmission absorbs faults {e
+      deterministically}; crashes are never exempt.
+
+      @raise Invalid_argument on probabilities outside [[0, 1]],
+      [max_delay < 1], [retransmits < 0], or malformed crash windows. *)
+
+  val retransmits : t -> int
+  val rounds_elapsed : t -> int
+  (** Rounds elapsed on the plan's global clock (every {!deliver} under
+      the plan advances it). *)
+
+  val down : t -> int -> bool
+  (** Is this player crashed in the upcoming round? *)
+
+  type stats = {
+    dropped : int;
+    delayed : int;
+    duplicated : int;
+    corrupted : int;
+    reordered : int;  (** inboxes shuffled *)
+    crashed_msgs : int;  (** messages lost to crashed senders/receivers *)
+    rounds : int;
+  }
+
+  val stats : t -> stats
+  val pp_stats : Format.formatter -> stats -> unit
+
+  (** {2 Hooks for broadcast-channel layers}
+
+      Point-to-point faults are applied inside {!send}/{!deliver}; a
+      layer that models an abstract broadcast channel (one announcement,
+      one metric tick) instead samples its own per-receiver fates with
+      these. *)
+
+  val advance_round : t -> unit
+
+  val broadcast_fate : t -> [ `Deliver | `Drop | `Corrupt ]
+  (** Sample a per-announcement fate for one broadcast delivery
+      (respects the bounded-envelope exemption like point-to-point
+      links; a broadcast channel fails whole announcements, never
+      equivocates). *)
+
+  val corrupt_bytes : t -> bytes -> bytes
+  (** Flip one uniformly random bit of a copy of the wire encoding. *)
+
+  val note_crashed_msg : t -> unit
+
+  val enter_envelope : t -> attempt:int -> attempts:int -> unit
+  (** Mark that the caller is inside attempt [attempt] of an
+      [attempts]-attempt retransmit envelope, enabling the bounded
+      final-attempt exemption. {!Net.exchange} does this itself. *)
+
+  val exit_envelope : t -> unit
+end
+
+val with_plan : Plan.t -> (unit -> 'a) -> 'a
+(** [with_plan plan f] runs [f] with [plan] installed as the ambient
+    fault plan: every {!create} inside captures it. Nesting restores the
+    previous plan on exit. *)
+
+val current_plan : unit -> Plan.t option
+
+val retransmit_budget : unit -> int
+(** The ambient plan's retransmit budget, [0] when no plan is
+    installed. Broadcast-channel layers use this to size their own
+    retransmit loops. *)
+
+(** {1 Networks} *)
 
 type 'msg t
 
-val create : n:int -> byte_size:('msg -> int) -> 'msg t
+val create :
+  ?codec:(('msg -> bytes) * (bytes -> 'msg)) ->
+  n:int ->
+  byte_size:('msg -> int) ->
+  unit ->
+  'msg t
 (** A fresh network for one protocol execution. [byte_size] gives the
-    wire size of each message for communication accounting. *)
+    wire size of each message for communication accounting. The network
+    captures the ambient fault plan, if any. [codec] is the wire
+    encoding used for byte-level corruption faults: a corrupted message
+    is re-encoded, has one bit flipped, and is re-decoded — if the
+    strict decoder rejects the mangled bytes the message is dropped
+    (a detected corruption), otherwise the mangled value is delivered.
+    Without a [codec], corruption degrades to a drop. *)
 
 val n : _ t -> int
 
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
-(** Queue a message for delivery at the next {!deliver}. [src] and
-    [dst] must be valid player ids; sending to oneself is allowed (and
-    free: self-messages are not counted as communication). *)
+(** Queue a message for delivery at the next {!deliver}. Sending to
+    oneself is allowed (and free: self-messages are not counted as
+    communication, and are exempt from link faults — only a crash loses
+    them).
+
+    @raise Invalid_argument if [src] or [dst] is out of range. *)
 
 val send_to_all : 'msg t -> src:int -> (int -> 'msg) -> unit
 (** [send_to_all net ~src f] sends [f dst] to every player [dst]
     (including [src] itself, uncounted). With a constant [f] this is the
     point-to-point "announce" the paper uses in place of broadcast; a
-    faulty player equivocates by varying [f]. *)
+    faulty player equivocates by varying [f].
+
+    @raise Invalid_argument if [src] is out of range. *)
 
 val deliver : 'msg t -> (int * 'msg) list array
 (** Round barrier: returns [inbox] where [inbox.(i)] lists
     [(sender, msg)] pairs in sender order (at most one slot per sender
     per round is typical, but multiple sends are preserved in send
-    order). All queues are emptied. *)
+    order). All queues are emptied. Under a fault plan, delayed
+    messages sent in earlier rounds mature here, a crashed receiver's
+    inbox is voided, and a reorder fault shuffles an inbox out of
+    sender order. *)
+
+val exchange : 'msg t -> send:(unit -> unit) -> (int * 'msg) list array
+(** [exchange net ~send] is the bounded timeout-and-retransmit
+    envelope: it runs the synchronous round [send (); deliver net] once
+    per attempt — [Plan.retransmits + 1] attempts under the ambient
+    plan — and merges the inboxes, keeping the {e latest} copy received
+    per (receiver, sender) pair, sorted by sender. Honest senders
+    re-deposit identical messages on every attempt (sends must be
+    deterministic — sample randomness {e outside} the closure), so
+    omission faults within the budget are absorbed rather than
+    surfacing as missing messages. With no plan or a zero budget this
+    is exactly [send (); deliver net] — same inbox shape, same metrics
+    — so fault-free runs are bit-identical to the unhardened protocol.
+    Each attempt costs one round and re-sends every message, which is
+    the round/message cost multiplier of hardening. *)
 
 val rounds_elapsed : _ t -> int
 

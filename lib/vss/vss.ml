@@ -2,6 +2,11 @@ module Make (F : Field_intf.S) = struct
   module P = Poly.Make (F)
   module S = Shamir.Make (F)
   module BW = Berlekamp_welch.Make (F)
+  module Codec = Wire.Codec (F)
+
+  (* Wire codec for the broadcast gammas, so corruption faults under a
+     degraded-network plan operate on real encodings. *)
+  let elt_codec = (Codec.encode_elt, Codec.decode_elt)
 
   type verdict = Accept | Reject
 
@@ -109,7 +114,7 @@ module Make (F : Field_intf.S) = struct
     check_sizes "Vss.run" ~n [ alpha; beta ];
     deal_round ~n;
     let announced =
-      Broadcast.round ~byte_size:(fun _ -> F.byte_size) ~n
+      Broadcast.round ~codec:elt_codec ~byte_size:(fun _ -> F.byte_size) ~n
         (announced_gamma player_behavior (gamma_single ~alpha ~beta ~r))
     in
     strict_verdict ~n ~t announced
@@ -119,7 +124,7 @@ module Make (F : Field_intf.S) = struct
     check_sizes "Vss.run_robust" ~n [ alpha; beta ];
     deal_round ~n;
     let announced =
-      Broadcast.round ~byte_size:(fun _ -> F.byte_size) ~n
+      Broadcast.round ~codec:elt_codec ~byte_size:(fun _ -> F.byte_size) ~n
         (announced_gamma player_behavior (gamma_single ~alpha ~beta ~r))
     in
     robust_verdict ~n ~t announced
@@ -206,7 +211,7 @@ module Make (F : Field_intf.S) = struct
     if Array.length shares <> n then
       invalid_arg "Vss.run_batch: shares must be indexed by player";
     let announced =
-      Broadcast.round ~byte_size:(fun _ -> F.byte_size) ~n
+      Broadcast.round ~codec:elt_codec ~byte_size:(fun _ -> F.byte_size) ~n
         (announced_gamma player_behavior (gamma_batch ~shares ~r))
     in
     strict_verdict ~n ~t announced
@@ -225,7 +230,7 @@ module Make (F : Field_intf.S) = struct
     if List.length players < t + 1 then
       invalid_arg "Vss.run_batch_on: need at least t+1 players";
     let announced =
-      Broadcast.round ~byte_size:(fun _ -> F.byte_size) ~n
+      Broadcast.round ~codec:elt_codec ~byte_size:(fun _ -> F.byte_size) ~n
         (announced_gamma player_behavior (gamma_batch ~shares ~r))
     in
     let verdict_one () =
@@ -249,7 +254,7 @@ module Make (F : Field_intf.S) = struct
     if Array.length shares <> n then
       invalid_arg "Vss.run_batch_robust: shares must be indexed by player";
     let announced =
-      Broadcast.round ~byte_size:(fun _ -> F.byte_size) ~n
+      Broadcast.round ~codec:elt_codec ~byte_size:(fun _ -> F.byte_size) ~n
         (announced_gamma player_behavior (gamma_batch ~shares ~r))
     in
     robust_verdict ~n ~t announced

@@ -59,6 +59,26 @@ module Reader = struct
     if not (is_exhausted t) then invalid_arg "Wire.Reader: trailing bytes"
 end
 
+module Crc32 = struct
+  (* CRC-32 (IEEE 802.3), reflected, table-driven. *)
+  let table =
+    lazy
+      (Array.init 256 (fun i ->
+           let c = ref i in
+           for _ = 1 to 8 do
+             c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c))
+
+  let digest b =
+    let table = Lazy.force table in
+    let crc = ref 0xFFFFFFFF in
+    for i = 0 to Bytes.length b - 1 do
+      crc := table.((!crc lxor Bytes.get_uint8 b i) land 0xFF) lxor (!crc lsr 8)
+    done;
+    !crc lxor 0xFFFFFFFF
+end
+
 module Codec (F : Field_intf.S) = struct
   let write_elt w x = Writer.raw w (F.to_bytes x)
   let read_elt r = F.of_bytes (Reader.raw r F.byte_size)
@@ -102,6 +122,23 @@ module Codec (F : Field_intf.S) = struct
     if Bytes.length b <> F.byte_size then
       invalid_arg "Wire.decode_elt: wrong length";
     F.of_bytes b
+
+  let one_shot write read =
+    ( (fun v ->
+        let w = Writer.create () in
+        write w v;
+        Writer.contents w),
+      fun b ->
+        let r = Reader.of_bytes b in
+        let v = read r in
+        Reader.expect_end r;
+        v )
+
+  let encode_elt_array, decode_elt_array =
+    one_shot write_elt_array read_elt_array
+
+  let encode_opt_elt_array, decode_opt_elt_array =
+    one_shot write_opt_elt_array read_opt_elt_array
 
   let elt_array_size n = 2 + (n * F.byte_size)
 

@@ -38,6 +38,13 @@ module Reader : sig
   (** @raise Invalid_argument if bytes remain. *)
 end
 
+module Crc32 : sig
+  val digest : bytes -> int
+  (** CRC-32 (IEEE 802.3) of the whole buffer, in [[0, 2^32)]. Used to
+      checksum persisted pool snapshots so corruption is detected before
+      decoding. *)
+end
+
 module Codec (F : Field_intf.S) : sig
   val write_elt : Writer.t -> F.t -> unit
   val read_elt : Reader.t -> F.t
@@ -56,6 +63,15 @@ module Codec (F : Field_intf.S) : sig
   val encode_elt : F.t -> bytes
   val decode_elt : bytes -> F.t
   (** One-shot helpers; [decode_elt] demands the exact length. *)
+
+  val encode_elt_array : F.t array -> bytes
+  val decode_elt_array : bytes -> F.t array
+
+  val encode_opt_elt_array : F.t option array -> bytes
+  val decode_opt_elt_array : bytes -> F.t option array
+  (** One-shot array helpers (strict: decoding demands exact length).
+      These are the wire codecs handed to {!Net.create} so byte-level
+      corruption faults operate on real encodings. *)
 
   val elt_array_size : int -> int
   (** Wire size of an array of the given length, without encoding it. *)

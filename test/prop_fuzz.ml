@@ -13,13 +13,28 @@ let random_config g : Fuzz_config.t =
   let specs = Array.of_list Fuzz.registry in
   let spec = specs.(Prng.int g (Array.length specs)) in
   let fault_bound = Prng.choose g spec.Fuzz.ts in
+  let faults = Prng.int g (fault_bound + 1) in
   let bugs =
     [|
       None;
       Some Fuzz_config.Accept_high_degree;
       Some Fuzz_config.Drop_gamma;
       Some Fuzz_config.Lagrange_expose;
+      Some Fuzz_config.No_retransmit;
     |]
+  in
+  let net =
+    if Prng.bool g then Fuzz_config.no_degrade
+    else
+      {
+        Fuzz_config.drop = Prng.int g 101;
+        delay = Prng.int g 101;
+        dup = Prng.int g 101;
+        corrupt = Prng.int g 101;
+        reorder = Prng.int g 101;
+        crash = Prng.int g (faults + 1);
+        rt = Prng.int g 9;
+      }
   in
   {
     Fuzz_config.seed = Prng.bits g 30;
@@ -27,8 +42,9 @@ let random_config g : Fuzz_config.t =
     k = Prng.choose g spec.Fuzz.ks;
     regime = spec.Fuzz.regime;
     fault_bound;
-    faults = Prng.int g (fault_bound + 1);
+    faults;
     m = 1 + Prng.int g spec.Fuzz.max_m;
+    net;
     bug = Prng.choose g bugs;
   }
 
@@ -60,6 +76,12 @@ let test_replay_rejects_garbage () =
       "prop=x seed=q k=8 regime=3t+1 t=1 faults=0 m=1";
       "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 bug=nonsense";
       "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 junk";
+      "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 drop=101";
+      "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 drop=-1";
+      "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 drop=abc";
+      "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 crash=1";
+      "prop=x seed=1 k=8 regime=3t+1 t=1 faults=1 m=1 crash=2";
+      "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 rt=9";
     ]
 
 let test_shrink_candidates_smaller () =
@@ -73,6 +95,18 @@ let test_shrink_candidates_smaller () =
         check "candidate stays valid" true
           (c.faults >= 0 && c.faults <= c.fault_bound && c.fault_bound >= 1
          && c.m >= 1);
+        check "candidate net stays valid" true
+          (c.net.Fuzz_config.crash <= c.faults
+          && List.for_all
+               (fun x -> x >= 0 && x <= 100)
+               [
+                 c.net.Fuzz_config.drop;
+                 c.net.Fuzz_config.delay;
+                 c.net.Fuzz_config.dup;
+                 c.net.Fuzz_config.corrupt;
+                 c.net.Fuzz_config.reorder;
+               ]
+          && c.net.Fuzz_config.rt >= 0 && c.net.Fuzz_config.rt <= 8);
         check "candidate keeps prop/seed/bug" true
           (c.prop = cfg.prop && c.seed = cfg.seed && c.bug = cfg.bug))
       (Fuzz_config.shrink_candidates cfg)
@@ -120,16 +154,43 @@ let test_self_check bug () =
            .Fuzz_config.bug
         = Some bug)
 
+(* The acceptance gate for the fault-injection layer: a fixed-seed
+   campaign of degraded-only trials — every one runs under a plan with
+   live drop/delay/duplication/corruption/reorder/crash axes and a
+   bounded retransmit envelope — must pass clean across the properties
+   that admit degradation. *)
+let test_degraded_campaign_clean () =
+  List.iter
+    (fun (property, trials, seed) ->
+      let report = Fuzz.campaign ~property ~trials ~seed () in
+      (match report.Fuzz.failure with
+      | None -> ()
+      | Some f ->
+          Alcotest.failf "degraded campaign (%s) found:@.%a" property
+            Fuzz.pp_failure f);
+      check
+        (Printf.sprintf "%s: all %d trials passed" property trials)
+        true
+        (report.Fuzz.passes = trials))
+    [
+      ("expose-degraded", 150, 31); (* always degraded, drop >= 15% *)
+      ("coin-unanimity", 80, 32); (* crash axis live *)
+      ("pool-recovery", 50, 33);
+      ("bitgen-verdicts", 60, 34);
+    ]
+
 let test_self_check_requires_bug () =
-  (* Without an injected bug the self-check campaign seed must be
-     clean — otherwise the self-check tests nothing. *)
-  let report =
-    Fuzz.campaign
-      ~property:(Fuzz.target_property Fuzz_config.Lagrange_expose)
-      ~trials:60 ~seed:7 ()
-  in
-  check "target property clean without the bug" true
-    (report.Fuzz.failure = None)
+  (* Without an injected bug the self-check campaign seeds must be
+     clean — otherwise the self-checks test nothing. *)
+  List.iter
+    (fun bug ->
+      let report =
+        Fuzz.campaign ~property:(Fuzz.target_property bug) ~trials:60 ~seed:7
+          ()
+      in
+      check "target property clean without the bug" true
+        (report.Fuzz.failure = None))
+    [ Fuzz_config.Lagrange_expose; Fuzz_config.No_retransmit ]
 
 let suite =
   [
@@ -145,6 +206,10 @@ let suite =
       (test_self_check Fuzz_config.Drop_gamma);
     Alcotest.test_case "self-check: lagrange-expose" `Quick
       (test_self_check Fuzz_config.Lagrange_expose);
+    Alcotest.test_case "self-check: no-retransmit" `Quick
+      (test_self_check Fuzz_config.No_retransmit);
+    Alcotest.test_case "degraded campaigns are clean" `Quick
+      test_degraded_campaign_clean;
     Alcotest.test_case "self-check baseline is clean" `Quick
       test_self_check_requires_bug;
   ]

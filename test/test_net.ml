@@ -1,4 +1,4 @@
-let mk n = Net.create ~n ~byte_size:String.length
+let mk n = Net.create ~n ~byte_size:String.length ()
 
 let test_delivery_order () =
   let net = mk 4 in
@@ -60,7 +60,226 @@ let test_id_validation () =
   let net = mk 2 in
   Alcotest.check_raises "bad dst"
     (Invalid_argument "Net.send: player id 5 out of range") (fun () ->
-      Net.send net ~src:0 ~dst:5 "x")
+      Net.send net ~src:0 ~dst:5 "x");
+  Alcotest.check_raises "bad src"
+    (Invalid_argument "Net.send: player id -1 out of range") (fun () ->
+      Net.send net ~src:(-1) ~dst:0 "x");
+  Alcotest.check_raises "bad src, send_to_all"
+    (Invalid_argument "Net.send_to_all: player id 2 out of range") (fun () ->
+      Net.send_to_all net ~src:2 (fun _ -> "x"))
+
+(* ---------------------- Degraded networks ------------------------ *)
+
+let str_codec = (Bytes.of_string, Bytes.to_string)
+
+let test_plan_validation () =
+  Alcotest.check_raises "bad drop"
+    (Invalid_argument "Net.Plan.make: drop must be in [0, 1]") (fun () ->
+      ignore (Net.Plan.make ~drop:1.5 ~seed:1 ()));
+  Alcotest.check_raises "bad retransmits"
+    (Invalid_argument "Net.Plan.make: retransmits must be >= 0") (fun () ->
+      ignore (Net.Plan.make ~retransmits:(-1) ~seed:1 ()));
+  Alcotest.check_raises "bad crash round"
+    (Invalid_argument "Net.Plan.make: crash round must be >= 1") (fun () ->
+      ignore (Net.Plan.make ~crashes:[ (0, 0, None) ] ~seed:1 ()));
+  Alcotest.check_raises "bad recovery round"
+    (Invalid_argument "Net.Plan.make: recovery round must follow the crash")
+    (fun () -> ignore (Net.Plan.make ~crashes:[ (0, 2, Some 2) ] ~seed:1 ()))
+
+let test_plan_drop_all () =
+  let plan = Net.Plan.make ~drop:1.0 ~seed:1 () in
+  Net.with_plan plan (fun () ->
+      let net = mk 3 in
+      Net.send net ~src:0 ~dst:1 "x";
+      Net.send net ~src:2 ~dst:2 "self";
+      let inbox = Net.deliver net in
+      Alcotest.(check (list (pair int string))) "link dropped" [] inbox.(1);
+      (* A player's channel to itself is its own memory — link faults
+         never touch it. *)
+      Alcotest.(check (list (pair int string)))
+        "self hand-off kept"
+        [ (2, "self") ]
+        inbox.(2));
+  Alcotest.(check int) "drop counted" 1 (Net.Plan.stats plan).Net.Plan.dropped
+
+let test_plan_delay () =
+  let plan = Net.Plan.make ~delay:1.0 ~max_delay:1 ~seed:2 () in
+  Net.with_plan plan (fun () ->
+      let net = mk 2 in
+      Net.send net ~src:0 ~dst:1 "late";
+      let r1 = Net.deliver net in
+      Alcotest.(check (list (pair int string))) "held back" [] r1.(1);
+      let r2 = Net.deliver net in
+      Alcotest.(check (list (pair int string)))
+        "arrives one round late"
+        [ (0, "late") ]
+        r2.(1))
+
+let test_plan_duplicate () =
+  let plan = Net.Plan.make ~duplicate:1.0 ~seed:3 () in
+  Net.with_plan plan (fun () ->
+      let net = mk 2 in
+      Net.send net ~src:0 ~dst:1 "twice";
+      let inbox = Net.deliver net in
+      Alcotest.(check (list (pair int string)))
+        "two copies"
+        [ (0, "twice"); (0, "twice") ]
+        inbox.(1))
+
+let test_plan_corrupt () =
+  let plan = Net.Plan.make ~corrupt:1.0 ~seed:4 () in
+  Net.with_plan plan (fun () ->
+      let net = Net.create ~codec:str_codec ~n:2 ~byte_size:String.length () in
+      Net.send net ~src:0 ~dst:1 "abcd";
+      match (Net.deliver net).(1) with
+      | [ (0, s) ] ->
+          Alcotest.(check bool)
+            "exactly one flipped bit" true
+            (String.length s = 4 && s <> "abcd")
+      | inbox ->
+          Alcotest.failf "expected one corrupted message, got %d"
+            (List.length inbox));
+  (* Without a codec there is no wire form to mangle: the fault is a
+     detected drop. *)
+  Net.with_plan plan (fun () ->
+      let net = mk 2 in
+      Net.send net ~src:0 ~dst:1 "abcd";
+      Alcotest.(check (list (pair int string)))
+        "codec-less corruption discarded" [] (Net.deliver net).(1))
+
+let test_plan_reorder () =
+  let plan = Net.Plan.make ~reorder:1.0 ~seed:5 () in
+  Net.with_plan plan (fun () ->
+      let net = mk 4 in
+      Net.send net ~src:1 ~dst:0 "a";
+      Net.send net ~src:2 ~dst:0 "b";
+      Net.send net ~src:3 ~dst:0 "c";
+      let inbox = Net.deliver net in
+      Alcotest.(check (list (pair int string)))
+        "same messages, any order"
+        [ (1, "a"); (2, "b"); (3, "c") ]
+        (List.sort compare inbox.(0)));
+  Alcotest.(check bool)
+    "reorder counted" true
+    ((Net.Plan.stats plan).Net.Plan.reordered >= 1)
+
+let test_plan_crash_and_recovery () =
+  let plan = Net.Plan.make ~crashes:[ (1, 1, Some 2) ] ~seed:6 () in
+  Net.with_plan plan (fun () ->
+      let net = mk 3 in
+      (* Round 1: player 1 is down — sends nothing, receives nothing. *)
+      Net.send net ~src:1 ~dst:0 "from-crashed";
+      Net.send net ~src:0 ~dst:1 "to-crashed";
+      Net.send net ~src:0 ~dst:2 "fine";
+      let r1 = Net.deliver net in
+      Alcotest.(check (list (pair int string))) "send voided" [] r1.(0);
+      Alcotest.(check (list (pair int string))) "inbox voided" [] r1.(1);
+      Alcotest.(check (list (pair int string)))
+        "bystander unaffected"
+        [ (0, "fine") ]
+        r1.(2);
+      (* Round 2: recovered — traffic flows again. *)
+      Net.send net ~src:1 ~dst:0 "back";
+      Net.send net ~src:0 ~dst:1 "hello-again";
+      let r2 = Net.deliver net in
+      Alcotest.(check (list (pair int string)))
+        "sends after recovery"
+        [ (1, "back") ]
+        r2.(0);
+      Alcotest.(check (list (pair int string)))
+        "receives after recovery"
+        [ (0, "hello-again") ]
+        r2.(1));
+  Alcotest.(check int) "crashed messages counted" 2
+    (Net.Plan.stats plan).Net.Plan.crashed_msgs
+
+let test_plan_deterministic () =
+  let run () =
+    let plan =
+      Net.Plan.make ~drop:0.3 ~delay:0.2 ~duplicate:0.2 ~reorder:0.3 ~seed:42
+        ()
+    in
+    Net.with_plan plan (fun () ->
+        let net = mk 5 in
+        let log = ref [] in
+        for _ = 1 to 6 do
+          for src = 0 to 4 do
+            Net.send_to_all net ~src (fun dst ->
+                Printf.sprintf "%d-%d" src dst)
+          done;
+          log := Net.deliver net :: !log
+        done;
+        (!log, Net.Plan.stats plan))
+  in
+  Alcotest.(check bool) "bit-identical replay from seed" true (run () = run ())
+
+(* The absorption guarantee: under a bounded plan, a retransmit
+   envelope with any budget >= 1 delivers every honest message exactly
+   once, whatever mix of drops, delays, duplicates, corruption and
+   reordering the plan throws at the individual attempts. *)
+let test_exchange_absorbs_within_budget () =
+  let plan =
+    Net.Plan.make ~drop:0.4 ~delay:0.3 ~duplicate:0.3 ~corrupt:0.2
+      ~reorder:0.5 ~retransmits:2 ~seed:7 ()
+  in
+  Net.with_plan plan (fun () ->
+      let net = Net.create ~codec:str_codec ~n:5 ~byte_size:String.length () in
+      for round = 1 to 8 do
+        let inbox =
+          Net.exchange net ~send:(fun () ->
+              for src = 0 to 4 do
+                Net.send_to_all net ~src (fun dst ->
+                    Printf.sprintf "r%d:%d>%d" round src dst)
+              done)
+        in
+        for dst = 0 to 4 do
+          Alcotest.(check (list (pair int string)))
+            (Printf.sprintf "round %d: complete clean inbox at %d" round dst)
+            (List.init 5 (fun src ->
+                 (src, Printf.sprintf "r%d:%d>%d" round src dst)))
+            inbox.(dst)
+        done
+      done);
+  let s = Net.Plan.stats plan in
+  Alcotest.(check bool)
+    "faults actually fired" true
+    (s.Net.Plan.dropped > 0 && s.Net.Plan.delayed > 0)
+
+let test_exchange_zero_budget_faults_land () =
+  let plan = Net.Plan.make ~drop:1.0 ~retransmits:0 ~seed:8 () in
+  Net.with_plan plan (fun () ->
+      let net = mk 3 in
+      let inbox =
+        Net.exchange net ~send:(fun () -> Net.send net ~src:0 ~dst:1 "x")
+      in
+      Alcotest.(check (list (pair int string)))
+        "no retransmit: the drop sticks" [] inbox.(1))
+
+let test_exchange_crash_not_absorbed () =
+  let plan = Net.Plan.make ~crashes:[ (2, 1, None) ] ~retransmits:3 ~seed:9 () in
+  Net.with_plan plan (fun () ->
+      let net = mk 3 in
+      let inbox =
+        Net.exchange net ~send:(fun () ->
+            Net.send_to_all net ~src:0 (fun dst -> "m" ^ string_of_int dst))
+      in
+      Alcotest.(check (list (pair int string)))
+        "no budget reaches a dead player" [] inbox.(2);
+      Alcotest.(check (list (pair int string)))
+        "live player served"
+        [ (0, "m1") ]
+        inbox.(1))
+
+let test_exchange_without_plan_is_one_round () =
+  let net = mk 2 in
+  let inbox =
+    Net.exchange net ~send:(fun () -> Net.send net ~src:0 ~dst:1 "plain")
+  in
+  Alcotest.(check (list (pair int string)))
+    "identical to send-then-deliver"
+    [ (0, "plain") ]
+    inbox.(1);
+  Alcotest.(check int) "one round" 1 (Net.rounds_elapsed net)
 
 let test_faults_construction () =
   let f = Net.Faults.make ~n:7 ~faulty:[ 1; 4 ] in
@@ -95,6 +314,24 @@ let suite =
     Alcotest.test_case "multiple messages same round" `Quick
       test_multiple_messages_same_round;
     Alcotest.test_case "id validation" `Quick test_id_validation;
+    Alcotest.test_case "plan validation" `Quick test_plan_validation;
+    Alcotest.test_case "plan drops" `Quick test_plan_drop_all;
+    Alcotest.test_case "plan delays" `Quick test_plan_delay;
+    Alcotest.test_case "plan duplicates" `Quick test_plan_duplicate;
+    Alcotest.test_case "plan corrupts" `Quick test_plan_corrupt;
+    Alcotest.test_case "plan reorders" `Quick test_plan_reorder;
+    Alcotest.test_case "plan crash and recovery" `Quick
+      test_plan_crash_and_recovery;
+    Alcotest.test_case "plan deterministic from seed" `Quick
+      test_plan_deterministic;
+    Alcotest.test_case "exchange absorbs within budget" `Quick
+      test_exchange_absorbs_within_budget;
+    Alcotest.test_case "exchange with zero budget" `Quick
+      test_exchange_zero_budget_faults_land;
+    Alcotest.test_case "exchange cannot absorb crashes" `Quick
+      test_exchange_crash_not_absorbed;
+    Alcotest.test_case "exchange without a plan" `Quick
+      test_exchange_without_plan_is_one_round;
     Alcotest.test_case "faults construction" `Quick test_faults_construction;
     Alcotest.test_case "faults random" `Quick test_faults_random;
     Alcotest.test_case "faults validation" `Quick test_faults_validation;

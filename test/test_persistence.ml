@@ -84,18 +84,75 @@ let test_restore_validation () =
       ~initial_seed:6 ()
   in
   let saved = PL.save p in
-  Alcotest.check_raises "bad magic" (Invalid_argument "Pool.restore: bad magic")
-    (fun () ->
+  Alcotest.check_raises "bad magic"
+    (PL.Corrupt_snapshot "Pool.load: bad magic") (fun () ->
       let corrupted = Bytes.copy saved in
       Bytes.set_uint8 corrupted 0 0x00;
       ignore
-        (PL.restore ~prng:(Prng.of_int 1) ~batch_size:16 ~refill_threshold:3
+        (PL.load ~prng:(Prng.of_int 1) ~batch_size:16 ~refill_threshold:3
            corrupted));
+  (* Bad parameters alongside intact bytes stay Invalid_argument —
+     distinct from corruption. *)
   Alcotest.check_raises "bad threshold"
-    (Invalid_argument "Pool.restore: refill_threshold must be >= 2") (fun () ->
+    (Invalid_argument "Pool.load: refill_threshold must be >= 2") (fun () ->
       ignore
-        (PL.restore ~prng:(Prng.of_int 1) ~batch_size:16 ~refill_threshold:1
+        (PL.load ~prng:(Prng.of_int 1) ~batch_size:16 ~refill_threshold:1
            saved))
+
+(* The satellite-2 guarantee: no matter which byte of a snapshot is
+   damaged, [load] reports [Corrupt_snapshot] — never a raw decode
+   exception from deep inside the payload reader. *)
+let load_expecting_corrupt ~ctx bytes =
+  match
+    PL.load ~prng:(Prng.of_int 1) ~batch_size:16 ~refill_threshold:3 bytes
+  with
+  | (_ : PL.t) -> Alcotest.failf "%s: corrupted snapshot was accepted" ctx
+  | exception PL.Corrupt_snapshot _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Corrupt_snapshot, got %s" ctx
+        (Printexc.to_string e)
+
+let test_load_rejects_every_flip () =
+  let p =
+    PL.create ~prng:(Prng.of_int 6) ~n ~t ~batch_size:16 ~refill_threshold:3
+      ~initial_seed:6 ()
+  in
+  let saved = PL.save p in
+  for pos = 0 to Bytes.length saved - 1 do
+    for bit = 0 to 7 do
+      let corrupted = Bytes.copy saved in
+      Bytes.set_uint8 corrupted pos
+        (Bytes.get_uint8 corrupted pos lxor (1 lsl bit));
+      load_expecting_corrupt
+        ~ctx:(Printf.sprintf "flip byte %d bit %d" pos bit)
+        corrupted
+    done
+  done
+
+let test_load_rejects_truncation_and_garbage () =
+  let p =
+    PL.create ~prng:(Prng.of_int 7) ~n ~t ~batch_size:16 ~refill_threshold:3
+      ~initial_seed:6 ()
+  in
+  let saved = PL.save p in
+  (* Every proper prefix, including the empty one. *)
+  List.iter
+    (fun len ->
+      load_expecting_corrupt
+        ~ctx:(Printf.sprintf "truncated to %d bytes" len)
+        (Bytes.sub saved 0 len))
+    [ 0; 1; 10; 11; Bytes.length saved / 2; Bytes.length saved - 1 ];
+  (* Trailing garbage breaks the declared payload length. *)
+  load_expecting_corrupt ~ctx:"trailing byte"
+    (Bytes.cat saved (Bytes.make 1 '\x00'));
+  (* Arbitrary garbage of assorted sizes. *)
+  let g = Prng.of_int 8 in
+  for trial = 1 to 50 do
+    let len = Prng.int g 64 in
+    let garbage = Bytes.init len (fun _ -> Char.chr (Prng.int g 256)) in
+    load_expecting_corrupt ~ctx:(Printf.sprintf "garbage trial %d" trial)
+      garbage
+  done
 
 let suite =
   [
@@ -105,4 +162,8 @@ let suite =
     Alcotest.test_case "read rejects garbage" `Quick test_read_rejects_garbage;
     Alcotest.test_case "pool save/restore" `Quick test_pool_save_restore;
     Alcotest.test_case "restore validation" `Quick test_restore_validation;
+    Alcotest.test_case "load rejects every bit flip" `Quick
+      test_load_rejects_every_flip;
+    Alcotest.test_case "load rejects truncation and garbage" `Quick
+      test_load_rejects_truncation_and_garbage;
   ]

@@ -157,6 +157,109 @@ let test_randomized_ba_under_attack () =
   Alcotest.(check int) "served" 40 s.PL.coins_exposed;
   Alcotest.(check int) "no unanimity failures" 0 s.PL.unanimity_failures
 
+(* DESIGN E12: the long-run soak. At least 50 refill epochs under a
+   mobile adversary AND a degraded network (5% message drop, retransmit
+   budget 1), with a crash-recovery in the middle — the pool is
+   snapshotted, "crashes", a corrupted copy of the snapshot is rejected,
+   and service resumes from the intact bytes. Over the whole run the
+   pool never starves, never breaks unanimity, and the trusted dealer is
+   consulted exactly once (at the very first setup — the paper's
+   contrast with [Rab83]). *)
+let test_degraded_soak_with_recovery () =
+  let g = Prng.of_int 99 in
+  let fault_sets = Array.init 64 (fun _ -> Net.Faults.random g ~n ~t) in
+  let adversary refill =
+    let faults = fault_sets.(refill mod 64) in
+    CG.faulty_with ~as_dealer:(CG.BG.Bad_degree [ 0 ])
+      ~as_gamma:CG.Silent_vec ~as_ba:(Phase_king.Fixed false) faults
+  in
+  let expose_behavior refill i =
+    let faults = fault_sets.(refill mod 64) in
+    if Net.Faults.is_faulty faults i then CE.Send (F.of_int 0xBEEF)
+    else CE.Honest
+  in
+  let plan = Net.Plan.make ~drop:0.05 ~retransmits:1 ~seed:424242 () in
+  Net.with_plan plan (fun () ->
+      let p =
+        PL.create ~adversary ~expose_behavior ~prng:(Prng.split g) ~n ~t
+          ~batch_size:8 ~refill_threshold:3 ~initial_seed:6 ()
+      in
+      for _ = 1 to 200 do
+        ignore (PL.draw_kary p)
+      done;
+      let mid = PL.stats p in
+      Alcotest.(check bool) "refilling before the crash" true
+        (mid.PL.refills >= 25);
+      (* Crash: persist, reject a damaged snapshot, recover, resume. *)
+      let saved = PL.save p in
+      (let corrupted = Bytes.copy saved in
+       let pos = Bytes.length saved / 2 in
+       Bytes.set_uint8 corrupted pos (Bytes.get_uint8 corrupted pos lxor 0x10);
+       match
+         PL.load ~prng:(Prng.of_int 1) ~batch_size:8 ~refill_threshold:3
+           corrupted
+       with
+       | (_ : PL.t) -> Alcotest.fail "corrupted snapshot accepted"
+       | exception PL.Corrupt_snapshot _ -> ());
+      let q =
+        PL.load ~adversary ~expose_behavior ~prng:(Prng.split g) ~batch_size:8
+          ~refill_threshold:3 saved
+      in
+      for _ = 1 to 200 do
+        ignore (PL.draw_kary q)
+      done;
+      let s = PL.stats q in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d refill epochs over the soak" s.PL.refills)
+        true (s.PL.refills >= 50);
+      Alcotest.(check int) "dealer consulted exactly once (6 coins)" 6
+        s.PL.dealer_coins;
+      Alcotest.(check int) "all 400 draws served" 400 s.PL.coins_exposed;
+      Alcotest.(check int) "no unanimity failures" 0 s.PL.unanimity_failures;
+      Alcotest.(check int) "no refill attempt failed"
+        s.PL.refills s.PL.refill_attempts;
+      Alcotest.(check int) "no backoff needed" 0 s.PL.backoff_rounds);
+  Alcotest.(check bool) "the network really was lossy" true
+    ((Net.Plan.stats plan).Net.Plan.dropped > 100)
+
+(* Graceful degradation of the refill loop: with a 1-iteration BA cap
+   and faulty players whose proposal grade-casts stay silent, a Coin-Gen
+   run fails outright whenever a faulty leader is drawn (its proposal
+   carries no payload, so BA rejects it) — the pool must absorb those
+   failures with backoff-and-retry instead of starving on the first
+   one. *)
+let test_refill_backoff_and_retry () =
+  let g = Prng.of_int 31337 in
+  let fault_sets = Array.init 32 (fun _ -> Net.Faults.random g ~n ~t) in
+  let adversary refill =
+    CG.faulty_with ~as_gradecast_dealer:Gradecast.Dealer_silent
+      ~as_ba:(Phase_king.Fixed false)
+      fault_sets.(refill mod 32)
+  in
+  (* Every failed attempt still burns ~2 seed coins (check coin plus a
+     leader draw), so the reserve must fund the retry budget: hence the
+     tall threshold — the DESIGN §11 sizing rule. *)
+  let p =
+    PL.create ~adversary ~max_ba_iterations:1 ~prng:(Prng.split g) ~n ~t
+      ~batch_size:16 ~refill_threshold:8 ~initial_seed:9 ()
+  in
+  let (), snap =
+    Metrics.with_counting (fun () ->
+        for _ = 1 to 300 do
+          ignore (PL.draw_kary p)
+        done)
+  in
+  let s = PL.stats p in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d attempts > %d refills" s.PL.refill_attempts
+       s.PL.refills)
+    true
+    (s.PL.refill_attempts > s.PL.refills);
+  Alcotest.(check bool) "backoff rounds charged" true (s.PL.backoff_rounds >= 1);
+  Alcotest.(check bool) "backoff visible to Metrics" true
+    (snap.Metrics.rounds > s.PL.backoff_rounds);
+  Alcotest.(check int) "all draws served" 300 s.PL.coins_exposed
+
 (* Coin conservation under arbitrary operation sequences: every coin in
    existence was either dealt at setup or generated by a refill, and is
    now either exposed (as seed or for the application) or still in the
@@ -194,5 +297,9 @@ let suite =
     Alcotest.test_case "randomized BA flavor" `Quick test_randomized_ba_flavor;
     Alcotest.test_case "randomized BA under attack" `Quick
       test_randomized_ba_under_attack;
+    Alcotest.test_case "degraded soak with crash recovery" `Quick
+      test_degraded_soak_with_recovery;
+    Alcotest.test_case "refill backoff and retry" `Quick
+      test_refill_backoff_and_retry;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_conservation ]
