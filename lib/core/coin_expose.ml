@@ -38,12 +38,12 @@ module Make (F : Field_intf.S) = struct
 
   let trusted_points coin i inbox_i =
     List.filter_map
-      (fun (j, v) ->
-        if C.trusted_row coin i j then Some (S.eval_point j, v) else None)
+      (fun (j, v) -> if C.trusted_row coin i j then Some (j, v) else None)
       inbox_i
 
   let run ?sender_behavior (coin : C.t) =
     let n = coin.C.n and t = coin.C.fault_bound in
+    let plan = S.grid ~n ~t in
     let inbox = send_round ?sender_behavior coin in
     Array.init n (fun i ->
         let points = trusted_points coin i inbox.(i) in
@@ -51,9 +51,21 @@ module Make (F : Field_intf.S) = struct
         let e = (m - t - 1) / 2 in
         if e < 0 then None
         else
-          match BW.decode ~max_degree:t ~max_errors:e points with
-          | None -> None
-          | Some f -> Some (BW.P.eval f F.zero))
+          (* Fast path: when every trusted share lies on one degree-<= t
+             polynomial (the overwhelmingly common, fault-free case) the
+             plan's cached subset weights reconstruct f(0) directly.
+             Berlekamp-Welch — the same decoder as before — takes over
+             exactly when the check fails, i.e. when there are errors to
+             correct, so the decoded value is unchanged in all cases. *)
+          match S.G.reconstruct_zero_checked plan points with
+          | Some v -> Some v
+          | None -> (
+              let points =
+                List.map (fun (j, v) -> (S.eval_point j, v)) points
+              in
+              match BW.decode ~max_degree:t ~max_errors:e points with
+              | None -> None
+              | Some f -> Some (BW.P.eval f F.zero)))
 
   let expose_bit ?sender_behavior coin =
     Array.map
@@ -62,6 +74,7 @@ module Make (F : Field_intf.S) = struct
 
   let run_lagrange ?sender_behavior (coin : C.t) =
     let n = coin.C.n and t = coin.C.fault_bound in
+    let plan = S.grid ~n ~t in
     let inbox = send_round ?sender_behavior coin in
     Array.init n (fun i ->
         let points = trusted_points coin i inbox.(i) in
@@ -72,5 +85,5 @@ module Make (F : Field_intf.S) = struct
         in
         let points = take (t + 1) points in
         if List.length points < t + 1 then None
-        else Some (P.interpolate_at points F.zero))
+        else Some (S.reconstruct_with plan points))
 end

@@ -3,7 +3,14 @@
    A field element is a polynomial over GF(2) of degree < k, packed as
    the low k bits of an int. The word width constraint comes from the
    multiplication loop below, which shifts the multiplicand one past the
-   top bit of the modulus before reducing. *)
+   top bit of the modulus before reducing.
+
+   For k <= 16 multiplication additionally runs off exp/log tables over
+   the (cyclic) multiplicative group, mirroring the Zq_table trick: one
+   table lookup replaces the k-step shift-and-xor loop. The naive loop
+   is kept as the reference implementation ([mul_naive], and the whole
+   backend as [Make_untabled]) so equivalence stays testable and the
+   paper's naive-multiplication baseline stays measurable. *)
 
 let degree x =
   let rec go i = if i < 0 then -1 else if x land (1 lsl i) <> 0 then i else go (i - 1) in
@@ -77,7 +84,22 @@ module type PARAM = sig
   val k : int
 end
 
-module Make (P : PARAM) = struct
+module type S = sig
+  include Field_intf.S
+
+  val modulus : int
+  val of_repr : int -> t
+  val repr : t -> int
+  val tabled : bool
+  val mul_naive : t -> t -> t
+end
+
+(* Largest extension degree for which the exp/log tables are built: the
+   doubled exp table holds 2(2^k - 1) words, so k = 16 tops out at one
+   megabyte per instantiated field. *)
+let table_threshold = 16
+
+module Make_gen (P : PARAM) (T : sig val want_tables : bool end) = struct
   let () =
     if P.k < 1 || P.k > 61 then
       invalid_arg "Gf2k.Make: k must be within [1, 61]"
@@ -112,11 +134,63 @@ module Make (P : PARAM) = struct
     Metrics.tick_adds 1;
     x
 
-  let mul a b =
+  let mul_naive a b =
     Metrics.tick_mults 1;
     mul_mod ~modulus a b
 
-  let inv a =
+  let tabled = T.want_tables && P.k <= table_threshold
+
+  (* The multiplicative group is cyclic of order 2^k - 1. exp.(i) = g^i
+     for a generator g; the table is doubled so index sums (mul) and the
+     [ord - log a] of inv never need reduction mod ord. Built with raw
+     [mul_mod]: table construction is setup, not protocol work, and must
+     not tick the ambient counters. *)
+  let ord = mask
+
+  let tables =
+    if not tabled then None
+    else begin
+      let pow_raw b e =
+        let rec go acc b e =
+          if e = 0 then acc
+          else
+            go
+              (if e land 1 = 1 then mul_mod ~modulus acc b else acc)
+              (mul_mod ~modulus b b) (e lsr 1)
+        in
+        go 1 b e
+      in
+      let factors = prime_factors ord in
+      let is_generator g =
+        List.for_all (fun p -> pow_raw g (ord / p) <> 1) factors
+      in
+      let rec find g =
+        if g > mask then invalid_arg (name ^ ": no generator found")
+        else if is_generator g then g
+        else find (g + 1)
+      in
+      let g = if ord = 1 then 1 else find 2 in
+      let exp_table = Array.make (2 * ord) 1 in
+      let log_table = Array.make (ord + 1) 0 in
+      let acc = ref 1 in
+      for i = 0 to (2 * ord) - 1 do
+        exp_table.(i) <- !acc;
+        if i < ord then log_table.(!acc) <- i;
+        acc := mul_mod ~modulus !acc g
+      done;
+      Some (exp_table, log_table)
+    end
+
+  let mul =
+    match tables with
+    | None -> mul_naive
+    | Some (exp_table, log_table) ->
+        fun a b ->
+          Metrics.tick_mults 1;
+          if a = 0 || b = 0 then 0
+          else exp_table.(log_table.(a) + log_table.(b))
+
+  let inv_naive a =
     if a = 0 then raise Division_by_zero;
     Metrics.tick_invs 1;
     (* Extended Euclid over GF(2)[x], tracking only the coefficient of
@@ -136,6 +210,15 @@ module Make (P : PARAM) = struct
         go r1 s1 r s
     in
     go modulus 0 a 1
+
+  let inv =
+    match tables with
+    | None -> inv_naive
+    | Some (exp_table, log_table) ->
+        fun a ->
+          if a = 0 then raise Division_by_zero;
+          Metrics.tick_invs 1;
+          exp_table.(ord - log_table.(a))
 
   let div a b = mul a (inv b)
 
@@ -176,6 +259,10 @@ module Make (P : PARAM) = struct
   let pp ppf x = Format.fprintf ppf "0x%x" x
   let to_string x = Printf.sprintf "0x%x" x
 end
+
+module Make (P : PARAM) = Make_gen (P) (struct let want_tables = true end)
+module Make_untabled (P : PARAM) =
+  Make_gen (P) (struct let want_tables = false end)
 
 module GF8 = Make (struct let k = 8 end)
 module GF16 = Make (struct let k = 16 end)

@@ -18,7 +18,11 @@ module type PARAM = sig
   (** Field extension degree; [1 <= k <= 61]. *)
 end
 
-module Make (P : PARAM) : sig
+val table_threshold : int
+(** Largest [k] (16) for which {!Make} builds exp/log multiplication
+    tables; beyond it the shift-and-xor loop is the only path. *)
+
+module type S = sig
   include Field_intf.S
 
   val modulus : int
@@ -30,14 +34,33 @@ module Make (P : PARAM) : sig
 
   val repr : t -> int
   (** The underlying bit pattern, [< 2^k]. *)
+
+  val tabled : bool
+  (** Whether {!mul} runs off exp/log tables (true in {!Make} for
+      [k <= table_threshold]). *)
+
+  val mul_naive : t -> t -> t
+  (** The shift-and-xor reference multiplication, regardless of
+      {!tabled}. Ticks one {!Metrics} mult exactly like {!mul}, so the
+      paper's cost accounting is identical on both paths. *)
 end
+
+module Make (P : PARAM) : S
+(** Tabled multiplication when [P.k <= table_threshold]: [mul a b] is
+    [exp.(log a + log b)] over a doubled exp table of the cyclic
+    multiplicative group (the {!Zq_table} trick), with [inv] a single
+    lookup too. Each lookup still ticks exactly one mult/inv. *)
+
+module Make_untabled (P : PARAM) : S
+(** Identical field, always on the naive shift-and-xor path — the
+    pre-optimization baseline, kept instantiable for benchmarks. *)
 
 (** {1 Ready-made instances} *)
 
-module GF8 : Field_intf.S
-module GF16 : Field_intf.S
-module GF32 : Field_intf.S
-module GF61 : Field_intf.S
+module GF8 : S
+module GF16 : S
+module GF32 : S
+module GF61 : S
 
 (** {1 Polynomial arithmetic over GF(2) on word-packed representations}
 

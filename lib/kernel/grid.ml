@@ -1,0 +1,269 @@
+module Make (F : Field_intf.S) = struct
+  module P = Poly.Make (F)
+
+  type t = {
+    n : int;
+    deg : int;
+    xs : F.t array; (* xs.(i) = F.of_int (i + 1), player i's point *)
+    vand : F.t array array; (* vand.(i).(d) = xs.(i)^d, d <= deg *)
+    ext : F.t array array;
+        (* ext.(r).(j) = L_j(xs.(deg + 1 + r)) for the Lagrange basis
+           over the first deg + 1 grid points: the full-grid degree
+           check is "every later value equals its extension row dotted
+           with the first deg + 1 values". *)
+    weights0 : (int, F.t array) Hashtbl.t;
+        (* subset bitset -> Lagrange-at-zero weights, ids ascending *)
+    exts : (int, F.t array array) Hashtbl.t;
+        (* subset bitset -> extension rows over its first deg + 1 ids *)
+  }
+
+  let n plan = plan.n
+  let degree_bound plan = plan.deg
+  let point plan i = plan.xs.(i)
+
+  (* Lagrange basis rows over base points [bs]: for each y in [ys] the
+     row of values L_j(y). Denominator inverses are shared across rows;
+     the numerators come from prefix/suffix products of (y - bs.(m)),
+     so each row costs O(|bs|) multiplications. *)
+  let basis_rows bs ys =
+    let b = Array.length bs in
+    let inv_denom =
+      Array.init b (fun j ->
+          let d = ref F.one in
+          for m = 0 to b - 1 do
+            if m <> j then d := F.mul !d (F.sub bs.(j) bs.(m))
+          done;
+          (* Distinct grid points make the product non-zero. *)
+          F.inv !d)
+    in
+    Array.map
+      (fun y ->
+        let diff = Array.init b (fun m -> F.sub y bs.(m)) in
+        let pre = Array.make (b + 1) F.one in
+        for m = 0 to b - 1 do
+          pre.(m + 1) <- F.mul pre.(m) diff.(m)
+        done;
+        let suf = Array.make (b + 1) F.one in
+        for m = b - 1 downto 0 do
+          suf.(m) <- F.mul suf.(m + 1) diff.(m)
+        done;
+        Array.init b (fun j ->
+            F.mul (F.mul pre.(j) suf.(j + 1)) inv_denom.(j)))
+      ys
+
+  (* Lagrange-at-zero weights for the point set [ps]: weight i is
+     prod_{j<>i} (0 - x_j) / (x_i - x_j) — exactly the coefficients the
+     direct interpolate_at formula derives per call. *)
+  let zero_weights ps =
+    let s = Array.length ps in
+    let nx = Array.map F.neg ps in
+    let pre = Array.make (s + 1) F.one in
+    for m = 0 to s - 1 do
+      pre.(m + 1) <- F.mul pre.(m) nx.(m)
+    done;
+    let suf = Array.make (s + 1) F.one in
+    for m = s - 1 downto 0 do
+      suf.(m) <- F.mul suf.(m + 1) nx.(m)
+    done;
+    Array.init s (fun i ->
+        let num = F.mul pre.(i) suf.(i + 1) in
+        let den = ref F.one in
+        for j = 0 to s - 1 do
+          if j <> i then den := F.mul !den (F.sub ps.(i) ps.(j))
+        done;
+        F.div num !den)
+
+  let make ~n ~t =
+    if n < 1 then invalid_arg "Grid.make: n must be positive";
+    if t < 0 || t >= n then invalid_arg "Grid.make: need 0 <= t < n";
+    let xs = Array.init n (fun i -> F.of_int (i + 1)) in
+    let vand =
+      Array.init n (fun i ->
+          let row = Array.make (t + 1) F.one in
+          for d = 1 to t do
+            row.(d) <- F.mul row.(d - 1) xs.(i)
+          done;
+          row)
+    in
+    let ext = basis_rows (Array.sub xs 0 (t + 1)) (Array.sub xs (t + 1) (n - t - 1)) in
+    {
+      n;
+      deg = t;
+      xs;
+      vand;
+      ext;
+      weights0 = Hashtbl.create 7;
+      exts = Hashtbl.create 7;
+    }
+
+  let eval_coeffs plan cs =
+    let len = Array.length cs in
+    if len > plan.deg + 1 then
+      invalid_arg "Grid.eval_coeffs: degree exceeds the plan bound";
+    if len = 0 then Array.make plan.n F.zero
+    else
+      Array.init plan.n (fun i ->
+          let row = plan.vand.(i) in
+          let acc = ref cs.(0) in
+          for d = 1 to len - 1 do
+            acc := F.add !acc (F.mul cs.(d) row.(d))
+          done;
+          !acc)
+
+  let eval_poly plan p =
+    let d = P.degree p in
+    if d > plan.deg then
+      invalid_arg "Grid.eval_poly: degree exceeds the plan bound";
+    if d < 0 then Array.make plan.n F.zero
+    else
+      Array.init plan.n (fun i ->
+          let row = plan.vand.(i) in
+          let acc = ref (P.coeff p 0) in
+          for j = 1 to d do
+            acc := F.add !acc (F.mul (P.coeff p j) row.(j))
+          done;
+          !acc)
+
+  let fits plan values =
+    if Array.length values <> plan.n then
+      invalid_arg "Grid.fits: expected one value per grid point";
+    Metrics.tick_interpolation ();
+    let b = plan.deg + 1 in
+    let ok = ref true in
+    let r = ref 0 in
+    while !ok && !r < plan.n - b do
+      let row = plan.ext.(!r) in
+      let acc = ref F.zero in
+      for j = 0 to b - 1 do
+        acc := F.add !acc (F.mul row.(j) values.(j))
+      done;
+      if not (F.equal !acc values.(b + !r)) then ok := false;
+      incr r
+    done;
+    !ok
+
+  (* ---- subsets -------------------------------------------------- *)
+
+  (* Canonical subset order is ascending player id; the cache key is the
+     membership bitset, which fits one word for n <= 62 (every deployed
+     grid: of_int player ids cap n well below that in the small fields,
+     and OCaml ints carry 62 bits). Larger grids skip the cache rather
+     than the computation. *)
+  let subset_key plan ids =
+    if plan.n > 62 then None
+    else Some (List.fold_left (fun acc i -> acc lor (1 lsl i)) 0 ids)
+
+  (* [sort_points_opt] is [None] when two points share a player id —
+     degraded networks deliver duplicates, which only the
+     error-correcting fallback knows how to weigh. *)
+  let sort_points_opt plan points =
+    (match points with
+    | [] -> invalid_arg "Grid: no points"
+    | _ -> ());
+    let ps = List.sort (fun (a, _) (b, _) -> compare a b) points in
+    let rec check prev = function
+      | [] -> true
+      | (i, _) :: rest ->
+          if i < 0 || i >= plan.n then
+            invalid_arg "Grid: player id out of range";
+          i <> prev && check i rest
+    in
+    if check (-1) ps then Some ps else None
+
+  let sort_points plan points =
+    match sort_points_opt plan points with
+    | Some ps -> ps
+    | None -> invalid_arg "Grid: duplicate player id"
+
+  let points_of_ids plan ids =
+    Array.of_list (List.map (fun i -> plan.xs.(i)) ids)
+
+  let weights_for plan ids =
+    match subset_key plan ids with
+    | None -> zero_weights (points_of_ids plan ids)
+    | Some key -> (
+        match Hashtbl.find_opt plan.weights0 key with
+        | Some w -> w
+        | None ->
+            let w = zero_weights (points_of_ids plan ids) in
+            Hashtbl.replace plan.weights0 key w;
+            w)
+
+  (* Extension rows of a subset: Lagrange basis over its first deg + 1
+     ids, evaluated at the remaining ids. Callers guarantee
+     |ids| >= deg + 2. *)
+  let ext_for plan ids =
+    let build () =
+      let arr = Array.of_list ids in
+      let b = plan.deg + 1 in
+      let base = Array.map (fun i -> plan.xs.(i)) (Array.sub arr 0 b) in
+      let extra =
+        Array.map (fun i -> plan.xs.(i))
+          (Array.sub arr b (Array.length arr - b))
+      in
+      basis_rows base extra
+    in
+    match subset_key plan ids with
+    | None -> build ()
+    | Some key -> (
+        match Hashtbl.find_opt plan.exts key with
+        | Some rows -> rows
+        | None ->
+            let rows = build () in
+            Hashtbl.replace plan.exts key rows;
+            rows)
+
+  let fits_sorted plan ps =
+    let b = plan.deg + 1 in
+    let s = List.length ps in
+    if s <= b then true
+    else begin
+      let ids = List.map fst ps in
+      let rows = ext_for plan ids in
+      let ys = Array.of_list (List.map snd ps) in
+      let ok = ref true in
+      let r = ref 0 in
+      while !ok && !r < s - b do
+        let row = (rows : F.t array array).(!r) in
+        let acc = ref F.zero in
+        for j = 0 to b - 1 do
+          acc := F.add !acc (F.mul row.(j) ys.(j))
+        done;
+        if not (F.equal !acc ys.(b + !r)) then ok := false;
+        incr r
+      done;
+      !ok
+    end
+
+  let fits_on plan points =
+    let ps = sort_points plan points in
+    Metrics.tick_interpolation ();
+    fits_sorted plan ps
+
+  let reconstruct_sorted plan ps =
+    let ids = List.map fst ps in
+    let w = weights_for plan ids in
+    let acc = ref F.zero in
+    List.iteri (fun idx (_, y) -> acc := F.add !acc (F.mul w.(idx) y)) ps;
+    !acc
+
+  let reconstruct_zero plan points =
+    let ps = sort_points plan points in
+    Metrics.tick_interpolation ();
+    reconstruct_sorted plan ps
+
+  let reconstruct_zero_checked plan points =
+    Metrics.tick_interpolation ();
+    match sort_points_opt plan points with
+    | None -> None
+    | Some ps ->
+        let b = plan.deg + 1 in
+        if List.length ps < b then None
+        else if not (fits_sorted plan ps) then None
+        else
+          let rec take k = function
+            | p :: rest when k > 0 -> p :: take (k - 1) rest
+            | _ -> []
+          in
+          Some (reconstruct_sorted plan (take b ps))
+end

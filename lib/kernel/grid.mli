@@ -1,0 +1,88 @@
+(** Precomputed evaluation-grid kernels.
+
+    Every protocol in this repository works over the same fixed point
+    set: player [i] lives at [F.of_int (i + 1)], and a session's
+    parameters [(n, t)] never change between the [deal], [verify] and
+    [reconstruct] calls of a batch. The naive paths re-derive the
+    Lagrange/Vandermonde setup for that grid on every call — an
+    [O(n^2)] cost the paper's amortization argument never pays, because
+    the setup is the same each time. A {!t} is that setup, computed
+    once per [(field, n, t)] session:
+
+    - a transposed-Vandermonde table [x_i^d] for multi-point evaluation
+      of degree-[<= t] polynomials (dealing: one polynomial to all [n]
+      grid points, the table shared across all [M] polynomials of a
+      batch);
+    - extension rows [L_j(x_i)] of the Lagrange basis over the first
+      [t + 1] grid points, turning the Fig. 2/Fig. 3 degree check
+      ("do all [n] broadcast values lie on one degree-[<= t]
+      polynomial?") into [(n - t - 1)(t + 1)] multiplications with no
+      polynomial allocation;
+    - per-subset caches of Lagrange-at-zero weights and extension rows,
+      keyed by the participating-index bitset, for Coin-Expose
+      reconstruction under missing or faulty shares (the subset of
+      trusted senders repeats across coins of a batch).
+
+    All kernels compute exactly the same field elements as the naive
+    {!Poly} paths (fields are exact; only the association order
+    differs, property-tested in [test/test_kernel.ml]), and tick
+    {!Metrics} identically where the naive path did: one
+    [tick_interpolation] per degree check or reconstruction, and the
+    same multiplication count as Horner evaluation per dealt share. *)
+
+module Make (F : Field_intf.S) : sig
+  module P : module type of Poly.Make (F)
+
+  type t
+  (** A plan for the grid [F.of_int 1 .. F.of_int n] with degree bound
+      [t]. Immutable apart from its internal append-only subset
+      caches. *)
+
+  val make : n:int -> t:int -> t
+  (** Precompute the plan; [O(n t)] field operations and [t + 1]
+      inversions, paid once per session. Requires [0 <= t < n] and [n]
+      distinct non-zero grid points to exist in [F]. *)
+
+  val n : t -> int
+  val degree_bound : t -> int
+
+  val point : t -> int -> F.t
+  (** [point plan i = F.of_int (i + 1)], read from the plan. *)
+
+  val eval_coeffs : t -> F.t array -> F.t array
+  (** Evaluate the polynomial with the given coefficients (increasing
+      degree, length [<= t + 1]) at all [n] grid points via the
+      precomputed power table. Same multiplication/addition count as
+      [n] Horner evaluations. *)
+
+  val eval_poly : t -> P.t -> F.t array
+  (** [eval_coeffs] on a {!Poly.Make.t} of degree [<= t], without
+      copying its coefficients. *)
+
+  val fits : t -> F.t array -> bool
+  (** [fits plan values]: do the [n] grid values (indexed by player)
+      lie on a single polynomial of degree [<= t]? Equivalent to
+      {!Poly.Make.fits_degree} on the full grid; ticks one
+      interpolation. *)
+
+  val fits_on : t -> (int * F.t) list -> bool
+  (** Subset variant: the points [(player, value)] (distinct players)
+      lie on a degree-[<= t] polynomial. Subsets of size [<= t + 1]
+      fit trivially. Extension rows are cached per subset. Ticks one
+      interpolation. *)
+
+  val reconstruct_zero : t -> (int * F.t) list -> F.t
+  (** Interpolate [f(0)] through the given [(player, value)] points
+      (distinct players; no degree check — all points are used, like
+      {!Poly.Make.interpolate_at} at zero). Weights are cached per
+      subset. Ticks one interpolation. *)
+
+  val reconstruct_zero_checked : t -> (int * F.t) list -> F.t option
+  (** Combined degree check and reconstruction, ticking one
+      interpolation total: [Some f(0)] when all points lie on one
+      degree-[<= t] polynomial [f] (at least [t + 1] points required),
+      [None] otherwise — including when two points share a player id
+      (degraded networks deliver duplicates). This is the Coin-Expose
+      fast path; a [None] means some share is faulty or duplicated and
+      an error-correcting decoder must take over. *)
+end

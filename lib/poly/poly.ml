@@ -17,7 +17,12 @@ module Make (F : Field_intf.S) = struct
     if F.equal c F.zero then zero
     else Array.init (d + 1) (fun i -> if i = d then c else F.zero)
 
-  let of_coeffs a = normalize (Array.copy a)
+  (* Single copy: find the top non-zero coefficient first, then copy
+     exactly the normalized prefix (normalize-after-copy would copy an
+     already-normalized array twice). *)
+  let of_coeffs a =
+    let rec top i = if i >= 0 && F.equal a.(i) F.zero then top (i - 1) else i in
+    Array.sub a 0 (top (Array.length a - 1) + 1)
   let coeffs p = Array.copy p
   let coeff p d = if d < Array.length p then p.(d) else F.zero
   let degree p = Array.length p - 1
@@ -140,10 +145,12 @@ module Make (F : Field_intf.S) = struct
         done;
         !acc
 
-  let interpolate_at points x0 =
+  (* Array fast path: the hot reconstruction pipeline (Shamir, coin
+     exposure) builds xs/ys directly instead of a list of pairs. *)
+  let interpolate_at_arrays ~xs ~ys x0 =
+    if Array.length xs <> Array.length ys then
+      invalid_arg "Poly.interpolate_at_arrays: length mismatch";
     Metrics.tick_interpolation ();
-    let xs = Array.of_list (List.map fst points) in
-    let ys = Array.of_list (List.map snd points) in
     let n = Array.length xs in
     let total = ref F.zero in
     for j = 0 to n - 1 do
@@ -157,6 +164,12 @@ module Make (F : Field_intf.S) = struct
       total := F.add !total (F.mul ys.(j) (F.div !num !den))
     done;
     !total
+
+  let interpolate_at points x0 =
+    interpolate_at_arrays
+      ~xs:(Array.of_list (List.map fst points))
+      ~ys:(Array.of_list (List.map snd points))
+      x0
 
   let fits_degree points ~max_degree =
     degree (interpolate points) <= max_degree

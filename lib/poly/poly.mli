@@ -71,6 +71,11 @@ module Make (F : Field_intf.S) : sig
       cheap path for secret reconstruction at [x = 0]. Also ticks one
       interpolation. *)
 
+  val interpolate_at_arrays : xs:F.t array -> ys:F.t array -> F.t -> F.t
+  (** {!interpolate_at} on parallel coordinate arrays — the
+      allocation-free variant for hot reconstruction paths that already
+      hold arrays. Ticks one interpolation. *)
+
   val fits_degree : (F.t * F.t) list -> max_degree:int -> bool
   (** [fits_degree points ~max_degree]: does some polynomial of degree
       [<= max_degree] pass through all points? This is the paper's

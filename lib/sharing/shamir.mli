@@ -8,11 +8,17 @@
 
 module Make (F : Field_intf.S) : sig
   module P : module type of Poly.Make (F)
+  module G : module type of Grid.Make (F)
 
   val eval_point : int -> F.t
   (** [eval_point i] is the field point of player [i], namely
       [F.of_int (i + 1)] — non-zero so that no share is the secret
       itself. *)
+
+  val grid : n:int -> t:int -> G.t
+  (** The cached evaluation-grid plan for an [(n, t)] session,
+      constructed on first use and shared by every subsequent
+      plan-aware call with the same parameters. *)
 
   val share_poly : Prng.t -> t:int -> secret:F.t -> P.t
   (** The dealer's random degree-[<= t] polynomial with constant term
@@ -20,13 +26,29 @@ module Make (F : Field_intf.S) : sig
 
   val deal : Prng.t -> t:int -> n:int -> secret:F.t -> F.t array
   (** [deal g ~t ~n ~secret] returns the [n] shares. Requires
-      [t < n] and [n] distinct evaluation points to exist in [F]. *)
+      [t < n] and [n] distinct evaluation points to exist in [F].
+      Evaluates through the cached {!grid} plan; draws, shares and
+      {!Metrics} ticks are identical to {!deal_naive}. *)
+
+  val deal_with : G.t -> Prng.t -> secret:F.t -> F.t array
+  (** Plan-aware dealing: same polynomial draw as {!deal} with the
+      session plan supplied explicitly (batch dealers evaluate many
+      polynomials through one plan). *)
+
+  val deal_naive : Prng.t -> t:int -> n:int -> secret:F.t -> F.t array
+  (** The reference path: per-point Horner evaluation with no
+      precomputation. Same PRNG draws and results as {!deal}; kept for
+      equivalence tests and benchmarks. *)
 
   val reconstruct : (int * F.t) list -> F.t
   (** [reconstruct shares] interpolates [f(0)] from [(player, share)]
       pairs; callers supply at least [t+1] shares from distinct
       players. All supplied shares are used, so a corrupted share
       corrupts the output — use {!robust_reconstruct} against faults. *)
+
+  val reconstruct_with : G.t -> (int * F.t) list -> F.t
+  (** Plan-aware {!reconstruct}: Lagrange-at-zero weights for the
+      share subset come from the plan's per-subset cache. *)
 
   val robust_reconstruct :
     t:int -> (int * F.t) list -> (F.t * (int * F.t) list) option

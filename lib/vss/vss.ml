@@ -52,18 +52,24 @@ module Make (F : Field_intf.S) = struct
      honest players because all inputs are broadcast values. *)
 
   (* Fig. 2 / Fig. 3 step 4: interpolate through *all* broadcast values;
-     a missing value means the degree check cannot pass. *)
+     a missing value means the degree check cannot pass. The degree
+     check runs on the session plan's precomputed extension rows —
+     equivalent to interpolating and testing the degree, without the
+     per-call Lagrange setup. *)
   let strict_verdict_one ~n ~t announced =
-    let rec gather i acc =
-      if i >= n then Some (List.rev acc)
+    let rec gather i values =
+      if i >= n then Some values
       else
         match announced.(i) with
         | None -> None
-        | Some v -> gather (i + 1) ((S.eval_point i, v) :: acc)
+        | Some v ->
+            values.(i) <- v;
+            gather (i + 1) values
     in
-    match gather 0 [] with
+    match gather 0 (Array.make n F.zero) with
     | None -> Reject
-    | Some points -> if P.fits_degree points ~max_degree:t then Accept else Reject
+    | Some values ->
+        if S.G.fits (S.grid ~n ~t) values then Accept else Reject
 
   let per_player_verdict ~n verdict_one =
     let verdicts = Array.init n (fun _ -> verdict_one ()) in
@@ -150,8 +156,10 @@ module Make (F : Field_intf.S) = struct
     !acc
 
   let batch_honest_dealing g ~n ~t ~secrets =
+    (* One plan for all M sharings of the batch. *)
+    let plan = S.grid ~n ~t in
     let per_secret =
-      Array.map (fun secret -> S.deal g ~t ~n ~secret) secrets
+      Array.map (fun secret -> S.deal_with plan g ~secret) secrets
     in
     Array.init n (fun i -> Array.map (fun shares -> shares.(i)) per_secret)
 
@@ -240,12 +248,14 @@ module Make (F : Field_intf.S) = struct
         | i :: rest -> (
             match announced.(i) with
             | None -> None
-            | Some v -> gather rest ((S.eval_point i, v) :: acc))
+            | Some v -> gather rest ((i, v) :: acc))
       in
       match gather players [] with
       | None -> Reject
       | Some points ->
-          if P.fits_degree points ~max_degree:t then Accept else Reject
+          (* The subset's extension rows are cached in the plan, so the
+             n per-player verdicts set them up once. *)
+          if S.G.fits_on (S.grid ~n ~t) points then Accept else Reject
     in
     per_player_verdict ~n verdict_one
 

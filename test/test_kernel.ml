@@ -1,0 +1,244 @@
+(* Equivalence of the precomputed evaluation-grid kernels (lib/kernel)
+   with the naive Poly/Shamir paths they replace, across every field
+   backend, plus tabled-vs-naive Gf2k multiplication over the full
+   domain for k <= 12. Fields are exact, so the kernels must agree
+   bit-for-bit, not approximately. *)
+
+module Check (F : Field_intf.S) (Tag : sig val tag : string end) = struct
+  module S = Shamir.Make (F)
+  module P = S.P
+  module G = S.G
+
+  let qtest name arb f =
+    QCheck.Test.make ~count:150 ~name:(Printf.sprintf "%s: %s" Tag.tag name)
+      arb f
+
+  (* (seed, n, t) with 0 <= t < n; n kept small enough for every
+     backend's of_int grid. *)
+  let arb_session =
+    QCheck.make
+      ~print:(fun (s, n, t) -> Printf.sprintf "seed=%d n=%d t=%d" s n t)
+      QCheck.Gen.(
+        map
+          (fun (s, n, frac) -> (s, n, frac mod n))
+          (triple int (int_range 1 16) (int_range 0 15)))
+
+  let shares_of_poly n f = Array.init n (fun i -> P.eval f (S.eval_point i))
+
+  let props =
+    [
+      qtest "plan deal = naive deal (same draws)" arb_session
+        (fun (seed, n, t) ->
+          let g1 = Prng.of_int seed and g2 = Prng.of_int seed in
+          let secret = F.random (Prng.of_int (seed + 1)) in
+          let planned = S.deal g1 ~t ~n ~secret in
+          let naive = S.deal_naive g2 ~t ~n ~secret in
+          Array.for_all2 F.equal planned naive);
+      qtest "eval_poly handles dropped leading coefficients" arb_session
+        (fun (seed, n, t) ->
+          (* A polynomial whose sampled degree-t coefficient is zero
+             normalizes shorter than t + 1; the plan must not care. *)
+          let g = Prng.of_int seed in
+          let d = if t = 0 then 0 else t - 1 in
+          let f = P.random g ~degree:d in
+          let plan = S.grid ~n ~t in
+          Array.for_all2 F.equal (G.eval_poly plan f) (shares_of_poly n f));
+      qtest "plan fits = naive fits_degree (full grid)"
+        (QCheck.pair arb_session QCheck.bool)
+        (fun ((seed, n, t), corrupt) ->
+          let g = Prng.of_int seed in
+          let f = P.random g ~degree:t in
+          let values = shares_of_poly n f in
+          if corrupt then begin
+            let i = Prng.int g n in
+            values.(i) <- F.add values.(i) F.one
+          end;
+          let points =
+            List.init n (fun i -> (S.eval_point i, values.(i)))
+          in
+          G.fits (S.grid ~n ~t) values
+          = P.fits_degree points ~max_degree:t);
+      qtest "plan fits_on = naive fits_degree (subsets)"
+        (QCheck.pair arb_session QCheck.bool)
+        (fun ((seed, n, t), corrupt) ->
+          let g = Prng.of_int seed in
+          let f = P.random g ~degree:t in
+          let size = 1 + Prng.int g n in
+          let ids = Prng.sample_distinct g size n in
+          let points =
+            List.map (fun i -> (i, P.eval f (S.eval_point i))) ids
+          in
+          let points =
+            if corrupt then
+              match points with
+              | (i, v) :: rest -> (i, F.add v F.one) :: rest
+              | [] -> []
+            else points
+          in
+          let naive =
+            List.map (fun (i, v) -> (S.eval_point i, v)) points
+          in
+          G.fits_on (S.grid ~n ~t) points
+          = P.fits_degree naive ~max_degree:t);
+      qtest "plan reconstruct_zero = naive interpolate_at" arb_session
+        (fun (seed, n, t) ->
+          let g = Prng.of_int seed in
+          let f = P.random g ~degree:t in
+          let size = 1 + Prng.int g n in
+          let ids = Prng.sample_distinct g size n in
+          let points =
+            List.map (fun i -> (i, P.eval f (S.eval_point i))) ids
+          in
+          let naive =
+            P.interpolate_at
+              (List.map (fun (i, v) -> (S.eval_point i, v)) points)
+              F.zero
+          in
+          F.equal (G.reconstruct_zero (S.grid ~n ~t) points) naive);
+      qtest "reconstruct_zero_checked agrees with Shamir.reconstruct"
+        arb_session
+        (fun (seed, n, t) ->
+          let g = Prng.of_int (seed + 7) in
+          let secret = F.random g in
+          let shares = S.deal g ~t ~n ~secret in
+          let size = t + 1 + Prng.int g (n - t) in
+          let ids = Prng.sample_distinct g size n in
+          let points = List.map (fun i -> (i, shares.(i))) ids in
+          match G.reconstruct_zero_checked (S.grid ~n ~t) points with
+          | None -> false
+          | Some v -> F.equal v secret);
+      qtest "reconstruct_zero_checked rejects corrupted and duplicate shares"
+        arb_session
+        (fun (seed, n, t) ->
+          QCheck.assume (t + 1 < n);
+          let g = Prng.of_int (seed + 11) in
+          let shares = S.deal g ~t ~n ~secret:(F.random g) in
+          let ids = Prng.sample_distinct g (t + 2) n in
+          let points = List.map (fun i -> (i, shares.(i))) ids in
+          let corrupted =
+            match points with
+            | (i, v) :: rest -> (i, F.add v F.one) :: rest
+            | [] -> []
+          in
+          let duplicated =
+            match points with p :: _ -> p :: points | [] -> []
+          in
+          let plan = S.grid ~n ~t in
+          G.reconstruct_zero_checked plan corrupted = None
+          && G.reconstruct_zero_checked plan duplicated = None);
+    ]
+
+  (* Degenerate shapes the generators reach only rarely. *)
+  let test_degenerate () =
+    let plan = S.grid ~n:1 ~t:0 in
+    let g = Prng.of_int 3 in
+    let secret = F.random g in
+    let shares = S.deal_with plan g ~secret in
+    Alcotest.(check bool) "t=0, n=1: share is the constant" true
+      (F.equal shares.(0) secret);
+    Alcotest.(check bool) "singleton subset reconstructs" true
+      (F.equal (G.reconstruct_zero plan [ (0, shares.(0)) ]) secret);
+    Alcotest.(check bool) "singleton fits trivially" true
+      (G.fits_on plan [ (0, shares.(0)) ]);
+    (* t = 0 over a wider grid: constants fit, non-constants do not. *)
+    let plan = S.grid ~n:5 ~t:0 in
+    let flat = Array.make 5 secret in
+    Alcotest.(check bool) "constant vector fits t=0" true (G.fits plan flat);
+    let bent = Array.copy flat in
+    bent.(3) <- F.add bent.(3) F.one;
+    Alcotest.(check bool) "bent vector rejected at t=0" false
+      (G.fits plan bent)
+
+  let test_metric_ticks () =
+    (* The kernels mirror the naive paths' interpolation accounting:
+       exactly one tick per check or reconstruction. *)
+    let plan = S.grid ~n:7 ~t:2 in
+    let g = Prng.of_int 9 in
+    let shares = S.deal_with plan g ~secret:(F.random g) in
+    let points = [ (0, shares.(0)); (2, shares.(2)); (5, shares.(5)) ] in
+    let _, s1 = Metrics.with_counting (fun () -> G.fits plan shares) in
+    let _, s2 =
+      Metrics.with_counting (fun () -> G.reconstruct_zero plan points)
+    in
+    let _, s3 =
+      Metrics.with_counting (fun () ->
+          G.reconstruct_zero_checked plan points)
+    in
+    Alcotest.(check int) "fits ticks one interpolation" 1
+      s1.Metrics.interpolations;
+    Alcotest.(check int) "reconstruct ticks one interpolation" 1
+      s2.Metrics.interpolations;
+    Alcotest.(check int) "checked reconstruct ticks one interpolation" 1
+      s3.Metrics.interpolations
+
+  let suite =
+    [
+      Alcotest.test_case (Tag.tag ^ ": degenerate grids") `Quick
+        test_degenerate;
+      Alcotest.test_case (Tag.tag ^ ": metric ticks") `Quick
+        test_metric_ticks;
+    ]
+    @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
+end
+
+module Check_gf2k = Check (Gf2k.GF16) (struct let tag = "gf2k-16" end)
+module Check_wide = Check (Gf2_wide.GF64) (struct let tag = "gf2-wide-64" end)
+module Q97 = Zq_table.Make (struct let q = 97 end)
+module Check_zq = Check (Q97) (struct let tag = "zq-97" end)
+module Check_fft =
+  Check (Fft_field.GF_k64) (struct let tag = "fft-k64" end)
+
+(* Tabled GF(2^k) multiplication must agree with the naive
+   shift-and-xor reference on the complete a x b domain for every
+   k <= 12 — the exhaustive regime the issue pins down; k = 16 is
+   sampled (the full 2^32 domain is out of test budget). *)
+let test_tabled_mul_exhaustive () =
+  for k = 1 to 12 do
+    let module M = Gf2k.Make (struct let k = k end) in
+    Alcotest.(check bool)
+      (Printf.sprintf "k=%d is tabled" k)
+      true M.tabled;
+    let size = 1 lsl k in
+    for a = 0 to size - 1 do
+      for b = 0 to size - 1 do
+        let x = M.of_int a and y = M.of_int b in
+        if not (M.equal (M.mul x y) (M.mul_naive x y)) then
+          Alcotest.failf "k=%d: mul %d %d diverges from naive" k a b
+      done
+    done
+  done
+
+let test_tabled_mul_sampled_16 () =
+  let module M = Gf2k.GF16 in
+  let g = Prng.of_int 1616 in
+  Alcotest.(check bool) "GF16 is tabled" true M.tabled;
+  Alcotest.(check bool) "GF32 is not tabled" false Gf2k.GF32.tabled;
+  for _ = 1 to 200_000 do
+    let a = M.random g and b = M.random g in
+    if not (M.equal (M.mul a b) (M.mul_naive a b)) then
+      Alcotest.failf "GF16: mul %s %s diverges from naive" (M.to_string a)
+        (M.to_string b)
+  done
+
+let test_tabled_mul_ticks () =
+  let module M = Gf2k.GF16 in
+  let g = Prng.of_int 42 in
+  let a = M.random g and b = M.random g in
+  let _, tabled = Metrics.with_counting (fun () -> M.mul a b) in
+  let _, naive = Metrics.with_counting (fun () -> M.mul_naive a b) in
+  Alcotest.(check int) "tabled mul ticks one mult" 1
+    tabled.Metrics.field_mults;
+  Alcotest.(check int) "naive mul ticks one mult" 1 naive.Metrics.field_mults;
+  let _, ti = Metrics.with_counting (fun () -> M.inv a) in
+  Alcotest.(check int) "tabled inv ticks one inv" 1 ti.Metrics.field_invs
+
+let suite =
+  Check_gf2k.suite @ Check_wide.suite @ Check_zq.suite @ Check_fft.suite
+  @ [
+      Alcotest.test_case "tabled mul = naive mul (exhaustive, k<=12)" `Slow
+        test_tabled_mul_exhaustive;
+      Alcotest.test_case "tabled mul = naive mul (sampled, k=16)" `Quick
+        test_tabled_mul_sampled_16;
+      Alcotest.test_case "tabled ops tick like naive ops" `Quick
+        test_tabled_mul_ticks;
+    ]

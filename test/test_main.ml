@@ -10,6 +10,7 @@ let () =
       ("net", Test_net.suite);
       ("graph", Test_graph.suite);
       ("shamir", Test_shamir.suite);
+      ("kernel", Test_kernel.suite);
       ("bcast", Test_bcast.suite);
       ("gradecast-all", Test_gradecast_all.suite);
       ("eig-ba", Test_eig.suite);
