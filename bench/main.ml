@@ -12,11 +12,20 @@
      dune exec bench/main.exe -- --quick # all tables, reduced workloads
      dune exec bench/main.exe -- --micro # bechamel timings only
      dune exec bench/main.exe -- --json [--smoke] [--out FILE]
-                                         # PR-3 kernel trajectory: naive vs
-                                         # plan ns/op + mult counts, written
-                                         # as JSON (default BENCH_pr3.json);
+                                         # kernel trajectory: naive vs plan
+                                         # ns/op + mult counts, written as
+                                         # JSON (default BENCH_latest.json);
                                          # exits non-zero on any plan/naive
                                          # divergence
+     dune exec bench/main.exe -- --check-conformance
+                                         # measure VSS / Batch-VSS / Bit-Gen
+                                         # / Coin-Gen against the paper's
+                                         # cost formulas (Lemmas 2/4/6,
+                                         # Theorem 2); exit 3 on violation
+     dune exec bench/main.exe -- --gate --baseline F --fresh F [--tolerance PCT]
+                                         # compare two --json outputs; exit 4
+                                         # on op-count regression > PCT
+                                         # (default 25) or a vanished entry
 *)
 
 module F32 = Gf2k.GF32
@@ -161,6 +170,48 @@ let micro () =
          in
          Printf.printf "  %-34s %s ns\n" name ns)
 
+(* The acceptance grid for --check-conformance: both deployment sizes of
+   the ROADMAP, amortized and single-coin batches. Coin-Gen runs at
+   t' = min t ((n-1)/6) inside the suite (it needs n >= 6t+1). *)
+let conformance () =
+  let ppf = Format.std_formatter in
+  let ok =
+    List.for_all
+      (fun (n, t, m) ->
+        Format.fprintf ppf "== conformance at n=%d t=%d M=%d ==@." n t m;
+        Conformance.report ppf (Conformance.suite ~n ~t ~m))
+      [ (16, 5, 1); (16, 5, 64); (32, 10, 1); (32, 10, 64) ]
+  in
+  if ok then print_endline "conformance: all formulas hold"
+  else begin
+    print_endline "conformance: FAILED (measured costs left the paper's bounds)";
+    exit 3
+  end
+
+let gate args =
+  let rec find flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> find flag rest
+    | [] -> None
+  in
+  let required flag =
+    match find flag args with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "--gate requires %s FILE\n" flag;
+        exit 2
+  in
+  let tolerance =
+    match find "--tolerance" args with
+    | Some v -> float_of_string v /. 100.
+    | None -> 0.25
+  in
+  if
+    not
+      (Bench_gate.run ~tolerance ~baseline_path:(required "--baseline")
+         ~fresh_path:(required "--fresh"))
+  then exit 4
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
@@ -169,9 +220,11 @@ let () =
   let rec out_path = function
     | "--out" :: p :: _ -> p
     | _ :: rest -> out_path rest
-    | [] -> "BENCH_pr3.json"
+    | [] -> "BENCH_latest.json"
   in
-  if json_only then
+  if List.mem "--check-conformance" args then conformance ()
+  else if List.mem "--gate" args then gate args
+  else if json_only then
     Bench_json.run ~smoke:(List.mem "--smoke" args) ~path:(out_path args)
   else if micro_only then micro ()
   else begin

@@ -7,6 +7,7 @@
      agreement  run common-coin randomized Byzantine agreements
      pool       persistent pool: state survives process restarts
      fuzz       adversarial property fuzzing with shrinking and replay
+     trace      structured protocol traces (JSONL export, round timeline)
 *)
 
 module F = Gf2k.GF32
@@ -298,6 +299,35 @@ let pool_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* Counterexample artifacts: the replay line (plus provenance comments —
+   replayers only read the first line) and a full JSONL trace of the
+   shrunk scenario, re-run under a collector. CI uploads the directory
+   from the nightly soak so a red run ships its own reproduction kit. *)
+let dump_artifacts dir ~label ~replay_line ~comments ~scenario =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let base = Filename.concat dir label in
+  let oc = open_out (base ^ ".replay") in
+  Printf.fprintf oc "%s\n" replay_line;
+  List.iter (fun c -> Printf.fprintf oc "# %s\n" c) comments;
+  close_out oc;
+  let _, trace = Trace.try_collect scenario in
+  Trace.write_jsonl (base ^ ".trace.jsonl") trace;
+  Printf.printf "# artifacts: %s.replay %s.trace.jsonl\n" base base
+
+let dump_failure_artifacts dir (f : Fuzz.failure) =
+  dump_artifacts dir
+    ~label:(Printf.sprintf "counterexample-%d" f.Fuzz.trial)
+    ~replay_line:(Fuzz_config.to_string f.Fuzz.shrunk)
+    ~comments:
+      [
+        "message: " ^ f.Fuzz.message;
+        "original: " ^ Fuzz_config.to_string f.Fuzz.original;
+        "original message: " ^ f.Fuzz.original_message;
+        Printf.sprintf "shrink steps: %d, failing trial: %d" f.Fuzz.shrink_steps
+          f.Fuzz.trial;
+      ]
+    ~scenario:(fun () -> Fuzz.run_config f.Fuzz.shrunk)
+
 let fuzz_cmd =
   let trials =
     Arg.(
@@ -343,7 +373,17 @@ let fuzz_cmd =
              tolerates; properties that require a pristine network are \
              unaffected.")
   in
-  let run () seed trials property replay self_check faults_profile =
+  let artifacts =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifacts" ] ~docv:"DIR"
+          ~doc:
+            "On failure, write the counterexample replay line and a full \
+             JSONL trace of the shrunk scenario into $(docv) (created if \
+             missing) — what CI uploads from the nightly soak.")
+  in
+  let run () seed trials property replay self_check faults_profile artifacts =
     let degrade =
       match faults_profile with
       | None -> None
@@ -367,6 +407,13 @@ let fuzz_cmd =
             | Error msg ->
                 Printf.printf "FAIL %s\n     %s\n" (Fuzz_config.to_string cfg)
                   msg;
+                Option.iter
+                  (fun dir ->
+                    dump_artifacts dir ~label:"replay-failure"
+                      ~replay_line:(Fuzz_config.to_string cfg)
+                      ~comments:[ "message: " ^ msg ]
+                      ~scenario:(fun () -> Fuzz.run_config cfg))
+                  artifacts;
                 exit 1))
     | None ->
         if self_check then begin
@@ -398,7 +445,11 @@ let fuzz_cmd =
           | _ -> ());
           let report = Fuzz.campaign ?degrade ?property ~trials ~seed () in
           Format.printf "%a@." Fuzz.pp_report report;
-          if report.Fuzz.failure <> None then exit 1
+          match report.Fuzz.failure with
+          | None -> ()
+          | Some f ->
+              Option.iter (fun dir -> dump_failure_artifacts dir f) artifacts;
+              exit 1
         end
   in
   let info =
@@ -410,12 +461,111 @@ let fuzz_cmd =
   Cmd.v info
     Term.(
       const run $ setup_logs $ seed_arg $ trials $ property $ replay
-      $ self_check $ faults_profile)
+      $ self_check $ faults_profile $ artifacts)
+
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let draws =
+    Arg.(
+      value & opt int 3
+      & info [ "draws" ] ~docv:"N"
+          ~doc:"Pool draws to trace in the default scenario.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"LINE"
+          ~doc:
+            "Trace one fuzz scenario from its counterexample line instead of \
+             the pool scenario — the full trace of a failing trial.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the JSONL trace here ($(b,-) = stdout).")
+  in
+  let timeline =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:
+            "Render the per-player round timeline (and span tree) instead of \
+             JSONL on stdout; with --out FILE, both are produced.")
+  in
+  let run () seed t draws replay out timeline =
+    let status, trace, failed =
+      match replay with
+      | Some line -> (
+          match Fuzz_config.of_string line with
+          | Error e ->
+              Printf.eprintf "cannot parse replay line: %s\n" e;
+              exit 2
+          | Ok cfg -> (
+              let result, trace =
+                Trace.try_collect (fun () -> Fuzz.run_config cfg)
+              in
+              match result with
+              | Ok (Ok ()) -> ("PASS " ^ Fuzz_config.to_string cfg, trace, false)
+              | Ok (Error msg) ->
+                  ( Printf.sprintf "FAIL %s: %s" (Fuzz_config.to_string cfg) msg,
+                    trace, true )
+              | Error e ->
+                  ( Printf.sprintf "RAISED %s: %s" (Fuzz_config.to_string cfg)
+                      (Printexc.to_string e),
+                    trace, true )))
+      | None ->
+          let n = n_for t in
+          let (), trace =
+            Trace.collect (fun () ->
+                let pool =
+                  Pool.create ~prng:(Prng.of_int seed) ~n ~t ~batch_size:32
+                    ~refill_threshold:3 ~initial_seed:6 ()
+                in
+                for _ = 1 to draws do
+                  ignore (Pool.draw_kary pool)
+                done)
+          in
+          ( Printf.sprintf "traced %d pool draw(s) at n=%d t=%d" draws n t,
+            trace, false )
+    in
+    (match out with
+    | "-" ->
+        if timeline then begin
+          Format.printf "%a" Trace.pp trace;
+          Format.printf "%a" Trace.pp_timeline trace
+        end
+        else Format.printf "%a" Trace.pp_jsonl trace
+    | path ->
+        Trace.write_jsonl path trace;
+        Printf.printf "# wrote %s\n" path;
+        if timeline then begin
+          Format.printf "%a" Trace.pp trace;
+          Format.printf "%a" Trace.pp_timeline trace
+        end);
+    Printf.printf "# %s\n" status;
+    if failed then exit 1
+  in
+  let info =
+    Cmd.info "trace"
+      ~doc:
+        "Record a structured protocol trace — nested protocol/phase/round \
+         spans with per-span cost deltas and send/recv/verdict events — as \
+         JSONL or a per-player round timeline."
+  in
+  Cmd.v info
+    Term.(const run $ setup_logs $ seed_arg $ t_arg $ draws $ replay $ out
+          $ timeline)
 
 let main =
   let doc = "Distributed pseudo-random bit generators (PODC 1996) simulator" in
   let info = Cmd.info "dprbg" ~version:Dprbg_version.version ~doc in
   Cmd.group info
-    [ coins_cmd; soundness_cmd; costs_cmd; agreement_cmd; pool_cmd; fuzz_cmd ]
+    [
+      coins_cmd; soundness_cmd; costs_cmd; agreement_cmd; pool_cmd; fuzz_cmd;
+      trace_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -5,6 +5,7 @@ let fault_free ~byte_size ~n announce =
       | None -> None
       | Some v ->
           Metrics.tick_message ~bytes_len:(byte_size v);
+          Trace.event (fun () -> Trace.Broadcast { src = i; bytes = byte_size v });
           Some v)
 
 (* Under a fault plan the channel can fail whole announcements (it never
@@ -28,6 +29,8 @@ let degraded plan ?codec ~byte_size ~n announce =
           | None -> ()
           | Some v ->
               Metrics.tick_message ~bytes_len:(byte_size v);
+              Trace.event (fun () ->
+                  Trace.Broadcast { src = i; bytes = byte_size v });
               if Net.Plan.down plan i then Net.Plan.note_crashed_msg plan
               else (
                 match Net.Plan.broadcast_fate plan with
@@ -46,6 +49,7 @@ let degraded plan ?codec ~byte_size ~n announce =
   result
 
 let round ?codec ~byte_size ~n announce =
+  Trace.span Trace.Round "bcast.round" @@ fun () ->
   match Net.current_plan () with
   | None -> fault_free ~byte_size ~n announce
   | Some plan -> degraded plan ?codec ~byte_size ~n announce

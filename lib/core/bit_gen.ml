@@ -94,6 +94,7 @@ module Make (F : Field_intf.S) = struct
     if n < (3 * t) + 1 then invalid_arg "Bit_gen.run: requires n >= 3t+1";
     if dealer < 0 || dealer >= n then invalid_arg "Bit_gen.run: bad dealer id";
     if m < 1 then invalid_arg "Bit_gen.run: m must be positive";
+    Trace.span Trace.Protocol "bit-gen" @@ fun () ->
     (* Round 1: dealing. One vector message of m elements per player. *)
     let matrix = deal_matrix dealer_behavior prng ~n ~t ~m in
     let share_net =
@@ -104,6 +105,7 @@ module Make (F : Field_intf.S) = struct
         ()
     in
     let inbox =
+      Trace.span Trace.Phase "bit-gen.deal" @@ fun () ->
       Net.exchange share_net ~send:(fun () ->
           match matrix with
           | None -> ()
@@ -126,6 +128,7 @@ module Make (F : Field_intf.S) = struct
         ()
     in
     let inbox =
+      Trace.span Trace.Phase "bit-gen.gamma" @@ fun () ->
       Net.exchange gamma_net ~send:(fun () ->
           for i = 0 to n - 1 do
             match gamma_behavior i with
@@ -146,10 +149,13 @@ module Make (F : Field_intf.S) = struct
           done)
     in
     let views =
+      Trace.span Trace.Phase "bit-gen.decode" @@ fun () ->
       Array.init n (fun i ->
           let gammas = Array.make n None in
           List.iter (fun (k, v) -> gammas.(k) <- Some v) inbox.(i);
           let check_poly, support = decode_check ~n ~t gammas in
+          Trace.event (fun () ->
+              Trace.Reconstruct { player = i; ok = Option.is_some check_poly });
           { received = received.(i); check_poly; support; gammas })
     in
     (views, matrix)

@@ -42,6 +42,7 @@ module Make (F : Field_intf.S) = struct
       inbox_i
 
   let run ?sender_behavior (coin : C.t) =
+    Trace.span Trace.Protocol "coin-expose" @@ fun () ->
     let n = coin.C.n and t = coin.C.fault_bound in
     let plan = S.grid ~n ~t in
     let inbox = send_round ?sender_behavior coin in
@@ -49,23 +50,28 @@ module Make (F : Field_intf.S) = struct
         let points = trusted_points coin i inbox.(i) in
         let m = List.length points in
         let e = (m - t - 1) / 2 in
-        if e < 0 then None
-        else
-          (* Fast path: when every trusted share lies on one degree-<= t
-             polynomial (the overwhelmingly common, fault-free case) the
-             plan's cached subset weights reconstruct f(0) directly.
-             Berlekamp-Welch — the same decoder as before — takes over
-             exactly when the check fails, i.e. when there are errors to
-             correct, so the decoded value is unchanged in all cases. *)
-          match S.G.reconstruct_zero_checked plan points with
-          | Some v -> Some v
-          | None -> (
-              let points =
-                List.map (fun (j, v) -> (S.eval_point j, v)) points
-              in
-              match BW.decode ~max_degree:t ~max_errors:e points with
-              | None -> None
-              | Some f -> Some (BW.P.eval f F.zero)))
+        let value =
+          if e < 0 then None
+          else
+            (* Fast path: when every trusted share lies on one degree-<= t
+               polynomial (the overwhelmingly common, fault-free case) the
+               plan's cached subset weights reconstruct f(0) directly.
+               Berlekamp-Welch — the same decoder as before — takes over
+               exactly when the check fails, i.e. when there are errors to
+               correct, so the decoded value is unchanged in all cases. *)
+            match S.G.reconstruct_zero_checked plan points with
+            | Some v -> Some v
+            | None -> (
+                let points =
+                  List.map (fun (j, v) -> (S.eval_point j, v)) points
+                in
+                match BW.decode ~max_degree:t ~max_errors:e points with
+                | None -> None
+                | Some f -> Some (BW.P.eval f F.zero))
+        in
+        Trace.event (fun () ->
+            Trace.Reconstruct { player = i; ok = Option.is_some value });
+        value)
 
   let expose_bit ?sender_behavior coin =
     Array.map
@@ -73,6 +79,7 @@ module Make (F : Field_intf.S) = struct
       (run ?sender_behavior coin)
 
   let run_lagrange ?sender_behavior (coin : C.t) =
+    Trace.span Trace.Protocol "coin-expose.lagrange" @@ fun () ->
     let n = coin.C.n and t = coin.C.fault_bound in
     let plan = S.grid ~n ~t in
     let inbox = send_round ?sender_behavior coin in
@@ -84,6 +91,11 @@ module Make (F : Field_intf.S) = struct
           | p :: rest -> p :: take (k - 1) rest
         in
         let points = take (t + 1) points in
-        if List.length points < t + 1 then None
-        else Some (S.reconstruct_with plan points))
+        let value =
+          if List.length points < t + 1 then None
+          else Some (S.reconstruct_with plan points)
+        in
+        Trace.event (fun () ->
+            Trace.Reconstruct { player = i; ok = Option.is_some value });
+        value)
 end

@@ -111,6 +111,7 @@ module Make (F : Field_intf.S) = struct
     in
     if n < (6 * t) + 1 then invalid_arg "Coin_gen.run: requires n >= 6t+1";
     if m < 1 then invalid_arg "Coin_gen.run: m must be positive";
+    Trace.span Trace.Protocol "coin-gen" @@ fun () ->
     (* ---- Step 1: n parallel Bit-Gen dealings, batched on one net. *)
     let matrices =
       Array.init n (fun j -> BG.deal_matrix (adversary.as_dealer j) prng ~n ~t ~m)
@@ -123,6 +124,7 @@ module Make (F : Field_intf.S) = struct
         ()
     in
     let inbox =
+      Trace.span Trace.Phase "coin-gen.deal" @@ fun () ->
       Net.exchange deal_net ~send:(fun () ->
           Array.iteri
             (fun j -> function
@@ -155,6 +157,7 @@ module Make (F : Field_intf.S) = struct
         ~n ~byte_size:Codec.opt_elt_array_size ()
     in
     let inbox =
+      Trace.span Trace.Phase "coin-gen.gamma" @@ fun () ->
       Net.exchange gamma_net ~send:(fun () ->
           for i = 0 to n - 1 do
             match adversary.as_gamma i with
@@ -192,14 +195,26 @@ module Make (F : Field_intf.S) = struct
          does not vanish at 0 is rejected outright here — otherwise a
          faulty dealer with valid but non-zero sharings would poison
          every honest clique and stall the agreement loop. *)
+      Trace.span Trace.Phase "coin-gen.decode" @@ fun () ->
       Array.init n (fun i ->
-          Array.init n (fun j ->
-              let gam_j = Array.init n (fun k -> gammas.(i).(k).(j)) in
-              match BG.decode_check ~n ~t gam_j with
-              | Some f, _
-                when zero_secrets && not (F.equal (P.eval f F.zero) F.zero) ->
-                  (None, Array.make n false)
-              | result -> result))
+          let row =
+            Array.init n (fun j ->
+                let gam_j = Array.init n (fun k -> gammas.(i).(k).(j)) in
+                match BG.decode_check ~n ~t gam_j with
+                | Some f, _
+                  when zero_secrets && not (F.equal (P.eval f F.zero) F.zero)
+                  ->
+                    (None, Array.make n false)
+                | result -> result)
+          in
+          Trace.event (fun () ->
+              let decoded =
+                Array.fold_left
+                  (fun acc (f, _) -> if Option.is_some f then acc + 1 else acc)
+                  0 row
+              in
+              Trace.Reconstruct { player = i; ok = decoded >= n - t });
+          row)
     in
     let cliques =
       Array.init n (fun i ->
@@ -233,6 +248,7 @@ module Make (F : Field_intf.S) = struct
           }
     in
     let outcomes =
+      Trace.span Trace.Phase "coin-gen.gradecast" @@ fun () ->
       Gradecast.run_all ~dealer_behavior:adversary.as_gradecast_dealer
         ~follower_behavior:adversary.as_gradecast_follower ~equal:payload_equal
         ~byte_size:payload_bytes ~n ~t ~values:payload_of ()
@@ -299,6 +315,7 @@ module Make (F : Field_intf.S) = struct
       end
       else begin
         let l = leader_index (oracle ()) ~n in
+        Trace.note (Printf.sprintf "iteration %d: leader %d" (iter + 1) l);
         let coins_used = coins_used + 1 in
         let inputs = Array.init n (fun i -> ba_input i l) in
         let yes = Array.fold_left (fun a b -> if b then a + 1 else a) 0 inputs in
@@ -318,7 +335,7 @@ module Make (F : Field_intf.S) = struct
         else ba_loop (iter + 1) coins_used
       end
     in
-    match ba_loop 0 check_coins_used with
+    match Trace.span Trace.Phase "coin-gen.ba" (fun () -> ba_loop 0 check_coins_used) with
     | None -> None
     | Some (pay, iterations, coins_used) ->
         Log.info (fun f ->

@@ -95,6 +95,7 @@ module Make (F : Field_intf.S) = struct
      reconstruction. Counts a unanimity failure when any player's
      decoding disagrees or fails (bounded by M n 2^-k per batch). *)
   let expose_next p ~for_seed =
+    Trace.span Trace.Phase "pool.expose" @@ fun () ->
     match p.coins with
     | [] ->
         raise
@@ -172,6 +173,7 @@ module Make (F : Field_intf.S) = struct
     | None -> raise (Starved "randomized BA did not terminate")
 
   let refill p =
+    Trace.span Trace.Protocol "pool.refill" @@ fun () ->
     let attempt () =
       let adversary = p.adversary p.refills in
       let ba =
@@ -217,6 +219,7 @@ module Make (F : Field_intf.S) = struct
           batch.CG.m batch.CG.seed_coins_consumed (available p))
 
   let draw_kary p =
+    Trace.span Trace.Protocol "pool.draw" @@ fun () ->
     if available p <= p.refill_threshold then refill p;
     expose_next p ~for_seed:false
 
@@ -235,6 +238,7 @@ module Make (F : Field_intf.S) = struct
         | [] -> assert false (* k_bits >= 1 *))
 
   let refresh p =
+    Trace.span Trace.Protocol "pool.refresh" @@ fun () ->
     (* Reserve a seed budget up front: the refresh batch size must be
        fixed before any seed coin is consumed, so the reserve coins fuel
        the run and skip this round's re-randomization. *)

@@ -255,7 +255,10 @@ let corrupted_copy t plan msg =
 let send t ~src ~dst msg =
   check_id t "send" src;
   check_id t "send" dst;
-  if src <> dst then Metrics.tick_message ~bytes_len:(t.byte_size msg);
+  if src <> dst then begin
+    Metrics.tick_message ~bytes_len:(t.byte_size msg);
+    Trace.event (fun () -> Trace.Send { src; dst; bytes = t.byte_size msg })
+  end;
   match t.plan with
   | None -> enqueue t ~src ~dst msg
   | Some plan ->
@@ -287,6 +290,7 @@ let send_to_all t ~src f =
   done
 
 let deliver t =
+  Trace.span Trace.Round "net.round" @@ fun () ->
   Metrics.tick_round ();
   t.rounds <- t.rounds + 1;
   (match t.plan with Some plan -> Plan.advance_round plan | None -> ());
@@ -310,27 +314,39 @@ let deliver t =
         Array.fold_left (fun acc q -> acc + List.length q) 0 t.queues
       in
       m "round %d: delivering %d messages to %d players" t.rounds pending t.n);
-  Array.mapi
-    (fun dst queue ->
-      t.queues.(dst) <- [];
-      match t.plan with
-      | Some plan when Plan.down_at plan (Plan.rounds_elapsed plan) dst ->
-          (* A crashed player's inbox is void: messages addressed to it
-             while it is down are lost, not buffered. *)
-          List.iter (fun _ -> Plan.count_crashed_msg plan) queue;
-          []
-      | plan -> (
-          (* Restore send order, then stable-sort by sender for
-             deterministic iteration in protocol code. *)
-          let inbox =
-            List.stable_sort
-              (fun (a, _) (b, _) -> Int.compare a b)
-              (List.rev queue)
-          in
-          match plan with
-          | Some plan -> Plan.shuffle_inbox plan inbox
-          | None -> inbox))
-    t.queues
+  let inbox =
+    Array.mapi
+      (fun dst queue ->
+        t.queues.(dst) <- [];
+        match t.plan with
+        | Some plan when Plan.down_at plan (Plan.rounds_elapsed plan) dst ->
+            (* A crashed player's inbox is void: messages addressed to it
+               while it is down are lost, not buffered. *)
+            List.iter (fun _ -> Plan.count_crashed_msg plan) queue;
+            []
+        | plan -> (
+            (* Restore send order, then stable-sort by sender for
+               deterministic iteration in protocol code. *)
+            let inbox =
+              List.stable_sort
+                (fun (a, _) (b, _) -> Int.compare a b)
+                (List.rev queue)
+            in
+            match plan with
+            | Some plan -> Plan.shuffle_inbox plan inbox
+            | None -> inbox))
+      t.queues
+  in
+  if Trace.enabled () then
+    Array.iteri
+      (fun dst msgs ->
+        List.iter
+          (fun (src, msg) ->
+            Trace.event (fun () ->
+                Trace.Recv { src; dst; bytes = t.byte_size msg }))
+          msgs)
+      inbox;
+  inbox
 
 let rounds_elapsed t = t.rounds
 

@@ -1,0 +1,120 @@
+(** Structured protocol tracing: nested spans and typed events.
+
+    A {e span} brackets one unit of protocol structure — a whole protocol
+    run, one of its phases, or one synchronous communication round — and
+    carries the {!Metrics.snapshot} delta incurred inside it, so a trace
+    is simultaneously a timeline and an exact cost breakdown. {e Events}
+    are point records (a message sent or received, a broadcast
+    announcement, a per-player verdict or reconstruction outcome, a
+    free-form note) attached to the innermost open span.
+
+    Tracing is ambient, mirroring {!Metrics}: hooks in the network,
+    broadcast, VSS, Bit-Gen, Coin-Gen, Coin-Expose and Pool layers call
+    {!span} and {!event} unconditionally, and both are a single branch
+    when no collector is installed ({!collect} not active) — event
+    payloads are built lazily, so disabled tracing costs nothing
+    measurable. Collection never ticks any counter and draws no
+    randomness, so traced runs are bit-identical (same PRNG draws, same
+    metrics) to untraced ones.
+
+    The nesting discipline is protocol > phase > round: protocol spans
+    come from the drivers ([coin-gen], [vss], [pool.refill], ...), phase
+    spans from their steps ([coin-gen.deal], [bit-gen.gamma], ...), and
+    round spans from the network barriers ([net.round], [bcast.round]).
+    The schema is documented in DESIGN.md section 13. *)
+
+type kind = Protocol | Phase | Round
+
+type event =
+  | Send of { src : int; dst : int; bytes : int }
+      (** a point-to-point message deposited with [Net.send] *)
+  | Recv of { src : int; dst : int; bytes : int }
+      (** a message delivered by a [Net.deliver] barrier *)
+  | Broadcast of { src : int; bytes : int }
+      (** one announcement on the ideal broadcast channel *)
+  | Verdict of { player : int; accept : bool }
+      (** a player's VSS accept/reject verdict *)
+  | Reconstruct of { player : int; ok : bool }
+      (** a player's decode/reconstruction outcome *)
+  | Note of string  (** free-form annotation *)
+
+type span = {
+  id : int;  (** unique within one trace, document order, from 1 *)
+  kind : kind;
+  name : string;
+  metrics : Metrics.snapshot;
+      (** cost delta incurred inside the span (zero if it aborted) *)
+  items : item list;  (** children in execution order *)
+}
+
+and item = Span of span | Event of int * event  (** [Event (seq, e)] *)
+
+type t = { items : item list }
+(** A completed trace: the top-level spans/events in execution order. *)
+
+(** {1 Collection} *)
+
+val enabled : unit -> bool
+(** True iff a collector is installed (inside {!collect}). *)
+
+val event : (unit -> event) -> unit
+(** Record an event in the innermost open span. The thunk is only
+    forced when a collector is installed. *)
+
+val note : string -> unit
+(** [note msg] is [event (fun () -> Note msg)]. *)
+
+val span : kind -> string -> (unit -> 'a) -> 'a
+(** [span kind name f] runs [f] bracketed as a span. With no collector
+    this is exactly [f ()]. With one, the span's metrics delta is
+    captured via {!Metrics.with_counting} (outer measurements still
+    accumulate, so bracketing changes no observable count). If [f]
+    raises, the span is closed with zero metrics and an explanatory
+    {!Note}, and the exception propagates. *)
+
+val collect : (unit -> 'a) -> 'a * t
+(** [collect f] installs a fresh collector around [f] and returns its
+    result with the trace. Nested [collect]s stack; the inner one sees
+    only its own spans. If [f] raises, the exception propagates and the
+    trace is lost — use {!try_collect} to keep partial traces. *)
+
+val try_collect : (unit -> 'a) -> ('a, exn) result * t
+(** Like {!collect} but an exception from [f] is returned, not raised,
+    and the partial trace — with any interrupted spans closed — is kept.
+    This is how a failing fuzz trial's trace is dumped. *)
+
+(** {1 Inspection} *)
+
+val spans : t -> span list
+(** All spans, pre-order (document order). *)
+
+val find : t -> name:string -> span option
+(** First span with this name, pre-order. *)
+
+val events : span -> (int * event) list
+(** The span's direct events (not those of child spans). *)
+
+val all_events : t -> (int * event) list
+(** Every event in the trace, in sequence order. *)
+
+(** {1 Rendering} *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+(** Indented span tree with per-span cost vectors. *)
+
+val pp_jsonl : Format.formatter -> t -> unit
+(** One JSON object per line, document order: span lines
+    [{"type":"span","id":..,"parent":..,"kind":..,"name":..,"metrics":{..}}]
+    followed by their event lines
+    [{"type":"event","span":..,"seq":..,"event":..,...}]. *)
+
+val write_jsonl : string -> t -> unit
+(** Write {!pp_jsonl} output to a file. *)
+
+val pp_timeline : Format.formatter -> t -> unit
+(** Per-player round timeline: players as rows, synchronous rounds as
+    columns, one glyph per cell ([>] sent, [<] received, [#] both, [B]
+    broadcast announcement, [+]/[!] verdict accept/reject, [o]/[x]
+    reconstruction ok/failed, [.] idle), followed by the list of
+    protocol/phase spans with the round interval each one covers. *)

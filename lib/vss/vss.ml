@@ -72,7 +72,14 @@ module Make (F : Field_intf.S) = struct
         if S.G.fits (S.grid ~n ~t) values then Accept else Reject
 
   let per_player_verdict ~n verdict_one =
-    let verdicts = Array.init n (fun _ -> verdict_one ()) in
+    Trace.span Trace.Phase "vss.verdict" @@ fun () ->
+    let verdicts =
+      Array.init n (fun i ->
+          let v = verdict_one () in
+          Trace.event (fun () ->
+              Trace.Verdict { player = i; accept = v = Accept });
+          v)
+    in
     verdicts.(0)
 
   let strict_verdict ~n ~t announced =
@@ -108,19 +115,29 @@ module Make (F : Field_intf.S) = struct
   let gamma_single ~alpha ~beta ~r i = F.add alpha.(i) (F.mul r beta.(i))
 
   let deal_round ~n =
+    Trace.span Trace.Phase "vss.deal" @@ fun () ->
+    Trace.span Trace.Round "deal.round" @@ fun () ->
     (* The dealer hands one field element to each player over the private
        channels: n messages of one element, one round. *)
-    for _ = 1 to n do
-      Metrics.tick_message ~bytes_len:F.byte_size
+    for dst = 1 to n do
+      Metrics.tick_message ~bytes_len:F.byte_size;
+      Trace.event (fun () ->
+          Trace.Send { src = 0; dst = dst - 1; bytes = F.byte_size })
     done;
     Metrics.tick_round ()
+
+  let gamma_round ~n announce =
+    Trace.span Trace.Phase "vss.gamma" @@ fun () ->
+    Broadcast.round ~codec:elt_codec ~byte_size:(fun _ -> F.byte_size) ~n
+      announce
 
   let run ?(player_behavior = fun _ -> Honest) ~n ~t ~alpha ~beta ~r () =
     if n < (3 * t) + 1 then invalid_arg "Vss.run: requires n >= 3t+1";
     check_sizes "Vss.run" ~n [ alpha; beta ];
+    Trace.span Trace.Protocol "vss" @@ fun () ->
     deal_round ~n;
     let announced =
-      Broadcast.round ~codec:elt_codec ~byte_size:(fun _ -> F.byte_size) ~n
+      gamma_round ~n
         (announced_gamma player_behavior (gamma_single ~alpha ~beta ~r))
     in
     strict_verdict ~n ~t announced
@@ -128,9 +145,10 @@ module Make (F : Field_intf.S) = struct
   let run_robust ?(player_behavior = fun _ -> Honest) ~n ~t ~alpha ~beta ~r () =
     if n < (3 * t) + 1 then invalid_arg "Vss.run_robust: requires n >= 3t+1";
     check_sizes "Vss.run_robust" ~n [ alpha; beta ];
+    Trace.span Trace.Protocol "vss.robust" @@ fun () ->
     deal_round ~n;
     let announced =
-      Broadcast.round ~codec:elt_codec ~byte_size:(fun _ -> F.byte_size) ~n
+      gamma_round ~n
         (announced_gamma player_behavior (gamma_single ~alpha ~beta ~r))
     in
     robust_verdict ~n ~t announced
@@ -218,8 +236,9 @@ module Make (F : Field_intf.S) = struct
     if n < (3 * t) + 1 then invalid_arg "Vss.run_batch: requires n >= 3t+1";
     if Array.length shares <> n then
       invalid_arg "Vss.run_batch: shares must be indexed by player";
+    Trace.span Trace.Protocol "batch-vss" @@ fun () ->
     let announced =
-      Broadcast.round ~codec:elt_codec ~byte_size:(fun _ -> F.byte_size) ~n
+      gamma_round ~n
         (announced_gamma player_behavior (gamma_batch ~shares ~r))
     in
     strict_verdict ~n ~t announced
@@ -237,8 +256,9 @@ module Make (F : Field_intf.S) = struct
       players;
     if List.length players < t + 1 then
       invalid_arg "Vss.run_batch_on: need at least t+1 players";
+    Trace.span Trace.Protocol "batch-vss.subset" @@ fun () ->
     let announced =
-      Broadcast.round ~codec:elt_codec ~byte_size:(fun _ -> F.byte_size) ~n
+      gamma_round ~n
         (announced_gamma player_behavior (gamma_batch ~shares ~r))
     in
     let verdict_one () =
@@ -263,8 +283,9 @@ module Make (F : Field_intf.S) = struct
     if n < (3 * t) + 1 then invalid_arg "Vss.run_batch_robust: requires n >= 3t+1";
     if Array.length shares <> n then
       invalid_arg "Vss.run_batch_robust: shares must be indexed by player";
+    Trace.span Trace.Protocol "batch-vss.robust" @@ fun () ->
     let announced =
-      Broadcast.round ~codec:elt_codec ~byte_size:(fun _ -> F.byte_size) ~n
+      gamma_round ~n
         (announced_gamma player_behavior (gamma_batch ~shares ~r))
     in
     robust_verdict ~n ~t announced

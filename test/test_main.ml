@@ -3,6 +3,7 @@ let () =
     [
       ("prng", Test_prng.suite);
       ("metrics", Test_metrics.suite);
+      ("trace", Test_trace.suite);
       ("field", Test_field.suite);
       ("ntt-edge", Test_ntt_edge.suite);
       ("poly", Test_poly.suite);

@@ -46,6 +46,73 @@ let test_restores_on_exception () =
   Alcotest.(check bool) "disabled after exception" false
     (Metrics.counting_enabled ())
 
+(* Every live sink accumulates every tick: a tick inside a doubly-nested
+   measurement reaches all three sinks, and closing an inner sink never
+   steals what the outer ones already saw. *)
+let test_deep_nesting_accumulates_everywhere () =
+  let (), outer =
+    Metrics.with_counting (fun () ->
+        Metrics.tick_adds 1;
+        let (), mid =
+          Metrics.with_counting (fun () ->
+              Metrics.tick_adds 10;
+              let (), inner =
+                Metrics.with_counting (fun () -> Metrics.tick_adds 100)
+              in
+              Alcotest.(check int) "inner" 100 inner.Metrics.field_adds)
+        in
+        Alcotest.(check int) "mid" 110 mid.Metrics.field_adds;
+        Metrics.tick_adds 1000)
+  in
+  Alcotest.(check int) "outer" 1111 outer.Metrics.field_adds
+
+let test_without_counting_suppresses () =
+  let (), snap =
+    Metrics.with_counting (fun () ->
+        Metrics.tick_adds 1;
+        Metrics.without_counting (fun () ->
+            Metrics.tick_adds 100;
+            Metrics.tick_round ();
+            Alcotest.(check bool) "suspended inside" false
+              (Metrics.counting_enabled ()));
+        (* Counting resumes: later ticks land in the sink again. *)
+        Metrics.tick_adds 10)
+  in
+  Alcotest.(check int) "suppressed ticks invisible" 11 snap.Metrics.field_adds;
+  Alcotest.(check int) "rounds suppressed too" 0 snap.Metrics.rounds
+
+let test_without_counting_restores_on_exception () =
+  let (), snap =
+    Metrics.with_counting (fun () ->
+        Metrics.tick_adds 1;
+        (try
+           Metrics.without_counting (fun () ->
+               Metrics.tick_adds 100;
+               failwith "boom")
+         with Failure _ -> ());
+        Metrics.tick_adds 10)
+  in
+  Alcotest.(check int) "sink restored after raise" 11 snap.Metrics.field_adds
+
+(* An inner with_counting that raises must still pop only its own sink:
+   the outer measurement keeps accumulating afterwards. *)
+let test_inner_exception_keeps_outer_sink () =
+  let (), outer =
+    Metrics.with_counting (fun () ->
+        Metrics.tick_adds 1;
+        (try
+           ignore
+             (Metrics.with_counting (fun () ->
+                  Metrics.tick_adds 100;
+                  failwith "boom"))
+         with Failure _ -> ());
+        Metrics.tick_adds 10)
+  in
+  (* The inner ticks happened while the outer sink was live, so the
+     outer total includes them — only the inner sink is discarded. *)
+  Alcotest.(check int) "outer saw everything" 111 outer.Metrics.field_adds;
+  Alcotest.(check bool) "fully unwound" false (Metrics.counting_enabled ())
+
 let test_add_diff () =
   let a = { Metrics.zero with Metrics.field_adds = 5; messages = 2 } in
   let b = { Metrics.zero with Metrics.field_adds = 3; messages = 7 } in
@@ -71,6 +138,14 @@ let suite =
     Alcotest.test_case "counts ticks" `Quick test_counts_ticks;
     Alcotest.test_case "nested counting" `Quick test_nested_counting;
     Alcotest.test_case "restores on exception" `Quick test_restores_on_exception;
+    Alcotest.test_case "deep nesting accumulates everywhere" `Quick
+      test_deep_nesting_accumulates_everywhere;
+    Alcotest.test_case "without_counting suppresses" `Quick
+      test_without_counting_suppresses;
+    Alcotest.test_case "without_counting restores on exception" `Quick
+      test_without_counting_restores_on_exception;
+    Alcotest.test_case "inner exception keeps outer sink" `Quick
+      test_inner_exception_keeps_outer_sink;
     Alcotest.test_case "add and diff" `Quick test_add_diff;
     Alcotest.test_case "no ticks without sink" `Quick test_no_ticks_without_sink;
     Alcotest.test_case "to_row labels" `Quick test_to_row_labels;

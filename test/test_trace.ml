@@ -1,0 +1,257 @@
+(* The trace collector (lib/trace): span nesting, metrics deltas,
+   laziness when disabled, exception handling, the JSONL/timeline
+   renderers, and the conformance oracle built on top of it. *)
+
+module F = Gf2k.GF16
+module V = Vss.Make (F)
+
+let snapshot =
+  Alcotest.testable
+    (fun ppf s -> Fmt.pf ppf "%a" Metrics.pp s)
+    (fun a b -> a = b)
+
+(* --- collection --------------------------------------------------- *)
+
+let test_disabled_by_default () =
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  (* event thunks are not forced without a collector *)
+  Trace.event (fun () -> Alcotest.fail "thunk forced while disabled");
+  Trace.note "also fine";
+  Alcotest.(check int) "span is transparent" 42
+    (Trace.span Trace.Phase "x" (fun () -> 42))
+
+let test_span_nesting () =
+  let (), trace =
+    Trace.collect (fun () ->
+        Trace.span Trace.Protocol "outer" (fun () ->
+            Trace.note "hello";
+            Trace.span Trace.Phase "inner" (fun () -> Metrics.tick_adds 2);
+            Metrics.tick_adds 1))
+  in
+  match trace.Trace.items with
+  | [ Trace.Span outer ] ->
+      Alcotest.(check string) "outer name" "outer" outer.Trace.name;
+      Alcotest.(check int) "outer sees both levels" 3
+        outer.Trace.metrics.Metrics.field_adds;
+      (match outer.Trace.items with
+      | [ Trace.Event (_, Trace.Note "hello"); Trace.Span inner ] ->
+          Alcotest.(check string) "inner name" "inner" inner.Trace.name;
+          Alcotest.(check int) "inner delta" 2
+            inner.Trace.metrics.Metrics.field_adds
+      | _ -> Alcotest.fail "unexpected children of outer")
+  | _ -> Alcotest.fail "expected exactly one top-level span"
+
+let test_find_and_events () =
+  let (), trace =
+    Trace.collect (fun () ->
+        Trace.span Trace.Protocol "p" (fun () ->
+            Trace.event (fun () -> Trace.Send { src = 0; dst = 1; bytes = 4 });
+            Trace.span Trace.Round "r" (fun () ->
+                Trace.event (fun () ->
+                    Trace.Recv { src = 0; dst = 1; bytes = 4 }))))
+  in
+  Alcotest.(check int) "two spans" 2 (List.length (Trace.spans trace));
+  Alcotest.(check bool) "find r" true (Trace.find trace ~name:"r" <> None);
+  Alcotest.(check bool) "find missing" true
+    (Trace.find trace ~name:"nope" = None);
+  (match Trace.find trace ~name:"p" with
+  | Some p ->
+      Alcotest.(check int) "direct events only" 1
+        (List.length (Trace.events p))
+  | None -> Alcotest.fail "span p not found");
+  let seqs = List.map fst (Trace.all_events trace) in
+  Alcotest.(check (list int)) "sequence order" [ 0; 1 ] seqs
+
+let test_collector_does_not_perturb_metrics () =
+  (* The bit-identical claim: a traced run draws the same randomness and
+     ticks the same counters as an untraced one. *)
+  let n = 7 and t = 2 in
+  let run () =
+    let g = Prng.of_int 99 in
+    Metrics.with_counting (fun () ->
+        let alpha = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+        let beta = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+        V.run ~n ~t ~alpha ~beta ~r:(F.random g) ())
+  in
+  ignore (run ());
+  (* warm the grid caches *)
+  let plain_verdict, plain = run () in
+  let (traced_verdict, traced), _ = Trace.collect run in
+  Alcotest.check snapshot "identical metrics" plain traced;
+  Alcotest.(check bool) "identical verdict" true
+    (plain_verdict = traced_verdict)
+
+let test_try_collect_keeps_partial_trace () =
+  let result, trace =
+    Trace.try_collect (fun () ->
+        Trace.span Trace.Protocol "doomed" (fun () ->
+            Trace.note "before the crash";
+            failwith "boom"))
+  in
+  (match result with
+  | Error (Failure msg) when msg = "boom" -> ()
+  | Error e -> Alcotest.fail ("wrong exception: " ^ Printexc.to_string e)
+  | Ok () -> Alcotest.fail "expected the exception back");
+  match Trace.find trace ~name:"doomed" with
+  | None -> Alcotest.fail "aborted span lost"
+  | Some s ->
+      Alcotest.check snapshot "aborted span has zero metrics" Metrics.zero
+        s.Trace.metrics;
+      let notes =
+        List.filter_map
+          (function _, Trace.Note msg -> Some msg | _ -> None)
+          (Trace.events s)
+      in
+      Alcotest.(check bool) "abort note recorded" true
+        (List.exists
+           (fun msg -> String.length msg >= 7 && String.sub msg 0 7 = "aborted")
+           notes)
+
+let test_protocol_spans_emitted () =
+  let n = 7 and t = 2 in
+  let g = Prng.of_int 3 in
+  let alpha = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+  let beta = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+  let verdict, trace =
+    Trace.collect (fun () -> V.run ~n ~t ~alpha ~beta ~r:(F.random g) ())
+  in
+  Alcotest.(check bool) "honest dealing accepted" true (verdict = V.Accept);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("span " ^ name) true
+        (Trace.find trace ~name <> None))
+    [ "vss"; "vss.deal"; "vss.gamma"; "vss.verdict"; "bcast.round" ];
+  (* one Verdict event per player, all accepting *)
+  let verdicts =
+    List.filter_map
+      (function
+        | _, Trace.Verdict { player; accept } -> Some (player, accept)
+        | _ -> None)
+      (Trace.all_events trace)
+  in
+  Alcotest.(check int) "n verdicts" n (List.length verdicts);
+  Alcotest.(check bool) "all accept" true (List.for_all snd verdicts);
+  (* the vss span's metrics match Lemma 2 exactly *)
+  match Trace.find trace ~name:"vss" with
+  | None -> Alcotest.fail "vss span missing"
+  | Some s ->
+      Alcotest.(check int) "2 rounds" 2 s.Trace.metrics.Metrics.rounds;
+      Alcotest.(check int) "2n messages" (2 * n)
+        s.Trace.metrics.Metrics.messages;
+      Alcotest.(check int) "n interpolations" n
+        s.Trace.metrics.Metrics.interpolations
+
+(* --- rendering ---------------------------------------------------- *)
+
+let vss_trace () =
+  let n = 7 and t = 2 in
+  let g = Prng.of_int 17 in
+  let alpha = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+  let beta = V.honest_dealing g ~n ~t ~secret:(F.random g) in
+  snd (Trace.collect (fun () -> V.run ~n ~t ~alpha ~beta ~r:(F.random g) ()))
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_jsonl_shape () =
+  let trace = vss_trace () in
+  let out = Fmt.str "%a" Trace.pp_jsonl trace in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+  in
+  Alcotest.(check bool) "has lines" true (List.length lines > 10);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line is an object" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  Alcotest.(check bool) "has a span line" true
+    (List.exists (contains ~needle:"\"type\":\"span\"") lines);
+  Alcotest.(check bool) "has the vss span" true
+    (List.exists (contains ~needle:"\"name\":\"vss\"") lines);
+  Alcotest.(check bool) "has a verdict event" true
+    (List.exists (contains ~needle:"\"event\":\"verdict\"") lines);
+  Alcotest.(check bool) "metrics embedded" true
+    (List.exists (contains ~needle:"\"interps\":") lines)
+
+let test_json_string_escaping () =
+  let (), trace =
+    Trace.collect (fun () -> Trace.note "quote \" backslash \\ newline \n")
+  in
+  let out = Fmt.str "%a" Trace.pp_jsonl trace in
+  Alcotest.(check bool) "escaped quote" true (contains ~needle:"\\\"" out);
+  Alcotest.(check bool) "escaped backslash" true (contains ~needle:"\\\\" out);
+  Alcotest.(check bool) "escaped newline" true (contains ~needle:"\\n" out)
+
+let test_timeline_renders () =
+  let out = Fmt.str "%a" Trace.pp_timeline (vss_trace ()) in
+  Alcotest.(check bool) "mentions players x rounds" true
+    (contains ~needle:"7 players x 2 rounds" out);
+  Alcotest.(check bool) "player rows" true (contains ~needle:"p06" out);
+  Alcotest.(check bool) "span intervals listed" true
+    (contains ~needle:"vss.gamma" out);
+  let empty = Fmt.str "%a" Trace.pp_timeline { Trace.items = [] } in
+  Alcotest.(check bool) "empty trace is graceful" true
+    (contains ~needle:"no rounds" empty)
+
+(* --- conformance -------------------------------------------------- *)
+
+let test_conformance_suite_passes () =
+  (* Small enough to be quick; the bench's --check-conformance covers
+     the deployment sizes. *)
+  List.iter
+    (fun m ->
+      let checks = Conformance.suite ~n:13 ~t:2 ~m in
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            (Fmt.str "%a" Conformance.pp_check c)
+            true (Conformance.passed c))
+        checks)
+    [ 1; 8 ]
+
+let test_conformance_coin_gen_guard () =
+  Alcotest.check_raises "needs n >= 6t+1"
+    (Invalid_argument "Conformance.coin_gen_checks: requires n >= 6t+1")
+    (fun () -> ignore (Conformance.coin_gen_checks ~n:13 ~t:3 ~m:1))
+
+let test_conformance_detects_violation () =
+  (* A doctored check must fail: the reporting path, not just the happy
+     path. *)
+  let checks = Conformance.vss_checks ~n:13 ~t:2 in
+  let doctored =
+    List.map
+      (fun c ->
+        if c.Conformance.quantity = "interpolations" then
+          { c with Conformance.measured = c.Conformance.measured + 1 }
+        else c)
+      checks
+  in
+  Alcotest.(check bool) "original report passes" true
+    (Conformance.report (Fmt.with_buffer (Buffer.create 256)) checks);
+  Alcotest.(check bool) "doctored report fails" false
+    (Conformance.report (Fmt.with_buffer (Buffer.create 256)) doctored)
+
+let suite =
+  [
+    Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "find and events" `Quick test_find_and_events;
+    Alcotest.test_case "collector does not perturb metrics" `Quick
+      test_collector_does_not_perturb_metrics;
+    Alcotest.test_case "try_collect keeps partial trace" `Quick
+      test_try_collect_keeps_partial_trace;
+    Alcotest.test_case "protocol spans emitted" `Quick
+      test_protocol_spans_emitted;
+    Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
+    Alcotest.test_case "json string escaping" `Quick test_json_string_escaping;
+    Alcotest.test_case "timeline renders" `Quick test_timeline_renders;
+    Alcotest.test_case "conformance suite at n=13" `Slow
+      test_conformance_suite_passes;
+    Alcotest.test_case "conformance coin-gen guard" `Quick
+      test_conformance_coin_gen_guard;
+    Alcotest.test_case "conformance detects violation" `Quick
+      test_conformance_detects_violation;
+  ]
