@@ -27,6 +27,7 @@ type entry = {
   naive_mults : int;
   plan_ns : float;
   plan_mults : int;
+  delta_ns : float; (* median paired block delta, plan - naive *)
 }
 
 let divergences : string list ref = ref []
@@ -37,29 +38,56 @@ let check_same label ok =
 (* CPU-clock timing; the op is warmed once so table/cache setup costs
    (the point of the plans) are visible only in the `make`-cost entry,
    not folded into steady-state per-op numbers. *)
-let time_ns iters f =
-  ignore (f ());
+let reps = 7
+
+let block_ns iters f =
   let t0 = Sys.time () in
   for _ = 1 to iters do
     ignore (f ())
   done;
   ((Sys.time () -. t0) *. 1e9) /. float_of_int iters
 
+(* Paired, interleaved min-of-[reps] blocks. Timing the two paths in
+   alternating blocks and keeping each path's best block cancels clock
+   drift (frequency scaling, migration) that a single
+   naive-then-plan pass folds straight into the reported delta — the
+   ledger-overhead budget is tighter than that drift. Alongside the
+   per-path minima this returns the {e median} of the per-pair block
+   deltas: adjacent blocks share thermal/frequency state, so the pair
+   delta is a far lower-variance overhead estimate than differencing
+   the two minima. *)
+let time_pair iters f g =
+  ignore (f ());
+  ignore (g ());
+  let best_f = ref infinity and best_g = ref infinity in
+  let deltas = Array.make reps 0.0 in
+  for r = 0 to reps - 1 do
+    let df = block_ns iters f in
+    let dg = block_ns iters g in
+    if df < !best_f then best_f := df;
+    if dg < !best_g then best_g := dg;
+    deltas.(r) <- dg -. df
+  done;
+  Array.sort compare deltas;
+  (!best_f, !best_g, deltas.(reps / 2))
+
 let mults_of f =
   let _, s = Metrics.with_counting f in
   s.Metrics.field_mults
 
 let measure ~op ~field ~n ~t ~m ~iters ~naive ~plan =
+  let naive_ns, plan_ns, delta_ns = time_pair iters naive plan in
   {
     op;
     field;
     n;
     t;
     m;
-    naive_ns = time_ns iters naive;
+    naive_ns;
     naive_mults = mults_of naive;
-    plan_ns = time_ns iters plan;
+    plan_ns;
     plan_mults = mults_of plan;
+    delta_ns;
   }
 
 (* Mirror a tabled-GF16 element into the untabled twin field (same
@@ -163,6 +191,36 @@ let subset_reconstruct ~n ~t ~iters =
   in
   e
 
+(* Sentinel ledger overhead on the hot exposure path (DESIGN §14).
+   Naive: Coin-Expose with no ambient ledger — the pre-sentinel code
+   path. Plan: the same exposure under an installed passive ledger, the
+   deployment default. The observe hooks run under
+   [Metrics.without_counting] and the no-error fast path never touches
+   them, so the mult counts must be identical and the decoded values
+   bit-equal; wall-clock overhead is reported for the <2% budget but,
+   like all ns numbers, not gated. *)
+let coin_expose_ledger ~n ~t ~iters =
+  let module C = Sealed_coin.Make (F) in
+  let module CE = Coin_expose.Make (F) in
+  let g = Prng.of_int 6151 in
+  let coin = C.dealer_coin g ~n ~t in
+  let ledger = Sentinel.Ledger.create ~config:Sentinel.passive ~n () in
+  let naive () = CE.run coin in
+  let plan_op () = Sentinel.with_ledger ledger (fun () -> CE.run coin) in
+  check_same "coin_expose_ledger: passive ledger changed a decoded value"
+    (let a = naive () and b = plan_op () in
+     Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Some x, Some y -> F.equal x y
+         | None, None -> true
+         | _ -> false)
+       a b);
+  check_same "coin_expose_ledger: passive ledger accused someone"
+    (Sentinel.Ledger.suspects ledger = []);
+  measure ~op:"coin_expose_ledger" ~field:"GF(2^16)" ~n ~t ~m:1 ~iters
+    ~naive ~plan:plan_op
+
 (* --- emission ------------------------------------------------------ *)
 
 let json_of_entry e =
@@ -185,6 +243,10 @@ let run ~smoke ~path =
       deal ~n ~t ~iters;
       subset_reconstruct ~n ~t ~iters;
       gf2k_mul ~iters:mul_iters;
+      (* A full exposure is ~10us and the overhead budget is percent-level,
+         so this entry needs long blocks: its own iteration budget, far
+         above the shared [iters]. *)
+      coin_expose_ledger ~n:(min n 13) ~t:(min t 2) ~iters:20_000;
     ]
   in
   let oc = open_out path in
@@ -198,13 +260,39 @@ let run ~smoke ~path =
     (if smoke then "smoke" else "full")
     (String.concat ",\n" (List.map json_of_entry entries));
   close_out oc;
-  Printf.printf "wrote %s (%s mode)\n" path (if smoke then "smoke" else "full");
+  (* One compact line per run appended to the trajectory log, so the
+     repo accumulates a machine-readable bench history across PRs. *)
+  let history = Filename.concat (Filename.dirname path) "BENCH_history.jsonl" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history in
+  Printf.fprintf oc
+    "{\"schema\": \"dprbg-bench-history/1\", \"mode\": %S, \"ops\": [%s]}\n"
+    (if smoke then "smoke" else "full")
+    (String.concat ", "
+       (List.map
+          (fun e ->
+            Printf.sprintf
+              "{\"op\": %S, \"plan_mults\": %d, \"plan_ns\": %.1f, \
+               \"naive_mults\": %d, \"naive_ns\": %.1f}"
+              e.op e.plan_mults e.plan_ns e.naive_mults e.naive_ns)
+          entries));
+  close_out oc;
+  Printf.printf "wrote %s (%s mode), appended %s\n" path
+    (if smoke then "smoke" else "full")
+    history;
   List.iter
     (fun e ->
       Printf.printf "  %-20s naive %10.1f ns/op  plan %10.1f ns/op  %5.2fx\n"
         e.op e.naive_ns e.plan_ns
         (if e.plan_ns > 0. then e.naive_ns /. e.plan_ns else 0.))
     entries;
+  (let ledger = List.find_opt (fun e -> e.op = "coin_expose_ledger") entries in
+   match ledger with
+   | Some e when e.naive_ns > 0. ->
+       (* Median paired-block delta over the best naive block: the
+          lowest-variance overhead estimate this harness can produce. *)
+       Printf.printf "  ledger overhead on expose: %+.2f%% (budget < 2%%)\n"
+         (100. *. e.delta_ns /. e.naive_ns)
+   | _ -> ());
   match !divergences with
   | [] -> ()
   | ds ->

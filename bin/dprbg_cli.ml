@@ -249,15 +249,39 @@ let pool_cmd =
       value & flag
       & info [ "fresh" ] ~doc:"Ignore any existing state file and bootstrap anew.")
   in
-  let run () seed t state_file draws fresh =
+  let suspects =
+    Arg.(
+      value & flag
+      & info [ "suspects" ]
+          ~doc:
+            "Print the sentinel ledger's per-player suspicion/quarantine \
+             table after drawing.")
+  in
+  let quarantine =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "quarantine" ] ~docv:"SCORE"
+          ~doc:
+            "Run an active sentinel ledger: players whose suspicion score \
+             reaches $(docv) are quarantined out of subset selection and \
+             leader rotation. Without this flag the ledger is passive \
+             (evidence is recorded but never acted on).")
+  in
+  let run () seed t state_file draws fresh suspects quarantine =
     let n = n_for t in
+    let sentinel =
+      match quarantine with
+      | None -> Some Sentinel.passive
+      | Some threshold -> Some (Sentinel.active ~threshold ())
+    in
     let pool =
       if (not fresh) && Sys.file_exists state_file then begin
         let ic = open_in_bin state_file in
         let len = in_channel_length ic in
         let data = really_input_string ic len in
         close_in ic;
-        match Pool.load ~prng:(Prng.of_int seed) ~batch_size:32
+        match Pool.load ~sentinel ~prng:(Prng.of_int seed) ~batch_size:32
                 ~refill_threshold:3 (Bytes.of_string data)
         with
         | pool ->
@@ -273,21 +297,41 @@ let pool_cmd =
       end
       else begin
         Printf.printf "# bootstrapping a fresh pool (trusted dealer used once)\n";
-        Pool.create ~prng:(Prng.of_int seed) ~n ~t ~batch_size:32
+        Pool.create ~sentinel ~prng:(Prng.of_int seed) ~n ~t ~batch_size:32
           ~refill_threshold:3 ~initial_seed:6 ()
       end
     in
-    for i = 1 to draws do
-      Printf.printf "%4d  %s\n" i (F.to_string (Pool.draw_kary pool))
-    done;
-    let oc = open_out_bin state_file in
-    output_bytes oc (Pool.save pool);
-    close_out oc;
+    let print_suspect_table () =
+      match Pool.ledger pool with
+      | Some ledger -> Fmt.pr "%a" Sentinel.Ledger.pp_table ledger
+      | None -> Printf.printf "# no sentinel ledger configured\n"
+    in
+    let save_state () =
+      let oc = open_out_bin state_file in
+      output_bytes oc (Pool.save pool);
+      close_out oc
+    in
+    (try
+       for i = 1 to draws do
+         Printf.printf "%4d  %s\n" i (F.to_string (Pool.draw_kary pool))
+       done
+     with Pool.Safe_mode msg ->
+       (* The evidence implies more than t corrupted players: the fault
+          assumption under reconstruction is void. Persist the ledger so
+          the operator can inspect it, then refuse with a dedicated
+          exit code. *)
+       save_state ();
+       Printf.eprintf
+         "error: safe mode — refusing to vend possibly-biased coins.\n%s\n"
+         msg;
+       exit 5);
+    save_state ();
     let s = Pool.stats pool in
     Printf.printf
       "# saved %d sealed coins to %s | lifetime: exposed=%d refills=%d dealer=%d\n"
       (Pool.available pool) state_file s.Pool.coins_exposed s.Pool.refills
-      s.Pool.dealer_coins
+      s.Pool.dealer_coins;
+    if suspects then print_suspect_table ()
   in
   let info =
     Cmd.info "pool"
@@ -295,7 +339,10 @@ let pool_cmd =
         "Draw coins from a persistent pool: state survives restarts, the \
          trusted dealer is only ever used at first bootstrap."
   in
-  Cmd.v info Term.(const run $ setup_logs $ seed_arg $ t_arg $ state_file $ draws $ fresh)
+  Cmd.v info
+    Term.(
+      const run $ setup_logs $ seed_arg $ t_arg $ state_file $ draws $ fresh
+      $ suspects $ quarantine)
 
 (* ------------------------------------------------------------------ *)
 

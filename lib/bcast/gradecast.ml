@@ -92,13 +92,48 @@ let run_all ?(dealer_behavior = fun _ -> Dealer_honest)
             | _ -> None))
   in
   let inbox3 = echo_round 3 choices in
-  Array.init n (fun i ->
-      Array.init n (fun d ->
-          let echoes = List.filter_map (fun (_, msg) -> msg.(d)) inbox3.(i) in
-          match best_supported ~equal echoes with
-          | Some v, c when c >= n - t -> { value = Some v; confidence = 2 }
-          | Some v, c when c >= t + 1 -> { value = Some v; confidence = 1 }
-          | _ -> { value = None; confidence = 0 }))
+  let outcomes =
+    Array.init n (fun i ->
+        Array.init n (fun d ->
+            let echoes = List.filter_map (fun (_, msg) -> msg.(d)) inbox3.(i) in
+            match best_supported ~equal echoes with
+            | Some v, c when c >= n - t -> { value = Some v; confidence = 2 }
+            | Some v, c when c >= t + 1 -> { value = Some v; confidence = 1 }
+            | _ -> { value = None; confidence = 0 }))
+  in
+  (* Ledger evidence per dealer slot. Two different confidence >= 1
+     values is equivocation: each carried t + 1 third-round echoes, and
+     an honest echo needed n - t second-round support — impossible for
+     two values from one honest dealer, whatever up to t followers do.
+     Grade 0 at t + 1 players likewise cannot happen to an honest dealer
+     under the retransmit envelope: only crashed receivers (at most t)
+     void their inboxes. *)
+  Sentinel.observe (fun () ->
+      List.concat_map
+        (fun d ->
+          let votes =
+            List.filter_map
+              (fun i ->
+                let o = outcomes.(i).(d) in
+                if o.confidence >= 1 then o.value else None)
+              (List.init n Fun.id)
+          in
+          let equivocated =
+            match votes with
+            | [] -> false
+            | v :: rest -> List.exists (fun w -> not (equal v w)) rest
+          in
+          let zeroes =
+            List.length
+              (List.filter
+                 (fun i -> outcomes.(i).(d).confidence = 0)
+                 (List.init n Fun.id))
+          in
+          if equivocated then [ (d, Sentinel.Equivocation) ]
+          else if zeroes >= t + 1 then [ (d, Sentinel.Grade_zero) ]
+          else [])
+        (List.init n Fun.id));
+  outcomes
 
 let run ?(dealer_behavior = Dealer_honest)
     ?(follower_behavior = fun _ -> Follower_honest) ~equal ~byte_size ~n ~t
@@ -161,9 +196,34 @@ let run ?(dealer_behavior = Dealer_honest)
           follower_sends i ~round:3 choices.(i)
         done)
   in
-  Array.init n (fun i ->
-      let echoes = List.map snd inbox3.(i) in
-      match best_supported ~equal echoes with
-      | Some v, c when c >= n - t -> { value = Some v; confidence = 2 }
-      | Some v, c when c >= t + 1 -> { value = Some v; confidence = 1 }
-      | _ -> { value = None; confidence = 0 })
+  let outcomes =
+    Array.init n (fun i ->
+        let echoes = List.map snd inbox3.(i) in
+        match best_supported ~equal echoes with
+        | Some v, c when c >= n - t -> { value = Some v; confidence = 2 }
+        | Some v, c when c >= t + 1 -> { value = Some v; confidence = 1 }
+        | _ -> { value = None; confidence = 0 })
+  in
+  Sentinel.observe (fun () ->
+      let votes =
+        List.filter_map
+          (fun i ->
+            let o = outcomes.(i) in
+            if o.confidence >= 1 then o.value else None)
+          (List.init n Fun.id)
+      in
+      let equivocated =
+        match votes with
+        | [] -> false
+        | v :: rest -> List.exists (fun w -> not (equal v w)) rest
+      in
+      let zeroes =
+        List.length
+          (List.filter
+             (fun i -> outcomes.(i).confidence = 0)
+             (List.init n Fun.id))
+      in
+      if equivocated then [ (dealer, Sentinel.Equivocation) ]
+      else if zeroes >= t + 1 then [ (dealer, Sentinel.Grade_zero) ]
+      else []);
+  outcomes

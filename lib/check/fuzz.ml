@@ -7,6 +7,9 @@ type prop_spec = {
   weight : int;
   degrade_min : Fuzz_config.degrade;
   degrade_max : Fuzz_config.degrade;
+  max_quar : int;
+      (* ceiling for the quarantine-threshold axis; 0 keeps the axis off
+         (the property runs no active sentinel ledger) *)
   doc : string;
 }
 
@@ -42,6 +45,7 @@ let registry =
       weight = 20;
       degrade_min = nd;
       degrade_max = broadcast_axes;
+      max_quar = 0;
       doc =
         "Lemmas 1/3: honest dealings accepted (plain and robust rules), \
          degree-(t+1) dealings always rejected, targeted cheats accepted \
@@ -56,6 +60,7 @@ let registry =
       weight = 6;
       degrade_min = nd;
       degrade_max = nd;
+      max_quar = 0;
       doc =
         "Lemma 3 with equality: the optimal batch cheat passes at rate \
          M/p over a small field (two-sided statistical bound)";
@@ -69,6 +74,7 @@ let registry =
       weight = 14;
       degrade_min = nd;
       degrade_max = p2p_axes;
+      max_quar = 0;
       doc =
         "Fig. 4: honest dealers convince everyone (even under faulty \
          gamma senders and t-bounded inconsistency), bad-degree dealers \
@@ -83,6 +89,7 @@ let registry =
       weight = 12;
       degrade_min = nd;
       degrade_max = p2p_axes;
+      max_quar = 0;
       doc =
         "Honest Coin-Gen path: full clique, full trust, 1 BA iteration, \
          2 seed coins, and every coin exposes to ground truth under \
@@ -97,6 +104,7 @@ let registry =
       weight = 16;
       degrade_min = nd;
       degrade_max = { p2p_axes with Fuzz_config.crash = 2 };
+      max_quar = 0;
       doc =
         "Theorem 2 / Lemma 7 under scheduled mixed adversaries: clique \
          and trust bounds hold and all honest players decode every coin \
@@ -111,6 +119,7 @@ let registry =
       weight = 8;
       degrade_min = nd;
       degrade_max = nd;
+      max_quar = 0;
       doc =
         "Lemma 8 accounting: BA iterations, seed-coin consumption, \
          grade-cast count and the exact synchronous round count agree \
@@ -125,6 +134,7 @@ let registry =
       weight = 8;
       degrade_min = nd;
       degrade_max = p2p_axes;
+      max_quar = 0;
       doc =
         "Unpredictability necessary conditions: batch coins pairwise \
          distinct, fresh honest randomness changes every coin, no \
@@ -148,6 +158,7 @@ let registry =
           crash = 0;
           rt = 2;
         };
+      max_quar = 0;
       doc =
         "Bootstrap pool under a mobile scheduled adversary: never \
          starves, never breaks unanimity, ledger counters stay \
@@ -175,6 +186,7 @@ let registry =
           crash = 2;
           rt = 3;
         };
+      max_quar = 0;
       doc =
         "Exposure under a degraded network: every honest player decodes \
          each dealer coin to ground truth despite drops, delays, \
@@ -199,11 +211,40 @@ let registry =
           crash = 0;
           rt = 2;
         };
+      max_quar = 0;
       doc =
         "Crash-recovery: a mid-soak pool snapshot restores to an \
          equivalent pool (stock and ledger intact, dealer untouched) \
          that keeps serving under the same degraded network, while any \
          single bit flip in the snapshot is rejected as corrupt";
+    };
+    {
+      name = "no-honest-quarantine";
+      regime = Fuzz_config.Full;
+      ks = [| 32 |];
+      ts = [| 1 |];
+      max_m = 3;
+      weight = 6;
+      degrade_min = nd;
+      (* crash stays 0: a crashed player falls silent through no lie of
+         its own, and this property requires every faulty player to be a
+         persistent exposure-time liar. *)
+      degrade_max =
+        {
+          Fuzz_config.drop = 15;
+          delay = 15;
+          dup = 15;
+          corrupt = 15;
+          reorder = 30;
+          crash = 0;
+          rt = 2;
+        };
+      max_quar = 12;
+      doc =
+        "Sentinel attribution: a passive ledger leaves the draw stream \
+         bit-identical, an active one quarantines every persistently \
+         lying faulty player and never an honest one, even over lossy \
+         links";
     };
   ]
 
@@ -383,6 +424,12 @@ let gen_config g ~specs ~bug : Fuzz_config.t =
         rt = axis (max 1 lo.rt) hi.rt;
       }
   in
+  let quar =
+    (* Floor of 3: the heaviest single observation (Equivocation, weight
+       4) may quarantine at once, but a threshold below any single
+       weight would be degenerate. *)
+    if spec.max_quar = 0 then 0 else 3 + Prng.int g (spec.max_quar - 2)
+  in
   {
     Fuzz_config.seed;
     prop = spec.name;
@@ -392,6 +439,7 @@ let gen_config g ~specs ~bug : Fuzz_config.t =
     faults;
     m;
     net;
+    quar;
     bug;
   }
 

@@ -30,6 +30,10 @@ type prop_spec = {
           the property to pristine networks. Degraded trials always get
           a retransmit budget >= 1, so a bounded envelope keeps the
           invariants deterministic. *)
+  max_quar : int;
+      (** ceiling for the quarantine-threshold axis ([quar=] drawn from
+          [\[3, max_quar\]]); 0 keeps the axis off — the property runs
+          no active sentinel ledger *)
   doc : string;  (** one-line description of the invariant *)
 }
 

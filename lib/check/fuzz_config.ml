@@ -24,6 +24,9 @@ type t = {
   faults : int;
   m : int;
   net : degrade;
+  quar : int;
+      (** quarantine threshold handed to the sentinel ledger by
+          properties that run one; 0 means the property's default. *)
   bug : bug option;
 }
 
@@ -62,8 +65,9 @@ let to_string c =
         c.net.drop c.net.delay c.net.dup c.net.corrupt c.net.reorder
         c.net.crash c.net.rt
   in
-  Printf.sprintf "prop=%s seed=%d k=%d regime=%s t=%d faults=%d m=%d%s%s" c.prop
-    c.seed c.k (regime_name c.regime) c.fault_bound c.faults c.m net
+  Printf.sprintf "prop=%s seed=%d k=%d regime=%s t=%d faults=%d m=%d%s%s%s"
+    c.prop c.seed c.k (regime_name c.regime) c.fault_bound c.faults c.m net
+    (if c.quar = 0 then "" else Printf.sprintf " quar=%d" c.quar)
     (match c.bug with None -> "" | Some b -> " bug=" ^ bug_name b)
 
 let pp fmt c = Format.pp_print_string fmt (to_string c)
@@ -124,6 +128,7 @@ let of_string line =
   let* reorder = int_default "reorder" in
   let* crash = int_default "crash" in
   let* rt = int_default "rt" in
+  let* quar = int_default "quar" in
   let* bug =
     match List.assoc_opt "bug" bindings with
     | None -> Ok None
@@ -143,7 +148,8 @@ let of_string line =
     Error "drop/delay/dup/corrupt/reorder must be in [0, 100]"
   else if crash < 0 || crash > faults then Error "crash must be in [0, faults]"
   else if rt < 0 || rt > 8 then Error "rt must be in [0, 8]"
-  else Ok { seed; prop; k; regime; fault_bound; faults; m; net; bug }
+  else if quar < 0 || quar > 64 then Error "quar must be in [0, 64]"
+  else Ok { seed; prop; k; regime; fault_bound; faults; m; net; quar; bug }
 
 (* A bare degradation profile — the CLI's [--faults] value. Same keys
    as the replay-line tokens, but comma-separated and standalone:
@@ -201,7 +207,7 @@ let degrade_weight d = d.drop + d.delay + d.dup + d.corrupt + d.reorder + d.cras
 
 let size c =
   (c.fault_bound * 1000) + (c.faults * 100) + (c.m * 10) + c.k
-  + degrade_weight c.net
+  + degrade_weight c.net + c.quar
 
 (* The field ladder the generator draws from; shrinking steps down it. *)
 let k_ladder = [ 8; 10; 12; 16; 24; 32; 61 ]
@@ -259,6 +265,14 @@ let shrink_candidates c =
       @ axis (fun d -> d.crash) (fun d v -> { d with crash = v })
       @ axis (fun d -> d.rt) (fun d v -> { d with rt = v })
   in
+  let quars =
+    (* 0 is the property default, so it is the terminal shrink. *)
+    if c.quar > 0 then
+      List.sort_uniq compare [ 0; c.quar / 2; c.quar - 1 ]
+      |> List.filter (fun q -> q >= 0 && q < c.quar)
+      |> List.map (fun quar -> { c with quar })
+    else []
+  in
   let ks =
     (* The smallest field still hosting n+1 distinct evaluation points. *)
     let k_min =
@@ -269,4 +283,4 @@ let shrink_candidates c =
     List.filter (fun k -> k >= k_min && k < c.k) k_ladder
     |> List.map (fun k -> { c with k })
   in
-  ts @ faults @ ms @ nets @ ks
+  ts @ faults @ ms @ nets @ quars @ ks

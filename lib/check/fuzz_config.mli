@@ -60,6 +60,11 @@ type t = {
   faults : int;  (** actually corrupted players, [<= fault_bound] *)
   m : int;  (** batch size [M] *)
   net : degrade;  (** network degradation plan ({!no_degrade} = pristine) *)
+  quar : int;
+      (** quarantine threshold for properties that run an active sentinel
+          ledger; 0 means the property's default (and is the terminal
+          shrink). In [\[0, 64\]]. Printed as [quar=] only when non-zero,
+          so pre-sentinel lines keep their shape. *)
   bug : bug option;  (** injected defect (self-check mode only) *)
 }
 

@@ -877,6 +877,109 @@ module Make (F : Field_intf.S) = struct
                   "%d unanimity failures after restore"
                   s.PL.unanimity_failures))
 
+  (* The sentinel's twin obligations (DESIGN §14), fuzzed: (a) a passive
+     ledger is pure observation — the draw stream and stats of a
+     ledger-free pool and a passive-ledger pool are bit-identical under
+     the same (replayed) degraded network; (b) with an active ledger,
+     every persistently lying faulty player is quarantined while no
+     honest player ever is, however lossy the links — the t+1
+     concurrence rule plus the bounded retransmit envelope mean link
+     faults cannot frame an honest sender. Safe mode must stay quiet:
+     evidence against <= t real liars never implies > t faults. *)
+  let no_honest_quarantine (cfg : Fuzz_config.t) =
+    let t = cfg.fault_bound and m = cfg.m in
+    let n = Fuzz_config.n_of cfg in
+    let g = Prng.of_int cfg.seed in
+    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let faulty = Net.Faults.faulty faults in
+    (* Every faulty player runs the same detectable lie at every epoch:
+       persistence is what separates a corrupted player from line
+       noise. *)
+    let lie_table =
+      Array.init n (fun i ->
+          if Net.Faults.is_honest faults i then CE.Honest
+          else
+            match Prng.int g 3 with
+            | 0 -> CE.Silent
+            | 1 -> CE.Send (F.random g)
+            | _ ->
+                let lies = Array.init n (fun _ -> F.random g) in
+                CE.Equivocate (fun dst -> Some lies.(dst mod n)))
+    in
+    let threshold = if cfg.quar > 0 then cfg.quar else 6 in
+    let config = Sentinel.active ~threshold () in
+    (* Enough exposures for the weakest evidence stream (Silent, weight
+       1, first [link_slack] observations forgiven) to cross any
+       threshold the generator picks. *)
+    let kary_draws = threshold + config.Sentinel.link_slack + 4 + (2 * m) in
+    let pool_seed = Prng.bits g 30 in
+    (* Each comparison run replays the identical degraded network: a
+       fresh plan with the same seed, installed over the ambient one the
+       campaign set up. *)
+    let with_fresh_plan f =
+      let d = cfg.net in
+      if d = Fuzz_config.no_degrade then f ()
+      else
+        let pct x = float_of_int x /. 100.0 in
+        Net.with_plan
+          (Net.Plan.make ~drop:(pct d.drop) ~delay:(pct d.delay)
+             ~duplicate:(pct d.dup) ~corrupt:(pct d.corrupt)
+             ~reorder:(pct d.reorder) ~retransmits:(max 1 d.rt)
+             ~seed:(cfg.seed lxor 0x3ac5f1b9) ())
+          f
+    in
+    let run_pool sentinel =
+      with_fresh_plan @@ fun () ->
+      let pool =
+        PL.create ~sentinel
+          ~expose_behavior:(fun _epoch i -> lie_table.(i))
+          ~prng:(Prng.of_int pool_seed) ~n ~t ~batch_size:(max 8 (2 * m))
+          ~refill_threshold:3 ~initial_seed:6 ()
+      in
+      let values = List.init kary_draws (fun _ -> PL.draw_kary pool) in
+      (values, PL.stats pool, pool)
+    in
+    match
+      let bare = run_pool None in
+      let passive = run_pool (Some Sentinel.passive) in
+      let active = run_pool (Some config) in
+      (bare, passive, active)
+    with
+    | exception PL.Starved msg -> failf "pool starved: %s" msg
+    | exception PL.Safe_mode msg ->
+        failf "safe mode engaged with only %d <= t faults: %s" cfg.faults msg
+    | (v0, s0, _), (v1, s1, _), (_, _, pool) -> (
+        let* () =
+          check
+            (List.for_all2 F.equal v0 v1)
+            "passive ledger changed the draw stream"
+        in
+        let* () =
+          check (s0 = s1) "passive ledger changed the pool stats"
+        in
+        match PL.ledger pool with
+        | None -> Fail "active pool has no ledger"
+        | Some ledger ->
+            let quarantined = Sentinel.Ledger.quarantine_set ledger in
+            let* () =
+              each
+                (fun p ->
+                  check (List.mem p faulty)
+                    "honest player %d quarantined (score %d, threshold %d)" p
+                    (Sentinel.Ledger.score ledger ~player:p)
+                    threshold)
+                quarantined
+            in
+            each
+              (fun p ->
+                check (List.mem p quarantined)
+                  "persistent liar %d not quarantined after %d exposures \
+                   (score %d < threshold %d)"
+                  p kary_draws
+                  (Sentinel.Ledger.score ledger ~player:p)
+                  threshold)
+              faulty)
+
   let run (cfg : Fuzz_config.t) =
     match cfg.prop with
     | "vss-soundness" -> vss_soundness cfg
@@ -889,5 +992,6 @@ module Make (F : Field_intf.S) = struct
     | "pool-liveness" -> pool_liveness cfg
     | "expose-degraded" -> expose_degraded cfg
     | "pool-recovery" -> pool_recovery cfg
+    | "no-honest-quarantine" -> no_honest_quarantine cfg
     | other -> failf "unknown property %S" other
 end

@@ -22,56 +22,115 @@ module Make (F : Field_intf.S) = struct
         ~byte_size:(fun _ -> F.byte_size)
         ()
     in
-    Net.exchange net ~send:(fun () ->
-        for i = 0 to n - 1 do
-          match sender_behavior i with
-          | Honest -> Net.send_to_all net ~src:i (fun _ -> coin.C.shares.(i))
-          | Silent -> ()
-          | Send v -> Net.send_to_all net ~src:i (fun _ -> v)
-          | Equivocate f ->
-              for dst = 0 to n - 1 do
-                match f dst with
-                | Some v -> Net.send net ~src:i ~dst v
-                | None -> ()
-              done
-        done)
+    let inbox =
+      Net.exchange net ~send:(fun () ->
+          for i = 0 to n - 1 do
+            match sender_behavior i with
+            | Honest -> Net.send_to_all net ~src:i (fun _ -> coin.C.shares.(i))
+            | Silent -> ()
+            | Send v -> Net.send_to_all net ~src:i (fun _ -> v)
+            | Equivocate f ->
+                for dst = 0 to n - 1 do
+                  match f dst with
+                  | Some v -> Net.send net ~src:i ~dst v
+                  | None -> ()
+                done
+          done)
+    in
+    (net, inbox)
 
-  let trusted_points coin i inbox_i =
+  (* Quarantined players are dropped from subset selection on top of the
+     per-coin trust matrix. With no (or a passive) ambient ledger
+     [Sentinel.excluded] is constantly false, so selection is unchanged;
+     with an active one the honest trusted majority still clears the
+     paper's n' >= 2t'+1 reconstruction floor (at most t quarantined,
+     at least n - 2t >= t + 1 honest trusted rows survive). *)
+  let trusted_points coin i inbox_i ~excl =
     List.filter_map
-      (fun (j, v) -> if C.trusted_row coin i j then Some (j, v) else None)
+      (fun (j, v) ->
+        if C.trusted_row coin i j && not excl.(j) then Some (j, v) else None)
       inbox_i
 
   let run ?sender_behavior (coin : C.t) =
     Trace.span Trace.Protocol "coin-expose" @@ fun () ->
     let n = coin.C.n and t = coin.C.fault_bound in
     let plan = S.grid ~n ~t in
-    let inbox = send_round ?sender_behavior coin in
-    Array.init n (fun i ->
-        let points = trusted_points coin i inbox.(i) in
-        let m = List.length points in
-        let e = (m - t - 1) / 2 in
-        let value =
-          if e < 0 then None
-          else
-            (* Fast path: when every trusted share lies on one degree-<= t
-               polynomial (the overwhelmingly common, fault-free case) the
-               plan's cached subset weights reconstruct f(0) directly.
-               Berlekamp-Welch — the same decoder as before — takes over
-               exactly when the check fails, i.e. when there are errors to
-               correct, so the decoded value is unchanged in all cases. *)
-            match S.G.reconstruct_zero_checked plan points with
-            | Some v -> Some v
-            | None -> (
-                let points =
-                  List.map (fun (j, v) -> (S.eval_point j, v)) points
-                in
-                match BW.decode ~max_degree:t ~max_errors:e points with
-                | None -> None
-                | Some f -> Some (BW.P.eval f F.zero))
-        in
-        Trace.event (fun () ->
-            Trace.Reconstruct { player = i; ok = Option.is_some value });
-        value)
+    let excl = Sentinel.exclusion_mask ~n in
+    let net, inbox = send_round ?sender_behavior coin in
+    (* Attribution tallies: how many players decoded sender j's share as
+       an error, and how many got nothing from j at all. Pure integer
+       bookkeeping; an accusation is only scored at t + 1 concurring
+       players (see DESIGN.md section 14). *)
+    let bad_votes = Array.make n 0 in
+    let results =
+      Array.init n (fun i ->
+          let points = trusted_points coin i inbox.(i) ~excl in
+          let m = List.length points in
+          (* Degree-t reconstruction needs m >= t + 1 points; note
+             (m - t - 1) / 2 truncates toward zero, so at m = t it is 0,
+             not negative — guard on m, not on e. *)
+          let e = (m - t - 1) / 2 in
+          let value =
+            if m <= t then None
+            else
+              (* Fast path: when every trusted share lies on one degree-<= t
+                 polynomial (the overwhelmingly common, fault-free case) the
+                 plan's cached subset weights reconstruct f(0) directly.
+                 Berlekamp-Welch — the same decoder as before — takes over
+                 exactly when the check fails, i.e. when there are errors to
+                 correct, so the decoded value is unchanged in all cases. *)
+              match S.G.reconstruct_zero_checked plan points with
+              | Some v -> Some v
+              | None -> (
+                  let mapped =
+                    List.map (fun (j, v) -> (j, (S.eval_point j, v))) points
+                  in
+                  match
+                    BW.decode_with_support ~max_degree:t ~max_errors:e
+                      (List.map snd mapped)
+                  with
+                  | None -> None
+                  | Some (f, support) ->
+                      (* The support is a physical sublist of the input
+                         points, so [memq] recovers the error locators —
+                         exactly the shares BW corrected — with no field
+                         arithmetic beyond what [decode] already did. *)
+                      List.iter
+                        (fun (j, pt) ->
+                          if not (List.memq pt support) then
+                            bad_votes.(j) <- bad_votes.(j) + 1)
+                        mapped;
+                      Some (BW.P.eval f F.zero))
+          in
+          Trace.event (fun () ->
+              Trace.Reconstruct { player = i; ok = Option.is_some value });
+          value)
+    in
+    Sentinel.observe (fun () ->
+        let acc = ref [] in
+        if Net.complete_last_round net then begin
+          (* Nobody can be absent; only decode evidence remains. *)
+          for j = n - 1 downto 0 do
+            if bad_votes.(j) >= t + 1 then
+              acc := (j, Sentinel.Bad_share) :: !acc
+          done
+        end
+        else begin
+          let unique_senders =
+            match Net.current_plan () with
+            | None -> true
+            | Some p -> Net.Plan.retransmits p >= 1
+          in
+          let miss_votes = Net.absent_counts ~unique_senders ~n inbox in
+          for j = n - 1 downto 0 do
+            if miss_votes.(j) >= t + 1 then
+              acc := (j, Sentinel.Silent) :: !acc;
+            if bad_votes.(j) >= t + 1 then
+              acc := (j, Sentinel.Bad_share) :: !acc
+          done
+        end;
+        !acc);
+    results
 
   let expose_bit ?sender_behavior coin =
     Array.map
@@ -82,9 +141,10 @@ module Make (F : Field_intf.S) = struct
     Trace.span Trace.Protocol "coin-expose.lagrange" @@ fun () ->
     let n = coin.C.n and t = coin.C.fault_bound in
     let plan = S.grid ~n ~t in
-    let inbox = send_round ?sender_behavior coin in
+    let excl = Sentinel.exclusion_mask ~n in
+    let _net, inbox = send_round ?sender_behavior coin in
     Array.init n (fun i ->
-        let points = trusted_points coin i inbox.(i) in
+        let points = trusted_points coin i inbox.(i) ~excl in
         let rec take k = function
           | [] -> []
           | _ when k = 0 -> []

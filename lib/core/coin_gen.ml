@@ -141,6 +141,31 @@ module Make (F : Field_intf.S) = struct
             inbox.(i);
           row)
     in
+    (* Attribution: a dealer absent from (or malformed in) the merged
+       deal inboxes of t + 1 players is blamed — the envelope delivers
+       honest live senders everywhere, and at most t crashed receivers
+       can void an inbox. Evaluated lazily, only under a ledger. *)
+    let exchange_evidence inbox ~malformed =
+      let unique_senders =
+        match Net.current_plan () with
+        | None -> true
+        | Some p -> Net.Plan.retransmits p >= 1
+      in
+      let miss = Net.absent_counts ~unique_senders ~n inbox in
+      let bad = Array.make n 0 in
+      Array.iter
+        (List.iter (fun (j, v) -> if malformed v then bad.(j) <- bad.(j) + 1))
+        inbox;
+      List.concat_map
+        (fun j ->
+          let acc =
+            if bad.(j) >= t + 1 then [ (j, Sentinel.Undecodable) ] else []
+          in
+          if miss.(j) >= t + 1 then (j, Sentinel.Silent) :: acc else acc)
+        (List.init n Fun.id)
+    in
+    Sentinel.observe (fun () ->
+        exchange_evidence inbox ~malformed:(fun v -> Array.length v <> m));
     (* ---- Step 2: expose the check coin(s). Sharing one r across all n
        Bit-Gen invocations is the Theorem-2 optimization; the ablation
        path draws one per dealer. *)
@@ -188,6 +213,8 @@ module Make (F : Field_intf.S) = struct
             inbox.(i);
           rows)
     in
+    Sentinel.observe (fun () ->
+        exchange_evidence inbox ~malformed:(fun v -> Array.length v <> n));
     (* ---- Steps 4-6: local decode, graph, clique — per player. *)
     let checks =
       (* checks.(i).(j): player i's (F_j, S_j) for dealer j. In a
@@ -216,6 +243,21 @@ module Make (F : Field_intf.S) = struct
               Trace.Reconstruct { player = i; ok = decoded >= n - t });
           row)
     in
+    (* A dealing undecodable at t + 1 players is the dealer's fault:
+       honest dealings decode at every live player (robust decode
+       tolerates the <= t faulty gamma senders), and at most t crashed
+       receivers decode nothing at all. *)
+    Sentinel.observe (fun () ->
+        List.filter_map
+          (fun j ->
+            let rejections =
+              Array.fold_left
+                (fun acc row -> if fst row.(j) = None then acc + 1 else acc)
+                0 checks
+            in
+            if rejections >= t + 1 then Some (j, Sentinel.Rejected_dealing)
+            else None)
+          (List.init n Fun.id));
     let cliques =
       Array.init n (fun i ->
           let dg = Player_graph.directed_create ~n in
@@ -314,7 +356,23 @@ module Make (F : Field_intf.S) = struct
         None
       end
       else begin
-        let l = leader_index (oracle ()) ~n in
+        (* Leader rotation skips quarantined players: the draw indexes
+           into the eligible list, which is all n players whenever no
+           active ledger has quarantined anyone — identical arithmetic,
+           identical leader. *)
+        let eligible =
+          match
+            List.filter
+              (fun p -> not (Sentinel.excluded p))
+              (List.init n Fun.id)
+          with
+          | [] -> List.init n Fun.id
+          | ps -> ps
+        in
+        let l =
+          List.nth eligible
+            (leader_index (oracle ()) ~n:(List.length eligible))
+        in
         Trace.note (Printf.sprintf "iteration %d: leader %d" (iter + 1) l);
         let coins_used = coins_used + 1 in
         let inputs = Array.init n (fun i -> ba_input i l) in

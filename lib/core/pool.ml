@@ -10,6 +10,7 @@ module Make (F : Field_intf.S) = struct
 
   exception Starved of string
   exception Corrupt_snapshot of string
+  exception Safe_mode of string
 
   type stats = {
     refills : int;
@@ -35,6 +36,9 @@ module Make (F : Field_intf.S) = struct
     max_ba_iterations : int;
     ba_flavor : [ `Phase_king | `Common_coin ];
     max_refill_attempts : int;
+    ledger : Sentinel.Ledger.t option;
+    mutable quarantine_mark : int;
+        (* quarantine count at the last evidence-triggered refresh *)
     mutable coins : C.t list;
     mutable bit_buffer : bool list;
     mutable refills : int;
@@ -51,8 +55,9 @@ module Make (F : Field_intf.S) = struct
 
   let create ?(adversary = fun _ -> CG.honest_adversary)
       ?(expose_behavior = fun _ _ -> CE.Honest) ?(max_ba_iterations = 64)
-      ?(ba_flavor = `Phase_king) ?(max_refill_attempts = 5) ~prng ~n ~t
-      ~batch_size ~refill_threshold ~initial_seed () =
+      ?(ba_flavor = `Phase_king) ?(max_refill_attempts = 5)
+      ?(sentinel = Some Sentinel.passive) ~prng ~n ~t ~batch_size
+      ~refill_threshold ~initial_seed () =
     if refill_threshold < 2 then
       invalid_arg "Pool.create: refill_threshold must be >= 2";
     if initial_seed <= refill_threshold then
@@ -75,6 +80,9 @@ module Make (F : Field_intf.S) = struct
       max_ba_iterations;
       ba_flavor;
       max_refill_attempts;
+      ledger =
+        Option.map (fun config -> Sentinel.Ledger.create ~config ~n ()) sentinel;
+      quarantine_mark = 0;
       coins;
       bit_buffer = [];
       refills = 0;
@@ -90,6 +98,41 @@ module Make (F : Field_intf.S) = struct
     }
 
   let available p = List.length p.coins
+  let ledger p = p.ledger
+
+  (* Satellite diagnostics: every Starved carries the pool's vital signs
+     so a post-mortem needs no debugger. *)
+  let starve p msg =
+    raise
+      (Starved
+         (Printf.sprintf
+            "%s [refills=%d refill_attempts=%d backoff_rounds=%d coins=%d]" msg
+            p.refills p.refill_attempts p.backoff_rounds (available p)))
+
+  (* Install the pool's ledger for the extent of a protocol run, so the
+     drivers' Sentinel.observe hooks land in it. A [None] ledger leaves
+     the ambient state untouched — the run is exactly the pre-sentinel
+     code path. *)
+  let with_sentinel p f =
+    match p.ledger with
+    | None -> f ()
+    | Some ledger -> Sentinel.with_ledger ledger f
+
+  (* Safe mode: when the evidence implies more than t corrupted players
+     the fault assumptions underpinning reconstruction are void, so the
+     pool refuses to vend coins rather than serve possibly-biased
+     randomness. The diagnostic embeds the full suspicion table. *)
+  let guard_safe_mode p =
+    match p.ledger with
+    | None -> ()
+    | Some ledger ->
+        let q = Sentinel.Ledger.quarantined_count ledger in
+        if q > p.fault_bound then
+          raise
+            (Safe_mode
+               (Format.asprintf
+                  "evidence implies %d faults > t = %d; refusing draws@.%a" q
+                  p.fault_bound Sentinel.Ledger.pp_table ledger))
 
   (* Expose the next sealed coin and return the honest players' majority
      reconstruction. Counts a unanimity failure when any player's
@@ -98,14 +141,14 @@ module Make (F : Field_intf.S) = struct
     Trace.span Trace.Phase "pool.expose" @@ fun () ->
     match p.coins with
     | [] ->
-        raise
-          (Starved
-             (if for_seed then "seed coins exhausted during a refill"
-              else "pool empty"))
+        starve p
+          (if for_seed then "seed coins exhausted during a refill"
+           else "pool empty")
     | coin :: rest ->
         p.coins <- rest;
         let values =
-          CE.run ~sender_behavior:(p.expose_behavior p.refills) coin
+          with_sentinel p (fun () ->
+              CE.run ~sender_behavior:(p.expose_behavior p.refills) coin)
         in
         let counts = Hashtbl.create 7 in
         Array.iter
@@ -136,7 +179,7 @@ module Make (F : Field_intf.S) = struct
          else p.coins_exposed <- p.coins_exposed + 1);
         (match best with
         | Some (_, x) -> x
-        | None -> raise (Starved "exposure produced no value at any player"))
+        | None -> starve p "exposure produced no value at any player")
 
   (* For the `Common_coin flavor, the BA's shared coins come out of the
      pool's own seed reserve: one exposed k-ary coin buffers k_bits of
@@ -170,7 +213,7 @@ module Make (F : Field_intf.S) = struct
         ~max_phases:64 ~inputs ()
     with
     | Some r -> r.Common_coin_ba.decisions
-    | None -> raise (Starved "randomized BA did not terminate")
+    | None -> starve p "randomized BA did not terminate"
 
   let refill p =
     Trace.span Trace.Protocol "pool.refill" @@ fun () ->
@@ -181,9 +224,11 @@ module Make (F : Field_intf.S) = struct
         | `Phase_king -> None
         | `Common_coin -> Some (randomized_ba p adversary)
       in
-      CG.run ~adversary ?ba ~max_ba_iterations:p.max_ba_iterations ~prng:p.prng
-        ~oracle:(fun () -> expose_next p ~for_seed:true)
-        ~n:p.n ~t:p.fault_bound ~m:p.batch_size ()
+      with_sentinel p (fun () ->
+          CG.run ~adversary ?ba ~max_ba_iterations:p.max_ba_iterations
+            ~prng:p.prng
+            ~oracle:(fun () -> expose_next p ~for_seed:true)
+            ~n:p.n ~t:p.fault_bound ~m:p.batch_size ())
     in
     (* Graceful degradation: a failed Coin-Gen run (the BA loop giving
        up, typically under heavy fault pressure) is retried after an
@@ -193,7 +238,7 @@ module Make (F : Field_intf.S) = struct
        still bounds the retries: it now means the budget is exhausted,
        not that the first burst of bad luck was fatal. *)
     let rec go tries backoff =
-      if tries = 0 then raise (Starved "Coin-Gen failed repeatedly")
+      if tries = 0 then starve p "Coin-Gen failed repeatedly"
       else begin
         p.refill_attempts <- p.refill_attempts + 1;
         match attempt () with
@@ -218,25 +263,6 @@ module Make (F : Field_intf.S) = struct
         f "refill %d: +%d coins (spent %d seed), %d now available" p.refills
           batch.CG.m batch.CG.seed_coins_consumed (available p))
 
-  let draw_kary p =
-    Trace.span Trace.Protocol "pool.draw" @@ fun () ->
-    if available p <= p.refill_threshold then refill p;
-    expose_next p ~for_seed:false
-
-  let draw_bit p =
-    match p.bit_buffer with
-    | b :: rest ->
-        p.bit_buffer <- rest;
-        b
-    | [] ->
-        let v = draw_kary p in
-        let bits = Array.to_list (F.to_bits v) in
-        (match bits with
-        | b :: rest ->
-            p.bit_buffer <- rest;
-            b
-        | [] -> assert false (* k_bits >= 1 *))
-
   let refresh p =
     Trace.span Trace.Protocol "pool.refresh" @@ fun () ->
     (* Reserve a seed budget up front: the refresh batch size must be
@@ -252,15 +278,16 @@ module Make (F : Field_intf.S) = struct
     else begin
       p.coins <- reserve;
       match
-        R.run ~adversary:(p.adversary p.refills)
-          ?max_ba_iterations:(Some p.max_ba_iterations) ~prng:p.prng
-          ~oracle:(fun () -> expose_next p ~for_seed:true)
-          to_refresh
+        with_sentinel p (fun () ->
+            R.run ~adversary:(p.adversary p.refills)
+              ?max_ba_iterations:(Some p.max_ba_iterations) ~prng:p.prng
+              ~oracle:(fun () -> expose_next p ~for_seed:true)
+              to_refresh)
       with
       | None ->
           (* Agreement never succeeded; put the coins back unrefreshed. *)
           p.coins <- p.coins @ to_refresh;
-          raise (Starved "refresh batch failed repeatedly")
+          starve p "refresh batch failed repeatedly"
       | Some refreshed ->
           p.refreshes <- p.refreshes + 1;
           p.coins <- p.coins @ refreshed;
@@ -268,6 +295,50 @@ module Make (F : Field_intf.S) = struct
               f "refresh %d: re-randomized %d coins, %d now available"
                 p.refreshes (List.length refreshed) (available p))
     end
+
+  (* Rising suspected-corruption count triggers an early proactive
+     refresh: shares an intruder harvested through the players it now
+     stands accused of controlling go stale immediately, instead of at
+     the next scheduled epoch boundary. Fires once per quarantine-count
+     increase; passive ledgers (threshold None) never quarantine, so
+     this never fires for them. *)
+  let refresh_on_suspicion p =
+    match p.ledger with
+    | None -> ()
+    | Some ledger ->
+        let q = Sentinel.Ledger.quarantined_count ledger in
+        if q > p.quarantine_mark then begin
+          p.quarantine_mark <- q;
+          Log.info (fun f ->
+              f "quarantine count rose to %d: early proactive refresh" q);
+          refresh p
+        end
+
+  let draw_kary p =
+    Trace.span Trace.Protocol "pool.draw" @@ fun () ->
+    guard_safe_mode p;
+    (* The suspicion-triggered refresh runs before the refill check: it
+       burns seed coins out of the reserve, so a refresh that drains the
+       stock to the threshold is replenished right here instead of
+       starving the next refill's Coin-Gen mid-run. *)
+    refresh_on_suspicion p;
+    if available p <= p.refill_threshold then refill p;
+    expose_next p ~for_seed:false
+
+  let draw_bit p =
+    guard_safe_mode p;
+    match p.bit_buffer with
+    | b :: rest ->
+        p.bit_buffer <- rest;
+        b
+    | [] ->
+        let v = draw_kary p in
+        let bits = Array.to_list (F.to_bits v) in
+        (match bits with
+        | b :: rest ->
+            p.bit_buffer <- rest;
+            b
+        | [] -> assert false (* k_bits >= 1 *))
 
   let stats p =
     {
@@ -284,12 +355,17 @@ module Make (F : Field_intf.S) = struct
     }
 
   let magic = 0xD9B6
-  let snapshot_version = 2
+  let snapshot_version = 3
+  let oldest_readable_version = 2
 
   (* Snapshot layout: a header of magic (u16), version (u8), payload
      length (u32) and CRC-32 of the payload (u32), then the payload —
-     pool parameters, ledger counters, and the sealed coins. The header
-     lets [load] reject truncated, corrupted or alien bytes with a clean
+     pool parameters, stats counters, the sealed coins, and (since v3) a
+     sentinel-ledger section: a presence flag (u8), then per player the
+     evidence counts in [Sentinel.all_kinds] order (u32 each). v2
+     snapshots — the same payload without the ledger section — are still
+     read; they restore with a fresh ledger. The header lets [load]
+     reject truncated, corrupted or alien bytes with a clean
      [Corrupt_snapshot] before any payload decoding runs. *)
   let save p =
     let w = Wire.Writer.create () in
@@ -304,6 +380,13 @@ module Make (F : Field_intf.S) = struct
       ];
     Wire.Writer.u16 w (List.length p.coins);
     List.iter (fun c -> C.write w c) p.coins;
+    (match p.ledger with
+    | None -> Wire.Writer.u8 w 0
+    | Some ledger ->
+        Wire.Writer.u8 w 1;
+        Array.iter
+          (fun row -> Array.iter (fun c -> Wire.Writer.u32 w c) row)
+          (Sentinel.Ledger.dump ledger));
     let payload = Wire.Writer.contents w in
     let header = Wire.Writer.create () in
     Wire.Writer.u16 header magic;
@@ -315,26 +398,34 @@ module Make (F : Field_intf.S) = struct
 
   let corrupt msg = raise (Corrupt_snapshot ("Pool.load: " ^ msg))
 
+  (* Header-stage failures know nothing but the byte count; that much
+     still lands in the message for the post-mortem. *)
+  let corrupt_header bytes msg =
+    corrupt (Printf.sprintf "%s [bytes=%d]" msg (Bytes.length bytes))
+
   let checked_payload bytes =
-    if Bytes.length bytes < 11 then corrupt "truncated header";
+    if Bytes.length bytes < 11 then corrupt_header bytes "truncated header";
     let r = Wire.Reader.of_bytes bytes in
-    if Wire.Reader.u16 r <> magic then corrupt "bad magic";
+    if Wire.Reader.u16 r <> magic then corrupt_header bytes "bad magic";
     let version = Wire.Reader.u8 r in
-    if version <> snapshot_version then
-      corrupt (Printf.sprintf "unsupported version %d" version);
+    if version < oldest_readable_version || version > snapshot_version then
+      corrupt_header bytes (Printf.sprintf "unsupported version %d" version);
     let len = Wire.Reader.u32 r in
-    if Bytes.length bytes <> 11 + len then corrupt "payload length mismatch";
+    if Bytes.length bytes <> 11 + len then
+      corrupt_header bytes "payload length mismatch";
     let crc = Wire.Reader.u32 r in
     let payload = Wire.Reader.raw r len in
-    if Wire.Crc32.digest payload <> crc then corrupt "checksum mismatch";
-    payload
+    if Wire.Crc32.digest payload <> crc then
+      corrupt_header bytes "checksum mismatch";
+    (version, payload)
 
   let load ?(adversary = fun _ -> CG.honest_adversary)
       ?(expose_behavior = fun _ _ -> CE.Honest) ?(max_ba_iterations = 64)
-      ?(ba_flavor = `Phase_king) ?(max_refill_attempts = 5) ~prng ~batch_size
-      ~refill_threshold bytes =
-    let payload = checked_payload bytes in
-    let n, fault_bound, counters, coins =
+      ?(ba_flavor = `Phase_king) ?(max_refill_attempts = 5)
+      ?(sentinel = Some Sentinel.passive) ~prng ~batch_size ~refill_threshold
+      bytes =
+    let version, payload = checked_payload bytes in
+    let n, fault_bound, counters, coins, saved_counts =
       (* The checksum has vouched for the bytes, so any decode failure
          here still means corruption (e.g. of the CRC field itself along
          with a compensating payload flip is out of scope — but a buggy
@@ -347,16 +438,38 @@ module Make (F : Field_intf.S) = struct
         let counters = Array.init 10 (fun _ -> Wire.Reader.u32 r) in
         let count = Wire.Reader.u16 r in
         let coins = List.init count (fun _ -> C.read r) in
+        let saved_counts =
+          (* The v3 ledger section; v2 payloads end at the coins. *)
+          if version < 3 then None
+          else
+            match Wire.Reader.u8 r with
+            | 0 -> None
+            | 1 ->
+                Some
+                  (Array.init n (fun _ ->
+                       Array.init
+                         (List.length Sentinel.all_kinds)
+                         (fun _ -> Wire.Reader.u32 r)))
+            | _ -> failwith "bad ledger flag"
+        in
         Wire.Reader.expect_end r;
-        (n, fault_bound, counters, coins)
+        (n, fault_bound, counters, coins, saved_counts)
       with
       | decoded -> decoded
-      | exception _ -> corrupt "undecodable payload"
+      | exception _ ->
+          corrupt
+            (Printf.sprintf "undecodable payload [bytes=%d]"
+               (Bytes.length bytes))
+    in
+    let with_stats msg =
+      Printf.sprintf
+        "%s [refills=%d refill_attempts=%d backoff_rounds=%d coins=%d]" msg
+        counters.(0) counters.(8) counters.(9) (List.length coins)
     in
     List.iter
       (fun c ->
         if c.C.n <> n || c.C.fault_bound <> fault_bound then
-          corrupt "coin parameters inconsistent")
+          corrupt (with_stats "coin parameters inconsistent"))
       coins;
     if refill_threshold < 2 then
       invalid_arg "Pool.load: refill_threshold must be >= 2";
@@ -364,6 +477,18 @@ module Make (F : Field_intf.S) = struct
       invalid_arg "Pool.load: batch_size must be >= 2 * refill_threshold";
     if max_refill_attempts < 1 then
       invalid_arg "Pool.load: max_refill_attempts must be >= 1";
+    let ledger =
+      (* The caller's sentinel config governs; persisted evidence counts
+         rehydrate it (quarantine recomputed from the scores), and a
+         [None] config discards them. v2 snapshots restore fresh. *)
+      Option.map
+        (fun config ->
+          match saved_counts with
+          | Some counts when Array.length counts = n ->
+              Sentinel.Ledger.of_counts ~config counts
+          | _ -> Sentinel.Ledger.create ~config ~n ())
+        sentinel
+    in
     {
       prng;
       n;
@@ -375,6 +500,11 @@ module Make (F : Field_intf.S) = struct
       max_ba_iterations;
       ba_flavor;
       max_refill_attempts;
+      ledger;
+      quarantine_mark =
+        (match ledger with
+        | None -> 0
+        | Some l -> Sentinel.Ledger.quarantined_count l);
       coins;
       bit_buffer = [];
       refills = counters.(0);

@@ -32,14 +32,27 @@ module Make (F : Field_intf.S) : sig
       coins mid-generation, or the retry budget of
       [max_refill_attempts] Coin-Gen runs — with exponential backoff
       between them — was exhausted) — with a sane [refill_threshold]
-      this is a probability-negligible event. *)
+      this is a probability-negligible event. The message embeds a
+      stats snapshot ([refills], [refill_attempts], [backoff_rounds],
+      coins remaining) so post-mortems don't need a debugger. *)
 
   exception Corrupt_snapshot of string
   (** Raised by {!load} on bytes that are not an intact snapshot:
       truncated, bit-flipped (checksum mismatch), wrong magic or
       version, or an undecodable payload. Distinct from
       [Invalid_argument], which {!load} reserves for bad {e parameters}
-      passed alongside intact bytes. *)
+      passed alongside intact bytes. Messages embed what is known at
+      the failing stage: the byte count for header-level rejections,
+      and the decoded stats counters once the payload has been read. *)
+
+  exception Safe_mode of string
+  (** Raised by {!draw_kary}/{!draw_bit} when the sentinel ledger's
+      evidence implies more than [t] corrupted players — the fault
+      assumption underpinning reconstruction is void, so the pool
+      refuses to vend possibly-biased randomness. The message carries
+      the full per-player suspicion table as a diagnostic report. Only
+      an {e active} ledger config ({!Sentinel.active}) can trigger
+      this. *)
 
   type stats = {
     refills : int;
@@ -67,6 +80,7 @@ module Make (F : Field_intf.S) : sig
     ?max_ba_iterations:int ->
     ?ba_flavor:[ `Phase_king | `Common_coin ] ->
     ?max_refill_attempts:int ->
+    ?sentinel:Sentinel.config option ->
     prng:Prng.t ->
     n:int ->
     t:int ->
@@ -97,7 +111,19 @@ module Make (F : Field_intf.S) : sig
       [max_refill_attempts] (default 5) bounds the Coin-Gen retries per
       refill: a failed run is retried after an exponentially growing
       idle backoff (1, 2, 4, ... rounds, charged to the ambient round
-      counter) before {!Starved} is raised. *)
+      counter) before {!Starved} is raised.
+
+      [sentinel] configures the fault-attribution ledger installed
+      around every protocol run the pool drives (exposures, refills,
+      refreshes). The default [Some Sentinel.passive] records evidence
+      without ever acting on it — runs are bit-identical to
+      [~sentinel:None], which disables the ledger entirely. An active
+      config ([Some (Sentinel.active ())]) quarantines players whose
+      suspicion score crosses the threshold: they are dropped from
+      Coin-Expose subset selection and Coin-Gen leader rotation, a
+      rising quarantine count triggers an early proactive {!refresh},
+      and more than [t] quarantined players puts draws into
+      {!Safe_mode}. *)
 
   val available : t -> int
   (** Sealed coins currently in the pool. *)
@@ -123,6 +149,10 @@ module Make (F : Field_intf.S) : sig
 
   val stats : t -> stats
 
+  val ledger : t -> Sentinel.Ledger.t option
+  (** The pool's sentinel ledger, if one was configured — the
+      suspicion/quarantine table behind [dprbg pool --suspects]. *)
+
   val save : t -> bytes
   (** Serialize the pool's durable state — the sealed coins and the
       ledger counters. The PRNG position, adversary hooks and bit buffer
@@ -137,6 +167,7 @@ module Make (F : Field_intf.S) : sig
     ?max_ba_iterations:int ->
     ?ba_flavor:[ `Phase_king | `Common_coin ] ->
     ?max_refill_attempts:int ->
+    ?sentinel:Sentinel.config option ->
     prng:Prng.t ->
     batch_size:int ->
     refill_threshold:int ->
@@ -146,6 +177,11 @@ module Make (F : Field_intf.S) : sig
       recovers, and how the service restarts, without a new
       trusted-dealer setup. The snapshot carries a version header and a
       CRC-32 of its payload; verification happens before any decoding.
+      Current snapshots are v3 (they carry the sentinel ledger's
+      evidence counts); v2 snapshots are still read and restore with a
+      fresh ledger. The persisted counts rehydrate whatever [sentinel]
+      config the caller passes — quarantine flags are recomputed from
+      the scores — and are discarded under [~sentinel:None].
       @raise Corrupt_snapshot on bytes that are not an intact snapshot
       (any single bit flip or truncation is detected).
       @raise Invalid_argument on bad parameters ([refill_threshold],
@@ -157,6 +193,7 @@ module Make (F : Field_intf.S) : sig
     ?max_ba_iterations:int ->
     ?ba_flavor:[ `Phase_king | `Common_coin ] ->
     ?max_refill_attempts:int ->
+    ?sentinel:Sentinel.config option ->
     prng:Prng.t ->
     batch_size:int ->
     refill_threshold:int ->

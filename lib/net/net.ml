@@ -222,6 +222,12 @@ type 'msg t = {
      arrival measured on the plan's global round clock. *)
   mutable delayed : (int * int * int * 'msg) list;
   mutable rounds : int;
+  (* Messages enqueued since the last delivery / in the last delivered
+     round. On a pristine net, where drivers send at most once per
+     (src, dst) pair, [last_enqueued = n * n] proves the round was
+     complete — the O(1) fast path behind {!complete_last_round}. *)
+  mutable enqueued : int;
+  mutable last_enqueued : int;
 }
 
 let create ?codec ~n ~byte_size () =
@@ -234,6 +240,8 @@ let create ?codec ~n ~byte_size () =
     queues = Array.make n [];
     delayed = [];
     rounds = 0;
+    enqueued = 0;
+    last_enqueued = 0;
   }
 
 let n t = t.n
@@ -242,7 +250,9 @@ let check_id t label i =
   if i < 0 || i >= t.n then
     invalid_arg (Printf.sprintf "Net.%s: player id %d out of range" label i)
 
-let enqueue t ~src ~dst msg = t.queues.(dst) <- (src, msg) :: t.queues.(dst)
+let enqueue t ~src ~dst msg =
+  t.enqueued <- t.enqueued + 1;
+  t.queues.(dst) <- (src, msg) :: t.queues.(dst)
 
 let corrupted_copy t plan msg =
   match t.codec with
@@ -346,9 +356,20 @@ let deliver t =
                 Trace.Recv { src; dst; bytes = t.byte_size msg }))
           msgs)
       inbox;
+  t.last_enqueued <- t.enqueued;
+  t.enqueued <- 0;
   inbox
 
 let rounds_elapsed t = t.rounds
+
+(* O(1) completeness certificate for the sentinel's silence tally: with
+   no fault plan installed nothing is ever dropped, delayed or
+   duplicated, so — given the driver discipline of at most one send per
+   (src, dst) pair per round — [n * n] enqueued messages mean every
+   sender reached every receiver. Under a plan this conservatively
+   answers [false] and callers take the full per-sender walk. *)
+let complete_last_round t =
+  Option.is_none t.plan && t.last_enqueued = t.n * t.n
 
 (* A retransmit envelope: run the same synchronous send round
    [retransmits + 1] times and merge the inboxes, keeping the latest
@@ -392,6 +413,40 @@ let exchange t ~send =
                 Option.map (fun msg -> (src, msg)) latest.(dst).(src))
               (List.init t.n Fun.id))
       end
+
+(* Attribution helper for the sentinel ledger: how many receivers ended
+   an exchange with no copy at all from each sender. Under a bounded
+   envelope with rt >= 1 an honest live sender's final copy always
+   lands, so only crashed receivers (at most t of them) can miss it —
+   persistent absence at t + 1 or more receivers is attributable to the
+   sender, not the links. Pure integer bookkeeping: no field ops, no
+   randomness. *)
+let absent_counts ?(unique_senders = false) ~n inboxes =
+  let missing = Array.make n 0 in
+  (* Fast path for the hot exposure loop: when each inbox is known to
+     hold at most one entry per sender — pristine nets (drivers send
+     once per round) or merged retransmit envelopes (deduped by
+     construction) — [n] full inboxes prove nobody is absent, and the
+     per-sender walk is skipped entirely. *)
+  if
+    unique_senders
+    && Array.for_all (fun ib -> List.compare_length_with ib n = 0) inboxes
+  then missing
+  else begin
+    (* Epoch marking: [seen.(src) = i] means inbox [i] heard from [src],
+       so one scratch array serves every inbox without reallocation. *)
+    let seen = Array.make n (-1) in
+    Array.iteri
+      (fun i inbox ->
+        List.iter
+          (fun (src, _) -> if src >= 0 && src < n then seen.(src) <- i)
+          inbox;
+        for src = 0 to n - 1 do
+          if seen.(src) <> i then missing.(src) <- missing.(src) + 1
+        done)
+      inboxes;
+    missing
+  end
 
 module Faults = struct
   type t = { n : int; faulty : bool array }

@@ -196,6 +196,30 @@ val exchange : 'msg t -> send:(unit -> unit) -> (int * 'msg) list array
 
 val rounds_elapsed : _ t -> int
 
+val complete_last_round : _ t -> bool
+(** O(1) completeness certificate for the last delivered round: true
+    iff the net runs with {e no} fault plan and exactly [n * n]
+    messages were enqueued — which, under the driver discipline of at
+    most one send per (src, dst) pair per round, proves every sender
+    reached every receiver, so the sentinel's silence tally can skip
+    its per-sender walk. Conservative: under any fault plan it answers
+    [false] and callers must fall back to {!absent_counts}. *)
+
+val absent_counts :
+  ?unique_senders:bool -> n:int -> (int * 'msg) list array -> int array
+(** [absent_counts ~n inboxes] counts, per sender, how many of the [n]
+    receivers got {e no} copy from it in the merged inboxes of one
+    {!exchange}. [unique_senders] (default false) asserts each inbox
+    holds at most one entry per sender — true for pristine nets and for
+    merged retransmit envelopes ([rt >= 1]), which dedup by
+    construction — enabling a length-only fast path on the hot
+    exposure loop. Drivers feed counts of [t + 1] or more to the sentinel
+    ledger as [Silent] evidence: with a retransmit budget the envelope
+    delivers every honest live sender's final copy, so only crashed
+    receivers — at most [t] — can miss it, and persistent absence at
+    [t + 1] receivers is attributable to the sender rather than to link
+    noise. Pure integer bookkeeping (no field ops, no randomness). *)
+
 (** {1 Fault sets} *)
 
 module Faults : sig

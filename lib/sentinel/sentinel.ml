@@ -1,0 +1,216 @@
+type kind =
+  | Bad_share
+  | Rejected_dealing
+  | Equivocation
+  | Grade_zero
+  | Silent
+  | Undecodable
+
+let all_kinds =
+  [ Bad_share; Rejected_dealing; Equivocation; Grade_zero; Silent; Undecodable ]
+
+let n_kinds = List.length all_kinds
+
+let kind_index = function
+  | Bad_share -> 0
+  | Rejected_dealing -> 1
+  | Equivocation -> 2
+  | Grade_zero -> 3
+  | Silent -> 4
+  | Undecodable -> 5
+
+let kind_name = function
+  | Bad_share -> "bad-share"
+  | Rejected_dealing -> "rejected-dealing"
+  | Equivocation -> "equivocation"
+  | Grade_zero -> "grade-zero"
+  | Silent -> "silent"
+  | Undecodable -> "undecodable"
+
+type config = {
+  bad_share : int;
+  rejected_dealing : int;
+  equivocation : int;
+  grade_zero : int;
+  silent : int;
+  undecodable : int;
+  link_slack : int;
+  quarantine_threshold : int option;
+}
+
+let passive =
+  {
+    bad_share = 3;
+    rejected_dealing = 3;
+    equivocation = 4;
+    grade_zero = 2;
+    silent = 1;
+    undecodable = 2;
+    link_slack = 2;
+    quarantine_threshold = None;
+  }
+
+let active ?(threshold = 6) () =
+  { passive with quarantine_threshold = Some threshold }
+
+module Ledger = struct
+  type t = {
+    n : int;
+    config : config;
+    counts : int array array; (* player -> kind_index -> observations *)
+    quarantine : bool array; (* sticky *)
+  }
+
+  let create ?(config = passive) ~n () =
+    if n < 1 then invalid_arg "Sentinel.Ledger.create: n must be >= 1";
+    {
+      n;
+      config;
+      counts = Array.init n (fun _ -> Array.make n_kinds 0);
+      quarantine = Array.make n false;
+    }
+
+  let n t = t.n
+  let config t = t.config
+  let in_range t p = p >= 0 && p < t.n
+
+  let count t ~player kind =
+    if in_range t player then t.counts.(player).(kind_index kind) else 0
+
+  (* Silent/Undecodable are the only kinds a lossy link can produce for
+     an honest player, so the first [link_slack] of their combined count
+     is written off as line noise before anything is weighted. *)
+  let score t ~player =
+    if not (in_range t player) then 0
+    else begin
+      let c = t.counts.(player) in
+      let w = t.config in
+      let noise = c.(kind_index Silent) + c.(kind_index Undecodable) in
+      let charged = max 0 (noise - w.link_slack) in
+      (* Charge the forgiven observations against the cheapest-weighted
+         noise kind first so slack never under-forgives. *)
+      let silent = c.(kind_index Silent) in
+      let undecodable = c.(kind_index Undecodable) in
+      let forgiven = noise - charged in
+      let forgiven_silent = min silent forgiven in
+      let forgiven_undec = forgiven - forgiven_silent in
+      (c.(kind_index Bad_share) * w.bad_share)
+      + (c.(kind_index Rejected_dealing) * w.rejected_dealing)
+      + (c.(kind_index Equivocation) * w.equivocation)
+      + (c.(kind_index Grade_zero) * w.grade_zero)
+      + ((silent - forgiven_silent) * w.silent)
+      + ((undecodable - forgiven_undec) * w.undecodable)
+    end
+
+  let quarantined t ~player = in_range t player && t.quarantine.(player)
+
+  let refresh_quarantine t player =
+    match t.config.quarantine_threshold with
+    | None -> ()
+    | Some threshold ->
+        if score t ~player >= threshold then t.quarantine.(player) <- true
+
+  let record t ~player kind =
+    if in_range t player then begin
+      let i = kind_index kind in
+      t.counts.(player).(i) <- t.counts.(player).(i) + 1;
+      refresh_quarantine t player;
+      Trace.event (fun () ->
+          Trace.Suspicion
+            {
+              player;
+              evidence = kind_name kind;
+              score = score t ~player;
+              quarantined = t.quarantine.(player);
+            })
+    end
+
+  let suspects t =
+    List.filter (fun p -> score t ~player:p > 0) (List.init t.n Fun.id)
+
+  let quarantine_set t =
+    List.filter (fun p -> t.quarantine.(p)) (List.init t.n Fun.id)
+
+  let quarantined_count t =
+    Array.fold_left (fun acc q -> if q then acc + 1 else acc) 0 t.quarantine
+
+  let dump t = Array.map Array.copy t.counts
+
+  let of_counts ?(config = passive) counts =
+    let n = Array.length counts in
+    if n < 1 then invalid_arg "Sentinel.Ledger.of_counts: empty";
+    Array.iter
+      (fun row ->
+        if Array.length row <> n_kinds then
+          invalid_arg "Sentinel.Ledger.of_counts: bad row width")
+      counts;
+    let t =
+      {
+        n;
+        config;
+        counts = Array.map Array.copy counts;
+        quarantine = Array.make n false;
+      }
+    in
+    for p = 0 to n - 1 do
+      refresh_quarantine t p
+    done;
+    t
+
+  let pp_table ppf t =
+    Fmt.pf ppf "player  bad-share  rejected  equivoc  grade-0  silent  undec  score  status@.";
+    for p = 0 to t.n - 1 do
+      let c k = t.counts.(p).(kind_index k) in
+      Fmt.pf ppf "  p%02d   %9d %9d %8d %8d %7d %6d %6d  %s@." p (c Bad_share)
+        (c Rejected_dealing) (c Equivocation) (c Grade_zero) (c Silent)
+        (c Undecodable) (score t ~player:p)
+        (if t.quarantine.(p) then "QUARANTINED"
+         else if score t ~player:p > 0 then "suspect"
+         else "clear")
+    done;
+    match t.config.quarantine_threshold with
+    | None -> Fmt.pf ppf "  (passive ledger: no quarantine threshold)@."
+    | Some th -> Fmt.pf ppf "  (quarantine threshold: score >= %d)@." th
+end
+
+(* ------------------------- ambient ledger ------------------------- *)
+
+let installed : Ledger.t option ref = ref None
+
+let with_ledger ledger f =
+  let prev = !installed in
+  installed := Some ledger;
+  match f () with
+  | result ->
+      installed := prev;
+      result
+  | exception e ->
+      installed := prev;
+      raise e
+
+let current () = !installed
+
+let observe f =
+  match !installed with
+  | None -> ()
+  | Some ledger ->
+      (* Evidence extraction must not perturb the run: any field ops it
+         performs are uncounted, and callers draw no randomness. *)
+      Metrics.without_counting (fun () ->
+          List.iter
+            (fun (player, kind) -> Ledger.record ledger ~player kind)
+            (f ()))
+
+let excluded player =
+  match !installed with
+  | None -> false
+  | Some ledger -> Ledger.quarantined ledger ~player
+
+(* Hot loops call [excluded] once per (receiver, sender) pair; snapshotting
+   the quarantine flags into a flat mask hoists the ambient lookup out of
+   the O(n^2) inner loop. Quarantine is sticky, so a snapshot taken at the
+   top of a protocol run stays valid for the whole run. *)
+let exclusion_mask ~n =
+  match !installed with
+  | None -> Array.make n false
+  | Some ledger -> Array.init n (fun j -> Ledger.quarantined ledger ~player:j)

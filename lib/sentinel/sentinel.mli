@@ -1,0 +1,126 @@
+(** Fault attribution: a per-player evidence ledger for the coin stack.
+
+    The protocol machinery already computes blame evidence and throws it
+    away: Berlekamp-Welch error locators name exactly which Coin-Expose
+    shares were bad, Fig. 2/3 verdict votes name rejected dealers,
+    gradecast grade-0 outcomes name equivocators, and the retransmit
+    envelope sees persistent silence. The sentinel collects those
+    observations as typed, per-player {!kind}s, scores suspicion with
+    configurable weights, and — when a quarantine threshold is set —
+    marks players that cross it so the stack can eject them.
+
+    Attribution discipline: drivers must only feed an accusation when at
+    least [t + 1] players concur on it within one protocol event (see
+    DESIGN.md section 14). Any coalition of at most [t] faulty observers
+    is then unable to frame an honest player, and under the bounded
+    retransmit envelope ([rt >= 1]) link faults never survive to the
+    merged inbox, so honest players accrue no evidence at all. The
+    [link_slack] allowance additionally forgives a bounded number of
+    {!Silent}/{!Undecodable} observations per player, so even without
+    retransmissions an honest player behind a lossy link is not blamed
+    for noise.
+
+    The ledger is ambient, mirroring {!Trace} and [Net.Plan]: drivers
+    call {!observe} unconditionally; with no ledger installed it is a
+    single branch and the evidence thunk is never forced, so runs
+    without a ledger pay nothing. With a {!passive} ledger (threshold
+    [None]) evidence is recorded but nothing is ever quarantined, and
+    the run stays bit-identical — same PRNG draws, same metrics — to a
+    ledger-free run: evidence thunks are forced inside
+    [Metrics.without_counting] and draw no randomness. *)
+
+type kind =
+  | Bad_share  (** BW error locator / [reconstruct_zero_checked] mismatch *)
+  | Rejected_dealing  (** VSS / Batch-VSS verdict rejected this dealer *)
+  | Equivocation  (** gradecast accepted two different values for a dealer *)
+  | Grade_zero  (** gradecast ended at confidence 0 for this dealer *)
+  | Silent  (** persistently absent from the merged exchange inbox *)
+  | Undecodable  (** delivered bytes that failed to decode / wrong shape *)
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+type config = {
+  bad_share : int;
+  rejected_dealing : int;
+  equivocation : int;
+  grade_zero : int;
+  silent : int;
+  undecodable : int;  (** per-kind suspicion weights *)
+  link_slack : int;
+      (** this many {!Silent}/{!Undecodable} observations per player are
+          attributed to the link, not the player, and score zero *)
+  quarantine_threshold : int option;
+      (** [None] = passive: record evidence, never quarantine *)
+}
+
+val passive : config
+(** Default weights, [link_slack = 2], threshold [None]. Recording under
+    this config never changes behaviour. *)
+
+val active : ?threshold:int -> unit -> config
+(** {!passive} with a quarantine threshold (default 6). *)
+
+module Ledger : sig
+  type t
+
+  val create : ?config:config -> n:int -> unit -> t
+  (** Fresh ledger over players [0 .. n-1]; default config {!passive}. *)
+
+  val n : t -> int
+  val config : t -> config
+
+  val record : t -> player:int -> kind -> unit
+  (** Accrue one observation. Emits a lazy [Trace.Suspicion] event and,
+      when the new score crosses the configured threshold, marks the
+      player quarantined (sticky). Out-of-range players are ignored. *)
+
+  val count : t -> player:int -> kind -> int
+  val score : t -> player:int -> int
+  (** Weighted suspicion total, after the [link_slack] allowance. *)
+
+  val suspects : t -> int list
+  (** Players with a positive score, ascending. *)
+
+  val quarantined : t -> player:int -> bool
+  val quarantine_set : t -> int list
+  val quarantined_count : t -> int
+
+  val dump : t -> int array array
+  (** Raw evidence counts, [n] rows in the order of {!all_kinds} — the
+      persistence payload. *)
+
+  val of_counts : ?config:config -> int array array -> t
+  (** Rebuild a ledger from {!dump} output; quarantine flags are
+      recomputed from the scores. Raises [Invalid_argument] on rows of
+      the wrong width. *)
+
+  val pp_table : Format.formatter -> t -> unit
+  (** Per-player table of evidence counts, score and status — the
+      [dprbg pool --suspects] / safe-mode diagnostic report. *)
+end
+
+(** {1 Ambient ledger} *)
+
+val with_ledger : Ledger.t -> (unit -> 'a) -> 'a
+(** Install a ledger for the dynamic extent of the callback (restored on
+    exceptions; nested installs shadow). *)
+
+val current : unit -> Ledger.t option
+
+val observe : (unit -> (int * kind) list) -> unit
+(** [observe f] feeds [f ()]'s accusations to the installed ledger, if
+    any. The thunk is only forced when a ledger is installed, and runs
+    under [Metrics.without_counting], so observation never perturbs
+    counters. Callers must ensure [f] draws no randomness. *)
+
+val excluded : int -> bool
+(** True iff the installed ledger has quarantined this player — the
+    subset-selection hook for Coin-Expose and leader rotation. False
+    without a ledger. *)
+
+val exclusion_mask : n:int -> bool array
+(** [excluded] for players [0 .. n-1], snapshotted with a single ambient
+    lookup. Quarantine is sticky, so a mask taken at the top of a
+    protocol run stays valid throughout it — hot O(n^2) selection loops
+    should index the mask instead of calling {!excluded} per pair. *)

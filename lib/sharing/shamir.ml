@@ -54,8 +54,10 @@ module Make (F : Field_intf.S) = struct
 
   let robust_reconstruct ~t shares =
     let m = List.length shares in
+    (* (m - t - 1) / 2 truncates toward zero, so at m = t it is 0, not
+       negative — a degree-t decode needs m >= t + 1 points, guard on m. *)
     let e = (m - t - 1) / 2 in
-    if e < 0 then None
+    if m <= t then None
     else
       let points = List.map (fun (i, s) -> (eval_point i, s)) shares in
       match BW.decode_with_support ~max_degree:t ~max_errors:e points with

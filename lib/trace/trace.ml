@@ -6,6 +6,12 @@ type event =
   | Broadcast of { src : int; bytes : int }
   | Verdict of { player : int; accept : bool }
   | Reconstruct of { player : int; ok : bool }
+  | Suspicion of {
+      player : int;
+      evidence : string;
+      score : int;
+      quarantined : bool;
+    }
   | Note of string
 
 type span = {
@@ -167,6 +173,9 @@ let pp_event ppf = function
       Fmt.pf ppf "verdict p%d %s" player (if accept then "accept" else "reject")
   | Reconstruct { player; ok } ->
       Fmt.pf ppf "reconstruct p%d %s" player (if ok then "ok" else "failed")
+  | Suspicion { player; evidence; score; quarantined } ->
+      Fmt.pf ppf "suspicion p%d %s score=%d%s" player evidence score
+        (if quarantined then " QUARANTINED" else "")
   | Note msg -> Fmt.pf ppf "note %S" msg
 
 let pp ppf t =
@@ -232,6 +241,10 @@ let pp_jsonl ppf t =
       | Reconstruct { player; ok } ->
           Printf.sprintf "\"event\":\"reconstruct\",\"player\":%d,\"ok\":%b"
             player ok
+      | Suspicion { player; evidence; score; quarantined } ->
+          Printf.sprintf
+            "\"event\":\"suspicion\",\"player\":%d,\"evidence\":%s,\"score\":%d,\"quarantined\":%b"
+            player (json_string evidence) score quarantined
       | Note msg -> Printf.sprintf "\"event\":\"note\",\"text\":%s" (json_string msg)
     in
     Fmt.pf ppf "{\"type\":\"event\",\"span\":%d,\"seq\":%d,%s}@." parent seq
@@ -308,7 +321,7 @@ let pp_timeline ppf t =
     | Reconstruct { player; ok } ->
         let s, rv, b, v, _ = get player r_last in
         set player r_last (s, rv, b, v, Some ok)
-    | Note _ -> ()
+    | Suspicion _ | Note _ -> ()
   in
   let rec go = function
     | Event (_, e) -> mark_event !rounds (max 0 (!rounds - 1)) e
@@ -362,5 +375,23 @@ let pp_timeline ppf t =
           if b > a then Fmt.pf ppf "    rounds %2d-%2d  %s@." a (b - 1) name
           else Fmt.pf ppf "    (no rounds)   %s@." name)
         phases
+    end;
+    (* Ledger section: the last suspicion record per player is the final
+       evidence state, so the timeline doubles as a post-mortem. *)
+    let final : (int, string * int * bool) Hashtbl.t = Hashtbl.create 7 in
+    List.iter
+      (fun (_, e) ->
+        match e with
+        | Suspicion { player; evidence; score; quarantined } ->
+            Hashtbl.replace final player (evidence, score, quarantined)
+        | _ -> ())
+      (all_events t);
+    if Hashtbl.length final > 0 then begin
+      Fmt.pf ppf "  ledger:@.";
+      Hashtbl.fold (fun p v acc -> (p, v) :: acc) final []
+      |> List.sort compare
+      |> List.iter (fun (p, (evidence, score, quarantined)) ->
+             Fmt.pf ppf "    p%02d score=%d last=%s%s@." p score evidence
+               (if quarantined then "  [quarantined]" else ""))
     end
   end

@@ -36,6 +36,15 @@ type event =
       (** a player's VSS accept/reject verdict *)
   | Reconstruct of { player : int; ok : bool }
       (** a player's decode/reconstruction outcome *)
+  | Suspicion of {
+      player : int;
+      evidence : string;
+      score : int;
+      quarantined : bool;
+    }
+      (** a sentinel ledger update: [player] accrued a piece of evidence
+          named [evidence], its suspicion total is now [score], and
+          [quarantined] says whether it crossed the quarantine line *)
   | Note of string  (** free-form annotation *)
 
 type span = {
@@ -117,4 +126,6 @@ val pp_timeline : Format.formatter -> t -> unit
     columns, one glyph per cell ([>] sent, [<] received, [#] both, [B]
     broadcast announcement, [+]/[!] verdict accept/reject, [o]/[x]
     reconstruction ok/failed, [.] idle), followed by the list of
-    protocol/phase spans with the round interval each one covers. *)
+    protocol/phase spans with the round interval each one covers, and —
+    when the trace carries {!Suspicion} events — a ledger section with
+    each player's final suspicion score and quarantine status. *)

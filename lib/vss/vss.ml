@@ -71,7 +71,7 @@ module Make (F : Field_intf.S) = struct
     | Some values ->
         if S.G.fits (S.grid ~n ~t) values then Accept else Reject
 
-  let per_player_verdict ~n verdict_one =
+  let per_player_verdict ?dealer ~n verdict_one =
     Trace.span Trace.Phase "vss.verdict" @@ fun () ->
     let verdicts =
       Array.init n (fun i ->
@@ -80,10 +80,18 @@ module Make (F : Field_intf.S) = struct
               Trace.Verdict { player = i; accept = v = Accept });
           v)
     in
+    (* Verdicts are computed from broadcast values, so every player —
+       all n of them, far beyond the t + 1 concurrence floor — reaches
+       the same one: a Reject is unanimously attributable to the named
+       dealer. *)
+    (match (dealer, verdicts.(0)) with
+    | Some d, Reject ->
+        Sentinel.observe (fun () -> [ (d, Sentinel.Rejected_dealing) ])
+    | _ -> ());
     verdicts.(0)
 
-  let strict_verdict ~n ~t announced =
-    per_player_verdict ~n (fun () -> strict_verdict_one ~n ~t announced)
+  let strict_verdict ?dealer ~n ~t announced =
+    per_player_verdict ?dealer ~n (fun () -> strict_verdict_one ~n ~t announced)
 
   (* Section-4 acceptance: a degree-<= t polynomial supported by at least
      n - t of the announced values. *)
@@ -102,8 +110,8 @@ module Make (F : Field_intf.S) = struct
       | Some (_, support) when List.length support >= n - t -> Accept
       | Some _ | None -> Reject
 
-  let robust_verdict ~n ~t announced =
-    per_player_verdict ~n (fun () -> robust_verdict_one ~n ~t announced)
+  let robust_verdict ?dealer ~n ~t announced =
+    per_player_verdict ?dealer ~n (fun () -> robust_verdict_one ~n ~t announced)
 
   let check_sizes name ~n arrays =
     List.iter
@@ -131,7 +139,7 @@ module Make (F : Field_intf.S) = struct
     Broadcast.round ~codec:elt_codec ~byte_size:(fun _ -> F.byte_size) ~n
       announce
 
-  let run ?(player_behavior = fun _ -> Honest) ~n ~t ~alpha ~beta ~r () =
+  let run ?dealer ?(player_behavior = fun _ -> Honest) ~n ~t ~alpha ~beta ~r () =
     if n < (3 * t) + 1 then invalid_arg "Vss.run: requires n >= 3t+1";
     check_sizes "Vss.run" ~n [ alpha; beta ];
     Trace.span Trace.Protocol "vss" @@ fun () ->
@@ -140,9 +148,9 @@ module Make (F : Field_intf.S) = struct
       gamma_round ~n
         (announced_gamma player_behavior (gamma_single ~alpha ~beta ~r))
     in
-    strict_verdict ~n ~t announced
+    strict_verdict ?dealer ~n ~t announced
 
-  let run_robust ?(player_behavior = fun _ -> Honest) ~n ~t ~alpha ~beta ~r () =
+  let run_robust ?dealer ?(player_behavior = fun _ -> Honest) ~n ~t ~alpha ~beta ~r () =
     if n < (3 * t) + 1 then invalid_arg "Vss.run_robust: requires n >= 3t+1";
     check_sizes "Vss.run_robust" ~n [ alpha; beta ];
     Trace.span Trace.Protocol "vss.robust" @@ fun () ->
@@ -151,7 +159,7 @@ module Make (F : Field_intf.S) = struct
       gamma_round ~n
         (announced_gamma player_behavior (gamma_single ~alpha ~beta ~r))
     in
-    robust_verdict ~n ~t announced
+    robust_verdict ?dealer ~n ~t announced
 
   let combine ~r shares =
     (* Fig. 3 step 2: (...((r a_M + a_{M-1}) r + a_{M-2})...) r + a_1) r
@@ -232,7 +240,7 @@ module Make (F : Field_intf.S) = struct
 
   let gamma_batch ~shares ~r i = combine ~r shares.(i)
 
-  let run_batch ?(player_behavior = fun _ -> Honest) ~n ~t ~shares ~r () =
+  let run_batch ?dealer ?(player_behavior = fun _ -> Honest) ~n ~t ~shares ~r () =
     if n < (3 * t) + 1 then invalid_arg "Vss.run_batch: requires n >= 3t+1";
     if Array.length shares <> n then
       invalid_arg "Vss.run_batch: shares must be indexed by player";
@@ -241,10 +249,10 @@ module Make (F : Field_intf.S) = struct
       gamma_round ~n
         (announced_gamma player_behavior (gamma_batch ~shares ~r))
     in
-    strict_verdict ~n ~t announced
+    strict_verdict ?dealer ~n ~t announced
 
-  let run_batch_on ?(player_behavior = fun _ -> Honest) ~n ~t ~players ~shares
-      ~r () =
+  let run_batch_on ?dealer ?(player_behavior = fun _ -> Honest) ~n ~t ~players
+      ~shares ~r () =
     if n < (3 * t) + 1 then invalid_arg "Vss.run_batch_on: requires n >= 3t+1";
     if Array.length shares <> n then
       invalid_arg "Vss.run_batch_on: shares must be indexed by player";
@@ -277,9 +285,10 @@ module Make (F : Field_intf.S) = struct
              n per-player verdicts set them up once. *)
           if S.G.fits_on (S.grid ~n ~t) points then Accept else Reject
     in
-    per_player_verdict ~n verdict_one
+    per_player_verdict ?dealer ~n verdict_one
 
-  let run_batch_robust ?(player_behavior = fun _ -> Honest) ~n ~t ~shares ~r () =
+  let run_batch_robust ?dealer ?(player_behavior = fun _ -> Honest) ~n ~t ~shares
+      ~r () =
     if n < (3 * t) + 1 then invalid_arg "Vss.run_batch_robust: requires n >= 3t+1";
     if Array.length shares <> n then
       invalid_arg "Vss.run_batch_robust: shares must be indexed by player";
@@ -288,5 +297,5 @@ module Make (F : Field_intf.S) = struct
       gamma_round ~n
         (announced_gamma player_behavior (gamma_batch ~shares ~r))
     in
-    robust_verdict ~n ~t announced
+    robust_verdict ?dealer ~n ~t announced
 end

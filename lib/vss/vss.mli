@@ -57,6 +57,7 @@ module Make (F : Field_intf.S) : sig
   (** {1 Protocol VSS (Fig. 2)} *)
 
   val run :
+    ?dealer:int ->
     ?player_behavior:(int -> player_behavior) ->
     n:int ->
     t:int ->
@@ -66,13 +67,17 @@ module Make (F : Field_intf.S) : sig
     unit ->
     verdict
   (** One execution given the dealer's two share vectors and the exposed
-      coin. Fig. 2 faithfully: the verdict interpolates through {e all}
+      coin. When [?dealer] names the dealing player, a [Reject] verdict
+      feeds [Rejected_dealing] evidence to the ambient sentinel ledger
+      (all [n] players concur — the verdict is a function of broadcast
+      values). All run variants below take the same optional id. Fig. 2 faithfully: the verdict interpolates through {e all}
       broadcast values, so even one silent/lying player forces [Reject]
       — the paper's remark that without complaint rounds "it would be
       impossible to grant that all the n players' shares will satisfy
       the polynomial". Use {!run_robust} for the [n - t] variant. *)
 
   val run_robust :
+    ?dealer:int ->
     ?player_behavior:(int -> player_behavior) ->
     n:int ->
     t:int ->
@@ -117,6 +122,7 @@ module Make (F : Field_intf.S) : sig
       non-zero. *)
 
   val run_batch :
+    ?dealer:int ->
     ?player_behavior:(int -> player_behavior) ->
     n:int ->
     t:int ->
@@ -128,6 +134,7 @@ module Make (F : Field_intf.S) : sig
       interpolation for all [M] secrets. *)
 
   val run_batch_robust :
+    ?dealer:int ->
     ?player_behavior:(int -> player_behavior) ->
     n:int ->
     t:int ->
@@ -138,6 +145,7 @@ module Make (F : Field_intf.S) : sig
   (** Batch check with the [n - t] Berlekamp–Welch acceptance rule. *)
 
   val run_batch_on :
+    ?dealer:int ->
     ?player_behavior:(int -> player_behavior) ->
     n:int ->
     t:int ->

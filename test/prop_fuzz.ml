@@ -45,6 +45,7 @@ let random_config g : Fuzz_config.t =
     faults;
     m = 1 + Prng.int g spec.Fuzz.max_m;
     net;
+    quar = (if spec.Fuzz.max_quar = 0 then 0 else Prng.int g 65);
     bug = Prng.choose g bugs;
   }
 
@@ -82,6 +83,8 @@ let test_replay_rejects_garbage () =
       "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 crash=1";
       "prop=x seed=1 k=8 regime=3t+1 t=1 faults=1 m=1 crash=2";
       "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 rt=9";
+      "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 quar=65";
+      "prop=x seed=1 k=8 regime=3t+1 t=1 faults=0 m=1 quar=-1";
     ]
 
 let test_shrink_candidates_smaller () =
@@ -177,6 +180,7 @@ let test_degraded_campaign_clean () =
       ("coin-unanimity", 80, 32); (* crash axis live *)
       ("pool-recovery", 50, 33);
       ("bitgen-verdicts", 60, 34);
+      ("no-honest-quarantine", 40, 35); (* active sentinel, quar axis live *)
     ]
 
 let test_self_check_requires_bug () =

@@ -9,6 +9,7 @@ let () =
       ("poly", Test_poly.suite);
       ("rs", Test_rs.suite);
       ("net", Test_net.suite);
+      ("sentinel", Test_sentinel.suite);
       ("graph", Test_graph.suite);
       ("shamir", Test_shamir.suite);
       ("kernel", Test_kernel.suite);

@@ -84,8 +84,11 @@ let test_restore_validation () =
       ~initial_seed:6 ()
   in
   let saved = PL.save p in
+  (* Header-stage diagnostics embed the byte count (satellite 1). *)
   Alcotest.check_raises "bad magic"
-    (PL.Corrupt_snapshot "Pool.load: bad magic") (fun () ->
+    (PL.Corrupt_snapshot
+       (Printf.sprintf "Pool.load: bad magic [bytes=%d]" (Bytes.length saved)))
+    (fun () ->
       let corrupted = Bytes.copy saved in
       Bytes.set_uint8 corrupted 0 0x00;
       ignore
@@ -154,6 +157,94 @@ let test_load_rejects_truncation_and_garbage () =
       garbage
   done
 
+(* Satellite 2: the v3 snapshot carries the sentinel ledger; evidence
+   counts and (recomputed) quarantine flags survive a save/load cycle. *)
+let test_ledger_roundtrip () =
+  let config = Sentinel.active ~threshold:6 () in
+  let p =
+    PL.create ~sentinel:(Some config) ~prng:(Prng.of_int 9) ~n ~t
+      ~batch_size:16 ~refill_threshold:3 ~initial_seed:6 ()
+  in
+  let ledger = Option.get (PL.ledger p) in
+  Sentinel.Ledger.record ledger ~player:4 Sentinel.Bad_share;
+  Sentinel.Ledger.record ledger ~player:7 Sentinel.Silent;
+  Sentinel.Ledger.record ledger ~player:11 Sentinel.Equivocation;
+  Sentinel.Ledger.record ledger ~player:11 Sentinel.Equivocation;
+  Alcotest.(check (list int)) "p11 quarantined before save" [ 11 ]
+    (Sentinel.Ledger.quarantine_set ledger);
+  let q =
+    PL.load ~sentinel:(Some config) ~prng:(Prng.of_int 10) ~batch_size:16
+      ~refill_threshold:3 (PL.save p)
+  in
+  let back = Option.get (PL.ledger q) in
+  Alcotest.(check bool) "counts preserved" true
+    (Sentinel.Ledger.dump ledger = Sentinel.Ledger.dump back);
+  Alcotest.(check (list int)) "quarantine recomputed" [ 11 ]
+    (Sentinel.Ledger.quarantine_set back);
+  Alcotest.(check int) "score preserved"
+    (Sentinel.Ledger.score ledger ~player:4)
+    (Sentinel.Ledger.score back ~player:4);
+  (* A ledger-free load of the same bytes discards the counts. *)
+  let bare =
+    PL.load ~sentinel:None ~prng:(Prng.of_int 11) ~batch_size:16
+      ~refill_threshold:3 (PL.save p)
+  in
+  Alcotest.(check bool) "None config discards" true (PL.ledger bare = None)
+
+(* Keep reading v-previous: a v2 snapshot is exactly the v3 payload
+   without the ledger section, under a version-2 header. *)
+let make_v2_snapshot () =
+  let p =
+    PL.create ~sentinel:None ~prng:(Prng.of_int 12) ~n ~t ~batch_size:16
+      ~refill_threshold:3 ~initial_seed:6 ()
+  in
+  for _ = 1 to 10 do
+    ignore (PL.draw_kary p)
+  done;
+  let v3 = PL.save p in
+  (* A sentinel-free pool's v3 payload ends with the single flag byte
+     0x00; strip it and re-head as version 2. *)
+  let payload = Bytes.sub v3 11 (Bytes.length v3 - 12) in
+  let h = Wire.Writer.create () in
+  Wire.Writer.u16 h 0xD9B6;
+  Wire.Writer.u8 h 2;
+  Wire.Writer.u32 h (Bytes.length payload);
+  Wire.Writer.u32 h (Wire.Crc32.digest payload);
+  Wire.Writer.raw h payload;
+  (Wire.Writer.contents h, PL.stats p, PL.available p)
+
+let test_load_reads_v2 () =
+  let v2, saved_stats, saved_avail = make_v2_snapshot () in
+  let q = PL.load ~prng:(Prng.of_int 13) ~batch_size:16 ~refill_threshold:3 v2 in
+  Alcotest.(check int) "coins preserved" saved_avail (PL.available q);
+  Alcotest.(check bool) "stats preserved" true (PL.stats q = saved_stats);
+  (* v2 restores with a fresh (all-zero) ledger under the default
+     passive config. *)
+  let ledger = Option.get (PL.ledger q) in
+  Alcotest.(check (list int)) "no suspects" [] (Sentinel.Ledger.suspects ledger);
+  (* The restored pool keeps serving. *)
+  for _ = 1 to 5 do
+    ignore (PL.draw_kary q)
+  done;
+  (* Versions newer than the writer's are still rejected. *)
+  let v9 = Bytes.copy v2 in
+  Bytes.set_uint8 v9 2 9;
+  load_expecting_corrupt ~ctx:"future version" v9
+
+(* Every-bit-flip hardening holds for v2 bytes too. *)
+let test_v2_rejects_every_flip () =
+  let v2, _, _ = make_v2_snapshot () in
+  for pos = 0 to Bytes.length v2 - 1 do
+    for bit = 0 to 7 do
+      let corrupted = Bytes.copy v2 in
+      Bytes.set_uint8 corrupted pos
+        (Bytes.get_uint8 corrupted pos lxor (1 lsl bit));
+      load_expecting_corrupt
+        ~ctx:(Printf.sprintf "v2 flip byte %d bit %d" pos bit)
+        corrupted
+    done
+  done
+
 let suite =
   [
     Alcotest.test_case "dealer coin roundtrip" `Quick test_dealer_coin_roundtrip;
@@ -166,4 +257,8 @@ let suite =
       test_load_rejects_every_flip;
     Alcotest.test_case "load rejects truncation and garbage" `Quick
       test_load_rejects_truncation_and_garbage;
+    Alcotest.test_case "ledger roundtrip (v3)" `Quick test_ledger_roundtrip;
+    Alcotest.test_case "load reads v2 snapshots" `Quick test_load_reads_v2;
+    Alcotest.test_case "v2 rejects every bit flip" `Quick
+      test_v2_rejects_every_flip;
   ]

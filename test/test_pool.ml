@@ -282,6 +282,100 @@ let prop_conservation =
       = s.PL.coins_exposed + s.PL.seed_coins_consumed + PL.available p
       && s.PL.unanimity_failures = 0)
 
+(* --- sentinel attribution through the pool (DESIGN section 14) ----- *)
+
+(* Two persistent exposure-time liars (exactly t of them): an active
+   ledger must quarantine both within a handful of draws, trigger an
+   early proactive refresh, keep serving coins from the surviving
+   trusted majority — and never blame an honest player. *)
+let test_active_ledger_quarantines_liars () =
+  let liars = [ 0; 1 ] in
+  let expose_behavior _refill i =
+    if List.mem i liars then CE.Send (F.of_int 0xBEEF) else CE.Honest
+  in
+  let p =
+    PL.create ~expose_behavior
+      ~sentinel:(Some (Sentinel.active ~threshold:6 ()))
+      ~prng:(Prng.of_int 7100) ~n ~t ~batch_size:16 ~refill_threshold:3
+      ~initial_seed:6 ()
+  in
+  for _ = 1 to 40 do
+    ignore (PL.draw_kary p)
+  done;
+  let ledger = Option.get (PL.ledger p) in
+  Alcotest.(check (list int)) "exactly the liars are quarantined" liars
+    (Sentinel.Ledger.quarantine_set ledger);
+  let s = PL.stats p in
+  Alcotest.(check int) "all draws served" 40 s.PL.coins_exposed;
+  Alcotest.(check bool) "rising suspicion triggered an early refresh" true
+    (s.PL.refreshes >= 1)
+
+(* More liars than the fault bound: once the evidence implies > t
+   corrupted players the reconstruction assumption is void and draws
+   must refuse with a diagnostic rather than vend biased coins. *)
+let test_safe_mode_beyond_fault_bound () =
+  let liars = [ 0; 1; 2 ] in
+  let expose_behavior _refill i =
+    if List.mem i liars then CE.Send (F.of_int 0xBEEF) else CE.Honest
+  in
+  let p =
+    PL.create ~expose_behavior
+      ~sentinel:(Some (Sentinel.active ~threshold:6 ()))
+      ~prng:(Prng.of_int 7200) ~n ~t ~batch_size:16 ~refill_threshold:3
+      ~initial_seed:6 ()
+  in
+  let refused =
+    try
+      for _ = 1 to 40 do
+        ignore (PL.draw_kary p)
+      done;
+      None
+    with PL.Safe_mode msg -> Some msg
+  in
+  match refused with
+  | None -> Alcotest.fail "pool kept vending with > t quarantined players"
+  | Some msg ->
+      Alcotest.(check bool) "diagnostic carries the suspicion table" true
+        (let nl = String.length "QUARANTINED" and hl = String.length msg in
+         let rec go i =
+           i + nl <= hl
+           && (String.sub msg i nl = "QUARANTINED" || go (i + 1))
+         in
+         go 0);
+      Alcotest.(check bool) "ledger shows more than t quarantined" true
+        (Sentinel.Ledger.quarantined_count (Option.get (PL.ledger p)) > t)
+
+(* The passive-ledger bit-identity pin: the deployment-default passive
+   ledger must leave the draw stream, the stats and the metered cost of
+   a lying-adversary run exactly equal to a ledger-free run — evidence
+   collection is observation, never interference. *)
+let test_passive_ledger_bit_identical () =
+  let expose_behavior _refill i = if i = 4 then CE.Silent else CE.Honest in
+  let run sentinel =
+    let p =
+      PL.create ~expose_behavior ~sentinel ~prng:(Prng.of_int 7300) ~n ~t
+        ~batch_size:16 ~refill_threshold:3 ~initial_seed:6 ()
+    in
+    let draws, snap =
+      Metrics.with_counting (fun () ->
+          List.init 60 (fun _ -> PL.draw_kary p))
+    in
+    (draws, PL.stats p, snap)
+  in
+  (* Warmup: the kernel grid/subset-weight caches are process-global and
+     pay their metered setup mults exactly once, so a throwaway run
+     first puts both measured runs on identical warm caches. *)
+  ignore (run None);
+  let d0, s0, m0 = run None in
+  let d1, s1, m1 = run (Some Sentinel.passive) in
+  Alcotest.(check bool) "draw streams bit-identical" true
+    (List.for_all2 F.equal d0 d1);
+  Alcotest.(check bool) "stats identical" true (s0 = s1);
+  Alcotest.(check int) "field mults identical" m0.Metrics.field_mults
+    m1.Metrics.field_mults;
+  Alcotest.(check int) "messages identical" m0.Metrics.messages
+    m1.Metrics.messages
+
 let suite =
   [
     Alcotest.test_case "bootstrap sustains draws" `Quick
@@ -301,5 +395,11 @@ let suite =
       test_degraded_soak_with_recovery;
     Alcotest.test_case "refill backoff and retry" `Quick
       test_refill_backoff_and_retry;
+    Alcotest.test_case "active ledger quarantines liars" `Quick
+      test_active_ledger_quarantines_liars;
+    Alcotest.test_case "safe mode beyond fault bound" `Quick
+      test_safe_mode_beyond_fault_bound;
+    Alcotest.test_case "passive ledger bit-identical" `Quick
+      test_passive_ledger_bit_identical;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_conservation ]

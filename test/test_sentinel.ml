@@ -1,0 +1,182 @@
+(* The sentinel evidence ledger: scoring arithmetic, link-slack
+   forgiveness, quarantine thresholds and stickiness, and the ambient
+   observer contract (lazy thunks, exception-safe install). *)
+
+module S = Sentinel
+module L = Sentinel.Ledger
+
+let test_scoring_weights () =
+  let l = L.create ~n:4 () in
+  L.record l ~player:0 S.Bad_share;
+  L.record l ~player:0 S.Rejected_dealing;
+  L.record l ~player:1 S.Equivocation;
+  L.record l ~player:1 S.Grade_zero;
+  (* Default weights: bad_share 3 + rejected_dealing 3 = 6;
+     equivocation 4 + grade_zero 2 = 6. *)
+  Alcotest.(check int) "decode + dealing evidence" 6 (L.score l ~player:0);
+  Alcotest.(check int) "gradecast evidence" 6 (L.score l ~player:1);
+  Alcotest.(check int) "untouched player" 0 (L.score l ~player:2);
+  Alcotest.(check (list int)) "suspects are exactly the accused" [ 0; 1 ]
+    (L.suspects l);
+  Alcotest.(check int) "counts are per-kind" 1 (L.count l ~player:0 S.Bad_share);
+  Alcotest.(check int) "other kinds untouched" 0
+    (L.count l ~player:0 S.Equivocation)
+
+let test_link_slack_forgives_noise () =
+  (* Silent and Undecodable are the only kinds a lossy link can produce
+     for an honest player; the first [link_slack] (default 2) of their
+     combined count must score zero. *)
+  let l = L.create ~n:3 () in
+  L.record l ~player:0 S.Silent;
+  L.record l ~player:0 S.Silent;
+  Alcotest.(check int) "two silences forgiven" 0 (L.score l ~player:0);
+  L.record l ~player:0 S.Silent;
+  Alcotest.(check int) "third silence charged at weight 1" 1
+    (L.score l ~player:0);
+  (* Forgiveness burns the cheapest-weighted noise first: with one
+     silent (w=1) and two undecodable (w=2), slack 2 forgives the silent
+     and one undecodable, charging a single undecodable. *)
+  let l2 = L.create ~n:3 () in
+  L.record l2 ~player:1 S.Silent;
+  L.record l2 ~player:1 S.Undecodable;
+  L.record l2 ~player:1 S.Undecodable;
+  Alcotest.(check int) "mixed noise charges one undecodable" 2
+    (L.score l2 ~player:1);
+  (* Slack never shields hard evidence. *)
+  let l3 = L.create ~n:3 () in
+  L.record l3 ~player:2 S.Bad_share;
+  Alcotest.(check int) "bad share not forgivable" 3 (L.score l3 ~player:2)
+
+let test_quarantine_threshold_and_stickiness () =
+  let l = L.create ~config:(S.active ~threshold:6 ()) ~n:5 () in
+  L.record l ~player:3 S.Equivocation;
+  Alcotest.(check bool) "score 4 below threshold 6" false
+    (L.quarantined l ~player:3);
+  L.record l ~player:3 S.Grade_zero;
+  Alcotest.(check bool) "score 6 crosses threshold" true
+    (L.quarantined l ~player:3);
+  Alcotest.(check (list int)) "quarantine set" [ 3 ] (L.quarantine_set l);
+  Alcotest.(check int) "quarantined count" 1 (L.quarantined_count l)
+
+let test_passive_never_quarantines () =
+  let l = L.create ~config:S.passive ~n:3 () in
+  for _ = 1 to 50 do
+    L.record l ~player:1 S.Bad_share
+  done;
+  Alcotest.(check int) "evidence piles up" 150 (L.score l ~player:1);
+  Alcotest.(check bool) "no quarantine without a threshold" false
+    (L.quarantined l ~player:1);
+  Alcotest.(check (list int)) "quarantine set empty" [] (L.quarantine_set l)
+
+let test_out_of_range_ignored () =
+  let l = L.create ~n:3 () in
+  L.record l ~player:(-1) S.Bad_share;
+  L.record l ~player:7 S.Bad_share;
+  Alcotest.(check (list int)) "no phantom suspects" [] (L.suspects l);
+  Alcotest.(check int) "out-of-range score is 0" 0 (L.score l ~player:7);
+  Alcotest.(check bool) "out-of-range never quarantined" false
+    (L.quarantined l ~player:7)
+
+let test_dump_of_counts_roundtrip () =
+  let l = L.create ~config:(S.active ~threshold:6 ()) ~n:4 () in
+  L.record l ~player:0 S.Bad_share;
+  L.record l ~player:2 S.Bad_share;
+  L.record l ~player:2 S.Rejected_dealing;
+  let restored = L.of_counts ~config:(S.active ~threshold:6 ()) (L.dump l) in
+  Alcotest.(check bool) "counts equal" true (L.dump restored = L.dump l);
+  Alcotest.(check (list int)) "quarantine recomputed from scores" [ 2 ]
+    (L.quarantine_set restored);
+  (* The same counts under a passive config rehydrate without flags. *)
+  let passive = L.of_counts ~config:S.passive (L.dump l) in
+  Alcotest.(check (list int)) "passive rehydration never quarantines" []
+    (L.quarantine_set passive);
+  Alcotest.(check bool) "bad row width rejected" true
+    (try
+       ignore (L.of_counts [| [| 0; 0 |] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_pp_table () =
+  let l = L.create ~config:(S.active ~threshold:3 ()) ~n:3 () in
+  L.record l ~player:1 S.Bad_share;
+  let s = Format.asprintf "%a" L.pp_table l in
+  Alcotest.(check bool) "table names the quarantined player" true
+    (contains ~needle:"QUARANTINED" s);
+  Alcotest.(check bool) "table prints the threshold" true
+    (contains ~needle:"score >= 3" s)
+
+let test_observe_is_lazy_without_ledger () =
+  (* With no ambient ledger the evidence thunk must never be forced —
+     that is the "ledger-free runs pay nothing" guarantee. *)
+  let forced = ref false in
+  S.observe (fun () ->
+      forced := true;
+      [ (0, S.Bad_share) ]);
+  Alcotest.(check bool) "thunk not forced" false !forced;
+  let l = L.create ~n:2 () in
+  S.with_ledger l (fun () ->
+      S.observe (fun () ->
+          forced := true;
+          [ (0, S.Bad_share) ]));
+  Alcotest.(check bool) "thunk forced under a ledger" true !forced;
+  Alcotest.(check int) "accusation recorded" 1 (L.count l ~player:0 S.Bad_share)
+
+let test_with_ledger_restores_on_exception () =
+  let l = L.create ~n:2 () in
+  (try
+     S.with_ledger l (fun () -> raise Exit)
+   with Exit -> ());
+  Alcotest.(check bool) "ambient slot cleared after raise" true
+    (S.current () = None);
+  (* Nested installs shadow and restore. *)
+  let outer = L.create ~n:2 () in
+  let inner = L.create ~n:2 () in
+  S.with_ledger outer (fun () ->
+      S.with_ledger inner (fun () ->
+          S.observe (fun () -> [ (1, S.Grade_zero) ]));
+      S.observe (fun () -> [ (0, S.Silent) ]));
+  Alcotest.(check int) "inner ledger got the inner accusation" 1
+    (L.count inner ~player:1 S.Grade_zero);
+  Alcotest.(check int) "outer ledger unaffected by inner scope" 0
+    (L.count outer ~player:1 S.Grade_zero);
+  Alcotest.(check int) "outer ledger got the outer accusation" 1
+    (L.count outer ~player:0 S.Silent)
+
+let test_excluded_and_mask () =
+  Alcotest.(check bool) "no ledger: nobody excluded" false (S.excluded 0);
+  Alcotest.(check bool) "no ledger: mask all clear" true
+    (Array.for_all not (S.exclusion_mask ~n:5));
+  let l = L.create ~config:(S.active ~threshold:3 ()) ~n:5 () in
+  L.record l ~player:4 S.Bad_share;
+  S.with_ledger l (fun () ->
+      Alcotest.(check bool) "quarantined player excluded" true (S.excluded 4);
+      Alcotest.(check bool) "honest player not excluded" false (S.excluded 0);
+      let mask = S.exclusion_mask ~n:5 in
+      Alcotest.(check bool) "mask matches excluded" true
+        (Array.for_all Fun.id (Array.mapi (fun i m -> m = S.excluded i) mask)))
+
+let suite =
+  [
+    Alcotest.test_case "scoring weights" `Quick test_scoring_weights;
+    Alcotest.test_case "link slack forgives noise" `Quick
+      test_link_slack_forgives_noise;
+    Alcotest.test_case "quarantine threshold and stickiness" `Quick
+      test_quarantine_threshold_and_stickiness;
+    Alcotest.test_case "passive never quarantines" `Quick
+      test_passive_never_quarantines;
+    Alcotest.test_case "out-of-range ignored" `Quick test_out_of_range_ignored;
+    Alcotest.test_case "dump/of_counts roundtrip" `Quick
+      test_dump_of_counts_roundtrip;
+    Alcotest.test_case "pp_table" `Quick test_pp_table;
+    Alcotest.test_case "observe is lazy without a ledger" `Quick
+      test_observe_is_lazy_without_ledger;
+    Alcotest.test_case "with_ledger restores on exception" `Quick
+      test_with_ledger_restores_on_exception;
+    Alcotest.test_case "excluded and exclusion_mask" `Quick
+      test_excluded_and_mask;
+  ]
