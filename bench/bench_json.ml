@@ -221,6 +221,60 @@ let coin_expose_ledger ~n ~t ~iters =
   measure ~op:"coin_expose_ledger" ~field:"GF(2^16)" ~n ~t ~m:1 ~iters
     ~naive ~plan:plan_op
 
+(* --- transport backends ------------------------------------------- *)
+
+type transport_row = { backend : string; wall_ns : float; campaigns : int }
+
+(* Wall-clock per backend for an identical Coin-Expose campaign batch,
+   with the decoded values asserted bit-equal across backends before any
+   number is reported. These rows land only in BENCH_history.jsonl —
+   BENCH_latest.json keeps its op-count schema so --gate is unaffected.
+   Backend order is Sim -> Socket -> Domains: OCaml forbids fork once a
+   domain has been spawned, so the socket backend must run first. *)
+let transport_rows ~smoke =
+  let n = 13 and t = 2 in
+  let module C = Sealed_coin.Make (F) in
+  let module CE = Coin_expose.Make (F) in
+  let campaigns = if smoke then 3 else 20 in
+  let campaign ~seed () =
+    let g = Prng.of_int seed in
+    let coin = C.dealer_coin g ~n ~t in
+    CE.run coin
+  in
+  ignore (campaign ~seed:9001 ()) (* warm lazy field tables once *);
+  let run_all () =
+    Array.init campaigns (fun k -> campaign ~seed:(9001 + k) ())
+  in
+  let measure backend =
+    let t0 = Unix.gettimeofday () in
+    let values = Transport.with_backend backend run_all in
+    (values, (Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  let oracle, sim_ns = measure Transport.Sim in
+  let sock, sock_ns = measure Transport.Socket in
+  let doms, dom_ns = measure Transport.Domains in
+  let same_values a b =
+    Array.for_all2
+      (fun xs ys ->
+        Array.for_all2
+          (fun x y ->
+            match (x, y) with
+            | Some x, Some y -> F.equal x y
+            | None, None -> true
+            | _ -> false)
+          xs ys)
+      a b
+  in
+  check_same "transport: socket values diverge from sim"
+    (same_values oracle sock);
+  check_same "transport: domains values diverge from sim"
+    (same_values oracle doms);
+  [
+    { backend = "sim"; wall_ns = sim_ns; campaigns };
+    { backend = "socket"; wall_ns = sock_ns; campaigns };
+    { backend = "domains"; wall_ns = dom_ns; campaigns };
+  ]
+
 (* --- emission ------------------------------------------------------ *)
 
 let json_of_entry e =
@@ -262,10 +316,12 @@ let run ~smoke ~path =
   close_out oc;
   (* One compact line per run appended to the trajectory log, so the
      repo accumulates a machine-readable bench history across PRs. *)
+  let transports = transport_rows ~smoke in
   let history = Filename.concat (Filename.dirname path) "BENCH_history.jsonl" in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history in
   Printf.fprintf oc
-    "{\"schema\": \"dprbg-bench-history/1\", \"mode\": %S, \"ops\": [%s]}\n"
+    "{\"schema\": \"dprbg-bench-history/1\", \"mode\": %S, \"ops\": [%s], \
+     \"transports\": [%s]}\n"
     (if smoke then "smoke" else "full")
     (String.concat ", "
        (List.map
@@ -274,7 +330,14 @@ let run ~smoke ~path =
               "{\"op\": %S, \"plan_mults\": %d, \"plan_ns\": %.1f, \
                \"naive_mults\": %d, \"naive_ns\": %.1f}"
               e.op e.plan_mults e.plan_ns e.naive_mults e.naive_ns)
-          entries));
+          entries))
+    (String.concat ", "
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "{\"backend\": %S, \"campaigns\": %d, \"wall_ns\": %.1f}"
+              r.backend r.campaigns r.wall_ns)
+          transports));
   close_out oc;
   Printf.printf "wrote %s (%s mode), appended %s\n" path
     (if smoke then "smoke" else "full")
@@ -285,6 +348,12 @@ let run ~smoke ~path =
         e.op e.naive_ns e.plan_ns
         (if e.plan_ns > 0. then e.naive_ns /. e.plan_ns else 0.))
     entries;
+  List.iter
+    (fun r ->
+      Printf.printf "  transport %-8s %d campaigns in %10.1f ns (%.1f ns/campaign)\n"
+        r.backend r.campaigns r.wall_ns
+        (r.wall_ns /. float_of_int r.campaigns))
+    transports;
   (let ledger = List.find_opt (fun e -> e.op = "coin_expose_ledger") entries in
    match ledger with
    | Some e when e.naive_ns > 0. ->

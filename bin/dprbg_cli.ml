@@ -39,6 +39,27 @@ let t_arg =
 
 let n_for t = (6 * t) + 1
 
+let backend_conv =
+  let parse s =
+    match Transport.backend_of_string s with
+    | Ok b -> Ok b
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf b = Format.pp_print_string ppf (Transport.backend_name b) in
+  Arg.conv (parse, print)
+
+let transport_arg =
+  let doc =
+    "Transport backend: $(b,sim) (in-memory simulator, the default), \
+     $(b,domains) (one OCaml domain per player, shared-memory mailboxes), or \
+     $(b,socket) (one local process per player over length-prefixed frames). \
+     Results are byte-identical across backends."
+  in
+  Arg.(
+    value
+    & opt backend_conv Transport.Sim
+    & info [ "transport" ] ~docv:"BACKEND" ~doc)
+
 (* ------------------------------------------------------------------ *)
 
 let coins_cmd =
@@ -48,7 +69,8 @@ let coins_cmd =
   let bits =
     Arg.(value & flag & info [ "bits" ] ~doc:"Draw binary coins instead of k-ary ones.")
   in
-  let run () seed t count bits =
+  let run () seed t count bits transport =
+    Transport.with_backend transport @@ fun () ->
     let n = n_for t in
     let pool =
       Pool.create ~prng:(Prng.of_int seed) ~n ~t ~batch_size:32
@@ -73,7 +95,9 @@ let coins_cmd =
   let info =
     Cmd.info "coins" ~doc:"Draw shared coins from a bootstrapped D-PRBG pool."
   in
-  Cmd.v info Term.(const run $ setup_logs $ seed_arg $ t_arg $ count $ bits)
+  Cmd.v info
+    Term.(const run $ setup_logs $ seed_arg $ t_arg $ count $ bits
+          $ transport_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -201,7 +225,8 @@ let agreement_cmd =
   let rounds =
     Arg.(value & opt int 20 & info [ "rounds" ] ~docv:"N" ~doc:"Agreements to run.")
   in
-  let run () seed t rounds =
+  let run () seed t rounds transport =
+    Transport.with_backend transport @@ fun () ->
     let n = n_for t in
     let g = Prng.of_int seed in
     let pool =
@@ -230,7 +255,8 @@ let agreement_cmd =
     Cmd.info "agreement"
       ~doc:"Run randomized Byzantine agreements on pool-supplied common coins."
   in
-  Cmd.v info Term.(const run $ setup_logs $ seed_arg $ t_arg $ rounds)
+  Cmd.v info
+    Term.(const run $ setup_logs $ seed_arg $ t_arg $ rounds $ transport_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -268,7 +294,8 @@ let pool_cmd =
              leader rotation. Without this flag the ledger is passive \
              (evidence is recorded but never acted on).")
   in
-  let run () seed t state_file draws fresh suspects quarantine =
+  let run () seed t state_file draws fresh suspects quarantine transport =
+    Transport.with_backend transport @@ fun () ->
     let n = n_for t in
     let sentinel =
       match quarantine with
@@ -342,7 +369,7 @@ let pool_cmd =
   Cmd.v info
     Term.(
       const run $ setup_logs $ seed_arg $ t_arg $ state_file $ draws $ fresh
-      $ suspects $ quarantine)
+      $ suspects $ quarantine $ transport_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -542,7 +569,8 @@ let trace_cmd =
             "Render the per-player round timeline (and span tree) instead of \
              JSONL on stdout; with --out FILE, both are produced.")
   in
-  let run () seed t draws replay out timeline =
+  let run () seed t draws replay out timeline transport =
+    Transport.with_backend transport @@ fun () ->
     let status, trace, failed =
       match replay with
       | Some line -> (
@@ -604,7 +632,124 @@ let trace_cmd =
   in
   Cmd.v info
     Term.(const run $ setup_logs $ seed_arg $ t_arg $ draws $ replay $ out
-          $ timeline)
+          $ timeline $ transport_arg)
+
+(* ------------------------------------------------------------------ *)
+
+(* Differential soak: run the same seeded pool campaign on the sim
+   oracle and on one byte-level backend, compare the full transcripts
+   (draws, pool stats, metrics, fault tally), repeat over consecutive
+   seeds. This is the nightly flake guard for nondeterministic
+   interleavings: one invocation per backend, 50 iterations each, with
+   every mismatch printed as a ready-to-paste replay line. *)
+let transport_cmd =
+  let backend =
+    let doc =
+      "Backend under test: $(b,domains) or $(b,socket) (compared against the \
+       in-process sim oracle)."
+    in
+    Arg.(
+      required
+      & opt (some backend_conv) None
+      & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let iters =
+    Arg.(
+      value & opt int 1
+      & info [ "iters" ] ~docv:"N"
+          ~doc:"Iterations; iteration $(i,k) uses seed SEED+$(i,k).")
+  in
+  let draws =
+    Arg.(value & opt int 5 & info [ "draws" ] ~docv:"N" ~doc:"Pool draws per iteration.")
+  in
+  let faulty =
+    Arg.(
+      value & flag
+      & info [ "faulty" ]
+          ~doc:"Run each campaign under a degraded Net.Plan schedule.")
+  in
+  let run () seed t iters draws faulty backend =
+    if backend = Transport.Sim then begin
+      Printf.eprintf "error: --backend must be domains or socket\n";
+      exit 2
+    end;
+    let n = n_for t in
+    let campaign ~seed () =
+      let buf = Buffer.create 512 in
+      let body () =
+        let pool =
+          Pool.create ~prng:(Prng.of_int seed) ~n ~t ~batch_size:8
+            ~refill_threshold:3 ~initial_seed:4 ()
+        in
+        (match List.init draws (fun _ -> Pool.draw_kary pool) with
+        | values ->
+            List.iteri
+              (fun k v ->
+                Buffer.add_string buf
+                  (Printf.sprintf "draw%d:%s\n" k (F.to_string v)))
+              values
+        | exception Pool.Starved why ->
+            Buffer.add_string buf (Printf.sprintf "starved:%s\n" why));
+        let s = Pool.stats pool in
+        Buffer.add_string buf
+          (Printf.sprintf "stats:refills=%d generated=%d exposed=%d ba=%d\n"
+             s.Pool.refills s.Pool.generated_coins s.Pool.coins_exposed
+             s.Pool.ba_iterations)
+      in
+      let run_body () =
+        if not faulty then body ()
+        else begin
+          let plan =
+            Transport.Plan.make ~drop:0.05 ~delay:0.05 ~max_delay:2
+              ~reorder:0.1 ~retransmits:2 ~seed:((seed * 13) + 5) ()
+          in
+          Transport.with_plan plan body;
+          Buffer.add_string buf
+            (Fmt.str "plan:%a\n" Transport.Plan.pp_stats
+               (Transport.Plan.stats plan))
+        end
+      in
+      let (), metrics = Metrics.with_counting run_body in
+      Buffer.add_string buf (Fmt.str "metrics:%a\n" Metrics.pp metrics);
+      Buffer.contents buf
+    in
+    ignore (campaign ~seed ()) (* warm lazy field tables once *);
+    let failures = ref 0 in
+    for k = 0 to iters - 1 do
+      let s = seed + k in
+      let c = campaign ~seed:s in
+      let oracle = c () in
+      let got = Transport.with_backend backend c in
+      if String.equal oracle got then
+        Printf.printf "iter %3d seed=%d OK\n%!" k s
+      else begin
+        incr failures;
+        Printf.printf "iter %3d seed=%d MISMATCH\n%!" k s;
+        Printf.printf
+          "replay: dprbg transport --backend %s --seed %d --t %d --draws %d%s \
+           --iters 1\n\
+           %!"
+          (Transport.backend_name backend)
+          s t draws
+          (if faulty then " --faulty" else "")
+      end
+    done;
+    Printf.printf "# %d/%d iterations matched the sim oracle on %s\n"
+      (iters - !failures) iters
+      (Transport.backend_name backend);
+    if !failures > 0 then exit 1
+  in
+  let info =
+    Cmd.info "transport"
+      ~doc:
+        "Differential transport soak: run seeded pool campaigns on a \
+         domains/socket backend and compare full transcripts against the \
+         in-process sim oracle, printing a replay line for every mismatch."
+  in
+  Cmd.v info
+    Term.(
+      const run $ setup_logs $ seed_arg $ t_arg $ iters $ draws $ faulty
+      $ backend)
 
 let main =
   let doc = "Distributed pseudo-random bit generators (PODC 1996) simulator" in
@@ -612,7 +757,7 @@ let main =
   Cmd.group info
     [
       coins_cmd; soundness_cmd; costs_cmd; agreement_cmd; pool_cmd; fuzz_cmd;
-      trace_cmd;
+      trace_cmd; transport_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,55 +1,5 @@
-let fault_free ~byte_size ~n announce =
-  Metrics.tick_round ();
-  Array.init n (fun i ->
-      match announce i with
-      | None -> None
-      | Some v ->
-          Metrics.tick_message ~bytes_len:(byte_size v);
-          Trace.event (fun () -> Trace.Broadcast { src = i; bytes = byte_size v });
-          Some v)
-
-(* Under a fault plan the channel can fail whole announcements (it never
-   equivocates — every receiver still sees the same vector): an
-   announcement can be omitted, corrupted in transit, or lost to a
-   crashed announcer. The retransmit envelope re-announces once per
-   attempt and keeps the latest delivered copy, mirroring
-   [Net.exchange]: under a bounded plan the final attempt is exempt from
-   link faults, so omission bursts within the budget are absorbed. *)
-let degraded plan ?codec ~byte_size ~n announce =
-  let attempts = Net.Plan.retransmits plan + 1 in
-  let result = Array.make n None in
-  Fun.protect
-    ~finally:(fun () -> Net.Plan.exit_envelope plan)
-    (fun () ->
-      for attempt = 1 to attempts do
-        Net.Plan.enter_envelope plan ~attempt ~attempts;
-        Metrics.tick_round ();
-        for i = 0 to n - 1 do
-          match announce i with
-          | None -> ()
-          | Some v ->
-              Metrics.tick_message ~bytes_len:(byte_size v);
-              Trace.event (fun () ->
-                  Trace.Broadcast { src = i; bytes = byte_size v });
-              if Net.Plan.down plan i then Net.Plan.note_crashed_msg plan
-              else (
-                match Net.Plan.broadcast_fate plan with
-                | `Deliver -> result.(i) <- Some v
-                | `Drop -> ()
-                | `Corrupt -> (
-                    match codec with
-                    | None -> () (* no wire form: detected and discarded *)
-                    | Some (encode, decode) -> (
-                        match decode (Net.Plan.corrupt_bytes plan (encode v)) with
-                        | v' -> result.(i) <- Some v'
-                        | exception _ -> ())))
-        done;
-        Net.Plan.advance_round plan
-      done);
-  result
-
-let round ?codec ~byte_size ~n announce =
-  Trace.span Trace.Round "bcast.round" @@ fun () ->
-  match Net.current_plan () with
-  | None -> fault_free ~byte_size ~n announce
-  | Some plan -> degraded plan ?codec ~byte_size ~n announce
+(* The channel itself — fault handling, retransmit envelope, metric
+   accounting, and the physical replication step on byte-level backends
+   — lives in [Transport.broadcast_round]; this module keeps the
+   historical entry point protocol code and examples use. *)
+let round = Transport.broadcast_round

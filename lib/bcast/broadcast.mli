@@ -22,7 +22,7 @@ val round :
     player [i] announces [announce i] ([None] = stays silent) and every
     player observes the same resulting vector.
 
-    Under an ambient {!Net.Plan} the channel degrades per announcement —
+    Under an ambient {!Transport.Plan} the channel degrades per announcement —
     an announcement may be dropped, corrupted in transit (when [codec]
     gives the wire encoding; a strict decoder turns corruption into a
     detected drop), or lost because its announcer is crashed — and the

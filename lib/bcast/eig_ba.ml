@@ -19,7 +19,7 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
   let msg_bytes entries =
     List.fold_left (fun acc (path, _) -> acc + 1 + List.length path) 0 entries
   in
-  let net = Net.create ~n ~byte_size:msg_bytes () in
+  let net = Transport.create ~n ~byte_size:msg_bytes () in
   let trees = Array.init n (fun _ -> Hashtbl.create 64) in
   Array.iteri (fun i input -> Hashtbl.replace trees.(i) [] input) inputs;
   (* The level-r paths (length r) of distinct ids, built incrementally. *)
@@ -28,7 +28,7 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
     (* Send: player i relays every level-(round-1) node it may extend
        (its id not already in the chain). *)
     let inbox =
-      Net.exchange net ~send:(fun () ->
+      Transport.exchange net ~send:(fun () ->
           for i = 0 to n - 1 do
             match behavior i with
             | Honest ->
@@ -43,7 +43,7 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
                     !level
                 in
                 if entries <> [] then
-                  Net.send_to_all net ~src:i (fun _ -> entries)
+                  Transport.send_to_all net ~src:i (fun _ -> entries)
             | Silent -> ()
             | Fixed b ->
                 let entries =
@@ -53,7 +53,7 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
                     !level
                 in
                 if entries <> [] then
-                  Net.send_to_all net ~src:i (fun _ -> entries)
+                  Transport.send_to_all net ~src:i (fun _ -> entries)
             | Arbitrary f ->
                 for dst = 0 to n - 1 do
                   let entries =
@@ -64,7 +64,7 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
                           Option.map (fun v -> (path, v)) (f ~round ~dst ~path))
                       !level
                   in
-                  if entries <> [] then Net.send net ~src:i ~dst entries
+                  if entries <> [] then Transport.send net ~src:i ~dst entries
                 done
           done)
     in

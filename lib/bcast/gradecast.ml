@@ -39,10 +39,10 @@ let run_all ?(dealer_behavior = fun _ -> Dealer_honest)
       (fun acc -> function Some x -> acc + byte_size x | None -> acc)
       0 v
   in
-  let net = Net.create ~n ~byte_size:vec_size () in
+  let net = Transport.create ~n ~byte_size:vec_size () in
   (* Round 1: every dealer distributes its value in its own slot. *)
   let inbox1 =
-    Net.exchange net ~send:(fun () ->
+    Transport.exchange net ~send:(fun () ->
         for d = 0 to n - 1 do
           let slot dst =
             let msg = Array.make n None in
@@ -52,7 +52,7 @@ let run_all ?(dealer_behavior = fun _ -> Dealer_honest)
             | Dealer_equivocate f -> msg.(d) <- f dst);
             msg
           in
-          Net.send_to_all net ~src:d slot
+          Transport.send_to_all net ~src:d slot
         done)
   in
   let received_from_dealer =
@@ -64,17 +64,17 @@ let run_all ?(dealer_behavior = fun _ -> Dealer_honest)
   in
   (* A follower's echo vector for one round, given its honest choices. *)
   let echo_round round honest_choices =
-    Net.exchange net ~send:(fun () ->
+    Transport.exchange net ~send:(fun () ->
         for i = 0 to n - 1 do
           match follower_behavior i with
           | Follower_honest ->
-              Net.send_to_all net ~src:i (fun _ -> honest_choices.(i))
+              Transport.send_to_all net ~src:i (fun _ -> honest_choices.(i))
           | Follower_silent -> ()
           | Follower_fixed v ->
-              Net.send_to_all net ~src:i (fun _ -> Array.make n (Some v))
+              Transport.send_to_all net ~src:i (fun _ -> Array.make n (Some v))
           | Follower_arbitrary f ->
               for dst = 0 to n - 1 do
-                Net.send net ~src:i ~dst (Array.init n (fun _ -> f ~round ~dst))
+                Transport.send net ~src:i ~dst (Array.init n (fun _ -> f ~round ~dst))
               done
         done)
   in
@@ -141,17 +141,17 @@ let run ?(dealer_behavior = Dealer_honest)
   if n < (3 * t) + 1 then invalid_arg "Gradecast.run: requires n >= 3t+1";
   if dealer < 0 || dealer >= n then invalid_arg "Gradecast.run: bad dealer id";
   Metrics.tick_gradecast ();
-  let net = Net.create ~n ~byte_size () in
+  let net = Transport.create ~n ~byte_size () in
   (* Round 1: the dealer distributes its value. *)
   let inbox1 =
-    Net.exchange net ~send:(fun () ->
+    Transport.exchange net ~send:(fun () ->
         match dealer_behavior with
-        | Dealer_honest -> Net.send_to_all net ~src:dealer (fun _ -> value)
+        | Dealer_honest -> Transport.send_to_all net ~src:dealer (fun _ -> value)
         | Dealer_silent -> ()
         | Dealer_equivocate f ->
             for dst = 0 to n - 1 do
               match f dst with
-              | Some v -> Net.send net ~src:dealer ~dst v
+              | Some v -> Transport.send net ~src:dealer ~dst v
               | None -> ()
             done)
   in
@@ -164,20 +164,20 @@ let run ?(dealer_behavior = Dealer_honest)
     match follower_behavior i with
     | Follower_honest -> (
         match honest_choice with
-        | Some v -> Net.send_to_all net ~src:i (fun _ -> v)
+        | Some v -> Transport.send_to_all net ~src:i (fun _ -> v)
         | None -> ())
     | Follower_silent -> ()
-    | Follower_fixed v -> Net.send_to_all net ~src:i (fun _ -> v)
+    | Follower_fixed v -> Transport.send_to_all net ~src:i (fun _ -> v)
     | Follower_arbitrary f ->
         for dst = 0 to n - 1 do
           match f ~round ~dst with
-          | Some v -> Net.send net ~src:i ~dst v
+          | Some v -> Transport.send net ~src:i ~dst v
           | None -> ()
         done
   in
   (* Round 2: echo what the dealer sent. *)
   let inbox2 =
-    Net.exchange net ~send:(fun () ->
+    Transport.exchange net ~send:(fun () ->
         for i = 0 to n - 1 do
           follower_sends i ~round:2 received_from_dealer.(i)
         done)
@@ -191,7 +191,7 @@ let run ?(dealer_behavior = Dealer_honest)
         | _ -> None)
   in
   let inbox3 =
-    Net.exchange net ~send:(fun () ->
+    Transport.exchange net ~send:(fun () ->
         for i = 0 to n - 1 do
           follower_sends i ~round:3 choices.(i)
         done)

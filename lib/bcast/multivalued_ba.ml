@@ -9,18 +9,18 @@ let run ?(behavior = fun _ -> Honest) ~ba ~equal ~byte_size ~n ~t ~inputs () =
   if n < (3 * t) + 1 then invalid_arg "Multivalued_ba.run: requires n >= 3t+1";
   if Array.length inputs <> n then invalid_arg "Multivalued_ba.run: inputs size";
   let msg_size = function None -> 1 | Some v -> 1 + byte_size v in
-  let net = Net.create ~n ~byte_size:msg_size () in
+  let net = Transport.create ~n ~byte_size:msg_size () in
   let exchange ~round honest_msg =
-    Net.exchange net ~send:(fun () ->
+    Transport.exchange net ~send:(fun () ->
         for i = 0 to n - 1 do
           match behavior i with
-          | Honest -> Net.send_to_all net ~src:i (fun _ -> honest_msg i)
+          | Honest -> Transport.send_to_all net ~src:i (fun _ -> honest_msg i)
           | Silent -> ()
-          | Fixed v -> Net.send_to_all net ~src:i (fun _ -> Some v)
+          | Fixed v -> Transport.send_to_all net ~src:i (fun _ -> Some v)
           | Arbitrary f ->
               for dst = 0 to n - 1 do
                 match f ~round ~dst with
-                | Some msg -> Net.send net ~src:i ~dst msg
+                | Some msg -> Transport.send net ~src:i ~dst msg
                 | None -> ()
               done
         done)

@@ -8,17 +8,17 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
   if n < (4 * t) + 1 then invalid_arg "Phase_king.run: requires n >= 4t+1";
   if Array.length inputs <> n then invalid_arg "Phase_king.run: inputs size";
   Metrics.tick_ba ();
-  let net = Net.create ~n ~byte_size:(fun _ -> 1) () in
+  let net = Transport.create ~n ~byte_size:(fun _ -> 1) () in
   let pref = Array.copy inputs in
   let sends i ~phase ~round honest_bit =
     match behavior i with
-    | Honest -> Net.send_to_all net ~src:i (fun _ -> honest_bit)
+    | Honest -> Transport.send_to_all net ~src:i (fun _ -> honest_bit)
     | Silent -> ()
-    | Fixed b -> Net.send_to_all net ~src:i (fun _ -> b)
+    | Fixed b -> Transport.send_to_all net ~src:i (fun _ -> b)
     | Arbitrary f ->
         for dst = 0 to n - 1 do
           match f ~phase ~round ~dst with
-          | Some b -> Net.send net ~src:i ~dst b
+          | Some b -> Transport.send net ~src:i ~dst b
           | None -> ()
         done
   in
@@ -26,7 +26,7 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
     (* Round 1: universal exchange of preferences; a missing message
        counts as 0. *)
     let inbox =
-      Net.exchange net ~send:(fun () ->
+      Transport.exchange net ~send:(fun () ->
           for i = 0 to n - 1 do
             sends i ~phase ~round:1 pref.(i)
           done)
@@ -43,7 +43,7 @@ let run ?(behavior = fun _ -> Honest) ~n ~t ~inputs () =
     (* Round 2: the phase king proposes its majority value. *)
     let king = phase mod n in
     let inbox =
-      Net.exchange net ~send:(fun () ->
+      Transport.exchange net ~send:(fun () ->
           sends king ~phase ~round:2 majority.(king))
     in
     for i = 0 to n - 1 do

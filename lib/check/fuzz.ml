@@ -276,7 +276,7 @@ let field_of_k k : (module Field_intf.S) =
    derived from the scenario seed, so replays install a bit-identical
    plan. Crashed players are the first [crash] members of the
    scenario's corrupted set — properties draw that set as their first
-   PRNG use ([Net.Faults.random (Prng.of_int cfg.seed)]), which we
+   PRNG use ([Transport.Faults.random (Prng.of_int cfg.seed)]), which we
    replay here, keeping crash faults a subset of Byzantine faults so no
    invariant over honest players is weakened. The [No_retransmit]
    injected bug zeroes the retransmit budget, leaving every other axis
@@ -290,10 +290,10 @@ let plan_of (cfg : Fuzz_config.t) =
       if d.crash = 0 then []
       else
         let faults =
-          Net.Faults.random (Prng.of_int cfg.seed) ~n ~t:cfg.faults
+          Transport.Faults.random (Prng.of_int cfg.seed) ~n ~t:cfg.faults
         in
         let gp = Prng.of_int (cfg.seed + 0x6b43a9b5) in
-        Net.Faults.faulty faults
+        Transport.Faults.faulty faults
         |> List.filteri (fun i _ -> i < d.crash)
         |> List.map (fun p ->
                let from = 1 + Prng.int gp 8 in
@@ -308,7 +308,7 @@ let plan_of (cfg : Fuzz_config.t) =
     in
     let pct x = float_of_int x /. 100.0 in
     Some
-      (Net.Plan.make ~drop:(pct d.drop) ~delay:(pct d.delay)
+      (Transport.Plan.make ~drop:(pct d.drop) ~delay:(pct d.delay)
          ~duplicate:(pct d.dup) ~corrupt:(pct d.corrupt)
          ~reorder:(pct d.reorder) ~crashes ~retransmits
          ~seed:(cfg.seed lxor 0x2b992ddf) ())
@@ -329,7 +329,7 @@ let run_config_outcome (cfg : Fuzz_config.t) : Fuzz_props.outcome =
         let go () = Props.run cfg in
         match plan_of cfg with
         | None -> go ()
-        | Some plan -> Net.with_plan plan go
+        | Some plan -> Transport.with_plan plan go
 
 let run_config cfg =
   match run_config_outcome cfg with

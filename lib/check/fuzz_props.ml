@@ -64,7 +64,7 @@ module Make (F : Field_intf.S) = struct
      BA schedules. *)
   let scheduled_adversary g ~n ~t ~m faults =
     let dealer i =
-      if Net.Faults.is_honest faults i then BG.Honest_dealer
+      if Transport.Faults.is_honest faults i then BG.Honest_dealer
       else
         match Prng.int g 6 with
         | 0 -> BG.Silent_dealer
@@ -78,7 +78,7 @@ module Make (F : Field_intf.S) = struct
         | _ -> BG.Honest_dealer
     in
     let gamma i =
-      if Net.Faults.is_honest faults i then CG.Honest_vec
+      if Transport.Faults.is_honest faults i then CG.Honest_vec
       else
         match Prng.int g 3 with
         | 0 -> CG.Silent_vec
@@ -92,7 +92,7 @@ module Make (F : Field_intf.S) = struct
         | _ -> CG.Honest_vec
     in
     let gradecast_dealer i =
-      if Net.Faults.is_honest faults i then Gradecast.Dealer_honest
+      if Transport.Faults.is_honest faults i then Gradecast.Dealer_honest
       else
         match Prng.int g 3 with
         | 0 -> Gradecast.Dealer_silent
@@ -105,7 +105,7 @@ module Make (F : Field_intf.S) = struct
         | _ -> Gradecast.Dealer_honest
     in
     let gradecast_follower i =
-      if Net.Faults.is_honest faults i then Gradecast.Follower_honest
+      if Transport.Faults.is_honest faults i then Gradecast.Follower_honest
       else
         match Prng.int g 4 with
         | 0 -> Gradecast.Follower_silent
@@ -123,7 +123,7 @@ module Make (F : Field_intf.S) = struct
         | _ -> Gradecast.Follower_honest
     in
     let ba i =
-      if Net.Faults.is_honest faults i then Phase_king.Honest
+      if Transport.Faults.is_honest faults i then Phase_king.Honest
       else
         match Prng.int g 4 with
         | 0 -> Phase_king.Silent
@@ -160,7 +160,7 @@ module Make (F : Field_intf.S) = struct
   let expose_schedule g ~n faults =
     let table =
       Array.init n (fun i ->
-          if Net.Faults.is_honest faults i then CE.Honest
+          if Transport.Faults.is_honest faults i then CE.Honest
           else
             match Prng.int g 4 with
             | 0 -> CE.Silent
@@ -188,9 +188,9 @@ module Make (F : Field_intf.S) = struct
     let t = cfg.fault_bound and m = cfg.m in
     let n = Fuzz_config.n_of cfg in
     let g = Prng.of_int cfg.seed in
-    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let faults = Transport.Faults.random g ~n ~t:cfg.faults in
     let silent i =
-      if Net.Faults.is_faulty faults i then V.Silent else V.Honest
+      if Transport.Faults.is_faulty faults i then V.Silent else V.Honest
     in
     let* () =
       let alpha = V.honest_dealing g ~n ~t ~secret:(F.random g) in
@@ -341,7 +341,7 @@ module Make (F : Field_intf.S) = struct
     let t = cfg.fault_bound and m = cfg.m in
     let n = Fuzz_config.n_of cfg in
     let g = Prng.of_int cfg.seed in
-    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let faults = Transport.Faults.random g ~n ~t:cfg.faults in
     let dealer = Prng.int g n in
     let run ?dealer_behavior ?gamma_behavior seed r =
       BG.run ?dealer_behavior ?gamma_behavior ~prng:(Prng.of_int seed) ~n ~t
@@ -383,7 +383,7 @@ module Make (F : Field_intf.S) = struct
          accepts the honest dealer (n - faults >= n - t supports). *)
       let behavior =
         Array.init n (fun i ->
-            if Net.Faults.is_honest faults i then BG.Honest_gamma
+            if Transport.Faults.is_honest faults i then BG.Honest_gamma
             else if Prng.bool g then BG.Silent_gamma
             else BG.Fixed_gamma (F.random g))
       in
@@ -398,7 +398,7 @@ module Make (F : Field_intf.S) = struct
             "player %d rejected an honest dealer under %d faulty gamma \
              senders"
             i cfg.faults)
-        (Net.Faults.honest faults)
+        (Transport.Faults.honest faults)
     in
     let* () =
       let bad = Prng.sample_distinct g (1 + Prng.int g m) m in
@@ -437,7 +437,7 @@ module Make (F : Field_intf.S) = struct
     let t = cfg.fault_bound and m = cfg.m in
     let n = Fuzz_config.n_of cfg in
     let g = Prng.of_int cfg.seed in
-    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let faults = Transport.Faults.random g ~n ~t:cfg.faults in
     let adversary =
       if has_bug cfg Fuzz_config.Drop_gamma then
         let victim = Prng.int g n in
@@ -494,7 +494,7 @@ module Make (F : Field_intf.S) = struct
                     | None ->
                         failf "coin %d: honest player %d failed to decode" h
                           i)
-                  (Net.Faults.honest faults))
+                  (Transport.Faults.honest faults))
           (range 0 (m - 1))
 
   (* The headline theorem, under fire: whatever the (scheduled, mixed)
@@ -507,7 +507,7 @@ module Make (F : Field_intf.S) = struct
     let t = cfg.fault_bound and m = cfg.m in
     let n = Fuzz_config.n_of cfg in
     let g = Prng.of_int cfg.seed in
-    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let faults = Transport.Faults.random g ~n ~t:cfg.faults in
     let adversary = scheduled_adversary (Prng.split g) ~n ~t ~m faults in
     let oracle = ideal_oracle (Prng.bits g 30) in
     let expose = expose_schedule (Prng.split g) ~n faults in
@@ -518,7 +518,7 @@ module Make (F : Field_intf.S) = struct
     match CG.run ~adversary ~prng:(Prng.split g) ~oracle ~n ~t ~m () with
     | None -> Pass (* adversarial non-termination is allowed, prob <= (t/n)^64 *)
     | Some batch ->
-        let honest = Net.Faults.honest faults in
+        let honest = Transport.Faults.honest faults in
         let* () =
           check
             (List.length batch.CG.dealers >= n - (2 * t))
@@ -574,7 +574,7 @@ module Make (F : Field_intf.S) = struct
     let t = cfg.fault_bound and m = cfg.m in
     let n = Fuzz_config.n_of cfg in
     let g = Prng.of_int cfg.seed in
-    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let faults = Transport.Faults.random g ~n ~t:cfg.faults in
     let adversary = AT.worst_case_ba_blocker faults in
     let oracle = ideal_oracle (Prng.bits g 30) in
     let result, snap =
@@ -630,7 +630,7 @@ module Make (F : Field_intf.S) = struct
     let t = cfg.fault_bound and m = cfg.m in
     let n = Fuzz_config.n_of cfg in
     let g = Prng.of_int cfg.seed in
-    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let faults = Transport.Faults.random g ~n ~t:cfg.faults in
     let oracle_seed = Prng.bits g 30 in
     let g1 = Prng.split g and g2 = Prng.split g in
     let run prng =
@@ -677,7 +677,7 @@ module Make (F : Field_intf.S) = struct
                   "corrupted player %d's share of coin %d equals the coin \
                    value"
                   i h)
-              (Net.Faults.faulty faults))
+              (Transport.Faults.faulty faults))
           (range 0 (m - 1))
 
   (* The bootstrap loop stays alive and accounted-for under a mobile
@@ -692,7 +692,7 @@ module Make (F : Field_intf.S) = struct
     let batch_size = max 8 (2 * m) in
     let fault_set epoch =
       let ge = Prng.of_int (adv_seed + (7919 * epoch)) in
-      Net.Faults.random ge ~n ~t:cfg.faults
+      Transport.Faults.random ge ~n ~t:cfg.faults
     in
     let adversary epoch =
       let ge = Prng.of_int (adv_seed + (7919 * epoch) + 1) in
@@ -774,7 +774,7 @@ module Make (F : Field_intf.S) = struct
     let t = cfg.fault_bound in
     let n = Fuzz_config.n_of cfg in
     let g = Prng.of_int cfg.seed in
-    let faults = Net.Faults.random g ~n ~t:cfg.faults in
+    let faults = Transport.Faults.random g ~n ~t:cfg.faults in
     let expose = expose_schedule (Prng.split g) ~n faults in
     each
       (fun h ->
@@ -792,7 +792,7 @@ module Make (F : Field_intf.S) = struct
                       i (F.to_string v) (F.to_string truth)
                 | None ->
                     failf "coin %d: honest player %d failed to decode" h i)
-              (Net.Faults.honest faults))
+              (Transport.Faults.honest faults))
       (range 0 (cfg.m - 1))
 
   (* Crash-recovery (DESIGN §11): a snapshot taken mid-soak restores to
@@ -890,14 +890,14 @@ module Make (F : Field_intf.S) = struct
     let t = cfg.fault_bound and m = cfg.m in
     let n = Fuzz_config.n_of cfg in
     let g = Prng.of_int cfg.seed in
-    let faults = Net.Faults.random g ~n ~t:cfg.faults in
-    let faulty = Net.Faults.faulty faults in
+    let faults = Transport.Faults.random g ~n ~t:cfg.faults in
+    let faulty = Transport.Faults.faulty faults in
     (* Every faulty player runs the same detectable lie at every epoch:
        persistence is what separates a corrupted player from line
        noise. *)
     let lie_table =
       Array.init n (fun i ->
-          if Net.Faults.is_honest faults i then CE.Honest
+          if Transport.Faults.is_honest faults i then CE.Honest
           else
             match Prng.int g 3 with
             | 0 -> CE.Silent
@@ -921,8 +921,8 @@ module Make (F : Field_intf.S) = struct
       if d = Fuzz_config.no_degrade then f ()
       else
         let pct x = float_of_int x /. 100.0 in
-        Net.with_plan
-          (Net.Plan.make ~drop:(pct d.drop) ~delay:(pct d.delay)
+        Transport.with_plan
+          (Transport.Plan.make ~drop:(pct d.drop) ~delay:(pct d.delay)
              ~duplicate:(pct d.dup) ~corrupt:(pct d.corrupt)
              ~reorder:(pct d.reorder) ~retransmits:(max 1 d.rt)
              ~seed:(cfg.seed lxor 0x3ac5f1b9) ())

@@ -18,7 +18,7 @@ module Make (F : Field_intf.S) = struct
 
   let mixed_adversary g ~n ~m faults =
     let dealer i =
-      if Net.Faults.is_honest faults i then CG.BG.Honest_dealer
+      if Transport.Faults.is_honest faults i then CG.BG.Honest_dealer
       else
         match Prng.int g 4 with
         | 0 -> CG.BG.Silent_dealer
@@ -27,7 +27,7 @@ module Make (F : Field_intf.S) = struct
         | _ -> CG.BG.Honest_dealer
     in
     let gamma i =
-      if Net.Faults.is_honest faults i then CG.Honest_vec
+      if Transport.Faults.is_honest faults i then CG.Honest_vec
       else
         match Prng.int g 3 with
         | 0 -> CG.Silent_vec
@@ -41,7 +41,7 @@ module Make (F : Field_intf.S) = struct
         | _ -> CG.Honest_vec
     in
     let gradecast_dealer i =
-      if Net.Faults.is_honest faults i then Gradecast.Dealer_honest
+      if Transport.Faults.is_honest faults i then Gradecast.Dealer_honest
       else
         match Prng.int g 3 with
         | 0 -> Gradecast.Dealer_silent
@@ -52,12 +52,12 @@ module Make (F : Field_intf.S) = struct
         | _ -> Gradecast.Dealer_honest
     in
     let gradecast_follower i =
-      if Net.Faults.is_honest faults i then Gradecast.Follower_honest
+      if Transport.Faults.is_honest faults i then Gradecast.Follower_honest
       else if Prng.bool g then Gradecast.Follower_silent
       else Gradecast.Follower_honest
     in
     let ba i =
-      if Net.Faults.is_honest faults i then Phase_king.Honest
+      if Transport.Faults.is_honest faults i then Phase_king.Honest
       else
         match Prng.int g 3 with
         | 0 -> Phase_king.Silent

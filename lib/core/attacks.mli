@@ -25,7 +25,7 @@ module Make (F : Field_intf.S) : sig
       bound). Construction is attacker bookkeeping: uncounted. *)
 
   val mixed_adversary :
-    Prng.t -> n:int -> m:int -> Net.Faults.t -> CG.adversary
+    Prng.t -> n:int -> m:int -> Transport.Faults.t -> CG.adversary
   (** A randomized combination of misbehaviours for every faulty player:
       bad-degree / inconsistent / silent dealing, silent or garbage
       gamma vectors, silent or equivocating grade-casts, and hostile BA
@@ -33,7 +33,7 @@ module Make (F : Field_intf.S) : sig
       choices are drawn from the given generator at construction time,
       so the resulting adversary is a pure strategy. *)
 
-  val worst_case_ba_blocker : Net.Faults.t -> CG.adversary
+  val worst_case_ba_blocker : Transport.Faults.t -> CG.adversary
   (** Faulty players behave honestly in the sharing phases but vote
       every agreement down — the Lemma-8 worst case for termination. *)
 end

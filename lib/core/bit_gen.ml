@@ -98,7 +98,7 @@ module Make (F : Field_intf.S) = struct
     (* Round 1: dealing. One vector message of m elements per player. *)
     let matrix = deal_matrix dealer_behavior prng ~n ~t ~m in
     let share_net =
-      Net.create
+      Transport.create
         ~codec:(Codec.encode_elt_array, Codec.decode_elt_array)
         ~n
         ~byte_size:(fun v -> Codec.elt_array_size (Array.length v))
@@ -106,11 +106,11 @@ module Make (F : Field_intf.S) = struct
     in
     let inbox =
       Trace.span Trace.Phase "bit-gen.deal" @@ fun () ->
-      Net.exchange share_net ~send:(fun () ->
+      Transport.exchange share_net ~send:(fun () ->
           match matrix with
           | None -> ()
           | Some matrix ->
-              Net.send_to_all share_net ~src:dealer (fun dst -> matrix.(dst)))
+              Transport.send_to_all share_net ~src:dealer (fun dst -> matrix.(dst)))
     in
     let received =
       Array.init n (fun i ->
@@ -121,7 +121,7 @@ module Make (F : Field_intf.S) = struct
     (* (The check coin r was exposed between the rounds, by the caller.) *)
     (* Round 2: everyone announces its combined share gamma_i. *)
     let gamma_net =
-      Net.create
+      Transport.create
         ~codec:(Codec.encode_elt, Codec.decode_elt)
         ~n
         ~byte_size:(fun _ -> F.byte_size)
@@ -129,21 +129,21 @@ module Make (F : Field_intf.S) = struct
     in
     let inbox =
       Trace.span Trace.Phase "bit-gen.gamma" @@ fun () ->
-      Net.exchange gamma_net ~send:(fun () ->
+      Transport.exchange gamma_net ~send:(fun () ->
           for i = 0 to n - 1 do
             match gamma_behavior i with
             | Honest_gamma -> (
                 match received.(i) with
                 | Some shares ->
                     let gamma = V.combine ~r shares in
-                    Net.send_to_all gamma_net ~src:i (fun _ -> gamma)
+                    Transport.send_to_all gamma_net ~src:i (fun _ -> gamma)
                 | None -> ())
             | Silent_gamma -> ()
-            | Fixed_gamma v -> Net.send_to_all gamma_net ~src:i (fun _ -> v)
+            | Fixed_gamma v -> Transport.send_to_all gamma_net ~src:i (fun _ -> v)
             | Gamma_per_dst f ->
                 for dst = 0 to n - 1 do
                   match f dst with
-                  | Some v -> Net.send gamma_net ~src:i ~dst v
+                  | Some v -> Transport.send gamma_net ~src:i ~dst v
                   | None -> ()
                 done
           done)

@@ -16,23 +16,23 @@ module Make (F : Field_intf.S) = struct
     let n = coin.C.n in
     let module Codec = Wire.Codec (F) in
     let net =
-      Net.create
+      Transport.create
         ~codec:(Codec.encode_elt, Codec.decode_elt)
         ~n
         ~byte_size:(fun _ -> F.byte_size)
         ()
     in
     let inbox =
-      Net.exchange net ~send:(fun () ->
+      Transport.exchange net ~send:(fun () ->
           for i = 0 to n - 1 do
             match sender_behavior i with
-            | Honest -> Net.send_to_all net ~src:i (fun _ -> coin.C.shares.(i))
+            | Honest -> Transport.send_to_all net ~src:i (fun _ -> coin.C.shares.(i))
             | Silent -> ()
-            | Send v -> Net.send_to_all net ~src:i (fun _ -> v)
+            | Send v -> Transport.send_to_all net ~src:i (fun _ -> v)
             | Equivocate f ->
                 for dst = 0 to n - 1 do
                   match f dst with
-                  | Some v -> Net.send net ~src:i ~dst v
+                  | Some v -> Transport.send net ~src:i ~dst v
                   | None -> ()
                 done
           done)
@@ -108,7 +108,7 @@ module Make (F : Field_intf.S) = struct
     in
     Sentinel.observe (fun () ->
         let acc = ref [] in
-        if Net.complete_last_round net then begin
+        if Transport.complete_last_round net then begin
           (* Nobody can be absent; only decode evidence remains. *)
           for j = n - 1 downto 0 do
             if bad_votes.(j) >= t + 1 then
@@ -117,11 +117,11 @@ module Make (F : Field_intf.S) = struct
         end
         else begin
           let unique_senders =
-            match Net.current_plan () with
+            match Transport.current_plan () with
             | None -> true
-            | Some p -> Net.Plan.retransmits p >= 1
+            | Some p -> Transport.Plan.retransmits p >= 1
           in
-          let miss_votes = Net.absent_counts ~unique_senders ~n inbox in
+          let miss_votes = Transport.absent_counts ~unique_senders ~n inbox in
           for j = n - 1 downto 0 do
             if miss_votes.(j) >= t + 1 then
               acc := (j, Sentinel.Silent) :: !acc;

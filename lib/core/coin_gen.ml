@@ -54,7 +54,7 @@ module Make (F : Field_intf.S) = struct
       ?(as_gradecast_follower = Gradecast.Follower_silent)
       ?(as_ba = Phase_king.Silent) faults =
     let pick faulty honest i =
-      if Net.Faults.is_faulty faults i then faulty else honest
+      if Transport.Faults.is_faulty faults i then faulty else honest
     in
     {
       as_dealer = pick as_dealer BG.Honest_dealer;
@@ -117,7 +117,7 @@ module Make (F : Field_intf.S) = struct
       Array.init n (fun j -> BG.deal_matrix (adversary.as_dealer j) prng ~n ~t ~m)
     in
     let deal_net =
-      Net.create
+      Transport.create
         ~codec:(Codec.encode_elt_array, Codec.decode_elt_array)
         ~n
         ~byte_size:(fun v -> Codec.elt_array_size (Array.length v))
@@ -125,12 +125,12 @@ module Make (F : Field_intf.S) = struct
     in
     let inbox =
       Trace.span Trace.Phase "coin-gen.deal" @@ fun () ->
-      Net.exchange deal_net ~send:(fun () ->
+      Transport.exchange deal_net ~send:(fun () ->
           Array.iteri
             (fun j -> function
               | None -> ()
               | Some matrix ->
-                  Net.send_to_all deal_net ~src:j (fun dst -> matrix.(dst)))
+                  Transport.send_to_all deal_net ~src:j (fun dst -> matrix.(dst)))
             matrices)
     in
     let received =
@@ -147,11 +147,11 @@ module Make (F : Field_intf.S) = struct
        can void an inbox. Evaluated lazily, only under a ledger. *)
     let exchange_evidence inbox ~malformed =
       let unique_senders =
-        match Net.current_plan () with
+        match Transport.current_plan () with
         | None -> true
-        | Some p -> Net.Plan.retransmits p >= 1
+        | Some p -> Transport.Plan.retransmits p >= 1
       in
-      let miss = Net.absent_counts ~unique_senders ~n inbox in
+      let miss = Transport.absent_counts ~unique_senders ~n inbox in
       let bad = Array.make n 0 in
       Array.iter
         (List.iter (fun (j, v) -> if malformed v then bad.(j) <- bad.(j) + 1))
@@ -177,13 +177,13 @@ module Make (F : Field_intf.S) = struct
     (* ---- Step 3: everyone announces its vector of combined shares,
        one gamma per dealer. *)
     let gamma_net =
-      Net.create
+      Transport.create
         ~codec:(Codec.encode_opt_elt_array, Codec.decode_opt_elt_array)
         ~n ~byte_size:Codec.opt_elt_array_size ()
     in
     let inbox =
       Trace.span Trace.Phase "coin-gen.gamma" @@ fun () ->
-      Net.exchange gamma_net ~send:(fun () ->
+      Transport.exchange gamma_net ~send:(fun () ->
           for i = 0 to n - 1 do
             match adversary.as_gamma i with
             | Honest_vec ->
@@ -195,12 +195,12 @@ module Make (F : Field_intf.S) = struct
                         shares_opt)
                     received.(i)
                 in
-                Net.send_to_all gamma_net ~src:i (fun _ -> vec)
+                Transport.send_to_all gamma_net ~src:i (fun _ -> vec)
             | Silent_vec -> ()
             | Arbitrary_vec f ->
                 for dst = 0 to n - 1 do
                   let vec = f dst in
-                  if Array.length vec = n then Net.send gamma_net ~src:i ~dst vec
+                  if Array.length vec = n then Transport.send gamma_net ~src:i ~dst vec
                 done
           done)
     in

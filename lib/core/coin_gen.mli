@@ -68,7 +68,7 @@ module Make (F : Field_intf.S) : sig
     ?as_gradecast_dealer:payload Gradecast.dealer_behavior ->
     ?as_gradecast_follower:payload Gradecast.follower_behavior ->
     ?as_ba:Phase_king.behavior ->
-    Net.Faults.t ->
+    Transport.Faults.t ->
     adversary
   (** Uniform strategy: every faulty player in the fault set uses the
       given behaviours (defaults: silent); honest players honest. *)

@@ -17,21 +17,21 @@ let run ?(behavior = fun _ -> Honest) ~coin ~n ~t ~max_phases ~inputs () =
   if Array.length inputs <> n then invalid_arg "Common_coin_ba.run: inputs size";
   Metrics.tick_ba ();
   let honest i = match behavior i with Honest -> true | Silent | Fixed _ | Arbitrary _ -> false in
-  let net = Net.create ~n ~byte_size:(fun _ -> 1) () in
+  let net = Transport.create ~n ~byte_size:(fun _ -> 1) () in
   let votes = Array.copy inputs in
   let decided = Array.make n None in
   let coins_used = ref 0 in
   let sends ~phase ~round honest_msg =
-    Net.exchange net ~send:(fun () ->
+    Transport.exchange net ~send:(fun () ->
         for i = 0 to n - 1 do
           match behavior i with
-          | Honest -> Net.send_to_all net ~src:i (fun _ -> honest_msg i)
+          | Honest -> Transport.send_to_all net ~src:i (fun _ -> honest_msg i)
           | Silent -> ()
-          | Fixed b -> Net.send_to_all net ~src:i (fun _ -> Some b)
+          | Fixed b -> Transport.send_to_all net ~src:i (fun _ -> Some b)
           | Arbitrary f ->
               for dst = 0 to n - 1 do
                 match f ~phase ~round ~dst with
-                | Some msg -> Net.send net ~src:i ~dst msg
+                | Some msg -> Transport.send net ~src:i ~dst msg
                 | None -> ()
               done
         done)

@@ -211,17 +211,42 @@ let current_plan () = !ambient_plan
 let retransmit_budget () =
   match !ambient_plan with None -> 0 | Some p -> Plan.retransmits p
 
+(* A carrier is the physical message-moving layer under a network: the
+   coordinator still decides every fault, ordering and metric outcome,
+   but each surviving message is [post]ed to the carrier when it enters
+   a queue and must come back — matched by uid — from [collect] at the
+   round barrier. With no carrier the network is the pure in-memory
+   simulator, bit-identical to its pre-carrier behaviour. *)
+module Carrier = struct
+  type 'msg t = {
+    name : string;  (** backend tag, e.g. ["domains"] or ["socket"] *)
+    post : src:int -> dst:int -> uid:int -> 'msg -> unit;
+    collect : unit -> (int * 'msg) list array;
+        (** per-destination [(uid, msg)] frames since the last collect *)
+  }
+end
+
+exception Desync of string
+(** A carrier lost or invented a frame: the physical layer disagrees
+    with the coordinator's bookkeeping. Always a transport bug, never a
+    simulated fault — simulated faults are decided before posting. *)
+
 type 'msg t = {
   n : int;
   byte_size : 'msg -> int;
   codec : (('msg -> bytes) * (bytes -> 'msg)) option;
   plan : Plan.t option;
-  (* queues.(dst) holds (src, msg) in reverse send order. *)
-  queues : (int * 'msg) list array;
+  carrier : 'msg Carrier.t option;
+  (* queues.(dst) holds (src, uid, msg) in reverse send order. *)
+  queues : (int * int * 'msg) list array;
   (* In-flight delayed messages: (arrival_round, src, dst, msg), with
      arrival measured on the plan's global round clock. *)
   mutable delayed : (int * int * int * 'msg) list;
   mutable rounds : int;
+  (* Next per-network message uid; identifies each queued message to the
+     carrier so delivery can match physical frames back to the
+     coordinator's queue entries. *)
+  mutable next_uid : int;
   (* Messages enqueued since the last delivery / in the last delivered
      round. On a pristine net, where drivers send at most once per
      (src, dst) pair, [last_enqueued = n * n] proves the round was
@@ -230,16 +255,18 @@ type 'msg t = {
   mutable last_enqueued : int;
 }
 
-let create ?codec ~n ~byte_size () =
+let create ?carrier ?codec ~n ~byte_size () =
   if n < 1 then invalid_arg "Net.create: n must be positive";
   {
     n;
     byte_size;
     codec;
     plan = !ambient_plan;
+    carrier;
     queues = Array.make n [];
     delayed = [];
     rounds = 0;
+    next_uid = 0;
     enqueued = 0;
     last_enqueued = 0;
   }
@@ -250,9 +277,20 @@ let check_id t label i =
   if i < 0 || i >= t.n then
     invalid_arg (Printf.sprintf "Net.%s: player id %d out of range" label i)
 
+(* Every message surviving the fault decision goes through here: it is
+   posted to the carrier (when one is attached) under a fresh uid and
+   recorded in the coordinator's queue under the same uid. *)
+let queue_message t ~src ~dst msg =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  (match t.carrier with
+  | Some c -> c.Carrier.post ~src ~dst ~uid msg
+  | None -> ());
+  (src, uid, msg)
+
 let enqueue t ~src ~dst msg =
   t.enqueued <- t.enqueued + 1;
-  t.queues.(dst) <- (src, msg) :: t.queues.(dst)
+  t.queues.(dst) <- queue_message t ~src ~dst msg :: t.queues.(dst)
 
 let corrupted_copy t plan msg =
   match t.codec with
@@ -317,14 +355,14 @@ let deliver t =
       t.delayed <- waiting;
       List.iter
         (fun (_, src, dst, msg) ->
-          t.queues.(dst) <- t.queues.(dst) @ [ (src, msg) ])
+          t.queues.(dst) <- t.queues.(dst) @ [ queue_message t ~src ~dst msg ])
         (List.rev ready));
   Log.debug (fun m ->
       let pending =
         Array.fold_left (fun acc q -> acc + List.length q) 0 t.queues
       in
       m "round %d: delivering %d messages to %d players" t.rounds pending t.n);
-  let inbox =
+  let tagged =
     Array.mapi
       (fun dst queue ->
         t.queues.(dst) <- [];
@@ -339,13 +377,36 @@ let deliver t =
                deterministic iteration in protocol code. *)
             let inbox =
               List.stable_sort
-                (fun (a, _) (b, _) -> Int.compare a b)
+                (fun (a, _, _) (b, _, _) -> Int.compare a b)
                 (List.rev queue)
             in
             match plan with
             | Some plan -> Plan.shuffle_inbox plan inbox
             | None -> inbox))
       t.queues
+  in
+  let inbox =
+    match t.carrier with
+    | None -> Array.map (List.map (fun (src, _, msg) -> (src, msg))) tagged
+    | Some c ->
+        (* Materialize each inbox entry from the value that physically
+           traversed the carrier, matched by uid. A missing uid means
+           the backend lost a frame the coordinator accounted for. *)
+        let arrived = Hashtbl.create 64 in
+        Array.iter
+          (List.iter (fun (uid, msg) -> Hashtbl.replace arrived uid msg))
+          (c.Carrier.collect ());
+        Array.map
+          (List.map (fun (src, uid, _) ->
+               match Hashtbl.find_opt arrived uid with
+               | Some msg -> (src, msg)
+               | None ->
+                   raise
+                     (Desync
+                        (Printf.sprintf
+                           "Net: %s carrier lost frame uid=%d from player %d"
+                           c.Carrier.name uid src))))
+          tagged
   in
   if Trace.enabled () then
     Array.iteri

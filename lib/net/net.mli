@@ -133,11 +133,40 @@ val retransmit_budget : unit -> int
     installed. Broadcast-channel layers use this to size their own
     retransmit loops. *)
 
+(** {1 Carriers}
+
+    The network separates {e deciding} what happens to a message (fault
+    sampling, ordering, metrics — all in the coordinator, in one
+    deterministic order) from {e moving} it. A carrier is the pluggable
+    moving layer: every message that survives the fault decision is
+    [post]ed under a fresh per-network uid, and the round barrier
+    [collect]s the physically-delivered frames and materializes each
+    inbox entry from the value that actually traversed the backend,
+    matched by uid. With no carrier (the default) the network is the
+    pure in-memory simulator and behaves bit-identically to before the
+    carrier layer existed. The [Transport] library builds its domains
+    and socket backends as carriers. *)
+
+module Carrier : sig
+  type 'msg t = {
+    name : string;  (** backend tag, e.g. ["domains"] or ["socket"] *)
+    post : src:int -> dst:int -> uid:int -> 'msg -> unit;
+    collect : unit -> (int * 'msg) list array;
+        (** per-destination [(uid, msg)] frames since the last collect *)
+  }
+end
+
+exception Desync of string
+(** Raised by {!deliver} when the carrier failed to return a frame the
+    coordinator accounted for — a transport-layer bug, never a simulated
+    fault (simulated faults are decided before posting). *)
+
 (** {1 Networks} *)
 
 type 'msg t
 
 val create :
+  ?carrier:'msg Carrier.t ->
   ?codec:(('msg -> bytes) * (bytes -> 'msg)) ->
   n:int ->
   byte_size:('msg -> int) ->
@@ -150,7 +179,9 @@ val create :
     is re-encoded, has one bit flipped, and is re-decoded — if the
     strict decoder rejects the mangled bytes the message is dropped
     (a detected corruption), otherwise the mangled value is delivered.
-    Without a [codec], corruption degrades to a drop. *)
+    Without a [codec], corruption degrades to a drop. [carrier] attaches
+    a physical message-moving backend; omitted, the network is the
+    in-memory simulator. *)
 
 val n : _ t -> int
 

@@ -24,7 +24,15 @@ type span = {
 
 and item = Span of span | Event of int * event
 
-type t = { items : item list }
+type t = { backend : string option; items : item list }
+
+(* The ambient transport backend tag ("sim", "domains", "socket"),
+   stamped onto every trace completed while it is set. Installed by
+   [Transport.with_backend]; [None] outside any transport session. *)
+let ambient_backend : string option ref = ref None
+
+let set_backend_tag tag = ambient_backend := tag
+let backend_tag () = !ambient_backend
 
 (* ------------------------- collection ---------------------------- *)
 
@@ -107,7 +115,7 @@ let fresh_builder () = { next_id = 1; next_seq = 0; stack = []; top = [] }
 let finish b =
   (* Close frames an escaping exception left open, innermost first. *)
   List.iter (fun frame -> close_frame b frame Metrics.zero) b.stack;
-  { items = List.rev b.top }
+  { backend = !ambient_backend; items = List.rev b.top }
 
 let collect f =
   let b = fresh_builder () in
@@ -256,6 +264,9 @@ let pp_jsonl ppf t =
         span_line parent s;
         List.iter (go s.id) s.items
   in
+  (match t.backend with
+  | None -> ()
+  | Some b -> Fmt.pf ppf "{\"type\":\"meta\",\"backend\":%s}@." (json_string b));
   List.iter (go 0) t.items
 
 let write_jsonl path t =

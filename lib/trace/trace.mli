@@ -58,10 +58,21 @@ type span = {
 
 and item = Span of span | Event of int * event  (** [Event (seq, e)] *)
 
-type t = { items : item list }
-(** A completed trace: the top-level spans/events in execution order. *)
+type t = { backend : string option; items : item list }
+(** A completed trace: the top-level spans/events in execution order.
+    [backend] is the ambient transport backend tag ("sim", "domains",
+    "socket") in effect when the trace finished — [None] outside any
+    transport session — emitted by {!pp_jsonl} as a leading [meta]
+    line. *)
 
 (** {1 Collection} *)
+
+val set_backend_tag : string option -> unit
+(** Install/clear the ambient backend tag stamped onto completed
+    traces. Called by [Transport.with_backend]; rarely needed
+    directly. *)
+
+val backend_tag : unit -> string option
 
 val enabled : unit -> bool
 (** True iff a collector is installed (inside {!collect}). *)

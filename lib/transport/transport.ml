@@ -1,0 +1,265 @@
+(* ----------------------- Backend selection ----------------------- *)
+
+type backend = Sim | Domains | Socket
+
+let backend_name = function
+  | Sim -> "sim"
+  | Domains -> "domains"
+  | Socket -> "socket"
+
+let backend_of_string = function
+  | "sim" -> Ok Sim
+  | "domains" -> Ok Domains
+  | "socket" -> Ok Socket
+  | s ->
+      Error
+        (Printf.sprintf "unknown transport %S (expected sim, domains or socket)"
+           s)
+
+let all_backends = [ Sim; Domains; Socket ]
+
+exception Backend_failure = Transport_error.Backend_failure
+
+let default_timeout = 60.0
+
+let timeout () =
+  match Sys.getenv_opt "DPRBG_TRANSPORT_TIMEOUT" with
+  | Some s -> ( match float_of_string_opt s with Some t when t > 0.0 -> t | _ -> default_timeout)
+  | None -> default_timeout
+
+(* One live worker group per player count: n domains or n processes,
+   shared by every network of that size created inside the session. *)
+type group = Gdomains of Transport_domains.t | Gsocket of Transport_socket.t
+
+type session = { backend : backend; groups : (int, group) Hashtbl.t }
+
+let ambient : session option ref = ref None
+let current_backend () = match !ambient with None -> Sim | Some s -> s.backend
+
+let group_post g ~dst frame =
+  match g with
+  | Gdomains d -> Transport_domains.post d ~dst frame
+  | Gsocket s -> Transport_socket.post s ~dst frame
+
+let group_barrier g =
+  match g with
+  | Gdomains d -> Transport_domains.barrier d
+  | Gsocket s -> Transport_socket.barrier s
+
+let group_shutdown g =
+  match g with
+  | Gdomains d -> Transport_domains.shutdown d
+  | Gsocket s -> Transport_socket.shutdown s
+
+(* OCaml's [Unix.fork] is a one-way door: once any domain has ever been
+   spawned in the process, fork is forbidden for the rest of its
+   lifetime. Track domain use so a socket group started too late fails
+   with an actionable message instead of the runtime's generic one —
+   and order socket work before domains work when driving both. *)
+let domains_used = ref false
+
+let group session ~n =
+  match Hashtbl.find_opt session.groups n with
+  | Some g -> g
+  | None ->
+      let g =
+        match session.backend with
+        | Sim -> assert false (* sim sessions never build groups *)
+        | Domains ->
+            domains_used := true;
+            Gdomains (Transport_domains.create ~n)
+        | Socket ->
+            if !domains_used then
+              Transport_error.fail
+                "socket: cannot fork player processes after a domains \
+                 session has run in this process (OCaml forbids fork once \
+                 a domain was spawned) — run socket sessions first";
+            Gsocket (Transport_socket.create ~timeout:(timeout ()) ~n)
+      in
+      Hashtbl.add session.groups n g;
+      g
+
+let with_backend backend f =
+  let session = { backend; groups = Hashtbl.create 4 } in
+  let previous = !ambient in
+  let previous_tag = Trace.backend_tag () in
+  ambient := Some session;
+  Trace.set_backend_tag (Some (backend_name backend));
+  Fun.protect
+    ~finally:(fun () ->
+      ambient := previous;
+      Trace.set_backend_tag previous_tag;
+      Hashtbl.iter (fun _ g -> group_shutdown g) session.groups)
+    f
+
+(* ----------------------- Fault-plan surface ---------------------- *)
+
+(* The degraded-network machinery is backend-independent — fault
+   sampling happens in the coordinator before a message is handed to
+   the physical layer — so the plan API is Net's, re-exported to keep
+   Transport the single networking entry point for protocol code. *)
+
+module Plan = Net.Plan
+module Faults = Net.Faults
+
+let with_plan = Net.with_plan
+let current_plan = Net.current_plan
+let retransmit_budget = Net.retransmit_budget
+
+(* --------------------------- Networks ----------------------------- *)
+
+type 'msg conn = 'msg Net.t
+
+(* Codec-less networks (agreement sub-protocols exchange plain OCaml
+   values) still need a byte representation to physically traverse a
+   backend; Marshal is the fallback. Networks with a wire codec use it,
+   so the bytes on the wire are the protocol's own encoding. *)
+let marshal_codec () =
+  ((fun v -> Marshal.to_bytes v []), fun b -> Marshal.from_bytes b 0)
+
+let carrier backend (encode, decode) g =
+  {
+    Net.Carrier.name = backend_name backend;
+    post =
+      (fun ~src ~dst ~uid msg ->
+        group_post g ~dst
+          (Frame.encode Frame.Msg ~src ~dst ~uid ~payload:(encode msg)));
+    collect =
+      (fun () ->
+        Array.map
+          (List.map (fun raw ->
+               let hdr, payload = Frame.decode raw in
+               (hdr.Frame.uid, decode payload)))
+          (group_barrier g));
+  }
+
+let create ?codec ~n ~byte_size () =
+  match !ambient with
+  | None | Some { backend = Sim; _ } -> Net.create ?codec ~n ~byte_size ()
+  | Some ({ backend = Domains | Socket; _ } as session) ->
+      let c =
+        match codec with Some c -> c | None -> marshal_codec ()
+      in
+      Net.create
+        ~carrier:(carrier session.backend c (group session ~n))
+        ?codec ~n ~byte_size ()
+
+let n = Net.n
+let send = Net.send
+let send_to_all = Net.send_to_all
+let deliver = Net.deliver
+let exchange = Net.exchange
+let rounds_elapsed = Net.rounds_elapsed
+let complete_last_round = Net.complete_last_round
+let absent_counts = Net.absent_counts
+
+(* ----------------------- Broadcast channel ----------------------- *)
+
+let bcast_fault_free ~byte_size ~n announce =
+  Metrics.tick_round ();
+  Array.init n (fun i ->
+      match announce i with
+      | None -> None
+      | Some v ->
+          Metrics.tick_message ~bytes_len:(byte_size v);
+          Trace.event (fun () ->
+              Trace.Broadcast { src = i; bytes = byte_size v });
+          Some v)
+
+(* Under a fault plan the channel can fail whole announcements (it never
+   equivocates — every receiver still sees the same vector): an
+   announcement can be omitted, corrupted in transit, or lost to a
+   crashed announcer. The retransmit envelope re-announces once per
+   attempt and keeps the latest delivered copy, mirroring
+   [Net.exchange]: under a bounded plan the final attempt is exempt from
+   link faults, so omission bursts within the budget are absorbed. *)
+let bcast_degraded plan ?codec ~byte_size ~n announce =
+  let attempts = Plan.retransmits plan + 1 in
+  let result = Array.make n None in
+  Fun.protect
+    ~finally:(fun () -> Plan.exit_envelope plan)
+    (fun () ->
+      for attempt = 1 to attempts do
+        Plan.enter_envelope plan ~attempt ~attempts;
+        Metrics.tick_round ();
+        for i = 0 to n - 1 do
+          match announce i with
+          | None -> ()
+          | Some v ->
+              Metrics.tick_message ~bytes_len:(byte_size v);
+              Trace.event (fun () ->
+                  Trace.Broadcast { src = i; bytes = byte_size v });
+              if Plan.down plan i then Plan.note_crashed_msg plan
+              else (
+                match Plan.broadcast_fate plan with
+                | `Deliver -> result.(i) <- Some v
+                | `Drop -> ()
+                | `Corrupt -> (
+                    match codec with
+                    | None -> () (* no wire form: detected and discarded *)
+                    | Some (encode, decode) -> (
+                        match decode (Plan.corrupt_bytes plan (encode v)) with
+                        | v' -> result.(i) <- Some v'
+                        | exception _ -> ())))
+        done;
+        Plan.advance_round plan
+      done);
+  result
+
+(* Physically replicate the surviving announcement vector through the
+   byte-level backend: each delivered announcement is framed once per
+   receiver (uid = announcer id), the barrier hands every receiver its
+   copies, and the vector every player observes is rebuilt from what
+   actually traversed the wire. Receivers must agree on which slots are
+   populated — a divergence is a backend bug, not a simulated fault,
+   because the channel by definition never equivocates. *)
+let bcast_replicate session (encode, decode) ~n result =
+  let g = group session ~n in
+  Array.iteri
+    (fun src slot ->
+      match slot with
+      | None -> ()
+      | Some v ->
+          let payload = encode v in
+          for dst = 0 to n - 1 do
+            group_post g ~dst
+              (Frame.encode Frame.Msg ~src ~dst ~uid:src ~payload)
+          done)
+    result;
+  let raw = group_barrier g in
+  let vectors =
+    Array.map
+      (fun frames ->
+        let vec = Array.make n None in
+        List.iter
+          (fun frame ->
+            let hdr, payload = Frame.decode frame in
+            if hdr.Frame.uid < 0 || hdr.Frame.uid >= n then
+              Transport_error.fail "broadcast frame with alien uid %d"
+                hdr.Frame.uid;
+            vec.(hdr.Frame.uid) <- Some (decode payload))
+          frames;
+        vec)
+      raw
+  in
+  let expected = Array.map Option.is_some result in
+  Array.iteri
+    (fun dst vec ->
+      if Array.map Option.is_some vec <> expected then
+        Transport_error.fail "broadcast replication diverged at receiver %d"
+          dst)
+    vectors;
+  vectors.(0)
+
+let broadcast_round ?codec ~byte_size ~n announce =
+  Trace.span Trace.Round "bcast.round" @@ fun () ->
+  let result =
+    match Net.current_plan () with
+    | None -> bcast_fault_free ~byte_size ~n announce
+    | Some plan -> bcast_degraded plan ?codec ~byte_size ~n announce
+  in
+  match !ambient with
+  | None | Some { backend = Sim; _ } -> result
+  | Some ({ backend = Domains | Socket; _ } as session) ->
+      let c = match codec with Some c -> c | None -> marshal_codec () in
+      bcast_replicate session c ~n result

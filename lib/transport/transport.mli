@@ -1,0 +1,128 @@
+(** Pluggable transport under the synchronous protocol drivers.
+
+    Protocol code talks to {e this} module — never to {!Net} directly —
+    and gets the same synchronous API ({!create}, {!send}, {!deliver},
+    {!exchange}, {!broadcast_round}, the fault-plan surface) over one of
+    three interchangeable backends:
+
+    - [Sim] — the in-memory simulator; {!create} is exactly
+      {!Net.create} and behaviour is bit-identical to the pre-transport
+      code. The default when no backend is installed.
+    - [Domains] — one OCaml 5 domain per player with mutex/condvar
+      mailboxes; every protocol message physically crosses a domain
+      boundary as a {!Frame} and is validated by the receiving player's
+      domain.
+    - [Socket] — one local process per player, connected by Unix domain
+      sockets carrying length-prefixed, versioned {!Frame}s; the round
+      barrier is a control-frame handshake with an OS-level receive
+      timeout.
+
+    {b Determinism contract.} Every observable decision — fault
+    sampling, message ordering, metric ticks, PRNG draws — is made by
+    the coordinator in one deterministic order; backends move bytes and
+    are never allowed to influence ordering (the round barrier reads
+    player hand-offs in player order, and inbox entries are matched back
+    to coordinator bookkeeping by frame uid). Consequently a protocol
+    run is {e byte-identical} across backends: same coin values, same
+    metrics, same evidence, same trace structure (modulo the backend
+    tag). The cross-backend differential suite in [test/test_transport.ml]
+    pins this.
+
+    Backends fail loudly, not silently: a lost frame raises
+    {!Net.Desync}, a dead or wedged worker raises {!Backend_failure}
+    (socket reads time out after [DPRBG_TRANSPORT_TIMEOUT] seconds,
+    default 60). *)
+
+(** {1 Backends} *)
+
+type backend = Sim | Domains | Socket
+
+val backend_name : backend -> string
+(** ["sim"], ["domains"], ["socket"] — also the trace backend tag. *)
+
+val backend_of_string : string -> (backend, string) result
+val all_backends : backend list
+
+exception Backend_failure of string
+(** A backend broke its delivery contract (worker died, process exited,
+    receive timed out, frame failed validation at a player). Never used
+    for simulated faults. *)
+
+val with_backend : backend -> (unit -> 'a) -> 'a
+(** [with_backend b f] runs [f] with [b] installed as the ambient
+    transport: every {!create} and {!broadcast_round} inside uses it,
+    and traces collected inside carry its {!backend_name} as their
+    backend tag. Worker groups (n domains, or n player processes) are
+    created lazily per player count, shared across the session, and
+    shut down — domains joined, processes reaped — when [f] returns or
+    raises. Nesting restores the previous backend on exit.
+
+    Do not nest a [Socket] session inside a [Domains] session: forking
+    is unsafe while worker domains are live. Sequential sessions are
+    fine. *)
+
+val current_backend : unit -> backend
+(** The ambient backend; [Sim] when none is installed. *)
+
+(** {1 Fault plans}
+
+    Degraded-network machinery is backend-independent — faults are
+    decided in the coordinator before a message reaches the physical
+    layer — so this is {!Net}'s plan surface re-exported, keeping
+    [Transport] the single networking entry point for protocol code. *)
+
+module Plan = Net.Plan
+module Faults = Net.Faults
+
+val with_plan : Plan.t -> (unit -> 'a) -> 'a
+val current_plan : unit -> Plan.t option
+val retransmit_budget : unit -> int
+
+(** {1 Networks}
+
+    The synchronous API of {!Net}, dispatched over the ambient backend.
+    ['msg conn] {e is} ['msg Net.t], so the cost model, fault semantics
+    and inbox shapes are exactly Net's — see {!Net} for the full
+    contracts. *)
+
+type 'msg conn = 'msg Net.t
+
+val create :
+  ?codec:(('msg -> bytes) * (bytes -> 'msg)) ->
+  n:int ->
+  byte_size:('msg -> int) ->
+  unit ->
+  'msg conn
+(** Like {!Net.create}, on the ambient backend. Under [Domains]/[Socket]
+    every queued message is framed and physically posted to the
+    addressee's worker; [codec] (when given) is the on-wire payload
+    encoding, otherwise [Marshal] is used. *)
+
+val n : _ conn -> int
+val send : 'msg conn -> src:int -> dst:int -> 'msg -> unit
+val send_to_all : 'msg conn -> src:int -> (int -> 'msg) -> unit
+val deliver : 'msg conn -> (int * 'msg) list array
+val exchange : 'msg conn -> send:(unit -> unit) -> (int * 'msg) list array
+val rounds_elapsed : _ conn -> int
+val complete_last_round : _ conn -> bool
+
+val absent_counts :
+  ?unique_senders:bool -> n:int -> (int * 'msg) list array -> int array
+
+(** {1 Broadcast channel} *)
+
+val broadcast_round :
+  ?codec:(('v -> bytes) * (bytes -> 'v)) ->
+  byte_size:('v -> int) ->
+  n:int ->
+  (int -> 'v option) ->
+  'v option array
+(** One round of the assumed broadcast channel (see {!Broadcast.round},
+    which delegates here): player [i] announces [announce i] and every
+    player observes the same vector. Fault handling (ambient
+    {!Net.Plan}, retransmit envelope, corruption through [codec]) is
+    identical on every backend; under [Domains]/[Socket] the surviving
+    vector is additionally replicated through the physical layer — one
+    frame per (announcement, receiver) — and the returned vector is
+    rebuilt from the frames that actually traversed it, with a
+    {!Backend_failure} if any receiver's copy diverges. *)

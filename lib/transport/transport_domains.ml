@@ -1,0 +1,137 @@
+(* Shared-memory backend: one OCaml 5 domain per player, each owning a
+   mutex/condvar mailbox of raw frames. The coordinator posts frames
+   into mailboxes; the round barrier asks every player, in player order,
+   to validate and hand back everything received since the last barrier.
+   Determinism comes from the barrier discipline: the coordinator only
+   reads a player's hand-off after that player has acknowledged the
+   round, and frames are handed back in arrival order, so the physical
+   layer can neither reorder nor interleave observably. *)
+
+type mailbox = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  mutable incoming : bytes list; (* reverse arrival order *)
+  mutable round : int; (* barrier generation requested by coordinator *)
+  mutable served : int; (* barrier generation completed by the player *)
+  mutable outbox : bytes list; (* completed hand-off, arrival order *)
+  mutable failed : string option; (* worker died: why *)
+  mutable stop : bool;
+}
+
+type t = { n : int; boxes : mailbox array; workers : unit Domain.t array }
+
+(* Each frame is validated by the receiving player in its own domain:
+   it must parse, be a protocol message, and be addressed to this
+   player. *)
+let validate me frame =
+  match Frame.decode_header frame ~pos:0 with
+  | exception Frame.Error e ->
+      Transport_error.fail "domains: player %d got bad frame: %s" me
+        (Format.asprintf "%a" Frame.pp_error e)
+  | hdr ->
+      if hdr.Frame.kind <> Frame.Msg then
+        Transport_error.fail "domains: player %d got control frame %s" me
+          (Frame.kind_name hdr.Frame.kind);
+      if hdr.Frame.dst <> me then
+        Transport_error.fail
+          "domains: player %d got frame addressed to player %d" me
+          hdr.Frame.dst;
+      if Frame.header_size + hdr.Frame.length <> Bytes.length frame then
+        Transport_error.fail "domains: player %d got mis-framed message" me
+
+let worker me box () =
+  let buffered = ref [] (* validated frames, reverse arrival order *) in
+  try
+    let running = ref true in
+    while !running do
+      Mutex.lock box.mu;
+      while box.incoming = [] && box.round = box.served && not box.stop do
+        Condition.wait box.cv box.mu
+      done;
+      let batch = List.rev box.incoming in
+      box.incoming <- [];
+      let round_due = box.round > box.served in
+      let stopping = box.stop in
+      Mutex.unlock box.mu;
+      List.iter
+        (fun frame ->
+          validate me frame;
+          buffered := frame :: !buffered)
+        batch;
+      if round_due then begin
+        Mutex.lock box.mu;
+        box.outbox <- List.rev !buffered;
+        buffered := [];
+        box.served <- box.round;
+        Condition.broadcast box.cv;
+        Mutex.unlock box.mu
+      end;
+      if stopping && not round_due then running := false
+    done
+  with e ->
+    (* Never let the domain die with an uncaught exception — record the
+       failure and acknowledge every future barrier so the coordinator
+       wakes up and reports it instead of deadlocking. *)
+    Mutex.lock box.mu;
+    box.failed <- Some (Printexc.to_string e);
+    box.served <- box.round;
+    Condition.broadcast box.cv;
+    Mutex.unlock box.mu
+
+let create ~n =
+  let boxes =
+    Array.init n (fun _ ->
+        {
+          mu = Mutex.create ();
+          cv = Condition.create ();
+          incoming = [];
+          round = 0;
+          served = 0;
+          outbox = [];
+          failed = None;
+          stop = false;
+        })
+  in
+  let workers = Array.init n (fun i -> Domain.spawn (worker i boxes.(i))) in
+  { n; boxes; workers }
+
+let post t ~dst frame =
+  let box = t.boxes.(dst) in
+  Mutex.lock box.mu;
+  (match box.failed with
+  | Some why ->
+      Mutex.unlock box.mu;
+      Transport_error.fail "domains: worker %d is dead: %s" dst why
+  | None -> ());
+  box.incoming <- frame :: box.incoming;
+  Condition.signal box.cv;
+  Mutex.unlock box.mu
+
+let barrier t =
+  Array.mapi
+    (fun i box ->
+      Mutex.lock box.mu;
+      box.round <- box.round + 1;
+      Condition.broadcast box.cv;
+      while box.served < box.round && box.failed = None do
+        Condition.wait box.cv box.mu
+      done;
+      let out = box.outbox in
+      box.outbox <- [];
+      let failed = box.failed in
+      Mutex.unlock box.mu;
+      (match failed with
+      | Some why -> Transport_error.fail "domains: worker %d died: %s" i why
+      | None -> ());
+      out)
+    t.boxes
+
+let shutdown t =
+  Array.iter
+    (fun box ->
+      Mutex.lock box.mu;
+      box.stop <- true;
+      Condition.broadcast box.cv;
+      Mutex.unlock box.mu)
+    t.boxes;
+  Array.iter Domain.join t.workers

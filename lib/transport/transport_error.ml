@@ -1,0 +1,8 @@
+exception Backend_failure of string
+(** A transport backend broke its delivery contract: a worker domain
+    died, a player process exited or timed out, or a frame failed
+    validation at the receiving player. Distinct from simulated faults
+    (those are part of the experiment) and from {!Net.Desync} (the
+    coordinator-side bookkeeping mismatch). *)
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Backend_failure s)) fmt

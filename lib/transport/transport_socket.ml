@@ -1,0 +1,149 @@
+(* Process backend: one forked child per player, connected to the
+   coordinator by a Unix domain socket pair carrying length-prefixed
+   {!Frame}s. The child buffers every [Msg] frame addressed to it; on a
+   [Round] control frame it echoes the buffered frames back in arrival
+   order followed by [End_of_round]; on [Stop] it exits. The
+   coordinator's receive path carries an OS-level timeout so a wedged or
+   dead child surfaces as a typed {!Transport_error.Backend_failure}
+   instead of hanging the run. *)
+
+type conn = { fd : Unix.file_descr; pid : int }
+type t = { n : int; conns : conn array }
+
+let sigpipe_ignored = ref false
+
+(* A dead child must surface as EPIPE on write, not kill the whole
+   coordinator process. *)
+let ignore_sigpipe () =
+  if not !sigpipe_ignored then begin
+    sigpipe_ignored := true;
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+  end
+
+let really_write fd b =
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write fd b !pos (len - !pos)
+  done
+
+exception Closed
+
+(* Read exactly [len] bytes into [b] at [pos]; [Closed] on EOF. *)
+let really_read fd b pos len =
+  let got = ref 0 in
+  while !got < len do
+    let k = Unix.read fd b (pos + !got) (len - !got) in
+    if k = 0 then raise Closed;
+    got := !got + k
+  done
+
+(* Read one whole frame off the stream: fixed header, then exactly the
+   announced payload. Returns the raw frame bytes and its parsed
+   header. Frame.decode_header bounds-checks the length field before we
+   allocate. *)
+let read_frame fd =
+  let hdr_bytes = Bytes.create Frame.header_size in
+  really_read fd hdr_bytes 0 Frame.header_size;
+  let hdr = Frame.decode_header hdr_bytes ~pos:0 in
+  let frame = Bytes.create (Frame.header_size + hdr.Frame.length) in
+  Bytes.blit hdr_bytes 0 frame 0 Frame.header_size;
+  really_read fd frame Frame.header_size hdr.Frame.length;
+  (hdr, frame)
+
+(* The child's whole life: buffer messages, echo them at each round
+   barrier, exit on [Stop]. Any protocol violation — a mis-addressed
+   frame, garbage on the stream, coordinator vanishing — exits with a
+   distinct status; the coordinator reports the failure when its next
+   read times out or hits EOF. *)
+let child_loop fd me =
+  let buffered = ref [] in
+  let running = ref true in
+  while !running do
+    let hdr, frame = read_frame fd in
+    match hdr.Frame.kind with
+    | Frame.Msg ->
+        if hdr.Frame.dst <> me then Unix._exit 3;
+        buffered := frame :: !buffered
+    | Frame.Round ->
+        List.iter (really_write fd) (List.rev !buffered);
+        buffered := [];
+        really_write fd
+          (Frame.encode Frame.End_of_round ~src:me ~dst:me ~uid:0
+             ~payload:Bytes.empty)
+    | Frame.Stop -> running := false
+    | Frame.End_of_round -> Unix._exit 3
+  done
+
+let create ~timeout ~n =
+  ignore_sigpipe ();
+  let parents = ref [] in
+  let conns =
+    Array.init n (fun i ->
+        let parent, child = Unix.(socketpair PF_UNIX SOCK_STREAM 0) in
+        match Unix.fork () with
+        | 0 ->
+            (* Child: drop every coordinator-side descriptor inherited
+               from earlier forks so EOF detection stays crisp, then
+               serve player [i] until told to stop. Exit with _exit —
+               never back into the caller's at_exit machinery. *)
+            List.iter (fun fd -> try Unix.close fd with _ -> ()) !parents;
+            (try Unix.close parent with _ -> ());
+            (try child_loop child i with
+            | Closed | Unix.Unix_error _ -> Unix._exit 2
+            | Frame.Error _ -> Unix._exit 3
+            | _ -> Unix._exit 4);
+            Unix._exit 0
+        | pid ->
+            Unix.close child;
+            Unix.setsockopt_float parent Unix.SO_RCVTIMEO timeout;
+            parents := parent :: !parents;
+            { fd = parent; pid })
+  in
+  { n; conns }
+
+let backend_trouble dst what =
+  Transport_error.fail "socket: player process %d %s" dst what
+
+let post t ~dst frame =
+  match really_write t.conns.(dst).fd frame with
+  | () -> ()
+  | exception Unix.Unix_error (EPIPE, _, _) -> backend_trouble dst "is dead"
+  | exception Unix.Unix_error (e, _, _) ->
+      backend_trouble dst (Unix.error_message e)
+
+let barrier t =
+  Array.mapi
+    (fun i conn ->
+      post t ~dst:i
+        (Frame.encode Frame.Round ~src:i ~dst:i ~uid:0 ~payload:Bytes.empty);
+      let frames = ref [] in
+      let finished = ref false in
+      while not !finished do
+        match read_frame conn.fd with
+        | { Frame.kind = Frame.End_of_round; _ }, _ -> finished := true
+        | { Frame.kind = Frame.Msg; _ }, frame -> frames := frame :: !frames
+        | { Frame.kind = Frame.Round | Frame.Stop; _ }, _ ->
+            backend_trouble i "echoed a control frame"
+        | exception Closed -> backend_trouble i "exited mid-round"
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            backend_trouble i "timed out"
+        | exception Unix.Unix_error (e, _, _) ->
+            backend_trouble i (Unix.error_message e)
+        | exception Frame.Error e ->
+            backend_trouble i
+              (Format.asprintf "sent a bad frame: %a" Frame.pp_error e)
+      done;
+      List.rev !frames)
+    t.conns
+
+let shutdown t =
+  Array.iteri
+    (fun i conn ->
+      (try
+         really_write conn.fd
+           (Frame.encode Frame.Stop ~src:i ~dst:i ~uid:0 ~payload:Bytes.empty)
+       with _ -> ());
+      (try Unix.close conn.fd with _ -> ());
+      try ignore (Unix.waitpid [] conn.pid) with _ -> ())
+    t.conns

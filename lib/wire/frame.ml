@@ -1,0 +1,98 @@
+type kind = Msg | Round | End_of_round | Stop
+type header = { kind : kind; src : int; dst : int; uid : int; length : int }
+
+type error =
+  | Truncated of { expected : int; got : int }
+  | Bad_magic of int
+  | Bad_version of int
+  | Bad_kind of int
+  | Oversized of { length : int; limit : int }
+  | Trailing_bytes of int
+
+exception Error of error
+
+let pp_error ppf = function
+  | Truncated { expected; got } ->
+      Format.fprintf ppf "truncated frame: need %d bytes, have %d" expected got
+  | Bad_magic m -> Format.fprintf ppf "bad frame magic 0x%04X" m
+  | Bad_version v -> Format.fprintf ppf "unsupported frame version %d" v
+  | Bad_kind k -> Format.fprintf ppf "unknown frame kind %d" k
+  | Oversized { length; limit } ->
+      Format.fprintf ppf "oversized frame payload: %d bytes (limit %d)" length
+        limit
+  | Trailing_bytes n -> Format.fprintf ppf "%d trailing bytes after frame" n
+
+let magic = 0xD9C7
+let version = 1
+let header_size = 16
+let max_payload = 16 * 1024 * 1024
+
+let kind_to_int = function Msg -> 0 | Round -> 1 | End_of_round -> 2 | Stop -> 3
+
+let kind_of_int = function
+  | 0 -> Msg
+  | 1 -> Round
+  | 2 -> End_of_round
+  | 3 -> Stop
+  | k -> raise (Error (Bad_kind k))
+
+let kind_name = function
+  | Msg -> "msg"
+  | Round -> "round"
+  | End_of_round -> "end-of-round"
+  | Stop -> "stop"
+
+let check_u16 label v =
+  if v < 0 || v > 0xFFFF then
+    invalid_arg (Printf.sprintf "Frame.encode: %s %d out of u16 range" label v)
+
+let encode kind ~src ~dst ~uid ~payload =
+  check_u16 "src" src;
+  check_u16 "dst" dst;
+  if uid < 0 || uid > 0xFFFFFFFF then
+    invalid_arg (Printf.sprintf "Frame.encode: uid %d out of u32 range" uid);
+  let length = Bytes.length payload in
+  if length > max_payload then
+    invalid_arg
+      (Printf.sprintf "Frame.encode: payload %d exceeds limit %d" length
+         max_payload);
+  let b = Bytes.create (header_size + length) in
+  Bytes.set_uint16_le b 0 magic;
+  Bytes.set_uint8 b 2 version;
+  Bytes.set_uint8 b 3 (kind_to_int kind);
+  Bytes.set_uint16_le b 4 src;
+  Bytes.set_uint16_le b 6 dst;
+  Bytes.set_uint16_le b 8 (uid land 0xFFFF);
+  Bytes.set_uint16_le b 10 (uid lsr 16);
+  Bytes.set_uint16_le b 12 (length land 0xFFFF);
+  Bytes.set_uint16_le b 14 (length lsr 16);
+  Bytes.blit payload 0 b header_size length;
+  b
+
+let u32_le b pos =
+  Bytes.get_uint16_le b pos lor (Bytes.get_uint16_le b (pos + 2) lsl 16)
+
+let decode_header b ~pos =
+  let got = Bytes.length b - pos in
+  if pos < 0 || got < header_size then
+    raise (Error (Truncated { expected = header_size; got = max got 0 }));
+  let m = Bytes.get_uint16_le b pos in
+  if m <> magic then raise (Error (Bad_magic m));
+  let v = Bytes.get_uint8 b (pos + 2) in
+  if v <> version then raise (Error (Bad_version v));
+  let kind = kind_of_int (Bytes.get_uint8 b (pos + 3)) in
+  let src = Bytes.get_uint16_le b (pos + 4) in
+  let dst = Bytes.get_uint16_le b (pos + 6) in
+  let uid = u32_le b (pos + 8) in
+  let length = u32_le b (pos + 12) in
+  if length > max_payload then
+    raise (Error (Oversized { length; limit = max_payload }));
+  { kind; src; dst; uid; length }
+
+let decode b =
+  let hdr = decode_header b ~pos:0 in
+  let total = header_size + hdr.length in
+  let got = Bytes.length b in
+  if got < total then raise (Error (Truncated { expected = total; got }));
+  if got > total then raise (Error (Trailing_bytes (got - total)));
+  (hdr, Bytes.sub b header_size hdr.length)

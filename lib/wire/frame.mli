@@ -1,0 +1,79 @@
+(** Length-prefixed, versioned transport frames.
+
+    This is the unit of data movement for the byte-level transport
+    backends (OCaml 5 domains, local sockets): every protocol message, as
+    well as the control traffic of the round barrier, travels as one
+    frame. The layout is fixed-header + payload, little-endian like the
+    rest of {!Wire}:
+
+    {v
+    offset  size  field
+    0       2     magic   (0xD9C7)
+    2       1     version (1)
+    3       1     kind    (0 Msg | 1 Round | 2 End_of_round | 3 Stop)
+    4       2     src     player id of the sender
+    6       2     dst     player id of the addressee
+    8       4     uid     per-network message id (carrier bookkeeping)
+    12      4     length  payload byte count
+    16      len   payload
+    v}
+
+    Decoding is total in the sense required of anything that reads from
+    a peer: malformed input raises the typed {!Error} — never a bare
+    [Invalid_argument], never an out-of-bounds access, and the [length]
+    field is bounds-checked against {!max_payload} {e before} any
+    allocation, so a hostile or truncated stream cannot crash or balloon
+    a reader. *)
+
+type kind =
+  | Msg  (** one protocol message in flight *)
+  | Round  (** coordinator -> player: hand over your round's inbox *)
+  | End_of_round  (** player -> coordinator: inbox hand-off complete *)
+  | Stop  (** coordinator -> player: shut down cleanly *)
+
+type header = { kind : kind; src : int; dst : int; uid : int; length : int }
+
+type error =
+  | Truncated of { expected : int; got : int }
+      (** fewer bytes than the header or the announced payload needs *)
+  | Bad_magic of int  (** first two bytes are not {!magic} *)
+  | Bad_version of int  (** version byte differs from {!version} *)
+  | Bad_kind of int  (** kind byte outside the defined range *)
+  | Oversized of { length : int; limit : int }
+      (** announced payload length exceeds {!max_payload} *)
+  | Trailing_bytes of int  (** bytes left over after one whole frame *)
+
+exception Error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val magic : int
+val version : int
+
+val header_size : int
+(** Fixed byte size of the frame header (16). *)
+
+val max_payload : int
+(** Upper bound on the payload [length] field (16 MiB) — far above any
+    protocol message, low enough that a garbage length can never force a
+    giant allocation. *)
+
+val kind_to_int : kind -> int
+val kind_name : kind -> string
+
+val encode : kind -> src:int -> dst:int -> uid:int -> payload:bytes -> bytes
+(** One whole frame as a byte string.
+
+    @raise Invalid_argument if [src], [dst] or [uid] overflow their
+    fields or the payload exceeds {!max_payload}. *)
+
+val decode_header : bytes -> pos:int -> header
+(** Parse the 16-byte header at [pos].
+
+    @raise Error on truncation or any malformed field. *)
+
+val decode : bytes -> header * bytes
+(** Parse exactly one whole frame: header plus payload, nothing left
+    over.
+
+    @raise Error on truncation, malformed fields, or trailing bytes. *)

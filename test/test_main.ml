@@ -30,6 +30,7 @@ let () =
       ("common-coin-ba", Test_common_coin_ba.suite);
       ("stats", Test_stats.suite);
       ("wire", Test_wire.suite);
+      ("transport", Test_transport.suite);
       ("randomness", Test_randomness.suite);
       ("ablations", Test_ablations.suite);
       ("fuzz", Prop_fuzz.suite);

@@ -192,7 +192,7 @@ let test_timeline_renders () =
   Alcotest.(check bool) "player rows" true (contains ~needle:"p06" out);
   Alcotest.(check bool) "span intervals listed" true
     (contains ~needle:"vss.gamma" out);
-  let empty = Fmt.str "%a" Trace.pp_timeline { Trace.items = [] } in
+  let empty = Fmt.str "%a" Trace.pp_timeline { Trace.backend = None; items = [] } in
   Alcotest.(check bool) "empty trace is graceful" true
     (contains ~needle:"no rounds" empty)
 

@@ -1,0 +1,309 @@
+(* Cross-backend differential suite: the same (n, t, M, seed) campaigns
+   must produce byte-identical transcripts — coin values, Metrics op
+   counts, sentinel evidence, fault-plan stats — on the in-memory
+   simulator, the domains backend, and the socket backend, under both
+   clean and degraded Net.Plan schedules. The sim transcript is the
+   oracle; any divergence is a transport bug by definition.
+
+   Process-lifetime constraint: OCaml forbids [Unix.fork] once any
+   domain has ever been spawned, so every socket test here is declared
+   (and therefore runs) before the first domains test. Keep it that way
+   when adding cases. DPRBG_TRANSPORT_BACKENDS ("sim,domains" etc.)
+   restricts which byte-level backends run — CI uses it to keep socket
+   in the nightly soak only. *)
+
+module F = Gf2k.GF16
+module SC = Sealed_coin.Make (F)
+module CE = Coin_expose.Make (F)
+module P = Pool.Make (F)
+
+let backend_enabled b =
+  match Sys.getenv_opt "DPRBG_TRANSPORT_BACKENDS" with
+  | None -> true
+  | Some s ->
+      s |> String.split_on_char ','
+      |> List.exists (fun x -> String.trim x = Transport.backend_name b)
+
+(* ------------------------ transcripts ---------------------------- *)
+
+let render_values buf label values =
+  Buffer.add_string buf label;
+  Buffer.add_char buf ':';
+  Array.iter
+    (function
+      | None -> Buffer.add_string buf "-,"
+      | Some v ->
+          Buffer.add_string buf (F.to_string v);
+          Buffer.add_char buf ',')
+    values;
+  Buffer.add_char buf '\n'
+
+let render_evidence buf ledger =
+  Buffer.add_string buf "evidence:";
+  Array.iteri
+    (fun player counts ->
+      Buffer.add_string buf (string_of_int player);
+      Buffer.add_char buf '[';
+      Array.iter
+        (fun c ->
+          Buffer.add_string buf (string_of_int c);
+          Buffer.add_char buf ' ')
+        counts;
+      Buffer.add_char buf ']')
+    (Sentinel.Ledger.dump ledger);
+  Buffer.add_char buf '\n'
+
+let faulty_plan ~seed () =
+  Transport.Plan.make ~drop:0.15 ~delay:0.1 ~max_delay:2 ~duplicate:0.05
+    ~corrupt:0.05 ~reorder:0.2
+    ~crashes:[ (1, 2, Some 4) ]
+    ~retransmits:2 ~seed:((seed * 7) + 1) ()
+
+(* M dealer coins sealed from one PRNG, each exposed to all players;
+   the transcript is every player's decoded value for every coin, the
+   sentinel evidence the exposures accrued, the plan's fault tally, and
+   the exact metrics of the whole campaign. *)
+let expose_campaign ~n ~t ~m ~seed ~faulty () =
+  let buf = Buffer.create 512 in
+  let body () =
+    let g = Prng.of_int seed in
+    let ledger = Sentinel.Ledger.create ~config:Sentinel.passive ~n () in
+    Sentinel.with_ledger ledger (fun () ->
+        let coins = List.init m (fun _ -> SC.dealer_coin g ~n ~t) in
+        List.iteri
+          (fun k coin -> render_values buf (Printf.sprintf "coin%d" k) (CE.run coin))
+          coins);
+    render_evidence buf ledger
+  in
+  let run () =
+    if not faulty then body ()
+    else begin
+      let plan = faulty_plan ~seed () in
+      Transport.with_plan plan body;
+      Buffer.add_string buf
+        (Fmt.str "plan:%a\n" Transport.Plan.pp_stats (Transport.Plan.stats plan))
+    end
+  in
+  let (), metrics = Metrics.with_counting run in
+  Buffer.add_string buf (Fmt.str "metrics:%a\n" Metrics.pp metrics);
+  Buffer.contents buf
+
+(* A pool campaign additionally drives Coin-Gen refills — VSS dealing,
+   grade-cast, phase-king BA, the whole Fig. 5 pipeline — through the
+   backend, so every protocol layer physically crosses it. n = 13 is
+   the smallest Coin-Gen-legal size (n >= 6t + 1). *)
+let pool_campaign ~draws ~seed ~faulty () =
+  let buf = Buffer.create 512 in
+  let body () =
+    let pool =
+      P.create ~prng:(Prng.of_int seed) ~n:13 ~t:2 ~batch_size:8
+        ~refill_threshold:3 ~initial_seed:4 ()
+    in
+    (match
+       List.init draws (fun _ -> P.draw_kary pool)
+     with
+    | values ->
+        List.iteri
+          (fun k v ->
+            Buffer.add_string buf
+              (Printf.sprintf "draw%d:%s\n" k (F.to_string v)))
+          values
+    | exception P.Starved why ->
+        Buffer.add_string buf (Printf.sprintf "starved:%s\n" why));
+    let s = P.stats pool in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "stats:refills=%d refreshes=%d dealer=%d generated=%d seeds=%d \
+          exposed=%d ba=%d unanimity_failures=%d attempts=%d backoff=%d\n"
+         s.refills s.refreshes s.dealer_coins s.generated_coins
+         s.seed_coins_consumed s.coins_exposed s.ba_iterations
+         s.unanimity_failures s.refill_attempts s.backoff_rounds)
+  in
+  let run () =
+    if not faulty then body ()
+    else begin
+      let plan =
+        Transport.Plan.make ~drop:0.05 ~delay:0.05 ~max_delay:2 ~reorder:0.1
+          ~retransmits:2 ~seed:((seed * 13) + 5) ()
+      in
+      Transport.with_plan plan body;
+      Buffer.add_string buf
+        (Fmt.str "plan:%a\n" Transport.Plan.pp_stats (Transport.Plan.stats plan))
+    end
+  in
+  let (), metrics = Metrics.with_counting run in
+  Buffer.add_string buf (Fmt.str "metrics:%a\n" Metrics.pp metrics);
+  Buffer.contents buf
+
+(* ------------------------- the matrix ---------------------------- *)
+
+let sizes = [ (7, 2); (16, 5) ]
+let batches = [ 1; 16 ]
+let seeds = [ 11; 12; 13 ]
+
+let matrix f =
+  List.iter
+    (fun (n, t) ->
+      List.iter
+        (fun m ->
+          List.iter
+            (fun seed ->
+              List.iter (fun faulty -> f ~n ~t ~m ~seed ~faulty)
+                [ false; true ])
+            seeds)
+        batches)
+    sizes
+
+(* On mismatch, keep the evidence: both transcripts plus a JSONL trace
+   of the campaign on each side, under transport-artifacts/ (uploaded
+   by CI on failure). *)
+let dump_artifacts ~name ~backend campaign oracle got =
+  let dir = "transport-artifacts" in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let file suffix = Filename.concat dir (name ^ suffix) in
+  let save path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  save (file ".sim.transcript") oracle;
+  save (file "." ^ Transport.backend_name backend ^ ".transcript") got;
+  let _, sim_trace = Trace.collect (fun () -> ignore (campaign ())) in
+  Trace.write_jsonl (file ".sim.trace.jsonl") sim_trace;
+  let _, backend_trace =
+    Transport.with_backend backend (fun () ->
+        Trace.collect (fun () -> ignore (campaign ())))
+  in
+  Trace.write_jsonl
+    (file "." ^ Transport.backend_name backend ^ ".trace.jsonl")
+    backend_trace
+
+let check_differential ~name ~backend campaign =
+  (* Warm-up outside the measured runs: the first field operations pay
+     one-time lazy table construction, which must not skew whichever
+     backend happens to run first. *)
+  ignore (campaign ());
+  let oracle = campaign () in
+  let got = Transport.with_backend backend campaign in
+  if not (String.equal oracle got) then
+    dump_artifacts ~name ~backend campaign oracle got;
+  Alcotest.(check string)
+    (Printf.sprintf "%s: %s == sim" name (Transport.backend_name backend))
+    oracle got
+
+let differential_expose backend () =
+  if not (backend_enabled backend) then
+    print_endline
+      ("[skip] " ^ Transport.backend_name backend
+     ^ " disabled by DPRBG_TRANSPORT_BACKENDS")
+  else
+    matrix (fun ~n ~t ~m ~seed ~faulty ->
+        let name =
+          Printf.sprintf "expose-n%d-t%d-m%d-s%d%s" n t m seed
+            (if faulty then "-faulty" else "")
+        in
+        check_differential ~name ~backend (expose_campaign ~n ~t ~m ~seed ~faulty))
+
+let differential_pool backend () =
+  if not (backend_enabled backend) then
+    print_endline
+      ("[skip] " ^ Transport.backend_name backend
+     ^ " disabled by DPRBG_TRANSPORT_BACKENDS")
+  else
+    List.iter
+      (fun faulty ->
+        let name =
+          Printf.sprintf "pool-n13-t2%s" (if faulty then "-faulty" else "")
+        in
+        let campaign = pool_campaign ~draws:5 ~seed:61 ~faulty in
+        (* The campaign only pins what it exercises: make sure Coin-Gen
+           actually refilled (VSS + grade-cast + BA all crossed the
+           backend) rather than starving or coasting on the seed. *)
+        let contains hay needle =
+          let h = String.length hay and n = String.length needle in
+          let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+          go 0
+        in
+        let transcript = campaign () in
+        Alcotest.(check bool)
+          (name ^ " drives a refill")
+          true
+          (contains transcript "refills=1" && not (contains transcript "starved"));
+        check_differential ~name ~backend campaign)
+      [ false; true ]
+
+(* ----------------------- pinning and tags ------------------------ *)
+
+(* The sim backend is the identity: running under [with_backend Sim]
+   must be bit-identical to running with no transport session at all. *)
+let test_sim_pinned () =
+  let campaign = expose_campaign ~n:7 ~t:2 ~m:4 ~seed:5 ~faulty:true in
+  ignore (campaign ());
+  let bare = campaign () in
+  let sim = Transport.with_backend Transport.Sim campaign in
+  Alcotest.(check string) "with_backend Sim == bare Net" bare sim
+
+let test_default_backend () =
+  Alcotest.(check string) "default backend" "sim"
+    (Transport.backend_name (Transport.current_backend ()))
+
+(* Traces finished inside a transport session carry the backend tag and
+   emit it as a leading meta line in JSONL. *)
+let test_trace_backend_tag () =
+  let _, bare = Trace.collect (fun () -> Trace.note "x") in
+  Alcotest.(check bool) "no tag outside session" true (bare.Trace.backend = None);
+  let _, tagged =
+    Transport.with_backend Transport.Sim (fun () ->
+        Trace.collect (fun () -> Trace.note "x"))
+  in
+  Alcotest.(check bool) "sim tag" true (tagged.Trace.backend = Some "sim");
+  let jsonl = Fmt.str "%a" Trace.pp_jsonl tagged in
+  let prefix = {|{"type":"meta","backend":"sim"}|} in
+  Alcotest.(check bool) "meta line" true
+    (String.length jsonl >= String.length prefix
+    && String.sub jsonl 0 (String.length prefix) = prefix)
+
+let test_domains_tag () =
+  if not (backend_enabled Transport.Domains) then print_endline "[skip]"
+  else begin
+    let _, tagged =
+      Transport.with_backend Transport.Domains (fun () ->
+          Trace.collect (fun () ->
+              ignore (expose_campaign ~n:7 ~t:2 ~m:1 ~seed:3 ~faulty:false ())))
+    in
+    Alcotest.(check bool) "domains tag" true
+      (tagged.Trace.backend = Some "domains")
+  end
+
+(* Same campaign, same backend, repeated: the worker interleaving must
+   never show through. *)
+let test_domains_deterministic () =
+  if not (backend_enabled Transport.Domains) then print_endline "[skip]"
+  else begin
+    let campaign = expose_campaign ~n:7 ~t:2 ~m:8 ~seed:99 ~faulty:true in
+    ignore (campaign ());
+    let first = Transport.with_backend Transport.Domains campaign in
+    for _ = 1 to 2 do
+      let again = Transport.with_backend Transport.Domains campaign in
+      Alcotest.(check string) "repeat run identical" first again
+    done
+  end
+
+let suite =
+  [
+    Alcotest.test_case "default backend is sim" `Quick test_default_backend;
+    Alcotest.test_case "sim backend pinned to bare Net" `Quick test_sim_pinned;
+    Alcotest.test_case "trace backend tag" `Quick test_trace_backend_tag;
+    (* Socket before domains: fork is forbidden once a domain exists. *)
+    Alcotest.test_case "differential: expose matrix (socket)" `Slow
+      (differential_expose Transport.Socket);
+    Alcotest.test_case "differential: pool pipeline (socket)" `Slow
+      (differential_pool Transport.Socket);
+    Alcotest.test_case "differential: expose matrix (domains)" `Slow
+      (differential_expose Transport.Domains);
+    Alcotest.test_case "differential: pool pipeline (domains)" `Slow
+      (differential_pool Transport.Domains);
+    Alcotest.test_case "domains runs are deterministic" `Slow
+      test_domains_deterministic;
+    Alcotest.test_case "trace tag under domains" `Quick test_domains_tag;
+  ]

@@ -95,6 +95,74 @@ let test_non_canonical_rejected () =
     (Invalid_argument "GF(2^20).of_bytes: non-canonical value") (fun () ->
       ignore (F20.of_bytes bad))
 
+(* ------------------ transport frames (Frame) --------------------- *)
+
+let frame_kinds = [ Frame.Msg; Frame.Round; Frame.End_of_round; Frame.Stop ]
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"frame roundtrip"
+    QCheck.(quad (int_range 0 3) (pair (int_range 0 0xFFFF) (int_range 0 0xFFFF))
+        (int_range 0 0xFFFFFFFF) (string_of_size (QCheck.Gen.int_range 0 512)))
+    (fun (k, (src, dst), uid, payload) ->
+      let kind = List.nth frame_kinds k in
+      let payload = Bytes.of_string payload in
+      let frame = Frame.encode kind ~src ~dst ~uid ~payload in
+      let hdr, payload' = Frame.decode frame in
+      hdr.Frame.kind = kind && hdr.Frame.src = src && hdr.Frame.dst = dst
+      && hdr.Frame.uid = uid
+      && hdr.Frame.length = Bytes.length payload
+      && Bytes.equal payload payload')
+
+(* Hostile input must surface as the typed Frame.Error — never an
+   out-of-bounds access, a giant allocation, or a silent success. *)
+let prop_frame_garbage_is_typed =
+  QCheck.Test.make ~count:500 ~name:"garbage frames raise typed errors"
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 64))
+    (fun s ->
+      match Frame.decode (Bytes.of_string s) with
+      | _ -> true (* vanishingly unlikely, but legal *)
+      | exception Frame.Error _ -> true
+      | exception _ -> false)
+
+let frame_error exp f =
+  match f () with
+  | _ -> Alcotest.fail "expected Frame.Error"
+  | exception Frame.Error e ->
+      Alcotest.(check string) "error" exp (Fmt.str "%a" Frame.pp_error e)
+
+let test_frame_adversarial () =
+  let good = Frame.encode Frame.Msg ~src:3 ~dst:4 ~uid:77 ~payload:(Bytes.of_string "hi") in
+  (* Truncations at every prefix length must be typed, never a crash. *)
+  for len = 0 to Bytes.length good - 1 do
+    match Frame.decode (Bytes.sub good 0 len) with
+    | _ -> Alcotest.fail "truncated frame decoded"
+    | exception Frame.Error (Frame.Truncated _) -> ()
+    | exception e -> Alcotest.fail ("truncation raised " ^ Printexc.to_string e)
+  done;
+  frame_error "3 trailing bytes after frame" (fun () ->
+      Frame.decode (Bytes.cat good (Bytes.of_string "xyz")));
+  let mangle pos v =
+    let b = Bytes.copy good in
+    Bytes.set_uint8 b pos v;
+    b
+  in
+  frame_error "bad frame magic 0xD900" (fun () -> Frame.decode (mangle 0 0x00));
+  frame_error "unsupported frame version 9" (fun () ->
+      Frame.decode (mangle 2 9));
+  frame_error "unknown frame kind 200" (fun () -> Frame.decode (mangle 3 200));
+  (* An announced length beyond the cap is refused before allocation. *)
+  let oversized = Bytes.copy good in
+  Bytes.set_uint16_le oversized 12 0xFFFF;
+  Bytes.set_uint16_le oversized 14 0xFFFF;
+  frame_error
+    (Printf.sprintf "oversized frame payload: %d bytes (limit %d)" 0xFFFFFFFF
+       Frame.max_payload)
+    (fun () -> Frame.decode oversized);
+  (* Encoder refuses out-of-range fields. *)
+  Alcotest.check_raises "src range"
+    (Invalid_argument "Frame.encode: src 70000 out of u16 range") (fun () ->
+      ignore (Frame.encode Frame.Msg ~src:70000 ~dst:0 ~uid:0 ~payload:Bytes.empty))
+
 let test_payload_size_formula () =
   Alcotest.(check int) "empty" 4 (C.payload_size ~clique:[] ~poly_sizes:[]);
   Alcotest.(check int) "typical"
@@ -110,7 +178,14 @@ let suite =
     Alcotest.test_case "codec composes" `Quick test_codec_composes;
     Alcotest.test_case "non-canonical rejected" `Quick test_non_canonical_rejected;
     Alcotest.test_case "payload size formula" `Quick test_payload_size_formula;
+    Alcotest.test_case "frame adversarial inputs" `Quick test_frame_adversarial;
   ]
   @ List.map
       (QCheck_alcotest.to_alcotest ~long:false)
-      [ prop_elt_roundtrip; prop_elt_array_roundtrip; prop_opt_elt_array_roundtrip ]
+      [
+        prop_elt_roundtrip;
+        prop_elt_array_roundtrip;
+        prop_opt_elt_array_roundtrip;
+        prop_frame_roundtrip;
+        prop_frame_garbage_is_typed;
+      ]
