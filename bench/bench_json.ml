@@ -275,6 +275,46 @@ let transport_rows ~smoke =
     { backend = "domains"; wall_ns = dom_ns; campaigns };
   ]
 
+(* Time-to-converge under real failures (DESIGN.md section 16): a
+   supervised expose campaign with [t] players SIGKILLed (socket) /
+   crashed (domains) at round 2. The row is the wall-clock of the whole
+   supervised run — kill detection, declaration, and the survivor
+   rounds that follow — with convergence asserted before the number is
+   reported: every post-kill coin still decodes for all n - t
+   survivors. Like the transport rows, this lands only in
+   BENCH_history.jsonl. *)
+type chaos_row = { cr_backend : string; killed : int; cr_wall_ns : float }
+
+let chaos_recovery_row ~smoke backend =
+  let n = 13 and t = 2 in
+  let m = if smoke then 3 else 8 in
+  let module C = Sealed_coin.Make (F) in
+  let module CE = Coin_expose.Make (F) in
+  let events =
+    List.init t (fun i ->
+        { Transport.Chaos.round = 2; player = i; action = Transport.Chaos.Kill })
+  in
+  let campaign () =
+    let g = Prng.of_int 9901 in
+    let plan = Transport.Plan.make ~seed:17 () in
+    Transport.with_chaos events (fun () ->
+        Transport.with_supervision ~deadline:0.25 ~retries:2 ~backoff:2.0
+          ~fault_bound:t (fun () ->
+            Transport.with_plan plan (fun () ->
+                Array.init m (fun _ -> CE.run (C.dealer_coin g ~n ~t)))))
+  in
+  let t0 = Unix.gettimeofday () in
+  let values = Transport.with_backend backend campaign in
+  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let decoded =
+    Array.fold_left (fun a v -> if v <> None then a + 1 else a) 0 values.(m - 1)
+  in
+  check_same
+    (Printf.sprintf "chaos_recovery (%s): survivors failed to converge"
+       (Transport.backend_name backend))
+    (decoded >= n - t);
+  { cr_backend = Transport.backend_name backend; killed = t; cr_wall_ns = wall_ns }
+
 (* --- emission ------------------------------------------------------ *)
 
 let json_of_entry e =
@@ -316,12 +356,17 @@ let run ~smoke ~path =
   close_out oc;
   (* One compact line per run appended to the trajectory log, so the
      repo accumulates a machine-readable bench history across PRs. *)
+  (* Fork-before-domains ordering: the socket chaos row runs before
+     transport_rows spawns its first domain, the domains chaos row
+     after everything that forks. *)
+  let chaos_socket = chaos_recovery_row ~smoke Transport.Socket in
   let transports = transport_rows ~smoke in
+  let chaos_rows = [ chaos_socket; chaos_recovery_row ~smoke Transport.Domains ] in
   let history = Filename.concat (Filename.dirname path) "BENCH_history.jsonl" in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history in
   Printf.fprintf oc
     "{\"schema\": \"dprbg-bench-history/1\", \"mode\": %S, \"ops\": [%s], \
-     \"transports\": [%s]}\n"
+     \"transports\": [%s], \"chaos_recovery\": [%s]}\n"
     (if smoke then "smoke" else "full")
     (String.concat ", "
        (List.map
@@ -337,7 +382,14 @@ let run ~smoke ~path =
             Printf.sprintf
               "{\"backend\": %S, \"campaigns\": %d, \"wall_ns\": %.1f}"
               r.backend r.campaigns r.wall_ns)
-          transports));
+          transports))
+    (String.concat ", "
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "{\"backend\": %S, \"killed\": %d, \"wall_ns\": %.1f}"
+              r.cr_backend r.killed r.cr_wall_ns)
+          chaos_rows));
   close_out oc;
   Printf.printf "wrote %s (%s mode), appended %s\n" path
     (if smoke then "smoke" else "full")
@@ -354,6 +406,12 @@ let run ~smoke ~path =
         r.backend r.campaigns r.wall_ns
         (r.wall_ns /. float_of_int r.campaigns))
     transports;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  chaos_recovery %-8s %d killed at round 2, converged in %10.1f ns\n"
+        r.cr_backend r.killed r.cr_wall_ns)
+    chaos_rows;
   (let ledger = List.find_opt (fun e -> e.op = "coin_expose_ledger") entries in
    match ledger with
    | Some e when e.naive_ns > 0. ->

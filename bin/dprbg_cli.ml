@@ -60,6 +60,31 @@ let transport_arg =
     & opt backend_conv Transport.Sim
     & info [ "transport" ] ~docv:"BACKEND" ~doc)
 
+let transport_timeout_arg =
+  let doc =
+    "Per-read receive timeout for the byte backends, in seconds. Takes \
+     precedence over the $(b,DPRBG_TRANSPORT_TIMEOUT) environment variable \
+     (default 60). Must be positive."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "transport-timeout" ] ~docv:"SECONDS" ~doc)
+
+let apply_transport_timeout t =
+  (try Transport.set_timeout_override t
+   with Invalid_argument _ ->
+     Printf.eprintf "error: --transport-timeout must be a positive number\n";
+     exit 2);
+  (* Force the effective timeout now: a malformed DPRBG_TRANSPORT_TIMEOUT
+     is a configuration error and should die as one, up front, not as an
+     uncaught exception from the middle of a session. *)
+  match Transport.timeout () with
+  | _ -> ()
+  | exception Transport.Backend_failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+
 (* ------------------------------------------------------------------ *)
 
 let coins_cmd =
@@ -69,7 +94,8 @@ let coins_cmd =
   let bits =
     Arg.(value & flag & info [ "bits" ] ~doc:"Draw binary coins instead of k-ary ones.")
   in
-  let run () seed t count bits transport =
+  let run () seed t count bits transport timeout =
+    apply_transport_timeout timeout;
     Transport.with_backend transport @@ fun () ->
     let n = n_for t in
     let pool =
@@ -97,7 +123,7 @@ let coins_cmd =
   in
   Cmd.v info
     Term.(const run $ setup_logs $ seed_arg $ t_arg $ count $ bits
-          $ transport_arg)
+          $ transport_arg $ transport_timeout_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -294,7 +320,9 @@ let pool_cmd =
              leader rotation. Without this flag the ledger is passive \
              (evidence is recorded but never acted on).")
   in
-  let run () seed t state_file draws fresh suspects quarantine transport =
+  let run () seed t state_file draws fresh suspects quarantine transport
+      timeout =
+    apply_transport_timeout timeout;
     Transport.with_backend transport @@ fun () ->
     let n = n_for t in
     let sentinel =
@@ -369,7 +397,7 @@ let pool_cmd =
   Cmd.v info
     Term.(
       const run $ setup_logs $ seed_arg $ t_arg $ state_file $ draws $ fresh
-      $ suspects $ quarantine $ transport_arg)
+      $ suspects $ quarantine $ transport_arg $ transport_timeout_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -668,7 +696,8 @@ let transport_cmd =
       & info [ "faulty" ]
           ~doc:"Run each campaign under a degraded Net.Plan schedule.")
   in
-  let run () seed t iters draws faulty backend =
+  let run () seed t iters draws faulty backend timeout =
+    apply_transport_timeout timeout;
     if backend = Transport.Sim then begin
       Printf.eprintf "error: --backend must be domains or socket\n";
       exit 2
@@ -749,7 +778,245 @@ let transport_cmd =
   Cmd.v info
     Term.(
       const run $ setup_logs $ seed_arg $ t_arg $ iters $ draws $ faulty
-      $ backend)
+      $ backend $ transport_timeout_arg)
+
+(* ------------------------------------------------------------------ *)
+
+(* Chaos soak: inflict seeded *real* failures — SIGKILLed player
+   processes, stalled peers, garbled streams — on a supervised byte
+   backend and check the run against the sim oracle with the equivalent
+   simulated crash schedule. Within the fault bound the transcripts must
+   match (exactly for kills/stalls; truncation additionally accrues
+   Undecodable evidence the simulator cannot produce, so only the draws
+   are compared); past the bound the run must refuse in Safe_mode (exit
+   6) rather than hang or crash. *)
+let chaos_cmd =
+  let kills =
+    Arg.(value & opt int 1 & info [ "kill" ] ~docv:"N" ~doc:"Peers to SIGKILL.")
+  in
+  let stalls =
+    Arg.(
+      value & opt int 0
+      & info [ "stall" ] ~docv:"N"
+          ~doc:
+            "Peers to wedge for $(b,--stall-duration) seconds (under the \
+             retry budget the read deadline machinery recovers them; over \
+             it they are declared dead).")
+  in
+  let truncates =
+    Arg.(
+      value & opt int 0
+      & info [ "truncate" ] ~docv:"N"
+          ~doc:
+            "Peers whose stream gets undecodable bytes injected mid-run \
+             (attributed as Undecodable evidence).")
+  in
+  let stall_duration =
+    Arg.(
+      value & opt float 0.4
+      & info [ "stall-duration" ] ~docv:"SECONDS"
+          ~doc:"How long a stalled peer stays wedged.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 0.25
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-attempt supervised read deadline (2 retries, 2x backoff).")
+  in
+  let iters =
+    Arg.(
+      value & opt int 1
+      & info [ "iters" ] ~docv:"N"
+          ~doc:"Iterations; iteration $(i,k) uses seed SEED+$(i,k).")
+  in
+  let draws =
+    Arg.(value & opt int 3 & info [ "draws" ] ~docv:"N" ~doc:"Pool draws per iteration.")
+  in
+  let run () seed t kills stalls truncates stall_duration deadline iters draws
+      backend timeout =
+    apply_transport_timeout timeout;
+    if backend = Transport.Sim then begin
+      Printf.eprintf "error: --transport must be domains or socket\n";
+      exit 2
+    end;
+    if kills + stalls + truncates = 0 then begin
+      Printf.eprintf "error: schedule at least one fault (--kill/--stall/--truncate)\n";
+      exit 2
+    end;
+    let n = n_for t in
+    if kills + stalls + truncates > n then begin
+      Printf.eprintf "error: more victims than players (n=%d)\n" n;
+      exit 2
+    end;
+    let retries = 2 and backoff = 2.0 in
+    let cfg =
+      Transport.Supervisor.make ~deadline ~retries ~backoff ~fault_bound:t ()
+    in
+    let budget = Transport.Supervisor.total_budget cfg in
+    (* A run's transcript: the drawn coins, the sentinel evidence rows,
+       the fault tally and the cost vector — everything the equivalence
+       contract covers. [crashes] is the plan's static schedule (the sim
+       oracle's stand-in for the real failures); [real] runs the chaos
+       schedule under supervision instead. *)
+    let transcript ~s ~events ~crashes ~real () =
+      let buf = Buffer.create 512 in
+      let plan = Transport.Plan.make ~crashes ~seed:((s * 17) + 3) () in
+      let body () =
+        let pool =
+          Pool.create ~prng:(Prng.of_int s) ~n ~t ~batch_size:8
+            ~refill_threshold:3 ~initial_seed:4 ()
+        in
+        (match List.init draws (fun _ -> Pool.draw_kary pool) with
+        | values ->
+            List.iteri
+              (fun k v ->
+                Buffer.add_string buf
+                  (Printf.sprintf "draw%d:%s\n" k (F.to_string v)))
+              values
+        | exception Pool.Starved why ->
+            Buffer.add_string buf (Printf.sprintf "starved:%s\n" why));
+        match Pool.ledger pool with
+        | None -> ()
+        | Some ledger ->
+            Array.iteri
+              (fun p row ->
+                if Array.exists (fun c -> c > 0) row then
+                  Buffer.add_string buf
+                    (Printf.sprintf "evidence:p%d:%s\n" p
+                       (String.concat ","
+                          (List.map string_of_int (Array.to_list row)))))
+              (Sentinel.Ledger.dump ledger)
+      in
+      let safe = ref None in
+      (let (), metrics =
+         Metrics.with_counting (fun () ->
+             try
+               if real then
+                 Transport.with_chaos events (fun () ->
+                     Transport.with_supervision ~deadline ~retries ~backoff
+                       ~fault_bound:t (fun () ->
+                         Transport.with_plan plan body))
+               else Transport.with_plan plan body
+             with
+             | Transport.Safe_mode msg -> safe := Some ("transport: " ^ msg)
+             | Pool.Safe_mode msg -> safe := Some ("pool: " ^ msg))
+       in
+       Buffer.add_string buf
+         (Fmt.str "plan:%a\n" Transport.Plan.pp_stats
+            (Transport.Plan.stats plan));
+       Buffer.add_string buf (Fmt.str "metrics:%a\n" Metrics.pp metrics));
+      (Buffer.contents buf, !safe)
+    in
+    let is_evidence l = String.length l >= 9 && String.sub l 0 9 = "evidence:" in
+    let non_evidence_lines transcript =
+      List.filter
+        (fun l -> not (is_evidence l))
+        (String.split_on_char '\n' transcript)
+    in
+    (* An Undecodable count (last column, [Sentinel.all_kinds] order) on
+       some player's evidence row — what a truncation must leave behind. *)
+    let has_undecodable transcript =
+      List.exists
+        (fun l ->
+          is_evidence l
+          &&
+          match String.rindex_opt l ',' with
+          | Some i -> String.sub l (i + 1) (String.length l - i - 1) <> "0"
+          | None -> false)
+        (String.split_on_char '\n' transcript)
+    in
+    (* Warm lazy field tables so they don't skew the first comparison. *)
+    ignore
+      (transcript ~s:seed ~events:[] ~crashes:[] ~real:false ());
+    let failures = ref 0 and safe_modes = ref 0 in
+    for k = 0 to iters - 1 do
+      let s = seed + k in
+      let events =
+        Transport.Chaos.schedule ~seed:s ~n ~kills ~stalls ~truncates
+          ~stall_duration ~first_round:2 ~last_round:5 ()
+      in
+      let sim = Transport.Chaos.sim_crashes ~budget events in
+      (* Every kill, permanent stall and truncation is one distinct real
+         fault; recovered stalls cost nothing. *)
+      let fatal = List.length sim in
+      List.iter
+        (fun e -> Format.printf "  %a@." Transport.Chaos.pp_event e)
+        events;
+      (* Warm the shared memo tables (subset weights etc.) on the exact
+         crash configuration under test, so neither compared run pays
+         cold-cache field ops the other inherits. *)
+      if fatal <= t then
+        ignore (transcript ~s ~events:[] ~crashes:sim ~real:false ());
+      let real, real_safe =
+        Transport.with_backend backend (fun () ->
+            transcript ~s ~events ~crashes:[] ~real:true ())
+      in
+      if fatal > t then begin
+        match real_safe with
+        | Some why ->
+            incr safe_modes;
+            Printf.printf "iter %3d seed=%d SAFE-MODE as expected (%s)\n%!" k s
+              why
+        | None ->
+            incr failures;
+            Printf.printf
+              "iter %3d seed=%d FAILED: %d real faults > t=%d but no safe \
+               mode\n\
+               %!"
+              k s fatal t
+      end
+      else begin
+        let oracle, oracle_safe =
+          transcript ~s ~events:[] ~crashes:sim ~real:false ()
+        in
+        let ok =
+          oracle_safe = None && real_safe = None
+          &&
+          if truncates = 0 then String.equal oracle real
+          else
+            (* Truncation: the coin stream and tallies must match the
+               crash-equivalent oracle, and the mangled stream must have
+               been attributed as Undecodable — evidence the simulator
+               cannot produce, hence excluded from the equality. *)
+            non_evidence_lines oracle = non_evidence_lines real
+            && has_undecodable real
+        in
+        if ok then Printf.printf "iter %3d seed=%d OK\n%!" k s
+        else begin
+          incr failures;
+          Printf.printf "iter %3d seed=%d MISMATCH\n" k s;
+          Printf.printf "--- sim oracle (crashes at the same rounds)\n%s" oracle;
+          Printf.printf "--- %s under chaos\n%s%!"
+            (Transport.backend_name backend)
+            real;
+          Printf.printf
+            "replay: dprbg chaos --transport %s --seed %d --t %d --kill %d \
+             --stall %d --truncate %d --iters 1\n\
+             %!"
+            (Transport.backend_name backend)
+            s t kills stalls truncates
+        end
+      end
+    done;
+    Printf.printf "# %d/%d chaos iterations behaved per contract on %s\n"
+      (iters - !failures) iters
+      (Transport.backend_name backend);
+    if !failures > 0 then exit 1;
+    if !safe_modes > 0 then exit 6
+  in
+  let info =
+    Cmd.info "chaos"
+      ~doc:
+        "Inflict real peer failures (SIGKILL, stalls, truncated frames) on a \
+         supervised byte backend and verify crash-tolerant coin runs against \
+         the sim oracle; exits 6 when the fault bound is exceeded and safe \
+         mode engages."
+  in
+  Cmd.v info
+    Term.(
+      const run $ setup_logs $ seed_arg $ t_arg $ kills $ stalls $ truncates
+      $ stall_duration $ deadline $ iters $ draws $ transport_arg
+      $ transport_timeout_arg)
 
 let main =
   let doc = "Distributed pseudo-random bit generators (PODC 1996) simulator" in
@@ -757,7 +1024,7 @@ let main =
   Cmd.group info
     [
       coins_cmd; soundness_cmd; costs_cmd; agreement_cmd; pool_cmd; fuzz_cmd;
-      trace_cmd; transport_cmd;
+      trace_cmd; transport_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -71,7 +71,17 @@ module Make (F : Field_intf.S) = struct
              not negative — guard on m, not on e. *)
           let e = (m - t - 1) / 2 in
           let value =
-            if m <= t then None
+            if m <= t then begin
+              (* Too few trusted shares survived (crashes past the
+                 budget, quarantine, silence): reconstruction is
+                 impossible, never approximate. Leave a breadcrumb for
+                 chaos post-mortems — forced only when tracing. *)
+              Trace.event (fun () ->
+                  Trace.Note
+                    (Printf.sprintf
+                       "p%d: reconstruction impossible (m=%d <= t=%d)" i m t));
+              None
+            end
             else
               (* Fast path: when every trusted share lies on one degree-<= t
                  polynomial (the overwhelmingly common, fault-free case) the

@@ -118,21 +118,35 @@ module Make (F : Field_intf.S) = struct
     | None -> f ()
     | Some ledger -> Sentinel.with_ledger ledger f
 
-  (* Safe mode: when the evidence implies more than t corrupted players
-     the fault assumptions underpinning reconstruction are void, so the
-     pool refuses to vend coins rather than serve possibly-biased
-     randomness. The diagnostic embeds the full suspicion table. *)
+  (* Safe mode: when the implied fault count exceeds t the assumptions
+     underpinning reconstruction are void, so the pool refuses to vend
+     coins rather than serve possibly-biased randomness. Implied faults
+     are the union of quarantined players (ledger evidence) and players
+     the supervised transport session has declared physically dead —
+     each voids one slot of the fault budget, and a player that is both
+     counts once. The diagnostic embeds the full suspicion table. *)
   let guard_safe_mode p =
-    match p.ledger with
-    | None -> ()
-    | Some ledger ->
-        let q = Sentinel.Ledger.quarantined_count ledger in
-        if q > p.fault_bound then
-          raise
-            (Safe_mode
-               (Format.asprintf
-                  "evidence implies %d faults > t = %d; refusing draws@.%a" q
-                  p.fault_bound Sentinel.Ledger.pp_table ledger))
+    let quarantined =
+      match p.ledger with
+      | None -> []
+      | Some ledger -> Sentinel.Ledger.quarantine_set ledger
+    in
+    let dead = List.map fst (Transport.session_deaths ~n:p.n) in
+    let implied = List.sort_uniq compare (quarantined @ dead) in
+    if List.length implied > p.fault_bound then
+      let table =
+        match p.ledger with
+        | Some ledger when quarantined <> [] ->
+            Format.asprintf "@.%a" Sentinel.Ledger.pp_table ledger
+        | _ -> ""
+      in
+      raise
+        (Safe_mode
+           (Printf.sprintf
+              "evidence implies %d faults > t = %d (%d quarantined, %d \
+               really dead); refusing draws%s"
+              (List.length implied) p.fault_bound (List.length quarantined)
+              (List.length dead) table))
 
   (* Expose the next sealed coin and return the honest players' majority
      reconstruction. Counts a unanimity failure when any player's

@@ -26,9 +26,18 @@ module Plan = struct
     corrupt : int;
     reorder : int;
     crashes : (int * int * int option) list;
+    (* Supervised real failures: (player, from_round) crash-stop marks
+       added mid-run by the transport supervision layer when a physical
+       peer dies. Semantically identical to a [crashes] entry with no
+       recovery round. *)
+    mutable real_crashes : (int * int) list;
     retransmits : int;
     bounded : bool;
     mutable round : int;
+    (* True while a [deliver] barrier is in progress: the round clock
+       has already advanced to the round being delivered, so the "round
+       currently being formed" is [round] rather than [round + 1]. *)
+    mutable delivering : bool;
     (* (attempt, attempts) while inside a retransmit envelope. *)
     mutable envelope : (int * int) option;
     mutable dropped : int;
@@ -68,9 +77,11 @@ module Plan = struct
       corrupt = bp "corrupt" corrupt;
       reorder = bp "reorder" reorder;
       crashes;
+      real_crashes = [];
       retransmits;
       bounded;
       round = 0;
+      delivering = false;
       envelope = None;
       dropped = 0;
       delayed = 0;
@@ -83,17 +94,47 @@ module Plan = struct
   let retransmits p = p.retransmits
   let rounds_elapsed p = p.round
   let advance_round p = p.round <- p.round + 1
+  let begin_delivery p = p.delivering <- true
+  let end_delivery p = p.delivering <- false
+
+  (* The round whose messages are currently in flight: during the send
+     phase the upcoming round, during a [deliver] barrier the round the
+     (already advanced) clock points at. This is the round a supervised
+     real failure is pinned to, whichever phase detected it. *)
+  let forming_round p = if p.delivering then max 1 p.round else p.round + 1
 
   (* Down during [from, until): a crashed player sends and receives
-     nothing; with [until = None] it never recovers (crash-stop). *)
+     nothing; with [until = None] it never recovers (crash-stop).
+     Supervised real crashes are crash-stop marks on the same clock. *)
   let down_at p r i =
     List.exists
       (fun (j, from, until) ->
         j = i && from <= r
         && match until with None -> true | Some u -> r < u)
       p.crashes
+    || List.exists (fun (j, from) -> j = i && from <= r) p.real_crashes
+
+  let really_down_at p r i =
+    List.exists (fun (j, from) -> j = i && from <= r) p.real_crashes
 
   let down p i = down_at p (p.round + 1) i
+
+  (* Supervision hook: a physical peer died (killed process, poisoned
+     domain, stream past its deadline) and the transport layer is
+     converting it into a tolerated crash-stop fault starting at the
+     round currently being formed — the exact semantics a static
+     [crashes] entry at that round would have had. Returns whether the
+     mark is new (the peer was not already down this round). *)
+  let mark_crashed p ~player =
+    let r = forming_round p in
+    if down_at p r player then false
+    else begin
+      p.real_crashes <- (player, r) :: p.real_crashes;
+      true
+    end
+
+  let real_crashes p = List.sort compare p.real_crashes
+  let real_crash_count p = List.length p.real_crashes
 
   let hit p basis = basis > 0 && Prng.int p.prng 10000 < basis
 
@@ -341,7 +382,23 @@ let deliver t =
   Trace.span Trace.Round "net.round" @@ fun () ->
   Metrics.tick_round ();
   t.rounds <- t.rounds + 1;
-  (match t.plan with Some plan -> Plan.advance_round plan | None -> ());
+  (match t.plan with
+  | Some plan ->
+      Plan.advance_round plan;
+      Plan.begin_delivery plan
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      match t.plan with Some plan -> Plan.end_delivery plan | None -> ())
+  @@ fun () ->
+  (* Uids below this boundary belong to this round's send phase; uids at
+     or above it are delayed messages maturing below. The distinction
+     matters for supervised crashes: a real death detected this round
+     voids the victim's fresh sends (a simulated crash would have
+     suppressed them at send time), but an in-flight delayed copy left
+     the sender before it died and is still delivered, as in the
+     simulator. *)
+  let fresh_boundary = t.next_uid in
   (* Mature the delayed messages whose arrival round has come; they slot
      in ahead of this round's fresh sends so a retransmitted copy
      supersedes a stale one. *)
@@ -362,6 +419,22 @@ let deliver t =
         Array.fold_left (fun acc q -> acc + List.length q) 0 t.queues
       in
       m "round %d: delivering %d messages to %d players" t.rounds pending t.n);
+  (* Collect from the carrier before deciding inbox fates: a supervised
+     backend detects real peer deaths inside this barrier and marks them
+     in the plan, and this round's crash voiding below must already see
+     those marks for a real crash to be byte-identical to a simulated
+     one at the same round. All posts for this round (fresh sends and
+     matured delays) have already happened. *)
+  let arrived =
+    match t.carrier with
+    | None -> None
+    | Some c ->
+        let tbl = Hashtbl.create 64 in
+        Array.iter
+          (List.iter (fun (uid, msg) -> Hashtbl.replace tbl uid msg))
+          (c.Carrier.collect ());
+        Some tbl
+  in
   let tagged =
     Array.mapi
       (fun dst queue ->
@@ -385,17 +458,35 @@ let deliver t =
             | None -> inbox))
       t.queues
   in
+  (* Void the fresh sends of supervised-crashed players. A simulated
+     crash suppresses them in [send] (counting each), but a real death
+     is only detected after the messages were queued and posted — drop
+     and count them here so the inboxes and fault tallies line up with
+     the equivalent simulated schedule. Delayed copies (uid at or past
+     the boundary) stay: they left the sender while it was alive. *)
+  let tagged =
+    match t.plan with
+    | Some plan when Plan.real_crash_count plan > 0 ->
+        let now = Plan.rounds_elapsed plan in
+        Array.map
+          (List.filter (fun (src, uid, _) ->
+               if uid < fresh_boundary && Plan.really_down_at plan now src
+               then begin
+                 Plan.count_crashed_msg plan;
+                 false
+               end
+               else true))
+          tagged
+    | _ -> tagged
+  in
   let inbox =
-    match t.carrier with
-    | None -> Array.map (List.map (fun (src, _, msg) -> (src, msg))) tagged
-    | Some c ->
+    match (t.carrier, arrived) with
+    | None, _ | _, None ->
+        Array.map (List.map (fun (src, _, msg) -> (src, msg))) tagged
+    | Some c, Some arrived ->
         (* Materialize each inbox entry from the value that physically
            traversed the carrier, matched by uid. A missing uid means
            the backend lost a frame the coordinator accounted for. *)
-        let arrived = Hashtbl.create 64 in
-        Array.iter
-          (List.iter (fun (uid, msg) -> Hashtbl.replace arrived uid msg))
-          (c.Carrier.collect ());
         Array.map
           (List.map (fun (src, uid, _) ->
                match Hashtbl.find_opt arrived uid with

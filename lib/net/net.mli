@@ -80,6 +80,32 @@ module Plan : sig
   val down : t -> int -> bool
   (** Is this player crashed in the upcoming round? *)
 
+  (** {2 Supervised real failures}
+
+      The transport supervision layer (DESIGN.md section 16) converts a
+      {e physical} peer failure — killed process, poisoned domain,
+      stream past its read deadline — into a tolerated crash-stop fault
+      by marking the peer here. A marked peer behaves exactly like a
+      static [crashes] entry starting at the round the failure was
+      detected in: its sends vanish (fresh sends already queued this
+      round are voided and counted at the barrier), its inbox is
+      voided, and it never recovers. *)
+
+  val mark_crashed : t -> player:int -> bool
+  (** Mark [player] crash-stopped from the round currently being formed
+      (the upcoming round during a send phase, the in-progress round
+      during a {!Net.deliver} barrier). Returns [false] — and changes
+      nothing — if the player is already down this round. *)
+
+  val forming_round : t -> int
+  (** The round whose messages are currently in flight on the plan's
+      global clock (1-based): where {!mark_crashed} pins a failure. *)
+
+  val real_crashes : t -> (int * int) list
+  (** Supervised [(player, from_round)] crash marks, sorted. *)
+
+  val real_crash_count : t -> int
+
   type stats = {
     dropped : int;
     delayed : int;

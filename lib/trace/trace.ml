@@ -12,6 +12,8 @@ type event =
       score : int;
       quarantined : bool;
     }
+  | Crash of { player : int; round : int; reason : string }
+  | Stall of { player : int; attempt : int }
   | Note of string
 
 type span = {
@@ -184,6 +186,10 @@ let pp_event ppf = function
   | Suspicion { player; evidence; score; quarantined } ->
       Fmt.pf ppf "suspicion p%d %s score=%d%s" player evidence score
         (if quarantined then " QUARANTINED" else "")
+  | Crash { player; round; reason } ->
+      Fmt.pf ppf "crash p%d round=%d (%s)" player round reason
+  | Stall { player; attempt } ->
+      Fmt.pf ppf "stall p%d attempt=%d" player attempt
   | Note msg -> Fmt.pf ppf "note %S" msg
 
 let pp ppf t =
@@ -253,6 +259,13 @@ let pp_jsonl ppf t =
           Printf.sprintf
             "\"event\":\"suspicion\",\"player\":%d,\"evidence\":%s,\"score\":%d,\"quarantined\":%b"
             player (json_string evidence) score quarantined
+      | Crash { player; round; reason } ->
+          Printf.sprintf
+            "\"event\":\"crash\",\"player\":%d,\"round\":%d,\"reason\":%s"
+            player round (json_string reason)
+      | Stall { player; attempt } ->
+          Printf.sprintf "\"event\":\"stall\",\"player\":%d,\"attempt\":%d"
+            player attempt
       | Note msg -> Printf.sprintf "\"event\":\"note\",\"text\":%s" (json_string msg)
     in
     Fmt.pf ppf "{\"type\":\"event\",\"span\":%d,\"seq\":%d,%s}@." parent seq
@@ -332,7 +345,7 @@ let pp_timeline ppf t =
     | Reconstruct { player; ok } ->
         let s, rv, b, v, _ = get player r_last in
         set player r_last (s, rv, b, v, Some ok)
-    | Suspicion _ | Note _ -> ()
+    | Suspicion _ | Crash _ | Stall _ | Note _ -> ()
   in
   let rec go = function
     | Event (_, e) -> mark_event !rounds (max 0 (!rounds - 1)) e

@@ -45,6 +45,13 @@ type event =
       (** a sentinel ledger update: [player] accrued a piece of evidence
           named [evidence], its suspicion total is now [score], and
           [quarantined] says whether it crossed the quarantine line *)
+  | Crash of { player : int; round : int; reason : string }
+      (** the transport supervisor declared a physical peer dead at
+          [round] (on the ambient plan's clock) and converted it into a
+          tolerated crash-stop fault *)
+  | Stall of { player : int; attempt : int }
+      (** a supervised read from this peer missed its deadline and is
+          being retried ([attempt] is 1-based) *)
   | Note of string  (** free-form annotation *)
 
 type span = {

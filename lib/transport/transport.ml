@@ -20,36 +20,62 @@ let all_backends = [ Sim; Domains; Socket ]
 
 exception Backend_failure = Transport_error.Backend_failure
 
+module Supervisor = Transport_supervisor
+module Chaos = Transport_chaos
+
+let with_supervision = Transport_supervisor.with_supervision
+let with_chaos = Transport_chaos.with_chaos
+
+exception Safe_mode = Transport_supervisor.Safe_mode
+
 let default_timeout = 60.0
 
+(* Overrides come from the CLI's --transport-timeout flag; the env var
+   is the fallback. A malformed or non-positive env value is a
+   configuration error and is rejected loudly — silently running with
+   the default timeout turns a typo into an hour of hung soak. *)
+let timeout_override : float option ref = ref None
+
+let set_timeout_override t =
+  (match t with
+  | Some t when t <= 0.0 || t <> t ->
+      invalid_arg "Transport.set_timeout_override: timeout must be positive"
+  | _ -> ());
+  timeout_override := t
+
 let timeout () =
-  match Sys.getenv_opt "DPRBG_TRANSPORT_TIMEOUT" with
-  | Some s -> ( match float_of_string_opt s with Some t when t > 0.0 -> t | _ -> default_timeout)
-  | None -> default_timeout
+  match !timeout_override with
+  | Some t -> t
+  | None -> (
+      match Sys.getenv_opt "DPRBG_TRANSPORT_TIMEOUT" with
+      | None -> default_timeout
+      | Some s -> (
+          match float_of_string_opt (String.trim s) with
+          | Some t when t > 0.0 && t = t && t <> infinity -> t
+          | Some _ | None ->
+              Transport_error.fail
+                "DPRBG_TRANSPORT_TIMEOUT=%S is not a positive number of \
+                 seconds — fix or unset it (default %gs), or pass \
+                 --transport-timeout"
+                s default_timeout))
 
 (* One live worker group per player count: n domains or n processes,
-   shared by every network of that size created inside the session. *)
-type group = Gdomains of Transport_domains.t | Gsocket of Transport_socket.t
+   shared by every network of that size created inside the session.
+   Each group carries a supervision tracker — which peers have been
+   declared dead — so deadness is sticky across every network and
+   broadcast round of the session. *)
+type group = {
+  impl : group_impl;
+  gn : int;
+  tracker : Transport_supervisor.tracker;
+}
+
+and group_impl = Gdomains of Transport_domains.t | Gsocket of Transport_socket.t
 
 type session = { backend : backend; groups : (int, group) Hashtbl.t }
 
 let ambient : session option ref = ref None
 let current_backend () = match !ambient with None -> Sim | Some s -> s.backend
-
-let group_post g ~dst frame =
-  match g with
-  | Gdomains d -> Transport_domains.post d ~dst frame
-  | Gsocket s -> Transport_socket.post s ~dst frame
-
-let group_barrier g =
-  match g with
-  | Gdomains d -> Transport_domains.barrier d
-  | Gsocket s -> Transport_socket.barrier s
-
-let group_shutdown g =
-  match g with
-  | Gdomains d -> Transport_domains.shutdown d
-  | Gsocket s -> Transport_socket.shutdown s
 
 (* OCaml's [Unix.fork] is a one-way door: once any domain has ever been
    spawned in the process, fork is forbidden for the rest of its
@@ -62,7 +88,7 @@ let group session ~n =
   match Hashtbl.find_opt session.groups n with
   | Some g -> g
   | None ->
-      let g =
+      let impl =
         match session.backend with
         | Sim -> assert false (* sim sessions never build groups *)
         | Domains ->
@@ -76,8 +102,20 @@ let group session ~n =
                  a domain was spawned) — run socket sessions first";
             Gsocket (Transport_socket.create ~timeout:(timeout ()) ~n)
       in
+      let g = { impl; gn = n; tracker = Transport_supervisor.tracker ~n } in
       Hashtbl.add session.groups n g;
       g
+
+let group_shutdown g =
+  match g.impl with
+  | Gdomains d -> Transport_domains.shutdown d
+  | Gsocket s -> Transport_socket.shutdown s
+
+(* Chaos bookkeeping: (group size, player) pairs whose injected stall
+   should be resumed at the first missed read deadline (see the chaos
+   wiring below). Session-scoped; reset when a session closes so stale
+   entries cannot leak into the next one. *)
+let resumable_stalls : (int * int, unit) Hashtbl.t = Hashtbl.create 8
 
 let with_backend backend f =
   let session = { backend; groups = Hashtbl.create 4 } in
@@ -89,6 +127,7 @@ let with_backend backend f =
     ~finally:(fun () ->
       ambient := previous;
       Trace.set_backend_tag previous_tag;
+      Hashtbl.reset resumable_stalls;
       Hashtbl.iter (fun _ g -> group_shutdown g) session.groups)
     f
 
@@ -106,6 +145,113 @@ let with_plan = Net.with_plan
 let current_plan = Net.current_plan
 let retransmit_budget = Net.retransmit_budget
 
+(* ------------------- Supervision and chaos wiring ----------------- *)
+
+(* Fire every chaos event due at the round currently being formed on
+   the ambient plan's clock. Called at the head of each physical post
+   and each barrier, so an event scheduled for round r strikes before
+   round r's bytes move even in rounds with no traffic. A socket stall
+   shorter than the supervision budget is made recoverable: the child
+   is SIGSTOPped now and SIGCONTed from the read-retry path, so the
+   coordinator observes one missed deadline and a successful retry. *)
+let fire_chaos g =
+  if Transport_chaos.active () then
+    match Net.current_plan () with
+    | None -> ()
+    | Some plan ->
+        let round = Plan.forming_round plan in
+        List.iter
+          (fun (e : Transport_chaos.event) ->
+            if e.player >= 0 && e.player < g.gn then
+              match (g.impl, e.action) with
+              | Gsocket s, Transport_chaos.Kill ->
+                  Transport_socket.kill_peer s e.player
+              | Gsocket s, Transport_chaos.Stall d ->
+                  let budget =
+                    match Transport_supervisor.active () with
+                    | Some cfg -> Transport_supervisor.total_budget cfg
+                    | None -> timeout ()
+                  in
+                  Transport_socket.stall_peer s e.player;
+                  if d < budget then
+                    Hashtbl.replace resumable_stalls (g.gn, e.player) ()
+              | Gsocket s, Transport_chaos.Truncate ->
+                  Transport_socket.garble_peer s e.player
+              | Gdomains d, Transport_chaos.Kill ->
+                  Transport_domains.chaos_die d e.player
+              | Gdomains d, Transport_chaos.Stall dur ->
+                  Transport_domains.chaos_stall d e.player ~duration:dur
+              | Gdomains d, Transport_chaos.Truncate ->
+                  Transport_domains.post_garbage d e.player)
+          (Transport_chaos.due ~round)
+
+let on_stall g ~player ~attempt =
+  Trace.event (fun () -> Trace.Stall { player; attempt });
+  if Hashtbl.mem resumable_stalls (g.gn, player) then begin
+    Hashtbl.remove resumable_stalls (g.gn, player);
+    match g.impl with
+    | Gsocket s -> Transport_socket.resume_peer s player
+    | Gdomains _ -> ()
+  end
+
+let declare_dead g ~player failure =
+  match Transport_supervisor.active () with
+  | Some cfg -> Transport_supervisor.declare_dead cfg g.tracker ~player failure
+  | None ->
+      (* Unsupervised sessions keep the pre-supervision contract: the
+         first peer failure is fatal. *)
+      Transport_error.fail "%s: player %d %s"
+        (match g.impl with Gdomains _ -> "domains" | Gsocket _ -> "socket")
+        player failure.Transport_error.reason
+
+let peer_dead g player = Transport_supervisor.is_dead g.tracker player
+
+(* Physically post one frame, tolerating (under supervision) the
+   addressee being found dead at write time. A failed post does NOT
+   declare the peer dead: the frame is lost either way, and the round's
+   barrier — which sees the backend's failure classification (plain
+   death vs garbage-induced) — makes the declaration deterministically,
+   where a write-time EPIPE racing the barrier would not. *)
+let group_post g ~dst frame =
+  if not (peer_dead g dst) then
+    let post () =
+      match g.impl with
+      | Gdomains d -> Transport_domains.post d ~dst frame
+      | Gsocket s -> Transport_socket.post s ~dst frame
+    in
+    match Transport_supervisor.active () with
+    | None -> post ()
+    | Some _ -> ( try post () with Backend_failure _ -> ())
+
+(* Run the physical round barrier. Supervised: dead peers are skipped,
+   read deadlines/retries/backoff come from the config, and a peer
+   failure declares it dead (possibly raising [Safe_mode]) and yields
+   an empty hand-off — the coordinator's plan voids its inbox exactly
+   as for a simulated crash. Unsupervised: the session timeout is the
+   single read deadline and the first failure is fatal. *)
+let group_barrier g =
+  let skip = peer_dead g in
+  let results =
+    match (Transport_supervisor.active (), g.impl) with
+    | Some cfg, Gsocket s ->
+        Transport_socket.barrier ~skip ~deadline:cfg.deadline
+          ~retries:cfg.retries ~backoff:cfg.backoff ~on_stall:(on_stall g) s
+    | Some cfg, Gdomains d ->
+        Transport_domains.barrier ~skip ~deadline:cfg.deadline
+          ~retries:cfg.retries ~backoff:cfg.backoff ~on_stall:(on_stall g) d
+    | None, Gsocket s -> Transport_socket.barrier ~skip s
+    | None, Gdomains d ->
+        Transport_domains.barrier ~skip ~on_stall:(on_stall g) d
+  in
+  Array.mapi
+    (fun player result ->
+      match result with
+      | Ok frames -> frames
+      | Error failure ->
+          declare_dead g ~player failure;
+          [])
+    results
+
 (* --------------------------- Networks ----------------------------- *)
 
 type 'msg conn = 'msg Net.t
@@ -122,14 +268,40 @@ let carrier backend (encode, decode) g =
     Net.Carrier.name = backend_name backend;
     post =
       (fun ~src ~dst ~uid msg ->
+        fire_chaos g;
         group_post g ~dst
           (Frame.encode Frame.Msg ~src ~dst ~uid ~payload:(encode msg)));
     collect =
       (fun () ->
-        Array.map
-          (List.map (fun raw ->
-               let hdr, payload = Frame.decode raw in
-               (hdr.Frame.uid, decode payload)))
+        fire_chaos g;
+        Array.mapi
+          (fun player frames ->
+            (* A peer that echoes bytes failing to decode is mangling
+               its stream: under supervision that is an attributable
+               Undecodable death, not a coordinator crash. *)
+            match
+              List.map
+                (fun raw ->
+                  let hdr, payload = Frame.decode raw in
+                  (hdr.Frame.uid, decode payload))
+                frames
+            with
+            | inbox -> inbox
+            | exception Frame.Error e ->
+                (match Transport_supervisor.active () with
+                | None ->
+                    Transport_error.fail "%s: player %d echoed a bad frame: %s"
+                      (backend_name backend) player
+                      (Format.asprintf "%a" Frame.pp_error e)
+                | Some _ ->
+                    declare_dead g ~player
+                      {
+                        Transport_error.reason =
+                          Format.asprintf "echoed a bad frame: %a"
+                            Frame.pp_error e;
+                        undecodable = true;
+                      });
+                [])
           (group_barrier g));
   }
 
@@ -210,9 +382,11 @@ let bcast_degraded plan ?codec ~byte_size ~n announce =
    byte-level backend: each delivered announcement is framed once per
    receiver (uid = announcer id), the barrier hands every receiver its
    copies, and the vector every player observes is rebuilt from what
-   actually traversed the wire. Receivers must agree on which slots are
-   populated — a divergence is a backend bug, not a simulated fault,
-   because the channel by definition never equivocates. *)
+   actually traversed the wire. Live receivers must agree on which
+   slots are populated — a divergence is a backend bug, not a simulated
+   fault, because the channel by definition never equivocates. Peers
+   declared dead by the supervision layer receive nothing and are
+   exempt; if every receiver is dead the logical vector stands. *)
 let bcast_replicate session (encode, decode) ~n result =
   let g = group session ~n in
   Array.iteri
@@ -222,6 +396,7 @@ let bcast_replicate session (encode, decode) ~n result =
       | Some v ->
           let payload = encode v in
           for dst = 0 to n - 1 do
+            fire_chaos g;
             group_post g ~dst
               (Frame.encode Frame.Msg ~src ~dst ~uid:src ~payload)
           done)
@@ -243,13 +418,23 @@ let bcast_replicate session (encode, decode) ~n result =
       raw
   in
   let expected = Array.map Option.is_some result in
+  let live = ref None in
   Array.iteri
     (fun dst vec ->
-      if Array.map Option.is_some vec <> expected then
-        Transport_error.fail "broadcast replication diverged at receiver %d"
-          dst)
+      if not (peer_dead g dst) then begin
+        if !live = None then live := Some dst;
+        if Array.map Option.is_some vec <> expected then
+          Transport_error.fail "broadcast replication diverged at receiver %d"
+            dst
+      end)
     vectors;
-  vectors.(0)
+  match !live with
+  | Some dst -> vectors.(dst)
+  | None ->
+      (* Everyone is dead; replication carried nothing. Return what the
+         channel decided — callers past the fault bound are already in
+         Safe_mode territory. *)
+      Array.map (Option.map (fun v -> decode (encode v))) result
 
 let broadcast_round ?codec ~byte_size ~n announce =
   Trace.span Trace.Round "bcast.round" @@ fun () ->
@@ -263,3 +448,15 @@ let broadcast_round ?codec ~byte_size ~n announce =
   | Some ({ backend = Domains | Socket; _ } as session) ->
       let c = match codec with Some c -> c | None -> marshal_codec () in
       bcast_replicate session c ~n result
+
+(* ------------------------ Failure inspection --------------------- *)
+
+(* Which peers the current session has declared dead (player, why), per
+   group size. Empty when unsupervised or nothing failed. *)
+let session_deaths ~n =
+  match !ambient with
+  | None -> []
+  | Some session -> (
+      match Hashtbl.find_opt session.groups n with
+      | None -> []
+      | Some g -> Transport_supervisor.deaths g.tracker)

@@ -31,7 +31,16 @@
     Backends fail loudly, not silently: a lost frame raises
     {!Net.Desync}, a dead or wedged worker raises {!Backend_failure}
     (socket reads time out after [DPRBG_TRANSPORT_TIMEOUT] seconds,
-    default 60). *)
+    default 60; a malformed value of that variable is itself a loud
+    {!Backend_failure}, never a silent fallback).
+
+    {b Supervision.} Inside {!with_supervision} real peer failures stop
+    being fatal: a dead, wedged or garbling peer is declared crashed on
+    the ambient fault plan at the round where it failed, the protocol
+    continues with the survivors exactly as if the plan had scheduled a
+    simulated crash there, and more than [fault_bound] distinct real
+    failures raise {!Safe_mode}. See DESIGN.md section 16 for the
+    failure model and the crash/sim equivalence contract. *)
 
 (** {1 Backends} *)
 
@@ -63,6 +72,58 @@ val with_backend : backend -> (unit -> 'a) -> 'a
 
 val current_backend : unit -> backend
 (** The ambient backend; [Sim] when none is installed. *)
+
+val set_timeout_override : float option -> unit
+(** Install (or clear, with [None]) a receive-timeout override taking
+    precedence over [DPRBG_TRANSPORT_TIMEOUT]. The CLI's
+    [--transport-timeout] flag lands here. Raises [Invalid_argument] on
+    a non-positive or NaN value. *)
+
+val timeout : unit -> float
+(** The effective receive timeout: the override if set, else
+    [DPRBG_TRANSPORT_TIMEOUT], else 60 s. Raises {!Backend_failure} on
+    a malformed or non-positive env value — never a silent fallback.
+    Callers taking configuration can force this eagerly to fail fast. *)
+
+(** {1 Supervision and chaos}
+
+    Opt-in tolerance of {e real} peer failures (killed processes, dead
+    worker domains, missed read deadlines, mangled streams), and the
+    seeded injector that produces them on purpose. Both are ambient,
+    mirroring {!with_plan}; supervision requires an ambient fault plan
+    to hold its crash marks (an empty plan suffices). *)
+
+module Supervisor = Transport_supervisor
+module Chaos = Transport_chaos
+
+exception Safe_mode of string
+(** Re-export of {!Transport_supervisor.Safe_mode}: more distinct real
+    peer failures than the configured fault bound. *)
+
+val with_supervision :
+  ?deadline:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?fault_bound:int ->
+  (unit -> 'a) ->
+  'a
+(** [with_supervision f] runs [f] with failure supervision active:
+    supervised barriers read under [deadline] seconds per attempt with
+    [retries] extra attempts at [backoff]-multiplied deadlines
+    (defaults 5s / 2 / 2.0); a peer that dies, exhausts the budget or
+    mangles its stream is declared crashed on the ambient plan and
+    skipped thereafter; strictly more than [fault_bound] such
+    declarations raise {!Safe_mode} (no bound: never). *)
+
+val with_chaos : Transport_chaos.event list -> (unit -> 'a) -> 'a
+(** Install a chaos schedule for the duration of [f]: each event fires
+    once, at the first physical post or barrier of its round (on the
+    ambient plan's round clock). *)
+
+val session_deaths : n:int -> (int * Transport_error.peer_failure) list
+(** Peers the current session's [n]-player group has declared dead,
+    with why — [[]] when unsupervised, outside a session, or nothing
+    failed. *)
 
 (** {1 Fault plans}
 

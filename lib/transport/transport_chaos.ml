@@ -1,0 +1,117 @@
+(* Seeded chaos injection (DESIGN.md section 16): a schedule of real
+   failures — SIGKILLed player processes, stalled peers, truncated
+   frames — fired at predetermined protocol rounds while a supervised
+   transport session runs. The injector only decides {e when} and
+   {e what}; the physical mechanics live in the backends
+   ([Transport_socket.kill_peer], [Transport_domains.chaos_die], ...)
+   and the wiring in [Transport].
+
+   A schedule is deterministic from its seed, and every Kill/Stall
+   event has an exact simulator counterpart — a [crashes] entry at the
+   same round — which is how the differential chaos tests pin real
+   failure handling to the sim oracle byte for byte. Truncation has no
+   sim counterpart (the simulator cannot emit undecodable bytes); it is
+   asserted against the evidence ledger instead. *)
+
+type action =
+  | Kill  (** SIGKILL the player process / crash the worker domain *)
+  | Stall of float
+      (** wedge the peer for this many seconds; shorter than the
+          supervision budget it is recovered by retry-and-backoff,
+          longer and the peer is declared dead *)
+  | Truncate
+      (** inject undecodable bytes into the peer's stream mid-round *)
+
+type event = { round : int; player : int; action : action }
+
+let pp_action ppf = function
+  | Kill -> Format.fprintf ppf "kill"
+  | Stall d -> Format.fprintf ppf "stall %.3gs" d
+  | Truncate -> Format.fprintf ppf "truncate"
+
+let pp_event ppf e =
+  Format.fprintf ppf "round %d: %a p%d" e.round pp_action e.action e.player
+
+(* ------------------------- schedule builder ---------------------- *)
+
+(* Deterministic schedule from a seed: [kills]+[stalls]+[truncates]
+   distinct victims (so each event is a distinct real fault, comparable
+   to distinct crash entries), each assigned a uniform round in
+   [first_round, last_round]. Victims and rounds use a private split of
+   the seed, so building a schedule never perturbs protocol
+   randomness. *)
+let schedule ~seed ~n ~kills ~stalls ~truncates ?(stall_duration = 0.05)
+    ?(first_round = 1) ~last_round () =
+  let total = kills + stalls + truncates in
+  if total > n then
+    invalid_arg "Transport_chaos.schedule: more victims than players";
+  if first_round < 1 || last_round < first_round then
+    invalid_arg "Transport_chaos.schedule: bad round interval";
+  let prng = Prng.of_int (seed lxor 0x6368616f) (* "chao" *) in
+  let victims = Prng.sample_distinct prng total n in
+  let span = last_round - first_round + 1 in
+  List.mapi
+    (fun idx player ->
+      let round = first_round + Prng.int prng span in
+      let action =
+        if idx < kills then Kill
+        else if idx < kills + stalls then Stall stall_duration
+        else Truncate
+      in
+      { round; player; action })
+    victims
+  |> List.sort (fun a b -> compare (a.round, a.player) (b.round, b.player))
+
+(* The simulated-crash schedule equivalent to this chaos schedule under
+   a supervision budget of [budget] seconds: every Kill, every Stall at
+   least as long as the budget, and every Truncate (the garbled peer
+   dies of the injected bytes) is a crash-stop at its round with no
+   recovery. Sub-budget stalls are recovered by retry-and-backoff and
+   have no crash counterpart. Coin values and fault tallies match this
+   schedule exactly; a Truncate additionally accrues Undecodable
+   evidence the simulator cannot produce, so evidence rows are only
+   comparable for kill/stall schedules. *)
+let sim_crashes ~budget events =
+  List.filter_map
+    (fun e ->
+      match e.action with
+      | Kill | Truncate -> Some (e.player, e.round, None)
+      | Stall d when d >= budget -> Some (e.player, e.round, None)
+      | Stall _ -> None)
+    events
+
+(* --------------------------- ambient state ----------------------- *)
+
+type t = { events : event array; fired : bool array }
+
+let ambient : t option ref = ref None
+
+let with_chaos events f =
+  let t =
+    {
+      events = Array.of_list events;
+      fired = Array.make (List.length events) false;
+    }
+  in
+  let previous = !ambient in
+  ambient := Some t;
+  Fun.protect ~finally:(fun () -> ambient := previous) f
+
+let active () = !ambient <> None
+
+(* Events due at (or before — rounds with no traffic must not shield an
+   event) the round currently being formed, each fired exactly once, in
+   schedule order. *)
+let due ~round =
+  match !ambient with
+  | None -> []
+  | Some t ->
+      let out = ref [] in
+      Array.iteri
+        (fun i e ->
+          if (not t.fired.(i)) && e.round <= round then begin
+            t.fired.(i) <- true;
+            out := e :: !out
+          end)
+        t.events;
+      List.rev !out

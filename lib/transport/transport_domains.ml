@@ -5,7 +5,15 @@
    Determinism comes from the barrier discipline: the coordinator only
    reads a player's hand-off after that player has acknowledged the
    round, and frames are handed back in arrival order, so the physical
-   layer can neither reorder nor interleave observably. *)
+   layer can neither reorder nor interleave observably.
+
+   Failure reporting is per peer: [barrier] {e returns} each peer's
+   outcome — its hand-off or a {!Transport_error.peer_failure} — so the
+   supervision layer can tolerate individual worker deaths; the
+   unsupervised path converts the first failure into the same fatal
+   error as before. The stdlib has no timed condvar wait, so supervised
+   barriers poll the mailbox under a wall-clock budget instead of
+   blocking. *)
 
 type mailbox = {
   mu : Mutex.t;
@@ -15,29 +23,43 @@ type mailbox = {
   mutable served : int; (* barrier generation completed by the player *)
   mutable outbox : bytes list; (* completed hand-off, arrival order *)
   mutable failed : string option; (* worker died: why *)
+  mutable failed_garbage : bool;
+      (* the death was caused by undecodable bytes on the stream *)
   mutable stop : bool;
+  (* chaos injection (DESIGN.md section 16): flags the worker honours at
+     its next wakeup, simulating a real crash / wedged peer *)
+  mutable chaos_die : bool;
+  mutable chaos_stall : float; (* seconds to sleep before serving; 0 = none *)
 }
 
 type t = { n : int; boxes : mailbox array; workers : unit Domain.t array }
 
-(* Each frame is validated by the receiving player in its own domain:
-   it must parse, be a protocol message, and be addressed to this
-   player. *)
+(* Each frame is validated by the receiving player in its own domain: it
+   must parse, be a protocol message, and be addressed to this player.
+   Decode and framing failures raise the typed {!Frame.Error} — the
+   worker classifies those deaths as garbage-induced; contract
+   violations the frame layer cannot express stay [Backend_failure]. *)
 let validate me frame =
-  match Frame.decode_header frame ~pos:0 with
-  | exception Frame.Error e ->
-      Transport_error.fail "domains: player %d got bad frame: %s" me
-        (Format.asprintf "%a" Frame.pp_error e)
-  | hdr ->
-      if hdr.Frame.kind <> Frame.Msg then
-        Transport_error.fail "domains: player %d got control frame %s" me
-          (Frame.kind_name hdr.Frame.kind);
-      if hdr.Frame.dst <> me then
-        Transport_error.fail
-          "domains: player %d got frame addressed to player %d" me
-          hdr.Frame.dst;
-      if Frame.header_size + hdr.Frame.length <> Bytes.length frame then
-        Transport_error.fail "domains: player %d got mis-framed message" me
+  let hdr = Frame.decode_header frame ~pos:0 in
+  if hdr.Frame.kind <> Frame.Msg then
+    Transport_error.fail "domains: player %d got control frame %s" me
+      (Frame.kind_name hdr.Frame.kind);
+  if hdr.Frame.dst <> me then
+    Transport_error.fail "domains: player %d got frame addressed to player %d"
+      me hdr.Frame.dst;
+  let expected = Frame.header_size + hdr.Frame.length in
+  let got = Bytes.length frame in
+  if got < expected then raise (Frame.Error (Frame.Truncated { expected; got }))
+  else if got > expected then
+    raise (Frame.Error (Frame.Trailing_bytes (got - expected)))
+
+let record_failure box e ~garbage =
+  Mutex.lock box.mu;
+  box.failed <- Some e;
+  box.failed_garbage <- garbage;
+  box.served <- box.round;
+  Condition.broadcast box.cv;
+  Mutex.unlock box.mu
 
 let worker me box () =
   let buffered = ref [] (* validated frames, reverse arrival order *) in
@@ -45,38 +67,58 @@ let worker me box () =
     let running = ref true in
     while !running do
       Mutex.lock box.mu;
-      while box.incoming = [] && box.round = box.served && not box.stop do
+      while
+        box.incoming = []
+        && box.round = box.served
+        && (not box.stop)
+        && (not box.chaos_die)
+        && box.chaos_stall = 0.0
+      do
         Condition.wait box.cv box.mu
       done;
       let batch = List.rev box.incoming in
       box.incoming <- [];
       let round_due = box.round > box.served in
       let stopping = box.stop in
+      let dying = box.chaos_die in
+      let stall = box.chaos_stall in
+      box.chaos_stall <- 0.0;
       Mutex.unlock box.mu;
-      List.iter
-        (fun frame ->
-          validate me frame;
-          buffered := frame :: !buffered)
-        batch;
-      if round_due then begin
-        Mutex.lock box.mu;
-        box.outbox <- List.rev !buffered;
-        buffered := [];
-        box.served <- box.round;
-        Condition.broadcast box.cv;
-        Mutex.unlock box.mu
-      end;
-      if stopping && not round_due then running := false
+      if dying then begin
+        (* Injected death: indistinguishable from a worker whose domain
+           crashed — it records why and acks barriers forever after. *)
+        record_failure box "killed by chaos injection" ~garbage:false;
+        running := false
+      end
+      else begin
+        (* Injected stall: sleep outside the mutex, then serve normally.
+           A stall shorter than the coordinator's retry budget is
+           recovered by backoff; a longer one gets this peer declared
+           dead while it is still asleep. *)
+        if stall > 0.0 then Unix.sleepf stall;
+        List.iter
+          (fun frame ->
+            validate me frame;
+            buffered := frame :: !buffered)
+          batch;
+        if round_due then begin
+          Mutex.lock box.mu;
+          box.outbox <- List.rev !buffered;
+          buffered := [];
+          box.served <- box.round;
+          Condition.broadcast box.cv;
+          Mutex.unlock box.mu
+        end;
+        if stopping && not round_due then running := false
+      end
     done
-  with e ->
-    (* Never let the domain die with an uncaught exception — record the
-       failure and acknowledge every future barrier so the coordinator
-       wakes up and reports it instead of deadlocking. *)
-    Mutex.lock box.mu;
-    box.failed <- Some (Printexc.to_string e);
-    box.served <- box.round;
-    Condition.broadcast box.cv;
-    Mutex.unlock box.mu
+  with
+  (* Never let the domain die with an uncaught exception — record the
+     failure (classified: undecodable bytes vs anything else) and
+     acknowledge every future barrier so the coordinator wakes up and
+     reports it instead of deadlocking. *)
+  | Frame.Error _ as e -> record_failure box (Printexc.to_string e) ~garbage:true
+  | e -> record_failure box (Printexc.to_string e) ~garbage:false
 
 let create ~n =
   let boxes =
@@ -89,7 +131,10 @@ let create ~n =
           served = 0;
           outbox = [];
           failed = None;
+          failed_garbage = false;
           stop = false;
+          chaos_die = false;
+          chaos_stall = 0.0;
         })
   in
   let workers = Array.init n (fun i -> Domain.spawn (worker i boxes.(i))) in
@@ -107,30 +152,125 @@ let post t ~dst frame =
   Condition.signal box.cv;
   Mutex.unlock box.mu
 
-let barrier t =
-  Array.mapi
-    (fun i box ->
-      Mutex.lock box.mu;
-      box.round <- box.round + 1;
-      Condition.broadcast box.cv;
+(* Wait for one peer to serve the current barrier generation. Without a
+   deadline this is the original blocking condvar wait. With one, the
+   coordinator polls (1 ms grain) under an escalating per-attempt
+   budget; [`Stalled] means the whole budget elapsed with the worker
+   alive but unresponsive. Called with [box.mu] held; returns with it
+   held. *)
+let wait_served ?deadline ~retries ~backoff ~on_stall box =
+  match deadline with
+  | None ->
       while box.served < box.round && box.failed = None do
         Condition.wait box.cv box.mu
       done;
-      let out = box.outbox in
-      box.outbox <- [];
-      let failed = box.failed in
-      Mutex.unlock box.mu;
-      (match failed with
-      | Some why -> Transport_error.fail "domains: worker %d died: %s" i why
-      | None -> ());
-      out)
+      if box.failed = None then `Served else `Failed
+  | Some d ->
+      let start = Unix.gettimeofday () in
+      let attempt = ref 0 in
+      let budget = ref d in
+      let rec loop () =
+        if box.failed <> None then `Failed
+        else if box.served >= box.round then `Served
+        else if Unix.gettimeofday () -. start >= !budget then
+          if !attempt >= retries then `Stalled
+          else begin
+            incr attempt;
+            budget := !budget +. (d *. (backoff ** float_of_int !attempt));
+            Mutex.unlock box.mu;
+            on_stall ~attempt:!attempt;
+            Mutex.lock box.mu;
+            loop ()
+          end
+        else begin
+          Mutex.unlock box.mu;
+          Unix.sleepf 0.001;
+          Mutex.lock box.mu;
+          loop ()
+        end
+      in
+      loop ()
+
+(* The coordinator-side barrier. [skip]ped peers (already declared dead
+   by the supervision layer) are not asked for the round and report an
+   empty hand-off; everyone else is polled in player order. Per-peer
+   outcomes are returned, never raised — the caller decides whether a
+   failure is fatal. *)
+let barrier ?(skip = fun _ -> false) ?deadline ?(retries = 0) ?(backoff = 1.0)
+    ?(on_stall = fun ~player:_ ~attempt:_ -> ()) t =
+  Array.mapi
+    (fun i box ->
+      if skip i then Ok []
+      else begin
+        Mutex.lock box.mu;
+        box.round <- box.round + 1;
+        Condition.broadcast box.cv;
+        let outcome =
+          wait_served ?deadline ~retries ~backoff
+            ~on_stall:(fun ~attempt -> on_stall ~player:i ~attempt)
+            box
+        in
+        let out = box.outbox in
+        box.outbox <- [];
+        let failed = box.failed in
+        let garbage = box.failed_garbage in
+        Mutex.unlock box.mu;
+        match outcome with
+        | `Served -> Ok out
+        | `Failed ->
+            let why = match failed with Some w -> w | None -> "died" in
+            Transport_error.peer_failure ~undecodable:garbage "worker died: %s"
+              why
+        | `Stalled ->
+            Transport_error.peer_failure
+              "missed the barrier deadline (%d attempts of %.3gs)"
+              (retries + 1)
+              (match deadline with Some d -> d | None -> 0.0)
+      end)
     t.boxes
+
+(* -------------------------- chaos hooks -------------------------- *)
+
+(* Used only by the chaos injector: real worker failures, induced on
+   purpose. All tolerate an already-dead worker. *)
+
+let chaos_die t i =
+  let box = t.boxes.(i) in
+  Mutex.lock box.mu;
+  if box.failed = None then begin
+    box.chaos_die <- true;
+    Condition.broadcast box.cv
+  end;
+  Mutex.unlock box.mu
+
+let chaos_stall t i ~duration =
+  let box = t.boxes.(i) in
+  Mutex.lock box.mu;
+  if box.failed = None then begin
+    box.chaos_stall <- duration;
+    Condition.broadcast box.cv
+  end;
+  Mutex.unlock box.mu
+
+(* Inject undecodable bytes into the peer's mailbox: a junk header with
+   a wrong magic. Validation fails at the worker's next wakeup and the
+   death is classified as garbage-induced (Undecodable evidence). *)
+let post_garbage t i =
+  let box = t.boxes.(i) in
+  Mutex.lock box.mu;
+  if box.failed = None then begin
+    box.incoming <- Bytes.make Frame.header_size '\xFF' :: box.incoming;
+    Condition.signal box.cv
+  end;
+  Mutex.unlock box.mu
 
 let shutdown t =
   Array.iter
     (fun box ->
       Mutex.lock box.mu;
       box.stop <- true;
+      (* An abandoned stall must not hold up the join longer than its
+         own (finite) duration; a dead worker has already exited. *)
       Condition.broadcast box.cv;
       Mutex.unlock box.mu)
     t.boxes;

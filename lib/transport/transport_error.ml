@@ -6,3 +6,13 @@ exception Backend_failure of string
     coordinator-side bookkeeping mismatch). *)
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Backend_failure s)) fmt
+
+type peer_failure = { reason : string; undecodable : bool }
+(** One peer's failure as observed at the frame I/O level, reported by a
+    backend barrier instead of raised so the supervision layer can
+    tolerate it per peer. [undecodable] distinguishes a stream that
+    carried mangled bytes (attributable as {e Undecodable} evidence)
+    from plain death or a missed deadline (which surface as silence). *)
+
+let peer_failure ?(undecodable = false) fmt =
+  Printf.ksprintf (fun reason -> Error { reason; undecodable }) fmt

@@ -2,13 +2,25 @@
    coordinator by a Unix domain socket pair carrying length-prefixed
    {!Frame}s. The child buffers every [Msg] frame addressed to it; on a
    [Round] control frame it echoes the buffered frames back in arrival
-   order followed by [End_of_round]; on [Stop] it exits. The
-   coordinator's receive path carries an OS-level timeout so a wedged or
-   dead child surfaces as a typed {!Transport_error.Backend_failure}
-   instead of hanging the run. *)
+   order followed by [End_of_round]; on [Stop] it exits.
 
-type conn = { fd : Unix.file_descr; pid : int }
-type t = { n : int; conns : conn array }
+   Failure reporting is per peer: [post] raises a typed
+   {!Transport_error.Backend_failure}, but [barrier] {e returns} each
+   peer's outcome — its echoed frames or a {!Transport_error.peer_failure}
+   — so the supervision layer can tolerate individual deaths while the
+   unsupervised path converts the first failure into the same fatal
+   error as before. Reads carry per-attempt OS-level deadlines with
+   bounded retry-and-backoff; a peer that exhausts the budget is
+   declared stalled, killed, and reaped, never hung on. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  pid : int;
+  mutable exit_status : Unix.process_status option;
+      (* recorded when the child is reaped; [None] while running *)
+}
+
+type t = { n : int; conns : conn array; timeout : float }
 
 let sigpipe_ignored = ref false
 
@@ -24,38 +36,62 @@ let really_write fd b =
   let len = Bytes.length b in
   let pos = ref 0 in
   while !pos < len do
-    pos := !pos + Unix.write fd b !pos (len - !pos)
+    match Unix.write fd b !pos (len - !pos) with
+    | k -> pos := !pos + k
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        (* The send buffer stayed full past the socket's send deadline:
+           the peer has stopped draining its stream. Surface it as a
+           typed failure instead of blocking the coordinator forever. *)
+        Transport_error.fail "socket: write stalled past the send deadline"
   done
 
 exception Closed
 
-(* Read exactly [len] bytes into [b] at [pos]; [Closed] on EOF. *)
-let really_read fd b pos len =
+(* Read exactly [len] bytes into [b] at [pos]; [Closed] on EOF. Bytes
+   already read are kept across [EAGAIN] wakeups, so a slow-but-alive
+   peer never tears a frame; only the attempt budget is consumed. With
+   [retries = 0] a single missed deadline raises [Stalled], the
+   pre-supervision timeout behaviour. *)
+exception Stalled
+
+let really_read ?(deadline = 0.0) ?(retries = 0) ?(backoff = 1.0)
+    ?(on_stall = fun ~attempt:_ -> ()) fd b pos len =
   let got = ref 0 in
+  let attempt = ref 0 in
   while !got < len do
-    let k = Unix.read fd b (pos + !got) (len - !got) in
-    if k = 0 then raise Closed;
-    got := !got + k
+    match Unix.read fd b (pos + !got) (len - !got) with
+    | 0 -> raise Closed
+    | k -> got := !got + k
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        if !attempt >= retries then raise Stalled;
+        incr attempt;
+        on_stall ~attempt:!attempt;
+        (* Back off: each retry waits longer at the OS level. *)
+        if deadline > 0.0 then
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO
+            (deadline *. (backoff ** float_of_int !attempt))
   done
 
 (* Read one whole frame off the stream: fixed header, then exactly the
    announced payload. Returns the raw frame bytes and its parsed
    header. Frame.decode_header bounds-checks the length field before we
    allocate. *)
-let read_frame fd =
+let read_frame ?deadline ?retries ?backoff ?on_stall fd =
+  let rd b pos len = really_read ?deadline ?retries ?backoff ?on_stall fd b pos len in
   let hdr_bytes = Bytes.create Frame.header_size in
-  really_read fd hdr_bytes 0 Frame.header_size;
+  rd hdr_bytes 0 Frame.header_size;
   let hdr = Frame.decode_header hdr_bytes ~pos:0 in
   let frame = Bytes.create (Frame.header_size + hdr.Frame.length) in
   Bytes.blit hdr_bytes 0 frame 0 Frame.header_size;
-  really_read fd frame Frame.header_size hdr.Frame.length;
+  rd frame Frame.header_size hdr.Frame.length;
   (hdr, frame)
 
 (* The child's whole life: buffer messages, echo them at each round
    barrier, exit on [Stop]. Any protocol violation — a mis-addressed
    frame, garbage on the stream, coordinator vanishing — exits with a
-   distinct status; the coordinator reports the failure when its next
-   read times out or hits EOF. *)
+   distinct status; the coordinator reads the status back at reap time
+   and classifies the death (status 3 = the stream carried bytes that
+   failed to decode). *)
 let child_loop fd me =
   let buffered = ref [] in
   let running = ref true in
@@ -90,17 +126,77 @@ let create ~timeout ~n =
             List.iter (fun fd -> try Unix.close fd with _ -> ()) !parents;
             (try Unix.close parent with _ -> ());
             (try child_loop child i with
-            | Closed | Unix.Unix_error _ -> Unix._exit 2
+            | Closed | Stalled | Unix.Unix_error _ -> Unix._exit 2
             | Frame.Error _ -> Unix._exit 3
             | _ -> Unix._exit 4);
             Unix._exit 0
         | pid ->
             Unix.close child;
             Unix.setsockopt_float parent Unix.SO_RCVTIMEO timeout;
+            Unix.setsockopt_float parent Unix.SO_SNDTIMEO timeout;
             parents := parent :: !parents;
-            { fd = parent; pid })
+            { fd = parent; pid; exit_status = None })
   in
-  { n; conns }
+  { n; conns; timeout }
+
+(* --------------------------- reaping ----------------------------- *)
+
+let pp_status = function
+  | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+
+(* Reap one child without ever blocking forever: poll with [WNOHANG],
+   escalate SIGTERM after [grace] seconds and SIGKILL after another
+   grace period. [ECHILD] means the child is already gone (reaped
+   elsewhere or never existed) and is not an error; other waitpid
+   errors are recorded, not swallowed. Records and returns the exit
+   status so the caller can classify the death. *)
+let reap ?(grace = 0.5) conn =
+  match conn.exit_status with
+  | Some st -> Some st
+  | None ->
+      let signal s = try Unix.kill conn.pid s with Unix.Unix_error _ -> () in
+      let deadline_step = 0.01 in
+      let rec poll ~waited ~termed ~killed =
+        match Unix.waitpid [ Unix.WNOHANG ] conn.pid with
+        | 0, _ ->
+            if (not termed) && waited >= grace then begin
+              (* The child normally exits on its own after [Stop] well
+                 within the grace period; only then ask a wedged one to
+                 leave. *)
+              signal Sys.sigterm;
+              Unix.sleepf deadline_step;
+              poll ~waited:(waited +. deadline_step) ~termed:true ~killed
+            end
+            else if termed && (not killed) && waited >= 2.0 *. grace then begin
+              (* SIGTERM is not enough for a SIGSTOPped child (pending
+                 until it is continued); SIGKILL terminates it
+                 regardless. *)
+              signal Sys.sigkill;
+              Unix.sleepf deadline_step;
+              poll ~waited:(waited +. deadline_step) ~termed ~killed:true
+            end
+            else begin
+              Unix.sleepf deadline_step;
+              poll ~waited:(waited +. deadline_step) ~termed ~killed
+            end
+        | _, st ->
+            conn.exit_status <- Some st;
+            Some st
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+            (* Already reaped (or inherited by init): nothing to record,
+               but not a failure either. *)
+            None
+        | exception Unix.Unix_error (e, _, _) ->
+            Transport_error.fail "socket: waitpid for player %d: %s" conn.pid
+              (Unix.error_message e)
+      in
+      poll ~waited:0.0 ~termed:false ~killed:false
+
+let exit_status t i = t.conns.(i).exit_status
+
+(* --------------------------- frame I/O --------------------------- *)
 
 let backend_trouble dst what =
   Transport_error.fail "socket: player process %d %s" dst what
@@ -108,34 +204,121 @@ let backend_trouble dst what =
 let post t ~dst frame =
   match really_write t.conns.(dst).fd frame with
   | () -> ()
-  | exception Unix.Unix_error (EPIPE, _, _) -> backend_trouble dst "is dead"
+  | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+      backend_trouble dst "is dead"
   | exception Unix.Unix_error (e, _, _) ->
       backend_trouble dst (Unix.error_message e)
 
-let barrier t =
+(* Declare one peer failed during a barrier: make sure the child is
+   actually gone (a stalled-but-alive child is killed so it cannot
+   desync later rounds), grab its exit status, and classify — exit
+   status 3 means the child's stream carried undecodable bytes. *)
+let declare ~undecodable conn fmt =
+  Printf.ksprintf
+    (fun what ->
+      let st = reap conn in
+      (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+      let undecodable =
+        undecodable || st = Some (Unix.WEXITED 3)
+      in
+      let reason =
+        match st with
+        | Some st -> Printf.sprintf "%s (%s)" what (pp_status st)
+        | None -> what
+      in
+      Error { Transport_error.reason; undecodable })
+    fmt
+
+(* One peer's barrier: send the [Round] control frame, then read echoed
+   frames until [End_of_round], under the given read policy. *)
+let barrier_peer ~deadline ~retries ~backoff ~on_stall i conn =
+  Unix.setsockopt_float conn.fd Unix.SO_RCVTIMEO deadline;
+  match
+    really_write conn.fd
+      (Frame.encode Frame.Round ~src:i ~dst:i ~uid:0 ~payload:Bytes.empty)
+  with
+  | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+      declare ~undecodable:false conn "is dead"
+  | exception Unix.Unix_error (e, _, _) ->
+      declare ~undecodable:false conn "%s" (Unix.error_message e)
+  | exception Transport_error.Backend_failure why ->
+      declare ~undecodable:false conn "%s" why
+  | () -> (
+      let frames = ref [] in
+      let result = ref None in
+      (try
+         while !result = None do
+           match read_frame ~deadline ~retries ~backoff ~on_stall conn.fd with
+           | { Frame.kind = Frame.End_of_round; _ }, _ ->
+               result := Some (Ok (List.rev !frames))
+           | { Frame.kind = Frame.Msg; _ }, frame -> frames := frame :: !frames
+           | { Frame.kind = Frame.Round | Frame.Stop; _ }, _ ->
+               result :=
+                 Some (declare ~undecodable:true conn "echoed a control frame")
+         done
+       with
+      | Closed -> result := Some (declare ~undecodable:false conn "exited mid-round")
+      | Stalled ->
+          result :=
+            Some
+              (declare ~undecodable:false conn
+                 "missed the read deadline (%d attempts of %.3gs)" (retries + 1)
+                 deadline)
+      | Unix.Unix_error (e, _, _) ->
+          result := Some (declare ~undecodable:false conn "%s" (Unix.error_message e))
+      | Frame.Error e ->
+          result :=
+            Some
+              (declare ~undecodable:true conn "sent a bad frame: %s"
+                 (Format.asprintf "%a" Frame.pp_error e)));
+      match !result with Some r -> r | None -> assert false)
+
+(* The coordinator-side barrier. [skip]ped peers (already declared dead
+   by the supervision layer) are not posted to, not read from, and
+   report an empty echo list; everyone else is polled in player order
+   under the read policy. Per-peer outcomes are returned, never raised
+   — the caller decides whether a failure is fatal. *)
+let barrier ?(skip = fun _ -> false) ?deadline ?(retries = 0) ?(backoff = 1.0)
+    ?(on_stall = fun ~player:_ ~attempt:_ -> ()) t =
+  let deadline = match deadline with Some d -> d | None -> t.timeout in
   Array.mapi
     (fun i conn ->
-      post t ~dst:i
-        (Frame.encode Frame.Round ~src:i ~dst:i ~uid:0 ~payload:Bytes.empty);
-      let frames = ref [] in
-      let finished = ref false in
-      while not !finished do
-        match read_frame conn.fd with
-        | { Frame.kind = Frame.End_of_round; _ }, _ -> finished := true
-        | { Frame.kind = Frame.Msg; _ }, frame -> frames := frame :: !frames
-        | { Frame.kind = Frame.Round | Frame.Stop; _ }, _ ->
-            backend_trouble i "echoed a control frame"
-        | exception Closed -> backend_trouble i "exited mid-round"
-        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
-            backend_trouble i "timed out"
-        | exception Unix.Unix_error (e, _, _) ->
-            backend_trouble i (Unix.error_message e)
-        | exception Frame.Error e ->
-            backend_trouble i
-              (Format.asprintf "sent a bad frame: %a" Frame.pp_error e)
-      done;
-      List.rev !frames)
+      if skip i then Ok []
+      else
+        barrier_peer ~deadline ~retries ~backoff
+          ~on_stall:(fun ~attempt -> on_stall ~player:i ~attempt)
+          i conn)
     t.conns
+
+(* -------------------------- chaos hooks -------------------------- *)
+
+(* Used only by the chaos injector (DESIGN.md section 16): real process
+   failures, induced on purpose. All tolerate an already-dead child. *)
+
+let kill_peer t i =
+  try Unix.kill t.conns.(i).pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+(* A stopped child stops draining its stream: reads from it miss their
+   deadlines, which is exactly a wedged peer. The supervisor's stall
+   path kills and reaps it once the retry budget is exhausted (SIGKILL
+   terminates stopped processes too). *)
+let stall_peer t i =
+  try Unix.kill t.conns.(i).pid Sys.sigstop with Unix.Unix_error _ -> ()
+
+(* Resume a SIGSTOPped child. Used by the chaos wiring to bound a stall
+   below the supervision budget so retry-and-backoff recovers it. *)
+let resume_peer t i =
+  try Unix.kill t.conns.(i).pid Sys.sigcont with Unix.Unix_error _ -> ()
+
+(* Inject undecodable bytes into the peer's stream: a junk header with
+   a wrong magic. The child's next decode fails and it exits with
+   status 3, which the supervisor classifies as Undecodable. *)
+let garble_peer t i =
+  let junk = Bytes.make Frame.header_size '\xFF' in
+  try really_write t.conns.(i).fd junk
+  with Unix.Unix_error _ | Transport_error.Backend_failure _ -> ()
+
+(* -------------------------- shutdown ----------------------------- *)
 
 let shutdown t =
   Array.iteri
@@ -143,7 +326,12 @@ let shutdown t =
       (try
          really_write conn.fd
            (Frame.encode Frame.Stop ~src:i ~dst:i ~uid:0 ~payload:Bytes.empty)
-       with _ -> ());
-      (try Unix.close conn.fd with _ -> ());
-      try ignore (Unix.waitpid [] conn.pid) with _ -> ())
+       with
+      | Unix.Unix_error _ | Transport_error.Backend_failure _ -> ());
+      (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+      (* Reap with escalation: a healthy child exits promptly on [Stop];
+         a wedged or stopped one is SIGTERMed, then SIGKILLed after the
+         grace period. Never leaves a zombie behind, and the status is
+         recorded for post-mortems rather than swallowed. *)
+      ignore (reap conn))
     t.conns

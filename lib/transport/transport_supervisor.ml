@@ -1,0 +1,124 @@
+(* Transport supervision (DESIGN.md section 16): policy and per-session
+   bookkeeping for turning real peer failures — a killed player process,
+   a poisoned worker domain, a stream past its read deadline — into
+   tolerated, attributed crash-stop faults instead of fatal
+   [Backend_failure]s.
+
+   The supervisor never decides message fates (that stays with the
+   coordinator's [Net.Plan]); it only converts an observed physical
+   failure into the mark a simulated crash at the same round would have
+   carried, and routes the evidence: death and stalls manifest as
+   silence and are attributed by the existing absence machinery exactly
+   as simulated crashes are, while mangled frames — which the simulator
+   cannot produce — are recorded directly as [Undecodable] evidence.
+
+   Supervision is opt-in and ambient, mirroring [Net.with_plan]: it is
+   active only inside [with_supervision], and requires an ambient fault
+   plan to hold the crash marks (an empty plan suffices). Without it,
+   backends fail loudly exactly as before. *)
+
+type config = {
+  deadline : float;  (* per-attempt receive deadline, seconds *)
+  retries : int;  (* extra read attempts after the first *)
+  backoff : float;  (* per-attempt deadline multiplier, >= 1 *)
+  fault_bound : int option;
+      (* t: strictly more than this many distinct real failures raises
+         Safe_mode — the run can no longer promise a correct coin *)
+}
+
+exception Safe_mode of string
+(** More distinct real peer failures than the configured fault bound
+    [t]: the survivors can no longer reconstruct reliably, so the run
+    refuses to continue rather than vend a possibly-wrong coin. The
+    transport-level counterpart of [Pool]'s ledger-driven safe mode. *)
+
+let default_deadline = 5.0
+let default_retries = 2
+let default_backoff = 2.0
+
+let make ?(deadline = default_deadline) ?(retries = default_retries)
+    ?(backoff = default_backoff) ?fault_bound () =
+  if deadline <= 0.0 || deadline <> deadline then
+    invalid_arg "Transport_supervisor.make: deadline must be positive";
+  if retries < 0 then
+    invalid_arg "Transport_supervisor.make: retries must be >= 0";
+  if backoff < 1.0 then
+    invalid_arg "Transport_supervisor.make: backoff must be >= 1";
+  (match fault_bound with
+  | Some t when t < 0 ->
+      invalid_arg "Transport_supervisor.make: fault_bound must be >= 0"
+  | _ -> ());
+  { deadline; retries; backoff; fault_bound }
+
+(* Total wall-clock budget before a silent peer is declared dead: the
+   sum of the per-attempt deadlines. Backends whose read primitive has
+   no per-attempt structure (domains barrier polling) wait this long. *)
+let total_budget c =
+  let rec go acc d k = if k < 0 then acc else go (acc +. d) (d *. c.backoff) (k - 1) in
+  go 0.0 c.deadline c.retries
+
+let ambient : config option ref = ref None
+
+let with_supervision ?deadline ?retries ?backoff ?fault_bound f =
+  let cfg = make ?deadline ?retries ?backoff ?fault_bound () in
+  let previous = !ambient in
+  ambient := Some cfg;
+  Fun.protect ~finally:(fun () -> ambient := previous) f
+
+let active () = !ambient
+
+(* ------------------------ peer bookkeeping ----------------------- *)
+
+(* One tracker per worker group (player count): which peers the session
+   has declared dead, and why. Deadness is sticky — a declared-dead
+   peer is skipped by every later post and barrier. *)
+
+type tracker = {
+  n : int;
+  dead : Transport_error.peer_failure option array;
+  mutable dead_count : int;
+}
+
+let tracker ~n = { n; dead = Array.make n None; dead_count = 0 }
+let is_dead tr player = player >= 0 && player < tr.n && tr.dead.(player) <> None
+let dead_count tr = tr.dead_count
+
+let deaths tr =
+  let acc = ref [] in
+  for i = tr.n - 1 downto 0 do
+    match tr.dead.(i) with
+    | Some f -> acc := (i, f) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+(* Declare a peer dead: crash-stop mark in the ambient plan (pinned to
+   the round currently being formed, so the coordinator's voiding is
+   byte-identical to a simulated crash there), a [Trace.Crash] event,
+   [Undecodable] evidence when the stream carried mangled bytes, and
+   the fault-bound check. Idempotent per peer. *)
+let declare_dead cfg tr ~player (failure : Transport_error.peer_failure) =
+  if not (is_dead tr player) then begin
+    tr.dead.(player) <- Some failure;
+    tr.dead_count <- tr.dead_count + 1;
+    let round =
+      match Net.current_plan () with
+      | Some plan ->
+          ignore (Net.Plan.mark_crashed plan ~player);
+          Net.Plan.forming_round plan
+      | None -> 0
+    in
+    Trace.event (fun () ->
+        Trace.Crash { player; round; reason = failure.reason });
+    if failure.undecodable then
+      Sentinel.observe (fun () -> [ (player, Sentinel.Undecodable) ]);
+    match cfg.fault_bound with
+    | Some t when tr.dead_count > t ->
+        raise
+          (Safe_mode
+             (Printf.sprintf
+                "%d real peer failures exceed the fault bound t=%d (last: \
+                 player %d %s)"
+                tr.dead_count t player failure.reason))
+    | _ -> ()
+  end

@@ -1,0 +1,457 @@
+(* Differential chaos suite (DESIGN.md section 16): seeded campaigns of
+   real peer failures — SIGKILLed player processes, stalled peers,
+   truncated frames — inflicted on the byte backends under supervision
+   must behave exactly like the equivalent simulated crash schedule on
+   the sim oracle:
+
+   - at most [t] kills / permanent stalls: byte-identical transcript
+     (coin values, sentinel evidence, fault tallies, metrics);
+   - a stall shorter than the supervision budget: recovered by
+     retry-and-backoff, byte-identical to the {e clean} run;
+   - a truncated stream: crash-equivalent coin values and tallies, plus
+     Undecodable evidence the simulator cannot produce;
+   - more than [t] real failures: [Transport.Safe_mode], deterministic,
+     never a hang and never an uncaught [Backend_failure].
+
+   Process-lifetime constraint: OCaml forbids [Unix.fork] once any
+   domain has ever been spawned, so this file exports two suites —
+   [socket_suite], registered before test_transport's domains cases,
+   and [domains_suite], registered after. Keep that split when adding
+   cases. *)
+
+module F = Gf2k.GF16
+module SC = Sealed_coin.Make (F)
+module CE = Coin_expose.Make (F)
+module P = Pool.Make (F)
+
+let backend_enabled b =
+  match Sys.getenv_opt "DPRBG_TRANSPORT_BACKENDS" with
+  | None -> true
+  | Some s ->
+      s |> String.split_on_char ','
+      |> List.exists (fun x -> String.trim x = Transport.backend_name b)
+
+let skip_disabled b =
+  print_endline
+    ("[skip] " ^ Transport.backend_name b
+   ^ " disabled by DPRBG_TRANSPORT_BACKENDS")
+
+(* ---------------------- supervision policy ----------------------- *)
+
+(* Mirrors the `dprbg chaos` defaults: 0.25s per-attempt deadline, two
+   retries at 2x backoff, so the total per-peer budget is 1.75s. A
+   0.4s injected stall sits under the budget (recovered); anything at
+   or over 1.75s is permanent (declared dead). *)
+let deadline = 0.25
+let retries = 2
+let backoff = 2.0
+
+let budget =
+  Transport.Supervisor.total_budget
+    (Transport.Supervisor.make ~deadline ~retries ~backoff ())
+
+let recovered_stall = 0.4
+
+(* ------------------------- transcripts --------------------------- *)
+
+let render_values buf label values =
+  Buffer.add_string buf label;
+  Buffer.add_char buf ':';
+  Array.iter
+    (function
+      | None -> Buffer.add_string buf "-,"
+      | Some v ->
+          Buffer.add_string buf (F.to_string v);
+          Buffer.add_char buf ',')
+    values;
+  Buffer.add_char buf '\n'
+
+let render_evidence buf ledger =
+  Array.iteri
+    (fun p row ->
+      if Array.exists (fun c -> c > 0) row then
+        Buffer.add_string buf
+          (Printf.sprintf "evidence:p%d:%s\n" p
+             (String.concat ","
+                (List.map string_of_int (Array.to_list row)))))
+    (Sentinel.Ledger.dump ledger)
+
+(* M dealer coins sealed from one PRNG, each exposed to all players:
+   the lightest campaign whose every byte crosses the backend, sized
+   freely (the (7, 2) and (16, 5) matrix points have no Coin-Gen
+   floor). *)
+let expose_body ~n ~t ~m ~seed buf =
+  let g = Prng.of_int seed in
+  let ledger = Sentinel.Ledger.create ~config:Sentinel.passive ~n () in
+  Sentinel.with_ledger ledger (fun () ->
+      let coins = List.init m (fun _ -> SC.dealer_coin g ~n ~t) in
+      List.iteri
+        (fun k coin ->
+          render_values buf (Printf.sprintf "coin%d" k) (CE.run coin))
+        coins);
+  render_evidence buf ledger
+
+(* The full Fig. 5 pipeline — pool draws forcing a Coin-Gen refill
+   (VSS, grade-cast, phase-king BA) — under chaos. n = 13 is the
+   smallest Coin-Gen-legal size for t = 2. *)
+let pool_body ~n ~t ~draws ~seed buf =
+  let pool =
+    P.create ~prng:(Prng.of_int seed) ~n ~t ~batch_size:8 ~refill_threshold:3
+      ~initial_seed:4 ()
+  in
+  (match List.init draws (fun _ -> P.draw_kary pool) with
+  | values ->
+      List.iteri
+        (fun k v ->
+          Buffer.add_string buf (Printf.sprintf "draw%d:%s\n" k (F.to_string v)))
+        values
+  | exception P.Starved why ->
+      Buffer.add_string buf (Printf.sprintf "starved:%s\n" why));
+  match P.ledger pool with
+  | None -> ()
+  | Some ledger -> render_evidence buf ledger
+
+(* One measured run. [crashes] is the static sim schedule (the oracle's
+   stand-in for the real failures); [events] + [real] runs the chaos
+   schedule under supervision instead. Returns the transcript — draws,
+   evidence, plan fault tally, metrics — and whether safe mode fired. *)
+let transcript ~seed ~fault_bound ~events ~crashes ~real body =
+  let buf = Buffer.create 512 in
+  let plan = Transport.Plan.make ~crashes ~seed:((seed * 17) + 3) () in
+  let safe = ref None in
+  let (), metrics =
+    Metrics.with_counting (fun () ->
+        try
+          if real then
+            Transport.with_chaos events (fun () ->
+                Transport.with_supervision ~deadline ~retries ~backoff
+                  ~fault_bound (fun () -> Transport.with_plan plan (body buf)))
+          else Transport.with_plan plan (body buf)
+        with
+        | Transport.Safe_mode msg -> safe := Some ("transport: " ^ msg)
+        | P.Safe_mode msg -> safe := Some ("pool: " ^ msg))
+  in
+  Buffer.add_string buf
+    (Fmt.str "plan:%a\n" Transport.Plan.pp_stats (Transport.Plan.stats plan));
+  Buffer.add_string buf (Fmt.str "metrics:%a\n" Metrics.pp metrics);
+  (Buffer.contents buf, !safe)
+
+let is_evidence l = String.length l >= 9 && String.sub l 0 9 = "evidence:"
+
+let non_evidence_lines transcript =
+  List.filter (fun l -> not (is_evidence l)) (String.split_on_char '\n' transcript)
+
+(* An Undecodable count (last column, [Sentinel.all_kinds] order) on
+   some player's evidence row — what a truncation must leave behind. *)
+let has_undecodable transcript =
+  List.exists
+    (fun l ->
+      is_evidence l
+      &&
+      match String.rindex_opt l ',' with
+      | Some i -> String.sub l (i + 1) (String.length l - i - 1) <> "0"
+      | None -> false)
+    (String.split_on_char '\n' transcript)
+
+(* ----------------------- the differential ----------------------- *)
+
+(* Run [body] under the chaos schedule on [backend] and under the
+   equivalent static crash schedule on sim, and pin them to each other.
+   The sim run with the oracle's exact crash configuration is executed
+   once first, unmeasured, so shared memo tables (lazy field tables,
+   subset reconstruction weights) are warm for both compared runs. *)
+let check_differential ~name ~backend ~seed ~fault_bound ~events body =
+  let sim = Transport.Chaos.sim_crashes ~budget events in
+  let fatal = List.length sim in
+  Alcotest.(check bool)
+    (name ^ ": schedule within the fault bound")
+    true (fatal <= fault_bound);
+  ignore (transcript ~seed ~fault_bound ~events:[] ~crashes:sim ~real:false body);
+  let oracle, oracle_safe =
+    transcript ~seed ~fault_bound ~events:[] ~crashes:sim ~real:false body
+  in
+  let real, real_safe =
+    Transport.with_backend backend (fun () ->
+        transcript ~seed ~fault_bound ~events ~crashes:[] ~real:true body)
+  in
+  Alcotest.(check bool) (name ^ ": oracle stays live") true (oracle_safe = None);
+  Alcotest.(check bool) (name ^ ": real run stays live") true (real_safe = None);
+  let truncates =
+    List.exists
+      (fun (e : Transport.Chaos.event) -> e.action = Transport.Chaos.Truncate)
+      events
+  in
+  if not truncates then
+    Alcotest.(check string)
+      (Printf.sprintf "%s: %s == sim" name (Transport.backend_name backend))
+      oracle real
+  else begin
+    (* Truncation: coin stream and tallies match the crash-equivalent
+       oracle; the evidence rows differ only by the Undecodable marks
+       the simulator cannot produce. *)
+    Alcotest.(check (list string))
+      (Printf.sprintf "%s: %s == sim modulo evidence" name
+         (Transport.backend_name backend))
+      (non_evidence_lines oracle) (non_evidence_lines real);
+    Alcotest.(check bool)
+      (name ^ ": truncation attributed as Undecodable")
+      true (has_undecodable real)
+  end
+
+let kill_schedule ~seed ~n ~kills ?(stalls = 0) ?(truncates = 0) () =
+  Transport.Chaos.schedule ~seed ~n ~kills ~stalls ~truncates
+    ~stall_duration:recovered_stall ~first_round:2 ~last_round:5 ()
+
+(* The acceptance matrix: (7, 2) and (16, 5), t kills each, two seeds. *)
+let differential_kills backend () =
+  if not (backend_enabled backend) then skip_disabled backend
+  else
+    List.iter
+      (fun (n, t) ->
+        List.iter
+          (fun seed ->
+            let events = kill_schedule ~seed ~n ~kills:t () in
+            check_differential
+              ~name:(Printf.sprintf "kills-n%d-t%d-s%d" n t seed)
+              ~backend ~seed ~fault_bound:t ~events
+              (fun buf () -> expose_body ~n ~t ~m:6 ~seed buf))
+          [ 21; 22 ])
+      [ (7, 2); (16, 5) ]
+
+(* A sub-budget stall has no crash counterpart: retry-and-backoff
+   recovers the peer and the transcript is byte-identical to the clean
+   run (the empty sim schedule). *)
+let differential_recovered_stall backend () =
+  if not (backend_enabled backend) then skip_disabled backend
+  else begin
+    let n = 7 and t = 2 and seed = 31 in
+    let events = kill_schedule ~seed ~n ~kills:0 ~stalls:1 () in
+    Alcotest.(check int)
+      "a 0.4s stall under the 1.75s budget has no sim crash" 0
+      (List.length (Transport.Chaos.sim_crashes ~budget events));
+    check_differential ~name:"recovered-stall-n7-t2" ~backend ~seed
+      ~fault_bound:t ~events
+      (fun buf () -> expose_body ~n ~t ~m:6 ~seed buf)
+  end
+
+let differential_truncate backend () =
+  if not (backend_enabled backend) then skip_disabled backend
+  else begin
+    let n = 7 and t = 2 and seed = 41 in
+    let events = kill_schedule ~seed ~n ~kills:1 ~truncates:1 () in
+    check_differential ~name:"truncate-n7-t2" ~backend ~seed ~fault_bound:t
+      ~events
+      (fun buf () -> expose_body ~n ~t ~m:6 ~seed buf)
+  end
+
+(* Chaos through the whole pool pipeline: VSS dealing, grade-cast and
+   phase-king BA all cross the backend while peers really die. *)
+let differential_pool backend () =
+  if not (backend_enabled backend) then skip_disabled backend
+  else begin
+    let n = 13 and t = 2 and seed = 51 in
+    let events = kill_schedule ~seed ~n ~kills:t () in
+    check_differential ~name:"pool-n13-t2" ~backend ~seed ~fault_bound:t
+      ~events
+      (fun buf () -> pool_body ~n ~t ~draws:3 ~seed buf)
+  end
+
+(* More real failures than the bound: Safe_mode, deterministically — on
+   every run — and never a hang or an uncaught Backend_failure. *)
+let over_the_bound backend () =
+  if not (backend_enabled backend) then skip_disabled backend
+  else begin
+    let n = 7 and t = 2 and seed = 61 in
+    let events = kill_schedule ~seed ~n ~kills:(t + 1) () in
+    Alcotest.(check bool)
+      "t+1 kills exceed the bound" true
+      (List.length (Transport.Chaos.sim_crashes ~budget events) > t);
+    for run = 1 to 2 do
+      let _, safe =
+        Transport.with_backend backend (fun () ->
+            transcript ~seed ~fault_bound:t ~events ~crashes:[] ~real:true
+              (fun buf () -> expose_body ~n ~t ~m:6 ~seed buf))
+      in
+      match safe with
+      | Some why ->
+          Alcotest.(check bool)
+            (Printf.sprintf "run %d names the fault bound" run)
+            true
+            (String.length why > 0)
+      | None ->
+          Alcotest.failf "run %d: %d real kills > t=%d but no safe mode" run
+            (t + 1) t
+    done
+  end
+
+(* ----------------------- schedule pinning ------------------------ *)
+
+let test_schedule_deterministic () =
+  let mk seed =
+    Transport.Chaos.schedule ~seed ~n:16 ~kills:2 ~stalls:2 ~truncates:1
+      ~stall_duration:0.1 ~first_round:2 ~last_round:5 ()
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (mk 7 = mk 7);
+  let events = mk 7 in
+  Alcotest.(check int) "five distinct victims" 5
+    (List.length
+       (List.sort_uniq compare
+          (List.map (fun (e : Transport.Chaos.event) -> e.player) events)));
+  List.iter
+    (fun (e : Transport.Chaos.event) ->
+      Alcotest.(check bool) "round in [2, 5]" true (e.round >= 2 && e.round <= 5))
+    events
+
+let test_sim_crash_classification () =
+  let ev round player action = { Transport.Chaos.round; player; action } in
+  let events =
+    [
+      ev 2 0 Transport.Chaos.Kill;
+      ev 3 1 (Transport.Chaos.Stall 0.1);
+      (* recovered: no counterpart *)
+      ev 3 2 (Transport.Chaos.Stall 99.0);
+      (* permanent: crash *)
+      ev 4 3 Transport.Chaos.Truncate;
+      (* the garbled peer dies: crash *)
+    ]
+  in
+  Alcotest.(check (list (triple int int (option int))))
+    "kill, permanent stall and truncate are crashes; recovered stall is not"
+    [ (0, 2, None); (2, 3, None); (3, 4, None) ]
+    (Transport.Chaos.sim_crashes ~budget:1.75 events)
+
+(* --------------------- timeout strictness ------------------------ *)
+
+let test_timeout_override_strict () =
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises
+        (Printf.sprintf "override %f rejected" bad)
+        (Invalid_argument
+           "Transport.set_timeout_override: timeout must be positive")
+        (fun () -> Transport.set_timeout_override (Some bad)))
+    [ 0.0; -3.0; Float.nan ];
+  Transport.set_timeout_override (Some 5.0);
+  Transport.set_timeout_override None
+
+(* A malformed DPRBG_TRANSPORT_TIMEOUT must abort the session loudly at
+   group creation, never fall back to the default silently. The failure
+   fires before any fork, so this is cheap; it lives in the socket
+   suite because only socket groups consult the timeout. *)
+let test_timeout_env_strict () =
+  if not (backend_enabled Transport.Socket) then skip_disabled Transport.Socket
+  else begin
+    Unix.putenv "DPRBG_TRANSPORT_TIMEOUT" "soon";
+    let loud =
+      match
+        Transport.with_backend Transport.Socket (fun () ->
+            expose_body ~n:7 ~t:2 ~m:1 ~seed:3 (Buffer.create 64))
+      with
+      | () -> false
+      | exception Transport.Backend_failure msg ->
+          (* The message must name the variable so the typo is findable. *)
+          let contains hay needle =
+            let h = String.length hay and n = String.length needle in
+            let rec go i =
+              i + n <= h && (String.sub hay i n = needle || go (i + 1))
+            in
+            go 0
+          in
+          contains msg "DPRBG_TRANSPORT_TIMEOUT"
+    in
+    Unix.putenv "DPRBG_TRANSPORT_TIMEOUT" "60";
+    Alcotest.(check bool) "malformed env timeout is a loud failure" true loud
+  end
+
+(* ------------------------ zombie reaping ------------------------- *)
+
+(* Shutdown must reap every child — SIGKILLed ones included — and
+   record each exit status: no zombies, no swallowed statuses. *)
+let test_socket_reaping () =
+  if not (backend_enabled Transport.Socket) then skip_disabled Transport.Socket
+  else begin
+    let s = Transport_socket.create ~timeout:5.0 ~n:3 in
+    Transport_socket.kill_peer s 1;
+    Transport_socket.shutdown s;
+    (match Transport_socket.exit_status s 1 with
+    | Some (Unix.WSIGNALED sg) ->
+        Alcotest.(check int) "killed child reaped with SIGKILL" Sys.sigkill sg
+    | Some st ->
+        Alcotest.failf "killed child recorded as %S"
+          (Transport_socket.pp_status st)
+    | None -> Alcotest.fail "killed child's exit status not recorded");
+    List.iter
+      (fun i ->
+        match Transport_socket.exit_status s i with
+        | Some (Unix.WEXITED 0) -> ()
+        | Some st ->
+            Alcotest.failf "healthy child %d recorded as %S" i
+              (Transport_socket.pp_status st)
+        | None -> Alcotest.failf "healthy child %d not reaped" i)
+      [ 0; 2 ]
+  end
+
+(* A SIGSTOPped (wedged) child must not survive shutdown either:
+   SIGTERM is ignored while stopped, so the escalation to SIGKILL is
+   what guarantees the reap terminates. *)
+let test_socket_reaps_stopped_child () =
+  if not (backend_enabled Transport.Socket) then skip_disabled Transport.Socket
+  else begin
+    let s = Transport_socket.create ~timeout:5.0 ~n:2 in
+    Transport_socket.stall_peer s 0;
+    Transport_socket.shutdown s;
+    match Transport_socket.exit_status s 0 with
+    | Some (Unix.WSIGNALED _) -> ()
+    | Some (Unix.WEXITED _) ->
+        (* The Stop frame may still win the race if the SIGSTOP had not
+           landed: either way the child is gone, which is the contract. *)
+        ()
+    | Some st ->
+        Alcotest.failf "stopped child recorded as %S"
+          (Transport_socket.pp_status st)
+    | None -> Alcotest.fail "stopped child not reaped"
+  end
+
+(* --------------------------- suites ------------------------------ *)
+
+(* Registered before test_transport (whose later cases spawn domains):
+   fork would be forbidden afterwards. *)
+let socket_suite =
+  [
+    Alcotest.test_case "chaos schedule is deterministic" `Quick
+      test_schedule_deterministic;
+    Alcotest.test_case "sim-crash classification" `Quick
+      test_sim_crash_classification;
+    Alcotest.test_case "timeout override rejects bad values" `Quick
+      test_timeout_override_strict;
+    Alcotest.test_case "malformed timeout env is loud" `Quick
+      test_timeout_env_strict;
+    Alcotest.test_case "shutdown reaps a SIGKILLed child" `Quick
+      test_socket_reaping;
+    Alcotest.test_case "shutdown reaps a stopped child" `Quick
+      test_socket_reaps_stopped_child;
+    Alcotest.test_case "differential: kills (socket)" `Slow
+      (differential_kills Transport.Socket);
+    Alcotest.test_case "differential: recovered stall (socket)" `Slow
+      (differential_recovered_stall Transport.Socket);
+    Alcotest.test_case "differential: truncate (socket)" `Slow
+      (differential_truncate Transport.Socket);
+    Alcotest.test_case "differential: pool pipeline (socket)" `Slow
+      (differential_pool Transport.Socket);
+    Alcotest.test_case "over the bound: Safe_mode (socket)" `Slow
+      (over_the_bound Transport.Socket);
+  ]
+
+let domains_suite =
+  [
+    Alcotest.test_case "differential: kills (domains)" `Slow
+      (differential_kills Transport.Domains);
+    Alcotest.test_case "differential: recovered stall (domains)" `Slow
+      (differential_recovered_stall Transport.Domains);
+    Alcotest.test_case "differential: truncate (domains)" `Slow
+      (differential_truncate Transport.Domains);
+    Alcotest.test_case "differential: pool pipeline (domains)" `Slow
+      (differential_pool Transport.Domains);
+    Alcotest.test_case "over the bound: Safe_mode (domains)" `Slow
+      (over_the_bound Transport.Domains);
+  ]

@@ -1,0 +1,211 @@
+(* Partial-read robustness (ISSUE 7, satellite 3): a frame arriving in
+   arbitrarily small pieces — byte at a time, split at every boundary,
+   cut off at every offset — must come out of the decoder and the
+   socket read path as either the exact original bytes, a typed
+   {!Frame.Error}, or [Transport_socket.Closed]. Never a bare
+   [Invalid_argument], never an out-of-bounds access, never garbage
+   accepted as a frame.
+
+   The socket-path cases exercise [Transport_socket.really_read]'s
+   resumability without forking or threads: the reader end of a
+   socketpair carries a short OS receive deadline, and each missed
+   deadline's [on_stall] callback feeds the next chunk — so every read
+   attempt observes a genuine short count. *)
+
+let sample_frames =
+  [
+    Frame.encode Frame.Msg ~src:0 ~dst:1 ~uid:0 ~payload:Bytes.empty;
+    Frame.encode Frame.Msg ~src:3 ~dst:2 ~uid:77 ~payload:(Bytes.of_string "xyz");
+    Frame.encode Frame.Round ~src:1 ~dst:1 ~uid:0 ~payload:Bytes.empty;
+    Frame.encode Frame.End_of_round ~src:2 ~dst:2 ~uid:0 ~payload:Bytes.empty;
+    Frame.encode Frame.Msg ~src:9 ~dst:4 ~uid:123456
+      ~payload:(Bytes.init 29 (fun i -> Char.chr (i * 7 mod 256)));
+  ]
+
+(* ------------------------ decoder totality ----------------------- *)
+
+(* Every strict prefix of a valid frame is Truncated — and only that. *)
+let test_decode_prefixes () =
+  List.iter
+    (fun frame ->
+      for k = 0 to Bytes.length frame - 1 do
+        match Frame.decode (Bytes.sub frame 0 k) with
+        | _ -> Alcotest.failf "prefix of %d bytes decoded" k
+        | exception Frame.Error (Frame.Truncated _) -> ()
+        | exception e ->
+            Alcotest.failf "prefix of %d bytes: unexpected %s" k
+              (Printexc.to_string e)
+      done)
+    sample_frames
+
+let test_decode_trailing () =
+  List.iter
+    (fun frame ->
+      let padded = Bytes.cat frame (Bytes.of_string "!") in
+      match Frame.decode padded with
+      | _ -> Alcotest.fail "trailing byte accepted"
+      | exception Frame.Error (Frame.Trailing_bytes 1) -> ()
+      | exception e ->
+          Alcotest.failf "trailing byte: unexpected %s" (Printexc.to_string e))
+    sample_frames
+
+(* Any single-byte corruption decodes to the original-or-corrupt header
+   or a typed error; nothing else can escape, whatever the byte. *)
+let prop_decode_mutation =
+  QCheck.Test.make ~count:500 ~name:"mutated frame: typed error or decode"
+    QCheck.(triple (int_range 0 4) small_nat (int_range 0 255))
+    (fun (which, pos, byte) ->
+      let frame = Bytes.copy (List.nth sample_frames which) in
+      let pos = pos mod Bytes.length frame in
+      Bytes.set frame pos (Char.chr byte);
+      match Frame.decode frame with
+      | _, _ -> true
+      | exception Frame.Error _ -> true
+      | exception _ -> false)
+
+(* Random byte strings never crash the decoder either. *)
+let prop_decode_garbage =
+  QCheck.Test.make ~count:500 ~name:"garbage bytes: typed error or decode"
+    QCheck.(pair int (int_range 0 64))
+    (fun (seed, len) ->
+      let g = Prng.of_int seed in
+      let junk = Bytes.init len (fun _ -> Char.chr (Prng.int g 256)) in
+      match Frame.decode junk with
+      | _, _ -> true
+      | exception Frame.Error _ -> true
+      | exception _ -> false)
+
+(* --------------------- socket read resumability ------------------ *)
+
+(* Feed [chunks] through a socketpair into one [really_read] of the
+   total length: the first chunk is pre-written, each missed deadline's
+   [on_stall] writes the next, so the read provably resumes across
+   short counts. Returns the reassembled bytes. *)
+let read_in_chunks chunks =
+  let total = List.fold_left (fun a c -> a + Bytes.length c) 0 chunks in
+  let r, w = Unix.(socketpair PF_UNIX SOCK_STREAM 0) in
+  Fun.protect ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.setsockopt_float r Unix.SO_RCVTIMEO 0.02;
+  let pending = ref chunks in
+  let feed () =
+    match !pending with
+    | [] -> ()
+    | c :: rest ->
+        pending := rest;
+        if Bytes.length c > 0 then
+          assert (Unix.write w c 0 (Bytes.length c) = Bytes.length c)
+  in
+  feed ();
+  let buf = Bytes.create total in
+  Transport_socket.really_read ~deadline:0.02 ~retries:(List.length chunks + 2)
+    ~on_stall:(fun ~attempt:_ -> feed ())
+    r buf 0 total;
+  buf
+
+let split_at k b =
+  (Bytes.sub b 0 k, Bytes.sub b k (Bytes.length b - k))
+
+(* Every two-way split of every sample frame reassembles exactly. *)
+let test_read_every_split () =
+  List.iter
+    (fun frame ->
+      for k = 0 to Bytes.length frame do
+        let a, b = split_at k frame in
+        Alcotest.(check bytes)
+          (Printf.sprintf "split at %d" k)
+          frame
+          (read_in_chunks [ a; b ])
+      done)
+    sample_frames
+
+let test_read_byte_at_a_time () =
+  let frame = List.nth sample_frames 4 in
+  let chunks =
+    List.init (Bytes.length frame) (fun i -> Bytes.sub frame i 1)
+  in
+  Alcotest.(check bytes) "byte at a time" frame (read_in_chunks chunks)
+
+(* EOF at every offset: [really_read] raises [Closed], never returns a
+   torn buffer and never hangs. *)
+let test_read_eof_every_offset () =
+  let frame = List.nth sample_frames 1 in
+  for k = 0 to Bytes.length frame - 1 do
+    let r, w = Unix.(socketpair PF_UNIX SOCK_STREAM 0) in
+    Fun.protect ~finally:(fun () ->
+        try Unix.close r with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    if k > 0 then assert (Unix.write w frame 0 k = k);
+    Unix.close w;
+    let buf = Bytes.create (Bytes.length frame) in
+    match Transport_socket.really_read r buf 0 (Bytes.length frame) with
+    | () -> Alcotest.failf "EOF after %d bytes read as a full frame" k
+    | exception Transport_socket.Closed -> ()
+    | exception e ->
+        Alcotest.failf "EOF after %d bytes: unexpected %s" k
+          (Printexc.to_string e)
+  done
+
+(* [read_frame] over the same dribbling stream: the parsed frame equals
+   a clean decode, and junk on the stream is a typed Frame.Error. *)
+let test_read_frame_dribbled () =
+  let frame = List.nth sample_frames 4 in
+  let r, w = Unix.(socketpair PF_UNIX SOCK_STREAM 0) in
+  Fun.protect ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.setsockopt_float r Unix.SO_RCVTIMEO 0.02;
+  let pos = ref 0 in
+  let feed () =
+    if !pos < Bytes.length frame then begin
+      assert (Unix.write w frame !pos 1 = 1);
+      incr pos
+    end
+  in
+  feed ();
+  let hdr, got =
+    Transport_socket.read_frame ~deadline:0.02
+      ~retries:(Bytes.length frame + 2)
+      ~on_stall:(fun ~attempt:_ -> feed ())
+      r
+  in
+  let want_hdr, _ = Frame.decode frame in
+  Alcotest.(check bool) "header matches clean decode" true (hdr = want_hdr);
+  Alcotest.(check bytes) "frame bytes intact" frame got
+
+let test_read_frame_junk_header () =
+  let r, w = Unix.(socketpair PF_UNIX SOCK_STREAM 0) in
+  Fun.protect ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let junk = Bytes.make Frame.header_size '\xFF' in
+  assert (Unix.write w junk 0 Frame.header_size = Frame.header_size);
+  match Transport_socket.read_frame r with
+  | _ -> Alcotest.fail "junk header parsed as a frame"
+  | exception Frame.Error _ -> ()
+  | exception e ->
+      Alcotest.failf "junk header: unexpected %s" (Printexc.to_string e)
+
+let suite =
+  [
+    Alcotest.test_case "decode: every strict prefix is Truncated" `Quick
+      test_decode_prefixes;
+    Alcotest.test_case "decode: trailing bytes rejected" `Quick
+      test_decode_trailing;
+    QCheck_alcotest.to_alcotest prop_decode_mutation;
+    QCheck_alcotest.to_alcotest prop_decode_garbage;
+    Alcotest.test_case "really_read: every split reassembles" `Quick
+      test_read_every_split;
+    Alcotest.test_case "really_read: byte at a time" `Quick
+      test_read_byte_at_a_time;
+    Alcotest.test_case "really_read: EOF at every offset is Closed" `Quick
+      test_read_eof_every_offset;
+    Alcotest.test_case "read_frame: dribbled stream parses cleanly" `Quick
+      test_read_frame_dribbled;
+    Alcotest.test_case "read_frame: junk header is a typed error" `Quick
+      test_read_frame_junk_header;
+  ]

@@ -30,7 +30,13 @@ let () =
       ("common-coin-ba", Test_common_coin_ba.suite);
       ("stats", Test_stats.suite);
       ("wire", Test_wire.suite);
+      ("frame-partial", Test_frame_partial.suite);
+      (* Chaos socket cases must precede every domains case in the run
+         (fork is forbidden once a domain has spawned), hence the split
+         registration around the transport suite. *)
+      ("chaos-socket", Test_chaos.socket_suite);
       ("transport", Test_transport.suite);
+      ("chaos-domains", Test_chaos.domains_suite);
       ("randomness", Test_randomness.suite);
       ("ablations", Test_ablations.suite);
       ("fuzz", Prop_fuzz.suite);
