@@ -2,9 +2,11 @@
 
    Reads two BENCH_*.json files (the committed baseline and a freshly
    measured run), matches entries by (op, field, n, t, m), and fails
-   when any deterministic op count regresses beyond the tolerance band
+   when any deterministic op count regresses beyond the tolerance band,
+   a plan path's allocated-words-per-op leaves its own (tighter) band,
    or an entry disappears. Wall-clock ns are reported for context but
-   never gated — they move with the runner, the op counts do not.
+   never gated — they move with the runner; op counts and steady-state
+   allocation do not.
 
    The image has no JSON library, so this carries a small
    recursive-descent parser for the subset the bench schema uses
@@ -179,9 +181,16 @@ type entry = {
   naive_mults : int;
   plan_ns : float;
   plan_mults : int;
+  plan_alloc_w : float option;
+      (* allocated words per op; None in schema-1 files, which predate
+         allocation tracking *)
 }
 
 type file = { mode : string; entries : entry list }
+
+let member_opt key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
 
 let entry_of_json j =
   {
@@ -194,8 +203,12 @@ let entry_of_json j =
     naive_mults = to_int (member "naive_mults_per_op" j);
     plan_ns = to_num (member "plan_ns_per_op" j);
     plan_mults = to_int (member "plan_mults_per_op" j);
+    plan_alloc_w = Option.map to_num (member_opt "plan_alloc_w_per_op" j);
   }
 
+(* Both the original PR-3 schema and the PR-8 one (which adds the
+   alloc_w columns) parse; alloc gating simply disengages against a
+   schema-1 baseline. *)
 let read_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -203,7 +216,7 @@ let read_file path =
   close_in ic;
   let j = parse src in
   let schema = to_str (member "schema" j) in
-  if schema <> "dprbg-bench-pr3/1" then
+  if schema <> "dprbg-bench-pr3/1" && schema <> "dprbg-bench/2" then
     malformed "%s: unknown schema %S" path schema;
   {
     mode = to_str (member "mode" j);
@@ -227,9 +240,18 @@ let delta_pct ~base ~fresh =
   if base = 0 then if fresh = 0 then 0. else infinity
   else 100. *. (float_of_int fresh -. float_of_int base) /. float_of_int base
 
+(* Allocation band: allocated words per op are deterministic up to
+   cache-warm effects, but near-zero entries (the arena paths) would
+   turn a few stray words into an infinite relative delta, so the band
+   is relative tolerance plus a small absolute slack. *)
+let alloc_slack_w = 16.
+
+let alloc_regressed ~alloc_tolerance ~base ~fresh =
+  fresh > (base *. (1. +. alloc_tolerance)) +. alloc_slack_w
+
 (* Prints a markdown delta table (for $GITHUB_STEP_SUMMARY) and returns
    true iff the fresh run passes the gate against the baseline. *)
-let run ~tolerance ~baseline_path ~fresh_path =
+let run ~tolerance ?(alloc_tolerance = 0.10) ~baseline_path ~fresh_path () =
   let baseline = read_file baseline_path in
   let fresh = read_file fresh_path in
   let failures = ref [] in
@@ -237,17 +259,22 @@ let run ~tolerance ~baseline_path ~fresh_path =
   if baseline.mode <> fresh.mode then
     fail "mode mismatch: baseline is %S, fresh is %S (compare like with like)"
       baseline.mode fresh.mode;
-  Printf.printf "## Bench gate: %s vs %s (mode %s, tolerance +%.0f%%)\n\n"
-    fresh_path baseline_path baseline.mode (100. *. tolerance);
   Printf.printf
-    "| op | params | plan mults | Δ | naive mults | Δ | plan ns/op | status |\n";
-  Printf.printf "|---|---|---|---|---|---|---|---|\n";
+    "## Bench gate: %s vs %s (mode %s, tolerance +%.0f%%, alloc +%.0f%%)\n\n"
+    fresh_path baseline_path baseline.mode (100. *. tolerance)
+    (100. *. alloc_tolerance);
+  Printf.printf
+    "| op | params | plan mults | Δ | naive mults | Δ | plan alloc w/op | \
+     plan ns/op | status |\n";
+  Printf.printf "|---|---|---|---|---|---|---|---|---|\n";
+  let pp_alloc = function Some w -> Printf.sprintf "%.0f" w | None -> "—" in
   List.iter
     (fun b ->
       match List.find_opt (fun f -> key f = key b) fresh.entries with
       | None ->
           fail "entry disappeared: %s" (key_str (key b));
-          Printf.printf "| %s | n=%d t=%d M=%d | %d | — | %d | — | — | MISSING |\n"
+          Printf.printf
+            "| %s | n=%d t=%d M=%d | %d | — | %d | — | — | — | MISSING |\n"
             b.op b.n b.t b.m b.plan_mults b.naive_mults
       | Some f ->
           let plan_bad =
@@ -255,6 +282,12 @@ let run ~tolerance ~baseline_path ~fresh_path =
           in
           let naive_bad =
             regressed ~tolerance ~base:b.naive_mults ~fresh:f.naive_mults
+          in
+          let alloc_bad =
+            match (b.plan_alloc_w, f.plan_alloc_w) with
+            | Some base, Some fresh ->
+                alloc_regressed ~alloc_tolerance ~base ~fresh
+            | _ -> false
           in
           if plan_bad then
             fail "%s: plan mults regressed %d -> %d (+%.1f%%)"
@@ -264,22 +297,29 @@ let run ~tolerance ~baseline_path ~fresh_path =
             fail "%s: naive mults regressed %d -> %d (+%.1f%%)"
               (key_str (key b)) b.naive_mults f.naive_mults
               (delta_pct ~base:b.naive_mults ~fresh:f.naive_mults);
+          if alloc_bad then
+            fail "%s: plan allocations regressed %s -> %s words/op"
+              (key_str (key b))
+              (pp_alloc b.plan_alloc_w) (pp_alloc f.plan_alloc_w);
           Printf.printf
             "| %s | n=%d t=%d M=%d | %d → %d | %+.1f%% | %d → %d | %+.1f%% | \
-             %.0f → %.0f | %s |\n"
+             %s → %s | %.0f → %.0f | %s |\n"
             b.op b.n b.t b.m b.plan_mults f.plan_mults
             (delta_pct ~base:b.plan_mults ~fresh:f.plan_mults)
             b.naive_mults f.naive_mults
             (delta_pct ~base:b.naive_mults ~fresh:f.naive_mults)
+            (pp_alloc b.plan_alloc_w) (pp_alloc f.plan_alloc_w)
             b.plan_ns f.plan_ns
-            (if plan_bad || naive_bad then "**FAIL**" else "ok"))
+            (if plan_bad || naive_bad || alloc_bad then "**FAIL**" else "ok"))
     baseline.entries;
   List.iter
     (fun f ->
       if not (List.exists (fun b -> key b = key f) baseline.entries) then
-        Printf.printf "| %s | n=%d t=%d M=%d | %d (new) | — | %d (new) | — | \
-                       %.0f | new |\n"
-          f.op f.n f.t f.m f.plan_mults f.naive_mults f.plan_ns)
+        Printf.printf
+          "| %s | n=%d t=%d M=%d | %d (new) | — | %d (new) | — | %s | \
+           %.0f | new |\n"
+          f.op f.n f.t f.m f.plan_mults f.naive_mults (pp_alloc f.plan_alloc_w)
+          f.plan_ns)
     fresh.entries;
   Printf.printf "\n";
   match List.rev !failures with

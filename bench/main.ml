@@ -22,10 +22,13 @@
                                          # / Coin-Gen against the paper's
                                          # cost formulas (Lemmas 2/4/6,
                                          # Theorem 2); exit 3 on violation
-     dune exec bench/main.exe -- --gate --baseline F --fresh F [--tolerance PCT]
+     dune exec bench/main.exe -- --gate --baseline F --fresh F
+                                 [--tolerance PCT] [--alloc-tolerance PCT]
                                          # compare two --json outputs; exit 4
                                          # on op-count regression > PCT
-                                         # (default 25) or a vanished entry
+                                         # (default 25), plan allocation
+                                         # regression > alloc PCT (default
+                                         # 10) or a vanished entry
 *)
 
 module F32 = Gf2k.GF32
@@ -206,10 +209,16 @@ let gate args =
     | Some v -> float_of_string v /. 100.
     | None -> 0.25
   in
+  let alloc_tolerance =
+    match find "--alloc-tolerance" args with
+    | Some v -> float_of_string v /. 100.
+    | None -> 0.10
+  in
   if
     not
-      (Bench_gate.run ~tolerance ~baseline_path:(required "--baseline")
-         ~fresh_path:(required "--fresh"))
+      (Bench_gate.run ~tolerance ~alloc_tolerance
+         ~baseline_path:(required "--baseline")
+         ~fresh_path:(required "--fresh") ())
   then exit 4
 
 let () =

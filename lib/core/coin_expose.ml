@@ -10,17 +10,18 @@ module Make (F : Field_intf.S) = struct
     | Send of F.t
     | Equivocate of (int -> F.t option)
 
+  module Codec = Wire.Codec (F)
+
+  let elt_byte_size _ = F.byte_size
+
   (* The single communication round both decoders share: everyone sends
      its share of the coin to everyone. *)
   let send_round ?(sender_behavior = fun _ -> Honest) (coin : C.t) =
     let n = coin.C.n in
-    let module Codec = Wire.Codec (F) in
     let net =
       Transport.create
         ~codec:(Codec.encode_elt, Codec.decode_elt)
-        ~n
-        ~byte_size:(fun _ -> F.byte_size)
-        ()
+        ~n ~byte_size:elt_byte_size ()
     in
     let inbox =
       Transport.exchange net ~send:(fun () ->
@@ -51,7 +52,16 @@ module Make (F : Field_intf.S) = struct
         if C.trusted_row coin i j && not excl.(j) then Some (j, v) else None)
       inbox_i
 
-  let run ?sender_behavior (coin : C.t) =
+  (* The reference exposure path: list-based point gathering, list-based
+     checked reconstruction, attribution tallies kept unconditionally.
+     Bit-identical to [run] — same decoded values, same steady-state
+     Metrics ticks (one-time subset-cache builds may land in whichever
+     twin runs first), same Trace events, same PRNG stream (pinned by
+     differential tests in test/test_batch_kernels.ml) — but allocates
+     a points list and a closure environment per player per exposure.
+     Kept as the naive twin for equivalence tests and the bench
+     baseline. *)
+  let run_reference ?sender_behavior (coin : C.t) =
     Trace.span Trace.Protocol "coin-expose" @@ fun () ->
     let n = coin.C.n and t = coin.C.fault_bound in
     let plan = S.grid ~n ~t in
@@ -140,6 +150,130 @@ module Make (F : Field_intf.S) = struct
           done
         end;
         !acc);
+    results
+
+  (* Accusations computed from the tallies of one exposure round; shared
+     by [run] and hoisted out of its hot loop. Pure integer bookkeeping —
+     an accusation is only scored at t + 1 concurring players (see
+     DESIGN.md section 14). *)
+  let accusations net inbox ~n ~t ~bad_votes =
+    let acc = ref [] in
+    if Transport.complete_last_round net then begin
+      (* Nobody can be absent; only decode evidence remains. *)
+      for j = n - 1 downto 0 do
+        if bad_votes.(j) >= t + 1 then acc := (j, Sentinel.Bad_share) :: !acc
+      done
+    end
+    else begin
+      let unique_senders =
+        match Transport.current_plan () with
+        | None -> true
+        | Some p -> Transport.Plan.retransmits p >= 1
+      in
+      let miss_votes = Transport.absent_counts ~unique_senders ~n inbox in
+      for j = n - 1 downto 0 do
+        if miss_votes.(j) >= t + 1 then acc := (j, Sentinel.Silent) :: !acc;
+        if bad_votes.(j) >= t + 1 then acc := (j, Sentinel.Bad_share) :: !acc
+      done
+    end;
+    !acc
+
+  (* The steady-state exposure path. Identical values, ticks, traces and
+     draws as [run_reference]; the differences are purely allocation and
+     control flow:
+     - trusted points are gathered into two flat scratch arrays and fed
+       to the plan's arena reconstruction
+       ([Grid.reconstruct_zero_checked_into]) — no intermediate list, no
+       sort closures on the fault-free path;
+     - attribution bookkeeping (the [bad_votes] tally and the evidence
+       list) is built only when a ledger is installed
+       ([Sentinel.is_active]); without one those votes were dropped
+       unread, so skipping them changes nothing observable. *)
+  let run ?sender_behavior (coin : C.t) =
+    Trace.span Trace.Protocol "coin-expose" @@ fun () ->
+    let n = coin.C.n and t = coin.C.fault_bound in
+    let plan = S.grid ~n ~t in
+    let excl = Sentinel.exclusion_mask ~n in
+    let net, inbox = send_round ?sender_behavior coin in
+    let active = Sentinel.is_active () in
+    let bad_votes = if active then Array.make n 0 else [||] in
+    let ids = Array.make n 0 and ys = Array.make n F.zero in
+    (* Event thunks allocate even when no collector is installed; the
+       draw loop emits two per player, so hoist the enabled check. *)
+    let traced = Trace.enabled () in
+    let results =
+      Array.init n (fun i ->
+          (* A duplicating fault plan can deliver more than n messages to
+             one player; the shared n-sized scratch only serves the
+             normal case, so fall back to a fresh pair when oversized
+             (such inboxes carry duplicate ids and end up in the
+             Berlekamp-Welch cold path anyway). *)
+          let cap = List.length inbox.(i) in
+          let ids, ys =
+            if cap <= n then (ids, ys)
+            else (Array.make cap 0, Array.make cap F.zero)
+          in
+          let len = ref 0 in
+          List.iter
+            (fun (j, v) ->
+              if C.trusted_row coin i j && not excl.(j) then begin
+                ids.(!len) <- j;
+                ys.(!len) <- v;
+                incr len
+              end)
+            inbox.(i);
+          let m = !len in
+          (* Degree-t reconstruction needs m >= t + 1 points; note
+             (m - t - 1) / 2 truncates toward zero, so at m = t it is 0,
+             not negative — guard on m, not on e. *)
+          let e = (m - t - 1) / 2 in
+          let value =
+            if m <= t then begin
+              if traced then
+                Trace.event (fun () ->
+                    Trace.Note
+                      (Printf.sprintf
+                         "p%d: reconstruction impossible (m=%d <= t=%d)" i m t));
+              None
+            end
+            else
+              match
+                S.G.reconstruct_zero_checked_into plan ~ids ~ys ~len:m
+              with
+              | Some v -> Some v
+              | None -> (
+                  (* Cold path: some share is faulty or duplicated, so
+                     the list spine and eval_point mapping are paid only
+                     when the Berlekamp-Welch decoder actually runs. *)
+                  let mapped = ref [] in
+                  for k = m - 1 downto 0 do
+                    mapped := (ids.(k), (S.eval_point ids.(k), ys.(k))) :: !mapped
+                  done;
+                  let mapped = !mapped in
+                  match
+                    BW.decode_with_support ~max_degree:t ~max_errors:e
+                      (List.map snd mapped)
+                  with
+                  | None -> None
+                  | Some (f, support) ->
+                      (* The support is a physical sublist of the mapped
+                         points, so [memq] recovers the error locators
+                         with no extra field arithmetic. *)
+                      if active then
+                        List.iter
+                          (fun (j, pt) ->
+                            if not (List.memq pt support) then
+                              bad_votes.(j) <- bad_votes.(j) + 1)
+                          mapped;
+                      Some (BW.P.eval f F.zero))
+          in
+          if traced then
+            Trace.event (fun () ->
+                Trace.Reconstruct { player = i; ok = Option.is_some value });
+          value)
+    in
+    if active then
+      Sentinel.observe (fun () -> accusations net inbox ~n ~t ~bad_votes);
     results
 
   let expose_bit ?sender_behavior coin =

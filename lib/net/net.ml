@@ -345,8 +345,12 @@ let send t ~src ~dst msg =
   check_id t "send" src;
   check_id t "send" dst;
   if src <> dst then begin
-    Metrics.tick_message ~bytes_len:(t.byte_size msg);
-    Trace.event (fun () -> Trace.Send { src; dst; bytes = t.byte_size msg })
+    let bytes = t.byte_size msg in
+    Metrics.tick_message ~bytes_len:bytes;
+    (* The event thunk allocates even when no collector is installed;
+       at n players that is n^2 closures per round, so guard it. *)
+    if Trace.enabled () then
+      Trace.event (fun () -> Trace.Send { src; dst; bytes })
   end;
   match t.plan with
   | None -> enqueue t ~src ~dst msg
@@ -447,11 +451,23 @@ let deliver t =
             []
         | plan -> (
             (* Restore send order, then stable-sort by sender for
-               deterministic iteration in protocol code. *)
+               deterministic iteration in protocol code. Senders post in
+               ascending id order in the common full round, so the
+               reversed queue is usually already sorted — a linear scan
+               skips the sort (and its allocations) exactly when sorting
+               would be the identity, which keeps the inbox identical. *)
+            let rec sorted_by_src = function
+              | (a, _, _) :: ((b, _, _) :: _ as rest) ->
+                  a <= b && sorted_by_src rest
+              | _ -> true
+            in
+            let restored = List.rev queue in
             let inbox =
-              List.stable_sort
-                (fun (a, _, _) (b, _, _) -> Int.compare a b)
-                (List.rev queue)
+              if sorted_by_src restored then restored
+              else
+                List.stable_sort
+                  (fun (a, _, _) (b, _, _) -> Int.compare a b)
+                  restored
             in
             match plan with
             | Some plan -> Plan.shuffle_inbox plan inbox

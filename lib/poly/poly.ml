@@ -146,12 +146,22 @@ module Make (F : Field_intf.S) = struct
         !acc
 
   (* Array fast path: the hot reconstruction pipeline (Shamir, coin
-     exposure) builds xs/ys directly instead of a list of pairs. *)
-  let interpolate_at_arrays ~xs ~ys x0 =
-    if Array.length xs <> Array.length ys then
-      invalid_arg "Poly.interpolate_at_arrays: length mismatch";
+     exposure) builds xs/ys directly instead of a list of pairs. [?len]
+     reads only a prefix, so callers can reuse one scratch arena across
+     reconstructions instead of allocating exact-size arrays. *)
+  let interpolate_at_arrays ?len ~xs ~ys x0 =
+    let n =
+      match len with
+      | None ->
+          if Array.length xs <> Array.length ys then
+            invalid_arg "Poly.interpolate_at_arrays: length mismatch";
+          Array.length xs
+      | Some l ->
+          if l < 0 || l > Array.length xs || l > Array.length ys then
+            invalid_arg "Poly.interpolate_at_arrays: bad prefix length";
+          l
+    in
     Metrics.tick_interpolation ();
-    let n = Array.length xs in
     let total = ref F.zero in
     for j = 0 to n - 1 do
       let num = ref F.one and den = ref F.one in

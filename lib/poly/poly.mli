@@ -71,10 +71,13 @@ module Make (F : Field_intf.S) : sig
       cheap path for secret reconstruction at [x = 0]. Also ticks one
       interpolation. *)
 
-  val interpolate_at_arrays : xs:F.t array -> ys:F.t array -> F.t -> F.t
+  val interpolate_at_arrays :
+    ?len:int -> xs:F.t array -> ys:F.t array -> F.t -> F.t
   (** {!interpolate_at} on parallel coordinate arrays — the
       allocation-free variant for hot reconstruction paths that already
-      hold arrays. Ticks one interpolation. *)
+      hold arrays. [?len] restricts to a prefix so callers can thread
+      one reusable scratch arena through many reconstructions (the
+      arrays are only read). Ticks one interpolation. *)
 
   val fits_degree : (F.t * F.t) list -> max_degree:int -> bool
   (** [fits_degree points ~max_degree]: does some polynomial of degree

@@ -59,6 +59,10 @@ module Ledger = struct
     config : config;
     counts : int array array; (* player -> kind_index -> observations *)
     quarantine : bool array; (* sticky *)
+    (* Cached population count of [quarantine]. Quarantine is sticky, so
+       this only grows; [exclusion_mask] reads it to skip the per-player
+       walk in the common nobody-quarantined state. *)
+    mutable quarantine_n : int;
   }
 
   let create ?(config = passive) ~n () =
@@ -68,6 +72,7 @@ module Ledger = struct
       config;
       counts = Array.init n (fun _ -> Array.make n_kinds 0);
       quarantine = Array.make n false;
+      quarantine_n = 0;
     }
 
   let n t = t.n
@@ -108,7 +113,11 @@ module Ledger = struct
     match t.config.quarantine_threshold with
     | None -> ()
     | Some threshold ->
-        if score t ~player >= threshold then t.quarantine.(player) <- true
+        if (not t.quarantine.(player)) && score t ~player >= threshold
+        then begin
+          t.quarantine.(player) <- true;
+          t.quarantine_n <- t.quarantine_n + 1
+        end
 
   let record t ~player kind =
     if in_range t player then begin
@@ -150,6 +159,7 @@ module Ledger = struct
         config;
         counts = Array.map Array.copy counts;
         quarantine = Array.make n false;
+        quarantine_n = 0;
       }
     in
     for p = 0 to n - 1 do
@@ -189,6 +199,7 @@ let with_ledger ledger f =
       raise e
 
 let current () = !installed
+let is_active () = !installed <> None
 
 let observe f =
   match !installed with
@@ -213,4 +224,8 @@ let excluded player =
 let exclusion_mask ~n =
   match !installed with
   | None -> Array.make n false
+  | Some ledger when ledger.Ledger.quarantine_n = 0 ->
+      (* Nobody quarantined (always true under a passive ledger): skip
+         the per-player closure walk; the mask is all-false either way. *)
+      Array.make n false
   | Some ledger -> Array.init n (fun j -> Ledger.quarantined ledger ~player:j)

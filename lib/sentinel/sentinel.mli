@@ -108,6 +108,12 @@ val with_ledger : Ledger.t -> (unit -> 'a) -> 'a
 
 val current : unit -> Ledger.t option
 
+val is_active : unit -> bool
+(** True iff a ledger is installed. Hot paths branch on this once to
+    skip building evidence inputs entirely (closure environments,
+    intermediate lists) rather than paying their construction cost only
+    for {!observe} to drop the thunk unforced. *)
+
 val observe : (unit -> (int * kind) list) -> unit
 (** [observe f] feeds [f ()]'s accusations to the installed ledger, if
     any. The thunk is only forced when a ledger is installed, and runs

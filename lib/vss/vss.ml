@@ -182,11 +182,10 @@ module Make (F : Field_intf.S) = struct
     !acc
 
   let batch_honest_dealing g ~n ~t ~secrets =
-    (* One plan for all M sharings of the batch. *)
+    (* One plan for all M sharings of the batch; the batch kernel keeps
+       draws, shares and ticks identical to the sequential loop. *)
     let plan = S.grid ~n ~t in
-    let per_secret =
-      Array.map (fun secret -> S.deal_with plan g ~secret) secrets
-    in
+    let per_secret = S.deal_batch_with plan g ~secrets in
     Array.init n (fun i -> Array.map (fun shares -> shares.(i)) per_secret)
 
   let batch_cheating_dealing g ~n ~t ~m ~bad =

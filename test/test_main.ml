@@ -13,6 +13,7 @@ let () =
       ("graph", Test_graph.suite);
       ("shamir", Test_shamir.suite);
       ("kernel", Test_kernel.suite);
+      ("batch-kernels", Test_batch_kernels.suite);
       ("bcast", Test_bcast.suite);
       ("gradecast-all", Test_gradecast_all.suite);
       ("eig-ba", Test_eig.suite);
