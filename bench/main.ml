@@ -29,6 +29,11 @@
                                          # (default 25), plan allocation
                                          # regression > alloc PCT (default
                                          # 10) or a vanished entry
+     dune exec bench/main.exe -- --check-trajectory [--file F]
+                                         # validate every BENCH_history.jsonl
+                                         # row against its schema; exit 4 on
+                                         # malformed rows, duplicate keys or
+                                         # an unknown schema
 *)
 
 module F32 = Gf2k.GF32
@@ -232,6 +237,14 @@ let () =
     | [] -> "BENCH_latest.json"
   in
   if List.mem "--check-conformance" args then conformance ()
+  else if List.mem "--check-trajectory" args then begin
+    let rec file_path = function
+      | "--file" :: p :: _ -> p
+      | _ :: rest -> file_path rest
+      | [] -> "BENCH_history.jsonl"
+    in
+    if not (Trajectory.run ~path:(file_path args) ()) then exit 4
+  end
   else if List.mem "--gate" args then gate args
   else if json_only then
     Bench_json.run ~smoke:(List.mem "--smoke" args) ~path:(out_path args)

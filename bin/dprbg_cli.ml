@@ -8,10 +8,13 @@
      pool       persistent pool: state survives process restarts
      fuzz       adversarial property fuzzing with shrinking and replay
      trace      structured protocol traces (JSONL export, round timeline)
+     beacon     randomness-beacon service: chained epochs, batched vending
+     loadgen    drive the beacon with synthetic arrivals, report latency
 *)
 
 module F = Gf2k.GF32
 module Pool = Pool.Make (F)
+module B = Beacon.Make (F)
 module CG = Pool.CG
 module CE = Pool.CE
 module V = Vss.Make (F)
@@ -370,22 +373,32 @@ let pool_cmd =
        for i = 1 to draws do
          Printf.printf "%4d  %s\n" i (F.to_string (Pool.draw_kary pool))
        done
-     with Pool.Safe_mode msg ->
-       (* The evidence implies more than t corrupted players: the fault
-          assumption under reconstruction is void. Persist the ledger so
-          the operator can inspect it, then refuse with a dedicated
-          exit code. *)
-       save_state ();
-       Printf.eprintf
-         "error: safe mode — refusing to vend possibly-biased coins.\n%s\n"
-         msg;
-       exit 5);
+     with
+    | Pool.Safe_mode msg ->
+        (* The evidence implies more than t corrupted players: the fault
+           assumption under reconstruction is void. Persist the ledger so
+           the operator can inspect it, then refuse with a dedicated
+           exit code. *)
+        save_state ();
+        Printf.eprintf
+          "error: safe mode — refusing to vend possibly-biased coins.\n%s\n"
+          msg;
+        exit 5
+    | Pool.Starved msg ->
+        (* The refill retry budget ran dry. The message carries the
+           attribution an operator needs (refill_attempts, backoff_rounds,
+           coins left); persist what survived so a later run resumes. *)
+        save_state ();
+        if suspects then print_suspect_table ();
+        Printf.eprintf "error: pool starved — %s\n" msg;
+        exit 1);
     save_state ();
     let s = Pool.stats pool in
     Printf.printf
-      "# saved %d sealed coins to %s | lifetime: exposed=%d refills=%d dealer=%d\n"
+      "# saved %d sealed coins to %s | lifetime: exposed=%d refills=%d \
+       refill_attempts=%d backoff_rounds=%d dealer=%d\n"
       (Pool.available pool) state_file s.Pool.coins_exposed s.Pool.refills
-      s.Pool.dealer_coins;
+      s.Pool.refill_attempts s.Pool.backoff_rounds s.Pool.dealer_coins;
     if suspects then print_suspect_table ()
   in
   let info =
@@ -1018,13 +1031,437 @@ let chaos_cmd =
       $ stall_duration $ deadline $ iters $ draws $ transport_arg
       $ transport_timeout_arg)
 
+(* ------------------------------------------------------------------ *)
+
+(* Beacon plumbing shared by `beacon` and `loadgen`. Exit code 7 is
+   chain-verification failure: the transcript (or the beacon's own
+   emitted chain) does not recompute — a red flag CI must not swallow. *)
+
+let beacon_pool ~sentinel ~seed ~n ~t () =
+  B.P.create ~sentinel ~prng:(Prng.of_int seed) ~n ~t ~batch_size:32
+    ~refill_threshold:3 ~initial_seed:6 ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  data
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc
+
+let verify_transcript ~key path =
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let epochs =
+    List.mapi
+      (fun i line ->
+        match B.epoch_of_json line with
+        | Ok e -> e
+        | Error msg ->
+            Printf.eprintf "error: %s:%d: %s\n" path (i + 1) msg;
+            exit 7)
+      lines
+  in
+  match B.verify_chain ~key epochs with
+  | Ok () ->
+      Printf.printf "# verified %d epoch(s)%s\n" (List.length epochs)
+        (match List.rev epochs with
+        | last :: _ -> " | head " ^ Beacon_hash.to_hex last.B.digest
+        | [] -> "")
+  | Error msg ->
+      Printf.eprintf "error: chain verification failed: %s\n" msg;
+      exit 7
+
+let beacon_key_arg =
+  let doc = "MAC key for epoch records (verification needs the same key)." in
+  Arg.(value & opt string "dprbg-beacon" & info [ "key" ] ~docv:"KEY" ~doc)
+
+let beacon_cmd =
+  let state_file =
+    Arg.(
+      value
+      & opt string "dprbg-beacon.state"
+      & info [ "file"; "f" ] ~docv:"PATH" ~doc:"Beacon state file.")
+  in
+  let epochs =
+    Arg.(value & opt int 10 & info [ "epochs" ] ~docv:"N" ~doc:"Epochs to serve.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 8
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Synthetic consumer requests admitted per epoch.")
+  in
+  let nbits =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nbits" ] ~docv:"BITS"
+          ~doc:"Derived bits per request (default: the field width).")
+  in
+  let fresh =
+    Arg.(
+      value & flag
+      & info [ "fresh" ] ~doc:"Ignore any existing state file and start anew.")
+  in
+  let status =
+    Arg.(
+      value & flag
+      & info [ "status" ]
+          ~doc:
+            "Print the restored beacon's state (chain position, lifetime \
+             counters, pool level) and exit without serving.")
+  in
+  let transcript =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "transcript" ] ~docv:"PATH"
+          ~doc:"Append one JSONL epoch record per close to $(docv).")
+  in
+  let verify =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "verify" ] ~docv:"PATH"
+          ~doc:
+            "Verify a transcript's hash chain and MACs instead of serving; \
+             exits 7 on any verification failure.")
+  in
+  let expect_head =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect-head" ] ~docv:"HEX"
+          ~doc:
+            "Refuse to restore a snapshot whose chain head differs from \
+             $(docv) (32 hex chars, e.g. the digest of the last transcript \
+             line).")
+  in
+  let run () seed t state_file epochs requests nbits fresh status transcript
+      verify expect_head key =
+    match verify with
+    | Some path -> verify_transcript ~key path
+    | None -> (
+        let n = n_for t in
+        let expect_head =
+          Option.map
+            (fun h ->
+              match Beacon_hash.of_hex h with
+              | Ok d -> d
+              | Error msg ->
+                  Printf.eprintf "error: --expect-head: %s\n" msg;
+                  exit 2)
+            expect_head
+        in
+        let sentinel = Some Sentinel.passive in
+        let b =
+          if (not fresh) && Sys.file_exists state_file then begin
+            match
+              B.load ~key ?expect_head ~sentinel ~prng:(Prng.of_int seed)
+                ~batch_size:32 ~refill_threshold:3
+                (Bytes.of_string (read_file state_file))
+            with
+            | b ->
+                Printf.printf "# restored beacon from %s (next epoch %d)\n"
+                  state_file (B.next_seq b);
+                b
+            | exception B.Corrupt_snapshot msg ->
+                Printf.eprintf
+                  "error: %s is not a restorable beacon snapshot (%s)\n\
+                   Refusing to emit epochs from damaged or mismatched state; \
+                   rerun with --fresh to start a new chain.\n"
+                  state_file msg;
+                exit 1
+          end
+          else begin
+            Printf.printf "# starting a fresh beacon chain\n";
+            B.create ~key ~pool:(beacon_pool ~sentinel ~seed ~n ~t ()) ()
+          end
+        in
+        let print_status () =
+          let s = B.stats b in
+          Printf.printf
+            "# state=%s | next epoch %d | head %s\n\
+             # lifetime: epochs=%d vended=%d shed: queue_full=%d \
+             pool_pressure=%d halted=%d | pool: %d sealed coin(s)\n"
+            (B.state_label (B.state b))
+            (B.next_seq b)
+            (Beacon_hash.to_hex (B.head b))
+            s.B.epochs s.B.vended s.B.shed_queue_full s.B.shed_pool_pressure
+            s.B.shed_halted
+            (B.P.available (B.pool b))
+        in
+        if status then print_status ()
+        else begin
+          let tr_oc =
+            Option.map
+              (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p)
+              transcript
+          in
+          let save () = write_file state_file (B.save b) in
+          for _ = 1 to epochs do
+            for _ = 1 to requests do
+              match B.request b ?nbits ~callback:(fun _ -> ()) () with
+              | Ok _ -> ()
+              | Error r -> Printf.printf "# shed request: %s\n" (B.reject_name r)
+            done;
+            match B.close_epoch b with
+            | Ok e ->
+                Printf.printf "epoch %4d  vended=%d shed=%d flags=%s  %s\n"
+                  e.B.seq e.B.vended e.B.shed e.B.flags
+                  (Beacon_hash.to_hex e.B.digest);
+                Option.iter
+                  (fun oc -> output_string oc (B.epoch_to_json e ^ "\n"))
+                  tr_oc
+            | Error msg -> (
+                save ();
+                Option.iter close_out tr_oc;
+                match B.state b with
+                | B.Halted _ ->
+                    Printf.eprintf
+                      "error: beacon halted — refusing to vend \
+                       possibly-biased randomness.\n%s\n"
+                      msg;
+                    exit 5
+                | _ ->
+                    Printf.eprintf "error: epoch close failed — %s\n" msg;
+                    exit 1)
+          done;
+          Option.iter close_out tr_oc;
+          save ();
+          (match B.verify_chain ~key (B.chain b) with
+          | Ok () -> ()
+          | Error msg ->
+              Printf.eprintf
+                "error: emitted chain fails self-verification: %s\n" msg;
+              exit 7);
+          print_status ()
+        end)
+  in
+  let info =
+    Cmd.info "beacon"
+      ~doc:
+        "Run the randomness-beacon service: batched request vending over a \
+         persistent pool, one hash-chained MAC'd epoch record per close. \
+         --verify checks a transcript (exit 7 on chain failure); --status \
+         inspects saved state."
+  in
+  Cmd.v info
+    Term.(
+      const run $ setup_logs $ seed_arg $ t_arg $ state_file $ epochs
+      $ requests $ nbits $ fresh $ status $ transcript $ verify $ expect_head
+      $ beacon_key_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let loadgen_cmd =
+  let draws =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "draws" ] ~docv:"N" ~doc:"Fulfilled draws to drive.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 1000.
+      & info [ "rate" ] ~docv:"R" ~doc:"Mean request arrivals per epoch.")
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt (enum [ ("poisson", `Poisson); ("bursty", `Bursty) ]) `Poisson
+      & info [ "arrival" ] ~docv:"PROCESS"
+          ~doc:
+            "Open-loop arrival process: $(b,poisson) (i.i.d.) or $(b,bursty) \
+             (two-state Markov-modulated Poisson).")
+  in
+  let burst =
+    Arg.(
+      value & opt float 1.8
+      & info [ "burst" ] ~docv:"FACTOR"
+          ~doc:"Bursty high-state rate multiplier, in [1, 2].")
+  in
+  let nbits =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nbits" ] ~docv:"BITS"
+          ~doc:"Derived bits per request (default: the field width).")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int 4096
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Hard admission bound (soft cap under pressure is half).")
+  in
+  let latency_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "latency-out" ] ~docv:"PATH"
+          ~doc:"Write the latency/throughput summary as JSON to $(docv).")
+  in
+  let transcript =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "transcript" ] ~docv:"PATH"
+          ~doc:"Write the full JSONL epoch-chain transcript to $(docv).")
+  in
+  let bench_file =
+    Arg.(
+      value & opt string "BENCH_history.jsonl"
+      & info [ "bench-file" ] ~docv:"PATH"
+          ~doc:"Append the loadgen history row here ($(b,-) = skip).")
+  in
+  let run () seed t draws rate arrival burst nbits max_pending latency_out
+      transcript bench_file key =
+    if draws < 1 then begin
+      Printf.eprintf "error: --draws must be >= 1\n";
+      exit 2
+    end;
+    if rate <= 0. then begin
+      Printf.eprintf "error: --rate must be positive\n";
+      exit 2
+    end;
+    let n = n_for t in
+    let pool = beacon_pool ~sentinel:(Some Sentinel.passive) ~seed ~n ~t () in
+    let b = B.create ~key ~max_pending ~pool () in
+    let arr =
+      match arrival with
+      | `Poisson -> B.Arrival.poisson ~rate ~seed:(seed + 1)
+      | `Bursty -> B.Arrival.bursty ~burst ~rate ~seed:(seed + 1) ()
+    in
+    (* Vend latency is wall time from admission to callback — queue wait
+       plus the amortized share of the epoch's single Coin-Expose. *)
+    let lat = ref (Array.make (draws + 4096) 0.) in
+    let lat_n = ref 0 in
+    let record ns =
+      if !lat_n >= Array.length !lat then begin
+        let bigger = Array.make (2 * Array.length !lat) 0. in
+        Array.blit !lat 0 bigger 0 !lat_n;
+        lat := bigger
+      end;
+      !lat.(!lat_n) <- ns;
+      incr lat_n
+    in
+    let submit_times = Queue.create () in
+    let vended = ref 0 in
+    let callback _ =
+      record ((Unix.gettimeofday () -. Queue.pop submit_times) *. 1e9);
+      incr vended
+    in
+    let t_start = Unix.gettimeofday () in
+    while !vended < draws do
+      let k = B.Arrival.next arr in
+      for _ = 1 to k do
+        let t0 = Unix.gettimeofday () in
+        match B.request b ?nbits ~callback () with
+        | Ok _ -> Queue.push t0 submit_times
+        | Error _ -> () (* shed; attributed in the beacon's counters *)
+      done;
+      match B.close_epoch b with
+      | Ok _ -> ()
+      | Error msg -> (
+          match B.state b with
+          | B.Halted _ ->
+              Printf.eprintf "error: beacon halted mid-run — %s\n" msg;
+              exit 5
+          | _ ->
+              Printf.eprintf "error: epoch close failed — %s\n" msg;
+              exit 1)
+    done;
+    let elapsed = Unix.gettimeofday () -. t_start in
+    let s = B.stats b in
+    let shed = s.B.shed_queue_full + s.B.shed_pool_pressure + s.B.shed_halted in
+    let shed_rate =
+      if s.B.vended + shed = 0 then 0.
+      else float_of_int shed /. float_of_int (s.B.vended + shed)
+    in
+    let draws_per_coin =
+      if s.B.epochs = 0 then 0.
+      else float_of_int s.B.vended /. float_of_int s.B.epochs
+    in
+    let lats = Array.sub !lat 0 !lat_n in
+    Array.sort compare lats;
+    let pct p =
+      if !lat_n = 0 then 0.
+      else lats.(min (!lat_n - 1) (p * !lat_n / 100))
+    in
+    let p50 = pct 50 and p99 = pct 99 in
+    let chain = B.chain b in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        List.iter (fun e -> output_string oc (B.epoch_to_json e ^ "\n")) chain;
+        close_out oc;
+        Printf.printf "# transcript: %s (%d epochs)\n" path (List.length chain))
+      transcript;
+    let arrival_name = B.Arrival.name arr in
+    let row =
+      Printf.sprintf
+        "{\"schema\":\"dprbg-loadgen/1\",\"arrival\":%S,\"rate\":%g,\"draws\":%d,\"epochs\":%d,\"draws_per_coin\":%.2f,\"shed\":%d,\"shed_rate\":%.6f,\"p50_vend_ns\":%.0f,\"p99_vend_ns\":%.0f,\"elapsed_s\":%.3f}"
+        arrival_name rate s.B.vended s.B.epochs draws_per_coin shed shed_rate
+        p50 p99 elapsed
+    in
+    if bench_file <> "-" then begin
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 bench_file in
+      output_string oc (row ^ "\n");
+      close_out oc;
+      Printf.printf "# appended loadgen row to %s\n" bench_file
+    end;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (row ^ "\n");
+        close_out oc;
+        Printf.printf "# latency summary: %s\n" path)
+      latency_out;
+    Printf.printf
+      "# loadgen: arrival=%s rate=%g | vended=%d over %d epoch(s) = %.1f \
+       draws/coin | shed=%d (rate %.6f)\n\
+       # vend latency: p50=%.0fns p99=%.0fns | wall %.3fs\n"
+      arrival_name rate s.B.vended s.B.epochs draws_per_coin shed shed_rate p50
+      p99 elapsed;
+    let ps = B.P.stats (B.pool b) in
+    Printf.printf "# pool: refills=%d refill_attempts=%d backoff_rounds=%d\n"
+      ps.B.P.refills ps.B.P.refill_attempts ps.B.P.backoff_rounds;
+    match B.verify_chain ~key chain with
+    | Ok () ->
+        Printf.printf "# chain: verified %d epoch(s) | head %s\n"
+          (List.length chain)
+          (Beacon_hash.to_hex (B.head b))
+    | Error msg ->
+        Printf.eprintf "error: chain verification failed: %s\n" msg;
+        exit 7
+  in
+  let info =
+    Cmd.info "loadgen"
+      ~doc:
+        "Drive the beacon with seeded open-loop synthetic arrivals (Poisson \
+         or bursty), then report p50/p99 vend latency, draws-per-coin and \
+         shed rate, append a history row to BENCH_history.jsonl, and verify \
+         the emitted epoch chain (exit 7 on failure)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ setup_logs $ seed_arg $ t_arg $ draws $ rate $ arrival
+      $ burst $ nbits $ max_pending $ latency_out $ transcript $ bench_file
+      $ beacon_key_arg)
+
 let main =
   let doc = "Distributed pseudo-random bit generators (PODC 1996) simulator" in
   let info = Cmd.info "dprbg" ~version:Dprbg_version.version ~doc in
   Cmd.group info
     [
       coins_cmd; soundness_cmd; costs_cmd; agreement_cmd; pool_cmd; fuzz_cmd;
-      trace_cmd; transport_cmd; chaos_cmd;
+      trace_cmd; transport_cmd; chaos_cmd; beacon_cmd; loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,500 @@
+let log_src = Logs.Src.create "dprbg.beacon" ~doc:"Randomness-beacon service"
+
+module Log = (val Logs.src_log log_src)
+
+module Make (F : Field_intf.S) = struct
+  module P = Pool.Make (F)
+
+  exception Corrupt_snapshot of string
+
+  type state = Serving | Degraded of string | Halted of string
+  type reject = Queue_full | Pool_pressure | Beacon_halted of string
+
+  let reject_name = function
+    | Queue_full -> "queue_full"
+    | Pool_pressure -> "pool_pressure"
+    | Beacon_halted _ -> "halted"
+
+  let state_label = function
+    | Serving -> "serving"
+    | Degraded _ -> "degraded"
+    | Halted _ -> "halted"
+
+  type epoch = {
+    seq : int;
+    prev : Beacon_hash.t;
+    coin : F.t;
+    vended : int;
+    shed : int;
+    flags : string;
+    digest : Beacon_hash.t;
+    mac : Beacon_hash.t;
+  }
+
+  (* The byte string the digest commits to: every record field except
+     the digest and MAC themselves. [prev] is inside, so each digest
+     transitively commits to the whole chain before it. *)
+  let epoch_preimage ~seq ~prev ~coin ~vended ~shed ~flags =
+    let w = Wire.Writer.create () in
+    Wire.Writer.u32 w seq;
+    Beacon_hash.write w prev;
+    let cb = F.to_bytes coin in
+    Wire.Writer.u16 w (Bytes.length cb);
+    Wire.Writer.raw w cb;
+    Wire.Writer.u32 w vended;
+    Wire.Writer.u32 w shed;
+    let fb = Bytes.of_string flags in
+    Wire.Writer.u16 w (Bytes.length fb);
+    Wire.Writer.raw w fb;
+    Wire.Writer.contents w
+
+  let default_key = "dprbg-beacon"
+
+  let seal ?(key = default_key) ~seq ~prev ~coin ~vended ~shed ~flags () =
+    let digest =
+      Beacon_hash.digest (epoch_preimage ~seq ~prev ~coin ~vended ~shed ~flags)
+    in
+    let mac = Beacon_hash.mac ~key (Beacon_hash.to_bytes digest) in
+    { seq; prev; coin; vended; shed; flags; digest; mac }
+
+  let verify_chain ?(key = default_key) epochs =
+    let check e ~expect_prev =
+      if e.seq < 0 then Error (Printf.sprintf "epoch %d: negative seq" e.seq)
+      else if
+        (match expect_prev with
+        | Some p -> not (Beacon_hash.equal e.prev p)
+        | None -> e.seq = 0 && not (Beacon_hash.equal e.prev Beacon_hash.zero))
+      then Error (Printf.sprintf "epoch %d: broken prev link" e.seq)
+      else
+        let expect =
+          seal ~key ~seq:e.seq ~prev:e.prev ~coin:e.coin ~vended:e.vended
+            ~shed:e.shed ~flags:e.flags ()
+        in
+        if not (Beacon_hash.equal expect.digest e.digest) then
+          Error
+            (Printf.sprintf "epoch %d: digest does not match its fields" e.seq)
+        else if not (Beacon_hash.equal expect.mac e.mac) then
+          Error (Printf.sprintf "epoch %d: MAC verification failed" e.seq)
+        else Ok ()
+    in
+    let rec go prev_epoch = function
+      | [] -> Ok ()
+      | e :: rest -> (
+          let link =
+            match prev_epoch with
+            | None -> Ok ()
+            | Some p ->
+                if e.seq <> p.seq + 1 then
+                  Error
+                    (Printf.sprintf "epoch %d: sequence gap after %d" e.seq
+                       p.seq)
+                else Ok ()
+          in
+          match link with
+          | Error _ as err -> err
+          | Ok () -> (
+              match
+                check e ~expect_prev:(Option.map (fun p -> p.digest) prev_epoch)
+              with
+              | Error _ as err -> err
+              | Ok () -> go (Some e) rest))
+    in
+    go None epochs
+
+  (* --- transcript codec -------------------------------------------- *)
+
+  let schema = "dprbg-beacon-epoch/1"
+
+  let epoch_to_json e =
+    Printf.sprintf
+      "{\"schema\":%S,\"seq\":%d,\"prev\":%S,\"coin\":%S,\"vended\":%d,\"shed\":%d,\"flags\":%S,\"digest\":%S,\"mac\":%S}"
+      schema e.seq
+      (Beacon_hash.to_hex e.prev)
+      (Beacon_hash.hex_of_bytes (F.to_bytes e.coin))
+      e.vended e.shed e.flags
+      (Beacon_hash.to_hex e.digest)
+      (Beacon_hash.to_hex e.mac)
+
+  let epoch_of_json line =
+    let ( let* ) = Result.bind in
+    match
+      Scanf.sscanf line
+        "{\"schema\":%S,\"seq\":%d,\"prev\":%S,\"coin\":%S,\"vended\":%d,\"shed\":%d,\"flags\":%S,\"digest\":%S,\"mac\":%S}"
+        (fun sc seq prev coin vended shed flags digest mac ->
+          (sc, seq, prev, coin, vended, shed, flags, digest, mac))
+    with
+    | exception Scanf.Scan_failure msg -> Error ("malformed epoch line: " ^ msg)
+    | exception End_of_file -> Error "truncated epoch line"
+    | exception Failure msg -> Error ("malformed epoch line: " ^ msg)
+    | sc, seq, prev, coin, vended, shed, flags, digest, mac ->
+        if sc <> schema then Error (Printf.sprintf "unknown schema %S" sc)
+        else
+          let* prev = Beacon_hash.of_hex prev in
+          let* digest = Beacon_hash.of_hex digest in
+          let* mac = Beacon_hash.of_hex mac in
+          let* coin_bytes = Beacon_hash.bytes_of_hex coin in
+          let* coin =
+            match F.of_bytes coin_bytes with
+            | c -> Ok c
+            | exception Invalid_argument msg ->
+                Error ("bad coin encoding: " ^ msg)
+          in
+          Ok { seq; prev; coin; vended; shed; flags; digest; mac }
+
+  (* --- the service -------------------------------------------------- *)
+
+  type fulfillment = { request_id : int; epoch : int; bits : bool array }
+
+  type request = {
+    id : int;
+    nbits : int;
+    callback : fulfillment -> unit;
+  }
+
+  type t = {
+    pool : P.t;
+    key : string;
+    max_pending : int;
+    soft_cap : int;
+    prefetch : int;
+    mutable state : state;
+    mutable next_seq : int;
+    mutable head : Beacon_hash.t;
+    mutable chain_rev : epoch list;
+    mutable queue : request list; (* newest first *)
+    mutable queue_len : int;
+    mutable next_request_id : int;
+    mutable shed_since_close : int;
+    mutable epochs : int;
+    mutable vended : int;
+    mutable shed_queue_full : int;
+    mutable shed_pool_pressure : int;
+    mutable shed_halted : int;
+  }
+
+  type stats = {
+    epochs : int;
+    vended : int;
+    shed_queue_full : int;
+    shed_pool_pressure : int;
+    shed_halted : int;
+  }
+
+  let create ?(key = default_key) ?(max_pending = 4096) ?(prefetch = 1) ~pool
+      () =
+    if max_pending < 2 then
+      invalid_arg "Beacon.create: max_pending must be >= 2";
+    if prefetch < 0 then invalid_arg "Beacon.create: prefetch must be >= 0";
+    {
+      pool;
+      key;
+      max_pending;
+      soft_cap = max 1 (max_pending / 2);
+      prefetch;
+      state = Serving;
+      next_seq = 0;
+      head = Beacon_hash.zero;
+      chain_rev = [];
+      queue = [];
+      queue_len = 0;
+      next_request_id = 1;
+      shed_since_close = 0;
+      epochs = 0;
+      vended = 0;
+      shed_queue_full = 0;
+      shed_pool_pressure = 0;
+      shed_halted = 0;
+    }
+
+  let pool b = b.pool
+  let pending b = b.queue_len
+  let next_seq b = b.next_seq
+  let head b = b.head
+  let chain b = List.rev b.chain_rev
+
+  (* Recompute the admission state from the live signals. [Halted] is
+     sticky: once the fault assumption is void nothing short of a
+     rebuild/restore makes the output trustworthy again. *)
+  let refresh_state b =
+    match b.state with
+    | Halted _ -> ()
+    | Serving | Degraded _ ->
+        let quarantined =
+          match P.ledger b.pool with
+          | Some ledger -> Sentinel.Ledger.quarantined_count ledger
+          | None -> 0
+        in
+        b.state <-
+          (if P.headroom b.pool <= 0 then
+             Degraded
+               (Printf.sprintf
+                  "pool at refill watermark (available=%d threshold=%d)"
+                  (P.available b.pool)
+                  (P.refill_threshold b.pool))
+           else if quarantined > 0 then
+             Degraded (Printf.sprintf "%d player(s) quarantined" quarantined)
+           else Serving)
+
+  let state b =
+    refresh_state b;
+    b.state
+
+  let halt b msg =
+    b.state <- Halted msg;
+    (* In-flight requests can no longer be served honestly: shed them
+       (their callbacks never fire) and account the shed. *)
+    b.shed_halted <- b.shed_halted + b.queue_len;
+    b.shed_since_close <- b.shed_since_close + b.queue_len;
+    b.queue <- [];
+    b.queue_len <- 0;
+    Log.warn (fun f -> f "beacon halted: %s" msg)
+
+  let request b ?nbits ~callback () =
+    let nbits = Option.value nbits ~default:F.k_bits in
+    if nbits < 1 then invalid_arg "Beacon.request: nbits must be >= 1";
+    refresh_state b;
+    match b.state with
+    | Halted msg ->
+        b.shed_halted <- b.shed_halted + 1;
+        b.shed_since_close <- b.shed_since_close + 1;
+        Error (Beacon_halted msg)
+    | _ when b.queue_len >= b.max_pending ->
+        b.shed_queue_full <- b.shed_queue_full + 1;
+        b.shed_since_close <- b.shed_since_close + 1;
+        Error Queue_full
+    | Degraded _ when b.queue_len >= b.soft_cap ->
+        b.shed_pool_pressure <- b.shed_pool_pressure + 1;
+        b.shed_since_close <- b.shed_since_close + 1;
+        Error Pool_pressure
+    | Serving | Degraded _ ->
+        let id = b.next_request_id in
+        b.next_request_id <- id + 1;
+        b.queue <- { id; nbits; callback } :: b.queue;
+        b.queue_len <- b.queue_len + 1;
+        Ok id
+
+  (* Per-request vend stream: a keyed digest of (epoch seq, coin,
+     request id) seeds a SplitMix64 stream that yields the requested
+     bits. Distinct requests in the same epoch get computationally
+     unrelated streams from the single exposed coin — the paper's PRBG
+     expansion, applied service-side. *)
+  let derive b ~seq ~coin r =
+    let w = Wire.Writer.create () in
+    Wire.Writer.u8 w 3;
+    Wire.Writer.u32 w seq;
+    let cb = F.to_bytes coin in
+    Wire.Writer.u16 w (Bytes.length cb);
+    Wire.Writer.raw w cb;
+    Wire.Writer.u32 w r.id;
+    let h = Beacon_hash.mac ~key:b.key (Wire.Writer.contents w) in
+    let g = Prng.create (Beacon_hash.to_seed h) in
+    {
+      request_id = r.id;
+      epoch = seq;
+      bits = Array.init r.nbits (fun _ -> Prng.bool g);
+    }
+
+  let close_epoch b =
+    match b.state with
+    | Halted msg -> Error ("beacon halted: " ^ msg)
+    | Serving | Degraded _ -> (
+        Trace.span Trace.Protocol "beacon.epoch" @@ fun () ->
+        match P.draw_kary b.pool with
+        | exception P.Safe_mode msg ->
+            halt b msg;
+            Error ("safe mode: " ^ msg)
+        | exception P.Starved msg ->
+            (* The refill retry budget ran dry. The queue is kept — the
+               diagnostics (refill_attempts, backoff_rounds) are in the
+               message, and the caller may close again once pressure
+               passes. *)
+            b.state <- Degraded ("pool starved: " ^ msg);
+            Trace.note ("beacon epoch aborted, pool starved: " ^ msg);
+            Error ("pool starved: " ^ msg)
+        | coin ->
+            let pending = List.rev b.queue in
+            b.queue <- [];
+            b.queue_len <- 0;
+            let seq = b.next_seq in
+            List.iter
+              (fun r ->
+                let f = derive b ~seq ~coin r in
+                Trace.event (fun () ->
+                    Trace.Vend { request = r.id; epoch = seq; bits = r.nbits });
+                r.callback f)
+              pending;
+            refresh_state b;
+            let vended = List.length pending in
+            let e =
+              seal ~key:b.key ~seq ~prev:b.head ~coin ~vended
+                ~shed:b.shed_since_close
+                ~flags:(state_label b.state) ()
+            in
+            b.head <- e.digest;
+            b.next_seq <- seq + 1;
+            b.chain_rev <- e :: b.chain_rev;
+            b.epochs <- b.epochs + 1;
+            b.vended <- b.vended + vended;
+            b.shed_since_close <- 0;
+            Log.debug (fun f ->
+                f "epoch %d: vended %d, shed %d, head %s" seq vended e.shed
+                  (Beacon_hash.to_hex e.digest));
+            (* Pending-demand signal: pay the next refill between
+               epochs, not inside the next vend. Pressure failures here
+               degrade/halt the state but never lose the epoch just
+               emitted. *)
+            (try if b.prefetch > 0 then P.prefetch b.pool ~upcoming:b.prefetch
+             with
+            | P.Safe_mode msg -> halt b msg
+            | P.Starved msg -> b.state <- Degraded ("pool starved: " ^ msg));
+            Ok e)
+
+  let stats (b : t) : stats =
+    {
+      epochs = b.epochs;
+      vended = b.vended;
+      shed_queue_full = b.shed_queue_full;
+      shed_pool_pressure = b.shed_pool_pressure;
+      shed_halted = b.shed_halted;
+    }
+
+  (* --- persistence --------------------------------------------------- *)
+
+  let magic = 0xBEA1
+  let snapshot_version = 1
+
+  let save b =
+    let w = Wire.Writer.create () in
+    Wire.Writer.u32 w b.next_seq;
+    Beacon_hash.write w b.head;
+    List.iter
+      (fun v -> Wire.Writer.u32 w v)
+      [ b.epochs; b.vended; b.shed_queue_full; b.shed_pool_pressure;
+        b.shed_halted ];
+    let pool_bytes = P.save b.pool in
+    Wire.Writer.u32 w (Bytes.length pool_bytes);
+    Wire.Writer.raw w pool_bytes;
+    let payload = Wire.Writer.contents w in
+    let header = Wire.Writer.create () in
+    Wire.Writer.u16 header magic;
+    Wire.Writer.u8 header snapshot_version;
+    Wire.Writer.u32 header (Bytes.length payload);
+    Wire.Writer.u32 header (Wire.Crc32.digest payload);
+    Wire.Writer.raw header payload;
+    Wire.Writer.contents header
+
+  let corrupt msg = raise (Corrupt_snapshot ("Beacon.load: " ^ msg))
+
+  let load ?(key = default_key) ?max_pending ?prefetch ?expect_head ?adversary
+      ?expose_behavior ?sentinel ~prng ~batch_size ~refill_threshold bytes =
+    if Bytes.length bytes < 11 then corrupt "truncated header";
+    let r = Wire.Reader.of_bytes bytes in
+    if Wire.Reader.u16 r <> magic then corrupt "bad magic";
+    let version = Wire.Reader.u8 r in
+    if version <> snapshot_version then
+      corrupt (Printf.sprintf "unsupported version %d" version);
+    let len = Wire.Reader.u32 r in
+    if Bytes.length bytes <> 11 + len then corrupt "payload length mismatch";
+    let crc = Wire.Reader.u32 r in
+    let payload = Wire.Reader.raw r len in
+    if Wire.Crc32.digest payload <> crc then corrupt "checksum mismatch";
+    let next_seq, head, counters, pool_bytes =
+      match
+        let r = Wire.Reader.of_bytes payload in
+        let next_seq = Wire.Reader.u32 r in
+        let head = Beacon_hash.read r in
+        let counters = Array.init 5 (fun _ -> Wire.Reader.u32 r) in
+        let pool_len = Wire.Reader.u32 r in
+        let pool_bytes = Wire.Reader.raw r pool_len in
+        Wire.Reader.expect_end r;
+        (next_seq, head, counters, pool_bytes)
+      with
+      | decoded -> decoded
+      | exception _ ->
+          corrupt
+            (Printf.sprintf "undecodable payload [bytes=%d]"
+               (Bytes.length bytes))
+    in
+    (match expect_head with
+    | Some h when not (Beacon_hash.equal h head) ->
+        corrupt
+          (Printf.sprintf
+             "chain head mismatch: snapshot head is %s, expected %s — this \
+              snapshot does not extend the trusted transcript"
+             (Beacon_hash.to_hex head) (Beacon_hash.to_hex h))
+    | _ -> ());
+    let pool =
+      match
+        P.load ?adversary ?expose_behavior ?sentinel ~prng ~batch_size
+          ~refill_threshold pool_bytes
+      with
+      | pool -> pool
+      | exception P.Corrupt_snapshot msg ->
+          corrupt ("wrapped pool snapshot is damaged: " ^ msg)
+    in
+    let b = create ~key ?max_pending ?prefetch ~pool () in
+    b.next_seq <- next_seq;
+    b.head <- head;
+    b.epochs <- counters.(0);
+    b.vended <- counters.(1);
+    b.shed_queue_full <- counters.(2);
+    b.shed_pool_pressure <- counters.(3);
+    b.shed_halted <- counters.(4);
+    b
+
+  (* --- synthetic arrivals -------------------------------------------- *)
+
+  module Arrival = struct
+    type kind = Poisson | Bursty of { burst : float; mutable high : bool }
+    type t = { rate : float; g : Prng.t; kind : kind }
+
+    let unit_float g = float_of_int (Prng.bits g 53) /. 9007199254740992.
+
+    let rec gaussian g =
+      let u1 = unit_float g and u2 = unit_float g in
+      if u1 <= 0. then gaussian g
+      else sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+    (* Knuth's product method below lambda = 30 (exp(-lambda) stays
+       representable), normal approximation above — loadgen rates are in
+       the hundreds-to-thousands, where the approximation error is far
+       below the arrival noise. *)
+    let poisson_draw g lambda =
+      if lambda <= 0. then 0
+      else if lambda < 30. then begin
+        let l = exp (-.lambda) in
+        let k = ref 0 and p = ref 1.0 in
+        let continue = ref true in
+        while !continue do
+          p := !p *. unit_float g;
+          if !p > l then incr k else continue := false
+        done;
+        !k
+      end
+      else
+        let x = lambda +. (sqrt lambda *. gaussian g) in
+        int_of_float (Float.max 0. (Float.round x))
+
+    let poisson ~rate ~seed =
+      if rate < 0. then invalid_arg "Arrival.poisson: rate must be >= 0";
+      { rate; g = Prng.of_int seed; kind = Poisson }
+
+    let bursty ?(burst = 1.8) ~rate ~seed () =
+      if rate < 0. then invalid_arg "Arrival.bursty: rate must be >= 0";
+      if burst < 1.0 || burst > 2.0 then
+        invalid_arg "Arrival.bursty: burst must be in [1, 2]";
+      { rate; g = Prng.of_int seed; kind = Bursty { burst; high = false } }
+
+    let next t =
+      match t.kind with
+      | Poisson -> poisson_draw t.g t.rate
+      | Bursty b ->
+          if unit_float t.g < 0.2 then b.high <- not b.high;
+          let r =
+            if b.high then b.burst *. t.rate else (2. -. b.burst) *. t.rate
+          in
+          poisson_draw t.g r
+
+    let name t = match t.kind with Poisson -> "poisson" | Bursty _ -> "bursty"
+  end
+end

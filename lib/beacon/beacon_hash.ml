@@ -1,0 +1,126 @@
+(* Two-lane SplitMix64 sponge: 128-bit state, 64-bit rate. Each block
+   perturbs the high lane through the SplitMix64 finalizer (full
+   avalanche on 64 bits) and folds the result into the low lane, so
+   every input bit diffuses into both lanes within one round. The
+   length is absorbed at the end (suffix-freeness), followed by two
+   blank rounds to flush the final block through both lanes. *)
+
+type t = { hi : int64; lo : int64 }
+
+let zero = { hi = 0L; lo = 0L }
+let equal a b = Int64.equal a.hi b.hi && Int64.equal a.lo b.lo
+
+let compare a b =
+  match Int64.unsigned_compare a.hi b.hi with
+  | 0 -> Int64.unsigned_compare a.lo b.lo
+  | c -> c
+
+let golden = 0x9e3779b97f4a7c15L
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let absorb st w =
+  let hi = mix64 (Int64.add (Int64.logxor st.hi w) golden) in
+  let lo = mix64 (Int64.logxor st.lo (Int64.add hi w)) in
+  { hi; lo }
+
+(* Little-endian 64-bit word at [off]; missing tail bytes read as 0. *)
+let block b off =
+  let len = Bytes.length b in
+  let w = ref 0L in
+  for i = 7 downto 0 do
+    let v = if off + i < len then Char.code (Bytes.get b (off + i)) else 0 in
+    w := Int64.logor (Int64.shift_left !w 8) (Int64.of_int v)
+  done;
+  !w
+
+let absorb_bytes st b =
+  let len = Bytes.length b in
+  let st = ref st in
+  let off = ref 0 in
+  while !off < len do
+    st := absorb !st (block b !off);
+    off := !off + 8
+  done;
+  !st
+
+let finish st ~total =
+  let st = absorb st (Int64.of_int total) in
+  let st = absorb st 0L in
+  absorb st 0L
+
+let digest b =
+  (* Domain tag 1: unkeyed. *)
+  let st = absorb { hi = 1L; lo = 0L } (Int64.of_int (Bytes.length b)) in
+  finish (absorb_bytes st b) ~total:(Bytes.length b)
+
+let mac ~key b =
+  (* Domain tag 2: keyed sandwich — key, message, key again. *)
+  let kb = Bytes.of_string key in
+  let st = absorb { hi = 2L; lo = 0L } (Int64.of_int (Bytes.length kb)) in
+  let st = absorb_bytes st kb in
+  let st = absorb st (Int64.of_int (Bytes.length b)) in
+  let st = absorb_bytes st b in
+  let st = absorb_bytes st kb in
+  finish st ~total:(Bytes.length b)
+
+let to_bytes { hi; lo } =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 hi;
+  Bytes.set_int64_le b 8 lo;
+  b
+
+let of_bytes b =
+  if Bytes.length b <> 16 then
+    invalid_arg "Beacon_hash.of_bytes: need exactly 16 bytes";
+  { hi = Bytes.get_int64_le b 0; lo = Bytes.get_int64_le b 8 }
+
+let to_seed { hi; lo } = Int64.logxor hi (mix64 lo)
+
+let hex_of_bytes b =
+  String.init
+    (2 * Bytes.length b)
+    (fun i ->
+      let v = Char.code (Bytes.get b (i / 2)) in
+      "0123456789abcdef".[if i mod 2 = 0 then v lsr 4 else v land 0xf])
+
+let bytes_of_hex s =
+  let len = String.length s in
+  if len mod 2 <> 0 then Error "odd-length hex string"
+  else
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let b = Bytes.create (len / 2) in
+    let bad = ref None in
+    for i = 0 to (len / 2) - 1 do
+      match (nibble s.[2 * i], nibble s.[(2 * i) + 1]) with
+      | Some h, Some l -> Bytes.set b i (Char.chr ((h lsl 4) lor l))
+      | _ -> if !bad = None then bad := Some (2 * i)
+    done;
+    match !bad with
+    | Some i -> Error (Printf.sprintf "non-hex character at offset %d" i)
+    | None -> Ok b
+
+let to_hex h = hex_of_bytes (to_bytes h)
+
+let of_hex s =
+  if String.length s <> 32 then Error "digest hex must be 32 characters"
+  else Result.map of_bytes (bytes_of_hex s)
+
+let write w h = Wire.Writer.raw w (to_bytes h)
+let read r = of_bytes (Wire.Reader.raw r 16)
+let pp ppf h = Format.pp_print_string ppf (to_hex h)

@@ -1,0 +1,53 @@
+(** 128-bit digests and MACs for beacon epoch records.
+
+    The container has no cryptographic library, and the repository's
+    stance on local primitives follows {!Prng}: the paper treats them as
+    given, so the simulation stands in a fast deterministic function
+    with good avalanche behaviour — a two-lane SplitMix64 sponge — and
+    documents that it is {e not} cryptographic. Everything the beacon
+    layer asserts (chain linkage, tamper evidence in tests, keyed
+    record authentication) only needs a stable, collision-scattering,
+    key-separated function; swapping in a real hash/MAC later is a
+    one-module change. *)
+
+type t
+(** A 128-bit digest. Immutable. *)
+
+val zero : t
+(** The genesis chain link: the [prev] of epoch 0. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val digest : bytes -> t
+(** Unkeyed digest of the whole buffer. *)
+
+val mac : key:string -> bytes -> t
+(** Keyed digest (sandwich construction: the key is absorbed before and
+    after the message, with domain separation from {!digest}). *)
+
+val to_bytes : t -> bytes
+(** 16 bytes, little-endian lanes. Round-trips with {!of_bytes}. *)
+
+val of_bytes : bytes -> t
+(** @raise Invalid_argument on a buffer that is not exactly 16 bytes. *)
+
+val to_seed : t -> int64
+(** Fold the digest into one 64-bit PRNG seed (for deriving per-request
+    vend streams from an epoch coin). *)
+
+val to_hex : t -> string
+(** 32 lowercase hex characters. *)
+
+val of_hex : string -> (t, string) result
+
+val write : Wire.Writer.t -> t -> unit
+val read : Wire.Reader.t -> t
+val pp : Format.formatter -> t -> unit
+
+(** {1 Generic hex helpers}
+
+    Used by the beacon transcript codec for field-element payloads. *)
+
+val hex_of_bytes : bytes -> string
+val bytes_of_hex : string -> (bytes, string) result

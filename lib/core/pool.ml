@@ -99,6 +99,13 @@ module Make (F : Field_intf.S) = struct
 
   let available p = List.length p.coins
   let ledger p = p.ledger
+  let refill_threshold p = p.refill_threshold
+
+  (* Draws the pool can serve before the next draw pays a refill inline.
+     The beacon's admission control reads this as its pool-pressure
+     signal: headroom <= 0 means the next epoch close runs Coin-Gen in
+     the vend path. *)
+  let headroom p = available p - p.refill_threshold
 
   (* Satellite diagnostics: every Starved carries the pool's vital signs
      so a post-mortem needs no debugger. *)
@@ -327,6 +334,24 @@ module Make (F : Field_intf.S) = struct
               f "quarantine count rose to %d: early proactive refresh" q);
           refresh p
         end
+
+  (* Pending-demand signal from a long-running consumer (the beacon
+     daemon): refill ahead of the vend path so the next [upcoming] draws
+     are served from stock instead of paying Coin-Gen latency inline at
+     an epoch close. Each refill strictly grows the pool (batch_size >=
+     2 * refill_threshold and a run spends at most threshold seed
+     coins), so the loop terminates; the bound is belt and braces
+     against a pathological adversary hook. *)
+  let prefetch p ~upcoming =
+    guard_safe_mode p;
+    let rec go budget =
+      if budget > 0 && headroom p < upcoming then begin
+        let before = available p in
+        refill p;
+        if available p > before then go (budget - 1)
+      end
+    in
+    go 64
 
   let draw_kary p =
     Trace.span Trace.Protocol "pool.draw" @@ fun () ->

@@ -128,6 +128,22 @@ module Make (F : Field_intf.S) : sig
   val available : t -> int
   (** Sealed coins currently in the pool. *)
 
+  val refill_threshold : t -> int
+  (** The refill watermark this pool was created/loaded with. *)
+
+  val headroom : t -> int
+  (** [available - refill_threshold]: how many draws the pool can serve
+      before a draw pays a Coin-Gen refill inline. The beacon's
+      admission control treats [headroom <= 0] as pool pressure. *)
+
+  val prefetch : t -> upcoming:int -> unit
+  (** Pending-demand signal: refill (possibly repeatedly) until
+      {!headroom} covers the next [upcoming] draws, so a long-running
+      consumer can pay refill latency between vends instead of inside
+      one. No-op when the headroom already suffices.
+      @raise Starved as {!draw_kary} would, if a refill fails.
+      @raise Safe_mode as {!draw_kary} would. *)
+
   val draw_kary : t -> F.t
   (** Expose the next coin; triggers a refill first when the pool is at
       the threshold. The returned value is what the honest players

@@ -14,6 +14,7 @@ type event =
     }
   | Crash of { player : int; round : int; reason : string }
   | Stall of { player : int; attempt : int }
+  | Vend of { request : int; epoch : int; bits : int }
   | Note of string
 
 type span = {
@@ -190,6 +191,8 @@ let pp_event ppf = function
       Fmt.pf ppf "crash p%d round=%d (%s)" player round reason
   | Stall { player; attempt } ->
       Fmt.pf ppf "stall p%d attempt=%d" player attempt
+  | Vend { request; epoch; bits } ->
+      Fmt.pf ppf "vend r%d epoch=%d (%d bits)" request epoch bits
   | Note msg -> Fmt.pf ppf "note %S" msg
 
 let pp ppf t =
@@ -266,6 +269,10 @@ let pp_jsonl ppf t =
       | Stall { player; attempt } ->
           Printf.sprintf "\"event\":\"stall\",\"player\":%d,\"attempt\":%d"
             player attempt
+      | Vend { request; epoch; bits } ->
+          Printf.sprintf
+            "\"event\":\"vend\",\"request\":%d,\"epoch\":%d,\"bits\":%d"
+            request epoch bits
       | Note msg -> Printf.sprintf "\"event\":\"note\",\"text\":%s" (json_string msg)
     in
     Fmt.pf ppf "{\"type\":\"event\",\"span\":%d,\"seq\":%d,%s}@." parent seq
@@ -345,7 +352,7 @@ let pp_timeline ppf t =
     | Reconstruct { player; ok } ->
         let s, rv, b, v, _ = get player r_last in
         set player r_last (s, rv, b, v, Some ok)
-    | Suspicion _ | Crash _ | Stall _ | Note _ -> ()
+    | Suspicion _ | Crash _ | Stall _ | Vend _ | Note _ -> ()
   in
   let rec go = function
     | Event (_, e) -> mark_event !rounds (max 0 (!rounds - 1)) e

@@ -52,6 +52,9 @@ type event =
   | Stall of { player : int; attempt : int }
       (** a supervised read from this peer missed its deadline and is
           being retried ([attempt] is 1-based) *)
+  | Vend of { request : int; epoch : int; bits : int }
+      (** the beacon fulfilled consumer request [request] with [bits]
+          derived bits at the close of epoch [epoch] *)
   | Note of string  (** free-form annotation *)
 
 type span = {

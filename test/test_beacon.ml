@@ -1,0 +1,379 @@
+(* Beacon service: batched vending, chain integrity, backpressure,
+   degraded/halted surfacing, and mid-epoch snapshot resume. *)
+
+module F = Gf2k.GF16
+module BC = Beacon.Make (F)
+module PL = BC.P
+module CE = PL.CE
+
+let n = 13
+let t = 2
+
+let mk_pool ?expose_behavior ?sentinel seed =
+  PL.create ?expose_behavior ?sentinel ~prng:(Prng.of_int seed) ~n ~t
+    ~batch_size:16 ~refill_threshold:3 ~initial_seed:6 ()
+
+let mk ?key ?max_pending ?(seed = 1) () =
+  BC.create ?key ?max_pending ~pool:(mk_pool seed) ()
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+(* --- hash ----------------------------------------------------------- *)
+
+let test_hash_basics () =
+  let d1 = Beacon_hash.digest (Bytes.of_string "hello beacon") in
+  let d2 = Beacon_hash.digest (Bytes.of_string "hello beacon") in
+  let d3 = Beacon_hash.digest (Bytes.of_string "hello beacoN") in
+  Alcotest.(check bool) "digest is deterministic" true (Beacon_hash.equal d1 d2);
+  Alcotest.(check bool) "one flipped byte changes it" false
+    (Beacon_hash.equal d1 d3);
+  let m1 = Beacon_hash.mac ~key:"k1" (Bytes.of_string "msg") in
+  let m2 = Beacon_hash.mac ~key:"k2" (Bytes.of_string "msg") in
+  Alcotest.(check bool) "MAC separates keys" false (Beacon_hash.equal m1 m2);
+  Alcotest.(check bool) "MAC separates from digest" false
+    (Beacon_hash.equal m1 (Beacon_hash.digest (Bytes.of_string "msg")));
+  Alcotest.(check bool) "hex round-trips" true
+    (match Beacon_hash.of_hex (Beacon_hash.to_hex d1) with
+    | Ok d -> Beacon_hash.equal d d1
+    | Error _ -> false);
+  Alcotest.(check bool) "bytes round-trip" true
+    (Beacon_hash.equal (Beacon_hash.of_bytes (Beacon_hash.to_bytes d1)) d1);
+  Alcotest.(check bool) "bad hex is rejected" true
+    (Result.is_error (Beacon_hash.of_hex "zz"))
+
+(* --- liveness and amortization -------------------------------------- *)
+
+let test_vend_liveness () =
+  let b = mk () in
+  let got = ref [] in
+  let ids =
+    List.init 10 (fun _ ->
+        match BC.request b ~callback:(fun f -> got := f :: !got) () with
+        | Ok id -> id
+        | Error r -> Alcotest.failf "rejected: %s" (BC.reject_name r))
+  in
+  Alcotest.(check int) "all queued" 10 (BC.pending b);
+  let e = ok_or_fail (BC.close_epoch b) in
+  Alcotest.(check int) "one coin vends all ten" 10 e.BC.vended;
+  Alcotest.(check int) "queue drained" 0 (BC.pending b);
+  Alcotest.(check (list int)) "callbacks fire in admission order" ids
+    (List.rev_map (fun f -> f.BC.request_id) !got);
+  List.iter
+    (fun f ->
+      Alcotest.(check int) "field-width bits by default" F.k_bits
+        (Array.length f.BC.bits);
+      Alcotest.(check int) "stamped with the vending epoch" e.BC.seq
+        f.BC.epoch)
+    !got;
+  let s = BC.stats b in
+  Alcotest.(check int) "stats count the vends" 10 s.BC.vended;
+  Alcotest.(check int) "one epoch" 1 s.BC.epochs
+
+let test_vend_determinism () =
+  let run () =
+    let b = mk () in
+    let bits = ref [] in
+    for _ = 1 to 3 do
+      for _ = 1 to 5 do
+        match BC.request b ~nbits:17 ~callback:(fun f -> bits := f.BC.bits :: !bits) () with
+        | Ok _ -> ()
+        | Error r -> Alcotest.failf "rejected: %s" (BC.reject_name r)
+      done;
+      ignore (ok_or_fail (BC.close_epoch b))
+    done;
+    (List.map (fun e -> Beacon_hash.to_hex e.BC.digest) (BC.chain b), !bits)
+  in
+  let chain1, bits1 = run () in
+  let chain2, bits2 = run () in
+  Alcotest.(check (list string)) "same seed, same chain" chain1 chain2;
+  Alcotest.(check bool) "same seed, same vended bits" true (bits1 = bits2);
+  (* Distinct requests in one epoch must not share a stream. *)
+  match bits1 with
+  | a :: b :: _ -> Alcotest.(check bool) "streams differ per request" false (a = b)
+  | _ -> Alcotest.fail "expected vended bits"
+
+(* --- chain integrity ------------------------------------------------ *)
+
+let serve_epochs ?(epochs = 4) ?(requests = 3) b =
+  for _ = 1 to epochs do
+    for _ = 1 to requests do
+      match BC.request b ~callback:ignore () with
+      | Ok _ -> ()
+      | Error r -> Alcotest.failf "rejected: %s" (BC.reject_name r)
+    done;
+    ignore (ok_or_fail (BC.close_epoch b))
+  done
+
+let test_chain_verifies_and_tamper_detected () =
+  let b = mk ~key:"test-key" () in
+  serve_epochs b;
+  let chain = BC.chain b in
+  (match BC.verify_chain ~key:"test-key" chain with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "honest chain rejected: %s" msg);
+  (match BC.verify_chain ~key:"wrong-key" chain with
+  | Ok () -> Alcotest.fail "wrong key accepted"
+  | Error msg ->
+      Alcotest.(check bool) "wrong key fails on the MAC" true
+        (String.length msg > 0));
+  let tampered =
+    List.map
+      (fun e -> if e.BC.seq = 2 then { e with BC.vended = e.BC.vended + 1 } else e)
+      chain
+  in
+  (match BC.verify_chain ~key:"test-key" tampered with
+  | Ok () -> Alcotest.fail "tampered field accepted"
+  | Error _ -> ());
+  let dropped = List.filter (fun e -> e.BC.seq <> 1) chain in
+  match BC.verify_chain ~key:"test-key" dropped with
+  | Ok () -> Alcotest.fail "dropped epoch accepted"
+  | Error _ -> ()
+
+let test_transcript_roundtrip () =
+  let b = mk ~key:"test-key" () in
+  serve_epochs b;
+  let chain = BC.chain b in
+  let parsed =
+    List.map
+      (fun e ->
+        match BC.epoch_of_json (BC.epoch_to_json e) with
+        | Ok e' -> e'
+        | Error msg -> Alcotest.failf "roundtrip failed: %s" msg)
+      chain
+  in
+  Alcotest.(check bool) "roundtrip preserves every field" true (parsed = chain);
+  (match BC.verify_chain ~key:"test-key" parsed with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "parsed chain rejected: %s" msg);
+  Alcotest.(check bool) "garbage line is an Error, not an exception" true
+    (Result.is_error (BC.epoch_of_json "{\"schema\":\"nope\"}"))
+
+(* --- admission control ---------------------------------------------- *)
+
+let test_queue_full_sheds () =
+  let b = mk ~max_pending:2 () in
+  let admit () = BC.request b ~callback:ignore () in
+  Alcotest.(check bool) "first admitted" true (Result.is_ok (admit ()));
+  Alcotest.(check bool) "second admitted" true (Result.is_ok (admit ()));
+  (match admit () with
+  | Error BC.Queue_full -> ()
+  | Ok _ -> Alcotest.fail "third admitted past max_pending"
+  | Error r -> Alcotest.failf "wrong reject: %s" (BC.reject_name r));
+  let e = ok_or_fail (BC.close_epoch b) in
+  Alcotest.(check int) "both queued vend" 2 e.BC.vended;
+  Alcotest.(check int) "shed recorded on the epoch" 1 e.BC.shed;
+  Alcotest.(check int) "shed attributed to the queue bound" 1
+    (BC.stats b).BC.shed_queue_full
+
+(* Exactly t persistent liars under an active sentinel: quarantine
+   evidence accumulates, the beacon turns Degraded (still vending), and
+   admission above the soft cap sheds with Pool_pressure. *)
+let test_quarantine_degrades_and_soft_cap_sheds () =
+  let liars = [ 0; 1 ] in
+  let expose_behavior _refill i =
+    if List.mem i liars then CE.Send (F.of_int 0xBEEF) else CE.Honest
+  in
+  let pool =
+    mk_pool ~expose_behavior
+      ~sentinel:(Some (Sentinel.active ~threshold:6 ()))
+      7100
+  in
+  let b = BC.create ~max_pending:4 ~pool () in
+  for _ = 1 to 40 do
+    ignore (ok_or_fail (BC.close_epoch b))
+  done;
+  (match BC.state b with
+  | BC.Degraded _ -> ()
+  | s -> Alcotest.failf "expected Degraded, got %s" (BC.state_label s));
+  let admit () = BC.request b ~callback:ignore () in
+  Alcotest.(check bool) "under soft cap admitted" true (Result.is_ok (admit ()));
+  Alcotest.(check bool) "at soft cap admitted" true (Result.is_ok (admit ()));
+  (match admit () with
+  | Error BC.Pool_pressure -> ()
+  | Ok _ -> Alcotest.fail "admitted past the degraded soft cap"
+  | Error r -> Alcotest.failf "wrong reject: %s" (BC.reject_name r));
+  let e = ok_or_fail (BC.close_epoch b) in
+  Alcotest.(check string) "epoch is flagged degraded" "degraded" e.BC.flags;
+  Alcotest.(check int) "both admitted requests vend" 2 e.BC.vended
+
+(* Past the fault bound the pool refuses in Safe_mode; the beacon must
+   surface that as a sticky Halted state — shedding, not crashing. *)
+let test_safe_mode_halts () =
+  let liars = [ 0; 1; 2 ] in
+  let expose_behavior _refill i =
+    if List.mem i liars then CE.Send (F.of_int 0xBEEF) else CE.Honest
+  in
+  let pool =
+    mk_pool ~expose_behavior
+      ~sentinel:(Some (Sentinel.active ~threshold:6 ()))
+      7200
+  in
+  let b = BC.create ~pool () in
+  let vends = ref 0 in
+  let halted = ref None in
+  (try
+     (* One request pending at every close: the one in flight when the
+        pool trips Safe_mode must be shed, not vended. *)
+     for _ = 1 to 40 do
+       ignore (BC.request b ~callback:(fun _ -> incr vends) ());
+       match BC.close_epoch b with
+       | Ok _ -> ()
+       | Error msg ->
+           halted := Some msg;
+           raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check int) "pre-halt epochs vended, the in-flight one did not"
+    (BC.stats b).BC.epochs !vends;
+  (match !halted with
+  | None -> Alcotest.fail "beacon kept vending past the fault bound"
+  | Some _ -> ());
+  (match BC.state b with
+  | BC.Halted _ -> ()
+  | s -> Alcotest.failf "expected Halted, got %s" (BC.state_label s));
+  Alcotest.(check int) "pending shed at halt" 0 (BC.pending b);
+  Alcotest.(check bool) "halt shed is attributed" true
+    ((BC.stats b).BC.shed_halted >= 1);
+  (match BC.request b ~callback:ignore () with
+  | Error (BC.Beacon_halted _) -> ()
+  | Ok _ -> Alcotest.fail "admission after halt"
+  | Error r -> Alcotest.failf "wrong reject: %s" (BC.reject_name r));
+  match BC.close_epoch b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "epoch emitted after halt"
+
+(* --- persistence ----------------------------------------------------- *)
+
+(* Snapshot taken mid-epoch (requests pending, chain at seq 3): the
+   restored beacon resumes the sequence exactly — no seq reused, none
+   skipped — and the transcript spanning the restart still verifies.
+   Pending requests are not persisted; the restart sheds them. *)
+let test_snapshot_resumes_sequence () =
+  let b = mk ~key:"test-key" ~seed:42 () in
+  serve_epochs ~epochs:3 b;
+  ignore (BC.request b ~callback:ignore ());
+  ignore (BC.request b ~callback:ignore ());
+  let before = BC.chain b in
+  let head = BC.head b in
+  let bytes = BC.save b in
+  let b' =
+    BC.load ~key:"test-key" ~expect_head:head ~prng:(Prng.of_int 43)
+      ~batch_size:16 ~refill_threshold:3 bytes
+  in
+  Alcotest.(check int) "sequence resumes at the next epoch" 3 (BC.next_seq b');
+  Alcotest.(check bool) "head carried over" true
+    (Beacon_hash.equal head (BC.head b'));
+  Alcotest.(check int) "pending queue is not persisted" 0 (BC.pending b');
+  Alcotest.(check int) "lifetime counters survive" 9 (BC.stats b').BC.vended;
+  serve_epochs ~epochs:2 b';
+  let combined = before @ BC.chain b' in
+  Alcotest.(check (list int)) "gapless seq across the restart"
+    [ 0; 1; 2; 3; 4 ]
+    (List.map (fun e -> e.BC.seq) combined);
+  match BC.verify_chain ~key:"test-key" combined with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "chain broken across restart: %s" msg
+
+let test_snapshot_rejects_mismatch_and_damage () =
+  let b = mk ~seed:42 () in
+  serve_epochs ~epochs:2 b;
+  let bytes = BC.save b in
+  (* A head the snapshot does not extend: refuse to restore. *)
+  (match
+     BC.load ~expect_head:Beacon_hash.zero ~prng:(Prng.of_int 43)
+       ~batch_size:16 ~refill_threshold:3 bytes
+   with
+  | _ -> Alcotest.fail "restored a snapshot with the wrong chain head"
+  | exception BC.Corrupt_snapshot msg ->
+      Alcotest.(check bool) "diagnostic names the mismatch" true
+        (String.length msg > 0));
+  (* One flipped payload byte: the checksum must catch it. *)
+  let damaged = Bytes.copy bytes in
+  let i = Bytes.length damaged - 1 in
+  Bytes.set damaged i (Char.chr (Char.code (Bytes.get damaged i) lxor 1));
+  match
+    BC.load ~prng:(Prng.of_int 43) ~batch_size:16 ~refill_threshold:3 damaged
+  with
+  | _ -> Alcotest.fail "restored a damaged snapshot"
+  | exception BC.Corrupt_snapshot _ -> ()
+
+(* --- tracing --------------------------------------------------------- *)
+
+let test_vend_trace_events () =
+  let b = mk () in
+  let (), trace =
+    Trace.collect (fun () ->
+        for _ = 1 to 3 do
+          ignore (BC.request b ~callback:ignore ())
+        done;
+        ignore (ok_or_fail (BC.close_epoch b)))
+  in
+  let jsonl = Fmt.str "%a" Trace.pp_jsonl trace in
+  let count_occurrences needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i acc =
+      if i + nl > hl then acc
+      else go (i + 1) (if String.sub hay i nl = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one vend event per request" 3
+    (count_occurrences "\"event\":\"vend\"" jsonl);
+  Alcotest.(check bool) "vends sit inside the beacon.epoch span" true
+    (count_occurrences "beacon.epoch" jsonl >= 1)
+
+(* --- arrivals -------------------------------------------------------- *)
+
+let test_arrivals () =
+  let mean samples =
+    float_of_int (List.fold_left ( + ) 0 samples)
+    /. float_of_int (List.length samples)
+  in
+  let draw arr k = List.init k (fun _ -> BC.Arrival.next arr) in
+  let p1 = BC.Arrival.poisson ~rate:50. ~seed:9 in
+  let p2 = BC.Arrival.poisson ~rate:50. ~seed:9 in
+  let s1 = draw p1 400 and s2 = draw p2 400 in
+  Alcotest.(check bool) "poisson is seed-deterministic" true (s1 = s2);
+  let m = mean s1 in
+  Alcotest.(check bool) "poisson mean near the rate" true (m > 40. && m < 60.);
+  Alcotest.(check bool) "no negative arrivals" true
+    (List.for_all (fun k -> k >= 0) s1);
+  (* Large rate exercises the normal-approximation branch. *)
+  let big = mean (draw (BC.Arrival.poisson ~rate:1000. ~seed:3) 200) in
+  Alcotest.(check bool) "large-rate mean near the rate" true
+    (big > 900. && big < 1100.);
+  let bm = mean (draw (BC.Arrival.bursty ~rate:50. ~seed:11 ()) 2000) in
+  Alcotest.(check bool) "bursty long-run mean near the rate" true
+    (bm > 40. && bm < 60.);
+  Alcotest.(check string) "names" "poisson" (BC.Arrival.name p1);
+  Alcotest.(check string) "names" "bursty"
+    (BC.Arrival.name (BC.Arrival.bursty ~rate:1. ~seed:1 ()))
+
+let suite =
+  [
+    Alcotest.test_case "hash: digest/mac/hex basics" `Quick test_hash_basics;
+    Alcotest.test_case "vend: liveness and amortization" `Quick
+      test_vend_liveness;
+    Alcotest.test_case "vend: deterministic, per-request streams" `Quick
+      test_vend_determinism;
+    Alcotest.test_case "chain: verifies; tamper and drop detected" `Quick
+      test_chain_verifies_and_tamper_detected;
+    Alcotest.test_case "chain: transcript JSON roundtrip" `Quick
+      test_transcript_roundtrip;
+    Alcotest.test_case "admission: hard queue bound sheds" `Quick
+      test_queue_full_sheds;
+    Alcotest.test_case "admission: quarantine degrades, soft cap sheds" `Quick
+      test_quarantine_degrades_and_soft_cap_sheds;
+    Alcotest.test_case "safe mode surfaces as a sticky halt" `Quick
+      test_safe_mode_halts;
+    Alcotest.test_case "snapshot: mid-epoch save resumes the sequence" `Quick
+      test_snapshot_resumes_sequence;
+    Alcotest.test_case "snapshot: head mismatch and damage rejected" `Quick
+      test_snapshot_rejects_mismatch_and_damage;
+    Alcotest.test_case "trace: one vend event per request" `Quick
+      test_vend_trace_events;
+    Alcotest.test_case "arrivals: deterministic, mean-correct" `Quick
+      test_arrivals;
+  ]

@@ -28,6 +28,7 @@ let () =
       ("bit-gen", Test_bit_gen.suite);
       ("coin-gen", Test_coin_gen.suite);
       ("pool", Test_pool.suite);
+      ("beacon", Test_beacon.suite);
       ("common-coin-ba", Test_common_coin_ba.suite);
       ("stats", Test_stats.suite);
       ("wire", Test_wire.suite);
