@@ -95,7 +95,16 @@ let check_bench_history row =
       ignore (str r "backend");
       ignore (nonneg_int r "killed");
       ignore (nonneg r "wall_ns"))
-    (opt_arr_of_objs row "chaos_recovery")
+    (opt_arr_of_objs row "chaos_recovery");
+  List.iter
+    (fun r ->
+      let epochs = nonneg_int r "epochs" in
+      let replays = nonneg_int r "replays" in
+      if epochs = 0 || replays = 0 then
+        fail "\"beacon_recovery\" must replay at least one epoch";
+      ignore (nonneg r "wall_ns");
+      ignore (nonneg r "epochs_per_s"))
+    (opt_arr_of_objs row "beacon_recovery")
 
 (* "dprbg-loadgen/1": one row per beacon loadgen run. *)
 let check_loadgen row =

@@ -365,9 +365,9 @@ let pool_cmd =
       | None -> Printf.printf "# no sentinel ledger configured\n"
     in
     let save_state () =
-      let oc = open_out_bin state_file in
-      output_bytes oc (Pool.save pool);
-      close_out oc
+      (* Atomic (temp + rename): a crash mid-save never clobbers the
+         previous good snapshot. *)
+      Beacon_journal.write_file_atomic state_file (Pool.save pool)
     in
     (try
        for i = 1 to draws do
@@ -1048,10 +1048,10 @@ let read_file path =
   close_in ic;
   data
 
-let write_file path bytes =
-  let oc = open_out_bin path in
-  output_bytes oc bytes;
-  close_out oc
+(* Snapshot writes are atomic everywhere: temp + fsync + rename, so a
+   crash mid-write can clobber at most a stale [.tmp], never the last
+   good state. *)
+let write_file path bytes = Beacon_journal.write_file_atomic path bytes
 
 let verify_transcript ~key path =
   let lines =
@@ -1144,8 +1144,55 @@ let beacon_cmd =
              $(docv) (32 hex chars, e.g. the digest of the last transcript \
              line).")
   in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Durable mode: write-ahead journal every epoch to $(docv) \
+             (fsynced before any vend is acknowledged) and recover \
+             snapshot + journal on start, truncating a torn tail.")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 0
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "In durable mode, rotate an atomic snapshot (and truncate the \
+             journal) every $(docv) epoch closes; 0 (default) snapshots \
+             only at exit.")
+  in
+  let supervise =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Run the durable serve loop in a supervised child process: a \
+             crashed child is restarted (recovering from snapshot + \
+             journal) with exponential backoff under the --restarts \
+             budget. $(b,--epochs) becomes the absolute target chain \
+             length. Implies --journal.")
+  in
+  let restarts =
+    Arg.(
+      value & opt int 16
+      & info [ "restarts" ] ~docv:"N"
+          ~doc:"Supervised restart budget (crashes beyond it are fatal).")
+  in
+  let chaos_kills =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-kills" ] ~docv:"N"
+          ~doc:
+            "Chaos schedule for the supervised soak: the serving child \
+             SIGKILLs itself right after closing $(docv) seeded epochs \
+             (each fires once; recovery resumes past it).")
+  in
   let run () seed t state_file epochs requests nbits fresh status transcript
-      verify expect_head key =
+      verify expect_head key journal snapshot_every supervise restarts
+      chaos_kills timeout =
+    apply_transport_timeout timeout;
     match verify with
     | Some path -> verify_transcript ~key path
     | None -> (
@@ -1160,8 +1207,22 @@ let beacon_cmd =
                   exit 2)
             expect_head
         in
+        if supervise && journal = None then begin
+          Printf.eprintf "error: --supervise requires --journal PATH\n";
+          exit 2
+        end;
+        if chaos_kills > 0 && not supervise then begin
+          Printf.eprintf "error: --chaos-kills requires --supervise\n";
+          exit 2
+        end;
+        if restarts < 0 || snapshot_every < 0 || chaos_kills > epochs then begin
+          Printf.eprintf
+            "error: --restarts/--snapshot-every must be >= 0 and \
+             --chaos-kills <= --epochs\n";
+          exit 2
+        end;
         let sentinel = Some Sentinel.passive in
-        let b =
+        let restore_or_create ~fresh () =
           if (not fresh) && Sys.file_exists state_file then begin
             match
               B.load ~key ?expect_head ~sentinel ~prng:(Prng.of_int seed)
@@ -1181,11 +1242,29 @@ let beacon_cmd =
                 exit 1
           end
           else begin
-            Printf.printf "# starting a fresh beacon chain\n";
+            (* --fresh must not inherit a stale journal: replaying another
+               chain's records onto a new chain is exactly the mismatch
+               recovery exists to reject. Without --fresh a journal with
+               no snapshot is NOT stale — it is the journal-only recovery
+               case (crash before the first snapshot) and Durable.attach
+               replays it from epoch 0. *)
+            if fresh then
+              List.iter
+                (fun p ->
+                  match p with
+                  | Some p when Sys.file_exists p -> Sys.remove p
+                  | _ -> ())
+                [
+                  journal;
+                  Option.map (fun j -> j ^ ".tmp") journal;
+                  Some state_file;
+                  Some (state_file ^ ".tmp");
+                ];
+            Printf.printf "# starting from the genesis head\n";
             B.create ~key ~pool:(beacon_pool ~sentinel ~seed ~n ~t ()) ()
           end
         in
-        let print_status () =
+        let print_status b =
           let s = B.stats b in
           Printf.printf
             "# state=%s | next epoch %d | head %s\n\
@@ -1198,68 +1277,367 @@ let beacon_cmd =
             s.B.shed_halted
             (B.P.available (B.pool b))
         in
-        if status then print_status ()
-        else begin
-          let tr_oc =
-            Option.map
-              (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p)
-              transcript
-          in
-          let save () = write_file state_file (B.save b) in
-          for _ = 1 to epochs do
-            for _ = 1 to requests do
-              match B.request b ?nbits ~callback:(fun _ -> ()) () with
-              | Ok _ -> ()
-              | Error r -> Printf.printf "# shed request: %s\n" (B.reject_name r)
-            done;
-            match B.close_epoch b with
-            | Ok e ->
-                Printf.printf "epoch %4d  vended=%d shed=%d flags=%s  %s\n"
-                  e.B.seq e.B.vended e.B.shed e.B.flags
-                  (Beacon_hash.to_hex e.B.digest);
-                Option.iter
-                  (fun oc -> output_string oc (B.epoch_to_json e ^ "\n"))
-                  tr_oc
-            | Error msg -> (
-                save ();
-                Option.iter close_out tr_oc;
-                match B.state b with
-                | B.Halted _ ->
-                    Printf.eprintf
-                      "error: beacon halted — refusing to vend \
-                       possibly-biased randomness.\n%s\n"
-                      msg;
-                    exit 5
-                | _ ->
-                    Printf.eprintf "error: epoch close failed — %s\n" msg;
-                    exit 1)
-          done;
-          Option.iter close_out tr_oc;
-          save ();
-          (match B.verify_chain ~key (B.chain b) with
+        let self_verify b =
+          match B.verify_chain ~key (B.chain b) with
           | Ok () -> ()
           | Error msg ->
               Printf.eprintf
                 "error: emitted chain fails self-verification: %s\n" msg;
-              exit 7);
-          print_status ()
-        end)
+              exit 7
+        in
+        match journal with
+        | None ->
+            (* Snapshot-only mode: the historical behavior, with the
+               snapshot write now atomic. *)
+            let b = restore_or_create ~fresh () in
+            if status then print_status b
+            else begin
+              let tr_oc =
+                Option.map
+                  (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p)
+                  transcript
+              in
+              let save () = write_file state_file (B.save b) in
+              for _ = 1 to epochs do
+                for _ = 1 to requests do
+                  match B.request b ?nbits ~callback:(fun _ -> ()) () with
+                  | Ok _ -> ()
+                  | Error r ->
+                      Printf.printf "# shed request: %s\n" (B.reject_name r)
+                done;
+                match B.close_epoch b with
+                | Ok e ->
+                    Printf.printf "epoch %4d  vended=%d shed=%d flags=%s  %s\n"
+                      e.B.seq e.B.vended e.B.shed e.B.flags
+                      (Beacon_hash.to_hex e.B.digest);
+                    Option.iter
+                      (fun oc -> output_string oc (B.epoch_to_json e ^ "\n"))
+                      tr_oc
+                | Error msg -> (
+                    save ();
+                    Option.iter close_out tr_oc;
+                    match B.state b with
+                    | B.Halted _ ->
+                        Printf.eprintf
+                          "error: beacon halted — refusing to vend \
+                           possibly-biased randomness.\n%s\n"
+                          msg;
+                        exit 5
+                    | _ ->
+                        Printf.eprintf "error: epoch close failed — %s\n" msg;
+                        exit 1)
+              done;
+              Option.iter close_out tr_oc;
+              save ();
+              self_verify b;
+              print_status b
+            end
+        | Some jpath ->
+            let kill_epochs =
+              if chaos_kills > 0 then
+                Transport.Chaos.serve_kill_epochs ~seed ~kills:chaos_kills
+                  ~epochs
+              else []
+            in
+            (* One serving incarnation: restore, recover, serve to the
+               target, snapshot, exit. Runs in-process (no --supervise)
+               or as the forked child (--supervise). *)
+            let serve_once ~fresh () =
+              let b = restore_or_create ~fresh () in
+              let d, rs =
+                match
+                  B.Durable.attach ~journal:jpath ~snapshot:state_file b
+                with
+                | r -> r
+                | exception Beacon_journal.Corrupt_journal msg ->
+                    Printf.eprintf
+                      "error: journal is damaged beyond the torn tail: %s\n\
+                       Run `dprbg recover --journal %s` to inspect, or \
+                       restore from a trusted snapshot and transcript.\n"
+                      msg jpath;
+                    exit 1
+              in
+              if rs.B.Durable.torn_bytes > 0 then
+                Printf.printf "# dropped a torn journal tail (%d byte(s))\n"
+                  rs.B.Durable.torn_bytes;
+              if rs.B.Durable.replayed <> [] then
+                Printf.printf
+                  "# replayed %d journaled epoch(s): recovered to epoch %d\n"
+                  (List.length rs.B.Durable.replayed)
+                  (B.next_seq b);
+              if status then begin
+                B.Durable.close d;
+                print_status b
+              end
+              else begin
+                let tr_oc =
+                  Option.map
+                    (fun p ->
+                      open_out_gen [ Open_append; Open_creat ] 0o644 p)
+                    transcript
+                in
+                let target =
+                  if supervise then max epochs (B.next_seq b)
+                  else B.next_seq b + epochs
+                in
+                while B.next_seq b < target do
+                  for _ = 1 to requests do
+                    match
+                      B.Durable.request d ?nbits ~callback:(fun _ -> ()) ()
+                    with
+                    | Ok _ -> ()
+                    | Error r ->
+                        Printf.printf "# shed request: %s\n" (B.reject_name r)
+                  done;
+                  (match B.Durable.close_epoch d with
+                  | Ok e ->
+                      Printf.printf
+                        "epoch %4d  vended=%d shed=%d flags=%s  %s\n" e.B.seq
+                        e.B.vended e.B.shed e.B.flags
+                        (Beacon_hash.to_hex e.B.digest);
+                      Option.iter
+                        (fun oc ->
+                          output_string oc (B.epoch_to_json e ^ "\n");
+                          flush oc)
+                        tr_oc;
+                      if List.mem e.B.seq kill_epochs then begin
+                        (* The chaos kill fires only after the epoch is
+                           durable, so the restarted incarnation resumes
+                           past it and the schedule converges. *)
+                        flush stdout;
+                        Unix.kill (Unix.getpid ()) Sys.sigkill
+                      end
+                  | Error msg -> (
+                      Option.iter close_out tr_oc;
+                      B.Durable.close d;
+                      match B.state b with
+                      | B.Halted _ ->
+                          Printf.eprintf
+                            "error: beacon halted — refusing to vend \
+                             possibly-biased randomness.\n%s\n"
+                            msg;
+                          exit 5
+                      | _ ->
+                          Printf.eprintf "error: epoch close failed — %s\n"
+                            msg;
+                          exit 1));
+                  if
+                    snapshot_every > 0
+                    && B.next_seq b mod snapshot_every = 0
+                    && B.next_seq b < target
+                  then B.Durable.snapshot d
+                done;
+                Option.iter close_out tr_oc;
+                B.Durable.snapshot d;
+                B.Durable.close d;
+                self_verify b;
+                print_status b
+              end
+            in
+            if not supervise then serve_once ~fresh ()
+            else begin
+              (* PR 7's escalation discipline, applied to the serve
+                 loop: SIGTERM to the supervisor forwards to the child
+                 with a grace window, then SIGKILL; a killed child is
+                 restarted under the budget with exponential backoff
+                 that resets whenever the incarnation made durable
+                 progress. *)
+              let child = ref None in
+              let term _ =
+                (match !child with
+                | None -> ()
+                | Some pid ->
+                    (try Unix.kill pid Sys.sigterm
+                     with Unix.Unix_error _ -> ());
+                    let deadline = Unix.gettimeofday () +. 2.0 in
+                    let rec drain () =
+                      match Unix.waitpid [ Unix.WNOHANG ] pid with
+                      | 0, _ ->
+                          if Unix.gettimeofday () < deadline then begin
+                            Unix.sleepf 0.02;
+                            drain ()
+                          end
+                          else begin
+                            (try Unix.kill pid Sys.sigkill
+                             with Unix.Unix_error _ -> ());
+                            ignore (Unix.waitpid [] pid)
+                          end
+                      | _ -> ()
+                      | exception Unix.Unix_error _ -> ()
+                    in
+                    drain ());
+                exit 143
+              in
+              Sys.set_signal Sys.sigterm (Sys.Signal_handle term);
+              let progress () =
+                let size p =
+                  try (Unix.stat p).Unix.st_size
+                  with Unix.Unix_error _ -> -1
+                in
+                (size jpath, size state_file)
+              in
+              let rec loop ~fresh ~used ~streak =
+                let before = progress () in
+                match Unix.fork () with
+                | 0 ->
+                    Sys.set_signal Sys.sigterm Sys.Signal_default;
+                    serve_once ~fresh ();
+                    exit 0
+                | pid -> (
+                    child := Some pid;
+                    let _, st = Unix.waitpid [] pid in
+                    child := None;
+                    match st with
+                    | Unix.WEXITED 0 -> ()
+                    | Unix.WEXITED c ->
+                        (* Deterministic refusals (corrupt state, safe
+                           mode, bad args) do not heal by restarting. *)
+                        Printf.eprintf
+                          "error: supervised beacon exited %d; not \
+                           restartable\n"
+                          c;
+                        exit c
+                    | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+                        if used >= restarts then begin
+                          Printf.eprintf
+                            "error: restart budget (%d) exhausted\n" restarts;
+                          exit 1
+                        end;
+                        let streak =
+                          if progress () <> before then 0 else streak + 1
+                        in
+                        let delay =
+                          min 2.0 (0.05 *. (2. ** float_of_int streak))
+                        in
+                        Printf.printf
+                          "# supervised beacon died; restart %d/%d after \
+                           %.2fs\n%!"
+                          (used + 1) restarts delay;
+                        Unix.sleepf delay;
+                        loop ~fresh:false ~used:(used + 1) ~streak)
+              in
+              loop ~fresh ~used:0 ~streak:0
+            end)
   in
   let info =
     Cmd.info "beacon"
       ~doc:
         "Run the randomness-beacon service: batched request vending over a \
          persistent pool, one hash-chained MAC'd epoch record per close. \
-         --verify checks a transcript (exit 7 on chain failure); --status \
-         inspects saved state."
+         --journal adds write-ahead durability (journal before ack, \
+         crash recovery with torn-tail truncation); --supervise restarts a \
+         crashed server under a budget. --verify checks a transcript (exit \
+         7 on chain failure); --status inspects saved state."
   in
   Cmd.v info
     Term.(
       const run $ setup_logs $ seed_arg $ t_arg $ state_file $ epochs
       $ requests $ nbits $ fresh $ status $ transcript $ verify $ expect_head
-      $ beacon_key_arg)
+      $ beacon_key_arg $ journal $ snapshot_every $ supervise $ restarts
+      $ chaos_kills $ transport_timeout_arg)
 
 (* ------------------------------------------------------------------ *)
+
+let recover_cmd =
+  let state_file =
+    Arg.(
+      value
+      & opt string "dprbg-beacon.state"
+      & info [ "file"; "f" ] ~docv:"PATH" ~doc:"Beacon snapshot file.")
+  in
+  let journal =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH" ~doc:"Write-ahead journal to recover.")
+  in
+  let export =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"PATH"
+          ~doc:
+            "Write the replayed journal window (epochs past the snapshot) \
+             as JSONL to $(docv), after verifying it as a chain slice \
+             (exit 7 on failure).")
+  in
+  let run () seed t state_file journal export key =
+    let n = n_for t in
+    let sentinel = Some Sentinel.passive in
+    let b =
+      if Sys.file_exists state_file then begin
+        match
+          B.load ~key ~sentinel ~prng:(Prng.of_int seed) ~batch_size:32
+            ~refill_threshold:3
+            (Bytes.of_string (read_file state_file))
+        with
+        | b ->
+            Printf.printf "# snapshot %s: next epoch %d, head %s\n" state_file
+              (B.next_seq b)
+              (Beacon_hash.to_hex (B.head b));
+            b
+        | exception B.Corrupt_snapshot msg ->
+            Printf.eprintf "error: snapshot %s is corrupt: %s\n" state_file msg;
+            exit 1
+      end
+      else begin
+        Printf.printf "# no snapshot at %s; recovering from the journal alone\n"
+          state_file;
+        B.create ~key ~pool:(beacon_pool ~sentinel ~seed ~n ~t ()) ()
+      end
+    in
+    let d, rs =
+      match B.Durable.attach ~journal ~snapshot:state_file b with
+      | r -> r
+      | exception Beacon_journal.Corrupt_journal msg ->
+          Printf.eprintf
+            "error: journal is damaged beyond the torn tail: %s\n\
+             The journal cannot be trusted past this point; restore from a \
+             trusted snapshot and transcript.\n"
+            msg;
+          exit 1
+    in
+    B.Durable.close d;
+    let replayed = rs.B.Durable.replayed in
+    Printf.printf
+      "# recovered: next epoch %d | head %s\n\
+       # journal: %d epoch(s) replayed, %d duplicate request id(s) \
+       registered, %d torn byte(s) dropped\n"
+      (B.next_seq b)
+      (Beacon_hash.to_hex (B.head b))
+      (List.length replayed) rs.B.Durable.deduped rs.B.Durable.torn_bytes;
+    (match B.verify_chain ~key replayed with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf
+          "error: replayed journal window fails verification: %s\n" msg;
+        exit 7);
+    Option.iter
+      (fun path ->
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun e ->
+            Buffer.add_string buf (B.epoch_to_json e);
+            Buffer.add_char buf '\n')
+          replayed;
+        write_file path (Buffer.to_bytes buf);
+        Printf.printf "# exported %d epoch(s) to %s\n" (List.length replayed)
+          path)
+      export
+  in
+  let info =
+    Cmd.info "recover"
+      ~doc:
+        "Inspect and repair beacon durability state offline: load the \
+         snapshot, replay the write-ahead journal (truncating a torn \
+         tail), verify the replayed window against the hash chain and \
+         MACs, and report what a restarted server would recover. --export \
+         writes the replayed epochs as JSONL."
+  in
+  Cmd.v info
+    Term.(
+      const run $ setup_logs $ seed_arg $ t_arg $ state_file $ journal
+      $ export $ beacon_key_arg)
 
 let loadgen_cmd =
   let draws =
@@ -1321,7 +1699,8 @@ let loadgen_cmd =
           ~doc:"Append the loadgen history row here ($(b,-) = skip).")
   in
   let run () seed t draws rate arrival burst nbits max_pending latency_out
-      transcript bench_file key =
+      transcript bench_file key timeout =
+    apply_transport_timeout timeout;
     if draws < 1 then begin
       Printf.eprintf "error: --draws must be >= 1\n";
       exit 2
@@ -1453,7 +1832,7 @@ let loadgen_cmd =
     Term.(
       const run $ setup_logs $ seed_arg $ t_arg $ draws $ rate $ arrival
       $ burst $ nbits $ max_pending $ latency_out $ transcript $ bench_file
-      $ beacon_key_arg)
+      $ beacon_key_arg $ transport_timeout_arg)
 
 let main =
   let doc = "Distributed pseudo-random bit generators (PODC 1996) simulator" in
@@ -1461,7 +1840,8 @@ let main =
   Cmd.group info
     [
       coins_cmd; soundness_cmd; costs_cmd; agreement_cmd; pool_cmd; fuzz_cmd;
-      trace_cmd; transport_cmd; chaos_cmd; beacon_cmd; loadgen_cmd;
+      trace_cmd; transport_cmd; chaos_cmd; beacon_cmd; recover_cmd;
+      loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -249,11 +249,22 @@ module Make (F : Field_intf.S) = struct
     b.queue_len <- 0;
     Log.warn (fun f -> f "beacon halted: %s" msg)
 
-  let request b ?nbits ~callback () =
+  let request b ?id ?nbits ~callback () =
     let nbits = Option.value nbits ~default:F.k_bits in
     if nbits < 1 then invalid_arg "Beacon.request: nbits must be >= 1";
+    (match id with
+    | Some id when id < 1 -> invalid_arg "Beacon.request: id must be >= 1"
+    | _ -> ());
     refresh_state b;
     match b.state with
+    | _ when
+        (match id with
+        | Some id -> List.exists (fun r -> r.id = id) b.queue
+        | None -> false) ->
+        (* The id is already queued: the resubmission is idempotent (the
+           first registration's callback fires, once) and costs no
+           admission. *)
+        Ok (Option.get id)
     | Halted msg ->
         b.shed_halted <- b.shed_halted + 1;
         b.shed_since_close <- b.shed_since_close + 1;
@@ -267,8 +278,16 @@ module Make (F : Field_intf.S) = struct
         b.shed_since_close <- b.shed_since_close + 1;
         Error Pool_pressure
     | Serving | Degraded _ ->
-        let id = b.next_request_id in
-        b.next_request_id <- id + 1;
+        let id =
+          match id with
+          | None ->
+              let id = b.next_request_id in
+              b.next_request_id <- id + 1;
+              id
+          | Some id ->
+              b.next_request_id <- max b.next_request_id (id + 1);
+              id
+        in
         b.queue <- { id; nbits; callback } :: b.queue;
         b.queue_len <- b.queue_len + 1;
         Ok id
@@ -294,7 +313,16 @@ module Make (F : Field_intf.S) = struct
       bits = Array.init r.nbits (fun _ -> Prng.bool g);
     }
 
-  let close_epoch b =
+  (* The closing sequence is write-ahead shaped: the epoch is sealed
+     and handed to [pre_ack] {e before} any callback fires, so a
+     durable backend can journal it first — a vend is acknowledged only
+     once its epoch can survive a crash. [refresh_state] runs before
+     the callbacks instead of after; callbacks cannot touch the pool,
+     so the sealed record is bit-identical to the historical order. An
+     exception from [pre_ack] aborts the close with the queue already
+     drained: the process is presumed dead and recovery re-derives the
+     position from what did reach the journal. *)
+  let close_epoch_with ~pre_ack b =
     match b.state with
     | Halted msg -> Error ("beacon halted: " ^ msg)
     | Serving | Degraded _ -> (
@@ -316,13 +344,6 @@ module Make (F : Field_intf.S) = struct
             b.queue <- [];
             b.queue_len <- 0;
             let seq = b.next_seq in
-            List.iter
-              (fun r ->
-                let f = derive b ~seq ~coin r in
-                Trace.event (fun () ->
-                    Trace.Vend { request = r.id; epoch = seq; bits = r.nbits });
-                r.callback f)
-              pending;
             refresh_state b;
             let vended = List.length pending in
             let e =
@@ -330,6 +351,14 @@ module Make (F : Field_intf.S) = struct
                 ~shed:b.shed_since_close
                 ~flags:(state_label b.state) ()
             in
+            pre_ack e pending;
+            List.iter
+              (fun r ->
+                let f = derive b ~seq ~coin r in
+                Trace.event (fun () ->
+                    Trace.Vend { request = r.id; epoch = seq; bits = r.nbits });
+                r.callback f)
+              pending;
             b.head <- e.digest;
             b.next_seq <- seq + 1;
             b.chain_rev <- e :: b.chain_rev;
@@ -349,6 +378,8 @@ module Make (F : Field_intf.S) = struct
             | P.Starved msg -> b.state <- Degraded ("pool starved: " ^ msg));
             Ok e)
 
+  let close_epoch b = close_epoch_with ~pre_ack:(fun _ _ -> ()) b
+
   let stats (b : t) : stats =
     {
       epochs = b.epochs;
@@ -361,7 +392,13 @@ module Make (F : Field_intf.S) = struct
   (* --- persistence --------------------------------------------------- *)
 
   let magic = 0xBEA1
-  let snapshot_version = 1
+
+  (* v2 adds [next_request_id] after the counters, so ids stay unique
+     for the lifetime of the chain even after the journal (the other
+     id-recovery source) is rotated away. v1 snapshots still load and
+     restart ids at 1 — the pre-journal behavior. *)
+  let snapshot_version = 2
+  let oldest_readable_version = 1
 
   let save b =
     let w = Wire.Writer.create () in
@@ -371,6 +408,7 @@ module Make (F : Field_intf.S) = struct
       (fun v -> Wire.Writer.u32 w v)
       [ b.epochs; b.vended; b.shed_queue_full; b.shed_pool_pressure;
         b.shed_halted ];
+    Wire.Writer.u32 w b.next_request_id;
     let pool_bytes = P.save b.pool in
     Wire.Writer.u32 w (Bytes.length pool_bytes);
     Wire.Writer.raw w pool_bytes;
@@ -391,23 +429,26 @@ module Make (F : Field_intf.S) = struct
     let r = Wire.Reader.of_bytes bytes in
     if Wire.Reader.u16 r <> magic then corrupt "bad magic";
     let version = Wire.Reader.u8 r in
-    if version <> snapshot_version then
+    if version < oldest_readable_version || version > snapshot_version then
       corrupt (Printf.sprintf "unsupported version %d" version);
     let len = Wire.Reader.u32 r in
     if Bytes.length bytes <> 11 + len then corrupt "payload length mismatch";
     let crc = Wire.Reader.u32 r in
     let payload = Wire.Reader.raw r len in
     if Wire.Crc32.digest payload <> crc then corrupt "checksum mismatch";
-    let next_seq, head, counters, pool_bytes =
+    let next_seq, head, counters, next_request_id, pool_bytes =
       match
         let r = Wire.Reader.of_bytes payload in
         let next_seq = Wire.Reader.u32 r in
         let head = Beacon_hash.read r in
         let counters = Array.init 5 (fun _ -> Wire.Reader.u32 r) in
+        let next_request_id =
+          if version >= 2 then Wire.Reader.u32 r else 1
+        in
         let pool_len = Wire.Reader.u32 r in
         let pool_bytes = Wire.Reader.raw r pool_len in
         Wire.Reader.expect_end r;
-        (next_seq, head, counters, pool_bytes)
+        (next_seq, head, counters, next_request_id, pool_bytes)
       with
       | decoded -> decoded
       | exception _ ->
@@ -440,7 +481,417 @@ module Make (F : Field_intf.S) = struct
     b.shed_queue_full <- counters.(2);
     b.shed_pool_pressure <- counters.(3);
     b.shed_halted <- counters.(4);
+    b.next_request_id <- max 1 next_request_id;
     b
+
+  (* --- crash-consistent durability ----------------------------------- *)
+
+  module Durable = struct
+    type d = {
+      beacon : t;
+      journal_path : string;
+      snapshot_path : string option;
+      sync : Beacon_journal.sync_policy;
+      mutable w : Beacon_journal.writer;
+      acked : (int, int * F.t * int) Hashtbl.t;
+          (* request id -> (epoch seq, epoch coin, nbits vended) *)
+      mutable replay_debt : int;
+    }
+
+    type recovery_stats = {
+      replayed : epoch list;  (** journal epochs applied on top of [t] *)
+      torn_bytes : int;
+      deduped : int;  (** acked request ids recovered into the window *)
+    }
+
+    let journal_corrupt fmt =
+      Printf.ksprintf (fun m -> raise (Beacon_journal.Corrupt_journal m)) fmt
+
+    (* Journal record body: one epoch in full (digest and MAC included,
+       so replay re-verifies rather than re-trusts) plus the request
+       ids it acknowledged — the dedup window. *)
+    let record_kind_epoch = 1
+
+    let encode_record e acked =
+      let w = Wire.Writer.create () in
+      Wire.Writer.u8 w record_kind_epoch;
+      Wire.Writer.u32 w e.seq;
+      Beacon_hash.write w e.prev;
+      let cb = F.to_bytes e.coin in
+      Wire.Writer.u16 w (Bytes.length cb);
+      Wire.Writer.raw w cb;
+      Wire.Writer.u32 w e.vended;
+      Wire.Writer.u32 w e.shed;
+      let fb = Bytes.of_string e.flags in
+      Wire.Writer.u16 w (Bytes.length fb);
+      Wire.Writer.raw w fb;
+      Beacon_hash.write w e.digest;
+      Beacon_hash.write w e.mac;
+      Wire.Writer.u32 w (List.length acked);
+      List.iter
+        (fun (id, nbits) ->
+          Wire.Writer.u32 w id;
+          Wire.Writer.u32 w nbits)
+        acked;
+      Wire.Writer.contents w
+
+    let decode_record ~index body =
+      match
+        let r = Wire.Reader.of_bytes body in
+        let kind = Wire.Reader.u8 r in
+        if kind <> record_kind_epoch then failwith "unknown record kind";
+        let seq = Wire.Reader.u32 r in
+        let prev = Beacon_hash.read r in
+        let clen = Wire.Reader.u16 r in
+        let coin = F.of_bytes (Wire.Reader.raw r clen) in
+        let vended = Wire.Reader.u32 r in
+        let shed = Wire.Reader.u32 r in
+        let flen = Wire.Reader.u16 r in
+        let flags = Bytes.to_string (Wire.Reader.raw r flen) in
+        let digest = Beacon_hash.read r in
+        let mac = Beacon_hash.read r in
+        let n = Wire.Reader.u32 r in
+        let acked =
+          List.init n (fun _ ->
+              let id = Wire.Reader.u32 r in
+              let nbits = Wire.Reader.u32 r in
+              (id, nbits))
+        in
+        Wire.Reader.expect_end r;
+        ({ seq; prev; coin; vended; shed; flags; digest; mac }, acked)
+      with
+      | decoded -> decoded
+      | exception _ ->
+          journal_corrupt
+            "journal record %d passed its checksum but does not decode as a \
+             beacon epoch"
+            index
+
+    (* Each replayed epoch consumed one pool draw the snapshot knows
+       nothing about: pay those draws back (values discarded) so the
+       restored pool can never re-vend a coin the published chain
+       already exposed. Refill randomness differs across incarnations,
+       so the discarded values are not compared against the journaled
+       coins — it is the pool's position that must advance, not the
+       values that must match. A pool that cannot advance leaves the
+       debt outstanding: [Safe_mode] halts the beacon (no draw will
+       ever be needed again), [Starved] degrades it and the next
+       {!close_epoch} retries the debt before vending. *)
+    let pay_replay_debt d =
+      let b = d.beacon in
+      let continue = ref true in
+      while !continue && d.replay_debt > 0 do
+        match P.draw_kary b.pool with
+        | _ -> d.replay_debt <- d.replay_debt - 1
+        | exception P.Safe_mode msg ->
+            halt b msg;
+            d.replay_debt <- 0;
+            continue := false
+        | exception P.Starved msg ->
+            b.state <- Degraded ("pool starved during recovery replay: " ^ msg);
+            continue := false
+      done
+
+    let attach ~journal ?snapshot ?(sync = Beacon_journal.Fsync) b =
+      (* A stale temp from a crashed snapshot rotation is never state. *)
+      (match snapshot with
+      | Some p when Sys.file_exists (p ^ ".tmp") -> (
+          try Sys.remove (p ^ ".tmp") with Sys_error _ -> ())
+      | _ -> ());
+      let r, w = Beacon_journal.open_append ~sync journal in
+      let acked = Hashtbl.create 64 in
+      let replayed = ref [] in
+      let deduped = ref 0 in
+      List.iteri
+        (fun index body ->
+          let e, ids = decode_record ~index body in
+          (* Dedup entries are registered even for records the snapshot
+             already covers: those vends were acknowledged too, and a
+             client replaying one must get its original stream. *)
+          List.iter
+            (fun (id, nbits) ->
+              if not (Hashtbl.mem acked id) then incr deduped;
+              Hashtbl.replace acked id (e.seq, e.coin, nbits);
+              b.next_request_id <- max b.next_request_id (id + 1))
+            ids;
+          if e.seq < b.next_seq then ()
+          else if e.seq > b.next_seq then
+            journal_corrupt
+              "journal record %d skips from epoch %d to %d — this journal \
+               does not continue the snapshot"
+              index b.next_seq e.seq
+          else begin
+            if not (Beacon_hash.equal e.prev b.head) then
+              journal_corrupt
+                "journal epoch %d does not link to the recovered head %s"
+                e.seq (Beacon_hash.to_hex b.head);
+            let expect =
+              seal ~key:b.key ~seq:e.seq ~prev:e.prev ~coin:e.coin
+                ~vended:e.vended ~shed:e.shed ~flags:e.flags ()
+            in
+            if
+              (not (Beacon_hash.equal expect.digest e.digest))
+              || not (Beacon_hash.equal expect.mac e.mac)
+            then
+              journal_corrupt "journal epoch %d fails chain verification"
+                e.seq;
+            b.head <- e.digest;
+            b.next_seq <- e.seq + 1;
+            b.epochs <- b.epochs + 1;
+            b.vended <- b.vended + e.vended;
+            replayed := e :: !replayed
+          end)
+        r.Beacon_journal.records;
+      let replayed = List.rev !replayed in
+      let d =
+        {
+          beacon = b;
+          journal_path = journal;
+          snapshot_path = snapshot;
+          sync;
+          w;
+          acked;
+          replay_debt = List.length replayed;
+        }
+      in
+      pay_replay_debt d;
+      Log.info (fun f ->
+          f "recovered beacon at seq %d: %d epoch(s) replayed, %d byte(s) \
+             torn, %d request id(s) in the dedup window"
+            b.next_seq (List.length replayed)
+            r.Beacon_journal.torn_bytes !deduped);
+      (d, { replayed; torn_bytes = r.Beacon_journal.torn_bytes;
+            deduped = !deduped })
+
+    let beacon d = d.beacon
+
+    let replay d ~id =
+      match Hashtbl.find_opt d.acked id with
+      | None -> None
+      | Some (seq, coin, nbits) ->
+          Some (derive d.beacon ~seq ~coin { id; nbits; callback = ignore })
+
+    let request d ?id ?nbits ~callback () =
+      match id with
+      | Some id0 -> (
+          match replay d ~id:id0 with
+          | Some f ->
+              (* Already acknowledged before some restart: the original
+                 vend is replayed verbatim — same epoch, same bits —
+                 never a fresh draw. *)
+              callback f;
+              Ok id0
+          | None -> request d.beacon ~id:id0 ?nbits ~callback ())
+      | None -> request d.beacon ?nbits ~callback ()
+
+    let close_epoch d =
+      if d.replay_debt > 0 then pay_replay_debt d;
+      if d.replay_debt > 0 then
+        match d.beacon.state with
+        | Halted msg -> Error ("beacon halted: " ^ msg)
+        | Degraded msg -> Error (msg ^ ": recovery replay debt outstanding")
+        | Serving -> Error "recovery replay debt outstanding"
+      else begin
+        let staged = ref None in
+        let result =
+          close_epoch_with d.beacon ~pre_ack:(fun e pending ->
+              let ids = List.map (fun r -> (r.id, r.nbits)) pending in
+              Beacon_journal.append d.w (encode_record e ids);
+              staged := Some (e, ids))
+        in
+        (match (result, !staged) with
+        | Ok e, Some (e', ids) when e'.seq = e.seq ->
+            List.iter
+              (fun (id, nbits) ->
+                Hashtbl.replace d.acked id (e.seq, e.coin, nbits))
+              ids
+        | _ -> ());
+        result
+      end
+
+    let snapshot d =
+      match d.snapshot_path with
+      | None -> invalid_arg "Beacon.Durable.snapshot: no snapshot path"
+      | Some path ->
+          let bytes = save d.beacon in
+          let fsync = d.sync = Beacon_journal.Fsync in
+          Beacon_journal.write_file_atomic ~fsync path bytes;
+          (* Only now — the snapshot's covered seq durable — does the
+             journal rotate to empty. A crash anywhere in between
+             leaves snapshot and journal overlapping, which replay
+             resolves by skipping records below the snapshot's seq. *)
+          Beacon_journal.close d.w;
+          d.w <- Beacon_journal.reset ~sync:d.sync d.journal_path
+
+    let close d = Beacon_journal.close d.w
+  end
+
+  (* --- deterministic crash-point harness ------------------------------ *)
+
+  module Harness = struct
+    type report = {
+      points : int;
+      crashes : int;
+      torn_recoveries : int;
+      epochs : int;
+    }
+
+    exception Violation of string
+
+    let fail fmt = Printf.ksprintf (fun m -> raise (Violation m)) fmt
+    let snapshot_path dir = Filename.concat dir "beacon.snap"
+    let journal_path dir = Filename.concat dir "beacon.journal"
+
+    let clean dir =
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [
+          snapshot_path dir;
+          snapshot_path dir ^ ".tmp";
+          journal_path dir;
+          journal_path dir ^ ".tmp";
+        ]
+
+    let read_file path =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          let b = Bytes.create len in
+          really_input ic b 0 len;
+          b)
+
+    let run ?(epochs = 4) ?(requests = 2) ?(snapshot_every = 2) ?(stride = 1)
+        ~mk_fresh ~mk_restore ~dir () =
+      if epochs < 1 then invalid_arg "Harness.run: epochs must be >= 1";
+      if requests < 1 then invalid_arg "Harness.run: requests must be >= 1";
+      if stride < 1 then invalid_arg "Harness.run: stride must be >= 1";
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      (* The harness plays both sides: it drives the server and keeps
+         the clients' books — every epoch observed at ack time and the
+         exact bits each acknowledged request received. Recovery is checked
+         against those books after every kill. *)
+      let closed : (int, epoch) Hashtbl.t = Hashtbl.create 64 in
+      let acked_bits : (int, bool array) Hashtbl.t = Hashtbl.create 64 in
+      let chain_key = ref default_key in
+      let incarnation () =
+        let spath = snapshot_path dir in
+        let b =
+          if Sys.file_exists spath then mk_restore (read_file spath)
+          else mk_fresh ()
+        in
+        chain_key := b.key;
+        let d, rs =
+          Durable.attach ~journal:(journal_path dir) ~snapshot:spath
+            ~sync:Beacon_journal.Flush_only b
+        in
+        Fun.protect ~finally:(fun () -> Durable.close d) @@ fun () ->
+        (* Recovered epochs must extend the acknowledged chain: an acked
+           seq must come back with the identical digest, and an epoch
+           the clients never saw acked (journaled, killed before the
+           ack) may only extend past everything acknowledged. *)
+        let max_closed = Hashtbl.fold (fun s _ m -> max s m) closed (-1) in
+        List.iter
+          (fun (e : epoch) ->
+            match Hashtbl.find_opt closed e.seq with
+            | Some e' when Beacon_hash.equal e'.digest e.digest -> ()
+            | Some _ -> fail "recovery rewrote acked epoch %d" e.seq
+            | None ->
+                if e.seq <= max_closed then
+                  fail "recovery resurrected unacked epoch %d below the \
+                        acked head %d" e.seq max_closed;
+                Hashtbl.replace closed e.seq e)
+          rs.Durable.replayed;
+        (* Every acknowledged request still inside the dedup window must
+           replay bit-identically. *)
+        Hashtbl.iter
+          (fun id bits ->
+            match Durable.replay d ~id with
+            | None -> () (* rotated out of the journal window *)
+            | Some f ->
+                if f.bits <> bits then
+                  fail "request %d replayed with different bits" id)
+          acked_bits;
+        while next_seq d.beacon < epochs do
+          let vend_buf = ref [] in
+          for _ = 1 to requests do
+            match
+              Durable.request d ~callback:(fun f -> vend_buf := f :: !vend_buf)
+                ()
+            with
+            | Ok _ -> ()
+            | Error r -> fail "harness request rejected: %s" (reject_name r)
+          done;
+          (match Durable.close_epoch d with
+          | Error msg -> fail "close failed: %s" msg
+          | Ok e ->
+              if Hashtbl.mem closed e.seq then
+                fail "epoch seq %d reused" e.seq;
+              Hashtbl.replace closed e.seq e;
+              List.iter
+                (fun f -> Hashtbl.replace acked_bits f.request_id f.bits)
+                !vend_buf);
+          if
+            snapshot_every > 0
+            && next_seq d.beacon mod snapshot_every = 0
+            && next_seq d.beacon < epochs
+          then Durable.snapshot d
+        done;
+        rs
+      in
+      let fresh_world () =
+        clean dir;
+        Hashtbl.reset closed;
+        Hashtbl.reset acked_bits
+      in
+      let final_check () =
+        let chain =
+          Hashtbl.fold (fun _ e acc -> e :: acc) closed []
+          |> List.sort (fun a b -> compare a.seq b.seq)
+        in
+        if List.length chain <> epochs then
+          fail "final chain has %d epochs, expected %d (seq lost or skipped)"
+            (List.length chain) epochs;
+        List.iteri
+          (fun i e ->
+            if e.seq <> i then fail "seq %d missing from the final chain" i)
+          chain;
+        match verify_chain ~key:!chain_key chain with
+        | Ok () -> ()
+        | Error msg -> fail "final chain does not verify: %s" msg
+      in
+      let at = ref (-1) in
+      try
+        fresh_world ();
+        let _, points = Beacon_journal.Crash_point.count incarnation in
+        final_check ();
+        let crashes = ref 0 and torn = ref 0 in
+        let k = ref 0 in
+        while !k < points do
+          at := !k;
+          fresh_world ();
+          (match Beacon_journal.Crash_point.with_budget !k incarnation with
+          | `Completed _ -> ()
+          | `Crashed ->
+              incr crashes;
+              let rs = incarnation () in
+              if rs.Durable.torn_bytes > 0 then incr torn);
+          final_check ();
+          k := !k + stride
+        done;
+        Ok { points; crashes = !crashes; torn_recoveries = !torn; epochs }
+      with
+      | Violation msg ->
+          Error
+            (if !at < 0 then "oracle run: " ^ msg
+             else Printf.sprintf "crash point %d: %s" !at msg)
+      | Beacon_journal.Corrupt_journal msg ->
+          Error (Printf.sprintf "crash point %d: journal corrupt: %s" !at msg)
+      | Corrupt_snapshot msg ->
+          Error (Printf.sprintf "crash point %d: snapshot corrupt: %s" !at msg)
+  end
 
   (* --- synthetic arrivals -------------------------------------------- *)
 

@@ -126,23 +126,28 @@ module Make (F : Field_intf.S) : sig
       starts with an empty in-memory chain but a non-zero {!head}. *)
 
   val request :
-    t -> ?nbits:int -> callback:(fulfillment -> unit) -> unit ->
+    t -> ?id:int -> ?nbits:int -> callback:(fulfillment -> unit) -> unit ->
     (int, reject) result
   (** Admit one consumer request for [nbits] derived bits (default
       [F.k_bits], must be >= 1). [Ok id] means the request is queued
       and [callback] will fire exactly once, at the next successful
       {!close_epoch}; [Error] is the explicit backpressure signal and
-      the callback will never fire. *)
+      the callback will never fire. [id] (must be >= 1) lets a client
+      resubmit under its own request id: a resubmission of an id
+      already queued is idempotent (the first registration's callback
+      fires, once), and fresh auto-assigned ids never collide with
+      explicitly used ones. *)
 
   val close_epoch : t -> (epoch, string) result
-  (** Close the current epoch: expose one pool coin, vend every pending
-      request from it (callbacks fire in admission order, inside the
-      [beacon.epoch] trace span, one [Trace.Vend] event each), emit the
-      chained record, then forward the demand signal to the pool.
-      [Pool.Safe_mode] halts the beacon (pending requests are shed as
-      [Beacon_halted]); [Pool.Starved] leaves the queue intact and the
-      beacon degraded, so the caller may retry. Neither escapes as an
-      exception. *)
+  (** Close the current epoch: expose one pool coin, seal the chained
+      record, vend every pending request from it (callbacks fire in
+      admission order, inside the [beacon.epoch] trace span, one
+      [Trace.Vend] event each — strictly {e after} the record is
+      sealed, which is what lets {!Durable} journal it first), then
+      forward the demand signal to the pool. [Pool.Safe_mode] halts
+      the beacon (pending requests are shed as [Beacon_halted]);
+      [Pool.Starved] leaves the queue intact and the beacon degraded,
+      so the caller may retry. Neither escapes as an exception. *)
 
   type stats = {
     epochs : int;
@@ -181,9 +186,122 @@ module Make (F : Field_intf.S) : sig
       or skipped). [expect_head] is the chain head the operator trusts
       (e.g. the digest of the last transcript line); a snapshot whose
       head differs is rejected. The pool pass-throughs mirror
-      {!P.load}.
+      {!P.load}. Snapshots are v2 (v1 still loads); v2 additionally
+      carries the request-id counter so ids stay unique for the
+      chain's lifetime.
       @raise Corrupt_snapshot on damaged bytes, an undecodable wrapped
       pool snapshot, or an [expect_head] mismatch. *)
+
+  (** {1 Crash-consistent durability}
+
+      A {!Durable.d} wraps a beacon in a write-ahead epoch journal
+      ({!Beacon_journal}): every epoch is appended and flushed {e
+      before} any vend callback fires, so an acknowledged vend can
+      always be recovered. Recovery = snapshot + journal replay with
+      torn-tail truncation; replayed records re-verify the chain
+      (digest, MAC, prev linkage) rather than being re-trusted, and
+      the request ids they acknowledged form a dedup window: a client
+      resubmitting an acked id gets its original bits back verbatim.
+
+      Restart determinism caveat: a restored pool's refill randomness
+      is a fresh stream, so coins drawn {e after} a recovery differ
+      from what the crashed process would have drawn — the journal
+      guarantees the {e published} chain, not the counterfactual one.
+      Replay therefore advances the pool by position (one discarded
+      draw per replayed epoch), never by value. *)
+
+  module Durable : sig
+    type d
+
+    type recovery_stats = {
+      replayed : epoch list;
+          (** journal epochs applied on top of the snapshot state *)
+      torn_bytes : int;  (** trailing journal bytes dropped as torn *)
+      deduped : int;  (** request ids recovered into the dedup window *)
+    }
+
+    val attach :
+      journal:string ->
+      ?snapshot:string ->
+      ?sync:Beacon_journal.sync_policy ->
+      t ->
+      d * recovery_stats
+    (** Wrap [t] — freshly created, or {!load}ed from [snapshot] — and
+        replay the journal at [journal] on top of it: the torn tail is
+        truncated, records at or below the snapshot's seq contribute
+        only dedup entries, and records above it must link and verify
+        or the attach fails. A stale [<snapshot>.tmp] from a crashed
+        rotation is removed. [sync] (default [Fsync]) governs every
+        subsequent append and rotation.
+        @raise Beacon_journal.Corrupt_journal on mid-journal damage, a
+        record that does not decode/verify, or a snapshot/journal pair
+        that does not fit together. *)
+
+    val beacon : d -> t
+
+    val request :
+      d -> ?id:int -> ?nbits:int -> callback:(fulfillment -> unit) ->
+      unit -> (int, reject) result
+    (** {!request} with restart-safe dedup: if [id] was already
+        acknowledged in the journal window, the original fulfillment
+        is re-derived and [callback] fires immediately (the recorded
+        [nbits] wins over the argument — the replay is verbatim). *)
+
+    val replay : d -> id:int -> fulfillment option
+    (** The fulfillment [id] received, if it is in the dedup window. *)
+
+    val close_epoch : d -> (epoch, string) result
+    (** {!close_epoch} with the write-ahead step: the sealed record and
+        its acked request ids are journaled (and synced, under
+        [Fsync]) before any callback fires. Outstanding replay debt
+        (a pool that could not advance during recovery) is paid first;
+        while it cannot be, the close fails without vending. *)
+
+    val snapshot : d -> unit
+    (** Atomic snapshot rotation: {!save} to [<snapshot>.tmp], fsync,
+        rename, and only then truncate the journal (itself an atomic
+        header swap). Requires [snapshot] to have been given to
+        {!attach}. The on-disk dedup window resets with the journal;
+        in-memory entries survive until the process exits. *)
+
+    val close : d -> unit
+    (** Release the journal file descriptor. Never writes. *)
+  end
+
+  (** The deterministic crash-point sweep: runs a seeded workload once
+      to count durability points ({!Beacon_journal.Crash_point}), then
+      once per point with the writer killed at exactly that byte
+      offset, recovering and re-checking after each kill. *)
+  module Harness : sig
+    type report = {
+      points : int;  (** durability points (= crash offsets) swept *)
+      crashes : int;  (** runs actually killed mid-write *)
+      torn_recoveries : int;  (** recoveries that dropped a torn tail *)
+      epochs : int;  (** chain length each run converges to *)
+    }
+
+    val run :
+      ?epochs:int ->
+      ?requests:int ->
+      ?snapshot_every:int ->
+      ?stride:int ->
+      mk_fresh:(unit -> t) ->
+      mk_restore:(bytes -> t) ->
+      dir:string ->
+      unit ->
+      (report, string) result
+    (** Serve [epochs] epochs of [requests] requests each, snapshotting
+        every [snapshot_every] closes (0 = never), under files in
+        [dir]; then kill-and-recover at every [stride]-th durability
+        point. [mk_fresh] must build the same beacon every call (same
+        seed) and [mk_restore] must load its snapshots with the same
+        parameters. After every recovery the harness asserts: acked
+        epochs reappear digest-identical, the final chain is gapless
+        [0 .. epochs-1] and verifies, no seq is reused, and every
+        acked request id still in the dedup window replays
+        bit-identically. The first violated invariant comes back as
+        [Error] with the crash offset. *)
+  end
 
   (** {1 Synthetic consumer arrivals (loadgen)} *)
 

@@ -1,0 +1,269 @@
+exception Corrupt_journal of string
+
+type sync_policy = Fsync | Flush_only
+
+let corrupt fmt =
+  Printf.ksprintf (fun msg -> raise (Corrupt_journal msg)) fmt
+
+(* ------------------------ crash injection ------------------------- *)
+
+module Crash_point = struct
+  exception Crashed
+
+  type mode = Off | Counting of int ref | Budget of int ref
+
+  let mode = ref Off
+
+  let rec write_all fd buf pos len =
+    if len > 0 then begin
+      let n = Unix.write fd buf pos len in
+      write_all fd buf (pos + n) (len - n)
+    end
+
+  (* Every byte of journal/snapshot traffic funnels through here, so an
+     armed budget simulates SIGKILL at an exact byte offset: the write
+     that overruns it lands only its first [remaining] bytes — the torn
+     write — and the process is presumed dead from then on. *)
+  let guarded_write fd buf =
+    let len = Bytes.length buf in
+    match !mode with
+    | Off -> write_all fd buf 0 len
+    | Counting c ->
+        c := !c + len;
+        write_all fd buf 0 len
+    | Budget b ->
+        if !b >= len then begin
+          b := !b - len;
+          write_all fd buf 0 len
+        end
+        else begin
+          let part = !b in
+          b := 0;
+          write_all fd buf 0 part;
+          raise Crashed
+        end
+
+  (* Metadata operations (renames) are one durability point each, so
+     the sweep also exercises "crashed between the data and the
+     rename". *)
+  let tick () =
+    match !mode with
+    | Off -> ()
+    | Counting c -> incr c
+    | Budget b -> if !b >= 1 then decr b else raise Crashed
+
+  let arm m f ~finally =
+    (match !mode with
+    | Off -> ()
+    | _ -> invalid_arg "Beacon_journal.Crash_point: already armed");
+    mode := m;
+    Fun.protect ~finally:(fun () -> mode := Off) (fun () -> finally (f ()))
+
+  let count f =
+    let c = ref 0 in
+    arm (Counting c) f ~finally:(fun x -> (x, !c))
+
+  let with_budget budget f =
+    if budget < 0 then
+      invalid_arg "Beacon_journal.Crash_point.with_budget: negative budget";
+    let b = ref budget in
+    match arm (Budget b) f ~finally:(fun x -> `Completed x) with
+    | outcome -> outcome
+    | exception Crashed -> `Crashed
+end
+
+(* --------------------------- file format -------------------------- *)
+
+let magic = 0xBEA2
+let version = 1
+let header_len = 3
+let frame_len = 8 (* u32 length + u32 crc *)
+
+let header_bytes () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u16 w magic;
+  Wire.Writer.u8 w version;
+  Wire.Writer.contents w
+
+(* ---------------------------- writing ----------------------------- *)
+
+type writer = {
+  path : string;
+  sync_policy : sync_policy;
+  fd : Unix.file_descr;
+  mutable next_record_seq : int;
+  mutable closed : bool;
+}
+
+let path w = w.path
+
+let maybe_fsync w =
+  match w.sync_policy with Fsync -> Unix.fsync w.fd | Flush_only -> ()
+
+let sync w = if not w.closed then Unix.fsync w.fd
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    try Unix.close w.fd with Unix.Unix_error _ -> ()
+  end
+
+let open_writer ~sync_policy ~next_record_seq ~trunc path =
+  let flags =
+    Unix.[ O_WRONLY; O_CREAT; O_CLOEXEC ] @ if trunc then [ Unix.O_TRUNC ] else []
+  in
+  let fd = Unix.openfile path flags 0o644 in
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  { path; sync_policy; fd; next_record_seq; closed = false }
+
+let create ?(sync = Fsync) path =
+  let w = open_writer ~sync_policy:sync ~next_record_seq:0 ~trunc:true path in
+  (try Crash_point.guarded_write w.fd (header_bytes ())
+   with e ->
+     close w;
+     raise e);
+  maybe_fsync w;
+  w
+
+let append w body =
+  if w.closed then invalid_arg "Beacon_journal.append: writer is closed";
+  let payload = Wire.Writer.create () in
+  Wire.Writer.u32 payload w.next_record_seq;
+  Wire.Writer.raw payload body;
+  let payload = Wire.Writer.contents payload in
+  let frame = Wire.Writer.create () in
+  Wire.Writer.u32 frame (Bytes.length payload);
+  Wire.Writer.u32 frame (Wire.Crc32.digest payload);
+  Wire.Writer.raw frame payload;
+  (* One write for the whole record: a crash splits it at a byte
+     offset, never interleaves. The record seq is claimed only after
+     the bytes are down, so a crashed append leaves it unconsumed. *)
+  Crash_point.guarded_write w.fd (Wire.Writer.contents frame);
+  w.next_record_seq <- w.next_record_seq + 1;
+  maybe_fsync w
+
+(* ---------------------------- recovery ---------------------------- *)
+
+type recovery = {
+  records : bytes list;
+  next_record_seq : int;
+  valid_len : int;
+  torn_bytes : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let b = Bytes.create len in
+      really_input ic b 0 len;
+      b)
+
+let u32_at data pos =
+  Bytes.get_uint16_le data pos lor (Bytes.get_uint16_le data (pos + 2) lsl 16)
+
+let recover jpath =
+  if not (Sys.file_exists jpath) then
+    { records = []; next_record_seq = 0; valid_len = 0; torn_bytes = 0 }
+  else begin
+    let data = read_file jpath in
+    let size = Bytes.length data in
+    if size < header_len then
+      (* The crash landed inside the initial header write: nothing was
+         ever durable, so the whole file is the torn tail. *)
+      { records = []; next_record_seq = 0; valid_len = 0; torn_bytes = size }
+    else begin
+      if Bytes.get_uint16_le data 0 <> magic then
+        corrupt "not a beacon journal (bad magic) [bytes=%d]" size;
+      let v = Bytes.get_uint8 data 2 in
+      if v <> version then corrupt "unsupported journal version %d" v;
+      let records = ref [] in
+      let seq = ref 0 in
+      let pos = ref header_len in
+      let torn = ref 0 in
+      (* A frame that runs past end-of-file, or a checksum failure on
+         the record that ends exactly at end-of-file, is a torn write:
+         only the final append can be cut short by a crash. The same
+         failures with bytes after them cannot be torn and are fatal. *)
+      (try
+         while !pos < size do
+           if size - !pos < frame_len then begin
+             torn := size - !pos;
+             raise Exit
+           end;
+           let len = u32_at data !pos in
+           if size - !pos - frame_len < len then begin
+             torn := size - !pos;
+             raise Exit
+           end;
+           let crc = u32_at data (!pos + 4) in
+           let payload = Bytes.sub data (!pos + frame_len) len in
+           if Wire.Crc32.digest payload <> crc then
+             if !pos + frame_len + len = size then begin
+               torn := size - !pos;
+               raise Exit
+             end
+             else
+               corrupt
+                 "record %d at offset %d: checksum mismatch with %d bytes \
+                  following — mid-journal corruption, not a torn tail"
+                 !seq !pos
+                 (size - !pos - frame_len - len);
+           if len < 4 then
+             corrupt "record %d at offset %d: intact but only %d bytes long"
+               !seq !pos len;
+           let rseq = u32_at payload 0 in
+           if rseq <> !seq then
+             corrupt
+               "record sequence gap at offset %d: expected record %d, found \
+                %d"
+               !pos !seq rseq;
+           records := Bytes.sub payload 4 (len - 4) :: !records;
+           incr seq;
+           pos := !pos + frame_len + len
+         done
+       with Exit -> ());
+      {
+        records = List.rev !records;
+        next_record_seq = !seq;
+        valid_len = !pos;
+        torn_bytes = !torn;
+      }
+    end
+  end
+
+let open_append ?(sync = Fsync) jpath =
+  let r = recover jpath in
+  if r.valid_len < header_len then
+    (* New file, or the header itself was torn: start clean. *)
+    (r, create ~sync jpath)
+  else begin
+    if r.torn_bytes > 0 then
+      Unix.truncate jpath r.valid_len;
+    let w =
+      open_writer ~sync_policy:sync ~next_record_seq:r.next_record_seq
+        ~trunc:false jpath
+    in
+    (r, w)
+  end
+
+let fsync_fd fd = Unix.fsync fd
+
+let write_file_atomic ?(fsync = true) fpath bytes =
+  let tmp = fpath ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp Unix.[ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Crash_point.guarded_write fd bytes;
+      if fsync then fsync_fd fd);
+  Crash_point.tick ();
+  Sys.rename tmp fpath
+
+let reset ?(sync = Fsync) jpath =
+  write_file_atomic ~fsync:(sync = Fsync) jpath (header_bytes ());
+  open_writer ~sync_policy:sync ~next_record_seq:0 ~trunc:false jpath

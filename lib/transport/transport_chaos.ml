@@ -80,6 +80,27 @@ let sim_crashes ~budget events =
       | Stall _ -> None)
     events
 
+(* ---------------------- serve-loop kill points -------------------- *)
+
+(* The beacon serve loop's chaos hook: a seeded set of epoch sequence
+   numbers at which a supervised `dprbg beacon --supervise` child
+   SIGKILLs itself, right after the epoch is durable. Firing after the
+   close (never before) is what makes the schedule convergent: the
+   restarted incarnation resumes past the kill epoch and cannot
+   re-trigger it, so [kills] kills cost exactly [kills] restarts. The
+   seed split is private (like [schedule]'s), so computing the plan
+   perturbs no protocol randomness, and every incarnation computes the
+   identical plan from the same seed. *)
+let serve_kill_epochs ~seed ~kills ~epochs =
+  if kills < 0 then
+    invalid_arg "Transport_chaos.serve_kill_epochs: negative kills";
+  if kills > epochs then
+    invalid_arg "Transport_chaos.serve_kill_epochs: more kills than epochs";
+  if kills = 0 then []
+  else
+    let prng = Prng.of_int (seed lxor 0x6b696c6c) (* "kill" *) in
+    Prng.sample_distinct prng kills epochs
+
 (* --------------------------- ambient state ----------------------- *)
 
 type t = { events : event array; fired : bool array }

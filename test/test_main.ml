@@ -29,6 +29,7 @@ let () =
       ("coin-gen", Test_coin_gen.suite);
       ("pool", Test_pool.suite);
       ("beacon", Test_beacon.suite);
+      ("beacon-recovery", Test_beacon_recovery.suite);
       ("common-coin-ba", Test_common_coin_ba.suite);
       ("stats", Test_stats.suite);
       ("wire", Test_wire.suite);

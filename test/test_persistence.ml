@@ -245,6 +245,103 @@ let test_v2_rejects_every_flip () =
     done
   done
 
+(* --- crash-consistent truncation hardening (both snapshot formats) --- *)
+
+(* A crash mid-write can leave any prefix of a snapshot on disk (the
+   atomic temp+rename path makes this unreachable in production, but
+   the loader is the last line of defense): every proper prefix of
+   both snapshot formats must be rejected as Corrupt_snapshot, at
+   every byte offset. *)
+let test_pool_truncation_every_offset () =
+  let p =
+    PL.create ~prng:(Prng.of_int 14) ~n ~t ~batch_size:16 ~refill_threshold:3
+      ~initial_seed:6 ()
+  in
+  for _ = 1 to 8 do
+    ignore (PL.draw_kary p)
+  done;
+  let saved = PL.save p in
+  for len = 0 to Bytes.length saved - 1 do
+    load_expecting_corrupt
+      ~ctx:(Printf.sprintf "pool snapshot truncated to %d bytes" len)
+      (Bytes.sub saved 0 len)
+  done
+
+module BC = Beacon.Make (F)
+
+let make_beacon_snapshot seed =
+  let pool =
+    PL.create ~prng:(Prng.of_int seed) ~n ~t ~batch_size:16 ~refill_threshold:3
+      ~initial_seed:6 ()
+  in
+  let b = BC.create ~key:"persist-key" ~pool () in
+  for _ = 1 to 3 do
+    for _ = 1 to 2 do
+      match BC.request b ~callback:ignore () with
+      | Ok _ -> ()
+      | Error r -> Alcotest.failf "rejected: %s" (BC.reject_name r)
+    done;
+    match BC.close_epoch b with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.failf "close failed: %s" msg
+  done;
+  (BC.save b, b)
+
+let beacon_load_expecting_corrupt ~ctx bytes =
+  match
+    BC.load ~key:"persist-key" ~prng:(Prng.of_int 1) ~batch_size:16
+      ~refill_threshold:3 bytes
+  with
+  | (_ : BC.t) -> Alcotest.failf "%s: corrupted snapshot was accepted" ctx
+  | exception BC.Corrupt_snapshot _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Corrupt_snapshot, got %s" ctx
+        (Printexc.to_string e)
+
+let test_beacon_truncation_every_offset () =
+  let saved, _ = make_beacon_snapshot 15 in
+  for len = 0 to Bytes.length saved - 1 do
+    beacon_load_expecting_corrupt
+      ~ctx:(Printf.sprintf "beacon snapshot truncated to %d bytes" len)
+      (Bytes.sub saved 0 len)
+  done;
+  beacon_load_expecting_corrupt ~ctx:"beacon trailing byte"
+    (Bytes.cat saved (Bytes.make 1 '\x00'))
+
+(* Keep reading beacon-v1: exactly the v2 payload without the
+   [next_request_id] word, under a version-1 header. Restored ids
+   restart at 1 — the pre-journal behavior. *)
+let test_beacon_load_reads_v1 () =
+  let v2, b = make_beacon_snapshot 16 in
+  let payload = Bytes.sub v2 11 (Bytes.length v2 - 11) in
+  (* u32 next_seq + 16-byte head + five u32 counters = 40 bytes, then
+     the u32 next_request_id v1 lacks. *)
+  let v1_payload =
+    Bytes.cat (Bytes.sub payload 0 40)
+      (Bytes.sub payload 44 (Bytes.length payload - 44))
+  in
+  let h = Wire.Writer.create () in
+  Wire.Writer.u16 h 0xBEA1;
+  Wire.Writer.u8 h 1;
+  Wire.Writer.u32 h (Bytes.length v1_payload);
+  Wire.Writer.u32 h (Wire.Crc32.digest v1_payload);
+  Wire.Writer.raw h v1_payload;
+  let q =
+    BC.load ~key:"persist-key" ~prng:(Prng.of_int 17) ~batch_size:16
+      ~refill_threshold:3 (Wire.Writer.contents h)
+  in
+  Alcotest.(check int) "chain position preserved" (BC.next_seq b)
+    (BC.next_seq q);
+  Alcotest.(check bool) "head preserved" true
+    (Beacon_hash.equal (BC.head b) (BC.head q));
+  (* The restored beacon keeps serving on the same chain. *)
+  (match BC.request q ~callback:ignore () with
+  | Ok id -> Alcotest.(check int) "ids restart at 1" 1 id
+  | Error r -> Alcotest.failf "rejected: %s" (BC.reject_name r));
+  match BC.close_epoch q with
+  | Ok e -> Alcotest.(check int) "chain continues" (BC.next_seq b) e.BC.seq
+  | Error msg -> Alcotest.failf "close failed: %s" msg
+
 let suite =
   [
     Alcotest.test_case "dealer coin roundtrip" `Quick test_dealer_coin_roundtrip;
@@ -261,4 +358,10 @@ let suite =
     Alcotest.test_case "load reads v2 snapshots" `Quick test_load_reads_v2;
     Alcotest.test_case "v2 rejects every bit flip" `Quick
       test_v2_rejects_every_flip;
+    Alcotest.test_case "pool truncation at every offset" `Quick
+      test_pool_truncation_every_offset;
+    Alcotest.test_case "beacon truncation at every offset" `Quick
+      test_beacon_truncation_every_offset;
+    Alcotest.test_case "beacon load reads v1 snapshots" `Quick
+      test_beacon_load_reads_v1;
   ]
